@@ -1,0 +1,44 @@
+//! Criterion harness for Figure 7: FastSim run time as the p-action cache
+//! is limited with the flush-on-full policy, swept over a power-of-two
+//! size ladder.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fastsim_core::{Mode, Policy, Simulator};
+use fastsim_workloads::by_name;
+use std::time::Duration;
+
+const INSTS: u64 = 200_000;
+const KERNELS: [&str; 3] = ["go", "ijpeg", "mgrid"];
+const SIZES: [usize; 5] = [4 << 10, 16 << 10, 64 << 10, 256 << 10, usize::MAX];
+
+fn bench_flush_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure7_flush_sweep");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    for name in KERNELS {
+        let w = by_name(name).expect("kernel exists");
+        let program = w.program_for_insts(INSTS);
+        for limit in SIZES {
+            let label = if limit == usize::MAX {
+                format!("{name}/unbounded")
+            } else {
+                format!("{name}/{}K", limit / 1024)
+            };
+            let mode = if limit == usize::MAX {
+                Mode::fast()
+            } else {
+                Mode::Fast { policy: Policy::FlushOnFull { limit } }
+            };
+            group.bench_with_input(BenchmarkId::from_parameter(label), &program, |b, p| {
+                b.iter(|| {
+                    let mut sim = Simulator::new(p, mode).unwrap();
+                    sim.run_to_completion().unwrap();
+                    sim.stats().cycles
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_flush_sweep);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Criterion micro-benchmarks for the individual substrates: the
+//! configuration codec (encode + decode), the cache simulator's
+//! issue/poll path, and the functional emulator's stepping rate. These
+//! bound the per-action costs behind the table results.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fastsim_emu::FuncEmulator;
+use fastsim_isa::{Asm, Reg};
+use fastsim_mem::{CacheConfig, CacheSim, PollResult};
+use fastsim_uarch::{decode_config, encode_config, FetchPc, IqEntry, IqState, PipelineState};
+use std::hint::black_box;
+use std::rc::Rc;
+use std::time::Duration;
+
+fn config_codec(c: &mut Criterion) {
+    let mut a = Asm::with_base(0x1000);
+    for i in 0..32 {
+        a.addi(Reg::new(1 + (i % 8) as u8), Reg::R0, i);
+    }
+    a.halt();
+    let prog = a.assemble().unwrap().predecode().unwrap();
+    // A full 32-entry pipeline state.
+    let mut st = PipelineState::at_entry(0x1000);
+    for i in 0..32u32 {
+        st.iq.push(IqEntry {
+            addr: 0x1000 + i * 4,
+            state: if i % 3 == 0 { IqState::Queued } else { IqState::Exec { left: 1 + i % 30 } },
+            taken: false,
+            mispredicted: false,
+            target: 0,
+        });
+    }
+    st.fetch = FetchPc::At(0x1000 + 32 * 4);
+    let bytes = encode_config(&st, &prog);
+    let mut g = c.benchmark_group("micro_codec");
+    g.measurement_time(Duration::from_secs(4)).sample_size(30);
+    g.bench_function("encode_32_entries", |b| {
+        b.iter(|| encode_config(black_box(&st), &prog))
+    });
+    g.bench_function("decode_32_entries", |b| {
+        b.iter(|| decode_config(black_box(&bytes), &prog).unwrap())
+    });
+    g.finish();
+}
+
+fn cache_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("micro_cache");
+    g.measurement_time(Duration::from_secs(4)).sample_size(30);
+    g.bench_function("issue_poll_hit_loop", |b| {
+        let mut sim = CacheSim::new(CacheConfig::table1());
+        let mut now = 0u64;
+        let mut id = 0u64;
+        // Warm one line.
+        let w = sim.issue_load(id, 0x8000, 4, now) as u64;
+        now += w;
+        while sim.poll_load(id, now) != PollResult::Ready {
+            now += 1;
+        }
+        id += 1;
+        b.iter(|| {
+            let interval = sim.issue_load(id, 0x8000, 4, now);
+            now += interval as u64;
+            assert_eq!(sim.poll_load(id, now), PollResult::Ready);
+            id += 1;
+            now += 1;
+        })
+    });
+    g.finish();
+}
+
+fn emulator_rate(c: &mut Criterion) {
+    let mut a = Asm::new();
+    a.addi(Reg::R1, Reg::R0, 10_000);
+    a.label("l");
+    a.add(Reg::R2, Reg::R2, Reg::R1);
+    a.xor(Reg::R3, Reg::R2, Reg::R1);
+    a.subi(Reg::R1, Reg::R1, 1);
+    a.bne(Reg::R1, Reg::R0, "l");
+    a.halt();
+    let image = a.assemble().unwrap();
+    let prog = Rc::new(image.predecode().unwrap());
+    let mut g = c.benchmark_group("micro_emulator");
+    g.measurement_time(Duration::from_secs(4)).sample_size(20);
+    g.bench_function("functional_40k_insts", |b| {
+        b.iter(|| {
+            let mut e = FuncEmulator::new(prog.clone(), &image);
+            e.run(u64::MAX);
+            black_box(e.insts())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, config_codec, cache_path, emulator_rate);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion harness for Table 2's comparison: SlowSim (memoization off)
+//! vs FastSim (memoization on) over representative workloads. The ratio of
+//! the two group medians is the memoization speedup.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fastsim_core::{Mode, Simulator};
+use fastsim_workloads::by_name;
+use std::time::Duration;
+
+const INSTS: u64 = 200_000;
+const KERNELS: [&str; 6] = ["go", "compress", "li", "ijpeg", "mgrid", "applu"];
+
+fn bench_memoization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_memoization");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    for name in KERNELS {
+        let w = by_name(name).expect("kernel exists");
+        let program = w.program_for_insts(INSTS);
+        group.bench_with_input(BenchmarkId::new("slowsim", name), &program, |b, p| {
+            b.iter(|| {
+                let mut sim = Simulator::new(p, Mode::Slow).unwrap();
+                sim.run_to_completion().unwrap();
+                sim.stats().cycles
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("fastsim", name), &program, |b, p| {
+            b.iter(|| {
+                let mut sim = Simulator::new(p, Mode::fast()).unwrap();
+                sim.run_to_completion().unwrap();
+                sim.stats().cycles
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_memoization);
+criterion_main!(benches);

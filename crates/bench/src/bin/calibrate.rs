@@ -1,0 +1,16 @@
+//! Internal tool: reports actual dynamic instruction counts for each
+//! workload at a 1M-instruction target, for calibrating `insts_per_unit`.
+
+use fastsim_emu::FuncEmulator;
+use fastsim_workloads::all;
+use std::rc::Rc;
+
+fn main() {
+    for w in all() {
+        let p = w.program_for_insts(1_000_000);
+        let prog = Rc::new(p.predecode().unwrap());
+        let mut e = FuncEmulator::new(prog, &p);
+        e.run(500_000_000);
+        println!("{}\ttarget=1M actual={}", w.name, e.insts());
+    }
+}

@@ -1,0 +1,27 @@
+//! Runs every table/figure binary's logic in one process, producing the
+//! full evaluation in the paper's order. Equivalent to running `table1`
+//! through `gc_study` individually; see each binary for the description of
+//! its artifact.
+//!
+//! ```text
+//! cargo run --release -p fastsim-bench --bin make_tables -- --insts 2000000
+//! ```
+
+use std::process::Command;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let exe = std::env::current_exe().expect("current exe path");
+    let dir = exe.parent().expect("exe dir");
+    for bin in [
+        "table1", "table2", "table3", "table4", "table5", "figure7", "gc_study",
+        "inorder_study", "ablation",
+    ] {
+        let path = dir.join(bin);
+        let status = Command::new(&path)
+            .args(if bin == "table1" { &[][..] } else { &args[..] })
+            .status()
+            .unwrap_or_else(|e| panic!("run {bin} (build all bins first): {e}"));
+        assert!(status.success(), "{bin} failed");
+    }
+}

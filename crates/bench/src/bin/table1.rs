@@ -1,0 +1,51 @@
+//! Regenerates Table 1: the processor model parameters, printed from the
+//! live configuration defaults so the table can never drift from the code.
+
+use fastsim_core::{CacheConfig, UArchConfig};
+
+fn main() {
+    let u = UArchConfig::table1();
+    let c = CacheConfig::table1();
+    println!("=== Table 1: FastSim's processor model parameters ===\n");
+    println!("Decode {} instructions per cycle.", u.decode_width);
+    println!(
+        "{} integer ALUs, {} FPUs, and {} load/store address adder(s).",
+        u.int_alus, u.fp_units, u.agen_units
+    );
+    println!(
+        "{} physical 32-bit integer registers, and {} 64-bit floating point registers.",
+        u.phys_int_regs, u.phys_fp_regs
+    );
+    println!("2-bit/512-entry branch history table for branch prediction.");
+    println!(
+        "Speculatively execute instructions through up to {} conditional branches.",
+        u.max_branches
+    );
+    println!(
+        "Non-blocking L1 and L2 data caches, {}/{} MSHRs each.",
+        c.l1_mshrs, c.l2_mshrs
+    );
+    println!(
+        "{} KByte {}-way set associative write through L1 data cache.",
+        c.l1_bytes / 1024,
+        c.l1_assoc
+    );
+    println!(
+        "{} MByte {}-way set associative write back L2 data cache.",
+        c.l2_bytes / (1024 * 1024),
+        c.l2_assoc
+    );
+    println!("{} byte wide, split transaction bus.", c.bus_bytes);
+    println!(
+        "\nIssue queues: {} int / {} fp / {} addr entries; active list {}.",
+        u.int_queue, u.fp_queue, u.addr_queue, u.iq_capacity
+    );
+    println!(
+        "Latencies: int mul {}, int div {}, fp add {}, fp mul {}, fp div {}, fp sqrt {}.",
+        u.lat_int_mul, u.lat_int_div, u.lat_fp_add, u.lat_fp_mul, u.lat_fp_div, u.lat_fp_sqrt
+    );
+    println!(
+        "Cache timing: L1 hit {}, L1 miss->L2 {}, memory {} cycles.",
+        c.l1_hit_latency, c.l1_miss_latency, c.memory_latency
+    );
+}

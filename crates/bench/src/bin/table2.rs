@@ -1,0 +1,47 @@
+//! Regenerates Table 2: per benchmark, the time of the uninstrumented
+//! program (bare functional emulation, our "Program" surrogate), the
+//! slowdown of SlowSim (memoization off) and FastSim (memoization on)
+//! relative to it, and the memoization speedup (Slow/Fast) — the paper
+//! reports 4.9–11.9×.
+
+use fastsim_bench::{banner, run_func, run_sim, slowdown, RunSpec};
+use fastsim_core::Mode;
+
+fn main() {
+    let spec = RunSpec::from_args();
+    banner("Table 2: Performance of the FastSim simulator", &spec);
+    println!(
+        "{:<14} {:>10} {:>12} {:>12} {:>12}",
+        "Benchmark", "Program(s)", "SlowSim/", "FastSim/", "Slow/Fast"
+    );
+    let mut ratios = Vec::new();
+    for w in spec.workloads() {
+        let program = w.program_for_insts(spec.insts);
+        let func = run_func(&program);
+        let slow = run_sim(&program, Mode::Slow);
+        let fast = run_sim(&program, Mode::fast());
+        assert_eq!(
+            slow.result.stats.cycles, fast.result.stats.cycles,
+            "{}: memoization must not change the cycle count",
+            w.name
+        );
+        let s_slow = slowdown(slow.time, func.time);
+        let s_fast = slowdown(fast.time, func.time);
+        let ratio = slow.time.as_secs_f64() / fast.time.as_secs_f64();
+        ratios.push(ratio);
+        println!(
+            "{:<14} {:>10.3} {:>12.1} {:>12.1} {:>12.1}",
+            w.name,
+            func.time.as_secs_f64(),
+            s_slow,
+            s_fast,
+            ratio
+        );
+    }
+    let (min, max) = ratios
+        .iter()
+        .fold((f64::MAX, f64::MIN), |(lo, hi), &r| (lo.min(r), hi.max(r)));
+    println!(
+        "\nMemoization speedup (Slow/Fast): {min:.1}x – {max:.1}x  (paper: 4.9x – 11.9x)"
+    );
+}

@@ -1,0 +1,58 @@
+//! Regenerates Table 3: simulated cycles and retired instructions, plus
+//! average simulated Kinsts/sec for the SimpleScalar-like baseline, SlowSim
+//! and FastSim, and FastSim's speedup over the baseline (the paper reports
+//! 8.5–14.7×; with only direct-execution, 1.1–2.1×).
+
+use fastsim_bench::{banner, kinsts_per_sec, run_baseline, run_sim, RunSpec};
+use fastsim_core::Mode;
+
+fn main() {
+    let spec = RunSpec::from_args();
+    banner("Table 3: FastSim vs a conventional out-of-order simulator", &spec);
+    println!(
+        "{:<14} {:>12} {:>12} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "Benchmark",
+        "cycles",
+        "insts",
+        "Base K/s",
+        "Slow K/s",
+        "Fast K/s",
+        "Slow/Base",
+        "Fast/Base"
+    );
+    let (mut min_f, mut max_f) = (f64::MAX, f64::MIN);
+    let (mut min_s, mut max_s) = (f64::MAX, f64::MIN);
+    for w in spec.workloads() {
+        let program = w.program_for_insts(spec.insts);
+        let base = run_baseline(&program);
+        let slow = run_sim(&program, Mode::Slow);
+        let fast = run_sim(&program, Mode::fast());
+        let insts = fast.result.stats.retired_insts;
+        let base_k = kinsts_per_sec(base.result.1, base.time);
+        let slow_k = kinsts_per_sec(insts, slow.time);
+        let fast_k = kinsts_per_sec(insts, fast.time);
+        let f_ratio = fast_k / base_k;
+        let s_ratio = slow_k / base_k;
+        min_f = min_f.min(f_ratio);
+        max_f = max_f.max(f_ratio);
+        min_s = min_s.min(s_ratio);
+        max_s = max_s.max(s_ratio);
+        println!(
+            "{:<14} {:>12} {:>12} {:>10.0} {:>10.0} {:>10.0} {:>10.1} {:>10.1}",
+            w.name,
+            fast.result.stats.cycles,
+            insts,
+            base_k,
+            slow_k,
+            fast_k,
+            s_ratio,
+            f_ratio
+        );
+    }
+    println!(
+        "\nSlowSim / baseline:  {min_s:.1}x – {max_s:.1}x  (paper: 1.1x – 2.1x)"
+    );
+    println!(
+        "FastSim / baseline:  {min_f:.1}x – {max_f:.1}x  (paper: 8.5x – 14.7x)"
+    );
+}

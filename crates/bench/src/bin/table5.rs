@@ -1,0 +1,54 @@
+//! Regenerates Table 5: memoization measurements — p-action cache size,
+//! static configuration/action counts, dynamic actions and cycles per
+//! configuration, and replayed chain lengths.
+
+use fastsim_bench::{banner, run_sim, RunSpec};
+use fastsim_core::Mode;
+
+fn main() {
+    let spec = RunSpec::from_args();
+    banner("Table 5: measurements of memoization", &spec);
+    println!(
+        "{:<14} {:>10} {:>10} {:>11} {:>9} {:>9} {:>11} {:>12}",
+        "Benchmark",
+        "Cache(KB)",
+        "Configs",
+        "Actions",
+        "Act/Cfg",
+        "Cyc/Cfg",
+        "ChainAvg",
+        "ChainMax"
+    );
+    let mut int_apc = Vec::new();
+    let mut fp_apc = Vec::new();
+    for w in spec.workloads() {
+        let program = w.program_for_insts(spec.insts);
+        let fast = run_sim(&program, Mode::fast());
+        let s = fast.result.stats;
+        let m = fast.result.memo.expect("fast mode records memo stats");
+        let apc = s.actions_per_config();
+        if w.fp {
+            fp_apc.push(apc / s.cycles_per_config());
+        } else {
+            int_apc.push(apc / s.cycles_per_config());
+        }
+        println!(
+            "{:<14} {:>10.1} {:>10} {:>11} {:>9.2} {:>9.2} {:>11.1} {:>12}",
+            w.name,
+            m.peak_bytes as f64 / 1024.0,
+            m.static_configs,
+            m.static_actions,
+            apc,
+            s.cycles_per_config(),
+            s.avg_chain_len(),
+            s.chain_len_max
+        );
+    }
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    println!(
+        "\nActions per cycle: integer {:.2}, floating-point {:.2}",
+        avg(&int_apc),
+        avg(&fp_apc)
+    );
+    println!("(paper: 2.4 integer vs 3.9 FP — FP code keeps more units busy per cycle)");
+}

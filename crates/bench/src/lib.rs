@@ -1,0 +1,181 @@
+//! # fastsim-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the
+//! paper's evaluation (§5). One binary per artifact:
+//!
+//! | Binary     | Paper artifact |
+//! |------------|----------------|
+//! | `table1`   | Table 1 — processor model parameters |
+//! | `table2`   | Table 2 — SlowSim/FastSim slowdowns and memoization speedup |
+//! | `table3`   | Table 3 — cycles, instructions, Kinsts/sec vs the baseline |
+//! | `table4`   | Table 4 — detailed vs replayed instructions |
+//! | `table5`   | Table 5 — memoization measurements |
+//! | `figure7`  | Figure 7 — speedup vs p-action cache size (flush policy) |
+//! | `gc_study` | §4.3/§5 — garbage collection vs flush-on-full |
+//! | `make_tables` | everything above in one run |
+//!
+//! Each binary accepts `--insts N` (dynamic instructions per workload,
+//! default 2,000,000) and `--filter SUBSTR` (run matching workloads only).
+//! Run them in release mode; absolute times in debug builds are
+//! meaningless.
+//!
+//! The `benches/` directory holds Criterion micro-harnesses over the same
+//! scenarios for `cargo bench`.
+
+use fastsim_baseline::BaselineSim;
+use fastsim_core::{Mode, Policy, SimStats, Simulator};
+use fastsim_emu::FuncEmulator;
+use fastsim_isa::Program;
+use fastsim_memo::MemoStats;
+use fastsim_workloads::Workload;
+use std::rc::Rc;
+use std::time::{Duration, Instant};
+
+/// Command-line options shared by the table binaries.
+#[derive(Clone, Debug)]
+pub struct RunSpec {
+    /// Target dynamic instructions per workload.
+    pub insts: u64,
+    /// Only run workloads whose name contains this substring.
+    pub filter: Option<String>,
+}
+
+impl RunSpec {
+    /// Parses `--insts N` and `--filter S` from `std::env::args`.
+    pub fn from_args() -> RunSpec {
+        let mut spec = RunSpec { insts: 2_000_000, filter: None };
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--insts" => {
+                    spec.insts = args
+                        .next()
+                        .and_then(|v| v.replace('_', "").parse().ok())
+                        .unwrap_or_else(|| panic!("--insts needs a number"));
+                }
+                "--filter" => spec.filter = args.next(),
+                other => panic!("unknown argument `{other}` (expected --insts/--filter)"),
+            }
+        }
+        spec
+    }
+
+    /// The workloads selected by the filter.
+    pub fn workloads(&self) -> Vec<Workload> {
+        fastsim_workloads::all()
+            .into_iter()
+            .filter(|w| self.filter.as_deref().is_none_or(|f| w.name.contains(f)))
+            .collect()
+    }
+}
+
+/// Wall-clock measurement of one simulator run.
+#[derive(Clone, Debug)]
+pub struct Timed<T> {
+    /// The simulator's results.
+    pub result: T,
+    /// Host time consumed.
+    pub time: Duration,
+}
+
+/// Runs the bare functional emulator (the paper's "Program" column
+/// surrogate). Returns instruction count.
+pub fn run_func(program: &Program) -> Timed<u64> {
+    let prog = Rc::new(program.predecode().expect("program decodes"));
+    let mut emu = FuncEmulator::new(prog, program);
+    let start = Instant::now();
+    emu.run(u64::MAX);
+    let time = start.elapsed();
+    assert!(emu.halted(), "workload must halt");
+    Timed { result: emu.insts(), time }
+}
+
+/// Simulation results needed by the tables.
+#[derive(Clone, Debug)]
+pub struct SimRun {
+    /// Engine statistics.
+    pub stats: SimStats,
+    /// Memoization statistics (FastSim modes only).
+    pub memo: Option<MemoStats>,
+}
+
+/// Runs a [`Simulator`] in the given mode to completion.
+pub fn run_sim(program: &Program, mode: Mode) -> Timed<SimRun> {
+    let mut sim = Simulator::new(program, mode).expect("simulator builds");
+    let start = Instant::now();
+    sim.run_to_completion().expect("simulation completes");
+    let time = start.elapsed();
+    Timed { result: SimRun { stats: *sim.stats(), memo: sim.memo_stats().copied() }, time }
+}
+
+/// Runs the SimpleScalar-like baseline. Returns (cycles, retired).
+pub fn run_baseline(program: &Program) -> Timed<(u64, u64)> {
+    let mut sim = BaselineSim::new(program).expect("baseline builds");
+    let start = Instant::now();
+    sim.run(u64::MAX);
+    let time = start.elapsed();
+    assert!(sim.finished(), "baseline must finish");
+    Timed { result: (sim.stats().cycles, sim.stats().retired_insts), time }
+}
+
+/// Thousands of simulated instructions per host second.
+pub fn kinsts_per_sec(insts: u64, time: Duration) -> f64 {
+    insts as f64 / time.as_secs_f64() / 1e3
+}
+
+/// Slowdown of a simulator run relative to bare functional execution.
+pub fn slowdown(sim_time: Duration, func_time: Duration) -> f64 {
+    sim_time.as_secs_f64() / func_time.as_secs_f64().max(1e-9)
+}
+
+/// Prints the standard header for a regenerated artifact.
+pub fn banner(title: &str, spec: &RunSpec) {
+    println!();
+    println!("=== {title} ===");
+    println!(
+        "target insts/workload: {}{}",
+        spec.insts,
+        if cfg!(debug_assertions) {
+            "  [WARNING: debug build — times are not meaningful]"
+        } else {
+            ""
+        }
+    );
+    println!();
+}
+
+/// A FastSim run under a specific p-action cache policy.
+pub fn run_fast_with_policy(program: &Program, policy: Policy) -> Timed<SimRun> {
+    run_sim(program, Mode::Fast { policy })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_round_trip() {
+        let w = fastsim_workloads::by_name("compress").unwrap();
+        let p = w.program_for_insts(20_000);
+        let func = run_func(&p);
+        let fast = run_sim(&p, Mode::fast());
+        let slow = run_sim(&p, Mode::Slow);
+        let base = run_baseline(&p);
+        assert_eq!(fast.result.stats.cycles, slow.result.stats.cycles);
+        assert_eq!(fast.result.stats.retired_insts, func.result);
+        assert_eq!(base.result.1, func.result);
+        assert!(fast.result.memo.is_some());
+        assert!(slow.result.memo.is_none());
+        assert!(kinsts_per_sec(1000, Duration::from_secs(1)) == 1.0);
+    }
+
+    #[test]
+    fn spec_filters() {
+        let spec = RunSpec { insts: 1, filter: Some("mgrid".into()) };
+        let ws = spec.workloads();
+        assert_eq!(ws.len(), 1);
+        assert_eq!(ws[0].name, "107.mgrid");
+        let all = RunSpec { insts: 1, filter: None }.workloads();
+        assert_eq!(all.len(), 18);
+    }
+}

@@ -1,0 +1,1240 @@
+//! The simulation engine: detailed recording, fast-forward replay, and the
+//! fallback path between them.
+
+use crate::error::{BuildError, SimError};
+use crate::stats::SimStats;
+use fastsim_emu::{BranchPredictor, CtrlKind, RunOutcome, SpecEmulator, SpecError};
+use fastsim_isa::{DecodedProgram, Program};
+use fastsim_mem::{CacheConfig, CacheSim, CacheStats, PollResult};
+use fastsim_memo::{
+    ActionKind, ConfigLookup, MemoStats, NodeId, OutcomeKey, PActionCache, Policy, RetireCounts,
+};
+use fastsim_uarch::{
+    decode_config, encode_config, CycleSummary, LoadPoll, Pipeline, PipelineEnv, PipelineState,
+    RecordFeed, RecordInfo, UArchConfig,
+};
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+/// Simulation mode.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Mode {
+    /// FastSim: memoized fast-forwarding with the given p-action cache
+    /// replacement policy.
+    Fast {
+        /// Replacement policy for the p-action cache.
+        policy: Policy,
+    },
+    /// SlowSim: memoization disabled (the paper's speedup baseline).
+    Slow,
+}
+
+impl Mode {
+    /// FastSim with an unbounded p-action cache.
+    pub fn fast() -> Mode {
+        Mode::Fast { policy: Policy::Unbounded }
+    }
+}
+
+/// Progress report from [`Simulator::run`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Progress {
+    /// The program halted (simulation complete).
+    pub finished: bool,
+    /// Instructions retired so far (total).
+    pub retired_insts: u64,
+    /// Simulated cycles so far (total).
+    pub cycles: u64,
+}
+
+/// How many cycles the pipeline may go without retiring anything before
+/// the engine declares it wedged.
+const STUCK_CYCLES: u64 = 1_000_000;
+
+/// A populated p-action cache extracted from a finished [`Simulator`],
+/// reusable to *warm-start* another simulation of the same program under
+/// the same processor model ([`Simulator::take_warm_cache`] /
+/// [`Simulator::with_warm_cache`]).
+///
+/// Memoized actions are only meaningful for the exact program image and
+/// µ-architecture parameters they were recorded under, so the cache
+/// carries a fingerprint that [`Simulator::with_warm_cache`] verifies.
+/// (The *data-cache* configuration may differ: cache intervals re-enter
+/// replay as checked outcomes, so stale intervals merely fall back to
+/// detailed simulation — but the fingerprint includes it anyway, since a
+/// mismatch would defeat the purpose of warming.)
+#[derive(Clone, Debug)]
+pub struct WarmCache {
+    pcache: PActionCache,
+    fingerprint: u64,
+}
+
+impl WarmCache {
+    /// Memoization statistics of the warmed cache.
+    pub fn stats(&self) -> &MemoStats {
+        self.pcache.stats()
+    }
+}
+
+/// FNV-1a fingerprint of everything the recorded actions depend on.
+fn fingerprint(program: &Program, uarch: &UArchConfig, cache: &CacheConfig) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    eat(program.base as u64);
+    eat(program.entry as u64);
+    for &w in &program.words {
+        eat(w as u64);
+    }
+    for (addr, bytes) in &program.data {
+        eat(*addr as u64);
+        for &b in bytes {
+            eat(b as u64);
+        }
+    }
+    for v in [
+        uarch.fetch_width,
+        uarch.decode_width,
+        uarch.retire_width,
+        uarch.iq_capacity as u32,
+        uarch.int_queue as u32,
+        uarch.fp_queue as u32,
+        uarch.addr_queue as u32,
+        uarch.int_alus,
+        uarch.fp_units,
+        uarch.agen_units,
+        uarch.cache_ports,
+        uarch.phys_int_regs,
+        uarch.phys_fp_regs,
+        uarch.max_branches,
+        uarch.lat_int_mul,
+        uarch.lat_int_div,
+        uarch.lat_fp_add,
+        uarch.lat_fp_mul,
+        uarch.lat_fp_div,
+        uarch.lat_fp_sqrt,
+        cache.l1_bytes,
+        cache.l1_assoc,
+        cache.l1_line,
+        cache.l1_hit_latency,
+        cache.l1_miss_latency,
+        cache.l1_mshrs,
+        cache.l2_bytes,
+        cache.l2_assoc,
+        cache.l2_line,
+        cache.l2_mshrs,
+        cache.memory_latency,
+        cache.bus_bytes,
+    ] {
+        eat(v as u64);
+    }
+    eat(match uarch.issue_model {
+        fastsim_uarch::IssueModel::OutOfOrder => 0,
+        fastsim_uarch::IssueModel::InOrder => 1,
+    });
+    h
+}
+
+/// A buffered environment response, kept from the moment fast-forwarding
+/// crosses a configuration so that, on an unseen outcome, the detailed
+/// simulator can re-run the configuration's cycles *without repeating side
+/// effects*.
+#[derive(Clone, Copy, Debug)]
+enum Buffered {
+    Feed(RecordFeed),
+    Interval(u32),
+    Poll(LoadPoll),
+    Store,
+    Cancel,
+    Rollback(u32),
+}
+
+/// Fallback/resume bookkeeping.
+#[derive(Debug, Default)]
+struct Resume {
+    /// Cycles of the anchor configuration's group already accounted by
+    /// replay; the detailed re-run suppresses counters for this many
+    /// cycles.
+    cycles: u32,
+    /// Retires already applied by replay (suppressed during re-run;
+    /// drained for verification).
+    pops: RetireCounts,
+    /// Environment responses observed since the anchor configuration.
+    responses: VecDeque<Buffered>,
+}
+
+/// State shared between the engine loop and the pipeline's environment.
+struct Shared {
+    emu: SpecEmulator,
+    cache: CacheSim,
+    pcache: Option<PActionCache>,
+    stats: SimStats,
+    /// cQ position of the next record a `FetchRecord` will consume. The
+    /// engine keeps direct execution *ahead* of µ-architecture fetch
+    /// (paper §3.1: the simulator "advances ... up to the fetch of the
+    /// current branch", i.e. the program runs first): after every record
+    /// consumption or rollback it eagerly runs the emulator one more
+    /// stretch, so every instruction the pipeline fetches has already
+    /// executed functionally and its lQ/sQ records exist.
+    next_fetch_record: usize,
+    /// Cycles/retires since the last recorded action group boundary.
+    pending_cycles: u32,
+    pending_retired: RetireCounts,
+    /// The current cycle's `Advance` action has been recorded (or is
+    /// covered by an existing one during resume).
+    advance_flushed: bool,
+    /// Any environment interaction occurred this cycle.
+    interacted: bool,
+    /// The current cycle is a suppressed resume cycle.
+    in_resume_cycle: bool,
+    resume: Resume,
+    fatal: Option<SimError>,
+}
+
+impl Shared {
+    fn recording_live(&self) -> bool {
+        self.pcache.is_some() && self.resume.responses.is_empty()
+    }
+
+    fn pop_buffered(&mut self) -> Option<Buffered> {
+        self.resume.responses.pop_front()
+    }
+
+    fn maybe_flush_advance(&mut self) {
+        if self.advance_flushed {
+            return;
+        }
+        self.advance_flushed = true;
+        if let Some(pc) = &mut self.pcache {
+            pc.record_action(ActionKind::Advance {
+                cycles: self.pending_cycles,
+                retired: self.pending_retired,
+            });
+            self.stats.dynamic_actions += 1;
+        }
+        self.pending_cycles = 0;
+        self.pending_retired = RetireCounts::default();
+    }
+
+    fn record_simple(&mut self, kind: ActionKind) {
+        if !self.recording_live() {
+            return;
+        }
+        self.maybe_flush_advance();
+        if let Some(pc) = &mut self.pcache {
+            pc.record_action(kind);
+            self.stats.dynamic_actions += 1;
+        }
+    }
+
+    fn record_with_outcome(&mut self, kind: ActionKind, key: OutcomeKey) {
+        if !self.recording_live() {
+            return;
+        }
+        self.maybe_flush_advance();
+        if let Some(pc) = &mut self.pcache {
+            let id = pc.record_action(kind);
+            pc.set_outcome(id, key);
+            self.stats.dynamic_actions += 1;
+        }
+    }
+
+    /// Applies the queue pops and counter updates of retirement.
+    fn apply_retire(&mut self, r: RetireCounts, replayed: bool) {
+        for _ in 0..r.loads {
+            self.emu.pop_load().expect("retired load has an lQ entry");
+        }
+        for _ in 0..r.stores {
+            self.emu.pop_store().expect("retired store has an sQ entry");
+        }
+        for _ in 0..r.ctrls {
+            self.emu.pop_ctrl().expect("retired control has a cQ entry");
+        }
+        self.next_fetch_record -= r.ctrls as usize;
+        self.stats.retired_insts += r.insts as u64;
+        self.stats.retired_loads += r.loads as u64;
+        self.stats.retired_stores += r.stores as u64;
+        self.stats.retired_branches += r.branches as u64;
+        if replayed {
+            self.stats.replayed_insts += r.insts as u64;
+        } else {
+            self.stats.detailed_insts += r.insts as u64;
+        }
+    }
+
+    /// Runs direct execution until the cQ holds at least one record beyond
+    /// [`Shared::next_fetch_record`] (or the current path halts/blocks).
+    /// This is what keeps the program execution ahead of the pipeline.
+    fn ensure_record_ahead(&mut self) {
+        while self.emu.cq_len() <= self.next_fetch_record {
+            match self.emu.run_to_next_control() {
+                Ok(RunOutcome::Control(_)) => {}
+                Ok(RunOutcome::Halted) => break,
+                Ok(RunOutcome::Blocked) => {
+                    if self.emu.speculation_depth() == 0 {
+                        self.fatal = Some(SimError::WildPath);
+                    }
+                    break;
+                }
+                Err(SpecError::Diverged { pc }) => {
+                    self.fatal = Some(SimError::Diverged { pc });
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Consumes the next control record for the pipeline (the semantics of
+    /// a `FetchRecord` action, shared by detailed recording and replay):
+    /// serves the eagerly produced record and runs direct execution one
+    /// stretch further.
+    fn consume_record_feed(&mut self) -> RecordFeed {
+        let feed = match self.emu.cq_get(self.next_fetch_record) {
+            Some(rec) => RecordFeed::Record(RecordInfo {
+                pc: rec.pc,
+                is_indirect: rec.kind == CtrlKind::IndirectJump,
+                taken: rec.taken,
+                mispredicted: rec.mispredicted,
+                target: rec.target,
+                next_fetch: rec.next_fetch,
+            }),
+            // The eager run could not reach another control transfer.
+            // Consistent engines never ask in this state (fetch stalls at
+            // the halt instruction or the unfetchable address instead).
+            None if self.emu.finally_halted() => RecordFeed::Halted,
+            None => RecordFeed::Blocked,
+        };
+        if matches!(feed, RecordFeed::Record(_)) {
+            self.next_fetch_record += 1;
+            self.ensure_record_ahead();
+        }
+        feed
+    }
+
+    fn do_issue_load(&mut self, lq_index: usize) -> u32 {
+        let rec = *self.emu.lq_get(lq_index).expect("issued load has an lQ entry");
+        self.cache.issue_load(rec.seq, rec.addr, rec.width, self.stats.cycles)
+    }
+
+    fn do_poll_load(&mut self, lq_index: usize) -> LoadPoll {
+        let rec = *self.emu.lq_get(lq_index).expect("polled load has an lQ entry");
+        match self.cache.poll_load(rec.seq, self.stats.cycles) {
+            PollResult::Ready => LoadPoll::Ready,
+            PollResult::Wait(w) => LoadPoll::Wait(w),
+        }
+    }
+
+    fn do_issue_store(&mut self, sq_index: usize) {
+        let rec = *self.emu.sq_get(sq_index).expect("issued store has an sQ entry");
+        self.cache.issue_store(rec.addr, rec.width, self.stats.cycles);
+    }
+
+    fn do_cancel_load(&mut self, lq_index: usize) {
+        let rec = *self.emu.lq_get(lq_index).expect("cancelled load has an lQ entry");
+        self.cache.cancel_load(rec.seq);
+    }
+
+    fn do_rollback(&mut self, ctrl_index: usize) -> u32 {
+        let seq = self.emu.cq_get(ctrl_index).expect("rollback target has a cQ entry").seq;
+        let redirect = self.emu.rollback(seq);
+        // Wrong-path records (and the eagerly produced one, if any) are
+        // gone; all remaining records are in flight. Run the corrected
+        // path's next stretch so fetch finds executed instructions.
+        self.next_fetch_record = self.emu.cq_len();
+        self.ensure_record_ahead();
+        redirect
+    }
+}
+
+fn outcome_of_feed(feed: &RecordFeed) -> OutcomeKey {
+    match feed {
+        RecordFeed::Record(r) if r.is_indirect => {
+            OutcomeKey::Indirect { target: r.target, mispredicted: r.mispredicted }
+        }
+        RecordFeed::Record(r) => {
+            OutcomeKey::Branch { taken: r.taken, mispredicted: r.mispredicted }
+        }
+        RecordFeed::Halted => OutcomeKey::Halted,
+        RecordFeed::Blocked => OutcomeKey::Blocked,
+    }
+}
+
+impl PipelineEnv for Shared {
+    fn on_retire(&mut self, s: CycleSummary) {
+        let counts = RetireCounts {
+            insts: s.retired_insts,
+            loads: s.retired_loads,
+            stores: s.retired_stores,
+            ctrls: s.retired_ctrls,
+            branches: s.retired_branches,
+        };
+        if self.in_resume_cycle {
+            // Already applied when the Advance action was replayed; just
+            // verify the re-run retires what the recording did.
+            debug_assert!(
+                self.resume.pops.insts >= counts.insts,
+                "resume retire desync"
+            );
+            self.resume.pops.insts -= counts.insts;
+            return;
+        }
+        self.apply_retire(counts, false);
+        self.pending_retired.add(counts);
+    }
+
+    fn fetch_record(&mut self, ctrl_index: usize) -> RecordFeed {
+        self.interacted = true;
+        if let Some(b) = self.pop_buffered() {
+            return match b {
+                Buffered::Feed(f) => f,
+                other => unreachable!("resume desync: expected record feed, got {other:?}"),
+            };
+        }
+        debug_assert_eq!(ctrl_index, self.next_fetch_record, "record request out of order");
+        let feed = self.consume_record_feed();
+        self.record_with_outcome(ActionKind::FetchRecord, outcome_of_feed(&feed));
+        feed
+    }
+
+    fn issue_load(&mut self, lq_index: usize) -> u32 {
+        self.interacted = true;
+        if let Some(b) = self.pop_buffered() {
+            return match b {
+                Buffered::Interval(v) => v,
+                other => unreachable!("resume desync: expected interval, got {other:?}"),
+            };
+        }
+        let interval = self.do_issue_load(lq_index);
+        self.record_with_outcome(
+            ActionKind::IssueLoad { lq_index: lq_index as u32 },
+            OutcomeKey::Interval(interval),
+        );
+        interval
+    }
+
+    fn poll_load(&mut self, lq_index: usize) -> LoadPoll {
+        self.interacted = true;
+        if let Some(b) = self.pop_buffered() {
+            return match b {
+                Buffered::Poll(p) => p,
+                other => unreachable!("resume desync: expected poll, got {other:?}"),
+            };
+        }
+        let poll = self.do_poll_load(lq_index);
+        let key = match poll {
+            LoadPoll::Ready => OutcomeKey::PollReady,
+            LoadPoll::Wait(w) => OutcomeKey::PollWait(w),
+        };
+        self.record_with_outcome(ActionKind::PollLoad { lq_index: lq_index as u32 }, key);
+        poll
+    }
+
+    fn issue_store(&mut self, sq_index: usize) {
+        self.interacted = true;
+        if let Some(b) = self.pop_buffered() {
+            match b {
+                Buffered::Store => return,
+                other => unreachable!("resume desync: expected store, got {other:?}"),
+            }
+        }
+        self.do_issue_store(sq_index);
+        self.record_simple(ActionKind::IssueStore { sq_index: sq_index as u32 });
+    }
+
+    fn cancel_load(&mut self, lq_index: usize) {
+        self.interacted = true;
+        if let Some(b) = self.pop_buffered() {
+            match b {
+                Buffered::Cancel => return,
+                other => unreachable!("resume desync: expected cancel, got {other:?}"),
+            }
+        }
+        self.do_cancel_load(lq_index);
+        self.record_simple(ActionKind::CancelLoad { lq_index: lq_index as u32 });
+    }
+
+    fn rollback(&mut self, ctrl_index: usize) -> u32 {
+        self.interacted = true;
+        if let Some(b) = self.pop_buffered() {
+            return match b {
+                Buffered::Rollback(r) => r,
+                other => unreachable!("resume desync: expected rollback, got {other:?}"),
+            };
+        }
+        let redirect = self.do_rollback(ctrl_index);
+        self.record_simple(ActionKind::Rollback { ctrl_index: ctrl_index as u32 });
+        redirect
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum EngineMode {
+    Detailed,
+    Replay { cursor: NodeId },
+    Finished,
+}
+
+/// The complete FastSim simulator (Figure 2): speculative
+/// direct-execution, µ-architecture simulation, non-blocking cache
+/// simulation and (in [`Mode::Fast`]) memoized fast-forwarding.
+///
+/// # Example
+///
+/// ```
+/// use fastsim_isa::{Asm, Reg};
+/// use fastsim_core::{Mode, Simulator};
+///
+/// let mut a = Asm::new();
+/// a.addi(Reg::R1, Reg::R0, 100);
+/// a.label("loop");
+/// a.subi(Reg::R1, Reg::R1, 1);
+/// a.bne(Reg::R1, Reg::R0, "loop");
+/// a.out(Reg::R1);
+/// a.halt();
+/// let image = a.assemble()?;
+///
+/// let mut fast = Simulator::new(&image, Mode::fast())?;
+/// let mut slow = Simulator::new(&image, Mode::Slow)?;
+/// fast.run_to_completion()?;
+/// slow.run_to_completion()?;
+/// // Memoization changes nothing about the simulation results.
+/// assert_eq!(fast.stats().cycles, slow.stats().cycles);
+/// assert_eq!(fast.output(), slow.output());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct Simulator {
+    prog: Rc<DecodedProgram>,
+    pipeline: Pipeline,
+    shared: Shared,
+    mode: EngineMode,
+    /// Encoded bytes of the last configuration crossed (fallback anchor).
+    anchor: Vec<u8>,
+    /// Length of the current fast-forward chain.
+    chain_len: u64,
+    /// Last cycle at which an instruction retired (wedge detection).
+    last_progress: u64,
+    /// Fingerprint of (program, configs) for warm-cache reuse.
+    fingerprint_of_run: u64,
+    /// Per-cycle observer for pipeline tracing (detailed cycles only).
+    observer: Option<CycleObserver>,
+}
+
+/// Callback invoked after every *detailed* simulated cycle with the cycle
+/// number, the pipeline state and the cycle's retirement summary. See
+/// [`Simulator::set_cycle_observer`].
+pub type CycleObserver = Box<dyn FnMut(u64, &PipelineState, &CycleSummary)>;
+
+impl Simulator {
+    /// Creates a simulator with the paper's Table 1 parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] if the program does not decode.
+    pub fn new(program: &Program, mode: Mode) -> Result<Simulator, BuildError> {
+        Simulator::with_configs(program, mode, UArchConfig::table1(), CacheConfig::table1())
+    }
+
+    /// Creates a simulator with explicit µ-architecture and cache
+    /// parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] if the program does not decode or a
+    /// configuration is invalid.
+    pub fn with_configs(
+        program: &Program,
+        mode: Mode,
+        uarch: UArchConfig,
+        cache: CacheConfig,
+    ) -> Result<Simulator, BuildError> {
+        Simulator::with_predictor(program, mode, uarch, cache, BranchPredictor::new())
+    }
+
+    /// Creates a simulator with an explicitly sized branch predictor (for
+    /// ablation studies; see
+    /// [`BranchPredictor::with_entries`](fastsim_emu::BranchPredictor::with_entries)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] if the program does not decode or a
+    /// configuration is invalid.
+    pub fn with_predictor(
+        program: &Program,
+        mode: Mode,
+        uarch: UArchConfig,
+        cache: CacheConfig,
+        predictor: BranchPredictor,
+    ) -> Result<Simulator, BuildError> {
+        uarch.validate().map_err(BuildError::UArchConfig)?;
+        cache.validate().map_err(BuildError::CacheConfig)?;
+        let prog = Rc::new(program.predecode()?);
+        let pcache = match mode {
+            Mode::Fast { policy } => Some(PActionCache::new(policy)),
+            Mode::Slow => None,
+        };
+        let mut sim = Simulator {
+            pipeline: Pipeline::new(uarch, prog.clone()),
+            shared: Shared {
+                emu: SpecEmulator::with_predictor(prog.clone(), program, predictor),
+                cache: CacheSim::new(cache),
+                pcache,
+                stats: SimStats::default(),
+                next_fetch_record: 0,
+                pending_cycles: 0,
+                pending_retired: RetireCounts::default(),
+                advance_flushed: false,
+                interacted: false,
+                in_resume_cycle: false,
+                resume: Resume::default(),
+                fatal: None,
+            },
+            prog,
+            mode: EngineMode::Detailed,
+            anchor: Vec::new(),
+            chain_len: 0,
+            last_progress: 0,
+            fingerprint_of_run: fingerprint(program, &uarch, &cache),
+            observer: None,
+        };
+        // Direct execution leads: run the first stretch so the pipeline's
+        // initial fetches find functionally executed instructions.
+        sim.shared.ensure_record_ahead();
+        Ok(sim)
+    }
+
+    /// Creates a FastSim simulator pre-populated with the memoization
+    /// state of a previous run of the same program — the second run
+    /// fast-forwards almost from the first cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] if the program does not decode or if `warm`
+    /// was recorded for a different program or processor model.
+    pub fn with_warm_cache(
+        program: &Program,
+        warm: WarmCache,
+        uarch: UArchConfig,
+        cache: CacheConfig,
+    ) -> Result<Simulator, BuildError> {
+        if warm.fingerprint != fingerprint(program, &uarch, &cache) {
+            return Err(BuildError::WarmCacheMismatch);
+        }
+        let policy = warm.pcache.policy();
+        let mut sim =
+            Simulator::with_configs(program, Mode::Fast { policy }, uarch, cache)?;
+        sim.shared.pcache = Some(warm.pcache);
+        Ok(sim)
+    }
+
+    /// Extracts the p-action cache of a finished FastSim run for reuse
+    /// with [`Simulator::with_warm_cache`]. Returns `None` in
+    /// [`Mode::Slow`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation has not [`finished`](Simulator::finished)
+    /// — mid-run the cache contains a dangling recording attach point.
+    pub fn take_warm_cache(mut self) -> Option<WarmCache> {
+        assert!(self.finished(), "warm cache extraction requires a finished run");
+        let pcache = self.shared.pcache.take()?;
+        Some(WarmCache { pcache, fingerprint: self.fingerprint_of_run })
+    }
+
+    /// Installs (or clears) a per-cycle observer for pipeline tracing.
+    ///
+    /// The observer fires after every cycle simulated by the *detailed*
+    /// µ-architecture simulator — in [`Mode::Slow`] that is every cycle of
+    /// the program; in [`Mode::Fast`] fast-forwarded stretches are not
+    /// observed (there is no pipeline state during replay; that is the
+    /// point of memoization). Use [`Mode::Slow`] for complete traces.
+    pub fn set_cycle_observer(&mut self, observer: Option<CycleObserver>) {
+        self.observer = observer;
+    }
+
+    /// Whole-simulation statistics.
+    pub fn stats(&self) -> &SimStats {
+        &self.shared.stats
+    }
+
+    /// Cache-hierarchy statistics.
+    pub fn cache_stats(&self) -> &CacheStats {
+        self.shared.cache.stats()
+    }
+
+    /// Memoization statistics ([`Mode::Fast`] only).
+    pub fn memo_stats(&self) -> Option<&MemoStats> {
+        self.shared.pcache.as_ref().map(|p| p.stats())
+    }
+
+    /// Branch-predictor statistics.
+    pub fn predictor(&self) -> &fastsim_emu::BranchPredictor {
+        self.shared.emu.predictor()
+    }
+
+    /// Functional-engine statistics (wrong-path instructions, rollbacks).
+    pub fn emu_stats(&self) -> fastsim_emu::SpecStats {
+        self.shared.emu.stats()
+    }
+
+    /// Values the program wrote with `out` (committed path only).
+    pub fn output(&self) -> &[u32] {
+        self.shared.emu.output()
+    }
+
+    /// Whether the program has halted.
+    pub fn finished(&self) -> bool {
+        self.mode == EngineMode::Finished
+    }
+
+    /// Runs the simulation to completion.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] for diverging or wild programs.
+    pub fn run_to_completion(&mut self) -> Result<(), SimError> {
+        self.run(u64::MAX).map(|_| ())
+    }
+
+    /// Runs until the program halts or (roughly) `max_insts` further
+    /// instructions have retired. Can be called repeatedly to continue.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] for diverging/wild programs or a wedged
+    /// pipeline.
+    pub fn run(&mut self, max_insts: u64) -> Result<Progress, SimError> {
+        let budget_end = self.shared.stats.retired_insts.saturating_add(max_insts);
+        loop {
+            let done = match self.mode {
+                EngineMode::Finished => true,
+                EngineMode::Detailed => self.detailed_until(budget_end)?,
+                EngineMode::Replay { cursor } => self.replay_until(cursor, budget_end)?,
+            };
+            let s = &self.shared.stats;
+            if done {
+                return Ok(Progress {
+                    finished: true,
+                    retired_insts: s.retired_insts,
+                    cycles: s.cycles,
+                });
+            }
+            if s.retired_insts >= budget_end {
+                return Ok(Progress {
+                    finished: false,
+                    retired_insts: s.retired_insts,
+                    cycles: s.cycles,
+                });
+            }
+        }
+    }
+
+    /// Runs detailed cycles until the program halts (true), the budget is
+    /// reached, or a configuration hit switches to replay (false).
+    fn detailed_until(&mut self, budget_end: u64) -> Result<bool, SimError> {
+        loop {
+            let resuming = self.shared.resume.cycles > 0;
+            if resuming {
+                self.shared.resume.cycles -= 1;
+            } else {
+                self.shared.stats.cycles += 1;
+                self.shared.stats.detailed_cycles += 1;
+                self.shared.pending_cycles += 1;
+            }
+            self.shared.in_resume_cycle = resuming;
+            self.shared.advance_flushed = resuming;
+            self.shared.interacted = false;
+
+            let summary = self.pipeline.step_cycle(&mut self.shared);
+
+            if let Some(e) = self.shared.fatal.take() {
+                return Err(e);
+            }
+            if let Some(obs) = &mut self.observer {
+                if !resuming {
+                    obs(self.shared.stats.cycles, self.pipeline.state(), &summary);
+                }
+            }
+            if summary.retired_insts > 0 {
+                self.last_progress = self.shared.stats.cycles;
+            } else if self.shared.stats.cycles - self.last_progress > STUCK_CYCLES {
+                return Err(SimError::Stuck { cycle: self.shared.stats.cycles });
+            }
+            if summary.halted {
+                debug_assert!(!resuming, "halt cannot be new behaviour in a resume cycle");
+                if self.shared.recording_live() {
+                    self.shared.maybe_flush_advance();
+                    self.shared.record_simple(ActionKind::Finish);
+                }
+                self.mode = EngineMode::Finished;
+                return Ok(true);
+            }
+            if self.shared.interacted && self.shared.pcache.is_some() {
+                let bytes = encode_config(self.pipeline.state(), &self.prog);
+                // `pcache` stays Some for the life of a FastSim simulator.
+                let lookup = match &mut self.shared.pcache {
+                    Some(pc) => pc.register_config(&bytes),
+                    None => unreachable!("checked just above"),
+                };
+                match lookup {
+                    ConfigLookup::Hit(node) => {
+                        self.chain_len = 0;
+                        self.mode = EngineMode::Replay { cursor: node };
+                        return Ok(false);
+                    }
+                    ConfigLookup::Miss => {
+                        self.shared.stats.config_visits += 1;
+                    }
+                }
+            }
+            if self.shared.stats.retired_insts >= budget_end {
+                return Ok(false);
+            }
+        }
+    }
+
+    /// Fast-forwards along the action chain from `cursor` until the
+    /// program finishes (true), the budget is reached, or an unseen
+    /// outcome falls back to detailed simulation (false).
+    fn replay_until(&mut self, mut cursor: NodeId, budget_end: u64) -> Result<bool, SimError> {
+        loop {
+            // Crossing a configuration: new fallback anchor.
+            if let Some(cfg) = self
+                .shared
+                .pcache
+                .as_ref()
+                .expect("replay requires a p-action cache")
+                .config_at(cursor)
+            {
+                self.anchor.clear();
+                self.anchor.extend_from_slice(cfg);
+                self.shared.resume.cycles = 0;
+                self.shared.resume.pops = RetireCounts::default();
+                self.shared.resume.responses.clear();
+                self.shared.stats.config_visits += 1;
+            }
+            let kind = self.shared.pcache.as_ref().expect("replay cache").kind(cursor);
+            self.shared.stats.dynamic_actions += 1;
+            self.shared.stats.replayed_actions += 1;
+            self.chain_len += 1;
+            match kind {
+                ActionKind::Advance { cycles, retired } => {
+                    self.shared.stats.cycles += cycles as u64;
+                    self.shared.stats.replayed_cycles += cycles as u64;
+                    self.shared.apply_retire(retired, true);
+                    self.shared.resume.cycles += cycles;
+                    self.shared.resume.pops.add(retired);
+                    if retired.insts > 0 {
+                        self.last_progress = self.shared.stats.cycles;
+                    }
+                    match self.shared.pcache.as_mut().expect("replay cache").advance(cursor) {
+                        Some(n) => cursor = n,
+                        None => return self.fallback(cursor, None).map(|()| false),
+                    }
+                    if self.shared.stats.retired_insts >= budget_end {
+                        self.mode = EngineMode::Replay { cursor };
+                        return Ok(false);
+                    }
+                }
+                ActionKind::FetchRecord => {
+                    let feed = self.shared.consume_record_feed();
+                    if let Some(e) = self.shared.fatal.take() {
+                        return Err(e);
+                    }
+                    self.shared.resume.responses.push_back(Buffered::Feed(feed));
+                    let key = outcome_of_feed(&feed);
+                    cursor = match self.branch(cursor, key) {
+                        Some(n) => n,
+                        None => return self.fallback(cursor, Some(key)).map(|()| false),
+                    };
+                }
+                ActionKind::IssueLoad { lq_index } => {
+                    let interval = self.shared.do_issue_load(lq_index as usize);
+                    self.shared.resume.responses.push_back(Buffered::Interval(interval));
+                    let key = OutcomeKey::Interval(interval);
+                    cursor = match self.branch(cursor, key) {
+                        Some(n) => n,
+                        None => return self.fallback(cursor, Some(key)).map(|()| false),
+                    };
+                }
+                ActionKind::PollLoad { lq_index } => {
+                    let poll = self.shared.do_poll_load(lq_index as usize);
+                    self.shared.resume.responses.push_back(Buffered::Poll(poll));
+                    let key = match poll {
+                        LoadPoll::Ready => OutcomeKey::PollReady,
+                        LoadPoll::Wait(w) => OutcomeKey::PollWait(w),
+                    };
+                    cursor = match self.branch(cursor, key) {
+                        Some(n) => n,
+                        None => return self.fallback(cursor, Some(key)).map(|()| false),
+                    };
+                }
+                ActionKind::IssueStore { sq_index } => {
+                    self.shared.do_issue_store(sq_index as usize);
+                    self.shared.resume.responses.push_back(Buffered::Store);
+                    match self.shared.pcache.as_mut().expect("replay cache").advance(cursor) {
+                        Some(n) => cursor = n,
+                        None => return self.fallback(cursor, None).map(|()| false),
+                    }
+                }
+                ActionKind::CancelLoad { lq_index } => {
+                    self.shared.do_cancel_load(lq_index as usize);
+                    self.shared.resume.responses.push_back(Buffered::Cancel);
+                    match self.shared.pcache.as_mut().expect("replay cache").advance(cursor) {
+                        Some(n) => cursor = n,
+                        None => return self.fallback(cursor, None).map(|()| false),
+                    }
+                }
+                ActionKind::Rollback { ctrl_index } => {
+                    let redirect = self.shared.do_rollback(ctrl_index as usize);
+                    self.shared.resume.responses.push_back(Buffered::Rollback(redirect));
+                    match self.shared.pcache.as_mut().expect("replay cache").advance(cursor) {
+                        Some(n) => cursor = n,
+                        None => return self.fallback(cursor, None).map(|()| false),
+                    }
+                }
+                ActionKind::Finish => {
+                    self.close_chain();
+                    self.mode = EngineMode::Finished;
+                    return Ok(true);
+                }
+            }
+        }
+    }
+
+    fn branch(&mut self, cursor: NodeId, key: OutcomeKey) -> Option<NodeId> {
+        self.shared.pcache.as_mut().expect("replay cache").branch_to(cursor, key)
+    }
+
+    fn close_chain(&mut self) {
+        self.shared.stats.chains += 1;
+        self.shared.stats.chain_len_sum += self.chain_len;
+        self.shared.stats.chain_len_max = self.shared.stats.chain_len_max.max(self.chain_len);
+        self.chain_len = 0;
+    }
+
+    /// An unseen outcome (or a collected link) ended fast-forwarding:
+    /// resume detailed simulation from the anchor configuration, re-running
+    /// its cycles with the buffered responses, and record the new branch of
+    /// the action chain from the divergence point.
+    fn fallback(&mut self, cursor: NodeId, key: Option<OutcomeKey>) -> Result<(), SimError> {
+        self.close_chain();
+        let pc = self.shared.pcache.as_mut().expect("replay cache");
+        pc.resume_recording_at(cursor, key);
+        let state = decode_config(&self.anchor, &self.prog)
+            .map_err(|e| SimError::ConfigCorrupt(e.to_string()))?;
+        self.pipeline.set_state(state);
+        self.mode = EngineMode::Detailed;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastsim_isa::{Asm, Reg};
+
+    fn loop_program(n: i32) -> Program {
+        let mut a = Asm::new();
+        a.addi(Reg::R1, Reg::R0, n);
+        a.addi(Reg::R2, Reg::R0, 0);
+        a.label("loop");
+        a.add(Reg::R2, Reg::R2, Reg::R1);
+        a.subi(Reg::R1, Reg::R1, 1);
+        a.bne(Reg::R1, Reg::R0, "loop");
+        a.out(Reg::R2);
+        a.halt();
+        a.assemble().unwrap()
+    }
+
+    #[test]
+    fn fast_and_slow_agree_on_simple_loop() {
+        let image = loop_program(50);
+        let mut fast = Simulator::new(&image, Mode::fast()).unwrap();
+        let mut slow = Simulator::new(&image, Mode::Slow).unwrap();
+        fast.run_to_completion().unwrap();
+        slow.run_to_completion().unwrap();
+        assert!(fast.finished() && slow.finished());
+        assert_eq!(fast.stats().cycles, slow.stats().cycles, "cycle-exact");
+        assert_eq!(fast.stats().retired_insts, slow.stats().retired_insts);
+        assert_eq!(fast.stats().retired_loads, slow.stats().retired_loads);
+        assert_eq!(fast.stats().retired_branches, slow.stats().retired_branches);
+        assert_eq!(fast.output(), slow.output());
+        assert_eq!(fast.cache_stats(), slow.cache_stats());
+        assert_eq!(fast.output(), &[50 * 51 / 2]);
+    }
+
+    #[test]
+    fn fast_replays_most_instructions() {
+        let image = loop_program(2000);
+        let mut fast = Simulator::new(&image, Mode::fast()).unwrap();
+        fast.run_to_completion().unwrap();
+        let s = fast.stats();
+        assert!(s.replayed_insts > s.detailed_insts, "{s:?}");
+        assert!(s.detailed_fraction() < 0.2, "detailed fraction {}", s.detailed_fraction());
+        assert!(s.config_visits > 0);
+        assert!(s.chain_len_max >= 1);
+    }
+
+    #[test]
+    fn run_budget_pauses_and_resumes() {
+        let image = loop_program(5000);
+        let mut sim = Simulator::new(&image, Mode::fast()).unwrap();
+        let p1 = sim.run(1000).unwrap();
+        assert!(!p1.finished);
+        assert!(p1.retired_insts >= 1000);
+        let p2 = sim.run(u64::MAX).unwrap();
+        assert!(p2.finished);
+        // A separate uninterrupted run agrees exactly.
+        let mut whole = Simulator::new(&image, Mode::fast()).unwrap();
+        let pw = whole.run(u64::MAX).unwrap();
+        assert_eq!(pw.cycles, p2.cycles);
+        assert_eq!(pw.retired_insts, p2.retired_insts);
+    }
+
+    #[test]
+    fn divergent_program_reports_error() {
+        let mut a = Asm::new();
+        a.label("spin");
+        a.j("spin");
+        a.halt();
+        let image = a.assemble().unwrap();
+        let mut sim = Simulator::new(&image, Mode::fast()).unwrap();
+        // Direct execution runs ahead of the pipeline and exhausts its
+        // fuel without ever reaching a conditional branch or indirect
+        // jump: the engine reports divergence instead of spinning forever.
+        match sim.run(10_000) {
+            Err(SimError::Diverged { .. }) => {}
+            other => panic!("expected Diverged, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wild_jump_on_committed_path_is_an_error() {
+        let mut a = Asm::new();
+        a.li(Reg::R1, 0x0900_0000);
+        a.addi(Reg::R2, Reg::R0, 1);
+        a.label("x");
+        a.subi(Reg::R2, Reg::R2, 1);
+        a.bne(Reg::R2, Reg::R0, "x"); // gives the engine a record request
+        a.jr(Reg::R1); // wild jump, committed path
+        a.halt();
+        let image = a.assemble().unwrap();
+        let mut sim = Simulator::new(&image, Mode::fast()).unwrap();
+        match sim.run(1_000_000) {
+            Err(SimError::WildPath) => {}
+            other => panic!("expected WildPath, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mispredicted_branches_roll_back_and_still_agree() {
+        // Data-dependent branch pattern that defeats the 2-bit predictor.
+        let mut a = Asm::new();
+        a.addi(Reg::R1, Reg::R0, 200); // i = 200
+        a.addi(Reg::R3, Reg::R0, 0);
+        a.label("loop");
+        a.andi(Reg::R4, Reg::R1, 1); // i & 1
+        a.beq(Reg::R4, Reg::R0, "even");
+        a.addi(Reg::R3, Reg::R3, 7); // odd arm
+        a.j("join");
+        a.label("even");
+        a.addi(Reg::R3, Reg::R3, 1); // even arm
+        a.label("join");
+        a.subi(Reg::R1, Reg::R1, 1);
+        a.bne(Reg::R1, Reg::R0, "loop");
+        a.out(Reg::R3);
+        a.halt();
+        let image = a.assemble().unwrap();
+        let mut fast = Simulator::new(&image, Mode::fast()).unwrap();
+        let mut slow = Simulator::new(&image, Mode::Slow).unwrap();
+        fast.run_to_completion().unwrap();
+        slow.run_to_completion().unwrap();
+        assert_eq!(fast.stats().cycles, slow.stats().cycles);
+        assert_eq!(fast.output(), slow.output());
+        assert_eq!(fast.output(), &[100 * 7 + 100]);
+        assert!(fast.emu_stats().rollbacks > 0, "pattern must mispredict");
+        assert_eq!(fast.emu_stats().rollbacks, slow.emu_stats().rollbacks);
+    }
+
+    #[test]
+    fn memory_traffic_agrees_between_modes() {
+        // Strided stores and loads exercising the cache hierarchy.
+        let mut a = Asm::new();
+        a.li(Reg::R1, 0x0010_0000);
+        a.addi(Reg::R2, Reg::R0, 300);
+        a.label("wr");
+        a.sw(Reg::R2, Reg::R1, 0);
+        a.addi(Reg::R1, Reg::R1, 64);
+        a.subi(Reg::R2, Reg::R2, 1);
+        a.bne(Reg::R2, Reg::R0, "wr");
+        a.li(Reg::R1, 0x0010_0000);
+        a.addi(Reg::R2, Reg::R0, 300);
+        a.addi(Reg::R3, Reg::R0, 0);
+        a.label("rd");
+        a.lw(Reg::R4, Reg::R1, 0);
+        a.add(Reg::R3, Reg::R3, Reg::R4);
+        a.addi(Reg::R1, Reg::R1, 64);
+        a.subi(Reg::R2, Reg::R2, 1);
+        a.bne(Reg::R2, Reg::R0, "rd");
+        a.out(Reg::R3);
+        a.halt();
+        let image = a.assemble().unwrap();
+        let mut fast = Simulator::new(&image, Mode::fast()).unwrap();
+        let mut slow = Simulator::new(&image, Mode::Slow).unwrap();
+        fast.run_to_completion().unwrap();
+        slow.run_to_completion().unwrap();
+        assert_eq!(fast.stats().cycles, slow.stats().cycles);
+        assert_eq!(fast.stats().retired_insts, slow.stats().retired_insts);
+        assert_eq!(fast.stats().retired_loads, slow.stats().retired_loads);
+        assert_eq!(fast.stats().retired_stores, slow.stats().retired_stores);
+        assert_eq!(fast.cache_stats(), slow.cache_stats());
+        assert_eq!(fast.output(), &[(1..=300u32).sum::<u32>()]);
+        assert!(fast.cache_stats().l1_misses > 0, "strides must miss");
+    }
+
+    #[test]
+    fn flush_policy_preserves_results() {
+        let image = loop_program(3000);
+        let mut unbounded = Simulator::new(&image, Mode::fast()).unwrap();
+        let mut tiny = Simulator::new(
+            &image,
+            Mode::Fast { policy: Policy::FlushOnFull { limit: 256 } },
+        )
+        .unwrap();
+        unbounded.run_to_completion().unwrap();
+        tiny.run_to_completion().unwrap();
+        assert_eq!(unbounded.stats().cycles, tiny.stats().cycles);
+        assert_eq!(unbounded.output(), tiny.output());
+        assert!(tiny.memo_stats().unwrap().flushes > 0, "tiny cache must flush");
+    }
+
+    #[test]
+    fn warm_cache_skips_detailed_simulation() {
+        let image = loop_program(800);
+        let mut first = Simulator::new(&image, Mode::fast()).unwrap();
+        first.run_to_completion().unwrap();
+        let cold_stats = *first.stats();
+        let warm = first.take_warm_cache().expect("fast mode yields a warm cache");
+        assert!(warm.stats().static_configs > 0);
+
+        let mut second = Simulator::with_warm_cache(
+            &image,
+            warm,
+            UArchConfig::table1(),
+            CacheConfig::table1(),
+        )
+        .unwrap();
+        second.run_to_completion().unwrap();
+        // Identical simulation, but almost everything replays from the
+        // first interaction cycle onward.
+        assert_eq!(second.stats().cycles, cold_stats.cycles);
+        assert_eq!(second.stats().retired_insts, cold_stats.retired_insts);
+        assert!(
+            second.stats().detailed_insts < cold_stats.detailed_insts / 4,
+            "warm {} vs cold {}",
+            second.stats().detailed_insts,
+            cold_stats.detailed_insts
+        );
+    }
+
+    #[test]
+    fn warm_cache_rejects_other_programs() {
+        let image = loop_program(100);
+        let other = loop_program(101);
+        let mut first = Simulator::new(&image, Mode::fast()).unwrap();
+        first.run_to_completion().unwrap();
+        let warm = first.take_warm_cache().unwrap();
+        match Simulator::with_warm_cache(&other, warm, UArchConfig::table1(), CacheConfig::table1())
+        {
+            Err(BuildError::WarmCacheMismatch) => {}
+            other => panic!("expected mismatch, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn warm_cache_rejects_other_models() {
+        let image = loop_program(100);
+        let mut first = Simulator::new(&image, Mode::fast()).unwrap();
+        first.run_to_completion().unwrap();
+        let warm = first.take_warm_cache().unwrap();
+        let mut wide = UArchConfig::table1();
+        wide.int_alus = 4;
+        match Simulator::with_warm_cache(&image, warm, wide, CacheConfig::table1()) {
+            Err(BuildError::WarmCacheMismatch) => {}
+            other => panic!("expected mismatch, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn slow_mode_has_no_warm_cache() {
+        let image = loop_program(50);
+        let mut sim = Simulator::new(&image, Mode::Slow).unwrap();
+        sim.run_to_completion().unwrap();
+        assert!(sim.take_warm_cache().is_none());
+    }
+
+    #[test]
+    fn in_order_issue_model_is_slower_and_still_exact() {
+        use fastsim_uarch::IssueModel;
+        let image = loop_program(400);
+        let mut inorder_cfg = UArchConfig::table1();
+        inorder_cfg.issue_model = IssueModel::InOrder;
+        let mut ooo = Simulator::new(&image, Mode::fast()).unwrap();
+        ooo.run_to_completion().unwrap();
+        let mut fast = Simulator::with_configs(
+            &image,
+            Mode::fast(),
+            inorder_cfg,
+            CacheConfig::table1(),
+        )
+        .unwrap();
+        let mut slow = Simulator::with_configs(
+            &image,
+            Mode::Slow,
+            inorder_cfg,
+            CacheConfig::table1(),
+        )
+        .unwrap();
+        fast.run_to_completion().unwrap();
+        slow.run_to_completion().unwrap();
+        // Memoization stays exact under the variant pipeline model.
+        assert_eq!(fast.stats().cycles, slow.stats().cycles);
+        assert_eq!(fast.output(), slow.output());
+        // And in-order issue cannot beat out-of-order issue.
+        assert!(fast.stats().cycles >= ooo.stats().cycles);
+    }
+
+    #[test]
+    fn warm_cache_distinguishes_issue_models() {
+        use fastsim_uarch::IssueModel;
+        let image = loop_program(100);
+        let mut first = Simulator::new(&image, Mode::fast()).unwrap();
+        first.run_to_completion().unwrap();
+        let warm = first.take_warm_cache().unwrap();
+        let mut inorder_cfg = UArchConfig::table1();
+        inorder_cfg.issue_model = IssueModel::InOrder;
+        match Simulator::with_warm_cache(&image, warm, inorder_cfg, CacheConfig::table1()) {
+            Err(BuildError::WarmCacheMismatch) => {}
+            other => panic!("expected mismatch, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn gc_policies_preserve_results() {
+        let image = loop_program(3000);
+        let mut reference = Simulator::new(&image, Mode::Slow).unwrap();
+        reference.run_to_completion().unwrap();
+        for policy in [
+            Policy::CopyingGc { limit: 256 },
+            Policy::GenerationalGc { limit: 256 },
+        ] {
+            let mut sim = Simulator::new(&image, Mode::Fast { policy }).unwrap();
+            sim.run_to_completion().unwrap();
+            assert_eq!(sim.stats().cycles, reference.stats().cycles, "{policy:?}");
+            assert_eq!(sim.output(), reference.output());
+            assert!(sim.memo_stats().unwrap().collections > 0);
+        }
+    }
+}

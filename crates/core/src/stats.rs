@@ -1,0 +1,126 @@
+//! Whole-simulation statistics.
+
+/// Counters accumulated by a [`Simulator`](crate::Simulator) run.
+///
+/// In FastSim mode, `detailed_*` and `replayed_*` split the work between
+/// the detailed µ-architecture simulator and fast-forwarding (paper
+/// Table 4); the totals are identical between FastSim and SlowSim runs of
+/// the same program.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct SimStats {
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Instructions retired.
+    pub retired_insts: u64,
+    /// Loads retired.
+    pub retired_loads: u64,
+    /// Stores retired.
+    pub retired_stores: u64,
+    /// Conditional branches retired.
+    pub retired_branches: u64,
+    /// Instructions retired while running the detailed simulator.
+    pub detailed_insts: u64,
+    /// Instructions retired while fast-forwarding.
+    pub replayed_insts: u64,
+    /// Cycles simulated by the detailed simulator.
+    pub detailed_cycles: u64,
+    /// Cycles covered by replayed `Advance` actions.
+    pub replayed_cycles: u64,
+    /// Dynamic configuration visits (detailed registrations + replay
+    /// crossings).
+    pub config_visits: u64,
+    /// Actions executed (recorded live + replayed).
+    pub dynamic_actions: u64,
+    /// Of those, actions replayed from the p-action cache.
+    pub replayed_actions: u64,
+    /// Completed fast-forward episodes (chains of replayed actions).
+    pub chains: u64,
+    /// Total length of completed chains.
+    pub chain_len_sum: u64,
+    /// Longest chain replayed without returning to detailed simulation.
+    pub chain_len_max: u64,
+}
+
+impl SimStats {
+    /// Fraction of retired instructions simulated in detail (Table 4's
+    /// final column).
+    pub fn detailed_fraction(&self) -> f64 {
+        if self.retired_insts == 0 {
+            0.0
+        } else {
+            self.detailed_insts as f64 / self.retired_insts as f64
+        }
+    }
+
+    /// Average dynamic actions per configuration visit (Table 5).
+    pub fn actions_per_config(&self) -> f64 {
+        if self.config_visits == 0 {
+            0.0
+        } else {
+            self.dynamic_actions as f64 / self.config_visits as f64
+        }
+    }
+
+    /// Average simulated cycles per configuration visit (Table 5).
+    pub fn cycles_per_config(&self) -> f64 {
+        if self.config_visits == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.config_visits as f64
+        }
+    }
+
+    /// Average replayed-chain length (Table 5's "Dyn. Chain Length").
+    pub fn avg_chain_len(&self) -> f64 {
+        if self.chains == 0 {
+            0.0
+        } else {
+            self.chain_len_sum as f64 / self.chains as f64
+        }
+    }
+
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.retired_insts as f64 / self.cycles as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_ratios() {
+        let s = SimStats {
+            cycles: 100,
+            retired_insts: 200,
+            detailed_insts: 2,
+            replayed_insts: 198,
+            config_visits: 50,
+            dynamic_actions: 175,
+            chains: 4,
+            chain_len_sum: 160,
+            chain_len_max: 80,
+            ..SimStats::default()
+        };
+        assert_eq!(s.detailed_fraction(), 0.01);
+        assert_eq!(s.actions_per_config(), 3.5);
+        assert_eq!(s.cycles_per_config(), 2.0);
+        assert_eq!(s.avg_chain_len(), 40.0);
+        assert_eq!(s.ipc(), 2.0);
+    }
+
+    #[test]
+    fn empty_stats_do_not_divide_by_zero() {
+        let s = SimStats::default();
+        assert_eq!(s.detailed_fraction(), 0.0);
+        assert_eq!(s.actions_per_config(), 0.0);
+        assert_eq!(s.cycles_per_config(), 0.0);
+        assert_eq!(s.avg_chain_len(), 0.0);
+        assert_eq!(s.ipc(), 0.0);
+    }
+}

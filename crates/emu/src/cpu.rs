@@ -1,0 +1,433 @@
+//! Architectural register state and functional instruction semantics.
+//!
+//! These semantics are shared by the speculative direct-execution engine,
+//! the plain functional emulator, and the SimpleScalar-like baseline
+//! simulator — guaranteeing that all three compute identical program
+//! results, which the integration tests assert.
+
+use fastsim_isa::{Inst, Op, Reg, DEFAULT_STACK_TOP};
+use fastsim_mem::Memory;
+
+/// Architectural CPU state: program counter, 32 integer registers (R0
+/// hardwired to zero) and 32 double-precision FP registers.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Cpu {
+    /// Current program counter.
+    pub pc: u32,
+    int: [u32; 32],
+    fp: [f64; 32],
+}
+
+impl Cpu {
+    /// Creates a CPU with `pc` at `entry`, the stack pointer at
+    /// [`DEFAULT_STACK_TOP`] and all other registers zero.
+    pub fn new(entry: u32) -> Cpu {
+        let mut cpu = Cpu { pc: entry, int: [0; 32], fp: [0.0; 32] };
+        cpu.set_int(Reg::SP.index(), DEFAULT_STACK_TOP);
+        cpu
+    }
+
+    /// Reads integer register `r` (R0 reads as zero).
+    #[inline]
+    pub fn int(&self, r: u8) -> u32 {
+        self.int[(r & 31) as usize]
+    }
+
+    /// Writes integer register `r` (writes to R0 are discarded).
+    #[inline]
+    pub fn set_int(&mut self, r: u8, v: u32) {
+        if r & 31 != 0 {
+            self.int[(r & 31) as usize] = v;
+        }
+    }
+
+    /// Reads FP register `f`.
+    #[inline]
+    pub fn fp(&self, f: u8) -> f64 {
+        self.fp[(f & 31) as usize]
+    }
+
+    /// Writes FP register `f`.
+    #[inline]
+    pub fn set_fp(&mut self, f: u8, v: f64) {
+        self.fp[(f & 31) as usize] = v;
+    }
+
+    /// Snapshot of the integer register file (for checkpoints).
+    pub fn int_regs(&self) -> [u32; 32] {
+        self.int
+    }
+
+    /// Snapshot of the FP register file (for checkpoints).
+    pub fn fp_regs(&self) -> [f64; 32] {
+        self.fp
+    }
+
+    /// Restores both register files from snapshots.
+    pub fn restore_regs(&mut self, int: [u32; 32], fp: [f64; 32]) {
+        self.int = int;
+        self.fp = fp;
+        self.int[0] = 0;
+    }
+
+    /// Effective address of a memory instruction.
+    #[inline]
+    pub fn effective_addr(&self, inst: &Inst) -> u32 {
+        self.int(inst.rs1).wrapping_add(inst.imm as u32)
+    }
+
+    /// Whether a conditional branch's condition holds in this state.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `inst` is not a conditional branch.
+    #[inline]
+    pub fn branch_taken(&self, inst: &Inst) -> bool {
+        let a = self.int(inst.rs1);
+        let b = self.int(inst.rs2);
+        match inst.op {
+            Op::Beq => a == b,
+            Op::Bne => a != b,
+            Op::Blt => (a as i32) < (b as i32),
+            Op::Bge => (a as i32) >= (b as i32),
+            Op::Bltu => a < b,
+            Op::Bgeu => a >= b,
+            other => {
+                debug_assert!(false, "branch_taken on non-branch {other:?}");
+                false
+            }
+        }
+    }
+}
+
+/// The observable effect of executing one non-control instruction, as
+/// reported by [`Cpu::exec`]. Control transfers are handled by the calling
+/// engine (they need prediction and recording).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum Effect {
+    /// Plain register-to-register computation; `pc` advanced.
+    Compute,
+    /// A load executed: effective address and width, value already written.
+    Load {
+        /// Effective byte address.
+        addr: u32,
+        /// Access width in bytes.
+        width: u32,
+    },
+    /// A store executed: address, width, and the 8 pre-store bytes at
+    /// `addr` (only the low `width` bytes are meaningful), for rollback.
+    Store {
+        /// Effective byte address.
+        addr: u32,
+        /// Access width in bytes.
+        width: u32,
+        /// Memory contents before the store (little-endian, low `width`
+        /// bytes valid).
+        old: u64,
+    },
+    /// A value was written to the output sink.
+    Output(u32),
+    /// The program executed `halt`; `pc` was not advanced.
+    Halt,
+}
+
+impl Cpu {
+    /// Executes one **non-control** instruction: updates registers/memory
+    /// and advances `pc` by 4. Returns what happened, including the
+    /// pre-store value for stores (the paper's sQ instrumentation).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if called with a control-transfer instruction; those
+    /// are the responsibility of the embedding engine.
+    pub fn exec(&mut self, inst: &Inst, mem: &mut Memory) -> Effect {
+        use Op::*;
+        debug_assert!(
+            !inst.is_control() && inst.op != Op::Halt,
+            "exec called with control instruction {inst}"
+        );
+        let effect = match inst.op {
+            Add => self.alu2(inst, |a, b| a.wrapping_add(b)),
+            Sub => self.alu2(inst, |a, b| a.wrapping_sub(b)),
+            Mul => self.alu2(inst, |a, b| a.wrapping_mul(b)),
+            Div => self.alu2(inst, |a, b| {
+                let (a, b) = (a as i32, b as i32);
+                if b == 0 { 0 } else { a.wrapping_div(b) as u32 }
+            }),
+            Rem => self.alu2(inst, |a, b| {
+                let (a, b) = (a as i32, b as i32);
+                if b == 0 || (a == i32::MIN && b == -1) { 0 } else { (a % b) as u32 }
+            }),
+            And => self.alu2(inst, |a, b| a & b),
+            Or => self.alu2(inst, |a, b| a | b),
+            Xor => self.alu2(inst, |a, b| a ^ b),
+            Sll => self.alu2(inst, |a, b| a.wrapping_shl(b & 31)),
+            Srl => self.alu2(inst, |a, b| a.wrapping_shr(b & 31)),
+            Sra => self.alu2(inst, |a, b| ((a as i32).wrapping_shr(b & 31)) as u32),
+            Slt => self.alu2(inst, |a, b| ((a as i32) < (b as i32)) as u32),
+            Sltu => self.alu2(inst, |a, b| (a < b) as u32),
+            Addi => self.alui(inst, |a, i| a.wrapping_add(i as u32)),
+            Andi => self.alui(inst, |a, i| a & i as u32),
+            Ori => self.alui(inst, |a, i| a | i as u32),
+            Xori => self.alui(inst, |a, i| a ^ i as u32),
+            Slti => self.alui(inst, |a, i| ((a as i32) < i) as u32),
+            Slli => self.alui(inst, |a, i| a.wrapping_shl(i as u32 & 31)),
+            Srli => self.alui(inst, |a, i| a.wrapping_shr(i as u32 & 31)),
+            Srai => self.alui(inst, |a, i| ((a as i32).wrapping_shr(i as u32 & 31)) as u32),
+            Lui => {
+                self.set_int(inst.rd, (inst.imm as u32) << 16);
+                Effect::Compute
+            }
+            Lb => self.load(inst, mem, |m, a| m.read_u8(a) as i8 as i32 as u32),
+            Lbu => self.load(inst, mem, |m, a| m.read_u8(a) as u32),
+            Lh => self.load(inst, mem, |m, a| m.read_u16(a) as i16 as i32 as u32),
+            Lhu => self.load(inst, mem, |m, a| m.read_u16(a) as u32),
+            Lw => self.load(inst, mem, Memory::read_u32),
+            Fld => {
+                let addr = self.effective_addr(inst);
+                self.set_fp(inst.rd, mem.read_f64(addr));
+                Effect::Load { addr, width: 8 }
+            }
+            Sb => {
+                let addr = self.effective_addr(inst);
+                let old = mem.read_u8(addr) as u64;
+                mem.write_u8(addr, self.int(inst.rs2) as u8);
+                Effect::Store { addr, width: 1, old }
+            }
+            Sh => {
+                let addr = self.effective_addr(inst);
+                let old = mem.read_u16(addr) as u64;
+                mem.write_u16(addr, self.int(inst.rs2) as u16);
+                Effect::Store { addr, width: 2, old }
+            }
+            Sw => {
+                let addr = self.effective_addr(inst);
+                let old = mem.read_u32(addr) as u64;
+                mem.write_u32(addr, self.int(inst.rs2));
+                Effect::Store { addr, width: 4, old }
+            }
+            Fst => {
+                let addr = self.effective_addr(inst);
+                let old = mem.read_u64(addr);
+                mem.write_f64(addr, self.fp(inst.rs2));
+                Effect::Store { addr, width: 8, old }
+            }
+            Fadd => self.fpu2(inst, |a, b| a + b),
+            Fsub => self.fpu2(inst, |a, b| a - b),
+            Fmul => self.fpu2(inst, |a, b| a * b),
+            Fdiv => self.fpu2(inst, |a, b| a / b),
+            Fsqrt => self.fpu1(inst, f64::sqrt),
+            Fmov => self.fpu1(inst, |a| a),
+            Fneg => self.fpu1(inst, |a| -a),
+            Fabs => self.fpu1(inst, f64::abs),
+            Feq => self.fcmp(inst, |a, b| a == b),
+            Flt => self.fcmp(inst, |a, b| a < b),
+            Fle => self.fcmp(inst, |a, b| a <= b),
+            Cvtif => {
+                self.set_fp(inst.rd, self.int(inst.rs1) as i32 as f64);
+                Effect::Compute
+            }
+            Cvtfi => {
+                self.set_int(inst.rd, self.fp(inst.rs1) as i32 as u32);
+                Effect::Compute
+            }
+            Nop => Effect::Compute,
+            Out => Effect::Output(self.int(inst.rs1)),
+            Halt | Beq | Bne | Blt | Bge | Bltu | Bgeu | J | Jal | Jr | Jalr => {
+                unreachable!("control/halt handled by the engine")
+            }
+        };
+        self.pc = self.pc.wrapping_add(4);
+        effect
+    }
+
+    #[inline]
+    fn alu2(&mut self, inst: &Inst, f: impl Fn(u32, u32) -> u32) -> Effect {
+        let v = f(self.int(inst.rs1), self.int(inst.rs2));
+        self.set_int(inst.rd, v);
+        Effect::Compute
+    }
+
+    #[inline]
+    fn alui(&mut self, inst: &Inst, f: impl Fn(u32, i32) -> u32) -> Effect {
+        let v = f(self.int(inst.rs1), inst.imm);
+        self.set_int(inst.rd, v);
+        Effect::Compute
+    }
+
+    #[inline]
+    fn load(
+        &mut self,
+        inst: &Inst,
+        mem: &Memory,
+        f: impl Fn(&Memory, u32) -> u32,
+    ) -> Effect {
+        let addr = self.effective_addr(inst);
+        let v = f(mem, addr);
+        self.set_int(inst.rd, v);
+        Effect::Load { addr, width: inst.mem_width().unwrap_or(4) }
+    }
+
+    #[inline]
+    fn fpu2(&mut self, inst: &Inst, f: impl Fn(f64, f64) -> f64) -> Effect {
+        let v = f(self.fp(inst.rs1), self.fp(inst.rs2));
+        self.set_fp(inst.rd, v);
+        Effect::Compute
+    }
+
+    #[inline]
+    fn fpu1(&mut self, inst: &Inst, f: impl Fn(f64) -> f64) -> Effect {
+        let v = f(self.fp(inst.rs1));
+        self.set_fp(inst.rd, v);
+        Effect::Compute
+    }
+
+    #[inline]
+    fn fcmp(&mut self, inst: &Inst, f: impl Fn(f64, f64) -> bool) -> Effect {
+        let v = f(self.fp(inst.rs1), self.fp(inst.rs2)) as u32;
+        self.set_int(inst.rd, v);
+        Effect::Compute
+    }
+
+    /// Undoes a store effect by writing the old bytes back.
+    pub fn undo_store(mem: &mut Memory, addr: u32, width: u32, old: u64) {
+        match width {
+            1 => mem.write_u8(addr, old as u8),
+            2 => mem.write_u16(addr, old as u16),
+            4 => mem.write_u32(addr, old as u32),
+            8 => mem.write_u64(addr, old),
+            w => panic!("invalid store width {w}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastsim_isa::Inst;
+
+    fn inst(op: Op, rd: u8, rs1: u8, rs2: u8, imm: i32) -> Inst {
+        Inst { op, rd, rs1, rs2, imm }
+    }
+
+    #[test]
+    fn r0_is_hardwired() {
+        let mut c = Cpu::new(0x1000);
+        c.set_int(0, 99);
+        assert_eq!(c.int(0), 0);
+    }
+
+    #[test]
+    fn stack_pointer_initialized() {
+        let c = Cpu::new(0);
+        assert_eq!(c.int(Reg::SP.index()), DEFAULT_STACK_TOP);
+    }
+
+    #[test]
+    fn arithmetic_wraps() {
+        let mut c = Cpu::new(0);
+        let mut m = Memory::new();
+        c.set_int(1, u32::MAX);
+        c.set_int(2, 1);
+        c.exec(&inst(Op::Add, 3, 1, 2, 0), &mut m);
+        assert_eq!(c.int(3), 0);
+        assert_eq!(c.pc, 4);
+    }
+
+    #[test]
+    fn division_by_zero_yields_zero() {
+        let mut c = Cpu::new(0);
+        let mut m = Memory::new();
+        c.set_int(1, 42);
+        c.exec(&inst(Op::Div, 3, 1, 2, 0), &mut m);
+        assert_eq!(c.int(3), 0);
+        c.exec(&inst(Op::Rem, 4, 1, 2, 0), &mut m);
+        assert_eq!(c.int(4), 0);
+    }
+
+    #[test]
+    fn min_over_minus_one_wraps() {
+        let mut c = Cpu::new(0);
+        let mut m = Memory::new();
+        c.set_int(1, i32::MIN as u32);
+        c.set_int(2, -1i32 as u32);
+        c.exec(&inst(Op::Div, 3, 1, 2, 0), &mut m);
+        assert_eq!(c.int(3), i32::MIN as u32);
+    }
+
+    #[test]
+    fn load_sign_extension() {
+        let mut c = Cpu::new(0);
+        let mut m = Memory::new();
+        m.write_u8(0x100, 0x80);
+        c.set_int(1, 0x100);
+        let e = c.exec(&inst(Op::Lb, 2, 1, 0, 0), &mut m);
+        assert_eq!(c.int(2), 0xffff_ff80);
+        assert_eq!(e, Effect::Load { addr: 0x100, width: 1 });
+        c.exec(&inst(Op::Lbu, 3, 1, 0, 0), &mut m);
+        assert_eq!(c.int(3), 0x80);
+    }
+
+    #[test]
+    fn store_reports_old_value_and_undo_restores() {
+        let mut c = Cpu::new(0);
+        let mut m = Memory::new();
+        m.write_u32(0x200, 0x1111_1111);
+        c.set_int(1, 0x200);
+        c.set_int(2, 0x2222_2222);
+        let e = c.exec(&inst(Op::Sw, 0, 1, 2, 0), &mut m);
+        assert_eq!(m.read_u32(0x200), 0x2222_2222);
+        match e {
+            Effect::Store { addr, width, old } => {
+                assert_eq!((addr, width, old), (0x200, 4, 0x1111_1111));
+                Cpu::undo_store(&mut m, addr, width, old);
+            }
+            other => panic!("expected store effect, got {other:?}"),
+        }
+        assert_eq!(m.read_u32(0x200), 0x1111_1111);
+    }
+
+    #[test]
+    fn fp_pipeline() {
+        let mut c = Cpu::new(0);
+        let mut m = Memory::new();
+        c.set_int(1, 9);
+        c.exec(&inst(Op::Cvtif, 2, 1, 0, 0), &mut m); // f2 = 9.0
+        c.exec(&inst(Op::Fsqrt, 3, 2, 0, 0), &mut m); // f3 = 3.0
+        assert_eq!(c.fp(3), 3.0);
+        c.exec(&inst(Op::Cvtfi, 4, 3, 0, 0), &mut m);
+        assert_eq!(c.int(4), 3);
+        c.exec(&inst(Op::Fle, 5, 2, 3, 0), &mut m); // 9.0 <= 3.0 ?
+        assert_eq!(c.int(5), 0);
+    }
+
+    #[test]
+    fn branch_conditions() {
+        let mut c = Cpu::new(0);
+        c.set_int(1, (-1i32) as u32);
+        c.set_int(2, 1);
+        assert!(c.branch_taken(&inst(Op::Blt, 0, 1, 2, 0)), "-1 < 1 signed");
+        assert!(!c.branch_taken(&inst(Op::Bltu, 0, 1, 2, 0)), "0xffffffff !< 1 unsigned");
+        assert!(c.branch_taken(&inst(Op::Bne, 0, 1, 2, 0)));
+        assert!(!c.branch_taken(&inst(Op::Beq, 0, 1, 2, 0)));
+    }
+
+    #[test]
+    fn restore_regs_keeps_r0_zero() {
+        let mut c = Cpu::new(0);
+        let mut int = [7u32; 32];
+        int[0] = 55; // deliberately corrupt the snapshot
+        c.restore_regs(int, [1.5; 32]);
+        assert_eq!(c.int(0), 0);
+        assert_eq!(c.int(5), 7);
+        assert_eq!(c.fp(31), 1.5);
+    }
+
+    #[test]
+    fn output_effect() {
+        let mut c = Cpu::new(0);
+        let mut m = Memory::new();
+        c.set_int(9, 1234);
+        assert_eq!(c.exec(&inst(Op::Out, 0, 9, 0, 0), &mut m), Effect::Output(1234));
+    }
+}

@@ -1,0 +1,260 @@
+//! Plain (non-speculative) functional emulation.
+//!
+//! [`FuncEmulator`] executes the target program directly, following actual
+//! branch directions, with no recording and no timing. It serves two
+//! purposes in the reproduction:
+//!
+//! * it is the surrogate for the paper's "Program" column (native
+//!   execution time of the uninstrumented benchmark) — the fastest way to
+//!   run the target on this host;
+//! * it provides reference results (output, final registers, instruction
+//!   counts) that every simulator must match exactly, which the test suite
+//!   asserts.
+
+use crate::cpu::{Cpu, Effect};
+use fastsim_isa::{DecodedProgram, ExecClass, Op, Program, Reg};
+use fastsim_mem::Memory;
+use std::rc::Rc;
+
+/// Why a [`FuncEmulator`] run stopped.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FuncStopReason {
+    /// The program executed `halt`.
+    Halted,
+    /// The instruction budget was exhausted.
+    MaxInsts,
+    /// Fetch left the code segment.
+    WildFetch {
+        /// The unfetchable address.
+        pc: u32,
+    },
+}
+
+/// Result of a [`FuncEmulator::run`].
+#[derive(Clone, PartialEq, Debug)]
+pub struct FuncResult {
+    /// Instructions executed.
+    pub insts: u64,
+    /// Why execution stopped.
+    pub stop: FuncStopReason,
+}
+
+/// The plain functional emulator.
+///
+/// # Example
+///
+/// ```
+/// use fastsim_isa::{Asm, Reg};
+/// use fastsim_emu::FuncEmulator;
+/// use std::rc::Rc;
+///
+/// let mut a = Asm::new();
+/// a.addi(Reg::R1, Reg::R0, 2);
+/// a.mul(Reg::R1, Reg::R1, Reg::R1);
+/// a.out(Reg::R1);
+/// a.halt();
+/// let image = a.assemble()?;
+/// let prog = Rc::new(image.predecode()?);
+/// let mut emu = FuncEmulator::new(prog, &image);
+/// let result = emu.run(u64::MAX);
+/// assert_eq!(result.insts, 4);
+/// assert_eq!(emu.output(), &[4]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct FuncEmulator {
+    cpu: Cpu,
+    mem: Memory,
+    prog: Rc<DecodedProgram>,
+    output: Vec<u32>,
+    halted: bool,
+    insts: u64,
+}
+
+impl FuncEmulator {
+    /// Creates an emulator for `prog`, loading `image`'s data segments.
+    pub fn new(prog: Rc<DecodedProgram>, image: &Program) -> FuncEmulator {
+        let mut mem = Memory::new();
+        for (addr, bytes) in &image.data {
+            mem.write_slice(*addr, bytes);
+        }
+        FuncEmulator {
+            cpu: Cpu::new(prog.entry()),
+            mem,
+            prog,
+            output: Vec::new(),
+            halted: false,
+            insts: 0,
+        }
+    }
+
+    /// Current architectural state.
+    pub fn cpu(&self) -> &Cpu {
+        &self.cpu
+    }
+
+    /// Target memory.
+    pub fn memory(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Values written by `out` instructions.
+    pub fn output(&self) -> &[u32] {
+        &self.output
+    }
+
+    /// Total instructions executed across all `run` calls.
+    pub fn insts(&self) -> u64 {
+        self.insts
+    }
+
+    /// Whether the program has halted.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Runs up to `max_insts` further instructions.
+    pub fn run(&mut self, max_insts: u64) -> FuncResult {
+        let mut executed = 0u64;
+        if self.halted {
+            return FuncResult { insts: 0, stop: FuncStopReason::Halted };
+        }
+        loop {
+            if executed >= max_insts {
+                return FuncResult { insts: executed, stop: FuncStopReason::MaxInsts };
+            }
+            let pc = self.cpu.pc;
+            let inst = match self.prog.fetch(pc) {
+                Some(i) => *i,
+                None => {
+                    return FuncResult { insts: executed, stop: FuncStopReason::WildFetch { pc } }
+                }
+            };
+            executed += 1;
+            self.insts += 1;
+            match inst.exec_class() {
+                ExecClass::Halt => {
+                    self.halted = true;
+                    return FuncResult { insts: executed, stop: FuncStopReason::Halted };
+                }
+                ExecClass::Jump => {
+                    if inst.op == Op::Jal {
+                        self.cpu.set_int(Reg::RA.index(), pc.wrapping_add(4));
+                    }
+                    self.cpu.pc =
+                        inst.static_target(pc).expect("direct jumps have static targets");
+                }
+                ExecClass::Branch => {
+                    let taken = self.cpu.branch_taken(&inst);
+                    self.cpu.pc = if taken {
+                        inst.static_target(pc).expect("branches have static targets")
+                    } else {
+                        pc.wrapping_add(4)
+                    };
+                }
+                ExecClass::JumpInd => {
+                    let target = self.cpu.int(inst.rs1);
+                    if inst.op == Op::Jalr {
+                        self.cpu.set_int(inst.rd, pc.wrapping_add(4));
+                    }
+                    self.cpu.pc = target;
+                }
+                _ => {
+                    if let Effect::Output(v) = self.cpu.exec(&inst, &mut self.mem) {
+                        self.output.push(v);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastsim_isa::Asm;
+
+    fn run_program(build: impl FnOnce(&mut Asm)) -> (FuncEmulator, FuncResult) {
+        let mut a = Asm::new();
+        build(&mut a);
+        let image = a.assemble().unwrap();
+        let prog = Rc::new(image.predecode().unwrap());
+        let mut e = FuncEmulator::new(prog, &image);
+        let r = e.run(1_000_000);
+        (e, r)
+    }
+
+    #[test]
+    fn computes_sum_loop() {
+        let (e, r) = run_program(|a| {
+            a.addi(Reg::R1, Reg::R0, 10);
+            a.label("loop");
+            a.add(Reg::R2, Reg::R2, Reg::R1);
+            a.subi(Reg::R1, Reg::R1, 1);
+            a.bne(Reg::R1, Reg::R0, "loop");
+            a.out(Reg::R2);
+            a.halt();
+        });
+        assert_eq!(r.stop, FuncStopReason::Halted);
+        assert_eq!(e.output(), &[55]);
+        // 1 + 10*3 + 1 + 1 = 33 instructions.
+        assert_eq!(r.insts, 33);
+    }
+
+    #[test]
+    fn call_and_return() {
+        let (e, r) = run_program(|a| {
+            a.addi(Reg::R1, Reg::R0, 4);
+            a.call("square");
+            a.out(Reg::R2);
+            a.halt();
+            a.label("square");
+            a.mul(Reg::R2, Reg::R1, Reg::R1);
+            a.ret();
+        });
+        assert_eq!(r.stop, FuncStopReason::Halted);
+        assert_eq!(e.output(), &[16]);
+    }
+
+    #[test]
+    fn budget_stops_run_and_resumes() {
+        let mut a = Asm::new();
+        a.addi(Reg::R1, Reg::R0, 100);
+        a.label("loop");
+        a.subi(Reg::R1, Reg::R1, 1);
+        a.bne(Reg::R1, Reg::R0, "loop");
+        a.halt();
+        let image = a.assemble().unwrap();
+        let prog = Rc::new(image.predecode().unwrap());
+        let mut e = FuncEmulator::new(prog, &image);
+        let r1 = e.run(10);
+        assert_eq!(r1.stop, FuncStopReason::MaxInsts);
+        assert_eq!(r1.insts, 10);
+        let r2 = e.run(u64::MAX);
+        assert_eq!(r2.stop, FuncStopReason::Halted);
+        assert_eq!(e.insts(), 10 + r2.insts);
+        assert!(e.halted());
+    }
+
+    #[test]
+    fn wild_fetch_reported() {
+        let (_, r) = run_program(|a| {
+            a.li(Reg::R1, 0x0800_0000);
+            a.jr(Reg::R1);
+            a.halt();
+        });
+        assert_eq!(r.stop, FuncStopReason::WildFetch { pc: 0x0800_0000 });
+    }
+
+    #[test]
+    fn memory_and_data_segments() {
+        let (e, _) = run_program(|a| {
+            a.data_words(0x0010_0000, &[11, 22, 33]);
+            a.li(Reg::R1, 0x0010_0000);
+            a.lw(Reg::R2, Reg::R1, 4);
+            a.out(Reg::R2);
+            a.halt();
+        });
+        assert_eq!(e.output(), &[22]);
+    }
+}

@@ -1,0 +1,161 @@
+//! The records the functional engine produces for the timing simulators:
+//! entries of the lQ (loads), sQ (stores, with pre-store values) and cQ
+//! (control-flow outcomes).
+
+/// An lQ entry: one executed load.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct LoadRec {
+    /// Global load sequence number (monotonic across the run; used as the
+    /// cache simulator's [`LoadId`](fastsim_mem::LoadId)).
+    pub seq: u64,
+    /// Effective byte address.
+    pub addr: u32,
+    /// Access width in bytes.
+    pub width: u32,
+}
+
+/// An sQ entry: one executed store, with the pre-store memory value needed
+/// to roll the store back after a misprediction (paper §3.2).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct StoreRec {
+    /// Global store sequence number.
+    pub seq: u64,
+    /// Effective byte address.
+    pub addr: u32,
+    /// Access width in bytes.
+    pub width: u32,
+    /// Memory contents before the store (low `width` bytes).
+    pub old: u64,
+}
+
+/// Kind of a multi-target control transfer.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CtrlKind {
+    /// Conditional branch (four possible outcomes:
+    /// taken/not-taken × predicted/mispredicted).
+    CondBranch,
+    /// Indirect jump, including indirect calls and returns (arbitrarily
+    /// many possible targets).
+    IndirectJump,
+}
+
+/// A cQ entry: the outcome of one conditional branch or indirect jump, as
+/// observed by the functional engine.
+///
+/// For conditional branches the engine continues execution along the
+/// *predicted* path ([`CtrlRec::next_fetch`]); if mispredicted, the path
+/// that fetch must take once the branch resolves is
+/// [`CtrlRec::correct_next`], and a register checkpoint was pushed to the
+/// bQ. For indirect jumps the engine always continues at the actual target;
+/// a misprediction means the pipeline's fetch stalls at the jump until it
+/// resolves.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CtrlRec {
+    /// Global control-record sequence number.
+    pub seq: u64,
+    /// Address of the control instruction.
+    pub pc: u32,
+    /// Branch or indirect jump.
+    pub kind: CtrlKind,
+    /// Actual direction (conditional branches; `true` for indirect jumps).
+    pub taken: bool,
+    /// Whether the prediction matched the actual outcome.
+    pub mispredicted: bool,
+    /// Actual target address (branch-taken target or indirect target).
+    pub target: u32,
+    /// Address the functional engine continued at (predicted path for
+    /// conditional branches, actual target for indirect jumps).
+    pub next_fetch: u32,
+    /// Address fetch must continue at after the instruction resolves.
+    pub correct_next: u32,
+    /// Value of the global load counter immediately after this control
+    /// instruction executed (used to truncate the lQ on rollback).
+    pub next_load_seq: u64,
+    /// Value of the global store counter immediately after this control
+    /// instruction executed (used to undo stores on rollback).
+    pub next_store_seq: u64,
+}
+
+impl CtrlRec {
+    /// The outcome key used by the fast-forwarding replayer to select a
+    /// successor action: direction and prediction correctness for branches,
+    /// plus the concrete target for indirect jumps (the paper notes
+    /// conditional branches have four possible outcomes and indirect jumps
+    /// arbitrarily many).
+    pub fn outcome_key(&self) -> CtrlOutcome {
+        match self.kind {
+            CtrlKind::CondBranch => CtrlOutcome::Branch {
+                taken: self.taken,
+                mispredicted: self.mispredicted,
+            },
+            CtrlKind::IndirectJump => CtrlOutcome::Indirect {
+                target: self.target,
+                mispredicted: self.mispredicted,
+            },
+        }
+    }
+}
+
+/// Discriminated outcome of a control record — the value the p-action
+/// cache branches on after a "return to direct execution" action.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CtrlOutcome {
+    /// Conditional-branch outcome.
+    Branch {
+        /// Actual direction.
+        taken: bool,
+        /// Prediction wrong?
+        mispredicted: bool,
+    },
+    /// Indirect-jump outcome.
+    Indirect {
+        /// Actual target.
+        target: u32,
+        /// Prediction wrong?
+        mispredicted: bool,
+    },
+    /// The functional engine executed `halt` on the current path.
+    Halted,
+    /// The current (necessarily wrong) path left the code segment and
+    /// cannot continue; fetch stalls until rollback.
+    Blocked,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(kind: CtrlKind, taken: bool, mispredicted: bool, target: u32) -> CtrlRec {
+        CtrlRec {
+            seq: 0,
+            pc: 0x1000,
+            kind,
+            taken,
+            mispredicted,
+            target,
+            next_fetch: 0,
+            correct_next: 0,
+            next_load_seq: 0,
+            next_store_seq: 0,
+        }
+    }
+
+    #[test]
+    fn branch_has_four_outcomes() {
+        use std::collections::HashSet;
+        let mut keys = HashSet::new();
+        for taken in [false, true] {
+            for mis in [false, true] {
+                keys.insert(rec(CtrlKind::CondBranch, taken, mis, 0).outcome_key());
+            }
+        }
+        assert_eq!(keys.len(), 4);
+    }
+
+    #[test]
+    fn indirect_outcome_distinguishes_targets() {
+        let a = rec(CtrlKind::IndirectJump, true, false, 0x2000).outcome_key();
+        let b = rec(CtrlKind::IndirectJump, true, false, 0x3000).outcome_key();
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,624 @@
+//! Two-pass programmatic assembler.
+//!
+//! [`Asm`] accumulates instructions, labels and data segments, then
+//! [`Asm::assemble`] resolves label references and produces a [`Program`].
+//! Workload generators build their kernels through this interface.
+
+use crate::encode::encode;
+use crate::inst::{Inst, Op};
+use crate::program::Program;
+use crate::reg::Reg;
+use crate::{DEFAULT_CODE_BASE, INST_BYTES};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Error produced by [`Asm::assemble`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum AsmError {
+    /// A label was referenced but never defined.
+    UndefinedLabel(String),
+    /// A label was defined more than once.
+    DuplicateLabel(String),
+    /// A branch target is too far away for its 16-bit word offset.
+    BranchOutOfRange {
+        /// Label that could not be reached.
+        label: String,
+        /// Offset in words that did not fit.
+        offset: i64,
+    },
+    /// An immediate operand does not fit its encoding field.
+    ImmediateOutOfRange {
+        /// Mnemonic of the offending instruction.
+        mnemonic: &'static str,
+        /// The unencodable value.
+        value: i64,
+    },
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
+            AsmError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+            AsmError::BranchOutOfRange { label, offset } => {
+                write!(f, "branch to `{label}` out of range (offset {offset} words)")
+            }
+            AsmError::ImmediateOutOfRange { mnemonic, value } => {
+                write!(f, "immediate {value} out of range for `{mnemonic}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// A pending label reference in an instruction's immediate field.
+#[derive(Clone, Debug)]
+enum Target {
+    /// Immediate already resolved (numeric offset or plain immediate).
+    Done,
+    /// PC-relative reference to a label (branches, `j`, `jal`).
+    Label(String),
+}
+
+/// The programmatic assembler.
+///
+/// See the [crate-level example](crate) for basic use. All emit methods
+/// append one instruction; [`Asm::label`] attaches a label to the *next*
+/// instruction address; [`Asm::data`]/[`Asm::data_words`] register initial
+/// data segments.
+#[derive(Clone, Debug, Default)]
+pub struct Asm {
+    base: u32,
+    insts: Vec<(Inst, Target)>,
+    labels: HashMap<String, u32>,
+    data: Vec<(u32, Vec<u8>)>,
+    error: Option<AsmError>,
+}
+
+impl Asm {
+    /// Creates an assembler placing code at [`DEFAULT_CODE_BASE`].
+    pub fn new() -> Asm {
+        Asm::with_base(DEFAULT_CODE_BASE)
+    }
+
+    /// Creates an assembler placing code at the given base address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is not 4-byte aligned.
+    pub fn with_base(base: u32) -> Asm {
+        assert!(base.is_multiple_of(INST_BYTES), "code base must be word aligned");
+        Asm { base, ..Asm::default() }
+    }
+
+    /// Address the next emitted instruction will occupy.
+    pub fn here(&self) -> u32 {
+        self.base + self.insts.len() as u32 * INST_BYTES
+    }
+
+    /// Number of instructions emitted so far.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether no instructions have been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Defines `name` as the address of the next instruction.
+    ///
+    /// Duplicate definitions are reported by [`Asm::assemble`].
+    pub fn label(&mut self, name: &str) -> &mut Asm {
+        if self.labels.insert(name.to_string(), self.here()).is_some() && self.error.is_none() {
+            self.error = Some(AsmError::DuplicateLabel(name.to_string()));
+        }
+        self
+    }
+
+    /// Registers an initial data segment of raw bytes at `addr`.
+    pub fn data(&mut self, addr: u32, bytes: &[u8]) -> &mut Asm {
+        self.data.push((addr, bytes.to_vec()));
+        self
+    }
+
+    /// Registers an initial data segment of little-endian 32-bit words.
+    pub fn data_words(&mut self, addr: u32, words: &[u32]) -> &mut Asm {
+        let mut bytes = Vec::with_capacity(words.len() * 4);
+        for w in words {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        self.data(addr, &bytes)
+    }
+
+    /// Registers an initial data segment of 64-bit floats.
+    pub fn data_f64(&mut self, addr: u32, values: &[f64]) -> &mut Asm {
+        let mut bytes = Vec::with_capacity(values.len() * 8);
+        for v in values {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        self.data(addr, &bytes)
+    }
+
+    fn emit(&mut self, inst: Inst) -> &mut Asm {
+        self.insts.push((inst, Target::Done));
+        self
+    }
+
+    fn emit_to(&mut self, inst: Inst, label: &str) -> &mut Asm {
+        self.insts.push((inst, Target::Label(label.to_string())));
+        self
+    }
+
+    fn check_imm16(&mut self, mnemonic: &'static str, v: i32) -> i32 {
+        if !(-(1 << 15)..(1 << 15)).contains(&v) && self.error.is_none() {
+            self.error = Some(AsmError::ImmediateOutOfRange { mnemonic, value: v as i64 });
+        }
+        v.clamp(-(1 << 15), (1 << 15) - 1)
+    }
+
+    fn check_imm16u(&mut self, mnemonic: &'static str, v: i32) -> i32 {
+        if !(0..=0xffff).contains(&v) && self.error.is_none() {
+            self.error = Some(AsmError::ImmediateOutOfRange { mnemonic, value: v as i64 });
+        }
+        v.clamp(0, 0xffff)
+    }
+
+    // --- Integer register-register -------------------------------------
+
+    /// Emits a register-register integer instruction of the given `op`.
+    pub fn rrr(&mut self, op: Op, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.emit(Inst { op, rd: rd.index(), rs1: rs1.index(), rs2: rs2.index(), imm: 0 })
+    }
+
+    /// `rd = rs1 + rs2`
+    pub fn add(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.rrr(Op::Add, rd, rs1, rs2)
+    }
+    /// `rd = rs1 - rs2`
+    pub fn sub(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.rrr(Op::Sub, rd, rs1, rs2)
+    }
+    /// `rd = rs1 * rs2` (multi-cycle in the timing model)
+    pub fn mul(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.rrr(Op::Mul, rd, rs1, rs2)
+    }
+    /// `rd = rs1 / rs2` signed; division by zero yields 0 (34-cycle class)
+    pub fn div(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.rrr(Op::Div, rd, rs1, rs2)
+    }
+    /// `rd = rs1 % rs2` signed; modulo by zero yields 0
+    pub fn rem(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.rrr(Op::Rem, rd, rs1, rs2)
+    }
+    /// `rd = rs1 & rs2`
+    pub fn and(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.rrr(Op::And, rd, rs1, rs2)
+    }
+    /// `rd = rs1 | rs2`
+    pub fn or(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.rrr(Op::Or, rd, rs1, rs2)
+    }
+    /// `rd = rs1 ^ rs2`
+    pub fn xor(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.rrr(Op::Xor, rd, rs1, rs2)
+    }
+    /// `rd = rs1 << (rs2 & 31)`
+    pub fn sll(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.rrr(Op::Sll, rd, rs1, rs2)
+    }
+    /// `rd = rs1 >> (rs2 & 31)` logical
+    pub fn srl(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.rrr(Op::Srl, rd, rs1, rs2)
+    }
+    /// `rd = rs1 >> (rs2 & 31)` arithmetic
+    pub fn sra(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.rrr(Op::Sra, rd, rs1, rs2)
+    }
+    /// `rd = (rs1 < rs2) as signed`
+    pub fn slt(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.rrr(Op::Slt, rd, rs1, rs2)
+    }
+    /// `rd = (rs1 < rs2) as unsigned`
+    pub fn sltu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.rrr(Op::Sltu, rd, rs1, rs2)
+    }
+
+    // --- Integer register-immediate ------------------------------------
+
+    /// Emits a register-immediate integer instruction of the given `op`.
+    ///
+    /// Logical immediates (`andi`/`ori`/`xori`) are zero-extended 16-bit
+    /// values; the rest are sign-extended.
+    pub fn rri(&mut self, op: Op, rd: Reg, rs1: Reg, imm: i32) -> &mut Asm {
+        let imm = match op {
+            Op::Andi | Op::Ori | Op::Xori => self.check_imm16u(op.mnemonic(), imm),
+            _ => self.check_imm16(op.mnemonic(), imm),
+        };
+        self.emit(Inst { op, rd: rd.index(), rs1: rs1.index(), rs2: 0, imm })
+    }
+
+    /// `rd = rs1 + imm`
+    pub fn addi(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Asm {
+        self.rri(Op::Addi, rd, rs1, imm)
+    }
+    /// `rd = rs1 - imm` (sugar for `addi` with negated immediate)
+    pub fn subi(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Asm {
+        self.rri(Op::Addi, rd, rs1, -imm)
+    }
+    /// `rd = rs1 & imm`
+    pub fn andi(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Asm {
+        self.rri(Op::Andi, rd, rs1, imm)
+    }
+    /// `rd = rs1 | imm`
+    pub fn ori(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Asm {
+        self.rri(Op::Ori, rd, rs1, imm)
+    }
+    /// `rd = rs1 ^ imm`
+    pub fn xori(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Asm {
+        self.rri(Op::Xori, rd, rs1, imm)
+    }
+    /// `rd = (rs1 < imm) as signed`
+    pub fn slti(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Asm {
+        self.rri(Op::Slti, rd, rs1, imm)
+    }
+    /// `rd = rs1 << imm`
+    pub fn slli(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Asm {
+        self.rri(Op::Slli, rd, rs1, imm & 31)
+    }
+    /// `rd = rs1 >> imm` logical
+    pub fn srli(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Asm {
+        self.rri(Op::Srli, rd, rs1, imm & 31)
+    }
+    /// `rd = rs1 >> imm` arithmetic
+    pub fn srai(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Asm {
+        self.rri(Op::Srai, rd, rs1, imm & 31)
+    }
+    /// `rd = imm << 16` (`imm` is treated as unsigned 16-bit)
+    pub fn lui(&mut self, rd: Reg, imm: u16) -> &mut Asm {
+        self.emit(Inst { op: Op::Lui, rd: rd.index(), rs1: 0, rs2: 0, imm: imm as i32 })
+    }
+    /// Loads an arbitrary 32-bit constant using `lui` + `ori` (two
+    /// instructions, or one when the value fits a 16-bit immediate).
+    pub fn li(&mut self, rd: Reg, value: u32) -> &mut Asm {
+        if (value as i32) >= -(1 << 15) && (value as i32) < (1 << 15) {
+            return self.addi(rd, Reg::R0, value as i32);
+        }
+        self.lui(rd, (value >> 16) as u16);
+        if value & 0xffff != 0 {
+            self.ori(rd, rd, (value & 0xffff) as i32);
+        }
+        self
+    }
+
+    // --- Memory ----------------------------------------------------------
+
+    fn mem(&mut self, op: Op, data: u8, base: Reg, disp: i32) -> &mut Asm {
+        let disp = self.check_imm16(op.mnemonic(), disp);
+        match op {
+            Op::Sb | Op::Sh | Op::Sw | Op::Fst => {
+                self.emit(Inst { op, rd: 0, rs1: base.index(), rs2: data, imm: disp })
+            }
+            _ => self.emit(Inst { op, rd: data, rs1: base.index(), rs2: 0, imm: disp }),
+        }
+    }
+
+    /// `rd = sign_extend(mem8[rs1 + disp])`
+    pub fn lb(&mut self, rd: Reg, base: Reg, disp: i32) -> &mut Asm {
+        self.mem(Op::Lb, rd.index(), base, disp)
+    }
+    /// `rd = zero_extend(mem8[rs1 + disp])`
+    pub fn lbu(&mut self, rd: Reg, base: Reg, disp: i32) -> &mut Asm {
+        self.mem(Op::Lbu, rd.index(), base, disp)
+    }
+    /// `rd = sign_extend(mem16[rs1 + disp])`
+    pub fn lh(&mut self, rd: Reg, base: Reg, disp: i32) -> &mut Asm {
+        self.mem(Op::Lh, rd.index(), base, disp)
+    }
+    /// `rd = zero_extend(mem16[rs1 + disp])`
+    pub fn lhu(&mut self, rd: Reg, base: Reg, disp: i32) -> &mut Asm {
+        self.mem(Op::Lhu, rd.index(), base, disp)
+    }
+    /// `rd = mem32[rs1 + disp]`
+    pub fn lw(&mut self, rd: Reg, base: Reg, disp: i32) -> &mut Asm {
+        self.mem(Op::Lw, rd.index(), base, disp)
+    }
+    /// `mem8[rs1 + disp] = data`
+    pub fn sb(&mut self, data: Reg, base: Reg, disp: i32) -> &mut Asm {
+        self.mem(Op::Sb, data.index(), base, disp)
+    }
+    /// `mem16[rs1 + disp] = data`
+    pub fn sh(&mut self, data: Reg, base: Reg, disp: i32) -> &mut Asm {
+        self.mem(Op::Sh, data.index(), base, disp)
+    }
+    /// `mem32[rs1 + disp] = data`
+    pub fn sw(&mut self, data: Reg, base: Reg, disp: i32) -> &mut Asm {
+        self.mem(Op::Sw, data.index(), base, disp)
+    }
+    /// `fd = mem64[rs1 + disp]` as a 64-bit float (FP register index `fd`)
+    pub fn fld(&mut self, fd: u8, base: Reg, disp: i32) -> &mut Asm {
+        self.mem(Op::Fld, fd & 31, base, disp)
+    }
+    /// `mem64[rs1 + disp] = fs` (FP register index `fs`)
+    pub fn fst(&mut self, fs: u8, base: Reg, disp: i32) -> &mut Asm {
+        self.mem(Op::Fst, fs & 31, base, disp)
+    }
+
+    // --- Control flow -----------------------------------------------------
+
+    fn branch(&mut self, op: Op, rs1: Reg, rs2: Reg, label: &str) -> &mut Asm {
+        self.emit_to(
+            Inst { op, rd: 0, rs1: rs1.index(), rs2: rs2.index(), imm: 0 },
+            label,
+        )
+    }
+
+    /// Branch to `label` if `rs1 == rs2`.
+    pub fn beq(&mut self, rs1: Reg, rs2: Reg, label: &str) -> &mut Asm {
+        self.branch(Op::Beq, rs1, rs2, label)
+    }
+    /// Branch to `label` if `rs1 != rs2`.
+    pub fn bne(&mut self, rs1: Reg, rs2: Reg, label: &str) -> &mut Asm {
+        self.branch(Op::Bne, rs1, rs2, label)
+    }
+    /// Branch to `label` if `rs1 < rs2` (signed).
+    pub fn blt(&mut self, rs1: Reg, rs2: Reg, label: &str) -> &mut Asm {
+        self.branch(Op::Blt, rs1, rs2, label)
+    }
+    /// Branch to `label` if `rs1 >= rs2` (signed).
+    pub fn bge(&mut self, rs1: Reg, rs2: Reg, label: &str) -> &mut Asm {
+        self.branch(Op::Bge, rs1, rs2, label)
+    }
+    /// Branch to `label` if `rs1 < rs2` (unsigned).
+    pub fn bltu(&mut self, rs1: Reg, rs2: Reg, label: &str) -> &mut Asm {
+        self.branch(Op::Bltu, rs1, rs2, label)
+    }
+    /// Branch to `label` if `rs1 >= rs2` (unsigned).
+    pub fn bgeu(&mut self, rs1: Reg, rs2: Reg, label: &str) -> &mut Asm {
+        self.branch(Op::Bgeu, rs1, rs2, label)
+    }
+    /// Unconditional direct jump to `label`.
+    pub fn j(&mut self, label: &str) -> &mut Asm {
+        self.emit_to(Inst { op: Op::J, rd: 0, rs1: 0, rs2: 0, imm: 0 }, label)
+    }
+    /// Direct call: jump to `label`, return address in `R31`.
+    pub fn call(&mut self, label: &str) -> &mut Asm {
+        self.emit_to(Inst { op: Op::Jal, rd: 0, rs1: 0, rs2: 0, imm: 0 }, label)
+    }
+    /// Indirect jump to the address in `rs1` (e.g. `jr ra` to return).
+    pub fn jr(&mut self, rs1: Reg) -> &mut Asm {
+        self.emit(Inst { op: Op::Jr, rd: 0, rs1: rs1.index(), rs2: 0, imm: 0 })
+    }
+    /// Indirect call through `rs1`; return address written to `rd`.
+    pub fn jalr(&mut self, rd: Reg, rs1: Reg) -> &mut Asm {
+        self.emit(Inst { op: Op::Jalr, rd: rd.index(), rs1: rs1.index(), rs2: 0, imm: 0 })
+    }
+    /// Return: `jr R31`.
+    pub fn ret(&mut self) -> &mut Asm {
+        self.jr(Reg::RA)
+    }
+
+    // --- Floating point -----------------------------------------------------
+
+    fn fff(&mut self, op: Op, fd: u8, fs1: u8, fs2: u8) -> &mut Asm {
+        self.emit(Inst { op, rd: fd & 31, rs1: fs1 & 31, rs2: fs2 & 31, imm: 0 })
+    }
+
+    /// `fd = fs1 + fs2`
+    pub fn fadd(&mut self, fd: u8, fs1: u8, fs2: u8) -> &mut Asm {
+        self.fff(Op::Fadd, fd, fs1, fs2)
+    }
+    /// `fd = fs1 - fs2`
+    pub fn fsub(&mut self, fd: u8, fs1: u8, fs2: u8) -> &mut Asm {
+        self.fff(Op::Fsub, fd, fs1, fs2)
+    }
+    /// `fd = fs1 * fs2`
+    pub fn fmul(&mut self, fd: u8, fs1: u8, fs2: u8) -> &mut Asm {
+        self.fff(Op::Fmul, fd, fs1, fs2)
+    }
+    /// `fd = fs1 / fs2`
+    pub fn fdiv(&mut self, fd: u8, fs1: u8, fs2: u8) -> &mut Asm {
+        self.fff(Op::Fdiv, fd, fs1, fs2)
+    }
+    /// `fd = sqrt(fs1)`
+    pub fn fsqrt(&mut self, fd: u8, fs1: u8) -> &mut Asm {
+        self.fff(Op::Fsqrt, fd, fs1, 0)
+    }
+    /// `fd = fs1`
+    pub fn fmov(&mut self, fd: u8, fs1: u8) -> &mut Asm {
+        self.fff(Op::Fmov, fd, fs1, 0)
+    }
+    /// `fd = -fs1`
+    pub fn fneg(&mut self, fd: u8, fs1: u8) -> &mut Asm {
+        self.fff(Op::Fneg, fd, fs1, 0)
+    }
+    /// `fd = |fs1|`
+    pub fn fabs(&mut self, fd: u8, fs1: u8) -> &mut Asm {
+        self.fff(Op::Fabs, fd, fs1, 0)
+    }
+    /// `rd = (fs1 == fs2) as 0/1`
+    pub fn feq(&mut self, rd: Reg, fs1: u8, fs2: u8) -> &mut Asm {
+        self.emit(Inst { op: Op::Feq, rd: rd.index(), rs1: fs1 & 31, rs2: fs2 & 31, imm: 0 })
+    }
+    /// `rd = (fs1 < fs2) as 0/1`
+    pub fn flt(&mut self, rd: Reg, fs1: u8, fs2: u8) -> &mut Asm {
+        self.emit(Inst { op: Op::Flt, rd: rd.index(), rs1: fs1 & 31, rs2: fs2 & 31, imm: 0 })
+    }
+    /// `rd = (fs1 <= fs2) as 0/1`
+    pub fn fle(&mut self, rd: Reg, fs1: u8, fs2: u8) -> &mut Asm {
+        self.emit(Inst { op: Op::Fle, rd: rd.index(), rs1: fs1 & 31, rs2: fs2 & 31, imm: 0 })
+    }
+    /// `fd = rs1 as f64`
+    pub fn cvtif(&mut self, fd: u8, rs1: Reg) -> &mut Asm {
+        self.emit(Inst { op: Op::Cvtif, rd: fd & 31, rs1: rs1.index(), rs2: 0, imm: 0 })
+    }
+    /// `rd = fs1 as i32` (truncating)
+    pub fn cvtfi(&mut self, rd: Reg, fs1: u8) -> &mut Asm {
+        self.emit(Inst { op: Op::Cvtfi, rd: rd.index(), rs1: fs1 & 31, rs2: 0, imm: 0 })
+    }
+
+    // --- Miscellaneous -----------------------------------------------------
+
+    /// No operation.
+    pub fn nop(&mut self) -> &mut Asm {
+        self.emit(Inst::nop())
+    }
+    /// Writes `rs1` to the program's output sink.
+    pub fn out(&mut self, rs1: Reg) -> &mut Asm {
+        self.emit(Inst { op: Op::Out, rd: 0, rs1: rs1.index(), rs2: 0, imm: 0 })
+    }
+    /// Stops the program.
+    pub fn halt(&mut self) -> &mut Asm {
+        self.emit(Inst { op: Op::Halt, rd: 0, rs1: 0, rs2: 0, imm: 0 })
+    }
+
+    /// Resolves labels and produces the assembled [`Program`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`AsmError`] recorded: undefined or duplicate
+    /// labels, or out-of-range immediates and branch offsets.
+    pub fn assemble(&self) -> Result<Program, AsmError> {
+        if let Some(err) = &self.error {
+            return Err(err.clone());
+        }
+        let mut words = Vec::with_capacity(self.insts.len());
+        for (idx, (inst, target)) in self.insts.iter().enumerate() {
+            let mut inst = *inst;
+            if let Target::Label(name) = target {
+                let dest = *self
+                    .labels
+                    .get(name)
+                    .ok_or_else(|| AsmError::UndefinedLabel(name.clone()))?;
+                let pc = self.base + idx as u32 * INST_BYTES;
+                let offset =
+                    (dest as i64 - (pc as i64 + INST_BYTES as i64)) / INST_BYTES as i64;
+                let limit: i64 = if inst.op == Op::J || inst.op == Op::Jal {
+                    1 << 25
+                } else {
+                    1 << 15
+                };
+                if !(-limit..limit).contains(&offset) {
+                    return Err(AsmError::BranchOutOfRange { label: name.clone(), offset });
+                }
+                inst.imm = offset as i32;
+            }
+            words.push(encode(&inst));
+        }
+        Ok(Program {
+            base: self.base,
+            entry: self.base,
+            words,
+            data: self.data.clone(),
+        })
+    }
+
+    /// Looks up the address of a defined label.
+    pub fn label_addr(&self, name: &str) -> Option<u32> {
+        self.labels.get(name).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode;
+
+    #[test]
+    fn forward_and_backward_labels() {
+        let mut a = Asm::new();
+        a.addi(Reg::R1, Reg::R0, 4);
+        a.label("top");
+        a.subi(Reg::R1, Reg::R1, 1);
+        a.bne(Reg::R1, Reg::R0, "top"); // backward
+        a.beq(Reg::R0, Reg::R0, "end"); // forward
+        a.nop();
+        a.label("end");
+        a.halt();
+        let p = a.assemble().unwrap();
+        let back = decode(p.words[2]).unwrap();
+        assert_eq!(back.imm, -2); // bne back over subi
+        let fwd = decode(p.words[3]).unwrap();
+        assert_eq!(fwd.imm, 1); // beq over the nop
+    }
+
+    #[test]
+    fn undefined_label_reported() {
+        let mut a = Asm::new();
+        a.j("nowhere");
+        assert_eq!(a.assemble(), Err(AsmError::UndefinedLabel("nowhere".into())));
+    }
+
+    #[test]
+    fn duplicate_label_reported() {
+        let mut a = Asm::new();
+        a.label("x");
+        a.nop();
+        a.label("x");
+        a.halt();
+        assert_eq!(a.assemble(), Err(AsmError::DuplicateLabel("x".into())));
+    }
+
+    #[test]
+    fn li_small_uses_one_instruction() {
+        let mut a = Asm::new();
+        a.li(Reg::R1, 100);
+        assert_eq!(a.len(), 1);
+        let mut b = Asm::new();
+        b.li(Reg::R1, 0xdead_beef);
+        assert_eq!(b.len(), 2);
+        let p = b.assemble().unwrap();
+        let lui = decode(p.words[0]).unwrap();
+        assert_eq!(lui.op, Op::Lui);
+        assert_eq!(lui.imm, 0xdead);
+    }
+
+    #[test]
+    fn li_exact_multiple_of_64k() {
+        let mut a = Asm::new();
+        a.li(Reg::R2, 0x0003_0000);
+        assert_eq!(a.len(), 1); // ori elided when low half is zero
+        let p = a.assemble().unwrap();
+        let lui = decode(p.words[0]).unwrap();
+        assert_eq!(lui.op, Op::Lui);
+        assert_eq!(lui.imm, 3);
+    }
+
+    #[test]
+    fn immediate_out_of_range_reported() {
+        let mut a = Asm::new();
+        a.addi(Reg::R1, Reg::R0, 1 << 20);
+        a.halt();
+        assert!(matches!(a.assemble(), Err(AsmError::ImmediateOutOfRange { .. })));
+    }
+
+    #[test]
+    fn data_segments_collected() {
+        let mut a = Asm::new();
+        a.data_words(0x0010_0000, &[1, 2, 3]);
+        a.data_f64(0x0010_1000, &[1.5]);
+        a.halt();
+        let p = a.assemble().unwrap();
+        assert_eq!(p.data.len(), 2);
+        assert_eq!(p.data[0].1.len(), 12);
+        assert_eq!(p.data[1].1, 1.5f64.to_le_bytes().to_vec());
+    }
+
+    #[test]
+    fn here_tracks_addresses() {
+        let mut a = Asm::with_base(0x2000);
+        assert_eq!(a.here(), 0x2000);
+        a.nop();
+        assert_eq!(a.here(), 0x2004);
+    }
+
+    #[test]
+    fn subi_negates() {
+        let mut a = Asm::new();
+        a.subi(Reg::R1, Reg::R1, 7);
+        let p = a.assemble().unwrap();
+        let i = decode(p.words[0]).unwrap();
+        assert_eq!((i.op, i.imm), (Op::Addi, -7));
+    }
+}

@@ -1,0 +1,255 @@
+//! Fixed 32-bit binary instruction encoding.
+//!
+//! Layout (bit 31 is most significant):
+//!
+//! ```text
+//! [31:26] opcode (6 bits)
+//! R-type  : [25:21] rd   [20:16] rs1  [15:11] rs2   [10:0] zero
+//! I-type  : [25:21] rd   [20:16] rs1  [15:0]  imm16 (signed)
+//! store   : [25:21] rs2  [20:16] rs1  [15:0]  imm16 (signed, data reg first)
+//! branch  : [25:21] rs1  [20:16] rs2  [15:0]  imm16 (signed word offset)
+//! J-type  : [25:0]  imm26 (signed word offset)
+//! ```
+//!
+//! Branch and jump offsets are in *words* relative to the instruction after
+//! the branch (i.e. target = pc + 4 + 4·imm). `lui` stores its 16-bit
+//! immediate zero-extended; all other immediates are sign-extended.
+
+use crate::inst::{Inst, Op};
+use std::fmt;
+
+/// Error returned by [`decode`] for an invalid instruction word.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DecodeError {
+    /// The word that failed to decode.
+    pub word: u32,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid instruction word {:#010x}", self.word)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Instruction field format, derived from the opcode.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Format {
+    /// rd, rs1, rs2 register fields.
+    R,
+    /// rd, rs1, signed 16-bit immediate.
+    I,
+    /// rd, rs1, zero-extended 16-bit immediate (logical immediates).
+    Iu,
+    /// rd and zero-extended 16-bit immediate (`lui`).
+    U,
+    /// Store: rs2 (data), rs1 (base), signed 16-bit displacement.
+    St,
+    /// Branch: rs1, rs2, signed 16-bit word offset.
+    Br,
+    /// 26-bit signed word offset (`j`, `jal`).
+    J26,
+    /// No operands encoded beyond those in the register fields.
+    Bare,
+}
+
+fn format_of(op: Op) -> Format {
+    use Op::*;
+    match op {
+        Add | Sub | Mul | Div | Rem | And | Or | Xor | Sll | Srl | Sra | Slt | Sltu | Fadd
+        | Fsub | Fmul | Fdiv | Fsqrt | Fmov | Fneg | Fabs | Feq | Flt | Fle | Cvtif | Cvtfi
+        | Jr | Jalr | Out => Format::R,
+        Addi | Slti | Slli | Srli | Srai | Lb | Lbu | Lh | Lhu | Lw | Fld => Format::I,
+        Andi | Ori | Xori => Format::Iu,
+        Lui => Format::U,
+        Sb | Sh | Sw | Fst => Format::St,
+        Beq | Bne | Blt | Bge | Bltu | Bgeu => Format::Br,
+        J | Jal => Format::J26,
+        Nop | Halt => Format::Bare,
+    }
+}
+
+const IMM16_MIN: i32 = -(1 << 15);
+const IMM16_MAX: i32 = (1 << 15) - 1;
+const IMM26_MIN: i32 = -(1 << 25);
+const IMM26_MAX: i32 = (1 << 25) - 1;
+
+/// Encodes a decoded instruction into its 32-bit word.
+///
+/// # Panics
+///
+/// Panics if an immediate is out of range for the instruction's format
+/// (16-bit signed for I/store/branch forms, 26-bit signed for `j`/`jal`,
+/// 16-bit unsigned for `lui`) or a register index is ≥ 32. The assembler
+/// validates these before calling `encode`.
+pub fn encode(inst: &Inst) -> u32 {
+    assert!(inst.rd < 32 && inst.rs1 < 32 && inst.rs2 < 32, "register index out of range");
+    let op = (inst.op as u32) << 26;
+    let imm16 = |v: i32| -> u32 {
+        assert!(
+            (IMM16_MIN..=IMM16_MAX).contains(&v),
+            "immediate {v} out of 16-bit range for {}",
+            inst.op.mnemonic()
+        );
+        (v as u32) & 0xffff
+    };
+    match format_of(inst.op) {
+        Format::R => {
+            op | (inst.rd as u32) << 21 | (inst.rs1 as u32) << 16 | (inst.rs2 as u32) << 11
+        }
+        Format::I => op | (inst.rd as u32) << 21 | (inst.rs1 as u32) << 16 | imm16(inst.imm),
+        Format::Iu => {
+            assert!(
+                (0..=0xffff).contains(&inst.imm),
+                "immediate {} out of unsigned 16-bit range for {}",
+                inst.imm,
+                inst.op.mnemonic()
+            );
+            op | (inst.rd as u32) << 21 | (inst.rs1 as u32) << 16 | (inst.imm as u32)
+        }
+        Format::U => {
+            assert!(
+                (0..=0xffff).contains(&inst.imm),
+                "lui immediate {} out of unsigned 16-bit range",
+                inst.imm
+            );
+            op | (inst.rd as u32) << 21 | (inst.imm as u32)
+        }
+        Format::St => op | (inst.rs2 as u32) << 21 | (inst.rs1 as u32) << 16 | imm16(inst.imm),
+        Format::Br => op | (inst.rs1 as u32) << 21 | (inst.rs2 as u32) << 16 | imm16(inst.imm),
+        Format::J26 => {
+            assert!(
+                (IMM26_MIN..=IMM26_MAX).contains(&inst.imm),
+                "jump offset {} out of 26-bit range",
+                inst.imm
+            );
+            op | ((inst.imm as u32) & 0x03ff_ffff)
+        }
+        Format::Bare => op,
+    }
+}
+
+/// Decodes a 32-bit instruction word.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] if the opcode field does not name a valid
+/// operation.
+pub fn decode(word: u32) -> Result<Inst, DecodeError> {
+    let op = Op::from_u8((word >> 26) as u8).ok_or(DecodeError { word })?;
+    let a = ((word >> 21) & 31) as u8;
+    let b = ((word >> 16) & 31) as u8;
+    let c = ((word >> 11) & 31) as u8;
+    let sx16 = (word & 0xffff) as u16 as i16 as i32;
+    let inst = match format_of(op) {
+        Format::R => Inst { op, rd: a, rs1: b, rs2: c, imm: 0 },
+        Format::I => Inst { op, rd: a, rs1: b, rs2: 0, imm: sx16 },
+        Format::Iu => Inst { op, rd: a, rs1: b, rs2: 0, imm: (word & 0xffff) as i32 },
+        Format::U => Inst { op, rd: a, rs1: 0, rs2: 0, imm: (word & 0xffff) as i32 },
+        Format::St => Inst { op, rd: 0, rs1: b, rs2: a, imm: sx16 },
+        Format::Br => Inst { op, rd: 0, rs1: a, rs2: b, imm: sx16 },
+        Format::J26 => {
+            // Sign-extend the 26-bit field.
+            let raw = word & 0x03ff_ffff;
+            let imm = ((raw << 6) as i32) >> 6;
+            Inst { op, rd: 0, rs1: 0, rs2: 0, imm }
+        }
+        Format::Bare => Inst { op, rd: 0, rs1: 0, rs2: 0, imm: 0 },
+    };
+    Ok(inst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn round_trip_simple() {
+        let i = Inst { op: Op::Add, rd: 1, rs1: 2, rs2: 3, imm: 0 };
+        assert_eq!(decode(encode(&i)).unwrap(), i);
+    }
+
+    #[test]
+    fn round_trip_negative_offsets() {
+        let b = Inst { op: Op::Bne, rd: 0, rs1: 4, rs2: 5, imm: -200 };
+        assert_eq!(decode(encode(&b)).unwrap(), b);
+        let j = Inst { op: Op::J, rd: 0, rs1: 0, rs2: 0, imm: -(1 << 25) };
+        assert_eq!(decode(encode(&j)).unwrap(), j);
+    }
+
+    #[test]
+    fn store_field_order() {
+        let s = Inst { op: Op::Sw, rd: 0, rs1: 7, rs2: 9, imm: -8 };
+        assert_eq!(decode(encode(&s)).unwrap(), s);
+    }
+
+    #[test]
+    fn invalid_opcode_rejected() {
+        let bad = 0xffff_ffff;
+        assert!(decode(bad).is_err());
+        let err = decode(bad).unwrap_err();
+        assert_eq!(err.word, bad);
+        assert!(err.to_string().contains("0xffffffff"));
+    }
+
+    #[test]
+    #[should_panic(expected = "16-bit range")]
+    fn immediate_overflow_panics() {
+        let i = Inst { op: Op::Addi, rd: 1, rs1: 1, rs2: 0, imm: 40000 };
+        let _ = encode(&i);
+    }
+
+    #[test]
+    fn lui_zero_extends() {
+        let i = Inst { op: Op::Lui, rd: 3, rs1: 0, rs2: 0, imm: 0xffff };
+        assert_eq!(decode(encode(&i)).unwrap().imm, 0xffff);
+    }
+
+    /// Strategy producing an arbitrary *canonical* instruction: one whose
+    /// fields are all within encodable range and where unused fields are
+    /// zero (as `decode` produces).
+    fn arb_inst() -> impl Strategy<Value = Inst> {
+        (0u8..=Op::Halt as u8, 0u8..32, 0u8..32, 0u8..32, IMM16_MIN..=IMM16_MAX).prop_map(
+            |(opv, rd, rs1, rs2, imm)| {
+                let op = Op::from_u8(opv).unwrap();
+                match super::format_of(op) {
+                    Format::R => Inst { op, rd, rs1, rs2, imm: 0 },
+                    Format::I => Inst { op, rd, rs1, rs2: 0, imm },
+                    Format::Iu => Inst { op, rd, rs1, rs2: 0, imm: imm & 0xffff },
+                    Format::U => Inst { op, rd, rs1: 0, rs2: 0, imm: imm & 0xffff },
+                    Format::St => Inst { op, rd: 0, rs1, rs2, imm },
+                    Format::Br => Inst { op, rd: 0, rs1, rs2, imm },
+                    Format::J26 => Inst { op, rd: 0, rs1: 0, rs2: 0, imm },
+                    Format::Bare => Inst { op, rd: 0, rs1: 0, rs2: 0, imm: 0 },
+                }
+            },
+        )
+    }
+
+    proptest! {
+        #[test]
+        fn prop_encode_decode_round_trip(inst in arb_inst()) {
+            let word = encode(&inst);
+            let back = decode(word).unwrap();
+            prop_assert_eq!(back, inst);
+        }
+
+        #[test]
+        fn prop_decode_never_panics(word in any::<u32>()) {
+            let _ = decode(word);
+        }
+
+        #[test]
+        fn prop_decoded_reencodes_identically(word in any::<u32>()) {
+            if let Ok(inst) = decode(word) {
+                // Re-encoding a decoded instruction must reproduce the
+                // canonical bits (unused fields zeroed).
+                let recoded = encode(&inst);
+                let back = decode(recoded).unwrap();
+                prop_assert_eq!(back, inst);
+            }
+        }
+    }
+}

@@ -1,0 +1,650 @@
+//! Decoded instruction representation and classification queries.
+
+use crate::reg::Reg;
+use crate::INST_BYTES;
+use std::fmt;
+
+/// Operation code of an instruction.
+///
+/// The set mirrors the parts of SPARC V8 the paper's simulator exercises:
+/// single-cycle integer ALU operations, a multi-cycle multiply and a
+/// 34-cycle divide, loads and stores of several widths, compare-and-branch
+/// conditional branches, direct and indirect jumps (including calls and
+/// returns), and floating-point add/multiply/divide/square-root.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+#[repr(u8)]
+pub enum Op {
+    // Integer register-register ALU.
+    Add = 0,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Sll,
+    Srl,
+    Sra,
+    Slt,
+    Sltu,
+    // Integer register-immediate ALU.
+    Addi,
+    Andi,
+    Ori,
+    Xori,
+    Slti,
+    Slli,
+    Srli,
+    Srai,
+    /// Load upper immediate: `rd = imm << 16`.
+    Lui,
+    // Memory.
+    Lb,
+    Lbu,
+    Lh,
+    Lhu,
+    Lw,
+    Sb,
+    Sh,
+    Sw,
+    /// Load a 64-bit float into an FP register.
+    Fld,
+    /// Store a 64-bit float from an FP register.
+    Fst,
+    // Conditional branches (compare-and-branch, like MIPS).
+    Beq,
+    Bne,
+    Blt,
+    Bge,
+    Bltu,
+    Bgeu,
+    // Jumps.
+    /// Unconditional direct jump (single static target).
+    J,
+    /// Direct call: jumps and writes the return address to `R31`.
+    Jal,
+    /// Indirect jump through an integer register (includes returns).
+    Jr,
+    /// Indirect call: jumps through `rs1`, writes return address to `rd`.
+    Jalr,
+    // Floating point (operands name FP registers).
+    Fadd,
+    Fsub,
+    Fmul,
+    Fdiv,
+    Fsqrt,
+    Fmov,
+    Fneg,
+    Fabs,
+    // FP compares write an integer register.
+    Feq,
+    Flt,
+    Fle,
+    // Conversions.
+    /// Convert integer register `rs1` to float in FP register `rd`.
+    Cvtif,
+    /// Convert FP register `rs1` (truncating) to integer register `rd`.
+    Cvtfi,
+    // Miscellaneous.
+    Nop,
+    /// Write the value of integer register `rs1` to the output sink.
+    Out,
+    /// Stop the program.
+    Halt,
+}
+
+impl Op {
+    /// All operations, in opcode order. Useful for exhaustive tests.
+    pub const ALL: [Op; 58] = [
+        Op::Add,
+        Op::Sub,
+        Op::Mul,
+        Op::Div,
+        Op::Rem,
+        Op::And,
+        Op::Or,
+        Op::Xor,
+        Op::Sll,
+        Op::Srl,
+        Op::Sra,
+        Op::Slt,
+        Op::Sltu,
+        Op::Addi,
+        Op::Andi,
+        Op::Ori,
+        Op::Xori,
+        Op::Slti,
+        Op::Slli,
+        Op::Srli,
+        Op::Srai,
+        Op::Lui,
+        Op::Lb,
+        Op::Lbu,
+        Op::Lh,
+        Op::Lhu,
+        Op::Lw,
+        Op::Sb,
+        Op::Sh,
+        Op::Sw,
+        Op::Fld,
+        Op::Fst,
+        Op::Beq,
+        Op::Bne,
+        Op::Blt,
+        Op::Bge,
+        Op::Bltu,
+        Op::Bgeu,
+        Op::J,
+        Op::Jal,
+        Op::Jr,
+        Op::Jalr,
+        Op::Fadd,
+        Op::Fsub,
+        Op::Fmul,
+        Op::Fdiv,
+        Op::Fsqrt,
+        Op::Fmov,
+        Op::Fneg,
+        Op::Fabs,
+        Op::Feq,
+        Op::Flt,
+        Op::Fle,
+        Op::Cvtif,
+        Op::Cvtfi,
+        Op::Nop,
+        Op::Out,
+        Op::Halt,
+    ];
+
+    /// Decodes an opcode from its numeric value.
+    pub fn from_u8(v: u8) -> Option<Op> {
+        if v <= Op::Halt as u8 {
+            // Safety in spirit: Op is a dense `repr(u8)` enum starting at 0;
+            // we map via a match to stay fully safe.
+            Some(match v {
+                0 => Op::Add,
+                1 => Op::Sub,
+                2 => Op::Mul,
+                3 => Op::Div,
+                4 => Op::Rem,
+                5 => Op::And,
+                6 => Op::Or,
+                7 => Op::Xor,
+                8 => Op::Sll,
+                9 => Op::Srl,
+                10 => Op::Sra,
+                11 => Op::Slt,
+                12 => Op::Sltu,
+                13 => Op::Addi,
+                14 => Op::Andi,
+                15 => Op::Ori,
+                16 => Op::Xori,
+                17 => Op::Slti,
+                18 => Op::Slli,
+                19 => Op::Srli,
+                20 => Op::Srai,
+                21 => Op::Lui,
+                22 => Op::Lb,
+                23 => Op::Lbu,
+                24 => Op::Lh,
+                25 => Op::Lhu,
+                26 => Op::Lw,
+                27 => Op::Sb,
+                28 => Op::Sh,
+                29 => Op::Sw,
+                30 => Op::Fld,
+                31 => Op::Fst,
+                32 => Op::Beq,
+                33 => Op::Bne,
+                34 => Op::Blt,
+                35 => Op::Bge,
+                36 => Op::Bltu,
+                37 => Op::Bgeu,
+                38 => Op::J,
+                39 => Op::Jal,
+                40 => Op::Jr,
+                41 => Op::Jalr,
+                42 => Op::Fadd,
+                43 => Op::Fsub,
+                44 => Op::Fmul,
+                45 => Op::Fdiv,
+                46 => Op::Fsqrt,
+                47 => Op::Fmov,
+                48 => Op::Fneg,
+                49 => Op::Fabs,
+                50 => Op::Feq,
+                51 => Op::Flt,
+                52 => Op::Fle,
+                53 => Op::Cvtif,
+                54 => Op::Cvtfi,
+                55 => Op::Nop,
+                56 => Op::Out,
+                57 => Op::Halt,
+                _ => return None,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Lower-case mnemonic as used by the assembler and disassembler.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Op::Add => "add",
+            Op::Sub => "sub",
+            Op::Mul => "mul",
+            Op::Div => "div",
+            Op::Rem => "rem",
+            Op::And => "and",
+            Op::Or => "or",
+            Op::Xor => "xor",
+            Op::Sll => "sll",
+            Op::Srl => "srl",
+            Op::Sra => "sra",
+            Op::Slt => "slt",
+            Op::Sltu => "sltu",
+            Op::Addi => "addi",
+            Op::Andi => "andi",
+            Op::Ori => "ori",
+            Op::Xori => "xori",
+            Op::Slti => "slti",
+            Op::Slli => "slli",
+            Op::Srli => "srli",
+            Op::Srai => "srai",
+            Op::Lui => "lui",
+            Op::Lb => "lb",
+            Op::Lbu => "lbu",
+            Op::Lh => "lh",
+            Op::Lhu => "lhu",
+            Op::Lw => "lw",
+            Op::Sb => "sb",
+            Op::Sh => "sh",
+            Op::Sw => "sw",
+            Op::Fld => "fld",
+            Op::Fst => "fst",
+            Op::Beq => "beq",
+            Op::Bne => "bne",
+            Op::Blt => "blt",
+            Op::Bge => "bge",
+            Op::Bltu => "bltu",
+            Op::Bgeu => "bgeu",
+            Op::J => "j",
+            Op::Jal => "jal",
+            Op::Jr => "jr",
+            Op::Jalr => "jalr",
+            Op::Fadd => "fadd",
+            Op::Fsub => "fsub",
+            Op::Fmul => "fmul",
+            Op::Fdiv => "fdiv",
+            Op::Fsqrt => "fsqrt",
+            Op::Fmov => "fmov",
+            Op::Fneg => "fneg",
+            Op::Fabs => "fabs",
+            Op::Feq => "feq",
+            Op::Flt => "flt",
+            Op::Fle => "fle",
+            Op::Cvtif => "cvtif",
+            Op::Cvtfi => "cvtfi",
+            Op::Nop => "nop",
+            Op::Out => "out",
+            Op::Halt => "halt",
+        }
+    }
+}
+
+/// A reference to either an integer or a floating-point register.
+///
+/// The out-of-order pipeline model uses these to recompute data dependencies
+/// and physical-register pressure every cycle.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum RegRef {
+    /// Integer register with the given index.
+    Int(u8),
+    /// Floating-point register with the given index.
+    Fp(u8),
+}
+
+impl fmt::Display for RegRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegRef::Int(i) => write!(f, "r{i}"),
+            RegRef::Fp(i) => write!(f, "f{i}"),
+        }
+    }
+}
+
+/// The execution class of an instruction: which function unit it occupies and
+/// how it is timed by the out-of-order pipeline model.
+///
+/// Latencies are configured in the µ-architecture model; the class only
+/// identifies the kind of resource consumed (paper Figure 1: two integer
+/// ALUs, an FP adder and an FP multiplier — which also hosts divide and
+/// square root — and one load/store address adder feeding the data cache).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum ExecClass {
+    /// Single-cycle integer ALU operation.
+    IntAlu,
+    /// Integer multiply (multi-cycle).
+    IntMul,
+    /// Integer divide (the paper's 34-cycle example).
+    IntDiv,
+    /// FP add/subtract/compare/convert/move class (FP adder pipeline).
+    FpAdd,
+    /// FP multiply.
+    FpMul,
+    /// FP divide (non-pipelined).
+    FpDiv,
+    /// FP square root (non-pipelined).
+    FpSqrt,
+    /// Memory load (address generation + cache access).
+    Load,
+    /// Memory store (address generation + cache access).
+    Store,
+    /// Conditional branch.
+    Branch,
+    /// Direct unconditional jump or call (single static target).
+    Jump,
+    /// Indirect jump or call (target known only at run time).
+    JumpInd,
+    /// Program termination.
+    Halt,
+}
+
+/// A decoded instruction.
+///
+/// Field meaning depends on [`Op`]; use the classification and operand
+/// queries ([`Inst::dest`], [`Inst::sources`], [`Inst::exec_class`], …)
+/// rather than interpreting fields directly.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Inst {
+    /// Operation.
+    pub op: Op,
+    /// Destination register index (integer or FP depending on `op`).
+    pub rd: u8,
+    /// First source register index.
+    pub rs1: u8,
+    /// Second source register index.
+    pub rs2: u8,
+    /// Immediate operand. For branches and direct jumps this is a *word*
+    /// offset relative to the next instruction; for memory operations a
+    /// signed byte displacement; for ALU immediates a sign-extended value.
+    pub imm: i32,
+}
+
+/// Fixed-size list of source registers of an instruction (at most two).
+pub type SourceRegs = [Option<RegRef>; 2];
+
+impl Inst {
+    /// Creates a NOP.
+    pub fn nop() -> Inst {
+        Inst { op: Op::Nop, rd: 0, rs1: 0, rs2: 0, imm: 0 }
+    }
+
+    /// The execution class used by the timing model.
+    pub fn exec_class(&self) -> ExecClass {
+        use Op::*;
+        match self.op {
+            Add | Sub | And | Or | Xor | Sll | Srl | Sra | Slt | Sltu | Addi | Andi | Ori
+            | Xori | Slti | Slli | Srli | Srai | Lui | Nop | Out => ExecClass::IntAlu,
+            Mul => ExecClass::IntMul,
+            Div | Rem => ExecClass::IntDiv,
+            Lb | Lbu | Lh | Lhu | Lw | Fld => ExecClass::Load,
+            Sb | Sh | Sw | Fst => ExecClass::Store,
+            Beq | Bne | Blt | Bge | Bltu | Bgeu => ExecClass::Branch,
+            J | Jal => ExecClass::Jump,
+            Jr | Jalr => ExecClass::JumpInd,
+            Fadd | Fsub | Fmov | Fneg | Fabs | Feq | Flt | Fle | Cvtif | Cvtfi => ExecClass::FpAdd,
+            Fmul => ExecClass::FpMul,
+            Fdiv => ExecClass::FpDiv,
+            Fsqrt => ExecClass::FpSqrt,
+            Halt => ExecClass::Halt,
+        }
+    }
+
+    /// Whether this is a conditional branch.
+    pub fn is_cond_branch(&self) -> bool {
+        self.exec_class() == ExecClass::Branch
+    }
+
+    /// Whether this is an indirect jump (target not statically known).
+    pub fn is_indirect_jump(&self) -> bool {
+        self.exec_class() == ExecClass::JumpInd
+    }
+
+    /// Whether this instruction can redirect fetch (branch or any jump).
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self.exec_class(),
+            ExecClass::Branch | ExecClass::Jump | ExecClass::JumpInd
+        )
+    }
+
+    /// Whether this is a control transfer with more than one possible
+    /// successor — the points at which the paper's instrumented executable
+    /// invokes the µ-architecture simulator (conditional branches and
+    /// indirect jumps, including returns).
+    pub fn is_multi_target_control(&self) -> bool {
+        self.is_cond_branch() || self.is_indirect_jump()
+    }
+
+    /// Whether this is a memory load.
+    pub fn is_load(&self) -> bool {
+        self.exec_class() == ExecClass::Load
+    }
+
+    /// Whether this is a memory store.
+    pub fn is_store(&self) -> bool {
+        self.exec_class() == ExecClass::Store
+    }
+
+    /// Access width in bytes for memory operations, `None` otherwise.
+    pub fn mem_width(&self) -> Option<u32> {
+        use Op::*;
+        match self.op {
+            Lb | Lbu | Sb => Some(1),
+            Lh | Lhu | Sh => Some(2),
+            Lw | Sw => Some(4),
+            Fld | Fst => Some(8),
+            _ => None,
+        }
+    }
+
+    /// The register written by this instruction, if any. Writes to the
+    /// hardwired-zero integer register count as no destination.
+    pub fn dest(&self) -> Option<RegRef> {
+        use Op::*;
+        let int_dest = |r: u8| if r == 0 { None } else { Some(RegRef::Int(r)) };
+        match self.op {
+            Add | Sub | Mul | Div | Rem | And | Or | Xor | Sll | Srl | Sra | Slt | Sltu
+            | Addi | Andi | Ori | Xori | Slti | Slli | Srli | Srai | Lui | Lb | Lbu | Lh
+            | Lhu | Lw | Feq | Flt | Fle | Cvtfi => int_dest(self.rd),
+            Jal => int_dest(Reg::RA.index()),
+            Jalr => int_dest(self.rd),
+            Fld | Fadd | Fsub | Fmul | Fdiv | Fsqrt | Fmov | Fneg | Fabs | Cvtif => {
+                Some(RegRef::Fp(self.rd))
+            }
+            Sb | Sh | Sw | Fst | Beq | Bne | Blt | Bge | Bltu | Bgeu | J | Jr | Nop | Out
+            | Halt => None,
+        }
+    }
+
+    /// The registers read by this instruction (up to two). Reads of the
+    /// hardwired-zero register are omitted (they never create dependencies).
+    pub fn sources(&self) -> SourceRegs {
+        use Op::*;
+        let int_src = |r: u8| if r == 0 { None } else { Some(RegRef::Int(r)) };
+        match self.op {
+            Add | Sub | Mul | Div | Rem | And | Or | Xor | Sll | Srl | Sra | Slt | Sltu => {
+                [int_src(self.rs1), int_src(self.rs2)]
+            }
+            Addi | Andi | Ori | Xori | Slti | Slli | Srli | Srai => [int_src(self.rs1), None],
+            Lui | Nop | Halt | J | Jal => [None, None],
+            Lb | Lbu | Lh | Lhu | Lw | Fld => [int_src(self.rs1), None],
+            Sb | Sh | Sw => [int_src(self.rs1), int_src(self.rs2)],
+            // FP store reads the address register and the FP data register.
+            Fst => [int_src(self.rs1), Some(RegRef::Fp(self.rs2 & 31))],
+            Beq | Bne | Blt | Bge | Bltu | Bgeu => [int_src(self.rs1), int_src(self.rs2)],
+            Jr | Jalr => [int_src(self.rs1), None],
+            Fadd | Fsub | Fmul | Fdiv => {
+                [Some(RegRef::Fp(self.rs1)), Some(RegRef::Fp(self.rs2))]
+            }
+            Fsqrt | Fmov | Fneg | Fabs | Cvtfi => [Some(RegRef::Fp(self.rs1)), None],
+            Feq | Flt | Fle => [Some(RegRef::Fp(self.rs1)), Some(RegRef::Fp(self.rs2))],
+            Cvtif => [int_src(self.rs1), None],
+            Out => [int_src(self.rs1), None],
+        }
+    }
+
+    /// For branches and direct jumps: the static target address, given this
+    /// instruction's address. `None` for all other instructions (including
+    /// indirect jumps, whose target is dynamic).
+    pub fn static_target(&self, pc: u32) -> Option<u32> {
+        use Op::*;
+        match self.op {
+            Beq | Bne | Blt | Bge | Bltu | Bgeu | J | Jal => Some(
+                pc.wrapping_add(INST_BYTES)
+                    .wrapping_add((self.imm as u32).wrapping_mul(INST_BYTES)),
+            ),
+            _ => None,
+        }
+    }
+}
+
+impl Default for Inst {
+    fn default() -> Inst {
+        Inst::nop()
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use Op::*;
+        let m = self.op.mnemonic();
+        match self.op {
+            Add | Sub | Mul | Div | Rem | And | Or | Xor | Sll | Srl | Sra | Slt | Sltu => {
+                write!(f, "{m} r{}, r{}, r{}", self.rd, self.rs1, self.rs2)
+            }
+            Addi | Andi | Ori | Xori | Slti | Slli | Srli | Srai => {
+                write!(f, "{m} r{}, r{}, {}", self.rd, self.rs1, self.imm)
+            }
+            Lui => write!(f, "{m} r{}, {}", self.rd, self.imm),
+            Lb | Lbu | Lh | Lhu | Lw => {
+                write!(f, "{m} r{}, {}(r{})", self.rd, self.imm, self.rs1)
+            }
+            Fld => write!(f, "{m} f{}, {}(r{})", self.rd, self.imm, self.rs1),
+            Sb | Sh | Sw => write!(f, "{m} r{}, {}(r{})", self.rs2, self.imm, self.rs1),
+            Fst => write!(f, "{m} f{}, {}(r{})", self.rs2, self.imm, self.rs1),
+            Beq | Bne | Blt | Bge | Bltu | Bgeu => {
+                write!(f, "{m} r{}, r{}, {:+}", self.rs1, self.rs2, self.imm)
+            }
+            J | Jal => write!(f, "{m} {:+}", self.imm),
+            Jr => write!(f, "{m} r{}", self.rs1),
+            Jalr => write!(f, "{m} r{}, r{}", self.rd, self.rs1),
+            Fadd | Fsub | Fmul | Fdiv => {
+                write!(f, "{m} f{}, f{}, f{}", self.rd, self.rs1, self.rs2)
+            }
+            Fsqrt | Fmov | Fneg | Fabs => write!(f, "{m} f{}, f{}", self.rd, self.rs1),
+            Feq | Flt | Fle => write!(f, "{m} r{}, f{}, f{}", self.rd, self.rs1, self.rs2),
+            Cvtif => write!(f, "{m} f{}, r{}", self.rd, self.rs1),
+            Cvtfi => write!(f, "{m} r{}, f{}", self.rd, self.rs1),
+            Nop | Halt => write!(f, "{m}"),
+            Out => write!(f, "{m} r{}", self.rs1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inst(op: Op, rd: u8, rs1: u8, rs2: u8, imm: i32) -> Inst {
+        Inst { op, rd, rs1, rs2, imm }
+    }
+
+    #[test]
+    fn opcode_round_trip() {
+        for v in 0..=Op::Halt as u8 {
+            let op = Op::from_u8(v).expect("dense opcode space");
+            assert_eq!(op as u8, v);
+        }
+        assert_eq!(Op::from_u8(Op::Halt as u8 + 1), None);
+        assert_eq!(Op::from_u8(255), None);
+    }
+
+    #[test]
+    fn zero_register_creates_no_deps() {
+        let i = inst(Op::Add, 0, 0, 0, 0);
+        assert_eq!(i.dest(), None);
+        assert_eq!(i.sources(), [None, None]);
+    }
+
+    #[test]
+    fn load_classification() {
+        let i = inst(Op::Lw, 3, 4, 0, 16);
+        assert!(i.is_load());
+        assert!(!i.is_store());
+        assert_eq!(i.mem_width(), Some(4));
+        assert_eq!(i.dest(), Some(RegRef::Int(3)));
+        assert_eq!(i.sources(), [Some(RegRef::Int(4)), None]);
+    }
+
+    #[test]
+    fn fp_store_reads_fp_data_register() {
+        let i = inst(Op::Fst, 0, 5, 7, 8);
+        assert_eq!(i.mem_width(), Some(8));
+        assert_eq!(i.sources(), [Some(RegRef::Int(5)), Some(RegRef::Fp(7))]);
+        assert_eq!(i.dest(), None);
+    }
+
+    #[test]
+    fn branch_is_multi_target() {
+        let b = inst(Op::Bne, 0, 1, 2, -3);
+        assert!(b.is_multi_target_control());
+        assert!(b.is_control());
+        // Target: pc + 4 + (-3 * 4).
+        assert_eq!(b.static_target(0x1000), Some(0x1000 + 4 - 12));
+    }
+
+    #[test]
+    fn direct_jump_is_single_target() {
+        let j = inst(Op::J, 0, 0, 0, 10);
+        assert!(j.is_control());
+        assert!(!j.is_multi_target_control());
+        assert_eq!(j.static_target(0x100), Some(0x100 + 4 + 40));
+    }
+
+    #[test]
+    fn indirect_jump_has_no_static_target() {
+        let jr = inst(Op::Jr, 0, 31, 0, 0);
+        assert!(jr.is_multi_target_control());
+        assert_eq!(jr.static_target(0x100), None);
+    }
+
+    #[test]
+    fn call_defines_link_register() {
+        let jal = inst(Op::Jal, 0, 0, 0, 5);
+        assert_eq!(jal.dest(), Some(RegRef::Int(31)));
+        let jalr = inst(Op::Jalr, 7, 2, 0, 0);
+        assert_eq!(jalr.dest(), Some(RegRef::Int(7)));
+        assert_eq!(jalr.sources(), [Some(RegRef::Int(2)), None]);
+    }
+
+    #[test]
+    fn exec_classes() {
+        assert_eq!(inst(Op::Div, 1, 2, 3, 0).exec_class(), ExecClass::IntDiv);
+        assert_eq!(inst(Op::Mul, 1, 2, 3, 0).exec_class(), ExecClass::IntMul);
+        assert_eq!(inst(Op::Fsqrt, 1, 2, 0, 0).exec_class(), ExecClass::FpSqrt);
+        assert_eq!(inst(Op::Halt, 0, 0, 0, 0).exec_class(), ExecClass::Halt);
+        assert_eq!(inst(Op::Out, 0, 1, 0, 0).exec_class(), ExecClass::IntAlu);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(inst(Op::Add, 1, 2, 3, 0).to_string(), "add r1, r2, r3");
+        assert_eq!(inst(Op::Lw, 1, 2, 0, -4).to_string(), "lw r1, -4(r2)");
+        assert_eq!(inst(Op::Sw, 0, 2, 5, 8).to_string(), "sw r5, 8(r2)");
+        assert_eq!(inst(Op::Beq, 0, 1, 2, 4).to_string(), "beq r1, r2, +4");
+        assert_eq!(Inst::nop().to_string(), "nop");
+    }
+}

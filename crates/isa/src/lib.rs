@@ -1,0 +1,63 @@
+//! # fastsim-isa
+//!
+//! The target instruction-set architecture for the FastSim reproduction.
+//!
+//! The original FastSim simulated SPARC V8 binaries. This crate defines a
+//! compact, SPARC-V8-inspired 32-bit RISC ISA ("SRV8") that plays the same
+//! role: a fixed-width, load/store architecture with separate integer and
+//! floating-point register files, compare-and-branch conditional branches,
+//! direct and indirect jumps, and a long-latency integer divide (the paper's
+//! running example of a 34-cycle execute stage).
+//!
+//! The crate provides:
+//!
+//! * [`Inst`] / [`Op`] — the decoded instruction representation, with the
+//!   operand and execution-class queries the out-of-order pipeline model
+//!   needs (destination register, source registers, latency class).
+//! * [`encode`] / [`decode`] — the fixed 32-bit binary encoding.
+//! * [`Asm`] — a two-pass programmatic assembler with labels, plus a small
+//!   textual front end ([`parse_asm`]).
+//! * [`Program`] — an assembled program image (code, data, entry point).
+//!
+//! # Example
+//!
+//! ```
+//! use fastsim_isa::{Asm, Reg};
+//!
+//! let mut a = Asm::new();
+//! a.addi(Reg::R1, Reg::R0, 10); // counter = 10
+//! a.label("loop");
+//! a.addi(Reg::R2, Reg::R2, 3); // acc += 3
+//! a.subi(Reg::R1, Reg::R1, 1);
+//! a.bne(Reg::R1, Reg::R0, "loop");
+//! a.halt();
+//! let program = a.assemble()?;
+//! assert_eq!(program.words.len(), 5);
+//! # Ok::<(), fastsim_isa::AsmError>(())
+//! ```
+
+mod asm;
+mod encode;
+mod inst;
+mod program;
+mod reg;
+mod text;
+
+pub use asm::{Asm, AsmError};
+pub use encode::{decode, encode, DecodeError};
+pub use inst::{ExecClass, Inst, Op, RegRef};
+pub use program::{DecodedProgram, Program};
+pub use reg::Reg;
+pub use text::{parse_asm, ParseAsmError};
+
+/// Size of one instruction in bytes. All instructions are fixed width.
+pub const INST_BYTES: u32 = 4;
+
+/// Default base address at which assembled code is placed.
+pub const DEFAULT_CODE_BASE: u32 = 0x0001_0000;
+
+/// Default base address for static data segments.
+pub const DEFAULT_DATA_BASE: u32 = 0x0010_0000;
+
+/// Default initial stack pointer (stack grows down).
+pub const DEFAULT_STACK_TOP: u32 = 0x7fff_fff0;

@@ -1,0 +1,231 @@
+//! Assembled program images and their pre-decoded form.
+
+use crate::encode::{decode, DecodeError};
+use crate::inst::Inst;
+use crate::INST_BYTES;
+
+/// An assembled program: code words at a base address, an entry point, and
+/// initial data segments.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Program {
+    /// Address of `words[0]`.
+    pub base: u32,
+    /// Address execution starts at.
+    pub entry: u32,
+    /// Encoded instruction words.
+    pub words: Vec<u32>,
+    /// Initial data segments as `(address, bytes)` pairs.
+    pub data: Vec<(u32, Vec<u8>)>,
+}
+
+impl Program {
+    /// Address one past the last instruction.
+    pub fn code_end(&self) -> u32 {
+        self.base + self.words.len() as u32 * INST_BYTES
+    }
+
+    /// Whether `addr` lies within the code segment.
+    pub fn contains_code(&self, addr: u32) -> bool {
+        addr >= self.base && addr < self.code_end()
+    }
+
+    /// Pre-decodes every instruction for fast repeated lookup.
+    ///
+    /// This is the moral equivalent of the paper's binary-rewriting step:
+    /// decode work is paid once, and both the functional engine and the
+    /// µ-architecture simulator thereafter index instructions by address.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`DecodeError`] if any word is not a valid
+    /// instruction.
+    pub fn predecode(&self) -> Result<DecodedProgram, DecodeError> {
+        let mut insts = Vec::with_capacity(self.words.len());
+        for &w in &self.words {
+            insts.push(decode(w)?);
+        }
+        Ok(DecodedProgram { base: self.base, entry: self.entry, insts })
+    }
+}
+
+/// A program whose instructions have been decoded once up front.
+///
+/// Lookup by address is a bounds-checked array index; out-of-range fetches
+/// return `None` (the simulators treat that as a wild jump and report it).
+#[derive(Clone, PartialEq, Debug)]
+pub struct DecodedProgram {
+    base: u32,
+    entry: u32,
+    insts: Vec<Inst>,
+}
+
+impl DecodedProgram {
+    /// Address of the first instruction.
+    pub fn base(&self) -> u32 {
+        self.base
+    }
+
+    /// Program entry point.
+    pub fn entry(&self) -> u32 {
+        self.entry
+    }
+
+    /// Number of (static) instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// The instruction at `addr`, or `None` if `addr` is outside the code
+    /// segment or unaligned.
+    #[inline]
+    pub fn fetch(&self, addr: u32) -> Option<&Inst> {
+        if !addr.is_multiple_of(INST_BYTES) {
+            return None;
+        }
+        let idx = (addr.wrapping_sub(self.base) / INST_BYTES) as usize;
+        self.insts.get(idx)
+    }
+
+    /// Iterates over `(address, instruction)` pairs in layout order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &Inst)> {
+        self.insts
+            .iter()
+            .enumerate()
+            .map(move |(i, inst)| (self.base + i as u32 * INST_BYTES, inst))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+    use crate::inst::Op;
+    use crate::reg::Reg;
+
+    fn small_program() -> Program {
+        let mut a = Asm::with_base(0x1000);
+        a.addi(Reg::R1, Reg::R0, 1);
+        a.add(Reg::R2, Reg::R1, Reg::R1);
+        a.halt();
+        a.assemble().unwrap()
+    }
+
+    #[test]
+    fn predecode_and_fetch() {
+        let p = small_program().predecode().unwrap();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.fetch(0x1000).unwrap().op, Op::Addi);
+        assert_eq!(p.fetch(0x1004).unwrap().op, Op::Add);
+        assert_eq!(p.fetch(0x1008).unwrap().op, Op::Halt);
+        assert_eq!(p.fetch(0x100c), None);
+        assert_eq!(p.fetch(0x0ffc), None);
+        assert_eq!(p.fetch(0x1002), None, "unaligned fetch rejected");
+    }
+
+    #[test]
+    fn code_bounds() {
+        let p = small_program();
+        assert_eq!(p.code_end(), 0x100c);
+        assert!(p.contains_code(0x1000));
+        assert!(p.contains_code(0x1008));
+        assert!(!p.contains_code(0x100c));
+    }
+
+    #[test]
+    fn iter_yields_addresses() {
+        let p = small_program().predecode().unwrap();
+        let addrs: Vec<u32> = p.iter().map(|(a, _)| a).collect();
+        assert_eq!(addrs, vec![0x1000, 0x1004, 0x1008]);
+    }
+
+    #[test]
+    fn invalid_word_fails_predecode() {
+        let mut p = small_program();
+        p.words[1] = 0xffff_ffff;
+        assert!(p.predecode().is_err());
+    }
+}
+
+impl DecodedProgram {
+    /// Renders an objdump-style disassembly listing.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use fastsim_isa::{Asm, Reg};
+    ///
+    /// let mut a = Asm::with_base(0x1000);
+    /// a.addi(Reg::R1, Reg::R0, 5);
+    /// a.halt();
+    /// let listing = a.assemble()?.predecode()?.disassemble();
+    /// assert!(listing.contains("00001000:  addi r1, r0, 5"));
+    /// assert!(listing.contains("00001004:  halt"));
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn disassemble(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(self.len() * 32);
+        for (addr, inst) in self.iter() {
+            let _ = write!(out, "{addr:08x}:  {inst}");
+            // Annotate control transfers with their resolved target.
+            if let Some(target) = inst.static_target(addr) {
+                let _ = write!(out, "    ; -> {target:#x}");
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod disasm_tests {
+    use crate::asm::Asm;
+    use crate::reg::Reg;
+
+    #[test]
+    fn disassembly_round_trips_mnemonics() {
+        let mut a = Asm::with_base(0x2000);
+        a.lw(Reg::R1, Reg::SP, -8);
+        a.beq(Reg::R1, Reg::R0, "done");
+        a.fadd(1, 2, 3);
+        a.label("done");
+        a.ret();
+        let text = a.assemble().unwrap().predecode().unwrap().disassemble();
+        assert!(text.contains("lw r1, -8(r29)"), "{text}");
+        assert!(text.contains("beq r1, r0, +1"), "{text}");
+        assert!(text.contains("; -> 0x200c"), "branch target annotated: {text}");
+        assert!(text.contains("fadd f1, f2, f3"), "{text}");
+        assert!(text.contains("jr r31"), "{text}");
+        assert_eq!(text.lines().count(), 4);
+    }
+
+    #[test]
+    fn every_workload_style_opcode_disassembles() {
+        // Build one of each instruction form and ensure the listing has a
+        // line per instruction with no panics.
+        let mut a = Asm::with_base(0x1000);
+        a.add(Reg::R1, Reg::R2, Reg::R3);
+        a.div(Reg::R1, Reg::R2, Reg::R3);
+        a.lui(Reg::R4, 0xbeef);
+        a.sw(Reg::R1, Reg::R2, 4);
+        a.fld(7, Reg::R2, 8);
+        a.fst(7, Reg::R2, 16);
+        a.j("x");
+        a.label("x");
+        a.call("x");
+        a.jalr(Reg::R5, Reg::R6);
+        a.cvtif(2, Reg::R7);
+        a.cvtfi(Reg::R8, 2);
+        a.feq(Reg::R9, 1, 2);
+        a.out(Reg::R9);
+        a.nop();
+        a.halt();
+        let p = a.assemble().unwrap().predecode().unwrap();
+        assert_eq!(p.disassemble().lines().count(), p.len());
+    }
+}

@@ -1,0 +1,116 @@
+//! Architectural register names.
+
+use std::fmt;
+
+/// An architectural integer register, `R0`–`R31`.
+///
+/// `R0` is hardwired to zero (reads return 0, writes are discarded), as on
+/// MIPS and as SPARC's `%g0`. By convention `R29` is the stack pointer and
+/// `R31` the link register written by [`call`](crate::Asm::call).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// The hardwired-zero register.
+    pub const R0: Reg = Reg(0);
+    pub const R1: Reg = Reg(1);
+    pub const R2: Reg = Reg(2);
+    pub const R3: Reg = Reg(3);
+    pub const R4: Reg = Reg(4);
+    pub const R5: Reg = Reg(5);
+    pub const R6: Reg = Reg(6);
+    pub const R7: Reg = Reg(7);
+    pub const R8: Reg = Reg(8);
+    pub const R9: Reg = Reg(9);
+    pub const R10: Reg = Reg(10);
+    pub const R11: Reg = Reg(11);
+    pub const R12: Reg = Reg(12);
+    pub const R13: Reg = Reg(13);
+    pub const R14: Reg = Reg(14);
+    pub const R15: Reg = Reg(15);
+    pub const R16: Reg = Reg(16);
+    pub const R17: Reg = Reg(17);
+    pub const R18: Reg = Reg(18);
+    pub const R19: Reg = Reg(19);
+    pub const R20: Reg = Reg(20);
+    pub const R21: Reg = Reg(21);
+    pub const R22: Reg = Reg(22);
+    pub const R23: Reg = Reg(23);
+    pub const R24: Reg = Reg(24);
+    pub const R25: Reg = Reg(25);
+    pub const R26: Reg = Reg(26);
+    pub const R27: Reg = Reg(27);
+    pub const R28: Reg = Reg(28);
+    /// Conventional stack pointer.
+    pub const SP: Reg = Reg(29);
+    pub const R29: Reg = Reg(29);
+    pub const R30: Reg = Reg(30);
+    /// Conventional link register (written by `call`/`jalr`).
+    pub const RA: Reg = Reg(31);
+    pub const R31: Reg = Reg(31);
+
+    /// Number of architectural integer (and also FP) registers.
+    pub const COUNT: usize = 32;
+
+    /// Creates a register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    pub fn new(index: u8) -> Reg {
+        assert!(index < 32, "register index {index} out of range");
+        Reg(index)
+    }
+
+    /// The register's index, `0..32`.
+    pub fn index(self) -> u8 {
+        self.0
+    }
+
+    /// Whether this is the hardwired-zero register.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl From<Reg> for u8 {
+    fn from(r: Reg) -> u8 {
+        r.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trip() {
+        for i in 0..32 {
+            assert_eq!(Reg::new(i).index(), i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let _ = Reg::new(32);
+    }
+
+    #[test]
+    fn zero_register() {
+        assert!(Reg::R0.is_zero());
+        assert!(!Reg::R1.is_zero());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Reg::R17.to_string(), "r17");
+        assert_eq!(Reg::SP.to_string(), "r29");
+    }
+}

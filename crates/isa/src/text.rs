@@ -1,0 +1,434 @@
+//! A small textual assembly front end over [`Asm`].
+//!
+//! Syntax example:
+//!
+//! ```text
+//! ; sum the numbers 1..=10
+//!         addi r1, r0, 10
+//!         addi r2, r0, 0
+//! loop:   add  r2, r2, r1
+//!         subi r1, r1, 1
+//!         bne  r1, r0, loop
+//!         out  r2
+//!         halt
+//! .words 0x100000 1 2 3
+//! ```
+//!
+//! Comments start with `;` or `#`. Memory operands are written `disp(rN)`.
+//! `.words ADDR W…` and `.bytes ADDR B…` register initial data segments.
+
+use crate::asm::{Asm, AsmError};
+use crate::program::Program;
+use crate::reg::Reg;
+use std::fmt;
+
+/// Error produced by [`parse_asm`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ParseAsmError {
+    /// A line could not be parsed; carries the 1-based line number and a
+    /// description.
+    Syntax {
+        /// 1-based source line.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// The parsed program failed to assemble.
+    Assemble(AsmError),
+}
+
+impl fmt::Display for ParseAsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseAsmError::Syntax { line, message } => write!(f, "line {line}: {message}"),
+            ParseAsmError::Assemble(e) => write!(f, "assembly failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseAsmError {}
+
+impl From<AsmError> for ParseAsmError {
+    fn from(e: AsmError) -> ParseAsmError {
+        ParseAsmError::Assemble(e)
+    }
+}
+
+fn syntax(line: usize, message: impl Into<String>) -> ParseAsmError {
+    ParseAsmError::Syntax { line, message: message.into() }
+}
+
+fn parse_int(line: usize, s: &str) -> Result<i64, ParseAsmError> {
+    let s = s.trim();
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, s),
+    };
+    let v = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16)
+    } else {
+        body.parse::<i64>()
+    }
+    .map_err(|_| syntax(line, format!("invalid integer `{s}`")))?;
+    Ok(if neg { -v } else { v })
+}
+
+fn parse_reg(line: usize, s: &str) -> Result<Reg, ParseAsmError> {
+    let s = s.trim();
+    match s {
+        "sp" => return Ok(Reg::SP),
+        "ra" => return Ok(Reg::RA),
+        "zero" => return Ok(Reg::R0),
+        _ => {}
+    }
+    let idx = s
+        .strip_prefix('r')
+        .and_then(|n| n.parse::<u8>().ok())
+        .filter(|&n| n < 32)
+        .ok_or_else(|| syntax(line, format!("invalid integer register `{s}`")))?;
+    Ok(Reg::new(idx))
+}
+
+fn parse_freg(line: usize, s: &str) -> Result<u8, ParseAsmError> {
+    s.trim()
+        .strip_prefix('f')
+        .and_then(|n| n.parse::<u8>().ok())
+        .filter(|&n| n < 32)
+        .ok_or_else(|| syntax(line, format!("invalid FP register `{s}`")))
+}
+
+/// Parses a memory operand of the form `disp(rN)`.
+fn parse_mem(line: usize, s: &str) -> Result<(i32, Reg), ParseAsmError> {
+    let s = s.trim();
+    let open = s.find('(').ok_or_else(|| syntax(line, format!("expected `disp(reg)`, got `{s}`")))?;
+    if !s.ends_with(')') {
+        return Err(syntax(line, format!("expected `disp(reg)`, got `{s}`")));
+    }
+    let disp = if open == 0 { 0 } else { parse_int(line, &s[..open])? as i32 };
+    let reg = parse_reg(line, &s[open + 1..s.len() - 1])?;
+    Ok((disp, reg))
+}
+
+/// Parses assembly text into a [`Program`] based at `base`.
+///
+/// # Errors
+///
+/// Returns [`ParseAsmError::Syntax`] for malformed lines and
+/// [`ParseAsmError::Assemble`] for label/range errors found at assembly.
+pub fn parse_asm(source: &str, base: u32) -> Result<Program, ParseAsmError> {
+    let mut a = Asm::with_base(base);
+    for (i, raw) in source.lines().enumerate() {
+        let line_no = i + 1;
+        // Strip comments.
+        let mut text = raw;
+        if let Some(p) = text.find([';', '#']) {
+            text = &text[..p];
+        }
+        let mut text = text.trim();
+        if text.is_empty() {
+            continue;
+        }
+        // Leading label(s).
+        while let Some(colon) = text.find(':') {
+            let (lbl, rest) = text.split_at(colon);
+            let lbl = lbl.trim();
+            if lbl.is_empty() || lbl.contains(char::is_whitespace) || lbl.starts_with('.') {
+                break;
+            }
+            a.label(lbl);
+            text = rest[1..].trim();
+        }
+        if text.is_empty() {
+            continue;
+        }
+        // Directives.
+        if let Some(rest) = text.strip_prefix(".words") {
+            let mut it = rest.split_whitespace();
+            let addr = parse_int(line_no, it.next().ok_or_else(|| syntax(line_no, "missing address"))?)? as u32;
+            let words: Result<Vec<u32>, _> =
+                it.map(|w| parse_int(line_no, w).map(|v| v as u32)).collect();
+            a.data_words(addr, &words?);
+            continue;
+        }
+        if let Some(rest) = text.strip_prefix(".bytes") {
+            let mut it = rest.split_whitespace();
+            let addr = parse_int(line_no, it.next().ok_or_else(|| syntax(line_no, "missing address"))?)? as u32;
+            let bytes: Result<Vec<u8>, _> =
+                it.map(|w| parse_int(line_no, w).map(|v| v as u8)).collect();
+            a.data(addr, &bytes?);
+            continue;
+        }
+        // Instruction.
+        let (mnemonic, operands) = match text.find(char::is_whitespace) {
+            Some(p) => (&text[..p], text[p..].trim()),
+            None => (text, ""),
+        };
+        let ops: Vec<&str> =
+            operands.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+        let want = |n: usize| -> Result<(), ParseAsmError> {
+            if ops.len() == n {
+                Ok(())
+            } else {
+                Err(syntax(
+                    line_no,
+                    format!("`{mnemonic}` expects {n} operand(s), got {}", ops.len()),
+                ))
+            }
+        };
+        let ln = line_no;
+        match mnemonic {
+            "add" | "sub" | "mul" | "div" | "rem" | "and" | "or" | "xor" | "sll" | "srl"
+            | "sra" | "slt" | "sltu" => {
+                want(3)?;
+                let (rd, rs1, rs2) =
+                    (parse_reg(ln, ops[0])?, parse_reg(ln, ops[1])?, parse_reg(ln, ops[2])?);
+                match mnemonic {
+                    "add" => a.add(rd, rs1, rs2),
+                    "sub" => a.sub(rd, rs1, rs2),
+                    "mul" => a.mul(rd, rs1, rs2),
+                    "div" => a.div(rd, rs1, rs2),
+                    "rem" => a.rem(rd, rs1, rs2),
+                    "and" => a.and(rd, rs1, rs2),
+                    "or" => a.or(rd, rs1, rs2),
+                    "xor" => a.xor(rd, rs1, rs2),
+                    "sll" => a.sll(rd, rs1, rs2),
+                    "srl" => a.srl(rd, rs1, rs2),
+                    "sra" => a.sra(rd, rs1, rs2),
+                    "slt" => a.slt(rd, rs1, rs2),
+                    _ => a.sltu(rd, rs1, rs2),
+                };
+            }
+            "addi" | "subi" | "andi" | "ori" | "xori" | "slti" | "slli" | "srli" | "srai" => {
+                want(3)?;
+                let (rd, rs1) = (parse_reg(ln, ops[0])?, parse_reg(ln, ops[1])?);
+                let imm = parse_int(ln, ops[2])? as i32;
+                match mnemonic {
+                    "addi" => a.addi(rd, rs1, imm),
+                    "subi" => a.subi(rd, rs1, imm),
+                    "andi" => a.andi(rd, rs1, imm),
+                    "ori" => a.ori(rd, rs1, imm),
+                    "xori" => a.xori(rd, rs1, imm),
+                    "slti" => a.slti(rd, rs1, imm),
+                    "slli" => a.slli(rd, rs1, imm),
+                    "srli" => a.srli(rd, rs1, imm),
+                    _ => a.srai(rd, rs1, imm),
+                };
+            }
+            "lui" => {
+                want(2)?;
+                let rd = parse_reg(ln, ops[0])?;
+                a.lui(rd, parse_int(ln, ops[1])? as u16);
+            }
+            "li" => {
+                want(2)?;
+                let rd = parse_reg(ln, ops[0])?;
+                a.li(rd, parse_int(ln, ops[1])? as u32);
+            }
+            "lb" | "lbu" | "lh" | "lhu" | "lw" => {
+                want(2)?;
+                let rd = parse_reg(ln, ops[0])?;
+                let (disp, base_reg) = parse_mem(ln, ops[1])?;
+                match mnemonic {
+                    "lb" => a.lb(rd, base_reg, disp),
+                    "lbu" => a.lbu(rd, base_reg, disp),
+                    "lh" => a.lh(rd, base_reg, disp),
+                    "lhu" => a.lhu(rd, base_reg, disp),
+                    _ => a.lw(rd, base_reg, disp),
+                };
+            }
+            "sb" | "sh" | "sw" => {
+                want(2)?;
+                let rs = parse_reg(ln, ops[0])?;
+                let (disp, base_reg) = parse_mem(ln, ops[1])?;
+                match mnemonic {
+                    "sb" => a.sb(rs, base_reg, disp),
+                    "sh" => a.sh(rs, base_reg, disp),
+                    _ => a.sw(rs, base_reg, disp),
+                };
+            }
+            "fld" => {
+                want(2)?;
+                let fd = parse_freg(ln, ops[0])?;
+                let (disp, base_reg) = parse_mem(ln, ops[1])?;
+                a.fld(fd, base_reg, disp);
+            }
+            "fst" => {
+                want(2)?;
+                let fs = parse_freg(ln, ops[0])?;
+                let (disp, base_reg) = parse_mem(ln, ops[1])?;
+                a.fst(fs, base_reg, disp);
+            }
+            "beq" | "bne" | "blt" | "bge" | "bltu" | "bgeu" => {
+                want(3)?;
+                let (rs1, rs2) = (parse_reg(ln, ops[0])?, parse_reg(ln, ops[1])?);
+                let lbl = ops[2];
+                match mnemonic {
+                    "beq" => a.beq(rs1, rs2, lbl),
+                    "bne" => a.bne(rs1, rs2, lbl),
+                    "blt" => a.blt(rs1, rs2, lbl),
+                    "bge" => a.bge(rs1, rs2, lbl),
+                    "bltu" => a.bltu(rs1, rs2, lbl),
+                    _ => a.bgeu(rs1, rs2, lbl),
+                };
+            }
+            "j" => {
+                want(1)?;
+                a.j(ops[0]);
+            }
+            "call" | "jal" => {
+                want(1)?;
+                a.call(ops[0]);
+            }
+            "jr" => {
+                want(1)?;
+                let r = parse_reg(ln, ops[0])?;
+                a.jr(r);
+            }
+            "jalr" => {
+                want(2)?;
+                let (rd, rs1) = (parse_reg(ln, ops[0])?, parse_reg(ln, ops[1])?);
+                a.jalr(rd, rs1);
+            }
+            "ret" => {
+                want(0)?;
+                a.ret();
+            }
+            "fadd" | "fsub" | "fmul" | "fdiv" => {
+                want(3)?;
+                let (fd, f1, f2) =
+                    (parse_freg(ln, ops[0])?, parse_freg(ln, ops[1])?, parse_freg(ln, ops[2])?);
+                match mnemonic {
+                    "fadd" => a.fadd(fd, f1, f2),
+                    "fsub" => a.fsub(fd, f1, f2),
+                    "fmul" => a.fmul(fd, f1, f2),
+                    _ => a.fdiv(fd, f1, f2),
+                };
+            }
+            "fsqrt" | "fmov" | "fneg" | "fabs" => {
+                want(2)?;
+                let (fd, f1) = (parse_freg(ln, ops[0])?, parse_freg(ln, ops[1])?);
+                match mnemonic {
+                    "fsqrt" => a.fsqrt(fd, f1),
+                    "fmov" => a.fmov(fd, f1),
+                    "fneg" => a.fneg(fd, f1),
+                    _ => a.fabs(fd, f1),
+                };
+            }
+            "feq" | "flt" | "fle" => {
+                want(3)?;
+                let rd = parse_reg(ln, ops[0])?;
+                let (f1, f2) = (parse_freg(ln, ops[1])?, parse_freg(ln, ops[2])?);
+                match mnemonic {
+                    "feq" => a.feq(rd, f1, f2),
+                    "flt" => a.flt(rd, f1, f2),
+                    _ => a.fle(rd, f1, f2),
+                };
+            }
+            "cvtif" => {
+                want(2)?;
+                let fd = parse_freg(ln, ops[0])?;
+                let rs = parse_reg(ln, ops[1])?;
+                a.cvtif(fd, rs);
+            }
+            "cvtfi" => {
+                want(2)?;
+                let rd = parse_reg(ln, ops[0])?;
+                let fs = parse_freg(ln, ops[1])?;
+                a.cvtfi(rd, fs);
+            }
+            "nop" => {
+                want(0)?;
+                a.nop();
+            }
+            "out" => {
+                want(1)?;
+                let r = parse_reg(ln, ops[0])?;
+                a.out(r);
+            }
+            "halt" => {
+                want(0)?;
+                a.halt();
+            }
+            other => return Err(syntax(ln, format!("unknown mnemonic `{other}`"))),
+        }
+    }
+    Ok(a.assemble()?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Op;
+    use crate::{decode, DEFAULT_CODE_BASE};
+
+    #[test]
+    fn parses_loop_program() {
+        let src = "
+            ; count down from 10
+                addi r1, r0, 10
+            loop: subi r1, r1, 1
+                bne r1, r0, loop
+                out r1
+                halt
+        ";
+        let p = parse_asm(src, DEFAULT_CODE_BASE).unwrap();
+        assert_eq!(p.words.len(), 5);
+        let bne = decode(p.words[2]).unwrap();
+        assert_eq!((bne.op, bne.imm), (Op::Bne, -2));
+    }
+
+    #[test]
+    fn parses_memory_operands() {
+        let p = parse_asm("lw r1, -4(sp)\nsw r1, 8(r2)\nfld f1, (r3)\nhalt", 0x1000).unwrap();
+        let lw = decode(p.words[0]).unwrap();
+        assert_eq!((lw.op, lw.rd, lw.rs1, lw.imm), (Op::Lw, 1, 29, -4));
+        let fld = decode(p.words[2]).unwrap();
+        assert_eq!((fld.op, fld.imm), (Op::Fld, 0));
+    }
+
+    #[test]
+    fn parses_data_directives() {
+        let p = parse_asm(".words 0x100000 1 0x10\n.bytes 0x200000 7 8\nhalt", 0x1000).unwrap();
+        assert_eq!(p.data[0], (0x0010_0000, vec![1, 0, 0, 0, 0x10, 0, 0, 0]));
+        assert_eq!(p.data[1], (0x0020_0000, vec![7, 8]));
+    }
+
+    #[test]
+    fn label_on_own_line() {
+        let p = parse_asm("top:\n  j top\n  halt", 0x1000).unwrap();
+        let j = decode(p.words[0]).unwrap();
+        assert_eq!(j.imm, -1);
+    }
+
+    #[test]
+    fn reports_unknown_mnemonic_with_line() {
+        let err = parse_asm("nop\nfrobnicate r1\n", 0x1000).unwrap_err();
+        match err {
+            ParseAsmError::Syntax { line, message } => {
+                assert_eq!(line, 2);
+                assert!(message.contains("frobnicate"));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reports_bad_operand_count() {
+        let err = parse_asm("add r1, r2\n", 0x1000).unwrap_err();
+        assert!(err.to_string().contains("expects 3"));
+    }
+
+    #[test]
+    fn reports_undefined_label_via_assemble() {
+        let err = parse_asm("j nowhere\n", 0x1000).unwrap_err();
+        assert!(matches!(err, ParseAsmError::Assemble(AsmError::UndefinedLabel(_))));
+    }
+
+    #[test]
+    fn fp_and_conversion_ops() {
+        let src = "cvtif f1, r2\nfadd f3, f1, f1\nfsqrt f4, f3\nfle r5, f4, f3\ncvtfi r6, f4\nhalt";
+        let p = parse_asm(src, 0x1000).unwrap();
+        assert_eq!(p.words.len(), 6);
+        assert_eq!(decode(p.words[2]).unwrap().op, Op::Fsqrt);
+    }
+}

@@ -1,0 +1,148 @@
+//! Cache hierarchy configuration.
+
+/// Configuration of the simulated memory hierarchy.
+///
+/// The defaults reproduce the paper's Table 1:
+///
+/// * non-blocking L1 and L2 data caches, 8 MSHRs each;
+/// * 16 KByte 2-way set-associative write-through L1;
+/// * 1 MByte 2-way set-associative write-back L2;
+/// * 8-byte-wide split-transaction bus.
+///
+/// Latencies follow the paper's running example ("a load that first misses
+/// in the L1 cache (usually a 6 cycle delay), then misses in the L2 cache
+/// resulting in an additional delay depending on the current state of the
+/// cache").
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CacheConfig {
+    /// Total L1 capacity in bytes.
+    pub l1_bytes: u32,
+    /// L1 associativity (ways).
+    pub l1_assoc: u32,
+    /// L1 line size in bytes.
+    pub l1_line: u32,
+    /// Cycles for an L1 load hit.
+    pub l1_hit_latency: u32,
+    /// Cycles from an L1 miss to the L2 lookup result (the paper's
+    /// "usually a 6 cycle delay").
+    pub l1_miss_latency: u32,
+    /// Number of L1 miss-status holding registers.
+    pub l1_mshrs: u32,
+    /// Total L2 capacity in bytes.
+    pub l2_bytes: u32,
+    /// L2 associativity (ways).
+    pub l2_assoc: u32,
+    /// L2 line size in bytes.
+    pub l2_line: u32,
+    /// Number of L2 miss-status holding registers.
+    pub l2_mshrs: u32,
+    /// DRAM access latency in cycles (before bus transfer).
+    pub memory_latency: u32,
+    /// Bus width in bytes (per bus cycle).
+    pub bus_bytes: u32,
+}
+
+impl CacheConfig {
+    /// The paper's Table 1 parameters.
+    pub fn table1() -> CacheConfig {
+        CacheConfig {
+            l1_bytes: 16 * 1024,
+            l1_assoc: 2,
+            l1_line: 32,
+            l1_hit_latency: 2,
+            l1_miss_latency: 6,
+            l1_mshrs: 8,
+            l2_bytes: 1024 * 1024,
+            l2_assoc: 2,
+            l2_line: 64,
+            l2_mshrs: 8,
+            memory_latency: 40,
+            bus_bytes: 8,
+        }
+    }
+
+    /// Bus cycles needed to transfer one L2 line from memory.
+    pub fn line_transfer_cycles(&self) -> u64 {
+        (self.l2_line as u64).div_ceil(self.bus_bytes as u64)
+    }
+
+    /// Validates structural parameters (power-of-two sizes, non-zero
+    /// capacities, line sizes that divide the capacity).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid parameter.
+    pub fn validate(&self) -> Result<(), String> {
+        let pow2 = |name: &str, v: u32| -> Result<(), String> {
+            if v == 0 || !v.is_power_of_two() {
+                Err(format!("{name} must be a non-zero power of two, got {v}"))
+            } else {
+                Ok(())
+            }
+        };
+        pow2("l1_bytes", self.l1_bytes)?;
+        pow2("l1_line", self.l1_line)?;
+        pow2("l2_bytes", self.l2_bytes)?;
+        pow2("l2_line", self.l2_line)?;
+        pow2("bus_bytes", self.bus_bytes)?;
+        if self.l1_assoc == 0 || self.l2_assoc == 0 {
+            return Err("associativity must be non-zero".into());
+        }
+        if self.l1_mshrs == 0 || self.l2_mshrs == 0 {
+            return Err("MSHR count must be non-zero".into());
+        }
+        if !self.l1_bytes.is_multiple_of(self.l1_line * self.l1_assoc) {
+            return Err("L1 capacity must be divisible by line × assoc".into());
+        }
+        if !self.l2_bytes.is_multiple_of(self.l2_line * self.l2_assoc) {
+            return Err("L2 capacity must be divisible by line × assoc".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for CacheConfig {
+    fn default() -> CacheConfig {
+        CacheConfig::table1()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_is_valid() {
+        assert_eq!(CacheConfig::table1().validate(), Ok(()));
+    }
+
+    #[test]
+    fn table1_matches_paper() {
+        let c = CacheConfig::table1();
+        assert_eq!(c.l1_bytes, 16 * 1024);
+        assert_eq!(c.l1_assoc, 2);
+        assert_eq!(c.l2_bytes, 1024 * 1024);
+        assert_eq!(c.l2_assoc, 2);
+        assert_eq!(c.l1_mshrs, 8);
+        assert_eq!(c.l2_mshrs, 8);
+        assert_eq!(c.bus_bytes, 8);
+    }
+
+    #[test]
+    fn line_transfer() {
+        assert_eq!(CacheConfig::table1().line_transfer_cycles(), 8); // 64B / 8B
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut c = CacheConfig::table1();
+        c.l1_bytes = 3000;
+        assert!(c.validate().is_err());
+        let mut c = CacheConfig::table1();
+        c.l1_mshrs = 0;
+        assert!(c.validate().is_err());
+        let mut c = CacheConfig::table1();
+        c.l1_assoc = 3; // 16384 % (32*3) != 0
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,31 @@
+//! # fastsim-mem
+//!
+//! Memory substrate for the FastSim reproduction:
+//!
+//! * [`Memory`] — sparse, paged target memory used by the functional
+//!   engine (and by the baseline simulator).
+//! * [`CacheSim`] — the timing-only, aggressive **non-blocking cache
+//!   simulator** of the paper: write-through L1 and write-back L2, each
+//!   with a limited number of MSHRs, behind a split-transaction bus.
+//!
+//! The cache simulator follows the paper's narrow interface exactly
+//! (§4.1): the µ-architecture issues a load and receives "the shortest
+//! interval (in cycles) before the requested data could become available";
+//! after waiting that interval it polls again and either learns the data is
+//! ready or receives a further interval (e.g. an L1 miss is first reported
+//! as a 6-cycle delay, and only at the following poll is an L2 miss
+//! discovered and an additional memory-access delay returned). No program
+//! data flows through this interface — only time.
+//!
+//! The cache simulator is deliberately **not memoized**: its internal state
+//! (tag arrays, MSHR and bus occupancy) stays private, and its influence on
+//! the µ-architecture re-enters only through the returned intervals, which
+//! the fast-forwarding replayer checks against recorded outcomes.
+
+mod cache;
+mod config;
+mod memory;
+
+pub use cache::{CacheSim, CacheStats, LoadId, PollResult};
+pub use config::CacheConfig;
+pub use memory::{Memory, PAGE_BYTES};

@@ -1,0 +1,214 @@
+//! Sparse paged target memory.
+
+use std::collections::HashMap;
+
+/// Size of one memory page in bytes.
+pub const PAGE_BYTES: u32 = 4096;
+
+/// Sparse byte-addressable target memory.
+///
+/// Pages are allocated on first touch; reads of untouched memory return
+/// zero, which lets workloads run without an explicit loader zeroing BSS.
+/// All multi-byte accesses are little-endian and may straddle page
+/// boundaries.
+///
+/// # Example
+///
+/// ```
+/// use fastsim_mem::Memory;
+///
+/// let mut m = Memory::new();
+/// m.write_u32(0x1000, 0xdead_beef);
+/// assert_eq!(m.read_u32(0x1000), 0xdead_beef);
+/// assert_eq!(m.read_u8(0x1003), 0xde);
+/// assert_eq!(m.read_u32(0x9999_0000), 0, "untouched memory reads as zero");
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Memory {
+    pages: HashMap<u32, Box<[u8; PAGE_BYTES as usize]>>,
+}
+
+impl Memory {
+    /// Creates an empty memory.
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    /// Number of pages touched so far.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Reads one byte.
+    #[inline]
+    pub fn read_u8(&self, addr: u32) -> u8 {
+        match self.pages.get(&(addr / PAGE_BYTES)) {
+            Some(page) => page[(addr % PAGE_BYTES) as usize],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte.
+    #[inline]
+    pub fn write_u8(&mut self, addr: u32, value: u8) {
+        let page = self
+            .pages
+            .entry(addr / PAGE_BYTES)
+            .or_insert_with(|| Box::new([0; PAGE_BYTES as usize]));
+        page[(addr % PAGE_BYTES) as usize] = value;
+    }
+
+    /// Reads `N` little-endian bytes starting at `addr`.
+    #[inline]
+    pub fn read_bytes<const N: usize>(&self, addr: u32) -> [u8; N] {
+        let mut out = [0u8; N];
+        // Fast path: the whole access falls inside one page.
+        let off = (addr % PAGE_BYTES) as usize;
+        if off + N <= PAGE_BYTES as usize {
+            if let Some(page) = self.pages.get(&(addr / PAGE_BYTES)) {
+                out.copy_from_slice(&page[off..off + N]);
+            }
+        } else {
+            for (i, b) in out.iter_mut().enumerate() {
+                *b = self.read_u8(addr.wrapping_add(i as u32));
+            }
+        }
+        out
+    }
+
+    /// Writes `N` little-endian bytes starting at `addr`.
+    #[inline]
+    pub fn write_bytes<const N: usize>(&mut self, addr: u32, bytes: [u8; N]) {
+        let off = (addr % PAGE_BYTES) as usize;
+        if off + N <= PAGE_BYTES as usize {
+            let page = self
+                .pages
+                .entry(addr / PAGE_BYTES)
+                .or_insert_with(|| Box::new([0; PAGE_BYTES as usize]));
+            page[off..off + N].copy_from_slice(&bytes);
+        } else {
+            for (i, b) in bytes.iter().enumerate() {
+                self.write_u8(addr.wrapping_add(i as u32), *b);
+            }
+        }
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn read_u16(&self, addr: u32) -> u16 {
+        u16::from_le_bytes(self.read_bytes(addr))
+    }
+
+    /// Writes a little-endian `u16`.
+    pub fn write_u16(&mut self, addr: u32, value: u16) {
+        self.write_bytes(addr, value.to_le_bytes());
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn read_u32(&self, addr: u32) -> u32 {
+        u32::from_le_bytes(self.read_bytes(addr))
+    }
+
+    /// Writes a little-endian `u32`.
+    pub fn write_u32(&mut self, addr: u32, value: u32) {
+        self.write_bytes(addr, value.to_le_bytes());
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn read_u64(&self, addr: u32) -> u64 {
+        u64::from_le_bytes(self.read_bytes(addr))
+    }
+
+    /// Writes a little-endian `u64`.
+    pub fn write_u64(&mut self, addr: u32, value: u64) {
+        self.write_bytes(addr, value.to_le_bytes());
+    }
+
+    /// Reads an `f64` (bit pattern stored little-endian).
+    pub fn read_f64(&self, addr: u32) -> f64 {
+        f64::from_bits(self.read_u64(addr))
+    }
+
+    /// Writes an `f64`.
+    pub fn write_f64(&mut self, addr: u32, value: f64) {
+        self.write_u64(addr, value.to_bits());
+    }
+
+    /// Copies a byte slice into memory starting at `addr`.
+    pub fn write_slice(&mut self, addr: u32, bytes: &[u8]) {
+        for (i, b) in bytes.iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u32), *b);
+        }
+    }
+
+    /// Reads `len` bytes starting at `addr` into a new vector.
+    pub fn read_vec(&self, addr: u32, len: usize) -> Vec<u8> {
+        (0..len).map(|i| self.read_u8(addr.wrapping_add(i as u32))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zero_before_touch() {
+        let m = Memory::new();
+        assert_eq!(m.read_u64(12345), 0);
+        assert_eq!(m.page_count(), 0);
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut m = Memory::new();
+        let addr = PAGE_BYTES - 2; // straddles pages 0 and 1
+        m.write_u32(addr, 0x1122_3344);
+        assert_eq!(m.read_u32(addr), 0x1122_3344);
+        assert_eq!(m.read_u8(addr), 0x44);
+        assert_eq!(m.read_u8(addr + 3), 0x11);
+        assert_eq!(m.page_count(), 2);
+    }
+
+    #[test]
+    fn widths_agree() {
+        let mut m = Memory::new();
+        m.write_u64(0x100, 0x0102_0304_0506_0708);
+        assert_eq!(m.read_u32(0x100), 0x0506_0708);
+        assert_eq!(m.read_u32(0x104), 0x0102_0304);
+        assert_eq!(m.read_u16(0x100), 0x0708);
+    }
+
+    #[test]
+    fn f64_round_trip() {
+        let mut m = Memory::new();
+        m.write_f64(0x200, -1234.5678);
+        assert_eq!(m.read_f64(0x200), -1234.5678);
+    }
+
+    #[test]
+    fn slice_round_trip() {
+        let mut m = Memory::new();
+        let data: Vec<u8> = (0..=255).collect();
+        m.write_slice(PAGE_BYTES - 100, &data);
+        assert_eq!(m.read_vec(PAGE_BYTES - 100, 256), data);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_read_back(addr in 0u32..u32::MAX - 8, v in any::<u64>()) {
+            let mut m = Memory::new();
+            m.write_u64(addr, v);
+            prop_assert_eq!(m.read_u64(addr), v);
+        }
+
+        #[test]
+        fn prop_byte_decomposition(addr in 0u32..u32::MAX - 4, v in any::<u32>()) {
+            let mut m = Memory::new();
+            m.write_u32(addr, v);
+            let bytes = v.to_le_bytes();
+            for i in 0..4u32 {
+                prop_assert_eq!(m.read_u8(addr + i), bytes[i as usize]);
+            }
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Action and outcome types stored in the p-action cache.
+
+/// Index of an action node in the cache's arena.
+pub type NodeId = u32;
+
+/// Retirement bookkeeping carried by an [`ActionKind::Advance`] action:
+/// how many entries to pop from each of the functional engine's queues.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct RetireCounts {
+    /// Instructions retired.
+    pub insts: u32,
+    /// Loads retired (lQ pops).
+    pub loads: u32,
+    /// Stores retired (sQ pops).
+    pub stores: u32,
+    /// Multi-target control transfers retired (cQ pops).
+    pub ctrls: u32,
+    /// Conditional branches retired (statistics only).
+    pub branches: u32,
+}
+
+impl RetireCounts {
+    /// Component-wise sum.
+    pub fn add(&mut self, other: RetireCounts) {
+        self.insts += other.insts;
+        self.loads += other.loads;
+        self.stores += other.stores;
+        self.ctrls += other.ctrls;
+        self.branches += other.branches;
+    }
+}
+
+/// One simulator action, as recorded by the detailed µ-architecture
+/// simulator and replayed by fast-forwarding.
+///
+/// Queue indices are head-relative positions in the functional engine's
+/// queues at execution time (paper Figure 5: `addr = lQ[0]`), which is what
+/// makes the actions executable without the iQ.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ActionKind {
+    /// Advance the simulation cycle counter by `cycles`, retiring
+    /// `retired` instructions along the way (the paper's "Retire Queues /
+    /// cycle_counter += 6" in Figure 5). Always the first action after a
+    /// configuration.
+    Advance {
+        /// Simulated cycles covered.
+        cycles: u32,
+        /// Queue pops and counters.
+        retired: RetireCounts,
+    },
+    /// Return to direct execution for the next control record. Outcome:
+    /// [`OutcomeKey::Branch`], [`OutcomeKey::Indirect`],
+    /// [`OutcomeKey::Halted`] or [`OutcomeKey::Blocked`].
+    FetchRecord,
+    /// Issue the load at `lq_index` to the cache simulator. Outcome:
+    /// [`OutcomeKey::Interval`].
+    IssueLoad {
+        /// Head-relative lQ position.
+        lq_index: u32,
+    },
+    /// Poll the cache for the load at `lq_index`. Outcome:
+    /// [`OutcomeKey::PollReady`] or [`OutcomeKey::PollWait`].
+    PollLoad {
+        /// Head-relative lQ position.
+        lq_index: u32,
+    },
+    /// Issue the store at `sq_index` to the cache simulator.
+    IssueStore {
+        /// Head-relative sQ position.
+        sq_index: u32,
+    },
+    /// Abandon the outstanding cache access of a squashed load.
+    CancelLoad {
+        /// Head-relative lQ position.
+        lq_index: u32,
+    },
+    /// Roll the functional engine back to the mispredicted branch at
+    /// `ctrl_index` (restores registers/memory, truncates queues).
+    Rollback {
+        /// Head-relative cQ position of the branch.
+        ctrl_index: u32,
+    },
+    /// A `halt` retired: simulation is complete.
+    Finish,
+}
+
+impl ActionKind {
+    /// Whether this action's successor depends on an observed outcome
+    /// (and therefore branches in the action graph).
+    pub fn has_outcome(&self) -> bool {
+        matches!(
+            self,
+            ActionKind::FetchRecord | ActionKind::IssueLoad { .. } | ActionKind::PollLoad { .. }
+        )
+    }
+
+    /// Modeled size in bytes for the memory accounting of §4.3 (the action
+    /// record itself plus one successor link).
+    pub fn modeled_bytes(&self) -> usize {
+        16
+    }
+}
+
+/// The observed outcome of an environment-dependent action — the value the
+/// action graph branches on.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum OutcomeKey {
+    /// Conditional-branch record: direction and prediction correctness
+    /// (the paper's four possible outcomes).
+    Branch {
+        /// Actual direction.
+        taken: bool,
+        /// Prediction wrong?
+        mispredicted: bool,
+    },
+    /// Indirect-jump record: concrete target (arbitrarily many outcomes)
+    /// and prediction correctness.
+    Indirect {
+        /// Actual target address.
+        target: u32,
+        /// Prediction wrong?
+        mispredicted: bool,
+    },
+    /// Direct execution halted on the current path.
+    Halted,
+    /// Direct execution left the code segment on the current (wrong) path.
+    Blocked,
+    /// A load issue returned this interval.
+    Interval(u32),
+    /// A load poll reported data ready.
+    PollReady,
+    /// A load poll asked for a further wait of this many cycles.
+    PollWait(u32),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_classification() {
+        assert!(ActionKind::FetchRecord.has_outcome());
+        assert!(ActionKind::IssueLoad { lq_index: 0 }.has_outcome());
+        assert!(ActionKind::PollLoad { lq_index: 0 }.has_outcome());
+        assert!(!ActionKind::Advance { cycles: 1, retired: RetireCounts::default() }
+            .has_outcome());
+        assert!(!ActionKind::IssueStore { sq_index: 0 }.has_outcome());
+        assert!(!ActionKind::Rollback { ctrl_index: 0 }.has_outcome());
+        assert!(!ActionKind::Finish.has_outcome());
+    }
+
+    #[test]
+    fn retire_counts_accumulate() {
+        let mut a = RetireCounts { insts: 1, loads: 1, stores: 0, ctrls: 0, branches: 0 };
+        a.add(RetireCounts { insts: 3, loads: 0, stores: 2, ctrls: 1, branches: 1 });
+        assert_eq!(a, RetireCounts { insts: 4, loads: 1, stores: 2, ctrls: 1, branches: 1 });
+    }
+
+    #[test]
+    fn outcome_keys_distinguish_values() {
+        assert_ne!(OutcomeKey::Interval(6), OutcomeKey::Interval(7));
+        assert_ne!(
+            OutcomeKey::Branch { taken: true, mispredicted: false },
+            OutcomeKey::Branch { taken: true, mispredicted: true }
+        );
+        assert_ne!(OutcomeKey::PollReady, OutcomeKey::PollWait(1));
+    }
+}

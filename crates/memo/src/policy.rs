@@ -1,0 +1,58 @@
+//! P-action cache replacement policies (paper §4.3).
+
+/// How the p-action cache limits its memory consumption.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Default)]
+pub enum Policy {
+    /// No limit: the cache grows as large as the workload demands (the
+    /// paper reports up to 889 MB for `go`).
+    #[default]
+    Unbounded,
+    /// Discard the entire cache when it exceeds `limit` bytes — the
+    /// paper's recommended policy ("easy to implement and can limit the
+    /// p-action cache to any size").
+    FlushOnFull {
+        /// Modeled size limit in bytes.
+        limit: usize,
+    },
+    /// Copying garbage collector: when over `limit`, copy only the
+    /// configurations and actions accessed since the last collection and
+    /// discard the rest.
+    CopyingGc {
+        /// Modeled size limit in bytes.
+        limit: usize,
+    },
+    /// Generational collector: minor collections keep recently accessed
+    /// nursery actions; a major collection runs when survivors alone
+    /// exceed the limit.
+    GenerationalGc {
+        /// Modeled size limit in bytes.
+        limit: usize,
+    },
+}
+
+impl Policy {
+    /// The byte limit, if this policy has one.
+    pub fn limit(&self) -> Option<usize> {
+        match self {
+            Policy::Unbounded => None,
+            Policy::FlushOnFull { limit }
+            | Policy::CopyingGc { limit }
+            | Policy::GenerationalGc { limit } => Some(*limit),
+        }
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn limits() {
+        assert_eq!(Policy::Unbounded.limit(), None);
+        assert_eq!(Policy::FlushOnFull { limit: 64 }.limit(), Some(64));
+        assert_eq!(Policy::CopyingGc { limit: 64 }.limit(), Some(64));
+        assert_eq!(Policy::GenerationalGc { limit: 64 }.limit(), Some(64));
+    }
+}

@@ -1,0 +1,242 @@
+//! Processor-model parameters (paper Table 1).
+
+use fastsim_isa::ExecClass;
+
+/// How instructions leave the issue queues.
+///
+/// The paper notes the iQ "can be easily adapted to model a variety of
+/// pipeline designs"; this knob demonstrates it: the in-order variant
+/// issues strictly oldest-first (an instruction may not issue past an
+/// unissued older one) while everything else — fetch, speculation,
+/// non-blocking caches, memoization — stays identical, and fast-forwarding
+/// remains exact for both models.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum IssueModel {
+    /// Dynamic (out-of-order) issue — the R10000 model of the paper.
+    #[default]
+    OutOfOrder,
+    /// Strict oldest-first issue.
+    InOrder,
+}
+
+/// Parameters of the simulated out-of-order processor.
+///
+/// Defaults reproduce Table 1 of the paper: decode 4 instructions per
+/// cycle; 2 integer ALUs, 2 FPUs and 1 load/store address adder; 64
+/// physical integer and 64 physical FP registers; 16-entry integer, FP and
+/// address queues; speculation through up to 4 conditional branches.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct UArchConfig {
+    /// Instructions fetched per cycle.
+    pub fetch_width: u32,
+    /// Instructions decoded/renamed per cycle.
+    pub decode_width: u32,
+    /// Instructions retired per cycle.
+    pub retire_width: u32,
+    /// Total in-flight instructions (active-list size).
+    pub iq_capacity: usize,
+    /// Integer issue-queue entries.
+    pub int_queue: usize,
+    /// Floating-point issue-queue entries.
+    pub fp_queue: usize,
+    /// Address (load/store) queue entries.
+    pub addr_queue: usize,
+    /// Integer ALUs (branches and jumps also use these).
+    pub int_alus: u32,
+    /// Floating-point units.
+    pub fp_units: u32,
+    /// Load/store address adders.
+    pub agen_units: u32,
+    /// Cache operations (load issue or store issue) per cycle.
+    pub cache_ports: u32,
+    /// Physical integer registers (32 architectural + renames).
+    pub phys_int_regs: u32,
+    /// Physical floating-point registers.
+    pub phys_fp_regs: u32,
+    /// Maximum unresolved conditional branches in flight.
+    pub max_branches: u32,
+    /// Integer multiply latency in cycles.
+    pub lat_int_mul: u32,
+    /// Integer divide latency in cycles (the paper's 34-cycle example).
+    pub lat_int_div: u32,
+    /// FP add/compare/convert latency.
+    pub lat_fp_add: u32,
+    /// FP multiply latency.
+    pub lat_fp_mul: u32,
+    /// FP divide latency.
+    pub lat_fp_div: u32,
+    /// FP square-root latency.
+    pub lat_fp_sqrt: u32,
+    /// Issue discipline (out-of-order vs strict in-order).
+    pub issue_model: IssueModel,
+}
+
+impl UArchConfig {
+    /// The paper's Table 1 / R10000-like parameters.
+    pub fn table1() -> UArchConfig {
+        UArchConfig {
+            fetch_width: 4,
+            decode_width: 4,
+            retire_width: 4,
+            iq_capacity: 32,
+            int_queue: 16,
+            fp_queue: 16,
+            addr_queue: 16,
+            int_alus: 2,
+            fp_units: 2,
+            agen_units: 1,
+            cache_ports: 1,
+            phys_int_regs: 64,
+            phys_fp_regs: 64,
+            max_branches: 4,
+            lat_int_mul: 6,
+            lat_int_div: 34,
+            lat_fp_add: 2,
+            lat_fp_mul: 2,
+            lat_fp_div: 12,
+            lat_fp_sqrt: 18,
+            issue_model: IssueModel::OutOfOrder,
+        }
+    }
+
+    /// Execute-stage latency for an instruction class. Loads and stores
+    /// report their 1-cycle address-generation latency; cache time is
+    /// supplied by the cache simulator.
+    pub fn latency(&self, class: ExecClass) -> u32 {
+        match class {
+            ExecClass::IntAlu
+            | ExecClass::Branch
+            | ExecClass::Jump
+            | ExecClass::JumpInd
+            | ExecClass::Halt
+            | ExecClass::Load
+            | ExecClass::Store => 1,
+            ExecClass::IntMul => self.lat_int_mul,
+            ExecClass::IntDiv => self.lat_int_div,
+            ExecClass::FpAdd => self.lat_fp_add,
+            ExecClass::FpMul => self.lat_fp_mul,
+            ExecClass::FpDiv => self.lat_fp_div,
+            ExecClass::FpSqrt => self.lat_fp_sqrt,
+        }
+    }
+
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid parameter (zero widths,
+    /// latencies exceeding the encodable stage counter, or renaming with
+    /// fewer physical than architectural registers).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.fetch_width == 0 || self.decode_width == 0 || self.retire_width == 0 {
+            return Err("pipeline widths must be non-zero".into());
+        }
+        if self.iq_capacity == 0 {
+            return Err("iq_capacity must be non-zero".into());
+        }
+        if self.int_alus == 0 || self.fp_units == 0 || self.agen_units == 0 {
+            return Err("function-unit counts must be non-zero".into());
+        }
+        if self.cache_ports == 0 {
+            return Err("cache_ports must be non-zero".into());
+        }
+        if self.phys_int_regs < 32 || self.phys_fp_regs < 32 {
+            return Err("need at least 32 physical registers per file".into());
+        }
+        if self.max_branches == 0 {
+            return Err("max_branches must be non-zero".into());
+        }
+        let max_lat = [
+            self.lat_int_mul,
+            self.lat_int_div,
+            self.lat_fp_add,
+            self.lat_fp_mul,
+            self.lat_fp_div,
+            self.lat_fp_sqrt,
+        ]
+        .into_iter()
+        .max()
+        .unwrap_or(0);
+        if max_lat == 0 {
+            return Err("latencies must be non-zero".into());
+        }
+        if max_lat > crate::MAX_STAGE_COUNT {
+            return Err(format!(
+                "latency {max_lat} exceeds the encodable stage counter ({})",
+                crate::MAX_STAGE_COUNT
+            ));
+        }
+        Ok(())
+    }
+
+    /// Integer renaming headroom: in-flight integer destinations allowed.
+    pub fn int_rename_slots(&self) -> usize {
+        (self.phys_int_regs - 32) as usize
+    }
+
+    /// FP renaming headroom: in-flight FP destinations allowed.
+    pub fn fp_rename_slots(&self) -> usize {
+        (self.phys_fp_regs - 32) as usize
+    }
+}
+
+impl Default for UArchConfig {
+    fn default() -> UArchConfig {
+        UArchConfig::table1()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_is_valid() {
+        assert_eq!(UArchConfig::table1().validate(), Ok(()));
+    }
+
+    #[test]
+    fn table1_matches_paper() {
+        let c = UArchConfig::table1();
+        assert_eq!(c.decode_width, 4);
+        assert_eq!(c.int_alus, 2);
+        assert_eq!(c.fp_units, 2);
+        assert_eq!(c.agen_units, 1);
+        assert_eq!(c.phys_int_regs, 64);
+        assert_eq!(c.phys_fp_regs, 64);
+        assert_eq!(c.int_queue, 16);
+        assert_eq!(c.fp_queue, 16);
+        assert_eq!(c.addr_queue, 16);
+        assert_eq!(c.max_branches, 4);
+        assert_eq!(c.lat_int_div, 34, "the paper's 34-cycle divide");
+    }
+
+    #[test]
+    fn rename_slots() {
+        let c = UArchConfig::table1();
+        assert_eq!(c.int_rename_slots(), 32);
+        assert_eq!(c.fp_rename_slots(), 32);
+    }
+
+    #[test]
+    fn latency_lookup() {
+        let c = UArchConfig::table1();
+        assert_eq!(c.latency(ExecClass::IntAlu), 1);
+        assert_eq!(c.latency(ExecClass::IntDiv), 34);
+        assert_eq!(c.latency(ExecClass::Load), 1, "agen only");
+    }
+
+    #[test]
+    fn over_long_latency_rejected() {
+        let mut c = UArchConfig::table1();
+        c.lat_int_div = 200;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn too_few_physical_registers_rejected() {
+        let mut c = UArchConfig::table1();
+        c.phys_int_regs = 16;
+        assert!(c.validate().is_err());
+    }
+}

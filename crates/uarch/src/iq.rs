@@ -1,0 +1,320 @@
+//! The iQ: the single central data structure of the µ-architecture
+//! simulator (paper §4.1).
+
+use fastsim_isa::{DecodedProgram, ExecClass, Inst};
+
+/// The issue queue an instruction occupies between decode and issue.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum QueueClass {
+    /// Integer queue (ALU ops, branches, jumps, halt).
+    Int,
+    /// Floating-point queue.
+    Fp,
+    /// Address queue (loads and stores).
+    Addr,
+}
+
+/// Which queue an execution class dispatches into.
+pub fn queue_class(class: ExecClass) -> QueueClass {
+    match class {
+        ExecClass::IntAlu
+        | ExecClass::IntMul
+        | ExecClass::IntDiv
+        | ExecClass::Branch
+        | ExecClass::Jump
+        | ExecClass::JumpInd
+        | ExecClass::Halt => QueueClass::Int,
+        ExecClass::FpAdd | ExecClass::FpMul | ExecClass::FpDiv | ExecClass::FpSqrt => {
+            QueueClass::Fp
+        }
+        ExecClass::Load | ExecClass::Store => QueueClass::Addr,
+    }
+}
+
+/// Pipeline stage of one in-flight instruction, with the minimum number of
+/// cycles before the stage can change — exactly the per-instruction state
+/// the paper describes ("in which pipeline stage an instruction resides and
+/// the minimum number of cycles before this stage might change").
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum IqState {
+    /// Fetched, awaiting a decode/rename slot.
+    Fetched,
+    /// In an issue queue, awaiting operands and a function unit.
+    Queued,
+    /// Executing; `left` cycles remain (for loads/stores this is address
+    /// generation).
+    Exec {
+        /// Cycles remaining (≥ 1).
+        left: u32,
+    },
+    /// Load/store with its address generated, awaiting a cache port.
+    AgenDone,
+    /// Load issued to the cache; `left` cycles until the next poll.
+    CacheWait {
+        /// Cycles until the cache simulator should be polled again (≥ 1).
+        left: u32,
+    },
+    /// Complete, awaiting in-order retirement.
+    Done,
+}
+
+impl IqState {
+    /// Numeric tag for the configuration encoding (3 bits).
+    pub fn tag(self) -> u8 {
+        match self {
+            IqState::Fetched => 0,
+            IqState::Queued => 1,
+            IqState::Exec { .. } => 2,
+            IqState::AgenDone => 3,
+            IqState::CacheWait { .. } => 4,
+            IqState::Done => 5,
+        }
+    }
+
+    /// Stage counter for the configuration encoding (7 bits).
+    pub fn count(self) -> u32 {
+        match self {
+            IqState::Exec { left } | IqState::CacheWait { left } => left,
+            _ => 0,
+        }
+    }
+
+    /// Rebuilds a state from its encoded tag and counter.
+    pub fn from_parts(tag: u8, count: u32) -> Option<IqState> {
+        Some(match tag {
+            0 => IqState::Fetched,
+            1 => IqState::Queued,
+            2 => IqState::Exec { left: count },
+            3 => IqState::AgenDone,
+            4 => IqState::CacheWait { left: count },
+            5 => IqState::Done,
+            _ => return None,
+        })
+    }
+}
+
+/// One iQ entry: an in-flight instruction.
+///
+/// Only `addr`, `state`, `taken`, `mispredicted` and (for indirect jumps)
+/// `target` are true state; everything else the pipeline needs is looked up
+/// from the static program by address.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct IqEntry {
+    /// Instruction address.
+    pub addr: u32,
+    /// Pipeline stage + counter.
+    pub state: IqState,
+    /// For control transfers: the actual direction (always `true` for
+    /// jumps).
+    pub taken: bool,
+    /// For multi-target control transfers: whether the prediction was
+    /// wrong (triggers squash + rollback at resolve).
+    pub mispredicted: bool,
+    /// For indirect jumps: the actual target (needed to reconstruct the
+    /// fetch path; the paper's "plus the target address of any indirect
+    /// jumps").
+    pub target: u32,
+}
+
+impl IqEntry {
+    /// A freshly fetched non-control instruction.
+    pub fn fetched(addr: u32) -> IqEntry {
+        IqEntry { addr, state: IqState::Fetched, taken: false, mispredicted: false, target: 0 }
+    }
+}
+
+/// Where instruction fetch stands.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FetchPc {
+    /// Fetching at the given address.
+    At(u32),
+    /// Stalled behind a mispredicted indirect jump (resumes at its target
+    /// when it resolves).
+    WaitIndirect,
+    /// Fetch stopped: a `halt` was fetched on the current path (a squash
+    /// can restart fetch).
+    Stopped,
+}
+
+impl FetchPc {
+    /// Sentinel encoding for [`FetchPc::WaitIndirect`] (instruction
+    /// addresses are 4-byte aligned, so odd values are never addresses).
+    pub const WAIT_INDIRECT_BITS: u32 = 0xffff_ffff;
+    /// Sentinel encoding for [`FetchPc::Stopped`].
+    pub const STOPPED_BITS: u32 = 0xffff_fffe;
+
+    /// Encodes to a `u32` for the configuration header.
+    pub fn to_bits(self) -> u32 {
+        match self {
+            FetchPc::At(a) => a,
+            FetchPc::WaitIndirect => Self::WAIT_INDIRECT_BITS,
+            FetchPc::Stopped => Self::STOPPED_BITS,
+        }
+    }
+
+    /// Decodes from the configuration header.
+    pub fn from_bits(bits: u32) -> FetchPc {
+        match bits {
+            Self::WAIT_INDIRECT_BITS => FetchPc::WaitIndirect,
+            Self::STOPPED_BITS => FetchPc::Stopped,
+            a => FetchPc::At(a),
+        }
+    }
+}
+
+/// The complete inter-cycle state of the µ-architecture simulator: the iQ
+/// plus the fetch position. A snapshot of this is a *configuration*.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PipelineState {
+    /// In-flight instructions, oldest first.
+    pub iq: Vec<IqEntry>,
+    /// Fetch position.
+    pub fetch: FetchPc,
+}
+
+impl PipelineState {
+    /// The empty pipeline about to fetch at `entry`.
+    pub fn at_entry(entry: u32) -> PipelineState {
+        PipelineState { iq: Vec::new(), fetch: FetchPc::At(entry) }
+    }
+
+    /// Number of in-flight instructions.
+    pub fn len(&self) -> usize {
+        self.iq.len()
+    }
+
+    /// Whether the pipeline is empty.
+    pub fn is_empty(&self) -> bool {
+        self.iq.is_empty()
+    }
+
+    /// The successor fetch address implied by entry `e` (holding `inst`):
+    /// the path the pipeline actually fetched, which follows the
+    /// *predicted* direction of conditional branches (`taken ^
+    /// mispredicted`) and the recorded target of indirect jumps.
+    pub fn path_successor(entry: &IqEntry, inst: &Inst) -> u32 {
+        match inst.exec_class() {
+            ExecClass::Branch => {
+                let followed_taken = entry.taken ^ entry.mispredicted;
+                if followed_taken {
+                    inst.static_target(entry.addr).expect("branch has static target")
+                } else {
+                    entry.addr.wrapping_add(4)
+                }
+            }
+            ExecClass::Jump => {
+                inst.static_target(entry.addr).expect("jump has static target")
+            }
+            ExecClass::JumpInd => entry.target,
+            _ => entry.addr.wrapping_add(4),
+        }
+    }
+
+    /// Verifies that consecutive iQ entries form a legal fetch path through
+    /// `prog` (used by tests and debug assertions).
+    pub fn path_consistent(&self, prog: &DecodedProgram) -> bool {
+        for w in self.iq.windows(2) {
+            let inst = match prog.fetch(w[0].addr) {
+                Some(i) => i,
+                None => return false,
+            };
+            if Self::path_successor(&w[0], inst) != w[1].addr {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Counts in-flight multi-target control transfers (the pipeline's
+    /// consumed-but-unretired control records — index `i` of the next
+    /// record fetch will consume).
+    pub fn ctrl_in_flight(&self, prog: &DecodedProgram) -> usize {
+        self.iq
+            .iter()
+            .filter(|e| {
+                prog.fetch(e.addr).is_some_and(|i| i.is_multi_target_control())
+            })
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastsim_isa::{Asm, Reg};
+
+    fn program() -> DecodedProgram {
+        let mut a = Asm::with_base(0x1000);
+        a.addi(Reg::R1, Reg::R0, 3); // 0x1000
+        a.label("top");
+        a.subi(Reg::R1, Reg::R1, 1); // 0x1004
+        a.bne(Reg::R1, Reg::R0, "top"); // 0x1008
+        a.halt(); // 0x100c
+        a.assemble().unwrap().predecode().unwrap()
+    }
+
+    #[test]
+    fn state_tags_round_trip() {
+        let states = [
+            IqState::Fetched,
+            IqState::Queued,
+            IqState::Exec { left: 34 },
+            IqState::AgenDone,
+            IqState::CacheWait { left: 99 },
+            IqState::Done,
+        ];
+        for s in states {
+            assert_eq!(IqState::from_parts(s.tag(), s.count()), Some(s));
+        }
+        assert_eq!(IqState::from_parts(7, 0), None);
+    }
+
+    #[test]
+    fn fetch_pc_bits_round_trip() {
+        for f in [FetchPc::At(0x1234_5678), FetchPc::WaitIndirect, FetchPc::Stopped] {
+            assert_eq!(FetchPc::from_bits(f.to_bits()), f);
+        }
+    }
+
+    #[test]
+    fn path_successor_follows_predicted_direction() {
+        let prog = program();
+        let br = prog.fetch(0x1008).unwrap();
+        // Taken and predicted taken: follow the target.
+        let e = IqEntry { addr: 0x1008, state: IqState::Done, taken: true, mispredicted: false, target: 0 };
+        assert_eq!(PipelineState::path_successor(&e, br), 0x1004);
+        // Taken but predicted not-taken (mispredicted): pipeline followed
+        // the wrong (fall-through) path.
+        let e = IqEntry { mispredicted: true, ..e };
+        assert_eq!(PipelineState::path_successor(&e, br), 0x100c);
+        // Not taken, predicted taken: pipeline followed the target.
+        let e = IqEntry { taken: false, mispredicted: true, ..e };
+        assert_eq!(PipelineState::path_successor(&e, br), 0x1004);
+    }
+
+    #[test]
+    fn path_consistency_checked() {
+        let prog = program();
+        let mut st = PipelineState::at_entry(0x1000);
+        st.iq.push(IqEntry::fetched(0x1000));
+        st.iq.push(IqEntry::fetched(0x1004));
+        assert!(st.path_consistent(&prog));
+        st.iq.push(IqEntry::fetched(0x1000)); // not the successor of 0x1004
+        assert!(!st.path_consistent(&prog));
+    }
+
+    #[test]
+    fn ctrl_in_flight_counts_multi_target_only() {
+        let prog = program();
+        let mut st = PipelineState::at_entry(0x1000);
+        st.iq.push(IqEntry::fetched(0x1004)); // subi
+        st.iq.push(IqEntry {
+            addr: 0x1008,
+            state: IqState::Queued,
+            taken: true,
+            mispredicted: false,
+            target: 0,
+        }); // bne
+        assert_eq!(st.ctrl_in_flight(&prog), 1);
+    }
+}

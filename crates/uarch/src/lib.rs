@@ -1,0 +1,46 @@
+//! # fastsim-uarch
+//!
+//! The detailed out-of-order µ-architecture simulator — the paper's model
+//! of a MIPS R10000-like processor (Figure 1, Table 1) restructured so that
+//! **all inter-cycle state lives in one compact structure, the iQ**.
+//!
+//! The iQ holds one entry per instruction in flight, from fetch to retire:
+//! the instruction's address (from which the instruction itself is looked
+//! up in the static program) and a small amount of state — which pipeline
+//! stage it occupies and the minimum number of cycles before that stage can
+//! change, plus taken/mispredicted bits for control transfers. Everything
+//! else — issue-queue occupancy, function-unit availability, register
+//! renaming and physical-register pressure, the outstanding-branch limit —
+//! is **recomputed from the iQ every cycle** and never stored.
+//!
+//! That discipline is what makes the simulator memoizable: a snapshot of
+//! the iQ taken between cycles (a *configuration*, see
+//! [`encode_config`]/[`decode_config`]) completely determines all future
+//! simulator actions, up to the externally supplied outcomes (cache-access
+//! intervals, control-flow records from direct execution) that the
+//! fast-forwarding replayer checks on replay.
+//!
+//! The pipeline interacts with the rest of the simulator only through the
+//! [`PipelineEnv`] trait: fetching control records, issuing and polling
+//! cache accesses, cancelling squashed loads, and requesting rollback of a
+//! mispredicted branch. The engine crate (`fastsim-core`) implements the
+//! trait, records every interaction in the p-action cache, and replays them
+//! during fast-forwarding.
+
+mod config;
+mod encode;
+mod iq;
+mod pipeline;
+
+pub use config::{IssueModel, UArchConfig};
+pub use encode::{decode_config, encode_config, encoded_size, ConfigDecodeError};
+pub use iq::{FetchPc, IqEntry, IqState, PipelineState, QueueClass};
+pub use pipeline::{
+    CycleSummary, LoadPoll, Pipeline, PipelineEnv, RecordFeed, RecordInfo,
+};
+
+/// Largest stage counter storable in an encoded configuration (7 bits).
+/// Longer cache waits are split: the pipeline re-polls the cache simulator
+/// when the stored counter expires and receives the remaining interval —
+/// exact, merely more polls for very long waits.
+pub const MAX_STAGE_COUNT: u32 = 127;

@@ -1,0 +1,617 @@
+//! Floating-point kernels modeled on the SPECfp95 programs: regular loop
+//! nests over f64 grids. Their pipeline behaviour settles into long
+//! repeating configuration sequences, which is why the paper's FP
+//! benchmarks show the highest cycles-per-configuration and the smallest
+//! p-action caches.
+//!
+//! Register conventions: FP data in `f1`–`f15`, constants in `f20`–`f24`;
+//! integer `r26`–`r28` hold base addresses, `r10` the checksum
+//! accumulator, `r11` the outer loop counter.
+
+use fastsim_isa::{Asm, Program, Reg};
+
+/// Emits a loop filling `count` f64 slots starting at the address in
+/// `r26` with a deterministic ramp `base + i*step` (clobbers r1, r2, f1,
+/// f2, f3).
+fn fill_f64_ramp(a: &mut Asm, label: &str, count: u32, base: f64, step: f64) {
+    const CONSTS: u32 = 0x000f_0000;
+    // Stash the two constants in a per-label data slot.
+    let slot = CONSTS + (label.len() as u32 % 16) * 64 + count % 32 * 16;
+    a.data_f64(slot, &[base, step]);
+    a.li(Reg::R1, slot);
+    a.fld(1, Reg::R1, 0); // f1 = value
+    a.fld(2, Reg::R1, 8); // f2 = step
+    a.li(Reg::R1, count);
+    a.add(Reg::R2, Reg::R26, Reg::R0);
+    a.label(label);
+    a.fst(1, Reg::R2, 0);
+    a.fadd(1, 1, 2);
+    a.addi(Reg::R2, Reg::R2, 8);
+    a.subi(Reg::R1, Reg::R1, 1);
+    a.bne(Reg::R1, Reg::R0, label);
+}
+
+/// Emits the closing checksum: converts `f10` to an integer in `r10`,
+/// merges `r10`'s previous value, prints and halts.
+fn finish_fp(a: &mut Asm) {
+    a.cvtfi(Reg::R9, 10);
+    a.add(Reg::R10, Reg::R10, Reg::R9);
+    a.out(Reg::R10);
+    a.halt();
+}
+
+/// `101.tomcatv` — a 2-D mesh-generation stencil: five-point averaging
+/// sweeps over a 64×64 grid with a residual accumulation.
+pub fn tomcatv(n: u32) -> Program {
+    const GRID: u32 = 0x0020_0000; // 64*64 f64 = 32 KB (spills L1)
+    let mut a = Asm::new();
+    a.li(Reg::R26, GRID);
+    fill_f64_ramp(&mut a, "init", 64 * 64, 1.0, 0.001953125);
+    a.data_f64(0x000f_8000, &[0.25]);
+    a.li(Reg::R1, 0x000f_8000);
+    a.fld(20, Reg::R1, 0); // f20 = 0.25
+    a.li(Reg::R11, n);
+    a.label("sweep");
+    // rows 1..63
+    a.addi(Reg::R2, Reg::R0, 62);
+    a.addi(Reg::R3, Reg::R26, 0);
+    a.addi(Reg::R3, Reg::R3, 512); // row 1 (64*8)
+    a.label("rowloop");
+    a.addi(Reg::R4, Reg::R0, 62); // columns 1..63
+    a.addi(Reg::R5, Reg::R3, 8);
+    a.label("colloop");
+    a.fld(1, Reg::R5, -8); // west
+    a.fld(2, Reg::R5, 8); // east
+    a.fld(3, Reg::R5, -512); // north
+    a.fld(4, Reg::R5, 512); // south
+    a.fadd(5, 1, 2);
+    a.fadd(6, 3, 4);
+    a.fadd(5, 5, 6);
+    a.fmul(5, 5, 20);
+    a.fld(7, Reg::R5, 0);
+    a.fsub(8, 5, 7); // residual
+    a.fabs(8, 8);
+    a.fadd(10, 10, 8);
+    a.fst(5, Reg::R5, 0);
+    a.addi(Reg::R5, Reg::R5, 8);
+    a.subi(Reg::R4, Reg::R4, 1);
+    a.bne(Reg::R4, Reg::R0, "colloop");
+    a.addi(Reg::R3, Reg::R3, 512);
+    a.subi(Reg::R2, Reg::R2, 1);
+    a.bne(Reg::R2, Reg::R0, "rowloop");
+    a.subi(Reg::R11, Reg::R11, 1);
+    a.bne(Reg::R11, Reg::R0, "sweep");
+    finish_fp(&mut a);
+    a.assemble().expect("tomcatv kernel assembles")
+}
+
+/// `102.swim` — shallow-water equations: three 64×64 grids (u, v, p)
+/// updated by two distinct stencil passes per timestep.
+pub fn swim(n: u32) -> Program {
+    const U: u32 = 0x0021_0000;
+    const V: u32 = 0x0022_0000;
+    const P: u32 = 0x0023_0000;
+    let mut a = Asm::new();
+    a.li(Reg::R26, U);
+    fill_f64_ramp(&mut a, "iu", 64 * 64, 0.5, 0.0003);
+    a.li(Reg::R26, V);
+    fill_f64_ramp(&mut a, "iv", 64 * 64, -0.5, 0.0007);
+    a.li(Reg::R26, P);
+    fill_f64_ramp(&mut a, "ip", 64 * 64, 10.0, 0.0001);
+    a.data_f64(0x000f_8100, &[0.1, 0.45]);
+    a.li(Reg::R1, 0x000f_8100);
+    a.fld(20, Reg::R1, 0); // dt
+    a.fld(21, Reg::R1, 8); // alpha
+    a.li(Reg::R26, U);
+    a.li(Reg::R27, V);
+    a.li(Reg::R28, P);
+    a.li(Reg::R11, n);
+    a.label("step");
+    // pass 1: u,v update from p gradient (interior, flattened loop)
+    a.li(Reg::R2, 62 * 62);
+    a.addi(Reg::R3, Reg::R0, 0); // flat index over interior
+    a.label("uv");
+    // i = 1 + idx/62, j = 1 + idx%62  -> offset = (i*64 + j)*8
+    a.addi(Reg::R4, Reg::R0, 62);
+    a.div(Reg::R5, Reg::R3, Reg::R4);
+    a.rem(Reg::R6, Reg::R3, Reg::R4);
+    a.addi(Reg::R5, Reg::R5, 1);
+    a.addi(Reg::R6, Reg::R6, 1);
+    a.slli(Reg::R5, Reg::R5, 6);
+    a.add(Reg::R5, Reg::R5, Reg::R6);
+    a.slli(Reg::R5, Reg::R5, 3);
+    a.add(Reg::R7, Reg::R28, Reg::R5); // &p[i][j]
+    a.fld(1, Reg::R7, 8);
+    a.fld(2, Reg::R7, -8);
+    a.fsub(3, 1, 2); // dp/dx
+    a.fld(4, Reg::R7, 512);
+    a.fld(5, Reg::R7, -512);
+    a.fsub(6, 4, 5); // dp/dy
+    a.add(Reg::R8, Reg::R26, Reg::R5);
+    a.fld(7, Reg::R8, 0);
+    a.fmul(3, 3, 20);
+    a.fsub(7, 7, 3);
+    a.fst(7, Reg::R8, 0);
+    a.add(Reg::R8, Reg::R27, Reg::R5);
+    a.fld(8, Reg::R8, 0);
+    a.fmul(6, 6, 20);
+    a.fsub(8, 8, 6);
+    a.fst(8, Reg::R8, 0);
+    a.addi(Reg::R3, Reg::R3, 1);
+    a.subi(Reg::R2, Reg::R2, 1);
+    a.bne(Reg::R2, Reg::R0, "uv");
+    // pass 2: p update from u,v divergence (coarser: every 2nd cell)
+    a.li(Reg::R2, 31 * 31);
+    a.addi(Reg::R3, Reg::R0, 0);
+    a.label("pp");
+    a.addi(Reg::R4, Reg::R0, 31);
+    a.div(Reg::R5, Reg::R3, Reg::R4);
+    a.rem(Reg::R6, Reg::R3, Reg::R4);
+    a.addi(Reg::R5, Reg::R5, 1);
+    a.addi(Reg::R6, Reg::R6, 1);
+    a.slli(Reg::R5, Reg::R5, 7); // 2*i*64
+    a.slli(Reg::R6, Reg::R6, 1);
+    a.add(Reg::R5, Reg::R5, Reg::R6);
+    a.slli(Reg::R5, Reg::R5, 3);
+    a.add(Reg::R7, Reg::R26, Reg::R5);
+    a.fld(1, Reg::R7, 8);
+    a.fld(2, Reg::R7, -8);
+    a.fsub(1, 1, 2);
+    a.add(Reg::R8, Reg::R27, Reg::R5);
+    a.fld(3, Reg::R8, 512);
+    a.fld(4, Reg::R8, -512);
+    a.fsub(3, 3, 4);
+    a.fadd(1, 1, 3);
+    a.fmul(1, 1, 21);
+    a.add(Reg::R9, Reg::R28, Reg::R5);
+    a.fld(5, Reg::R9, 0);
+    a.fsub(5, 5, 1);
+    a.fst(5, Reg::R9, 0);
+    a.fadd(10, 10, 1);
+    a.addi(Reg::R3, Reg::R3, 1);
+    a.subi(Reg::R2, Reg::R2, 1);
+    a.bne(Reg::R2, Reg::R0, "pp");
+    a.subi(Reg::R11, Reg::R11, 1);
+    a.bne(Reg::R11, Reg::R0, "step");
+    finish_fp(&mut a);
+    a.assemble().expect("swim kernel assembles")
+}
+
+/// `103.su2cor` — quantum-chromodynamics style small dense algebra: 4×4
+/// matrix–vector products streamed over an array of vectors.
+pub fn su2cor(n: u32) -> Program {
+    const MAT: u32 = 0x0024_0000; // 16 f64
+    const VECS: u32 = 0x0024_1000; // 128 vectors of 4 f64
+    let mut a = Asm::new();
+    a.li(Reg::R26, MAT);
+    fill_f64_ramp(&mut a, "im", 16, 0.9, 0.013);
+    a.li(Reg::R26, VECS);
+    fill_f64_ramp(&mut a, "iv", 512, 1.0, 0.002);
+    a.li(Reg::R26, MAT);
+    a.li(Reg::R27, VECS);
+    a.li(Reg::R11, n);
+    a.addi(Reg::R12, Reg::R0, 0); // vector cursor
+    a.label("main");
+    a.andi(Reg::R1, Reg::R12, 127);
+    a.slli(Reg::R1, Reg::R1, 5); // *32 bytes
+    a.add(Reg::R1, Reg::R27, Reg::R1);
+    a.addi(Reg::R12, Reg::R12, 1);
+    // load vector
+    a.fld(1, Reg::R1, 0);
+    a.fld(2, Reg::R1, 8);
+    a.fld(3, Reg::R1, 16);
+    a.fld(4, Reg::R1, 24);
+    // y = M * x, unrolled rows
+    for row in 0..4u8 {
+        let base = (row as i32) * 32;
+        a.fld(5, Reg::R26, base);
+        a.fld(6, Reg::R26, base + 8);
+        a.fld(7, Reg::R26, base + 16);
+        a.fld(8, Reg::R26, base + 24);
+        a.fmul(5, 5, 1);
+        a.fmul(6, 6, 2);
+        a.fmul(7, 7, 3);
+        a.fmul(8, 8, 4);
+        a.fadd(5, 5, 6);
+        a.fadd(7, 7, 8);
+        a.fadd(5, 5, 7);
+        a.fst(5, Reg::R1, base / 4); // overwrite in place (rows 0..3 -> offsets 0,8,16,24)
+    }
+    a.fadd(10, 10, 5);
+    a.subi(Reg::R11, Reg::R11, 1);
+    a.bne(Reg::R11, Reg::R0, "main");
+    finish_fp(&mut a);
+    a.assemble().expect("su2cor kernel assembles")
+}
+
+/// `104.hydro2d` — hydrodynamics: flux computation along 2048-cell lines
+/// with divides (long-latency FP).
+pub fn hydro2d(n: u32) -> Program {
+    const RHO: u32 = 0x0025_0000;
+    const MOM: u32 = 0x0026_0000;
+    const ENER: u32 = 0x0027_0000;
+    let mut a = Asm::new();
+    a.li(Reg::R26, RHO);
+    fill_f64_ramp(&mut a, "ir", 2048, 1.0, 0.0004);
+    a.li(Reg::R26, MOM);
+    fill_f64_ramp(&mut a, "imo", 2048, 0.3, 0.0002);
+    a.li(Reg::R26, ENER);
+    fill_f64_ramp(&mut a, "ie", 2048, 2.5, 0.0001);
+    a.li(Reg::R26, RHO);
+    a.li(Reg::R27, MOM);
+    a.li(Reg::R28, ENER);
+    a.data_f64(0x000f_8200, &[0.4, 0.01]);
+    a.li(Reg::R1, 0x000f_8200);
+    a.fld(20, Reg::R1, 0); // gamma-1
+    a.fld(21, Reg::R1, 8); // dt/dx
+    a.li(Reg::R11, n);
+    a.label("step");
+    a.li(Reg::R2, 2046);
+    a.addi(Reg::R3, Reg::R0, 8); // byte offset of cell 1
+    a.label("cell");
+    a.add(Reg::R4, Reg::R26, Reg::R3);
+    a.add(Reg::R5, Reg::R27, Reg::R3);
+    a.add(Reg::R6, Reg::R28, Reg::R3);
+    a.fld(1, Reg::R4, 0); // rho
+    a.fld(2, Reg::R5, 0); // mom
+    a.fld(3, Reg::R6, 0); // ener
+    a.fdiv(4, 2, 1); // u = mom/rho
+    a.fmul(5, 4, 2); // rho u^2
+    a.fsub(6, 3, 5); // internal
+    a.fmul(6, 6, 20); // pressure
+    a.fld(7, Reg::R4, 8); // rho east
+    a.fsub(8, 7, 1);
+    a.fmul(8, 8, 21);
+    a.fsub(1, 1, 8);
+    a.fst(1, Reg::R4, 0);
+    a.fadd(2, 2, 6);
+    a.fmul(2, 2, 21);
+    a.fst(2, Reg::R5, 0);
+    a.fadd(10, 10, 6);
+    a.addi(Reg::R3, Reg::R3, 8);
+    a.subi(Reg::R2, Reg::R2, 1);
+    a.bne(Reg::R2, Reg::R0, "cell");
+    a.subi(Reg::R11, Reg::R11, 1);
+    a.bne(Reg::R11, Reg::R0, "step");
+    finish_fp(&mut a);
+    a.assemble().expect("hydro2d kernel assembles")
+}
+
+/// `107.mgrid` — multigrid relaxation: a seven-point stencil over a
+/// 16×16×16 grid. The most regular kernel in the suite — the paper's
+/// `mgrid` replays all but 0.001% of its instructions.
+pub fn mgrid(n: u32) -> Program {
+    const GRID: u32 = 0x0028_0000; // 4096 f64 = 32 KB
+    let mut a = Asm::new();
+    a.li(Reg::R26, GRID);
+    fill_f64_ramp(&mut a, "ig", 4096, 0.0, 0.0005);
+    a.data_f64(0x000f_8300, &[0.125]);
+    a.li(Reg::R1, 0x000f_8300);
+    a.fld(20, Reg::R1, 0);
+    a.li(Reg::R11, n);
+    a.label("sweep");
+    // interior cells, flattened: z,y,x in 1..15
+    a.li(Reg::R2, 14 * 14 * 14);
+    a.addi(Reg::R3, Reg::R0, 0);
+    a.label("cell");
+    a.addi(Reg::R4, Reg::R0, 14);
+    a.rem(Reg::R5, Reg::R3, Reg::R4); // x-1
+    a.div(Reg::R6, Reg::R3, Reg::R4);
+    a.rem(Reg::R7, Reg::R6, Reg::R4); // y-1
+    a.div(Reg::R8, Reg::R6, Reg::R4); // z-1
+    a.addi(Reg::R5, Reg::R5, 1);
+    a.addi(Reg::R7, Reg::R7, 1);
+    a.addi(Reg::R8, Reg::R8, 1);
+    // offset = ((z*16 + y)*16 + x) * 8
+    a.slli(Reg::R8, Reg::R8, 4);
+    a.add(Reg::R8, Reg::R8, Reg::R7);
+    a.slli(Reg::R8, Reg::R8, 4);
+    a.add(Reg::R8, Reg::R8, Reg::R5);
+    a.slli(Reg::R8, Reg::R8, 3);
+    a.add(Reg::R9, Reg::R26, Reg::R8);
+    a.fld(1, Reg::R9, 8); // +x
+    a.fld(2, Reg::R9, -8); // -x
+    a.fld(3, Reg::R9, 128); // +y (16*8)
+    a.fld(4, Reg::R9, -128); // -y
+    a.fld(5, Reg::R9, 2048); // +z (256*8)
+    a.fld(6, Reg::R9, -2048); // -z
+    a.fld(7, Reg::R9, 0);
+    a.fadd(1, 1, 2);
+    a.fadd(3, 3, 4);
+    a.fadd(5, 5, 6);
+    a.fadd(1, 1, 3);
+    a.fadd(1, 1, 5);
+    a.fadd(1, 1, 7);
+    a.fadd(1, 1, 7);
+    a.fmul(1, 1, 20);
+    a.fst(1, Reg::R9, 0);
+    a.addi(Reg::R3, Reg::R3, 1);
+    a.subi(Reg::R2, Reg::R2, 1);
+    a.bne(Reg::R2, Reg::R0, "cell");
+    a.fadd(10, 10, 1);
+    a.subi(Reg::R11, Reg::R11, 1);
+    a.bne(Reg::R11, Reg::R0, "sweep");
+    finish_fp(&mut a);
+    a.assemble().expect("mgrid kernel assembles")
+}
+
+/// `110.applu` — LU decomposition-style forward/backward substitution over
+/// banded rows with long dependence chains through `fdiv`.
+pub fn applu(n: u32) -> Program {
+    const A: u32 = 0x0029_0000; // 1024 f64 diagonal band
+    const B: u32 = 0x002a_0000; // 1024 f64 rhs
+    let mut a = Asm::new();
+    a.li(Reg::R26, A);
+    fill_f64_ramp(&mut a, "ia", 1024, 2.0, 0.001);
+    a.li(Reg::R26, B);
+    fill_f64_ramp(&mut a, "ib", 1024, 1.0, 0.003);
+    a.li(Reg::R26, A);
+    a.li(Reg::R27, B);
+    a.li(Reg::R11, n);
+    a.label("iter");
+    // forward: x[i] = (b[i] - a[i]*x[i-1]) / a[i]
+    a.li(Reg::R2, 1023);
+    a.addi(Reg::R3, Reg::R0, 8);
+    a.label("fwd");
+    a.add(Reg::R4, Reg::R26, Reg::R3);
+    a.add(Reg::R5, Reg::R27, Reg::R3);
+    a.fld(1, Reg::R4, 0); // a[i]
+    a.fld(2, Reg::R5, -8); // x[i-1]
+    a.fld(3, Reg::R5, 0); // b[i]
+    a.fmul(4, 1, 2);
+    a.fsub(3, 3, 4);
+    a.fdiv(3, 3, 1);
+    a.fst(3, Reg::R5, 0);
+    a.addi(Reg::R3, Reg::R3, 8);
+    a.subi(Reg::R2, Reg::R2, 1);
+    a.bne(Reg::R2, Reg::R0, "fwd");
+    // backward pass (no divide, accumulation)
+    a.li(Reg::R2, 1023);
+    a.li(Reg::R3, 1023 * 8);
+    a.label("bwd");
+    a.add(Reg::R5, Reg::R27, Reg::R3);
+    a.fld(1, Reg::R5, 0);
+    a.fld(2, Reg::R5, -8);
+    a.fmul(2, 2, 1);
+    a.fadd(10, 10, 2);
+    a.subi(Reg::R3, Reg::R3, 8);
+    a.subi(Reg::R2, Reg::R2, 1);
+    a.bne(Reg::R2, Reg::R0, "bwd");
+    a.subi(Reg::R11, Reg::R11, 1);
+    a.bne(Reg::R11, Reg::R0, "iter");
+    finish_fp(&mut a);
+    a.assemble().expect("applu kernel assembles")
+}
+
+/// `125.turb3d` — turbulence/FFT style: log-strided butterfly passes over
+/// a 1024-point complex array.
+pub fn turb3d(n: u32) -> Program {
+    const RE: u32 = 0x002b_0000; // 1024 f64
+    const IM: u32 = 0x002c_0000; // 1024 f64
+    let mut a = Asm::new();
+    a.li(Reg::R26, RE);
+    fill_f64_ramp(&mut a, "ire", 1024, 1.0, 0.004);
+    a.li(Reg::R26, IM);
+    fill_f64_ramp(&mut a, "iim", 1024, -1.0, 0.002);
+    a.li(Reg::R26, RE);
+    a.li(Reg::R27, IM);
+    a.li(Reg::R11, n);
+    a.label("pass");
+    // stages: stride 8, 64, 512 bytes (three butterfly stages per pass)
+    for (s, stride) in [(0u32, 8i32), (1, 64), (2, 512)] {
+        a.li(Reg::R2, 512);
+        a.addi(Reg::R3, Reg::R0, 0);
+        a.label(&format!("st{s}"));
+        // index pair: i and i+stride (wrap via mask on byte offset)
+        a.slli(Reg::R4, Reg::R3, 4); // spread pairs
+        a.andi(Reg::R4, Reg::R4, 8191 - 7);
+        a.add(Reg::R5, Reg::R26, Reg::R4);
+        a.add(Reg::R6, Reg::R27, Reg::R4);
+        a.fld(1, Reg::R5, 0);
+        a.fld(2, Reg::R5, stride);
+        a.fld(3, Reg::R6, 0);
+        a.fld(4, Reg::R6, stride);
+        a.fadd(5, 1, 2);
+        a.fsub(6, 1, 2);
+        a.fadd(7, 3, 4);
+        a.fsub(8, 3, 4);
+        a.fst(5, Reg::R5, 0);
+        a.fst(6, Reg::R5, stride);
+        a.fst(7, Reg::R6, 0);
+        a.fst(8, Reg::R6, stride);
+        a.addi(Reg::R3, Reg::R3, 1);
+        a.subi(Reg::R2, Reg::R2, 1);
+        a.bne(Reg::R2, Reg::R0, &format!("st{s}"));
+    }
+    a.fadd(10, 10, 5);
+    a.subi(Reg::R11, Reg::R11, 1);
+    a.bne(Reg::R11, Reg::R0, "pass");
+    finish_fp(&mut a);
+    a.assemble().expect("turb3d kernel assembles")
+}
+
+/// `141.apsi` — atmospheric simulation: per-column series evaluation with
+/// a data-dependent convergence branch (mixed FP compute and control).
+pub fn apsi(n: u32) -> Program {
+    const COLS: u32 = 0x002d_0000; // 256 f64 column states
+    let mut a = Asm::new();
+    a.li(Reg::R26, COLS);
+    fill_f64_ramp(&mut a, "ic", 256, 0.1, 0.0037);
+    a.data_f64(0x000f_8400, &[1.0, 0.5, 1e-3]);
+    a.li(Reg::R1, 0x000f_8400);
+    a.fld(20, Reg::R1, 0); // one
+    a.fld(21, Reg::R1, 8); // half
+    a.fld(22, Reg::R1, 16); // epsilon
+    a.li(Reg::R11, n);
+    a.addi(Reg::R12, Reg::R0, 0);
+    a.label("col");
+    a.andi(Reg::R1, Reg::R12, 255);
+    a.slli(Reg::R1, Reg::R1, 3);
+    a.add(Reg::R1, Reg::R26, Reg::R1);
+    a.addi(Reg::R12, Reg::R12, 1);
+    a.fld(1, Reg::R1, 0); // x
+    // exp-like series: sum = 1 + x + x^2/2 + ..., terminate when the term
+    // is small (data-dependent trip count).
+    a.fmov(2, 20); // sum = 1
+    a.fmov(3, 20); // term = 1
+    a.addi(Reg::R2, Reg::R0, 12); // max terms
+    a.label("series");
+    a.fmul(3, 3, 1);
+    a.fmul(3, 3, 21);
+    a.fadd(2, 2, 3);
+    a.fabs(4, 3);
+    a.flt(Reg::R3, 4, 22); // term < eps ?
+    a.bne(Reg::R3, Reg::R0, "converged");
+    a.subi(Reg::R2, Reg::R2, 1);
+    a.bne(Reg::R2, Reg::R0, "series");
+    a.label("converged");
+    a.fmul(2, 2, 21); // damp
+    a.fst(2, Reg::R1, 0);
+    a.fadd(10, 10, 2);
+    a.subi(Reg::R11, Reg::R11, 1);
+    a.bne(Reg::R11, Reg::R0, "col");
+    finish_fp(&mut a);
+    a.assemble().expect("apsi kernel assembles")
+}
+
+/// `145.fpppp` — quantum chemistry: enormous straight-line basic blocks of
+/// FP arithmetic (the real `fpppp` is famous for them), with very few
+/// branches.
+pub fn fpppp(n: u32) -> Program {
+    const DATA: u32 = 0x002e_0000; // 64 f64 inputs
+    let mut a = Asm::new();
+    a.li(Reg::R26, DATA);
+    fill_f64_ramp(&mut a, "id", 64, 1.1, 0.007);
+    a.li(Reg::R11, n);
+    a.label("block");
+    // One giant basic block: 8 rounds of loads + dependent FP arithmetic
+    // over rotating register assignments (≈ 300 instructions, branch-free).
+    for round in 0..8u8 {
+        let base = ((round as i32) % 4) * 128;
+        a.fld(1, Reg::R26, base);
+        a.fld(2, Reg::R26, base + 8);
+        a.fld(3, Reg::R26, base + 16);
+        a.fld(4, Reg::R26, base + 24);
+        a.fmul(5, 1, 2);
+        a.fmul(6, 3, 4);
+        a.fadd(7, 5, 6);
+        a.fsub(8, 5, 6);
+        a.fmul(9, 7, 8);
+        a.fadd(11, 9, 1);
+        a.fmul(12, 11, 2);
+        a.fadd(13, 12, 3);
+        a.fmul(14, 13, 4);
+        a.fadd(15, 14, 7);
+        a.fsqrt(16, 15);
+        a.fadd(10, 10, 16);
+        a.fst(16, Reg::R26, base + 32);
+        // independent strand to give the OOO core parallelism
+        a.fld(17, Reg::R26, base + 40);
+        a.fmul(18, 17, 17);
+        a.fadd(19, 18, 17);
+        a.fst(19, Reg::R26, base + 40);
+    }
+    a.subi(Reg::R11, Reg::R11, 1);
+    a.bne(Reg::R11, Reg::R0, "block");
+    finish_fp(&mut a);
+    a.assemble().expect("fpppp kernel assembles")
+}
+
+/// `146.wave5` — particle-in-cell: gather field values at particle
+/// positions, update velocities and positions, scatter charge back.
+/// Indexed (data-dependent) addressing distinguishes it from the stencil
+/// kernels.
+pub fn wave5(n: u32) -> Program {
+    const POS: u32 = 0x002f_0000; // 1024 f64
+    const VEL: u32 = 0x0030_0000; // 1024 f64
+    const FIELD: u32 = 0x0031_0000; // 512 f64
+    let mut a = Asm::new();
+    a.li(Reg::R26, POS);
+    fill_f64_ramp(&mut a, "ip", 1024, 3.0, 0.013);
+    a.li(Reg::R26, VEL);
+    fill_f64_ramp(&mut a, "ivl", 1024, 0.01, 0.0001);
+    a.li(Reg::R26, FIELD);
+    fill_f64_ramp(&mut a, "ifd", 512, 0.2, 0.0009);
+    a.li(Reg::R26, POS);
+    a.li(Reg::R27, VEL);
+    a.li(Reg::R28, FIELD);
+    a.data_f64(0x000f_8500, &[0.05]);
+    a.li(Reg::R1, 0x000f_8500);
+    a.fld(20, Reg::R1, 0); // dt
+    a.li(Reg::R11, n);
+    a.label("step");
+    a.li(Reg::R2, 1024);
+    a.addi(Reg::R3, Reg::R0, 0); // particle byte offset
+    a.label("part");
+    a.add(Reg::R4, Reg::R26, Reg::R3);
+    a.add(Reg::R5, Reg::R27, Reg::R3);
+    a.fld(1, Reg::R4, 0); // x
+    a.fld(2, Reg::R5, 0); // v
+    // cell = (int)x & 511 — data-dependent gather index
+    a.cvtfi(Reg::R6, 1);
+    a.andi(Reg::R6, Reg::R6, 511);
+    a.slli(Reg::R6, Reg::R6, 3);
+    a.add(Reg::R6, Reg::R28, Reg::R6);
+    a.fld(3, Reg::R6, 0); // E at cell
+    a.fmul(4, 3, 20);
+    a.fadd(2, 2, 4); // v += E dt
+    a.fmul(5, 2, 20);
+    a.fadd(1, 1, 5); // x += v dt
+    a.fst(2, Reg::R5, 0);
+    a.fst(1, Reg::R4, 0);
+    // scatter: field[cell] += 0.05*v (reuse f4)
+    a.fmul(4, 2, 20);
+    a.fadd(3, 3, 4);
+    a.fst(3, Reg::R6, 0);
+    a.addi(Reg::R3, Reg::R3, 8);
+    a.subi(Reg::R2, Reg::R2, 1);
+    a.bne(Reg::R2, Reg::R0, "part");
+    a.fadd(10, 10, 3);
+    a.subi(Reg::R11, Reg::R11, 1);
+    a.bne(Reg::R11, Reg::R0, "step");
+    finish_fp(&mut a);
+    a.assemble().expect("wave5 kernel assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastsim_emu::{FuncEmulator, FuncStopReason};
+    use std::rc::Rc;
+
+    fn run(p: &Program, max: u64) -> (u64, Vec<u32>) {
+        let prog = Rc::new(p.predecode().expect("kernel decodes"));
+        let mut e = FuncEmulator::new(prog, p);
+        let r = e.run(max);
+        assert_eq!(r.stop, FuncStopReason::Halted, "kernel must halt");
+        (e.insts(), e.output().to_vec())
+    }
+
+    #[test]
+    fn all_fp_kernels_halt_and_output() {
+        for (name, build) in [
+            ("tomcatv", tomcatv as fn(u32) -> Program),
+            ("swim", swim),
+            ("su2cor", su2cor),
+            ("hydro2d", hydro2d),
+            ("mgrid", mgrid),
+            ("applu", applu),
+            ("turb3d", turb3d),
+            ("apsi", apsi),
+            ("fpppp", fpppp),
+            ("wave5", wave5),
+        ] {
+            let p = build(1);
+            let (insts, out) = run(&p, 20_000_000);
+            assert!(insts > 500, "{name}: ran {insts}");
+            assert_eq!(out.len(), 1, "{name}: one checksum");
+        }
+    }
+
+    #[test]
+    fn fp_kernels_are_deterministic() {
+        let (i1, o1) = run(&mgrid(2), 50_000_000);
+        let (i2, o2) = run(&mgrid(2), 50_000_000);
+        assert_eq!((i1, o1), (i2, o2));
+    }
+}

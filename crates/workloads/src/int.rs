@@ -1,0 +1,678 @@
+//! Integer kernels modeled on the SPECint95 programs' dynamic character.
+//!
+//! Register conventions shared by the kernels in this module:
+//! `r20` LCG state, `r21` LCG multiplier, `r26`–`r28` base addresses,
+//! `r10` running checksum, `r11` main loop counter, `r1`–`r9` scratch.
+
+use fastsim_isa::{Asm, Program, Reg};
+
+const LCG_MUL: u32 = 1_103_515_245;
+
+/// Emits `r20 = r20 * r21 + 12345` (the classic LCG step).
+fn lcg_next(a: &mut Asm) {
+    a.mul(Reg::R20, Reg::R20, Reg::R21);
+    a.addi(Reg::R20, Reg::R20, 12345);
+}
+
+/// Emits LCG setup: multiplier in `r21`, seed in `r20`.
+fn lcg_init(a: &mut Asm, seed: u32) {
+    a.li(Reg::R21, LCG_MUL);
+    a.li(Reg::R20, seed);
+}
+
+/// Emits a loop storing `count` LCG words starting at the address in
+/// `r26` (clobbers r1, r2; leaves r26 intact).
+fn fill_words_lcg(a: &mut Asm, label: &str, count: u32) {
+    a.li(Reg::R1, count);
+    a.add(Reg::R2, Reg::R26, Reg::R0);
+    a.label(label);
+    lcg_next(a);
+    a.sw(Reg::R20, Reg::R2, 0);
+    a.addi(Reg::R2, Reg::R2, 4);
+    a.subi(Reg::R1, Reg::R1, 1);
+    a.bne(Reg::R1, Reg::R0, label);
+}
+
+/// `099.go` — irregular, data-dependent branching over a board array with
+/// a large static code footprint: an LCG walk picks board positions and an
+/// indirect jump table dispatches one of eight distinct evaluation
+/// routines, each with its own cascade of compares. This is the kernel
+/// that generates the most configurations (the paper's `go` built an
+/// 889 MB p-action cache).
+pub fn go(n: u32) -> Program {
+    const BOARD: u32 = 0x0010_0000; // 361 words
+    const TABLE: u32 = 0x0010_4000; // 8 routine addresses
+    let mut a = Asm::new();
+    lcg_init(&mut a, 0x2b5d);
+    a.li(Reg::R26, BOARD);
+    fill_words_lcg(&mut a, "init", 361);
+    a.li(Reg::R27, TABLE);
+    a.li(Reg::R11, n);
+    a.li(Reg::R12, 361);
+    a.label("main");
+    // pos = (lcg >> 8) mod 361; v = board[pos]
+    lcg_next(&mut a);
+    a.srli(Reg::R1, Reg::R20, 8);
+    a.rem(Reg::R1, Reg::R1, Reg::R12);
+    a.slli(Reg::R2, Reg::R1, 2);
+    a.add(Reg::R2, Reg::R26, Reg::R2);
+    a.lw(Reg::R3, Reg::R2, 0);
+    // dispatch on v & 15
+    a.andi(Reg::R4, Reg::R3, 15);
+    a.slli(Reg::R4, Reg::R4, 2);
+    a.add(Reg::R4, Reg::R27, Reg::R4);
+    a.lw(Reg::R4, Reg::R4, 0);
+    a.jalr(Reg::RA, Reg::R4);
+    a.subi(Reg::R11, Reg::R11, 1);
+    a.bne(Reg::R11, Reg::R0, "main");
+    a.out(Reg::R10);
+    a.halt();
+    // Sixteen evaluation routines with distinct branch structure (a large
+    // static footprint, like the real go). Each receives the position
+    // value in r3 and the cell address in r2.
+    for i in 0..16u32 {
+        a.label(&format!("eval{i}"));
+        // Read a "neighbour" (wrapped offset differs per routine).
+        let off = 4 * (1 + i as i32);
+        a.lw(Reg::R5, Reg::R2, -off);
+        a.lw(Reg::R6, Reg::R2, off);
+        a.xor(Reg::R7, Reg::R5, Reg::R6);
+        a.andi(Reg::R7, Reg::R7, 0xff);
+        // Distinct compare cascades per routine.
+        match i % 4 {
+            0 => {
+                a.blt(Reg::R5, Reg::R6, &format!("e{i}_a"));
+                a.add(Reg::R10, Reg::R10, Reg::R7);
+                a.sw(Reg::R7, Reg::R2, 0);
+                a.ret();
+                a.label(&format!("e{i}_a"));
+                a.sub(Reg::R10, Reg::R10, Reg::R7);
+                a.ret();
+            }
+            1 => {
+                a.andi(Reg::R8, Reg::R3, 16);
+                a.beq(Reg::R8, Reg::R0, &format!("e{i}_a"));
+                a.slli(Reg::R7, Reg::R7, 1);
+                a.label(&format!("e{i}_a"));
+                a.andi(Reg::R8, Reg::R3, 32);
+                a.beq(Reg::R8, Reg::R0, &format!("e{i}_b"));
+                a.addi(Reg::R7, Reg::R7, 3);
+                a.label(&format!("e{i}_b"));
+                a.add(Reg::R10, Reg::R10, Reg::R7);
+                a.ret();
+            }
+            2 => {
+                a.sltu(Reg::R8, Reg::R7, Reg::R3);
+                a.bne(Reg::R8, Reg::R0, &format!("e{i}_a"));
+                a.xor(Reg::R10, Reg::R10, Reg::R5);
+                a.ret();
+                a.label(&format!("e{i}_a"));
+                a.xor(Reg::R10, Reg::R10, Reg::R6);
+                a.sw(Reg::R10, Reg::R2, 0);
+                a.ret();
+            }
+            _ => {
+                // Small inner scan over three neighbours.
+                a.addi(Reg::R8, Reg::R0, 3);
+                a.add(Reg::R9, Reg::R2, Reg::R0);
+                a.label(&format!("e{i}_l"));
+                a.lw(Reg::R5, Reg::R9, 4);
+                a.addi(Reg::R9, Reg::R9, 4);
+                a.andi(Reg::R5, Reg::R5, 15);
+                a.add(Reg::R10, Reg::R10, Reg::R5);
+                a.subi(Reg::R8, Reg::R8, 1);
+                a.bne(Reg::R8, Reg::R0, &format!("e{i}_l"));
+                a.ret();
+            }
+        }
+    }
+    let table: Vec<u32> =
+        (0..16).map(|i| a.label_addr(&format!("eval{i}")).expect("eval label")).collect();
+    a.data_words(TABLE, &table);
+    a.assemble().expect("go kernel assembles")
+}
+
+/// `124.m88ksim` — a processor simulator: a fetch/decode/dispatch loop
+/// over a synthetic "target program", with an indirect jump table of
+/// twelve opcode handlers updating a simulated register file in memory.
+pub fn m88ksim(n: u32) -> Program {
+    const OPS: u32 = 0x0012_0000; // 256 synthetic instruction words
+    const SIMREGS: u32 = 0x0012_2000; // 32 words
+    const TABLE: u32 = 0x0012_4000; // 12 handler addresses
+    let mut a = Asm::new();
+    lcg_init(&mut a, 0x517);
+    a.li(Reg::R26, OPS);
+    // Fill the synthetic program with opcodes 0..12 plus operand bits.
+    a.li(Reg::R1, 256);
+    a.add(Reg::R2, Reg::R26, Reg::R0);
+    a.li(Reg::R3, 12);
+    a.label("init");
+    lcg_next(&mut a);
+    a.srli(Reg::R4, Reg::R20, 4);
+    a.rem(Reg::R5, Reg::R4, Reg::R3);
+    a.slli(Reg::R5, Reg::R5, 16);
+    a.andi(Reg::R4, Reg::R4, 0x3ff);
+    a.or(Reg::R5, Reg::R5, Reg::R4);
+    a.sw(Reg::R5, Reg::R2, 0);
+    a.addi(Reg::R2, Reg::R2, 4);
+    a.subi(Reg::R1, Reg::R1, 1);
+    a.bne(Reg::R1, Reg::R0, "init");
+    a.li(Reg::R27, SIMREGS);
+    a.li(Reg::R28, TABLE);
+    a.li(Reg::R11, n);
+    a.addi(Reg::R12, Reg::R0, 0); // simulated pc index
+    a.label("dispatch");
+    // fetch
+    a.andi(Reg::R1, Reg::R12, 255);
+    a.slli(Reg::R1, Reg::R1, 2);
+    a.add(Reg::R1, Reg::R26, Reg::R1);
+    a.lw(Reg::R2, Reg::R1, 0); // op word
+    // decode
+    a.srli(Reg::R3, Reg::R2, 16);
+    a.andi(Reg::R4, Reg::R2, 0x3ff); // operand
+    a.slli(Reg::R3, Reg::R3, 2);
+    a.add(Reg::R3, Reg::R28, Reg::R3);
+    a.lw(Reg::R3, Reg::R3, 0);
+    a.jalr(Reg::RA, Reg::R3);
+    a.addi(Reg::R12, Reg::R12, 1);
+    a.subi(Reg::R11, Reg::R11, 1);
+    a.bne(Reg::R11, Reg::R0, "dispatch");
+    a.out(Reg::R10);
+    a.halt();
+    // Twelve handlers; operand in r4. Simulated register index = r4 & 31.
+    for i in 0..12u32 {
+        a.label(&format!("h{i}"));
+        a.andi(Reg::R5, Reg::R4, 31);
+        a.slli(Reg::R5, Reg::R5, 2);
+        a.add(Reg::R5, Reg::R27, Reg::R5);
+        a.lw(Reg::R6, Reg::R5, 0);
+        match i % 6 {
+            0 => {
+                a.add(Reg::R6, Reg::R6, Reg::R4);
+            }
+            1 => {
+                a.xor(Reg::R6, Reg::R6, Reg::R4);
+            }
+            2 => {
+                a.slli(Reg::R6, Reg::R6, 1);
+                a.or(Reg::R6, Reg::R6, Reg::R4);
+            }
+            3 => {
+                // conditional update (data-dependent branch)
+                a.blt(Reg::R6, Reg::R4, &format!("h{i}_skip"));
+                a.sub(Reg::R6, Reg::R6, Reg::R4);
+                a.label(&format!("h{i}_skip"));
+            }
+            4 => {
+                a.mul(Reg::R6, Reg::R6, Reg::R4);
+                a.addi(Reg::R6, Reg::R6, 1);
+            }
+            _ => {
+                a.srli(Reg::R7, Reg::R6, 3);
+                a.add(Reg::R6, Reg::R7, Reg::R4);
+            }
+        }
+        a.sw(Reg::R6, Reg::R5, 0);
+        a.add(Reg::R10, Reg::R10, Reg::R6);
+        a.ret();
+    }
+    let table: Vec<u32> =
+        (0..12).map(|i| a.label_addr(&format!("h{i}")).expect("handler label")).collect();
+    a.data_words(TABLE, &table);
+    a.assemble().expect("m88ksim kernel assembles")
+}
+
+/// `126.gcc` — a very large static code footprint: forty-eight small
+/// "pass" functions called through a function-pointer table in
+/// data-dependent order. Many distinct instruction addresses flow through
+/// the pipeline, which is what made `gcc`'s p-action cache the second
+/// largest in the paper.
+pub fn gcc(n: u32) -> Program {
+    const STATE: u32 = 0x0013_0000; // 1024 words of "IR"
+    const TABLE: u32 = 0x0013_4000;
+    const FUNCS: u32 = 48;
+    let mut a = Asm::new();
+    lcg_init(&mut a, 0xacc);
+    a.li(Reg::R26, STATE);
+    fill_words_lcg(&mut a, "init", 1024);
+    a.li(Reg::R27, TABLE);
+    a.li(Reg::R11, n);
+    a.li(Reg::R12, FUNCS);
+    a.addi(Reg::R13, Reg::R0, 0); // pass phase (slowly advancing)
+    a.label("main");
+    lcg_next(&mut a);
+    // Real gcc's pass sequence has strong temporal locality: model it as a
+    // slowly advancing phase plus a small data-dependent jitter, instead
+    // of a uniformly random function choice.
+    a.srli(Reg::R1, Reg::R20, 6);
+    a.andi(Reg::R1, Reg::R1, 7); // jitter 0..8
+    a.srli(Reg::R2, Reg::R13, 6); // phase advances every 64 calls
+    a.add(Reg::R1, Reg::R1, Reg::R2);
+    a.rem(Reg::R1, Reg::R1, Reg::R12);
+    a.addi(Reg::R13, Reg::R13, 1);
+    a.slli(Reg::R1, Reg::R1, 2);
+    a.add(Reg::R1, Reg::R27, Reg::R1);
+    a.lw(Reg::R1, Reg::R1, 0);
+    // argument: an IR slot index
+    a.srli(Reg::R2, Reg::R20, 12);
+    a.andi(Reg::R2, Reg::R2, 1023);
+    a.jalr(Reg::RA, Reg::R1);
+    a.subi(Reg::R11, Reg::R11, 1);
+    a.bne(Reg::R11, Reg::R0, "main");
+    a.out(Reg::R10);
+    a.halt();
+    // 48 distinct "passes" over state[r2].
+    for i in 0..FUNCS {
+        a.label(&format!("f{i}"));
+        a.slli(Reg::R3, Reg::R2, 2);
+        a.add(Reg::R3, Reg::R26, Reg::R3);
+        a.lw(Reg::R4, Reg::R3, 0);
+        // Vary the body per function so the code truly differs.
+        let k = 1 + (i % 7) as i32;
+        a.slli(Reg::R5, Reg::R4, k);
+        a.xori(Reg::R5, Reg::R5, (0x11 * (i + 1)) as i32 & 0xffff);
+        if i % 3 == 0 {
+            a.bge(Reg::R4, Reg::R5, &format!("f{i}_s"));
+            a.add(Reg::R5, Reg::R5, Reg::R4);
+            a.label(&format!("f{i}_s"));
+        }
+        if i % 5 == 0 {
+            a.andi(Reg::R6, Reg::R4, 1);
+            a.beq(Reg::R6, Reg::R0, &format!("f{i}_t"));
+            a.xor(Reg::R5, Reg::R5, Reg::R20);
+            a.label(&format!("f{i}_t"));
+        }
+        a.sw(Reg::R5, Reg::R3, 0);
+        a.add(Reg::R10, Reg::R10, Reg::R5);
+        a.ret();
+    }
+    let table: Vec<u32> =
+        (0..FUNCS).map(|i| a.label_addr(&format!("f{i}")).expect("func label")).collect();
+    a.data_words(TABLE, &table);
+    a.assemble().expect("gcc kernel assembles")
+}
+
+/// `129.compress` — the LZW-style hot loop: stream bytes through a hash,
+/// probe a hash table with linear reprobing on collisions. Short,
+/// predictable loop with table-dependent branches.
+pub fn compress(n: u32) -> Program {
+    const INPUT: u32 = 0x0014_0000; // 4096 bytes (as words for init)
+    const HTAB: u32 = 0x0014_4000; // 1024 words
+    let mut a = Asm::new();
+    lcg_init(&mut a, 0xc0de);
+    a.li(Reg::R26, INPUT);
+    fill_words_lcg(&mut a, "init", 1024); // 4096 bytes of noise
+    a.li(Reg::R27, HTAB);
+    a.li(Reg::R11, n);
+    a.addi(Reg::R12, Reg::R0, 0); // input index
+    a.addi(Reg::R13, Reg::R0, 0); // hash
+    a.label("main");
+    a.andi(Reg::R1, Reg::R12, 4095);
+    a.add(Reg::R1, Reg::R26, Reg::R1);
+    a.lbu(Reg::R2, Reg::R1, 0); // next byte
+    a.addi(Reg::R12, Reg::R12, 1);
+    // hash = ((hash << 4) ^ byte) & 1023
+    a.slli(Reg::R13, Reg::R13, 4);
+    a.xor(Reg::R13, Reg::R13, Reg::R2);
+    a.andi(Reg::R13, Reg::R13, 1023);
+    a.addi(Reg::R3, Reg::R2, 1); // code = byte + 1 (non-zero)
+    a.add(Reg::R4, Reg::R13, Reg::R0); // probe slot
+    a.addi(Reg::R14, Reg::R0, 8); // bounded reprobe (then evict), keeping
+                                  // the per-symbol cost stable at scale
+    a.label("probe");
+    a.slli(Reg::R5, Reg::R4, 2);
+    a.add(Reg::R5, Reg::R27, Reg::R5);
+    a.lw(Reg::R6, Reg::R5, 0);
+    a.beq(Reg::R6, Reg::R0, "empty");
+    a.beq(Reg::R6, Reg::R3, "hit");
+    a.subi(Reg::R14, Reg::R14, 1);
+    a.beq(Reg::R14, Reg::R0, "empty"); // evict: overwrite this slot
+    a.addi(Reg::R4, Reg::R4, 1);
+    a.andi(Reg::R4, Reg::R4, 1023);
+    a.j("probe");
+    a.label("empty");
+    a.sw(Reg::R3, Reg::R5, 0);
+    a.addi(Reg::R10, Reg::R10, 1);
+    a.j("next");
+    a.label("hit");
+    a.add(Reg::R10, Reg::R10, Reg::R3);
+    a.label("next");
+    a.subi(Reg::R11, Reg::R11, 1);
+    a.bne(Reg::R11, Reg::R0, "main");
+    a.out(Reg::R10);
+    a.halt();
+    a.assemble().expect("compress kernel assembles")
+}
+
+/// `130.li` — a Lisp-style bytecode interpreter: a stack machine with an
+/// indirect dispatch loop over five opcodes. Interpreter dispatch is the
+/// classic indirect-jump workload.
+pub fn li(n: u32) -> Program {
+    const CODE: u32 = 0x0015_0000; // 512 bytecodes
+    const STACK: u32 = 0x0015_2000; // 256 words (index masked)
+    const TABLE: u32 = 0x0015_4000;
+    let mut a = Asm::new();
+    lcg_init(&mut a, 0x115b);
+    // bytecode = rem(lcg >> 7, 5) | operand << 8
+    a.li(Reg::R26, CODE);
+    a.li(Reg::R1, 512);
+    a.add(Reg::R2, Reg::R26, Reg::R0);
+    a.li(Reg::R3, 5);
+    a.label("init");
+    lcg_next(&mut a);
+    a.srli(Reg::R4, Reg::R20, 7);
+    a.rem(Reg::R5, Reg::R4, Reg::R3);
+    a.andi(Reg::R4, Reg::R4, 0xff);
+    a.slli(Reg::R4, Reg::R4, 8);
+    a.or(Reg::R5, Reg::R5, Reg::R4);
+    a.sw(Reg::R5, Reg::R2, 0);
+    a.addi(Reg::R2, Reg::R2, 4);
+    a.subi(Reg::R1, Reg::R1, 1);
+    a.bne(Reg::R1, Reg::R0, "init");
+    a.li(Reg::R27, STACK);
+    a.li(Reg::R28, TABLE);
+    a.li(Reg::R11, n);
+    a.addi(Reg::R12, Reg::R0, 0); // vm pc
+    a.addi(Reg::R13, Reg::R0, 0); // vm sp (masked index)
+    a.label("dispatch");
+    a.andi(Reg::R1, Reg::R12, 511);
+    a.slli(Reg::R1, Reg::R1, 2);
+    a.add(Reg::R1, Reg::R26, Reg::R1);
+    a.lw(Reg::R2, Reg::R1, 0);
+    a.addi(Reg::R12, Reg::R12, 1);
+    a.andi(Reg::R3, Reg::R2, 7); // opcode
+    a.srli(Reg::R4, Reg::R2, 8); // operand
+    a.slli(Reg::R3, Reg::R3, 2);
+    a.add(Reg::R3, Reg::R28, Reg::R3);
+    a.lw(Reg::R3, Reg::R3, 0);
+    a.jalr(Reg::RA, Reg::R3);
+    a.subi(Reg::R11, Reg::R11, 1);
+    a.bne(Reg::R11, Reg::R0, "dispatch");
+    a.out(Reg::R10);
+    a.halt();
+    // Stack helpers inline in each handler; sp index in r13 (masked).
+    let slot = |a: &mut Asm, idx: Reg, out: Reg| {
+        a.andi(out, idx, 255);
+        a.slli(out, out, 2);
+        a.add(out, Reg::R27, out);
+    };
+    // op0: push operand
+    a.label("op0");
+    slot(&mut a, Reg::R13, Reg::R5);
+    a.sw(Reg::R4, Reg::R5, 0);
+    a.addi(Reg::R13, Reg::R13, 1);
+    a.ret();
+    // op1: add top two
+    a.label("op1");
+    a.subi(Reg::R13, Reg::R13, 1);
+    slot(&mut a, Reg::R13, Reg::R5);
+    a.lw(Reg::R6, Reg::R5, 0);
+    a.subi(Reg::R7, Reg::R13, 1);
+    slot(&mut a, Reg::R7, Reg::R5);
+    a.lw(Reg::R8, Reg::R5, 0);
+    a.add(Reg::R8, Reg::R8, Reg::R6);
+    a.sw(Reg::R8, Reg::R5, 0);
+    a.add(Reg::R10, Reg::R10, Reg::R8);
+    a.ret();
+    // op2: dup
+    a.label("op2");
+    a.subi(Reg::R7, Reg::R13, 1);
+    slot(&mut a, Reg::R7, Reg::R5);
+    a.lw(Reg::R6, Reg::R5, 0);
+    slot(&mut a, Reg::R13, Reg::R5);
+    a.sw(Reg::R6, Reg::R5, 0);
+    a.addi(Reg::R13, Reg::R13, 1);
+    a.ret();
+    // op3: conditional drop (branches on top value)
+    a.label("op3");
+    a.subi(Reg::R7, Reg::R13, 1);
+    slot(&mut a, Reg::R7, Reg::R5);
+    a.lw(Reg::R6, Reg::R5, 0);
+    a.andi(Reg::R6, Reg::R6, 1);
+    a.beq(Reg::R6, Reg::R0, "op3_skip");
+    a.subi(Reg::R13, Reg::R13, 1);
+    a.label("op3_skip");
+    a.addi(Reg::R10, Reg::R10, 1);
+    a.ret();
+    // op4: xor-with-operand on top
+    a.label("op4");
+    a.subi(Reg::R7, Reg::R13, 1);
+    slot(&mut a, Reg::R7, Reg::R5);
+    a.lw(Reg::R6, Reg::R5, 0);
+    a.xor(Reg::R6, Reg::R6, Reg::R4);
+    a.sw(Reg::R6, Reg::R5, 0);
+    a.xor(Reg::R10, Reg::R10, Reg::R6);
+    a.ret();
+    let table: Vec<u32> = (0..5)
+        .map(|i| a.label_addr(&format!("op{i}")).expect("op label"))
+        .chain(std::iter::repeat_n(a.label_addr("op0").unwrap(), 3))
+        .collect();
+    a.data_words(TABLE, &table);
+    a.assemble().expect("li kernel assembles")
+}
+
+/// `132.ijpeg` — image compression: 8×8 block transforms over a 128×128
+/// image (64 KB, larger than L1) with data-dependent clamping branches.
+/// Blocks are visited in a data-dependent order, which spreads the
+/// configuration space — this kernel degrades fastest when the p-action
+/// cache is limited (paper Figure 7).
+pub fn ijpeg(n: u32) -> Program {
+    const IMG: u32 = 0x0016_0000; // 128*128 i32
+    let mut a = Asm::new();
+    lcg_init(&mut a, 0x1f9);
+    a.li(Reg::R26, IMG);
+    fill_words_lcg(&mut a, "init", 128 * 128);
+    a.li(Reg::R11, n);
+    a.li(Reg::R12, 256); // number of 8x8 blocks
+    a.label("main");
+    // choose a block (data-dependent order)
+    lcg_next(&mut a);
+    a.srli(Reg::R1, Reg::R20, 9);
+    a.rem(Reg::R1, Reg::R1, Reg::R12); // block id 0..256
+    a.andi(Reg::R2, Reg::R1, 15); // bx
+    a.srli(Reg::R3, Reg::R1, 4); // by
+    // base = IMG + (by*8*128 + bx*8) * 4
+    a.slli(Reg::R3, Reg::R3, 12); // by*8*128*4
+    a.slli(Reg::R2, Reg::R2, 5); // bx*8*4
+    a.add(Reg::R4, Reg::R26, Reg::R3);
+    a.add(Reg::R4, Reg::R4, Reg::R2); // row pointer
+    a.addi(Reg::R5, Reg::R0, 8); // row counter
+    a.label("row");
+    // load 8 pixels
+    a.lw(Reg::R1, Reg::R4, 0);
+    a.lw(Reg::R2, Reg::R4, 4);
+    a.lw(Reg::R3, Reg::R4, 8);
+    a.lw(Reg::R6, Reg::R4, 12);
+    a.lw(Reg::R7, Reg::R4, 16);
+    a.lw(Reg::R8, Reg::R4, 20);
+    a.lw(Reg::R9, Reg::R4, 24);
+    a.lw(Reg::R13, Reg::R4, 28);
+    // butterfly-ish transform
+    a.add(Reg::R14, Reg::R1, Reg::R13);
+    a.sub(Reg::R15, Reg::R1, Reg::R13);
+    a.add(Reg::R16, Reg::R2, Reg::R9);
+    a.sub(Reg::R17, Reg::R2, Reg::R9);
+    a.add(Reg::R18, Reg::R3, Reg::R8);
+    a.add(Reg::R19, Reg::R6, Reg::R7);
+    a.add(Reg::R1, Reg::R14, Reg::R16);
+    a.add(Reg::R2, Reg::R18, Reg::R19);
+    a.sub(Reg::R3, Reg::R15, Reg::R17);
+    a.srai(Reg::R1, Reg::R1, 3);
+    a.srai(Reg::R2, Reg::R2, 3);
+    a.srai(Reg::R3, Reg::R3, 3);
+    // clamp to 0..255 with data-dependent branches
+    for r in [Reg::R1, Reg::R2, Reg::R3] {
+        let tag = format!("cl{}_{}", r.index(), 0);
+        a.andi(r, r, 0x3ff);
+        a.slti(Reg::R22, r, 256);
+        a.bne(Reg::R22, Reg::R0, &tag);
+        a.andi(r, r, 255);
+        a.label(&tag);
+    }
+    // store 3 outputs + checksum
+    a.sw(Reg::R1, Reg::R4, 0);
+    a.sw(Reg::R2, Reg::R4, 12);
+    a.sw(Reg::R3, Reg::R4, 24);
+    a.add(Reg::R10, Reg::R10, Reg::R1);
+    a.xor(Reg::R10, Reg::R10, Reg::R2);
+    // next row
+    a.addi(Reg::R4, Reg::R4, 512); // 128*4
+    a.subi(Reg::R5, Reg::R5, 1);
+    a.bne(Reg::R5, Reg::R0, "row");
+    a.subi(Reg::R11, Reg::R11, 1);
+    a.bne(Reg::R11, Reg::R0, "main");
+    a.out(Reg::R10);
+    a.halt();
+    a.assemble().expect("ijpeg kernel assembles")
+}
+
+/// `134.perl` — text processing: scan a byte buffer for delimited words,
+/// hash each word and count it in a bucket table. Inner character loop
+/// with a data-dependent exit.
+pub fn perl(n: u32) -> Program {
+    const TEXT: u32 = 0x0017_0000; // 8192 bytes
+    const BUCKETS: u32 = 0x0017_4000; // 64 words
+    let mut a = Asm::new();
+    lcg_init(&mut a, 0x9e71);
+    // Fill text with bytes in 0..32 (0 acts as the delimiter).
+    a.li(Reg::R26, TEXT);
+    a.li(Reg::R1, 8192);
+    a.add(Reg::R2, Reg::R26, Reg::R0);
+    a.label("init");
+    lcg_next(&mut a);
+    a.srli(Reg::R3, Reg::R20, 11);
+    a.andi(Reg::R3, Reg::R3, 31);
+    a.sb(Reg::R3, Reg::R2, 0);
+    a.addi(Reg::R2, Reg::R2, 1);
+    a.subi(Reg::R1, Reg::R1, 1);
+    a.bne(Reg::R1, Reg::R0, "init");
+    a.li(Reg::R27, BUCKETS);
+    a.li(Reg::R11, n);
+    a.addi(Reg::R12, Reg::R0, 0); // text cursor
+    a.label("word");
+    a.addi(Reg::R13, Reg::R0, 0); // word hash
+    a.label("scan");
+    a.andi(Reg::R1, Reg::R12, 8191);
+    a.add(Reg::R1, Reg::R26, Reg::R1);
+    a.lbu(Reg::R2, Reg::R1, 0);
+    a.addi(Reg::R12, Reg::R12, 1);
+    a.beq(Reg::R2, Reg::R0, "endword");
+    a.slli(Reg::R13, Reg::R13, 1);
+    a.add(Reg::R13, Reg::R13, Reg::R2);
+    a.j("scan");
+    a.label("endword");
+    a.andi(Reg::R3, Reg::R13, 63);
+    a.slli(Reg::R3, Reg::R3, 2);
+    a.add(Reg::R3, Reg::R27, Reg::R3);
+    a.lw(Reg::R4, Reg::R3, 0);
+    a.addi(Reg::R4, Reg::R4, 1);
+    a.sw(Reg::R4, Reg::R3, 0);
+    a.add(Reg::R10, Reg::R10, Reg::R13);
+    a.subi(Reg::R11, Reg::R11, 1);
+    a.bne(Reg::R11, Reg::R0, "word");
+    a.out(Reg::R10);
+    a.halt();
+    a.assemble().expect("perl kernel assembles")
+}
+
+/// `147.vortex` — an object database: hash buckets of linked nodes,
+/// insertions at chain heads and bounded chain walks. Pointer chasing with
+/// dependent loads.
+pub fn vortex(n: u32) -> Program {
+    const NODES: u32 = 0x0018_0000; // 4096 nodes * 4 words
+    const BUCKETS: u32 = 0x0019_0000; // 64 words
+    let mut a = Asm::new();
+    lcg_init(&mut a, 0x7a3);
+    a.li(Reg::R26, NODES);
+    a.li(Reg::R27, BUCKETS);
+    a.li(Reg::R11, n);
+    a.addi(Reg::R12, Reg::R0, 0); // next free node index
+    a.label("main");
+    lcg_next(&mut a);
+    a.srli(Reg::R1, Reg::R20, 5); // key
+    a.andi(Reg::R2, Reg::R1, 63); // bucket
+    a.slli(Reg::R2, Reg::R2, 2);
+    a.add(Reg::R2, Reg::R27, Reg::R2); // bucket addr
+    // bounded chain walk (up to 8 nodes)
+    a.lw(Reg::R3, Reg::R2, 0); // head pointer
+    a.addi(Reg::R4, Reg::R0, 8);
+    a.label("walk");
+    a.beq(Reg::R3, Reg::R0, "insert");
+    a.lw(Reg::R5, Reg::R3, 0); // node key
+    a.beq(Reg::R5, Reg::R1, "found");
+    a.lw(Reg::R3, Reg::R3, 8); // next
+    a.subi(Reg::R4, Reg::R4, 1);
+    a.bne(Reg::R4, Reg::R0, "walk");
+    a.label("insert");
+    // node = &NODES[ (r12 & 4095) * 16 ]
+    a.andi(Reg::R5, Reg::R12, 4095);
+    a.slli(Reg::R5, Reg::R5, 4);
+    a.add(Reg::R5, Reg::R26, Reg::R5);
+    a.addi(Reg::R12, Reg::R12, 1);
+    a.sw(Reg::R1, Reg::R5, 0); // key
+    a.sw(Reg::R20, Reg::R5, 4); // value
+    a.lw(Reg::R6, Reg::R2, 0); // old head
+    a.sw(Reg::R6, Reg::R5, 8); // next = old head
+    a.sw(Reg::R5, Reg::R2, 0); // head = node
+    a.addi(Reg::R10, Reg::R10, 1);
+    a.j("next");
+    a.label("found");
+    a.lw(Reg::R6, Reg::R3, 4);
+    a.add(Reg::R10, Reg::R10, Reg::R6);
+    a.label("next");
+    a.subi(Reg::R11, Reg::R11, 1);
+    a.bne(Reg::R11, Reg::R0, "main");
+    a.out(Reg::R10);
+    a.halt();
+    a.assemble().expect("vortex kernel assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastsim_emu::{FuncEmulator, FuncStopReason};
+    use std::rc::Rc;
+
+    fn run(p: &Program, max: u64) -> (u64, Vec<u32>) {
+        let prog = Rc::new(p.predecode().expect("kernel decodes"));
+        let mut e = FuncEmulator::new(prog, p);
+        let r = e.run(max);
+        assert_eq!(r.stop, FuncStopReason::Halted, "kernel must halt");
+        (e.insts(), e.output().to_vec())
+    }
+
+    #[test]
+    fn all_integer_kernels_halt_and_output() {
+        for (name, build) in [
+            ("go", go as fn(u32) -> Program),
+            ("m88ksim", m88ksim),
+            ("gcc", gcc),
+            ("compress", compress),
+            ("li", li),
+            ("ijpeg", ijpeg),
+            ("perl", perl),
+            ("vortex", vortex),
+        ] {
+            let p = build(50);
+            let (insts, out) = run(&p, 10_000_000);
+            assert!(insts > 100, "{name}: ran {insts}");
+            assert_eq!(out.len(), 1, "{name}: one checksum");
+        }
+    }
+
+    #[test]
+    fn kernels_are_deterministic() {
+        let (i1, o1) = run(&compress(200), 10_000_000);
+        let (i2, o2) = run(&compress(200), 10_000_000);
+        assert_eq!((i1, o1), (i2, o2));
+    }
+
+    #[test]
+    fn scale_controls_length() {
+        // Subtract the fixed initialisation cost before comparing.
+        let (base, _) = run(&go(2), 50_000_000);
+        let (small, _) = run(&go(102), 50_000_000);
+        let (large, _) = run(&go(1002), 50_000_000);
+        assert!(large - base > (small - base) * 5, "go: {small} -> {large}");
+    }
+}

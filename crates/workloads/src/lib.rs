@@ -1,0 +1,88 @@
+//! # fastsim-workloads
+//!
+//! Synthetic workload kernels standing in for the SPEC95 benchmark suite.
+//!
+//! SPEC95 sources and inputs are proprietary, so the reproduction ships a
+//! suite of 18 kernels — 8 integer and 10 floating-point, named after the
+//! SPEC95 programs — each modeled on the dynamic character that matters to
+//! memoization: loop regularity, branch predictability, static code
+//! footprint, working-set size, and int/FP balance. See `DESIGN.md` for
+//! the substitution argument.
+//!
+//! Every kernel is generated as an assembled [`Program`] with a scale
+//! parameter controlling its dynamic instruction count, ends with an
+//! `out` checksum (so all simulators can be cross-checked for functional
+//! equality) and a `halt`.
+//!
+//! # Example
+//!
+//! ```
+//! use fastsim_workloads::{all, by_name};
+//!
+//! assert_eq!(all().len(), 18);
+//! let w = by_name("129.compress").expect("compress exists");
+//! let program = w.program_for_insts(50_000);
+//! assert!(!program.words.is_empty());
+//! ```
+
+mod fp;
+mod int;
+
+use fastsim_isa::Program;
+
+/// A synthetic benchmark kernel.
+#[derive(Clone, Copy, Debug)]
+pub struct Workload {
+    /// SPEC95-style name, e.g. `"099.go"`.
+    pub name: &'static str,
+    /// Floating-point (vs. integer) benchmark.
+    pub fp: bool,
+    /// Builds the program at a given scale (iteration count).
+    pub build: fn(u32) -> Program,
+    /// Approximate dynamic instructions per scale unit (calibrated by the
+    /// crate's tests to within a factor of two).
+    pub insts_per_unit: u64,
+    /// Minimum scale that still produces a meaningful run.
+    pub min_scale: u32,
+}
+
+impl Workload {
+    /// Builds the program scaled to approximately `target_insts` dynamic
+    /// instructions.
+    pub fn program_for_insts(&self, target_insts: u64) -> Program {
+        let units = (target_insts / self.insts_per_unit).max(self.min_scale as u64);
+        (self.build)(units.min(u32::MAX as u64) as u32)
+    }
+}
+
+/// All 18 kernels, integer benchmarks first (the paper's table order).
+pub fn all() -> Vec<Workload> {
+    vec![
+        Workload { name: "099.go", fp: false, build: int::go, insts_per_unit: 28, min_scale: 2 },
+        Workload { name: "124.m88ksim", fp: false, build: int::m88ksim, insts_per_unit: 21, min_scale: 8 },
+        Workload { name: "126.gcc", fp: false, build: int::gcc, insts_per_unit: 25, min_scale: 8 },
+        Workload { name: "129.compress", fp: false, build: int::compress, insts_per_unit: 95, min_scale: 8 },
+        Workload { name: "130.li", fp: false, build: int::li, insts_per_unit: 22, min_scale: 8 },
+        Workload { name: "132.ijpeg", fp: false, build: int::ijpeg, insts_per_unit: 326, min_scale: 1 },
+        Workload { name: "134.perl", fp: false, build: int::perl, insts_per_unit: 252, min_scale: 8 },
+        Workload { name: "147.vortex", fp: false, build: int::vortex, insts_per_unit: 68, min_scale: 8 },
+        Workload { name: "101.tomcatv", fp: true, build: fp::tomcatv, insts_per_unit: 61819, min_scale: 1 },
+        Workload { name: "102.swim", fp: true, build: fp::swim, insts_per_unit: 133585, min_scale: 1 },
+        Workload { name: "103.su2cor", fp: true, build: fp::su2cor, insts_per_unit: 59, min_scale: 1 },
+        Workload { name: "104.hydro2d", fp: true, build: fp::hydro2d, insts_per_unit: 45016, min_scale: 1 },
+        Workload { name: "107.mgrid", fp: true, build: fp::mgrid, insts_per_unit: 90557, min_scale: 1 },
+        Workload { name: "110.applu", fp: true, build: fp::applu, insts_per_unit: 20466, min_scale: 1 },
+        Workload { name: "125.turb3d", fp: true, build: fp::turb3d, insts_per_unit: 29193, min_scale: 1 },
+        Workload { name: "141.apsi", fp: true, build: fp::apsi, insts_per_unit: 90, min_scale: 1 },
+        Workload { name: "145.fpppp", fp: true, build: fp::fpppp, insts_per_unit: 170, min_scale: 1 },
+        Workload { name: "146.wave5", fp: true, build: fp::wave5, insts_per_unit: 21509, min_scale: 1 },
+    ]
+}
+
+/// Looks up a kernel by its SPEC95-style name (or the bare suffix, e.g.
+/// `"compress"`).
+pub fn by_name(name: &str) -> Option<Workload> {
+    all().into_iter().find(|w| {
+        w.name == name || w.name.split('.').nth(1) == Some(name)
+    })
+}

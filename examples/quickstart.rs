@@ -1,0 +1,61 @@
+//! Quickstart: assemble a small program (from assembly text), simulate it
+//! with FastSim, and read back the results.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use fastsim::core::{Mode, Simulator};
+use fastsim::isa::{parse_asm, DEFAULT_CODE_BASE};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A little program: sum the words of an array, print the total.
+    let source = "
+        ; sum 64 words starting at 0x100000
+                li   r1, 0x100000    ; cursor
+                addi r2, r0, 64      ; count
+                addi r3, r0, 0       ; sum
+        loop:   lw   r4, (r1)
+                add  r3, r3, r4
+                addi r1, r1, 4
+                subi r2, r2, 1
+                bne  r2, r0, loop
+                out  r3
+                halt
+        .words 0x100000 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16
+        .words 0x100040 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16
+        .words 0x100080 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16
+        .words 0x1000c0 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16
+    ";
+    let program = parse_asm(source, DEFAULT_CODE_BASE)?;
+
+    // FastSim: cycle-accurate out-of-order simulation with memoized
+    // fast-forwarding.
+    let mut sim = Simulator::new(&program, Mode::fast())?;
+    sim.run_to_completion()?;
+
+    println!("program output : {:?}", sim.output());
+    assert_eq!(sim.output(), &[4 * (1..=16u32).sum::<u32>()]);
+
+    let s = sim.stats();
+    println!("cycles         : {}", s.cycles);
+    println!("instructions   : {}", s.retired_insts);
+    println!("IPC            : {:.2}", s.ipc());
+    println!(
+        "branch hit rate: {:.1}%",
+        100.0
+            * (1.0
+                - sim.predictor().mispredictions() as f64
+                    / sim.predictor().predictions().max(1) as f64)
+    );
+    let c = sim.cache_stats();
+    println!("L1: {} hits / {} misses; L2: {} hits / {} misses",
+        c.l1_hits, c.l1_misses, c.l2_hits, c.l2_misses);
+    if let Some(m) = sim.memo_stats() {
+        println!(
+            "p-action cache : {} configurations, {} actions, {} bytes",
+            m.static_configs, m.static_actions, m.bytes
+        );
+    }
+    Ok(())
+}

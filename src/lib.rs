@@ -1,0 +1,41 @@
+//! # fastsim
+//!
+//! Umbrella crate for **FastSim-RS**, a reproduction of *"Fast
+//! Out-Of-Order Processor Simulation Using Memoization"* (Schnarr &
+//! Larus, ASPLOS-VIII, 1998).
+//!
+//! Re-exports every component crate:
+//!
+//! * [`isa`] — the SPARC-V8-inspired target ISA and assembler.
+//! * [`mem`] — target memory and the non-blocking cache simulator.
+//! * [`emu`] — speculative direct-execution (the functional engine).
+//! * [`uarch`] — the R10000-like out-of-order pipeline model (the iQ).
+//! * [`memo`] — the p-action cache (memoization).
+//! * [`core`] — the [`Simulator`](core::Simulator) engine (FastSim /
+//!   SlowSim).
+//! * [`baseline`] — the SimpleScalar-like conventional simulator.
+//! * [`workloads`] — the SPEC95-analog kernel suite.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use fastsim::core::{Mode, Simulator};
+//! use fastsim::workloads::by_name;
+//!
+//! let w = by_name("compress").expect("kernel exists");
+//! let program = w.program_for_insts(20_000);
+//! let mut sim = Simulator::new(&program, Mode::fast())?;
+//! sim.run_to_completion()?;
+//! assert!(sim.finished());
+//! println!("{} cycles, IPC {:.2}", sim.stats().cycles, sim.stats().ipc());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub use fastsim_baseline as baseline;
+pub use fastsim_core as core;
+pub use fastsim_emu as emu;
+pub use fastsim_isa as isa;
+pub use fastsim_mem as mem;
+pub use fastsim_memo as memo;
+pub use fastsim_uarch as uarch;
+pub use fastsim_workloads as workloads;

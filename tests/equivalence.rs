@@ -1,0 +1,105 @@
+//! The paper's central claim, asserted end-to-end over the whole workload
+//! suite: fast-forwarding produces *exactly* the same simulation results
+//! as detailed simulation — same cycle counts, same retirement counts,
+//! same cache behaviour — while the functional results (program output)
+//! also agree with plain functional emulation and with the
+//! SimpleScalar-like baseline simulator.
+
+use fastsim::baseline::BaselineSim;
+use fastsim::core::{Mode, Simulator};
+use fastsim::emu::FuncEmulator;
+use fastsim::workloads::all;
+use std::rc::Rc;
+
+const TARGET_INSTS: u64 = 30_000;
+
+#[test]
+fn fastsim_equals_slowsim_on_every_workload() {
+    for w in all() {
+        let program = w.program_for_insts(TARGET_INSTS);
+        let mut fast = Simulator::new(&program, Mode::fast()).expect(w.name);
+        let mut slow = Simulator::new(&program, Mode::Slow).expect(w.name);
+        fast.run_to_completion().expect(w.name);
+        slow.run_to_completion().expect(w.name);
+        assert!(fast.finished() && slow.finished(), "{}", w.name);
+        let (f, s) = (fast.stats(), slow.stats());
+        assert_eq!(f.cycles, s.cycles, "{}: cycle counts must be identical", w.name);
+        assert_eq!(f.retired_insts, s.retired_insts, "{}", w.name);
+        assert_eq!(f.retired_loads, s.retired_loads, "{}", w.name);
+        assert_eq!(f.retired_stores, s.retired_stores, "{}", w.name);
+        assert_eq!(f.retired_branches, s.retired_branches, "{}", w.name);
+        assert_eq!(fast.cache_stats(), slow.cache_stats(), "{}", w.name);
+        assert_eq!(fast.output(), slow.output(), "{}", w.name);
+        assert_eq!(
+            fast.emu_stats().rollbacks,
+            slow.emu_stats().rollbacks,
+            "{}",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn simulators_match_functional_reference() {
+    for w in all() {
+        let program = w.program_for_insts(TARGET_INSTS);
+        let prog = Rc::new(program.predecode().expect(w.name));
+        let mut func = FuncEmulator::new(prog, &program);
+        func.run(u64::MAX);
+        assert!(func.halted(), "{}", w.name);
+
+        let mut fast = Simulator::new(&program, Mode::fast()).expect(w.name);
+        fast.run_to_completion().expect(w.name);
+        assert_eq!(fast.output(), func.output(), "{}: output vs functional", w.name);
+        assert_eq!(
+            fast.stats().retired_insts,
+            func.insts(),
+            "{}: committed instruction count vs functional",
+            w.name
+        );
+
+        let mut base = BaselineSim::new(&program).expect(w.name);
+        base.run(u64::MAX);
+        assert!(base.finished(), "{}", w.name);
+        assert_eq!(base.output(), func.output(), "{}: output vs baseline", w.name);
+        assert_eq!(base.stats().retired_insts, func.insts(), "{}", w.name);
+    }
+}
+
+#[test]
+fn fastsim_replays_the_vast_majority_of_instructions() {
+    // Table 4's qualitative shape: after warm-up, almost everything is
+    // replayed. With our small test scale the detailed fraction is larger
+    // than the paper's ≤0.3%, but replay must still dominate. (gcc-like
+    // kernels, with their huge static footprint, warm up slowest — just
+    // as the paper's gcc had the highest detailed fraction.)
+    for w in all() {
+        let program = w.program_for_insts(400_000);
+        let mut fast = Simulator::new(&program, Mode::fast()).expect(w.name);
+        fast.run_to_completion().expect(w.name);
+        let s = fast.stats();
+        assert!(
+            s.replayed_insts > s.detailed_insts,
+            "{}: replayed {} vs detailed {}",
+            w.name,
+            s.replayed_insts,
+            s.detailed_insts
+        );
+    }
+}
+
+#[test]
+fn memo_statistics_are_populated() {
+    let w = fastsim::workloads::by_name("mgrid").expect("mgrid exists");
+    let program = w.program_for_insts(100_000);
+    let mut fast = Simulator::new(&program, Mode::fast()).unwrap();
+    fast.run_to_completion().unwrap();
+    let m = *fast.memo_stats().expect("fast mode has memo stats");
+    assert!(m.static_configs > 0);
+    assert!(m.static_actions > m.static_configs);
+    assert!(m.bytes > 0);
+    let s = fast.stats();
+    assert!(s.actions_per_config() > 1.0, "{}", s.actions_per_config());
+    assert!(s.cycles_per_config() > 0.5, "{}", s.cycles_per_config());
+    assert!(s.chain_len_max >= s.avg_chain_len() as u64);
+}

@@ -1,0 +1,82 @@
+//! Replacement-policy integration tests (paper §4.3): limiting the
+//! p-action cache — by flushing or by garbage collection — bounds memory
+//! without changing any simulation result.
+
+use fastsim::core::{Mode, Policy, Simulator};
+use fastsim::workloads::by_name;
+
+fn run(name: &str, insts: u64, mode: Mode) -> Simulator {
+    let w = by_name(name).expect("workload exists");
+    let program = w.program_for_insts(insts);
+    let mut sim = Simulator::new(&program, mode).expect("simulator builds");
+    sim.run_to_completion().expect("run completes");
+    sim
+}
+
+#[test]
+fn limited_caches_reproduce_unbounded_results_exactly() {
+    for name in ["go", "compress", "mgrid", "ijpeg"] {
+        let reference = run(name, 60_000, Mode::fast());
+        for limit in [4 << 10, 64 << 10] {
+            for policy in [
+                Policy::FlushOnFull { limit },
+                Policy::CopyingGc { limit },
+                Policy::GenerationalGc { limit },
+            ] {
+                let sim = run(name, 60_000, Mode::Fast { policy });
+                assert_eq!(
+                    sim.stats().cycles,
+                    reference.stats().cycles,
+                    "{name} under {policy:?}"
+                );
+                assert_eq!(sim.output(), reference.output(), "{name} under {policy:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn flush_on_full_bounds_memory() {
+    let limit = 8 << 10;
+    let sim = run("go", 200_000, Mode::Fast { policy: Policy::FlushOnFull { limit } });
+    let m = sim.memo_stats().unwrap();
+    assert!(m.flushes > 0, "go at 8 KB must flush (used {} peak)", m.peak_bytes);
+    // The cache can overshoot by at most one action group between
+    // boundary checks.
+    assert!(m.peak_bytes < limit * 2, "peak {} vs limit {limit}", m.peak_bytes);
+}
+
+#[test]
+fn gc_keeps_less_than_everything() {
+    let limit = 8 << 10;
+    let sim = run("go", 200_000, Mode::Fast { policy: Policy::CopyingGc { limit } });
+    let m = sim.memo_stats().unwrap();
+    assert!(m.collections > 0);
+    let rate = m.gc_survival_rate();
+    assert!(rate > 0.0 && rate < 1.0, "survival rate {rate}");
+}
+
+#[test]
+fn smaller_limits_cause_more_detailed_simulation() {
+    // Figure 7's mechanism: with a smaller cache, more work is redone in
+    // detail. (Host-time speedups are measured by the benches; here we
+    // check the underlying counter.)
+    let big = run("gcc", 150_000, Mode::Fast { policy: Policy::FlushOnFull { limit: 1 << 20 } });
+    let small = run("gcc", 150_000, Mode::Fast { policy: Policy::FlushOnFull { limit: 2 << 10 } });
+    assert_eq!(big.stats().cycles, small.stats().cycles);
+    assert!(
+        small.stats().detailed_insts > big.stats().detailed_insts,
+        "small {} vs big {}",
+        small.stats().detailed_insts,
+        big.stats().detailed_insts
+    );
+}
+
+#[test]
+fn unbounded_mode_never_flushes() {
+    let sim = run("compress", 100_000, Mode::fast());
+    let m = sim.memo_stats().unwrap();
+    assert_eq!(m.flushes, 0);
+    assert_eq!(m.collections, 0);
+    assert_eq!(m.bytes, m.peak_bytes);
+}

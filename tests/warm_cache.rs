@@ -1,0 +1,110 @@
+//! Warm-start memoization across runs (the extension documented in
+//! DESIGN.md): a second simulation of the same program under the same
+//! model reuses the first run's p-action cache and fast-forwards almost
+//! from the first cycle — while still producing identical results.
+
+use fastsim::core::{CacheConfig, Mode, Policy, Simulator, UArchConfig};
+use fastsim::workloads::{all, by_name};
+
+#[test]
+fn warm_second_run_is_nearly_all_replay() {
+    for name in ["compress", "mgrid", "go"] {
+        let w = by_name(name).expect("workload exists");
+        let program = w.program_for_insts(100_000);
+
+        let mut cold = Simulator::new(&program, Mode::fast()).unwrap();
+        cold.run_to_completion().unwrap();
+        let cold_stats = *cold.stats();
+        let warm_cache = cold.take_warm_cache().expect("fast mode");
+
+        let mut warm = Simulator::with_warm_cache(
+            &program,
+            warm_cache,
+            UArchConfig::table1(),
+            CacheConfig::table1(),
+        )
+        .unwrap();
+        warm.run_to_completion().unwrap();
+
+        assert_eq!(warm.stats().cycles, cold_stats.cycles, "{name}");
+        assert_eq!(warm.stats().retired_insts, cold_stats.retired_insts, "{name}");
+        assert!(
+            warm.stats().detailed_insts * 10 < cold_stats.detailed_insts.max(10),
+            "{name}: warm detailed {} vs cold {}",
+            warm.stats().detailed_insts,
+            cold_stats.detailed_insts
+        );
+        // No new configurations should be needed: the program and model
+        // are identical, so every configuration the warm run visits was
+        // recorded by the cold run.
+        let cold_cfgs = warm.memo_stats().unwrap().static_configs;
+        let warm2 = warm.take_warm_cache().unwrap();
+        assert_eq!(warm2.stats().static_configs, cold_cfgs, "{name}");
+    }
+}
+
+#[test]
+fn warm_cache_chains_through_many_runs() {
+    let w = by_name("li").unwrap();
+    let program = w.program_for_insts(50_000);
+    let mut sim = Simulator::new(&program, Mode::fast()).unwrap();
+    sim.run_to_completion().unwrap();
+    let reference_cycles = sim.stats().cycles;
+    let mut cache = sim.take_warm_cache().unwrap();
+    for round in 0..3 {
+        let mut next = Simulator::with_warm_cache(
+            &program,
+            cache,
+            UArchConfig::table1(),
+            CacheConfig::table1(),
+        )
+        .unwrap();
+        next.run_to_completion().unwrap();
+        assert_eq!(next.stats().cycles, reference_cycles, "round {round}");
+        cache = next.take_warm_cache().unwrap();
+    }
+}
+
+#[test]
+fn warm_cache_respects_its_policy() {
+    // A flushing cache extracted and reused keeps flushing at the same
+    // limit, and results stay exact.
+    let w = by_name("gcc").unwrap();
+    let program = w.program_for_insts(80_000);
+    let mode = Mode::Fast { policy: Policy::FlushOnFull { limit: 32 << 10 } };
+    let mut first = Simulator::new(&program, mode).unwrap();
+    first.run_to_completion().unwrap();
+    let cycles = first.stats().cycles;
+    let cache = first.take_warm_cache().unwrap();
+    let mut second = Simulator::with_warm_cache(
+        &program,
+        cache,
+        UArchConfig::table1(),
+        CacheConfig::table1(),
+    )
+    .unwrap();
+    second.run_to_completion().unwrap();
+    assert_eq!(second.stats().cycles, cycles);
+    let m = second.memo_stats().unwrap();
+    assert!(m.bytes <= (32 << 10) * 2, "limit still enforced: {}", m.bytes);
+}
+
+#[test]
+fn every_workload_survives_a_warm_restart() {
+    for w in all() {
+        let program = w.program_for_insts(20_000);
+        let mut cold = Simulator::new(&program, Mode::fast()).expect(w.name);
+        cold.run_to_completion().expect(w.name);
+        let cycles = cold.stats().cycles;
+        let cache = cold.take_warm_cache().expect(w.name);
+        let mut warm = Simulator::with_warm_cache(
+            &program,
+            cache,
+            UArchConfig::table1(),
+            CacheConfig::table1(),
+        )
+        .expect(w.name);
+        warm.run_to_completion().expect(w.name);
+        assert_eq!(warm.stats().cycles, cycles, "{}", w.name);
+    }
+}
