@@ -1,19 +1,20 @@
-//! Criterion harness for Figure 7: FastSim run time as the p-action cache
+//! Self-timed harness for Figure 7: FastSim run time as the p-action cache
 //! is limited with the flush-on-full policy, swept over a power-of-two
-//! size ladder.
+//! size ladder. (Formerly a Criterion harness; rewritten on
+//! `fastsim_bench::timing` so `cargo bench` needs no crates.io
+//! dependencies.)
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fastsim_bench::timing;
 use fastsim_core::{Mode, Policy, Simulator};
 use fastsim_workloads::by_name;
-use std::time::Duration;
 
 const INSTS: u64 = 200_000;
+const SAMPLES: usize = 10;
 const KERNELS: [&str; 3] = ["go", "ijpeg", "mgrid"];
 const SIZES: [usize; 5] = [4 << 10, 16 << 10, 64 << 10, 256 << 10, usize::MAX];
 
-fn bench_flush_sweep(c: &mut Criterion) {
-    let mut group = c.benchmark_group("figure7_flush_sweep");
-    group.sample_size(10).measurement_time(Duration::from_secs(8));
+fn main() {
+    timing::banner("figure7_flush_sweep");
     for name in KERNELS {
         let w = by_name(name).expect("kernel exists");
         let program = w.program_for_insts(INSTS);
@@ -28,17 +29,11 @@ fn bench_flush_sweep(c: &mut Criterion) {
             } else {
                 Mode::Fast { policy: Policy::FlushOnFull { limit } }
             };
-            group.bench_with_input(BenchmarkId::from_parameter(label), &program, |b, p| {
-                b.iter(|| {
-                    let mut sim = Simulator::new(p, mode).unwrap();
-                    sim.run_to_completion().unwrap();
-                    sim.stats().cycles
-                })
+            timing::measure(&label, SAMPLES, || {
+                let mut sim = Simulator::new(&program, mode).unwrap();
+                sim.run_to_completion().unwrap();
+                sim.stats().cycles
             });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_flush_sweep);
-criterion_main!(benches);

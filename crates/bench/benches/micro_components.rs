@@ -1,18 +1,21 @@
-//! Criterion micro-benchmarks for the individual substrates: the
+//! Self-timed micro-benchmarks for the individual substrates: the
 //! configuration codec (encode + decode), the cache simulator's
 //! issue/poll path, and the functional emulator's stepping rate. These
-//! bound the per-action costs behind the table results.
+//! bound the per-action costs behind the table results. (Formerly a
+//! Criterion harness; rewritten on `fastsim_bench::timing` so `cargo
+//! bench` needs no crates.io dependencies.)
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use fastsim_bench::timing;
 use fastsim_emu::FuncEmulator;
 use fastsim_isa::{Asm, Reg};
 use fastsim_mem::{CacheConfig, CacheSim, PollResult};
 use fastsim_uarch::{decode_config, encode_config, FetchPc, IqEntry, IqState, PipelineState};
 use std::hint::black_box;
 use std::rc::Rc;
-use std::time::Duration;
 
-fn config_codec(c: &mut Criterion) {
+const SAMPLES: usize = 30;
+
+fn config_codec() {
     let mut a = Asm::with_base(0x1000);
     for i in 0..32 {
         a.addi(Reg::new(1 + (i % 8) as u8), Reg::R0, i);
@@ -32,43 +35,35 @@ fn config_codec(c: &mut Criterion) {
     }
     st.fetch = FetchPc::At(0x1000 + 32 * 4);
     let bytes = encode_config(&st, &prog);
-    let mut g = c.benchmark_group("micro_codec");
-    g.measurement_time(Duration::from_secs(4)).sample_size(30);
-    g.bench_function("encode_32_entries", |b| {
-        b.iter(|| encode_config(black_box(&st), &prog))
+    timing::measure_per_iter("micro_codec/encode_32_entries", SAMPLES, 10_000, || {
+        encode_config(black_box(&st), &prog)
     });
-    g.bench_function("decode_32_entries", |b| {
-        b.iter(|| decode_config(black_box(&bytes), &prog).unwrap())
+    timing::measure_per_iter("micro_codec/decode_32_entries", SAMPLES, 10_000, || {
+        decode_config(black_box(&bytes), &prog).unwrap()
     });
-    g.finish();
 }
 
-fn cache_path(c: &mut Criterion) {
-    let mut g = c.benchmark_group("micro_cache");
-    g.measurement_time(Duration::from_secs(4)).sample_size(30);
-    g.bench_function("issue_poll_hit_loop", |b| {
-        let mut sim = CacheSim::new(CacheConfig::table1());
-        let mut now = 0u64;
-        let mut id = 0u64;
-        // Warm one line.
-        let w = sim.issue_load(id, 0x8000, 4, now) as u64;
-        now += w;
-        while sim.poll_load(id, now) != PollResult::Ready {
-            now += 1;
-        }
+fn cache_path() {
+    let mut sim = CacheSim::new(CacheConfig::table1());
+    let mut now = 0u64;
+    let mut id = 0u64;
+    // Warm one line.
+    let w = sim.issue_load(id, 0x8000, 4, now) as u64;
+    now += w;
+    while sim.poll_load(id, now) != PollResult::Ready {
+        now += 1;
+    }
+    id += 1;
+    timing::measure_per_iter("micro_cache/issue_poll_hit_loop", SAMPLES, 10_000, || {
+        let interval = sim.issue_load(id, 0x8000, 4, now);
+        now += interval as u64;
+        assert_eq!(sim.poll_load(id, now), PollResult::Ready);
         id += 1;
-        b.iter(|| {
-            let interval = sim.issue_load(id, 0x8000, 4, now);
-            now += interval as u64;
-            assert_eq!(sim.poll_load(id, now), PollResult::Ready);
-            id += 1;
-            now += 1;
-        })
+        now += 1;
     });
-    g.finish();
 }
 
-fn emulator_rate(c: &mut Criterion) {
+fn emulator_rate() {
     let mut a = Asm::new();
     a.addi(Reg::R1, Reg::R0, 10_000);
     a.label("l");
@@ -79,17 +74,16 @@ fn emulator_rate(c: &mut Criterion) {
     a.halt();
     let image = a.assemble().unwrap();
     let prog = Rc::new(image.predecode().unwrap());
-    let mut g = c.benchmark_group("micro_emulator");
-    g.measurement_time(Duration::from_secs(4)).sample_size(20);
-    g.bench_function("functional_40k_insts", |b| {
-        b.iter(|| {
-            let mut e = FuncEmulator::new(prog.clone(), &image);
-            e.run(u64::MAX);
-            black_box(e.insts())
-        })
+    timing::measure("micro_emulator/functional_40k_insts", 20, || {
+        let mut e = FuncEmulator::new(prog.clone(), &image);
+        e.run(u64::MAX);
+        black_box(e.insts())
     });
-    g.finish();
 }
 
-criterion_group!(benches, config_codec, cache_path, emulator_rate);
-criterion_main!(benches);
+fn main() {
+    timing::banner("micro_components");
+    config_codec();
+    cache_path();
+    emulator_rate();
+}

@@ -1,38 +1,36 @@
-//! Criterion harness for Table 2's comparison: SlowSim (memoization off)
+//! Self-timed harness for Table 2's comparison: SlowSim (memoization off)
 //! vs FastSim (memoization on) over representative workloads. The ratio of
-//! the two group medians is the memoization speedup.
+//! the two group medians is the memoization speedup. (Formerly a Criterion
+//! harness; rewritten on `fastsim_bench::timing` so `cargo bench` needs no
+//! crates.io dependencies.)
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fastsim_bench::timing;
 use fastsim_core::{Mode, Simulator};
 use fastsim_workloads::by_name;
-use std::time::Duration;
 
 const INSTS: u64 = 200_000;
+const SAMPLES: usize = 10;
 const KERNELS: [&str; 6] = ["go", "compress", "li", "ijpeg", "mgrid", "applu"];
 
-fn bench_memoization(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table2_memoization");
-    group.sample_size(10).measurement_time(Duration::from_secs(8));
+fn main() {
+    timing::banner("table2_memoization");
     for name in KERNELS {
         let w = by_name(name).expect("kernel exists");
         let program = w.program_for_insts(INSTS);
-        group.bench_with_input(BenchmarkId::new("slowsim", name), &program, |b, p| {
-            b.iter(|| {
-                let mut sim = Simulator::new(p, Mode::Slow).unwrap();
-                sim.run_to_completion().unwrap();
-                sim.stats().cycles
-            })
+        let slow = timing::measure(&format!("slowsim/{name}"), SAMPLES, || {
+            let mut sim = Simulator::new(&program, Mode::Slow).unwrap();
+            sim.run_to_completion().unwrap();
+            sim.stats().cycles
         });
-        group.bench_with_input(BenchmarkId::new("fastsim", name), &program, |b, p| {
-            b.iter(|| {
-                let mut sim = Simulator::new(p, Mode::fast()).unwrap();
-                sim.run_to_completion().unwrap();
-                sim.stats().cycles
-            })
+        let fast = timing::measure(&format!("fastsim/{name}"), SAMPLES, || {
+            let mut sim = Simulator::new(&program, Mode::fast()).unwrap();
+            sim.run_to_completion().unwrap();
+            sim.stats().cycles
         });
+        println!(
+            "{:<44} {:>12.2}x",
+            format!("speedup/{name}"),
+            slow.median.as_secs_f64() / fast.median.as_secs_f64().max(1e-12)
+        );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_memoization);
-criterion_main!(benches);

@@ -1,49 +1,40 @@
-//! Criterion harness for Table 3's comparison: the SimpleScalar-like
+//! Self-timed harness for Table 3's comparison: the SimpleScalar-like
 //! baseline simulator vs FastSim (and the bare functional emulator for the
-//! "Program" reference) over representative workloads.
+//! "Program" reference) over representative workloads. (Formerly a
+//! Criterion harness; rewritten on `fastsim_bench::timing` so `cargo
+//! bench` needs no crates.io dependencies.)
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fastsim_baseline::BaselineSim;
+use fastsim_bench::timing;
 use fastsim_core::{Mode, Simulator};
 use fastsim_emu::FuncEmulator;
 use fastsim_workloads::by_name;
 use std::rc::Rc;
-use std::time::Duration;
 
 const INSTS: u64 = 200_000;
+const SAMPLES: usize = 10;
 const KERNELS: [&str; 4] = ["compress", "vortex", "tomcatv", "fpppp"];
 
-fn bench_baseline(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table3_baseline");
-    group.sample_size(10).measurement_time(Duration::from_secs(8));
+fn main() {
+    timing::banner("table3_baseline");
     for name in KERNELS {
         let w = by_name(name).expect("kernel exists");
         let program = w.program_for_insts(INSTS);
-        group.bench_with_input(BenchmarkId::new("program", name), &program, |b, p| {
-            let prog = Rc::new(p.predecode().unwrap());
-            b.iter(|| {
-                let mut emu = FuncEmulator::new(prog.clone(), p);
-                emu.run(u64::MAX);
-                emu.insts()
-            })
+        let prog = Rc::new(program.predecode().unwrap());
+        timing::measure(&format!("program/{name}"), SAMPLES, || {
+            let mut emu = FuncEmulator::new(prog.clone(), &program);
+            emu.run(u64::MAX);
+            emu.insts()
         });
-        group.bench_with_input(BenchmarkId::new("baseline", name), &program, |b, p| {
-            b.iter(|| {
-                let mut sim = BaselineSim::new(p).unwrap();
-                sim.run(u64::MAX);
-                sim.stats().cycles
-            })
+        timing::measure(&format!("baseline/{name}"), SAMPLES, || {
+            let mut sim = BaselineSim::new(&program).unwrap();
+            sim.run(u64::MAX);
+            sim.stats().cycles
         });
-        group.bench_with_input(BenchmarkId::new("fastsim", name), &program, |b, p| {
-            b.iter(|| {
-                let mut sim = Simulator::new(p, Mode::fast()).unwrap();
-                sim.run_to_completion().unwrap();
-                sim.stats().cycles
-            })
+        timing::measure(&format!("fastsim/{name}"), SAMPLES, || {
+            let mut sim = Simulator::new(&program, Mode::fast()).unwrap();
+            sim.run_to_completion().unwrap();
+            sim.stats().cycles
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_baseline);
-criterion_main!(benches);

@@ -19,8 +19,9 @@
 //! Run them in release mode; absolute times in debug builds are
 //! meaningless.
 //!
-//! The `benches/` directory holds Criterion micro-harnesses over the same
-//! scenarios for `cargo bench`.
+//! The `benches/` directory holds self-timed micro-harnesses (see
+//! [`timing`]) over the same scenarios for `cargo bench`; they use no
+//! crates.io dependencies, so benchmarking works fully offline.
 
 use fastsim_baseline::BaselineSim;
 use fastsim_core::{Mode, Policy, SimStats, Simulator};
@@ -147,6 +148,77 @@ pub fn banner(title: &str, spec: &RunSpec) {
 /// A FastSim run under a specific p-action cache policy.
 pub fn run_fast_with_policy(program: &Program, policy: Policy) -> Timed<SimRun> {
     run_sim(program, Mode::Fast { policy })
+}
+
+/// Self-contained median-of-samples micro-timing for the `benches/`
+/// harnesses. Replaces the former Criterion dependency so `cargo bench`
+/// runs fully offline (the tier-1 policy: no network-fetched dev-deps).
+pub mod timing {
+    use std::time::{Duration, Instant};
+
+    /// One benchmark measurement.
+    #[derive(Clone, Debug)]
+    pub struct Measurement {
+        /// Benchmark label.
+        pub name: String,
+        /// Median wall time of the samples.
+        pub median: Duration,
+        /// Samples taken.
+        pub samples: usize,
+    }
+
+    /// Times `samples` runs of `f` (after one untimed warmup) and returns
+    /// the median, printing one aligned report line.
+    pub fn measure<T>(name: &str, samples: usize, mut f: impl FnMut() -> T) -> Measurement {
+        assert!(samples > 0);
+        std::hint::black_box(f()); // warmup
+        let mut times: Vec<Duration> = (0..samples)
+            .map(|_| {
+                let start = Instant::now();
+                std::hint::black_box(f());
+                start.elapsed()
+            })
+            .collect();
+        times.sort();
+        let median = times[times.len() / 2];
+        println!("{name:<44} {:>12.3} ms  ({samples} samples)", median.as_secs_f64() * 1e3);
+        Measurement { name: name.to_string(), median, samples }
+    }
+
+    /// Times `iters` iterations of `f` per sample and reports the median
+    /// *per-iteration* time in nanoseconds (for sub-microsecond paths).
+    pub fn measure_per_iter<T>(
+        name: &str,
+        samples: usize,
+        iters: u64,
+        mut f: impl FnMut() -> T,
+    ) -> Measurement {
+        assert!(samples > 0 && iters > 0);
+        std::hint::black_box(f()); // warmup
+        let mut times: Vec<Duration> = (0..samples)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    std::hint::black_box(f());
+                }
+                start.elapsed() / iters as u32
+            })
+            .collect();
+        times.sort();
+        let median = times[times.len() / 2];
+        println!("{name:<44} {:>12.1} ns/iter ({samples} samples)", median.as_nanos());
+        Measurement { name: name.to_string(), median, samples }
+    }
+
+    /// Prints a section banner for a bench harness.
+    pub fn banner(title: &str) {
+        println!();
+        println!("=== {title} ===");
+        if cfg!(debug_assertions) {
+            println!("[WARNING: debug build — times are not meaningful]");
+        }
+        println!();
+    }
 }
 
 #[cfg(test)]

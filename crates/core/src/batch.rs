@@ -1,0 +1,498 @@
+//! Parallel batch-simulation driver with shared warm p-action caches.
+//!
+//! A *batch* is a list of (program, configuration) jobs. The driver runs
+//! them in *rounds* across a pool of worker threads:
+//!
+//! 1. At round start, the master p-action cache of each job group (jobs
+//!    with the same program/µ-architecture/cache fingerprint share a
+//!    group) is frozen into an immutable, `Arc`-shared
+//!    [`WarmCacheSnapshot`].
+//! 2. Each job thaws a private working copy of its group's snapshot
+//!    ([`Simulator::with_warm_snapshot`]), replays from it, and records
+//!    its own memoization delta. Jobs are claimed from a shared queue, so
+//!    the pool load-balances; *which* worker runs a job never affects the
+//!    job's results, because every job starts from the same frozen
+//!    snapshot.
+//! 3. After all jobs finish, the driver folds each job's frozen delta
+//!    back into its group's master cache
+//!    ([`fastsim_memo::PActionCache::merge_from`]) — **in job order**,
+//!    not completion order, with first-writer-wins on configuration keys
+//!    — so the merged master is also independent of scheduling.
+//!
+//! The consequence is the driver's central guarantee, asserted by the
+//! repository's `batch_determinism` test: a batch run with any number of
+//! workers produces **bit-identical per-job statistics** to a sequential
+//! run of the same round structure. Across rounds, the merged master
+//! cache warms up: round *n+1* replays what any job of round *n*
+//! recorded, so the fleet-wide memoization hit rate rises.
+//!
+//! ```
+//! use fastsim_core::batch::{BatchDriver, BatchJob};
+//! use fastsim_isa::{Asm, Reg};
+//!
+//! let mut a = Asm::new();
+//! a.addi(Reg::R1, Reg::R0, 100);
+//! a.label("l");
+//! a.subi(Reg::R1, Reg::R1, 1);
+//! a.bne(Reg::R1, Reg::R0, "l");
+//! a.halt();
+//! let program = a.assemble().unwrap();
+//!
+//! let jobs = vec![BatchJob::new("loop-a", program.clone()), BatchJob::new("loop-b", program)];
+//! let mut driver = BatchDriver::new(2);
+//! let round1 = driver.run_round(&jobs).unwrap();
+//! let round2 = driver.run_round(&jobs).unwrap();
+//! // Same snapshot per round: both jobs report identical statistics...
+//! assert_eq!(round1.jobs[0].stats, round1.jobs[1].stats);
+//! // ...and the merged warm cache makes round 2 replay round 1's work.
+//! assert!(round2.memo_hit_rate() > round1.memo_hit_rate());
+//! ```
+
+use crate::engine::{fingerprint, Simulator, WarmCacheSnapshot};
+use crate::error::{BuildError, SimError};
+use crate::stats::SimStats;
+use fastsim_isa::Program;
+use fastsim_mem::{CacheConfig, CacheStats};
+use fastsim_memo::{CacheSnapshot, MemoStats, MergeOutcome, PActionCache, Policy};
+use fastsim_uarch::UArchConfig;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// One simulation job of a batch: a program under a processor model.
+#[derive(Clone, Debug)]
+pub struct BatchJob {
+    /// Display name (reports refer to jobs by name).
+    pub name: String,
+    /// The program image to simulate.
+    pub program: Program,
+    /// µ-architecture parameters.
+    pub uarch: UArchConfig,
+    /// Cache-hierarchy parameters.
+    pub cache: CacheConfig,
+    /// p-action cache replacement policy. Jobs with the same fingerprint
+    /// share one master cache whose policy is fixed by the first job seen
+    /// for that group.
+    pub policy: Policy,
+}
+
+impl BatchJob {
+    /// A job with the paper's Table 1 parameters and an unbounded
+    /// p-action cache.
+    pub fn new(name: impl Into<String>, program: Program) -> BatchJob {
+        BatchJob {
+            name: name.into(),
+            program,
+            uarch: UArchConfig::table1(),
+            cache: CacheConfig::table1(),
+            policy: Policy::Unbounded,
+        }
+    }
+
+    /// The job's warm-cache fingerprint (its sharing group).
+    pub fn fingerprint(&self) -> u64 {
+        fingerprint(&self.program, &self.uarch, &self.cache)
+    }
+}
+
+/// Why a batch round failed. The offending job is identified by index and
+/// name; the first failing job (in job order) is reported.
+#[derive(Clone, Debug)]
+pub enum BatchError {
+    /// A job's simulator could not be built.
+    Build {
+        /// Index of the job in the round's job list.
+        job: usize,
+        /// The job's name.
+        name: String,
+        /// The underlying build error.
+        error: BuildError,
+    },
+    /// A job's simulation failed.
+    Sim {
+        /// Index of the job in the round's job list.
+        job: usize,
+        /// The job's name.
+        name: String,
+        /// The underlying simulation error.
+        error: SimError,
+    },
+}
+
+impl std::fmt::Display for BatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BatchError::Build { job, name, error } => {
+                write!(f, "job #{job} `{name}` failed to build: {error}")
+            }
+            BatchError::Sim { job, name, error } => {
+                write!(f, "job #{job} `{name}` failed to simulate: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BatchError {}
+
+/// Per-job results of one batch round.
+#[derive(Clone, Debug)]
+pub struct JobReport {
+    /// The job's name.
+    pub name: String,
+    /// The job's warm-cache fingerprint (sharing group).
+    pub fingerprint: u64,
+    /// Engine statistics — deterministic: identical for any worker count.
+    pub stats: SimStats,
+    /// The job's final memoization counters (cumulative: they continue
+    /// from the snapshot the job thawed).
+    pub memo: MemoStats,
+    /// Cache-hierarchy statistics — deterministic.
+    pub cache_stats: CacheStats,
+    /// Configuration-lookup hits this job performed (round-local delta
+    /// against the inherited snapshot) — deterministic.
+    pub memo_hits: u64,
+    /// Configuration-lookup misses this job performed — deterministic.
+    pub memo_misses: u64,
+    /// What this job's delta contributed to the merged master cache —
+    /// deterministic (merges run in job order).
+    pub merge: MergeOutcome,
+    /// Host wall time of the job (*not* deterministic).
+    pub wall: Duration,
+}
+
+impl JobReport {
+    /// The job's round-local memoization hit rate.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.memo_hits + self.memo_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.memo_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Fleet-wide results of one batch round.
+#[derive(Clone, Debug)]
+pub struct BatchReport {
+    /// Per-job reports, in job order.
+    pub jobs: Vec<JobReport>,
+    /// Worker threads the round ran with.
+    pub workers: usize,
+    /// Host wall time of the whole round (*not* deterministic).
+    pub wall: Duration,
+}
+
+impl BatchReport {
+    /// Total instructions retired across the fleet.
+    pub fn total_insts(&self) -> u64 {
+        self.jobs.iter().map(|j| j.stats.retired_insts).sum()
+    }
+
+    /// Total simulated cycles across the fleet.
+    pub fn total_cycles(&self) -> u64 {
+        self.jobs.iter().map(|j| j.stats.cycles).sum()
+    }
+
+    /// Simulated instructions per host second, fleet-wide (wall-clock
+    /// derived; not deterministic).
+    pub fn insts_per_sec(&self) -> f64 {
+        self.total_insts() as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    /// Fleet-wide memoization hit rate of this round (round-local: only
+    /// lookups performed by this round's jobs count).
+    pub fn memo_hit_rate(&self) -> f64 {
+        let hits: u64 = self.jobs.iter().map(|j| j.memo_hits).sum();
+        let misses: u64 = self.jobs.iter().map(|j| j.memo_misses).sum();
+        let total = hits + misses;
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+
+    /// Fleet-wide GC survival rate (bytes surviving collections / bytes
+    /// scanned), over the jobs' cumulative counters.
+    pub fn gc_survival_rate(&self) -> f64 {
+        let survived: u64 = self.jobs.iter().map(|j| j.memo.gc_survived_bytes).sum();
+        let scanned: u64 = self.jobs.iter().map(|j| j.memo.gc_scanned_bytes).sum();
+        if scanned == 0 {
+            0.0
+        } else {
+            survived as f64 / scanned as f64
+        }
+    }
+
+    /// Sum of the jobs' merge contributions.
+    pub fn merged(&self) -> MergeOutcome {
+        let mut total = MergeOutcome::default();
+        for j in &self.jobs {
+            total.configs_added += j.merge.configs_added;
+            total.actions_added += j.merge.actions_added;
+            total.branches_grafted += j.merge.branches_grafted;
+            total.configs_deduped += j.merge.configs_deduped;
+            total.bytes_added += j.merge.bytes_added;
+        }
+        total
+    }
+}
+
+/// What a worker hands back for one finished job (before the merge phase
+/// fills in [`JobReport::merge`]).
+struct JobOutcome {
+    report: JobReport,
+    delta: CacheSnapshot,
+}
+
+/// The parallel batch-simulation driver. See the [module docs](self).
+///
+/// The driver owns one master p-action cache per job group (fingerprint)
+/// and carries them across rounds, so repeated [`run_round`]
+/// (BatchDriver::run_round) calls on overlapping job lists keep getting
+/// warmer.
+#[derive(Debug)]
+pub struct BatchDriver {
+    workers: usize,
+    masters: HashMap<u64, PActionCache>,
+}
+
+impl BatchDriver {
+    /// A driver with the given worker-thread count (clamped to at least
+    /// 1). `BatchDriver::new(1)` runs jobs inline on the calling thread —
+    /// by construction it produces the same per-job statistics as any
+    /// other worker count.
+    pub fn new(workers: usize) -> BatchDriver {
+        BatchDriver { workers: workers.max(1), masters: HashMap::new() }
+    }
+
+    /// The worker-thread count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The master caches' memoization statistics, one entry per job group,
+    /// in ascending fingerprint order.
+    pub fn master_stats(&self) -> Vec<(u64, MemoStats)> {
+        let mut v: Vec<(u64, MemoStats)> =
+            self.masters.iter().map(|(&fp, pc)| (fp, *pc.stats())).collect();
+        v.sort_by_key(|&(fp, _)| fp);
+        v
+    }
+
+    /// The current frozen warm cache of the job group `fingerprint`, if
+    /// any round has populated it.
+    pub fn warm_snapshot(&self, fingerprint: u64) -> Option<WarmCacheSnapshot> {
+        self.masters
+            .get(&fingerprint)
+            .map(|pc| WarmCacheSnapshot::from_parts(Arc::new(pc.freeze()), fingerprint))
+    }
+
+    /// Runs one round: every job once, across the worker pool, each
+    /// replaying from its group's round-start snapshot; then merges the
+    /// job deltas into the master caches in job order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first (by job index) [`BatchError`] if any job fails to
+    /// build or simulate. The master caches are left as they were at round
+    /// start (no partial merges).
+    pub fn run_round(&mut self, jobs: &[BatchJob]) -> Result<BatchReport, BatchError> {
+        let round_start = Instant::now();
+
+        // Freeze one snapshot per job group. Groups are created on first
+        // sight with the job's policy.
+        let fps: Vec<u64> = jobs.iter().map(|j| j.fingerprint()).collect();
+        let mut snapshots: HashMap<u64, WarmCacheSnapshot> = HashMap::new();
+        for (job, &fp) in jobs.iter().zip(&fps) {
+            self.masters.entry(fp).or_insert_with(|| PActionCache::new(job.policy));
+            snapshots.entry(fp).or_insert_with(|| {
+                WarmCacheSnapshot::from_parts(Arc::new(self.masters[&fp].freeze()), fp)
+            });
+        }
+
+        // Run the jobs: a shared queue of job indices, one slot per job
+        // for the outcome. Claiming order is racy; results are not.
+        let next = AtomicUsize::new(0);
+        let outcomes: Mutex<Vec<Option<Result<JobOutcome, BatchError>>>> =
+            Mutex::new((0..jobs.len()).map(|_| None).collect());
+        let pool = self.workers.min(jobs.len()).max(1);
+        if pool == 1 {
+            while let Some(i) = claim(&next, jobs.len()) {
+                let res = run_job(i, &jobs[i], &snapshots[&fps[i]]);
+                outcomes.lock().unwrap()[i] = Some(res);
+            }
+        } else {
+            std::thread::scope(|scope| {
+                for _ in 0..pool {
+                    scope.spawn(|| {
+                        while let Some(i) = claim(&next, jobs.len()) {
+                            let res = run_job(i, &jobs[i], &snapshots[&fps[i]]);
+                            outcomes.lock().unwrap()[i] = Some(res);
+                        }
+                    });
+                }
+            });
+        }
+
+        // Collect in job order; fail on the first failing job.
+        let mut reports: Vec<JobReport> = Vec::with_capacity(jobs.len());
+        let mut deltas: Vec<CacheSnapshot> = Vec::with_capacity(jobs.len());
+        for slot in outcomes.into_inner().unwrap() {
+            let outcome = slot.expect("every claimed job stores an outcome")?;
+            reports.push(outcome.report);
+            deltas.push(outcome.delta);
+        }
+
+        // Merge phase: job order, first writer wins. Deterministic given
+        // the job list, whatever the pool did.
+        for (i, delta) in deltas.iter().enumerate() {
+            let master = self.masters.get_mut(&fps[i]).expect("group created above");
+            reports[i].merge = master.merge_from(delta);
+        }
+
+        Ok(BatchReport { jobs: reports, workers: pool, wall: round_start.elapsed() })
+    }
+}
+
+/// Claims the next unclaimed job index, if any.
+fn claim(next: &AtomicUsize, len: usize) -> Option<usize> {
+    let i = next.fetch_add(1, Ordering::Relaxed);
+    (i < len).then_some(i)
+}
+
+/// Runs one job from its group's round-start snapshot and freezes its
+/// delta. Depends only on (job, snapshot): scheduling-independent.
+fn run_job(
+    index: usize,
+    job: &BatchJob,
+    snapshot: &WarmCacheSnapshot,
+) -> Result<JobOutcome, BatchError> {
+    let start = Instant::now();
+    let mut sim =
+        Simulator::with_warm_snapshot(&job.program, snapshot, job.uarch, job.cache).map_err(
+            |error| BatchError::Build { job: index, name: job.name.clone(), error },
+        )?;
+    sim.run_to_completion().map_err(|error| BatchError::Sim {
+        job: index,
+        name: job.name.clone(),
+        error,
+    })?;
+    let stats = *sim.stats();
+    let cache_stats = *sim.cache_stats();
+    let memo = *sim.memo_stats().expect("batch jobs always run FastSim");
+    let warm = sim.take_warm_cache().expect("FastSim run yields a warm cache");
+    let delta = warm.into_pcache().freeze();
+    let inherited = snapshot.stats();
+    Ok(JobOutcome {
+        report: JobReport {
+            name: job.name.clone(),
+            fingerprint: snapshot.fingerprint(),
+            stats,
+            memo,
+            cache_stats,
+            memo_hits: memo.config_hits - inherited.config_hits,
+            memo_misses: memo.config_misses - inherited.config_misses,
+            merge: MergeOutcome::default(),
+            wall: start.elapsed(),
+        },
+        delta,
+    })
+}
+
+// The scoped workers share jobs and snapshots by reference.
+const _: () = {
+    const fn assert_sync<T: Sync>() {}
+    assert_sync::<BatchJob>();
+    assert_sync::<WarmCacheSnapshot>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastsim_isa::{Asm, Reg};
+
+    fn loop_program(iters: i32) -> Program {
+        let mut a = Asm::new();
+        a.addi(Reg::R1, Reg::R0, iters);
+        a.label("l");
+        a.add(Reg::R2, Reg::R2, Reg::R1);
+        a.subi(Reg::R1, Reg::R1, 1);
+        a.bne(Reg::R1, Reg::R0, "l");
+        a.halt();
+        a.assemble().unwrap()
+    }
+
+    #[test]
+    fn jobs_in_a_round_share_the_round_start_snapshot() {
+        // Two identical jobs in one round: neither sees the other's
+        // recordings, so their statistics are identical — even the memo
+        // counters.
+        let jobs =
+            vec![BatchJob::new("a", loop_program(50)), BatchJob::new("b", loop_program(50))];
+        let mut driver = BatchDriver::new(2);
+        let report = driver.run_round(&jobs).unwrap();
+        assert_eq!(report.jobs[0].stats, report.jobs[1].stats);
+        assert_eq!(report.jobs[0].memo, report.jobs[1].memo);
+        assert_eq!(report.jobs[0].memo_hits, report.jobs[1].memo_hits);
+        // First writer (job 0, merge order) contributed the configs; job
+        // 1's identical delta deduped against them.
+        assert!(report.jobs[0].merge.configs_added > 0);
+        assert_eq!(report.jobs[1].merge.configs_added, 0);
+        assert!(report.jobs[1].merge.configs_deduped > 0);
+    }
+
+    #[test]
+    fn second_round_replays_the_merged_cache() {
+        let jobs = vec![BatchJob::new("a", loop_program(80))];
+        let mut driver = BatchDriver::new(1);
+        let r1 = driver.run_round(&jobs).unwrap();
+        let r2 = driver.run_round(&jobs).unwrap();
+        assert!(r2.memo_hit_rate() > r1.memo_hit_rate());
+        assert!(
+            r2.jobs[0].stats.detailed_insts < r1.jobs[0].stats.detailed_insts,
+            "warm round needs less detailed simulation"
+        );
+        // Cycle counts are simulation results; warmth must not change them.
+        assert_eq!(r1.jobs[0].stats.cycles, r2.jobs[0].stats.cycles);
+        // Nothing new to merge the second time around.
+        assert!(r2.jobs[0].merge.is_noop());
+    }
+
+    #[test]
+    fn distinct_models_get_distinct_masters() {
+        let mut narrow = UArchConfig::table1();
+        narrow.fetch_width = 2;
+        narrow.decode_width = 2;
+        narrow.retire_width = 2;
+        let mut job_b = BatchJob::new("narrow", loop_program(30));
+        job_b.uarch = narrow;
+        let jobs = vec![BatchJob::new("wide", loop_program(30)), job_b];
+        assert_ne!(jobs[0].fingerprint(), jobs[1].fingerprint());
+        let mut driver = BatchDriver::new(2);
+        let report = driver.run_round(&jobs).unwrap();
+        let masters = driver.master_stats();
+        assert_eq!(masters.len(), 2, "one master per fingerprint group");
+        assert!(masters.iter().all(|(_, s)| s.static_configs > 0));
+        // Each job merged into its own group's master.
+        assert!(report.jobs.iter().all(|j| j.merge.configs_added > 0));
+    }
+
+    #[test]
+    fn failing_job_reports_its_index_and_spares_the_masters() {
+        let ok = BatchJob::new("ok", loop_program(10));
+        let mut bad = BatchJob::new("bad", loop_program(10));
+        bad.uarch.fetch_width = 0; // invalid: simulator won't build
+        let mut driver = BatchDriver::new(2);
+        match driver.run_round(&[ok, bad]) {
+            Err(BatchError::Build { job, name, .. }) => {
+                assert_eq!(job, 1);
+                assert_eq!(name, "bad");
+            }
+            other => panic!("expected a build error, got {other:?}"),
+        }
+        assert!(driver.master_stats().iter().all(|(_, s)| s.static_configs == 0));
+    }
+}

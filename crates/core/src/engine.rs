@@ -7,7 +7,8 @@ use fastsim_emu::{BranchPredictor, CtrlKind, RunOutcome, SpecEmulator, SpecError
 use fastsim_isa::{DecodedProgram, Program};
 use fastsim_mem::{CacheConfig, CacheSim, CacheStats, PollResult};
 use fastsim_memo::{
-    ActionKind, ConfigLookup, MemoStats, NodeId, OutcomeKey, PActionCache, Policy, RetireCounts,
+    ActionKind, CacheSnapshot, ConfigLookup, MemoStats, NodeId, OutcomeKey, PActionCache, Policy,
+    RetireCounts,
 };
 use fastsim_uarch::{
     decode_config, encode_config, CycleSummary, LoadPoll, Pipeline, PipelineEnv, PipelineState,
@@ -15,6 +16,7 @@ use fastsim_uarch::{
 };
 use std::collections::VecDeque;
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// Simulation mode.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -74,10 +76,80 @@ impl WarmCache {
     pub fn stats(&self) -> &MemoStats {
         self.pcache.stats()
     }
+
+    /// The fingerprint of the (program, µ-architecture, cache hierarchy)
+    /// triple the cache was recorded under.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Freezes the warm cache into an immutable, shareable
+    /// [`WarmCacheSnapshot`].
+    pub fn freeze(&self) -> WarmCacheSnapshot {
+        WarmCacheSnapshot {
+            snapshot: Arc::new(self.pcache.freeze()),
+            fingerprint: self.fingerprint,
+        }
+    }
+
+    pub(crate) fn into_pcache(self) -> PActionCache {
+        self.pcache
+    }
+}
+
+/// A frozen, read-only [`WarmCache`]: an [`Arc`]-shared
+/// [`CacheSnapshot`] plus the fingerprint of the run it came from.
+///
+/// Unlike a [`WarmCache`] — which is consumed by
+/// [`Simulator::with_warm_cache`] — a snapshot can seed any number of
+/// simulators, concurrently and repeatedly
+/// ([`Simulator::with_warm_snapshot`]): each simulator thaws a private
+/// working copy and records its own delta, and the snapshot itself is
+/// never mutated. Cloning a snapshot is cheap (it clones the `Arc`).
+///
+/// This is the sharing primitive behind the batch driver
+/// ([`crate::batch`]).
+#[derive(Clone, Debug)]
+pub struct WarmCacheSnapshot {
+    snapshot: Arc<CacheSnapshot>,
+    fingerprint: u64,
+}
+
+impl WarmCacheSnapshot {
+    pub(crate) fn from_parts(snapshot: Arc<CacheSnapshot>, fingerprint: u64) -> WarmCacheSnapshot {
+        WarmCacheSnapshot { snapshot, fingerprint }
+    }
+
+    /// Memoization statistics at freeze time.
+    pub fn stats(&self) -> &MemoStats {
+        self.snapshot.stats()
+    }
+
+    /// The fingerprint of the (program, µ-architecture, cache hierarchy)
+    /// triple the snapshot was recorded under.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Number of configurations in the frozen cache.
+    pub fn config_count(&self) -> usize {
+        self.snapshot.config_count()
+    }
+
+    /// Number of action nodes in the frozen cache.
+    pub fn node_count(&self) -> usize {
+        self.snapshot.node_count()
+    }
+
+    /// The underlying frozen p-action cache (for merging deltas with
+    /// [`PActionCache::merge_from`]).
+    pub fn cache(&self) -> &CacheSnapshot {
+        &self.snapshot
+    }
 }
 
 /// FNV-1a fingerprint of everything the recorded actions depend on.
-fn fingerprint(program: &Program, uarch: &UArchConfig, cache: &CacheConfig) -> u64 {
+pub(crate) fn fingerprint(program: &Program, uarch: &UArchConfig, cache: &CacheConfig) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     let mut eat = |v: u64| {
         h ^= v;
@@ -625,6 +697,36 @@ impl Simulator {
         let mut sim =
             Simulator::with_configs(program, Mode::Fast { policy }, uarch, cache)?;
         sim.shared.pcache = Some(warm.pcache);
+        Ok(sim)
+    }
+
+    /// Creates a FastSim simulator that replays from a frozen, shared
+    /// [`WarmCacheSnapshot`], recording its own private delta. The
+    /// snapshot is never mutated; any number of simulators (including on
+    /// other threads) can be seeded from the same snapshot.
+    ///
+    /// The simulator adopts the snapshot's replacement policy, and its
+    /// memoization statistics continue from the snapshot's (so cumulative
+    /// counters behave exactly as under
+    /// [`with_warm_cache`](Simulator::with_warm_cache)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] if the program does not decode or if the
+    /// snapshot was recorded for a different program or processor model.
+    pub fn with_warm_snapshot(
+        program: &Program,
+        warm: &WarmCacheSnapshot,
+        uarch: UArchConfig,
+        cache: CacheConfig,
+    ) -> Result<Simulator, BuildError> {
+        if warm.fingerprint != fingerprint(program, &uarch, &cache) {
+            return Err(BuildError::WarmCacheMismatch);
+        }
+        let policy = warm.snapshot.policy();
+        let mut sim =
+            Simulator::with_configs(program, Mode::Fast { policy }, uarch, cache)?;
+        sim.shared.pcache = Some(PActionCache::from_snapshot(&warm.snapshot));
         Ok(sim)
     }
 

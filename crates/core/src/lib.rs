@@ -24,11 +24,13 @@
 //! paper's central claim, asserted by this crate's property tests and the
 //! repository's integration tests.
 
+pub mod batch;
 mod engine;
 mod error;
 mod stats;
 
-pub use engine::{CycleObserver, Mode, Progress, Simulator, WarmCache};
+pub use batch::{BatchDriver, BatchError, BatchJob, BatchReport, JobReport};
+pub use engine::{CycleObserver, Mode, Progress, Simulator, WarmCache, WarmCacheSnapshot};
 pub use fastsim_uarch::{CycleSummary, FetchPc, IqEntry, IqState, PipelineState};
 pub use error::{BuildError, SimError};
 pub use stats::SimStats;

@@ -680,10 +680,10 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+mod randomized_tests {
     use super::*;
     use fastsim_isa::{Asm, Reg};
-    use proptest::prelude::*;
+    use fastsim_prng::for_each_case;
 
     /// Builds a program whose first branch is always mispredicted (taken,
     /// cold predictor says not-taken) and whose wrong path performs an
@@ -721,19 +721,20 @@ mod proptests {
         SpecEmulator::new(prog, &image)
     }
 
-    proptest! {
-        /// Rollback restores registers, memory and output exactly, no
-        /// matter what the wrong path did.
-        #[test]
-        fn prop_rollback_restores_everything(
-            ops in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<i16>()), 0..24),
-        ) {
+    /// Rollback restores registers, memory and output exactly, no matter
+    /// what the wrong path did.
+    #[test]
+    fn random_rollback_restores_everything() {
+        for_each_case(0x20115ac4, 64, |seed, rng| {
+            let ops: Vec<(u8, u8, i16)> = (0..rng.range_usize(0..24))
+                .map(|_| (rng.next_u8(), rng.next_u8(), rng.next_i16()))
+                .collect();
             let mut e = program_with_wrong_path(&ops);
             let rec = match e.run_to_next_control().unwrap() {
                 RunOutcome::Control(r) => r,
-                o => panic!("expected control, got {o:?}"),
+                o => panic!("expected control, got {o:?} (seed {seed:#x})"),
             };
-            prop_assert!(rec.mispredicted);
+            assert!(rec.mispredicted, "seed {seed:#x}");
             // Snapshot the pristine post-branch state.
             let cpu_before = e.cpu().clone();
             let mem_words: Vec<u32> =
@@ -743,17 +744,17 @@ mod proptests {
             let _ = e.run_to_next_control().unwrap();
             // Roll back and verify exact restoration.
             e.rollback(rec.seq);
-            prop_assert_eq!(e.cpu().int_regs(), cpu_before.int_regs());
-            prop_assert_eq!(e.cpu().fp_regs(), cpu_before.fp_regs());
-            prop_assert_eq!(e.cpu().pc, rec.correct_next);
+            assert_eq!(e.cpu().int_regs(), cpu_before.int_regs(), "seed {seed:#x}");
+            assert_eq!(e.cpu().fp_regs(), cpu_before.fp_regs(), "seed {seed:#x}");
+            assert_eq!(e.cpu().pc, rec.correct_next, "seed {seed:#x}");
             for (i, w) in mem_words.iter().enumerate() {
-                prop_assert_eq!(e.memory().read_u32(0x0010_0000 + i as u32 * 4), *w);
+                assert_eq!(e.memory().read_u32(0x0010_0000 + i as u32 * 4), *w, "seed {seed:#x}");
             }
-            prop_assert_eq!(e.output(), &out_before[..]);
-            prop_assert_eq!(e.speculation_depth(), 0);
+            assert_eq!(e.output(), &out_before[..], "seed {seed:#x}");
+            assert_eq!(e.speculation_depth(), 0, "seed {seed:#x}");
             // The correct path completes normally.
-            prop_assert_eq!(e.run_to_next_control().unwrap(), RunOutcome::Halted);
-            prop_assert!(e.finally_halted());
-        }
+            assert_eq!(e.run_to_next_control().unwrap(), RunOutcome::Halted, "seed {seed:#x}");
+            assert!(e.finally_halted(), "seed {seed:#x}");
+        });
     }
 }

@@ -163,7 +163,7 @@ pub fn decode(word: u32) -> Result<Inst, DecodeError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use fastsim_prng::Rng;
 
     #[test]
     fn round_trip_simple() {
@@ -207,48 +207,57 @@ mod tests {
         assert_eq!(decode(encode(&i)).unwrap().imm, 0xffff);
     }
 
-    /// Strategy producing an arbitrary *canonical* instruction: one whose
-    /// fields are all within encodable range and where unused fields are
-    /// zero (as `decode` produces).
-    fn arb_inst() -> impl Strategy<Value = Inst> {
-        (0u8..=Op::Halt as u8, 0u8..32, 0u8..32, 0u8..32, IMM16_MIN..=IMM16_MAX).prop_map(
-            |(opv, rd, rs1, rs2, imm)| {
-                let op = Op::from_u8(opv).unwrap();
-                match super::format_of(op) {
-                    Format::R => Inst { op, rd, rs1, rs2, imm: 0 },
-                    Format::I => Inst { op, rd, rs1, rs2: 0, imm },
-                    Format::Iu => Inst { op, rd, rs1, rs2: 0, imm: imm & 0xffff },
-                    Format::U => Inst { op, rd, rs1: 0, rs2: 0, imm: imm & 0xffff },
-                    Format::St => Inst { op, rd: 0, rs1, rs2, imm },
-                    Format::Br => Inst { op, rd: 0, rs1, rs2, imm },
-                    Format::J26 => Inst { op, rd: 0, rs1: 0, rs2: 0, imm },
-                    Format::Bare => Inst { op, rd: 0, rs1: 0, rs2: 0, imm: 0 },
-                }
-            },
-        )
+    /// Generates an arbitrary *canonical* instruction: one whose fields
+    /// are all within encodable range and where unused fields are zero (as
+    /// `decode` produces).
+    fn random_inst(rng: &mut Rng) -> Inst {
+        let op = Op::from_u8(rng.range_u32(0..Op::Halt as u32 + 1) as u8).unwrap();
+        let rd = rng.range_u32(0..32) as u8;
+        let rs1 = rng.range_u32(0..32) as u8;
+        let rs2 = rng.range_u32(0..32) as u8;
+        let imm = rng.range_i32(IMM16_MIN..IMM16_MAX + 1);
+        match super::format_of(op) {
+            Format::R => Inst { op, rd, rs1, rs2, imm: 0 },
+            Format::I => Inst { op, rd, rs1, rs2: 0, imm },
+            Format::Iu => Inst { op, rd, rs1, rs2: 0, imm: imm & 0xffff },
+            Format::U => Inst { op, rd, rs1: 0, rs2: 0, imm: imm & 0xffff },
+            Format::St => Inst { op, rd: 0, rs1, rs2, imm },
+            Format::Br => Inst { op, rd: 0, rs1, rs2, imm },
+            Format::J26 => Inst { op, rd: 0, rs1: 0, rs2: 0, imm },
+            Format::Bare => Inst { op, rd: 0, rs1: 0, rs2: 0, imm: 0 },
+        }
     }
 
-    proptest! {
-        #[test]
-        fn prop_encode_decode_round_trip(inst in arb_inst()) {
+    #[test]
+    fn random_encode_decode_round_trip() {
+        let mut rng = Rng::new(0x15a_0dec0de);
+        for _ in 0..5000 {
+            let inst = random_inst(&mut rng);
             let word = encode(&inst);
             let back = decode(word).unwrap();
-            prop_assert_eq!(back, inst);
+            assert_eq!(back, inst, "word {word:#010x}");
         }
+    }
 
-        #[test]
-        fn prop_decode_never_panics(word in any::<u32>()) {
-            let _ = decode(word);
+    #[test]
+    fn random_decode_never_panics() {
+        let mut rng = Rng::new(0xdec0de);
+        for _ in 0..20_000 {
+            let _ = decode(rng.next_u32());
         }
+    }
 
-        #[test]
-        fn prop_decoded_reencodes_identically(word in any::<u32>()) {
+    #[test]
+    fn random_decoded_reencodes_identically() {
+        let mut rng = Rng::new(0x5eed);
+        for _ in 0..20_000 {
+            let word = rng.next_u32();
             if let Ok(inst) = decode(word) {
                 // Re-encoding a decoded instruction must reproduce the
                 // canonical bits (unused fields zeroed).
                 let recoded = encode(&inst);
                 let back = decode(recoded).unwrap();
-                prop_assert_eq!(back, inst);
+                assert_eq!(back, inst, "word {word:#010x}");
             }
         }
     }

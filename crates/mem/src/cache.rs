@@ -547,9 +547,9 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+mod randomized_tests {
     use super::*;
-    use proptest::prelude::*;
+    use fastsim_prng::{for_each_case, Rng};
 
     /// One step of a random access pattern.
     #[derive(Clone, Debug)]
@@ -558,19 +558,26 @@ mod proptests {
         Store { addr: u32, gap: u8 },
     }
 
-    fn arb_access() -> impl Strategy<Value = Access> {
-        prop_oneof![
-            (0u32..0x20_0000, any::<u8>()).prop_map(|(addr, gap)| Access::Load { addr, gap }),
-            (0u32..0x20_0000, any::<u8>()).prop_map(|(addr, gap)| Access::Store { addr, gap }),
-        ]
+    fn random_accesses(rng: &mut Rng) -> Vec<Access> {
+        (0..rng.range_usize(1..60))
+            .map(|_| {
+                let addr = rng.range_u32(0..0x20_0000);
+                let gap = rng.next_u8();
+                if rng.next_bool() {
+                    Access::Load { addr, gap }
+                } else {
+                    Access::Store { addr, gap }
+                }
+            })
+            .collect()
     }
 
-    proptest! {
-        /// Every load completes in a bounded number of polls, counters
-        /// stay consistent, and intervals are always non-zero while
-        /// waiting.
-        #[test]
-        fn prop_loads_always_complete(accesses in proptest::collection::vec(arb_access(), 1..60)) {
+    /// Every load completes in a bounded number of polls, counters stay
+    /// consistent, and intervals are always non-zero while waiting.
+    #[test]
+    fn random_loads_always_complete() {
+        for_each_case(0xcac4e, 64, |seed, rng| {
+            let accesses = random_accesses(rng);
             let mut c = CacheSim::new(CacheConfig::table1());
             let mut now: u64 = 0;
             let mut id: LoadId = 0;
@@ -578,19 +585,19 @@ mod proptests {
                 match *acc {
                     Access::Load { addr, gap } => {
                         let interval = c.issue_load(id, addr & !3, 4, now);
-                        prop_assert!(interval > 0);
+                        assert!(interval > 0, "seed {seed:#x}");
                         let mut t = now + interval as u64;
                         let mut polls = 0;
                         loop {
                             match c.poll_load(id, t) {
                                 PollResult::Ready => break,
                                 PollResult::Wait(w) => {
-                                    prop_assert!(w > 0);
+                                    assert!(w > 0, "seed {seed:#x}");
                                     t += w as u64;
                                 }
                             }
                             polls += 1;
-                            prop_assert!(polls < 16, "load must complete quickly");
+                            assert!(polls < 16, "load must complete quickly (seed {seed:#x})");
                         }
                         now = t + gap as u64;
                         id += 1;
@@ -602,16 +609,20 @@ mod proptests {
                 }
             }
             let s = *c.stats();
-            prop_assert_eq!(s.loads, id);
-            prop_assert_eq!(s.l1_hits + s.l1_misses, s.loads);
-            prop_assert_eq!(s.l2_hits + s.l2_misses, s.l1_misses);
-            prop_assert_eq!(c.outstanding(), 0);
-        }
+            assert_eq!(s.loads, id, "seed {seed:#x}");
+            assert_eq!(s.l1_hits + s.l1_misses, s.loads, "seed {seed:#x}");
+            assert_eq!(s.l2_hits + s.l2_misses, s.l1_misses, "seed {seed:#x}");
+            assert_eq!(c.outstanding(), 0, "seed {seed:#x}");
+        });
+    }
 
-        /// The same access sequence always produces the same timings —
-        /// the determinism the memoizer's outcome checks rely on.
-        #[test]
-        fn prop_cache_is_deterministic(addrs in proptest::collection::vec(0u32..0x10_0000, 1..40)) {
+    /// The same access sequence always produces the same timings — the
+    /// determinism the memoizer's outcome checks rely on.
+    #[test]
+    fn random_cache_is_deterministic() {
+        for_each_case(0xd37e2, 64, |seed, rng| {
+            let addrs: Vec<u32> =
+                (0..rng.range_usize(1..40)).map(|_| rng.range_u32(0..0x10_0000)).collect();
             let run = |addrs: &[u32]| -> Vec<u32> {
                 let mut c = CacheSim::new(CacheConfig::table1());
                 let mut out = Vec::new();
@@ -633,7 +644,7 @@ mod proptests {
                 }
                 out
             };
-            prop_assert_eq!(run(&addrs), run(&addrs));
-        }
+            assert_eq!(run(&addrs), run(&addrs), "seed {seed:#x}");
+        });
     }
 }

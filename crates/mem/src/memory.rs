@@ -149,7 +149,7 @@ impl Memory {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use fastsim_prng::Rng;
 
     #[test]
     fn zero_before_touch() {
@@ -193,21 +193,29 @@ mod tests {
         assert_eq!(m.read_vec(PAGE_BYTES - 100, 256), data);
     }
 
-    proptest! {
-        #[test]
-        fn prop_read_back(addr in 0u32..u32::MAX - 8, v in any::<u64>()) {
+    #[test]
+    fn random_read_back() {
+        let mut rng = Rng::new(0x3e3);
+        for _ in 0..500 {
+            let addr = rng.range_u32(0..u32::MAX - 8);
+            let v = rng.next_u64();
             let mut m = Memory::new();
             m.write_u64(addr, v);
-            prop_assert_eq!(m.read_u64(addr), v);
+            assert_eq!(m.read_u64(addr), v, "addr {addr:#x}");
         }
+    }
 
-        #[test]
-        fn prop_byte_decomposition(addr in 0u32..u32::MAX - 4, v in any::<u32>()) {
+    #[test]
+    fn random_byte_decomposition() {
+        let mut rng = Rng::new(0xb17e5);
+        for _ in 0..500 {
+            let addr = rng.range_u32(0..u32::MAX - 4);
+            let v = rng.next_u32();
             let mut m = Memory::new();
             m.write_u32(addr, v);
             let bytes = v.to_le_bytes();
             for i in 0..4u32 {
-                prop_assert_eq!(m.read_u8(addr + i), bytes[i as usize]);
+                assert_eq!(m.read_u8(addr + i), bytes[i as usize], "addr {addr:#x}");
             }
         }
     }

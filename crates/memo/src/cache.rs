@@ -3,17 +3,17 @@
 use crate::action::{ActionKind, NodeId, OutcomeKey};
 use crate::policy::Policy;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Per-outcome-branch modeled overhead in bytes (key + link).
-const BRANCH_BYTES: usize = 12;
+pub(crate) const BRANCH_BYTES: usize = 12;
 /// Per-configuration modeled overhead beyond the encoded bytes (hash-table
 /// entry and head link).
-const CONFIG_OVERHEAD_BYTES: usize = 24;
+pub(crate) const CONFIG_OVERHEAD_BYTES: usize = 24;
 
 /// Successor links of an action node.
 #[derive(Clone, Debug)]
-enum Successors {
+pub(crate) enum Successors {
     /// Outcome-less action: at most one successor.
     Single(Option<NodeId>),
     /// Outcome-bearing action: one successor per observed outcome.
@@ -21,16 +21,16 @@ enum Successors {
 }
 
 #[derive(Clone, Debug)]
-struct Node {
-    kind: ActionKind,
-    next: Successors,
+pub(crate) struct Node {
+    pub(crate) kind: ActionKind,
+    pub(crate) next: Successors,
     /// If this node is the first action of a configuration, the encoded
     /// configuration bytes.
-    config: Option<Rc<[u8]>>,
+    pub(crate) config: Option<Arc<[u8]>>,
     /// Accessed since the last collection (GC liveness, paper §4.3).
-    accessed: bool,
+    pub(crate) accessed: bool,
     /// Survived at least one minor collection (generational GC).
-    tenured: bool,
+    pub(crate) tenured: bool,
 }
 
 /// Where the next recorded action will be linked from.
@@ -76,6 +76,11 @@ pub struct MemoStats {
     pub gc_survived_bytes: u64,
     /// Bytes examined by collections.
     pub gc_scanned_bytes: u64,
+    /// Configuration lookups that hit a cached chain.
+    pub config_hits: u64,
+    /// Configuration lookups that missed (detailed simulation recorded a
+    /// new chain).
+    pub config_misses: u64,
 }
 
 impl MemoStats {
@@ -85,6 +90,16 @@ impl MemoStats {
             0.0
         } else {
             self.gc_survived_bytes as f64 / self.gc_scanned_bytes as f64
+        }
+    }
+
+    /// Fraction of configuration lookups that hit the cache.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.config_hits + self.config_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.config_hits as f64 / total as f64
         }
     }
 }
@@ -110,12 +125,18 @@ impl MemoStats {
 /// ```
 #[derive(Clone, Debug)]
 pub struct PActionCache {
-    nodes: Vec<Node>,
-    table: HashMap<Rc<[u8]>, NodeId>,
-    policy: Policy,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) table: HashMap<Arc<[u8]>, NodeId>,
+    pub(crate) policy: Policy,
     attach: Attach,
-    pending_config: Option<Rc<[u8]>>,
-    stats: MemoStats,
+    pending_config: Option<Arc<[u8]>>,
+    pub(crate) stats: MemoStats,
+    /// Number of leading nodes inherited from a
+    /// [`CacheSnapshot`](crate::CacheSnapshot) by
+    /// [`from_snapshot`](PActionCache::from_snapshot); `0` for a cache
+    /// built from scratch. Reset to `0` by flushes and collections, which
+    /// invalidate the id correspondence with the snapshot.
+    pub(crate) frozen_base: usize,
 }
 
 impl PActionCache {
@@ -128,6 +149,7 @@ impl PActionCache {
             attach: Attach::None,
             pending_config: None,
             stats: MemoStats::default(),
+            frozen_base: 0,
         }
     }
 
@@ -152,7 +174,7 @@ impl PActionCache {
         self.nodes.len()
     }
 
-    fn add_bytes(&mut self, n: usize) {
+    pub(crate) fn add_bytes(&mut self, n: usize) {
         self.stats.bytes += n;
         self.stats.peak_bytes = self.stats.peak_bytes.max(self.stats.bytes);
     }
@@ -167,13 +189,15 @@ impl PActionCache {
     /// action. A miss is also when the replacement policy runs.
     pub fn register_config(&mut self, bytes: &[u8]) -> ConfigLookup {
         if let Some(&head) = self.table.get(bytes) {
+            self.stats.config_hits += 1;
             self.link_attach(head);
             self.attach = Attach::None;
             self.nodes[head as usize].accessed = true;
             return ConfigLookup::Hit(head);
         }
+        self.stats.config_misses += 1;
         self.enforce_policy();
-        self.pending_config = Some(Rc::from(bytes));
+        self.pending_config = Some(Arc::from(bytes));
         ConfigLookup::Miss
     }
 
@@ -333,6 +357,7 @@ impl PActionCache {
         // stays pending: its first action will re-insert it.
         self.stats.bytes = 0;
         self.stats.flushes += 1;
+        self.frozen_base = 0;
     }
 
     /// Runs a collection. `minor` keeps accessed and tenured nodes
@@ -399,6 +424,7 @@ impl PActionCache {
         };
         self.nodes = new_nodes;
         self.table = new_table;
+        self.frozen_base = 0;
         self.stats.bytes = bytes;
         self.stats.collections += 1;
         self.stats.gc_scanned_bytes += scanned as u64;
@@ -600,10 +626,10 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+mod randomized_tests {
     use super::*;
     use crate::action::RetireCounts;
-    use proptest::prelude::*;
+    use fastsim_prng::for_each_case;
 
     /// One step of a random exercise of the cache's recording/replay API.
     #[derive(Clone, Debug)]
@@ -615,31 +641,31 @@ mod proptests {
         Collect(bool),
     }
 
-    fn arb_step() -> impl Strategy<Value = Step> {
-        prop_oneof![
-            any::<u8>().prop_map(Step::Register),
-            any::<u8>().prop_map(Step::RecordAdvance),
-            any::<u8>().prop_map(Step::RecordLoadWithOutcome),
-            Just(Step::Flush),
-            any::<bool>().prop_map(Step::Collect),
-        ]
+    fn random_step(rng: &mut fastsim_prng::Rng) -> Step {
+        match rng.range_u32(0..5) {
+            0 => Step::Register(rng.next_u8()),
+            1 => Step::RecordAdvance(rng.next_u8()),
+            2 => Step::RecordLoadWithOutcome(rng.next_u8()),
+            3 => Step::Flush,
+            _ => Step::Collect(rng.next_bool()),
+        }
     }
 
-    proptest! {
-        /// Arbitrary interleavings of recording, lookup, flushing and
-        /// collection never panic and keep the counters coherent.
-        #[test]
-        fn prop_cache_invariants(steps in proptest::collection::vec(arb_step(), 1..80)) {
+    /// Arbitrary interleavings of recording, lookup, flushing and
+    /// collection never panic and keep the counters coherent.
+    #[test]
+    fn random_cache_invariants() {
+        for_each_case(0xac710, 256, |seed, rng| {
+            let steps: Vec<Step> =
+                (0..rng.range_usize(1..80)).map(|_| random_step(rng)).collect();
             let mut pc = PActionCache::new(Policy::Unbounded);
             // The engine's discipline: after an outcome-bearing action,
             // bind the outcome before recording the next action.
-            let mut last_hit: Option<NodeId> = None;
             for step in steps {
                 match step {
                     Step::Register(k) => {
                         match pc.register_config(&[k]) {
                             ConfigLookup::Hit(n) => {
-                                last_hit = Some(n);
                                 // Navigating from a hit never panics.
                                 let kind = pc.kind(n);
                                 if !kind.has_outcome() {
@@ -673,18 +699,21 @@ mod proptests {
                     Step::Collect(minor) => pc.collect(minor),
                 }
                 let s = pc.stats();
-                prop_assert!(pc.config_count() as u64 <= s.static_configs);
-                prop_assert!(pc.node_count() as u64 <= s.static_actions);
-                prop_assert!(s.bytes <= s.peak_bytes);
-                prop_assert!(s.gc_survived_bytes <= s.gc_scanned_bytes);
+                assert!(pc.config_count() as u64 <= s.static_configs, "seed {seed:#x}");
+                assert!(pc.node_count() as u64 <= s.static_actions, "seed {seed:#x}");
+                assert!(s.bytes <= s.peak_bytes, "seed {seed:#x}");
+                assert!(s.gc_survived_bytes <= s.gc_scanned_bytes, "seed {seed:#x}");
             }
-            let _ = last_hit;
-        }
+        });
+    }
 
-        /// Whatever was registered and still cached replays the same
-        /// first action after any number of collections.
-        #[test]
-        fn prop_collection_preserves_replayability(keys in proptest::collection::vec(any::<u8>(), 1..30)) {
+    /// Whatever was registered and still cached replays the same first
+    /// action after any number of collections.
+    #[test]
+    fn random_collection_preserves_replayability() {
+        for_each_case(0xc011ec7, 256, |seed, rng| {
+            let keys: Vec<u8> =
+                (0..rng.range_usize(1..30)).map(|_| rng.next_u8()).collect();
             let mut pc = PActionCache::new(Policy::Unbounded);
             let mut recorded: Vec<(u8, u32)> = Vec::new();
             for (i, &k) in keys.iter().enumerate() {
@@ -701,16 +730,17 @@ mod proptests {
             for (k, cycles) in recorded {
                 match pc.register_config(&[k]) {
                     ConfigLookup::Hit(n) => {
-                        prop_assert_eq!(
+                        assert_eq!(
                             pc.kind(n),
-                            ActionKind::Advance { cycles, retired: RetireCounts::default() }
+                            ActionKind::Advance { cycles, retired: RetireCounts::default() },
+                            "seed {seed:#x}"
                         );
                     }
-                    ConfigLookup::Miss => prop_assert!(false, "config lost by collection"),
+                    ConfigLookup::Miss => panic!("config lost by collection (seed {seed:#x})"),
                 }
                 // register_config on a Miss path would expect a pending
                 // head; all of these are hits, so no cleanup is needed.
             }
-        }
+        });
     }
 }

@@ -26,7 +26,9 @@
 mod action;
 mod cache;
 mod policy;
+mod snapshot;
 
 pub use action::{ActionKind, NodeId, OutcomeKey, RetireCounts};
 pub use cache::{ConfigLookup, MemoStats, PActionCache};
 pub use policy::Policy;
+pub use snapshot::{CacheSnapshot, MergeOutcome};

@@ -188,7 +188,7 @@ pub fn decode_config(
 mod tests {
     use super::*;
     use fastsim_isa::{Asm, Reg};
-    use proptest::prelude::*;
+    use fastsim_prng::for_each_case;
 
     fn program() -> DecodedProgram {
         let mut a = Asm::with_base(0x1000);
@@ -308,33 +308,40 @@ mod tests {
         ));
     }
 
-    fn arb_state() -> impl Strategy<Value = (u8, u32, bool, bool)> {
-        (0u8..6, 0u32..=MAX_STAGE_COUNT, any::<bool>(), any::<bool>())
+    fn random_state(rng: &mut fastsim_prng::Rng) -> (u8, u32, bool, bool) {
+        (
+            rng.range_u32(0..6) as u8,
+            rng.range_u32(0..MAX_STAGE_COUNT + 1),
+            rng.next_bool(),
+            rng.next_bool(),
+        )
     }
 
-    proptest! {
-        #[test]
-        fn prop_pack12_round_trip(parts in arb_state()) {
-            let (tag, count, taken, mis) = parts;
+    #[test]
+    fn random_pack12_round_trip() {
+        for_each_case(0x9ac412, 512, |seed, rng| {
+            let (tag, count, taken, mis) = random_state(rng);
             let state = IqState::from_parts(tag, count).unwrap();
             let e = IqEntry { addr: 0, state, taken, mispredicted: mis, target: 0 };
             let v = pack12(&e);
-            prop_assert!(v < 1 << 12);
+            assert!(v < 1 << 12, "seed {seed:#x}");
             let (t2, c2, tk2, m2) = unpack12(v);
-            prop_assert_eq!((t2, tk2, m2), (tag, taken, mis));
+            assert_eq!((t2, tk2, m2), (tag, taken, mis), "seed {seed:#x}");
             // Count survives for states that carry one.
             if matches!(state, IqState::Exec { .. } | IqState::CacheWait { .. }) {
-                prop_assert_eq!(c2, count);
+                assert_eq!(c2, count, "seed {seed:#x}");
             }
-        }
+        });
+    }
 
-        /// Random straight-line pipelines round-trip through the codec.
-        #[test]
-        fn prop_straightline_round_trip(
-            start in 0usize..4,
-            len in 0usize..4,
-            states in proptest::collection::vec(arb_state(), 0..4),
-        ) {
+    /// Random straight-line pipelines round-trip through the codec.
+    #[test]
+    fn random_straightline_round_trip() {
+        for_each_case(0x57a127, 256, |seed, rng| {
+            let start = rng.range_usize(0..4);
+            let len = rng.range_usize(0..4);
+            let states: Vec<_> =
+                (0..rng.range_usize(0..4)).map(|_| random_state(rng)).collect();
             let prog = program();
             // Use the straight-line prefix 0x1000..0x100c (3 insts).
             let start = start.min(2);
@@ -351,17 +358,17 @@ mod tests {
                 });
             }
             let bytes = encode_config(&st, &prog);
-            prop_assert_eq!(decode_config(&bytes, &prog).unwrap(), st);
-        }
+            assert_eq!(decode_config(&bytes, &prog).unwrap(), st, "seed {seed:#x}");
+        });
     }
 }
 
 #[cfg(test)]
-mod path_proptests {
+mod path_randomized_tests {
     use super::*;
     use crate::iq::{FetchPc, IqEntry, IqState, PipelineState};
     use fastsim_isa::{Asm, ExecClass, Reg};
-    use proptest::prelude::*;
+    use fastsim_prng::for_each_case;
 
     /// A program with branches, calls, an indirect jump and a loop, so
     /// random walks produce paths exercising every reconstruction rule.
@@ -384,17 +391,25 @@ mod path_proptests {
         a.assemble().unwrap().predecode().unwrap()
     }
 
-    proptest! {
-        /// Random walks along legal fetch paths, with random per-entry
-        /// states and branch bits, round-trip through the configuration
-        /// codec byte-exactly.
-        #[test]
-        fn prop_random_paths_round_trip(
-            start_idx in 0usize..10,
-            len in 1usize..12,
-            bits in proptest::collection::vec((0u8..6, 0u32..=MAX_STAGE_COUNT, any::<bool>(), any::<bool>()), 12),
-            ret_target_idx in 0usize..10,
-        ) {
+    /// Random walks along legal fetch paths, with random per-entry
+    /// states and branch bits, round-trip through the configuration
+    /// codec byte-exactly.
+    #[test]
+    fn random_paths_round_trip() {
+        for_each_case(0x9a74, 512, |seed, rng| {
+            let start_idx = rng.range_usize(0..10);
+            let len = rng.range_usize(1..12);
+            let bits: Vec<(u8, u32, bool, bool)> = (0..12)
+                .map(|_| {
+                    (
+                        rng.range_u32(0..6) as u8,
+                        rng.range_u32(0..MAX_STAGE_COUNT + 1),
+                        rng.next_bool(),
+                        rng.next_bool(),
+                    )
+                })
+                .collect();
+            let ret_target_idx = rng.range_usize(0..10);
             let prog = branchy_program();
             let addrs: Vec<u32> = (0..11).map(|i| 0x4000 + i * 4).collect();
             let mut addr = addrs[start_idx.min(addrs.len() - 1)];
@@ -422,16 +437,18 @@ mod path_proptests {
                 addr = next;
             }
             let state = PipelineState { iq, fetch: FetchPc::At(addr) };
-            prop_assume!(state.path_consistent(&prog));
+            if !state.path_consistent(&prog) {
+                return; // discard inconsistent walks, like prop_assume did
+            }
             let bytes = encode_config(&state, &prog);
             let expected_ind = state
                 .iq
                 .iter()
                 .filter(|e| prog.fetch(e.addr).unwrap().exec_class() == ExecClass::JumpInd)
                 .count();
-            prop_assert_eq!(bytes.len(), encoded_size(state.iq.len(), expected_ind));
+            assert_eq!(bytes.len(), encoded_size(state.iq.len(), expected_ind), "seed {seed:#x}");
             let back = decode_config(&bytes, &prog).unwrap();
-            prop_assert_eq!(back, state);
-        }
+            assert_eq!(back, state, "seed {seed:#x}");
+        });
     }
 }

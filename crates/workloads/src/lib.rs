@@ -27,6 +27,9 @@
 
 mod fp;
 mod int;
+mod manifest;
+
+pub use manifest::{Manifest, ManifestJob};
 
 use fastsim_isa::Program;
 

@@ -1,0 +1,175 @@
+//! Job manifests: named workload sets for batch simulation.
+//!
+//! A manifest is an ordered list of (name, program) jobs built from the
+//! kernel suite, ready to hand to a batch driver (`fastsim-core`'s
+//! `batch` module maps each entry to a `BatchJob`). This crate stays a
+//! pure program generator — manifests carry no simulator types — so the
+//! dependency edge keeps pointing from the engine to the workloads, not
+//! back.
+//!
+//! Manifests are deterministic: the same constructor arguments always
+//! produce the same job list, in the same order, which the batch driver's
+//! determinism guarantee builds on.
+
+use crate::{all, by_name, Workload};
+use fastsim_isa::Program;
+
+/// One batch job: a named, fully built program.
+#[derive(Clone, Debug)]
+pub struct ManifestJob {
+    /// Job name, e.g. `"129.compress"` (suffixed `#k` for replicas).
+    pub name: String,
+    /// The assembled program.
+    pub program: Program,
+    /// Whether the source kernel is floating-point.
+    pub fp: bool,
+}
+
+/// An ordered set of batch jobs. See the [module docs](self).
+#[derive(Clone, Debug, Default)]
+pub struct Manifest {
+    jobs: Vec<ManifestJob>,
+}
+
+impl Manifest {
+    /// The full 18-kernel suite, each scaled to about `target_insts`
+    /// dynamic instructions.
+    pub fn suite(target_insts: u64) -> Manifest {
+        Manifest::from_workloads(all(), target_insts)
+    }
+
+    /// The integer kernels only.
+    pub fn integer(target_insts: u64) -> Manifest {
+        Manifest::from_workloads(all().into_iter().filter(|w| !w.fp).collect(), target_insts)
+    }
+
+    /// The floating-point kernels only.
+    pub fn floating(target_insts: u64) -> Manifest {
+        Manifest::from_workloads(all().into_iter().filter(|w| w.fp).collect(), target_insts)
+    }
+
+    /// A small mixed set (two integer, two floating-point kernels) for
+    /// quick studies and tests.
+    pub fn mixed(target_insts: u64) -> Manifest {
+        Manifest::select(&["compress", "vortex", "tomcatv", "fpppp"], target_insts)
+            .expect("built-in kernel names")
+    }
+
+    /// Jobs for the named kernels (full names or bare suffixes, as in
+    /// [`by_name`]), in the given order. `None` if any name is unknown.
+    pub fn select(names: &[&str], target_insts: u64) -> Option<Manifest> {
+        let workloads: Option<Vec<Workload>> = names.iter().map(|n| by_name(n)).collect();
+        Some(Manifest::from_workloads(workloads?, target_insts))
+    }
+
+    fn from_workloads(workloads: Vec<Workload>, target_insts: u64) -> Manifest {
+        Manifest {
+            jobs: workloads
+                .into_iter()
+                .map(|w| ManifestJob {
+                    name: w.name.to_string(),
+                    program: w.program_for_insts(target_insts),
+                    fp: w.fp,
+                })
+                .collect(),
+        }
+    }
+
+    /// Keeps only jobs whose name contains `filter`.
+    pub fn filtered(mut self, filter: &str) -> Manifest {
+        self.jobs.retain(|j| j.name.contains(filter));
+        self
+    }
+
+    /// Replicates every job `copies` times (replicas named `name#k`),
+    /// modeling a fleet that simulates the same programs under the same
+    /// model many times — the case the shared warm cache pays off most.
+    pub fn replicated(self, copies: usize) -> Manifest {
+        let mut jobs = Vec::with_capacity(self.jobs.len() * copies.max(1));
+        for job in &self.jobs {
+            for k in 0..copies.max(1) {
+                jobs.push(ManifestJob {
+                    name: if copies > 1 { format!("{}#{k}", job.name) } else { job.name.clone() },
+                    program: job.program.clone(),
+                    fp: job.fp,
+                });
+            }
+        }
+        Manifest { jobs }
+    }
+
+    /// The jobs, in manifest order.
+    pub fn jobs(&self) -> &[ManifestJob] {
+        &self.jobs
+    }
+
+    /// Consumes the manifest, yielding the jobs.
+    pub fn into_jobs(self) -> Vec<ManifestJob> {
+        self.jobs
+    }
+
+    /// Number of jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the manifest has no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_covers_all_kernels() {
+        let m = Manifest::suite(1000);
+        assert_eq!(m.len(), 18);
+        assert_eq!(Manifest::integer(1000).len(), 8);
+        assert_eq!(Manifest::floating(1000).len(), 10);
+    }
+
+    #[test]
+    fn mixed_set_has_both_kinds() {
+        let m = Manifest::mixed(1000);
+        assert!(m.jobs().iter().any(|j| j.fp));
+        assert!(m.jobs().iter().any(|j| !j.fp));
+    }
+
+    #[test]
+    fn select_rejects_unknown_names() {
+        assert!(Manifest::select(&["compress", "no-such-kernel"], 1000).is_none());
+        let m = Manifest::select(&["go", "mgrid"], 1000).unwrap();
+        assert_eq!(m.jobs()[0].name, "099.go");
+        assert_eq!(m.jobs()[1].name, "107.mgrid");
+    }
+
+    #[test]
+    fn replication_names_replicas() {
+        let m = Manifest::select(&["compress"], 1000).unwrap().replicated(3);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.jobs()[0].name, "129.compress#0");
+        assert_eq!(m.jobs()[2].name, "129.compress#2");
+        assert_eq!(m.jobs()[0].program, m.jobs()[1].program);
+    }
+
+    #[test]
+    fn manifests_are_deterministic() {
+        let a = Manifest::mixed(5000);
+        let b = Manifest::mixed(5000);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.jobs().iter().zip(b.jobs()) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.program, y.program);
+        }
+    }
+
+    #[test]
+    fn filter_narrows() {
+        let m = Manifest::suite(1000).filtered("press");
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.jobs()[0].name, "129.compress");
+    }
+}

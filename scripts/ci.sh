@@ -1,0 +1,17 @@
+#!/usr/bin/env sh
+# Tier-1 gate. Runs fully offline: the workspace has zero external
+# dependencies (vendored PRNG, self-timed benches), so no registry or
+# network access is ever needed.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --workspace --release"
+cargo build --workspace --release
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> tier-1 gate passed"

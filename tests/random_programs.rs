@@ -1,4 +1,6 @@
-//! Property-based equivalence testing on randomly generated programs.
+//! Randomized equivalence testing on generated programs, driven by the
+//! vendored deterministic PRNG (`fastsim-prng`) so the suite runs fully
+//! offline with no crates.io dependencies.
 //!
 //! Random (but structurally terminating) programs exercise arbitrary
 //! interleavings of ALU work, long-latency divides, FP arithmetic, memory
@@ -9,11 +11,13 @@
 //!   cycle counts, retirement counts and cache statistics;
 //! * a tightly limited, flushing p-action cache also changes nothing;
 //! * program output matches the plain functional emulator.
+//!
+//! Every case prints its seed on failure; `Rng::new(seed)` replays it.
 
 use fastsim::core::{Mode, Policy, Simulator};
 use fastsim::emu::FuncEmulator;
 use fastsim::isa::{Asm, Program, Reg};
-use proptest::prelude::*;
+use fastsim_prng::{for_each_case, Rng};
 use std::rc::Rc;
 
 const DATA: u32 = 0x0010_0000;
@@ -143,41 +147,54 @@ fn build_program(iters: u32, body: &[BodyOp]) -> Program {
     a.assemble().expect("generated program assembles")
 }
 
-fn arb_body_op() -> impl Strategy<Value = BodyOp> {
-    prop_oneof![
-        (any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>())
-            .prop_map(|(sel, rd, rs1, rs2)| BodyOp::Alu { sel, rd, rs1, rs2 }),
-        (any::<u8>(), any::<u8>(), any::<u8>(), any::<i16>())
-            .prop_map(|(sel, rd, rs1, imm)| BodyOp::AluImm { sel, rd, rs1, imm }),
-        (any::<u8>(), any::<u8>(), any::<u8>())
-            .prop_map(|(rd, rs1, rs2)| BodyOp::Div { rd, rs1, rs2 }),
-        (any::<u8>(), any::<u16>()).prop_map(|(rd, off)| BodyOp::Load { rd, off }),
-        (any::<u8>(), any::<u16>()).prop_map(|(rs, off)| BodyOp::Store { rs, off }),
-        (any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>())
-            .prop_map(|(sel, fd, fs1, fs2)| BodyOp::Fp { sel, fd, fs1, fs2 }),
-        (any::<u8>(), any::<u16>()).prop_map(|(fd, off)| BodyOp::FLoad { fd, off }),
-        (any::<u8>(), any::<u16>()).prop_map(|(fs, off)| BodyOp::FStore { fs, off }),
-        (any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>())
-            .prop_map(|(cond, rs1, rs2, skip)| BodyOp::Branch { cond, rs1, rs2, skip }),
-        any::<bool>().prop_map(|which| BodyOp::Call { which }),
-        any::<u8>().prop_map(|rs| BodyOp::Out { rs }),
-    ]
+fn random_body_op(rng: &mut Rng) -> BodyOp {
+    match rng.range_u32(0..11) {
+        0 => BodyOp::Alu {
+            sel: rng.next_u8(),
+            rd: rng.next_u8(),
+            rs1: rng.next_u8(),
+            rs2: rng.next_u8(),
+        },
+        1 => BodyOp::AluImm {
+            sel: rng.next_u8(),
+            rd: rng.next_u8(),
+            rs1: rng.next_u8(),
+            imm: rng.next_i16(),
+        },
+        2 => BodyOp::Div { rd: rng.next_u8(), rs1: rng.next_u8(), rs2: rng.next_u8() },
+        3 => BodyOp::Load { rd: rng.next_u8(), off: rng.next_u32() as u16 },
+        4 => BodyOp::Store { rs: rng.next_u8(), off: rng.next_u32() as u16 },
+        5 => BodyOp::Fp {
+            sel: rng.next_u8(),
+            fd: rng.next_u8(),
+            fs1: rng.next_u8(),
+            fs2: rng.next_u8(),
+        },
+        6 => BodyOp::FLoad { fd: rng.next_u8(), off: rng.next_u32() as u16 },
+        7 => BodyOp::FStore { fs: rng.next_u8(), off: rng.next_u32() as u16 },
+        8 => BodyOp::Branch {
+            cond: rng.next_u8(),
+            rs1: rng.next_u8(),
+            rs2: rng.next_u8(),
+            skip: rng.next_u8(),
+        },
+        9 => BodyOp::Call { which: rng.next_bool() },
+        _ => BodyOp::Out { rs: rng.next_u8() },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
-
-    #[test]
-    fn prop_fastsim_is_exact(
-        iters in 3u32..40,
-        body in proptest::collection::vec(arb_body_op(), 1..24),
-    ) {
+#[test]
+fn random_fastsim_is_exact() {
+    for_each_case(0xfa575104, 48, |seed, rng| {
+        let iters = rng.range_u32(3..40);
+        let body: Vec<BodyOp> =
+            (0..rng.range_usize(1..24)).map(|_| random_body_op(rng)).collect();
         let program = build_program(iters, &body);
 
         let prog = Rc::new(program.predecode().unwrap());
         let mut func = FuncEmulator::new(prog, &program);
         func.run(10_000_000);
-        prop_assert!(func.halted());
+        assert!(func.halted(), "seed {seed:#x}");
 
         let mut fast = Simulator::new(&program, Mode::fast()).unwrap();
         let mut slow = Simulator::new(&program, Mode::Slow).unwrap();
@@ -190,17 +207,21 @@ proptest! {
         slow.run_to_completion().unwrap();
         tiny.run_to_completion().unwrap();
 
-        prop_assert_eq!(fast.stats().cycles, slow.stats().cycles);
-        prop_assert_eq!(fast.stats().retired_insts, slow.stats().retired_insts);
-        prop_assert_eq!(fast.stats().retired_loads, slow.stats().retired_loads);
-        prop_assert_eq!(fast.stats().retired_stores, slow.stats().retired_stores);
-        prop_assert_eq!(fast.stats().retired_branches, slow.stats().retired_branches);
-        prop_assert_eq!(fast.cache_stats(), slow.cache_stats());
-        prop_assert_eq!(fast.output(), slow.output());
-        prop_assert_eq!(fast.output(), func.output());
-        prop_assert_eq!(fast.stats().retired_insts, func.insts());
+        assert_eq!(fast.stats().cycles, slow.stats().cycles, "seed {seed:#x}");
+        assert_eq!(fast.stats().retired_insts, slow.stats().retired_insts, "seed {seed:#x}");
+        assert_eq!(fast.stats().retired_loads, slow.stats().retired_loads, "seed {seed:#x}");
+        assert_eq!(fast.stats().retired_stores, slow.stats().retired_stores, "seed {seed:#x}");
+        assert_eq!(
+            fast.stats().retired_branches,
+            slow.stats().retired_branches,
+            "seed {seed:#x}"
+        );
+        assert_eq!(fast.cache_stats(), slow.cache_stats(), "seed {seed:#x}");
+        assert_eq!(fast.output(), slow.output(), "seed {seed:#x}");
+        assert_eq!(fast.output(), func.output(), "seed {seed:#x}");
+        assert_eq!(fast.stats().retired_insts, func.insts(), "seed {seed:#x}");
 
-        prop_assert_eq!(tiny.stats().cycles, slow.stats().cycles);
-        prop_assert_eq!(tiny.output(), slow.output());
-    }
+        assert_eq!(tiny.stats().cycles, slow.stats().cycles, "seed {seed:#x}");
+        assert_eq!(tiny.output(), slow.output(), "seed {seed:#x}");
+    });
 }

@@ -6,6 +6,15 @@
 use fastsim::core::{CacheConfig, Mode, Policy, Simulator, UArchConfig};
 use fastsim::workloads::{all, by_name};
 
+/// Runs a workload cold and returns (stats, frozen warm snapshot).
+fn cold_run(program: &fastsim::isa::Program) -> (fastsim::core::SimStats, fastsim::core::WarmCacheSnapshot) {
+    let mut cold = Simulator::new(program, Mode::fast()).unwrap();
+    cold.run_to_completion().unwrap();
+    let stats = *cold.stats();
+    let snapshot = cold.take_warm_cache().expect("fast mode").freeze();
+    (stats, snapshot)
+}
+
 #[test]
 fn warm_second_run_is_nearly_all_replay() {
     for name in ["compress", "mgrid", "go"] {
@@ -87,6 +96,106 @@ fn warm_cache_respects_its_policy() {
     assert_eq!(second.stats().cycles, cycles);
     let m = second.memo_stats().unwrap();
     assert!(m.bytes <= (32 << 10) * 2, "limit still enforced: {}", m.bytes);
+}
+
+#[test]
+fn warm_snapshot_strictly_reduces_detailed_simulation() {
+    // The cold-vs-warm regression for the *snapshot* path: replaying from
+    // a frozen WarmCacheSnapshot must produce identical results while
+    // strictly reducing the detailed-simulation share, on both an integer
+    // and a floating-point kernel.
+    for name in ["compress", "tomcatv"] {
+        let w = by_name(name).expect("workload exists");
+        let program = w.program_for_insts(100_000);
+        let (cold_stats, snapshot) = cold_run(&program);
+
+        let mut warm = Simulator::with_warm_snapshot(
+            &program,
+            &snapshot,
+            UArchConfig::table1(),
+            CacheConfig::table1(),
+        )
+        .unwrap();
+        warm.run_to_completion().unwrap();
+
+        assert_eq!(warm.stats().cycles, cold_stats.cycles, "{name}");
+        assert_eq!(warm.stats().retired_insts, cold_stats.retired_insts, "{name}");
+        assert!(
+            warm.stats().detailed_insts < cold_stats.detailed_insts,
+            "{name}: warm detailed {} must shrink vs cold {}",
+            warm.stats().detailed_insts,
+            cold_stats.detailed_insts
+        );
+        assert!(
+            warm.stats().detailed_cycles < cold_stats.detailed_cycles,
+            "{name}: warm detailed cycles {} vs cold {}",
+            warm.stats().detailed_cycles,
+            cold_stats.detailed_cycles
+        );
+        assert!(
+            warm.stats().replayed_insts > cold_stats.replayed_insts,
+            "{name}: the missing work moved to replay"
+        );
+        // Cumulative memoization counters continue from the snapshot, so
+        // the no-new-configurations invariant holds here too.
+        assert_eq!(
+            warm.memo_stats().unwrap().static_configs,
+            snapshot.stats().static_configs,
+            "{name}: warm run needs no new configurations"
+        );
+    }
+}
+
+#[test]
+fn one_snapshot_seeds_many_identical_runs() {
+    // A frozen snapshot is immutable: seeding several simulators from the
+    // same snapshot (as the batch driver does, concurrently) leaves its
+    // counts untouched, and every run replays identically.
+    let w = by_name("li").unwrap();
+    let program = w.program_for_insts(50_000);
+    let (cold_stats, snapshot) = cold_run(&program);
+    let (cfgs, nodes) = (snapshot.config_count(), snapshot.node_count());
+
+    let runs: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let (program, snapshot) = (&program, &snapshot);
+                scope.spawn(move || {
+                    let mut sim = Simulator::with_warm_snapshot(
+                        program,
+                        snapshot,
+                        UArchConfig::table1(),
+                        CacheConfig::table1(),
+                    )
+                    .unwrap();
+                    sim.run_to_completion().unwrap();
+                    *sim.stats()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for stats in &runs {
+        assert_eq!(*stats, runs[0], "every replay of the snapshot is identical");
+        assert_eq!(stats.cycles, cold_stats.cycles);
+    }
+    assert_eq!(snapshot.config_count(), cfgs, "snapshot never mutated");
+    assert_eq!(snapshot.node_count(), nodes, "snapshot never mutated");
+}
+
+#[test]
+fn snapshot_rejects_a_different_model() {
+    let w = by_name("go").unwrap();
+    let program = w.program_for_insts(30_000);
+    let (_, snapshot) = cold_run(&program);
+    let mut wide = UArchConfig::table1();
+    wide.fetch_width += 4;
+    match Simulator::with_warm_snapshot(&program, &snapshot, wide, CacheConfig::table1()) {
+        Err(fastsim::core::BuildError::WarmCacheMismatch) => {}
+        Err(e) => panic!("expected WarmCacheMismatch, got {e:?}"),
+        Ok(_) => panic!("a snapshot for a different model must be rejected"),
+    }
 }
 
 #[test]
