@@ -11,7 +11,8 @@ use fastsim_memo::{
     RetireCounts,
 };
 use fastsim_uarch::{
-    decode_config, encode_config, CycleSummary, LoadPoll, Pipeline, PipelineEnv, PipelineState,
+    decode_config, encode_config_into, CycleSummary, LoadPoll, Pipeline, PipelineEnv,
+    PipelineState,
     RecordFeed, RecordInfo, UArchConfig,
 };
 use std::collections::VecDeque;
@@ -583,6 +584,9 @@ pub struct Simulator {
     mode: EngineMode,
     /// Encoded bytes of the last configuration crossed (fallback anchor).
     anchor: Vec<u8>,
+    /// Reusable scratch buffer for per-cycle configuration encoding: the
+    /// hot path never allocates once this reaches steady-state capacity.
+    scratch: Vec<u8>,
     /// Length of the current fast-forward chain.
     chain_len: u64,
     /// Last cycle at which an instruction retired (wedge detection).
@@ -665,6 +669,7 @@ impl Simulator {
             prog,
             mode: EngineMode::Detailed,
             anchor: Vec::new(),
+            scratch: Vec::new(),
             chain_len: 0,
             last_progress: 0,
             fingerprint_of_run: fingerprint(program, &uarch, &cache),
@@ -873,10 +878,10 @@ impl Simulator {
                 return Ok(true);
             }
             if self.shared.interacted && self.shared.pcache.is_some() {
-                let bytes = encode_config(self.pipeline.state(), &self.prog);
+                encode_config_into(&mut self.scratch, self.pipeline.state(), &self.prog);
                 // `pcache` stays Some for the life of a FastSim simulator.
                 let lookup = match &mut self.shared.pcache {
-                    Some(pc) => pc.register_config(&bytes),
+                    Some(pc) => pc.register_config(&self.scratch),
                     None => unreachable!("checked just above"),
                 };
                 match lookup {

@@ -1,9 +1,9 @@
 //! The p-action cache data structure.
 
 use crate::action::{ActionKind, NodeId, OutcomeKey};
+use crate::index::{ConfigIndex, ConfigRef};
 use crate::policy::Policy;
-use std::collections::HashMap;
-use std::sync::Arc;
+use fastsim_hash::hash64;
 
 /// Per-outcome-branch modeled overhead in bytes (key + link).
 pub(crate) const BRANCH_BYTES: usize = 12;
@@ -24,9 +24,10 @@ pub(crate) enum Successors {
 pub(crate) struct Node {
     pub(crate) kind: ActionKind,
     pub(crate) next: Successors,
-    /// If this node is the first action of a configuration, the encoded
-    /// configuration bytes.
-    pub(crate) config: Option<Arc<[u8]>>,
+    /// If this node is the first action of a configuration, where the
+    /// encoded configuration bytes live in the cache's
+    /// [`ConfigIndex`] arena (offset + length + fingerprint).
+    pub(crate) config: Option<ConfigRef>,
     /// Accessed since the last collection (GC liveness, paper §4.3).
     pub(crate) accessed: bool,
     /// Survived at least one minor collection (generational GC).
@@ -126,10 +127,20 @@ impl MemoStats {
 #[derive(Clone, Debug)]
 pub struct PActionCache {
     pub(crate) nodes: Vec<Node>,
-    pub(crate) table: HashMap<Arc<[u8]>, NodeId>,
+    pub(crate) index: ConfigIndex,
     pub(crate) policy: Policy,
     attach: Attach,
-    pending_config: Option<Arc<[u8]>>,
+    /// Fingerprint of a registered-but-not-yet-headed configuration; its
+    /// bytes sit in `pending_bytes`. The fingerprint was computed by the
+    /// miss in [`register_config`](PActionCache::register_config) and is
+    /// reused verbatim by the insert in
+    /// [`record_action`](PActionCache::record_action) — the miss path
+    /// hashes exactly once.
+    pending_fp: Option<u64>,
+    /// Reusable buffer for the pending configuration's bytes (kept out of
+    /// the arena until the head action exists, so flushes can preserve a
+    /// pending configuration while dropping the arena).
+    pending_bytes: Vec<u8>,
     pub(crate) stats: MemoStats,
     /// Number of leading nodes inherited from a
     /// [`CacheSnapshot`](crate::CacheSnapshot) by
@@ -144,10 +155,11 @@ impl PActionCache {
     pub fn new(policy: Policy) -> PActionCache {
         PActionCache {
             nodes: Vec::new(),
-            table: HashMap::new(),
+            index: ConfigIndex::new(),
             policy,
             attach: Attach::None,
-            pending_config: None,
+            pending_fp: None,
+            pending_bytes: Vec::new(),
             stats: MemoStats::default(),
             frozen_base: 0,
         }
@@ -165,7 +177,7 @@ impl PActionCache {
 
     /// Number of configurations currently cached.
     pub fn config_count(&self) -> usize {
-        self.table.len()
+        self.index.len()
     }
 
     /// Number of action nodes currently in the arena (including any that
@@ -188,7 +200,10 @@ impl PActionCache {
     /// a miss, the next action recorded becomes the configuration's first
     /// action. A miss is also when the replacement policy runs.
     pub fn register_config(&mut self, bytes: &[u8]) -> ConfigLookup {
-        if let Some(&head) = self.table.get(bytes) {
+        // The hit path is the simulator's innermost loop: one hash, one
+        // probe sequence, zero allocations.
+        let fp = hash64(bytes);
+        if let Some(head) = self.index.lookup(fp, bytes) {
             self.stats.config_hits += 1;
             self.link_attach(head);
             self.attach = Attach::None;
@@ -197,7 +212,9 @@ impl PActionCache {
         }
         self.stats.config_misses += 1;
         self.enforce_policy();
-        self.pending_config = Some(Arc::from(bytes));
+        self.pending_bytes.clear();
+        self.pending_bytes.extend_from_slice(bytes);
+        self.pending_fp = Some(fp);
         ConfigLookup::Miss
     }
 
@@ -216,10 +233,12 @@ impl PActionCache {
         self.add_bytes(kind.modeled_bytes());
         self.stats.static_actions += 1;
         self.link_attach(id);
-        if let Some(cfg) = self.pending_config.take() {
-            self.nodes[id as usize].config = Some(cfg.clone());
-            self.add_bytes(cfg.len() + CONFIG_OVERHEAD_BYTES);
-            self.table.insert(cfg, id);
+        if let Some(fp) = self.pending_fp.take() {
+            // The fingerprint from the registering miss is reused — the
+            // insert probes but never rehashes the bytes.
+            let cref = self.index.insert(fp, &self.pending_bytes, id);
+            self.nodes[id as usize].config = Some(cref);
+            self.add_bytes(self.pending_bytes.len() + CONFIG_OVERHEAD_BYTES);
             self.stats.static_configs += 1;
         }
         self.attach = match kind {
@@ -286,7 +305,7 @@ impl PActionCache {
     /// If `id` is a configuration's first action, the encoded
     /// configuration bytes.
     pub fn config_at(&self, id: NodeId) -> Option<&[u8]> {
-        self.nodes[id as usize].config.as_deref()
+        self.nodes[id as usize].config.map(|r| self.index.bytes_at(r))
     }
 
     /// Follows the single successor of an outcome-less action, marking the
@@ -351,10 +370,11 @@ impl PActionCache {
     /// Discards the entire cache (the flush-on-full policy's action).
     pub fn flush(&mut self) {
         self.nodes.clear();
-        self.table.clear();
+        self.index.clear();
         self.attach = Attach::None;
         // A pending configuration (registered but head not yet recorded)
-        // stays pending: its first action will re-insert it.
+        // stays pending: its bytes live in `pending_bytes`, outside the
+        // arena, so its first action will insert it into the fresh index.
         self.stats.bytes = 0;
         self.stats.flushes += 1;
         self.frozen_base = 0;
@@ -366,16 +386,14 @@ impl PActionCache {
     /// cut; replay falls back to detailed simulation when it reaches one.
     pub fn collect(&mut self, minor: bool) {
         let scanned = self.stats.bytes;
-        let keep: Vec<bool> = self
-            .nodes
-            .iter()
-            .map(|n| n.accessed || (minor && n.tenured))
-            .collect();
-        let mut forwarding: HashMap<NodeId, NodeId> = HashMap::new();
-        let mut new_nodes = Vec::new();
+        // Node ids are contiguous arena indices, so the forwarding table
+        // is a dense vector — a HashMap here would hash every node id for
+        // nothing.
+        let mut forwarding: Vec<Option<NodeId>> = vec![None; self.nodes.len()];
+        let mut new_nodes: Vec<Node> = Vec::new();
         for (i, node) in self.nodes.iter().enumerate() {
-            if keep[i] {
-                forwarding.insert(i as NodeId, new_nodes.len() as NodeId);
+            if node.accessed || (minor && node.tenured) {
+                forwarding[i] = Some(new_nodes.len() as NodeId);
                 new_nodes.push(node.clone());
             }
         }
@@ -383,11 +401,11 @@ impl PActionCache {
         for node in &mut new_nodes {
             match &mut node.next {
                 Successors::Single(slot) => {
-                    *slot = slot.and_then(|t| forwarding.get(&t).copied());
+                    *slot = slot.and_then(|t| forwarding[t as usize]);
                 }
                 Successors::Multi(branches) => {
-                    branches.retain_mut(|(_, t)| match forwarding.get(t) {
-                        Some(&nt) => {
+                    branches.retain_mut(|(_, t)| match forwarding[*t as usize] {
+                        Some(nt) => {
                             *t = nt;
                             true
                         }
@@ -402,28 +420,33 @@ impl PActionCache {
             node.accessed = false;
             node.tenured = true;
         }
-        let mut new_table = HashMap::new();
-        for node in &mut new_nodes {
-            if let Some(cfg) = &node.config {
-                bytes += cfg.len() + CONFIG_OVERHEAD_BYTES;
+        // Compact the byte arena alongside the nodes: surviving
+        // configurations are copied into a fresh arena (carrying their
+        // stored fingerprints — nothing is rehashed) and dead ones vanish
+        // with the old arena.
+        let old_index = std::mem::take(&mut self.index);
+        let mut new_index = ConfigIndex::new();
+        for (i, node) in new_nodes.iter_mut().enumerate() {
+            if let Some(r) = node.config {
+                node.config =
+                    Some(new_index.insert(r.fp, old_index.bytes_at(r), i as NodeId));
             }
         }
-        for (i, node) in new_nodes.iter().enumerate() {
-            if let Some(cfg) = &node.config {
-                new_table.insert(cfg.clone(), i as NodeId);
-            }
-        }
+        // Modeled configuration bytes come straight from the compacted
+        // arena's occupancy (identical, by construction, to summing the
+        // survivors' lengths).
+        bytes += new_index.arena_bytes() + new_index.len() * CONFIG_OVERHEAD_BYTES;
         self.attach = match std::mem::replace(&mut self.attach, Attach::None) {
             Attach::Next(p) => {
-                forwarding.get(&p).map_or(Attach::None, |&np| Attach::Next(np))
+                forwarding[p as usize].map_or(Attach::None, Attach::Next)
             }
             Attach::Branch(p, k) => {
-                forwarding.get(&p).map_or(Attach::None, |&np| Attach::Branch(np, k))
+                forwarding[p as usize].map_or(Attach::None, |np| Attach::Branch(np, k))
             }
             Attach::None => Attach::None,
         };
         self.nodes = new_nodes;
-        self.table = new_table;
+        self.index = new_index;
         self.frozen_base = 0;
         self.stats.bytes = bytes;
         self.stats.collections += 1;

@@ -25,6 +25,7 @@
 
 mod action;
 mod cache;
+mod index;
 mod policy;
 mod snapshot;
 

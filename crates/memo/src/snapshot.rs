@@ -25,10 +25,10 @@
 
 use crate::action::NodeId;
 use crate::cache::{Node, PActionCache, Successors, BRANCH_BYTES, CONFIG_OVERHEAD_BYTES};
+use crate::index::ConfigIndex;
 use crate::policy::Policy;
 use crate::MemoStats;
 use std::collections::{HashMap, VecDeque};
-use std::sync::Arc;
 
 /// An immutable, shareable copy of a [`PActionCache`]'s replayable state.
 ///
@@ -40,7 +40,7 @@ use std::sync::Arc;
 #[derive(Clone, Debug)]
 pub struct CacheSnapshot {
     pub(crate) nodes: Vec<Node>,
-    pub(crate) table: HashMap<Arc<[u8]>, NodeId>,
+    pub(crate) index: ConfigIndex,
     pub(crate) policy: Policy,
     pub(crate) stats: MemoStats,
     /// The frozen cache's inherited-base length (see
@@ -60,7 +60,7 @@ const _: () = {
 impl CacheSnapshot {
     /// Number of configurations cached at freeze time.
     pub fn config_count(&self) -> usize {
-        self.table.len()
+        self.index.len()
     }
 
     /// Number of action nodes in the frozen arena.
@@ -141,7 +141,7 @@ impl PActionCache {
     pub fn freeze(&self) -> CacheSnapshot {
         CacheSnapshot {
             nodes: self.nodes.clone(),
-            table: self.table.clone(),
+            index: self.index.clone(),
             policy: self.policy,
             stats: self.stats,
             base_len: self.frozen_base,
@@ -156,7 +156,7 @@ impl PActionCache {
     pub fn from_snapshot(snapshot: &CacheSnapshot) -> PActionCache {
         let mut pc = PActionCache::new(snapshot.policy);
         pc.nodes = snapshot.nodes.clone();
-        pc.table = snapshot.table.clone();
+        pc.index = snapshot.index.clone();
         pc.stats = snapshot.stats;
         pc.frozen_base = snapshot.nodes.len();
         pc
@@ -211,8 +211,10 @@ impl PActionCache {
         // the hash table) keeps the merge deterministic.
         let mut roots: Vec<NodeId> = Vec::new();
         for (i, node) in delta.nodes.iter().enumerate() {
-            let Some(cfg) = &node.config else { continue };
-            if let Some(&existing) = self.table.get(cfg) {
+            let Some(r) = node.config else { continue };
+            // The stored fingerprint travels with the key: the master's
+            // lookup never rehashes the delta's bytes.
+            if let Some(existing) = self.index.lookup(r.fp, delta.index.bytes_at(r)) {
                 forwarding.insert(i as NodeId, existing);
                 if i >= base_len {
                     out.configs_deduped += 1;
@@ -281,14 +283,16 @@ impl PActionCache {
                 bytes += b.len() * BRANCH_BYTES;
             }
             // A copied head always carries a new key (existing keys were
-            // resolved to the master's chain in pass 1).
-            let config = src.config.clone();
-            if let Some(cfg) = &config {
-                bytes += cfg.len() + CONFIG_OVERHEAD_BYTES;
-                self.table.insert(cfg.clone(), self.nodes.len() as NodeId);
+            // resolved to the master's chain in pass 1), so this insert
+            // appends the bytes to the master's arena.
+            let new_id = self.nodes.len() as NodeId;
+            let config = src.config.map(|r| {
+                bytes += r.len as usize + CONFIG_OVERHEAD_BYTES;
+                let cref = self.index.insert(r.fp, delta.index.bytes_at(r), new_id);
                 self.stats.static_configs += 1;
                 out.configs_added += 1;
-            }
+                cref
+            });
             self.nodes.push(Node {
                 kind: src.kind,
                 next,

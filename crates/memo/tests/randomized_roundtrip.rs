@@ -1,0 +1,160 @@
+//! Randomized round-trips of the arena-backed configuration index through
+//! the p-action cache's public API: every sequence of record / lookup /
+//! flush / collect / freeze / thaw / merge operations must agree with a
+//! plain reference model, no matter how the byte arena gets compacted or
+//! rebuilt along the way.
+
+use fastsim_memo::{ActionKind, CacheSnapshot, ConfigLookup, PActionCache, Policy, RetireCounts};
+use fastsim_prng::{for_each_case, Rng};
+use std::collections::HashMap;
+
+fn advance(n: u32) -> ActionKind {
+    ActionKind::Advance { cycles: n, retired: RetireCounts::default() }
+}
+
+/// Draws a key from a small universe so hits, misses and re-learns all
+/// occur. Lengths vary so arena offsets are irregular.
+fn key(rng: &mut Rng) -> Vec<u8> {
+    let id = rng.range_u32(0..48);
+    let mut k = vec![0x10 | (id % 5) as u8; (id as usize % 7) + 1];
+    k.extend_from_slice(&id.to_le_bytes());
+    k
+}
+
+/// Records a one-action chain (`advance(cycles)` then `Finish`) for a key
+/// the cache just missed.
+fn record(pc: &mut PActionCache, cycles: u32) {
+    pc.record_action(advance(cycles));
+    pc.record_action(ActionKind::Finish);
+}
+
+#[derive(Clone, Copy)]
+struct Entry {
+    cycles: u32,
+    accessed: bool,
+    tenured: bool,
+}
+
+/// Interleaves lookups, records, flushes and both collection flavours,
+/// mirroring them against a reference model of the configuration table.
+/// The model tracks the `accessed`/`tenured` bits that decide collection
+/// survival, so the assertions are exact, not merely consistent.
+#[test]
+fn random_record_flush_collect_round_trip() {
+    for_each_case(0x0a11_0cf0_0d01, 192, |seed, rng| {
+        let mut pc = PActionCache::new(Policy::Unbounded);
+        let mut model: HashMap<Vec<u8>, Entry> = HashMap::new();
+        for step in 0..rng.range_usize(20..160) {
+            match rng.range_u32(0..20) {
+                0 => {
+                    pc.flush();
+                    model.clear();
+                }
+                1 | 2 => {
+                    let minor = rng.next_bool();
+                    pc.collect(minor);
+                    model.retain(|_, e| e.accessed || (minor && e.tenured));
+                    for e in model.values_mut() {
+                        e.accessed = false;
+                        e.tenured = true;
+                    }
+                }
+                _ => {
+                    let k = key(rng);
+                    match pc.register_config(&k) {
+                        ConfigLookup::Hit(id) => {
+                            let e = model.get_mut(&k).unwrap_or_else(|| {
+                                panic!("seed {seed:#x} step {step}: hit on unknown key")
+                            });
+                            assert_eq!(pc.kind(id), advance(e.cycles), "seed {seed:#x}");
+                            assert_eq!(pc.config_at(id), Some(&k[..]), "seed {seed:#x}");
+                            e.accessed = true;
+                        }
+                        ConfigLookup::Miss => {
+                            assert!(
+                                !model.contains_key(&k),
+                                "seed {seed:#x} step {step}: missed a cached key"
+                            );
+                            let cycles = rng.range_u32(1..100);
+                            record(&mut pc, cycles);
+                            model.insert(k, Entry { cycles, accessed: true, tenured: false });
+                        }
+                    }
+                }
+            }
+            assert_eq!(pc.config_count(), model.len(), "seed {seed:#x} step {step}");
+        }
+        // Final sweep: the cache holds exactly the model, bytes intact.
+        for (k, e) in &model {
+            match pc.register_config(k) {
+                ConfigLookup::Hit(id) => {
+                    assert_eq!(pc.kind(id), advance(e.cycles), "seed {seed:#x}")
+                }
+                ConfigLookup::Miss => panic!("seed {seed:#x}: lost key {k:?}"),
+            }
+        }
+    });
+}
+
+/// Freeze → thaw → record → merge, with several workers over overlapping
+/// key universes: the merged master must hold the master's keys unchanged
+/// and, for keys learned by workers, the first merged writer's chain —
+/// and merging every delta a second time must change nothing.
+#[test]
+fn random_freeze_thaw_merge_round_trip() {
+    for_each_case(0x5eed_4e11, 128, |seed, rng| {
+        let mut master = PActionCache::new(Policy::Unbounded);
+        let mut model: HashMap<Vec<u8>, u32> = HashMap::new();
+        for _ in 0..rng.range_usize(0..12) {
+            let k = key(rng);
+            if let ConfigLookup::Miss = master.register_config(&k) {
+                let cycles = rng.range_u32(1..100);
+                record(&mut master, cycles);
+                model.insert(k, cycles);
+            }
+        }
+        let snap = master.freeze();
+
+        let mut deltas: Vec<CacheSnapshot> = Vec::new();
+        let mut learned: Vec<HashMap<Vec<u8>, u32>> = Vec::new();
+        for _ in 0..rng.range_usize(1..4) {
+            let mut w = PActionCache::from_snapshot(&snap);
+            let mut mine = HashMap::new();
+            for _ in 0..rng.range_usize(1..16) {
+                let k = key(rng);
+                if let ConfigLookup::Miss = w.register_config(&k) {
+                    let cycles = rng.range_u32(100..200);
+                    record(&mut w, cycles);
+                    mine.insert(k, cycles);
+                }
+            }
+            deltas.push(w.freeze());
+            learned.push(mine);
+        }
+
+        // First merged writer wins on every key the master lacked.
+        for (delta, mine) in deltas.iter().zip(&learned) {
+            master.merge_from(delta);
+            for (k, cycles) in mine {
+                model.entry(k.clone()).or_insert(*cycles);
+            }
+        }
+        assert_eq!(master.config_count(), model.len(), "seed {seed:#x}");
+        for (k, cycles) in &model {
+            match master.register_config(k) {
+                ConfigLookup::Hit(id) => {
+                    assert_eq!(master.kind(id), advance(*cycles), "seed {seed:#x} key {k:?}")
+                }
+                ConfigLookup::Miss => panic!("seed {seed:#x}: merged key {k:?} lost"),
+            }
+        }
+        // Idempotence: re-merging all deltas copies nothing.
+        let before = master.freeze();
+        for delta in &deltas {
+            assert!(master.merge_from(delta).is_noop(), "seed {seed:#x}");
+        }
+        assert_eq!(master.config_count(), before.config_count(), "seed {seed:#x}");
+        assert_eq!(master.node_count(), before.node_count(), "seed {seed:#x}");
+        assert_eq!(master.stats(), before.stats(), "seed {seed:#x}");
+    });
+}

@@ -83,26 +83,41 @@ fn unpack12(v: u16) -> (u8, u32, bool, bool) {
 
 /// Encodes a pipeline state into the compressed configuration bytes.
 ///
+/// Allocates a fresh buffer per call; the engine's per-cycle hot path
+/// uses [`encode_config_into`] with a reusable scratch buffer instead.
+///
 /// # Panics
 ///
 /// Panics (debug builds) if a stage counter exceeds [`MAX_STAGE_COUNT`];
 /// the pipeline clamps counters at that bound, so this indicates a bug.
 pub fn encode_config(state: &PipelineState, prog: &DecodedProgram) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_config_into(&mut out, state, prog);
+    out
+}
+
+/// Encodes a pipeline state into `out`, clearing it first. Byte-for-byte
+/// identical to [`encode_config`], but allocation-free once `out` has
+/// grown to the largest configuration seen: the engine owns one scratch
+/// buffer and encodes every interaction cycle's configuration into it.
+///
+/// # Panics
+///
+/// Panics (debug builds) if a stage counter exceeds [`MAX_STAGE_COUNT`];
+/// the pipeline clamps counters at that bound, so this indicates a bug.
+pub fn encode_config_into(out: &mut Vec<u8>, state: &PipelineState, prog: &DecodedProgram) {
+    let is_indirect = |e: &IqEntry| {
+        prog.fetch(e.addr).is_some_and(|inst| inst.exec_class() == ExecClass::JumpInd)
+    };
     let n = state.iq.len();
-    let mut indirect_targets = Vec::new();
-    for e in &state.iq {
-        if let Some(inst) = prog.fetch(e.addr) {
-            if inst.exec_class() == ExecClass::JumpInd {
-                indirect_targets.push(e.target);
-            }
-        }
-    }
-    let mut out = Vec::with_capacity(encoded_size(n, indirect_targets.len()));
+    let n_ind = state.iq.iter().filter(|e| is_indirect(e)).count();
+    out.clear();
+    out.reserve(encoded_size(n, n_ind));
     out.extend_from_slice(&state.fetch.to_bits().to_le_bytes());
     let oldest = state.iq.first().map_or(0, |e| e.addr);
     out.extend_from_slice(&oldest.to_le_bytes());
     out.extend_from_slice(&(n as u16).to_le_bytes());
-    out.push(indirect_targets.len() as u8);
+    out.push(n_ind as u8);
     out.extend_from_slice(&[0u8; 5]); // reserved; keeps the 16-byte header
     debug_assert_eq!(out.len(), 16);
     // Pack 12-bit entry states, two per 3 bytes.
@@ -118,10 +133,9 @@ pub fn encode_config(state: &PipelineState, prog: &DecodedProgram) -> Vec<u8> {
         }
         i += 2;
     }
-    for t in indirect_targets {
-        out.extend_from_slice(&t.to_le_bytes());
+    for e in state.iq.iter().filter(|e| is_indirect(e)) {
+        out.extend_from_slice(&e.target.to_le_bytes());
     }
-    out
 }
 
 /// Decodes configuration bytes back into a pipeline state, reconstructing
@@ -281,6 +295,35 @@ mod tests {
         // the text's 1.5-byte packing gives 33.)
         assert_eq!(encoded_size(11, 0), 33);
         assert_eq!(encoded_size(4, 2), 16 + 6 + 8);
+    }
+
+    #[test]
+    fn scratch_buffer_reuse_matches_fresh_encoding() {
+        // One buffer across states of different sizes (including shrinking
+        // back down) always produces exactly encode_config's bytes.
+        let prog = program();
+        let mut big = PipelineState::at_entry(0x100c);
+        big.iq.push(IqEntry { addr: 0x1004, state: IqState::Done, ..IqEntry::fetched(0) });
+        big.iq.push(IqEntry {
+            addr: 0x1008,
+            state: IqState::CacheWait { left: 3 },
+            ..IqEntry::fetched(0)
+        });
+        let small = PipelineState::at_entry(0x1000);
+        let mut ind = PipelineState::at_entry(0x2000);
+        ind.iq.push(IqEntry {
+            addr: 0x1018,
+            state: IqState::Exec { left: 1 },
+            taken: true,
+            mispredicted: false,
+            target: 0x1020,
+        });
+        let mut scratch = Vec::new();
+        for st in [&big, &small, &ind, &big, &small] {
+            encode_config_into(&mut scratch, st, &prog);
+            assert_eq!(scratch, encode_config(st, &prog));
+            assert_eq!(decode_config(&scratch, &prog).unwrap(), *st);
+        }
     }
 
     #[test]

@@ -33,7 +33,9 @@ mod iq;
 mod pipeline;
 
 pub use config::{IssueModel, UArchConfig};
-pub use encode::{decode_config, encode_config, encoded_size, ConfigDecodeError};
+pub use encode::{
+    decode_config, encode_config, encode_config_into, encoded_size, ConfigDecodeError,
+};
 pub use iq::{FetchPc, IqEntry, IqState, PipelineState, QueueClass};
 pub use pipeline::{
     CycleSummary, LoadPoll, Pipeline, PipelineEnv, RecordFeed, RecordInfo,

@@ -14,4 +14,24 @@ cargo test --workspace -q
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> bench smoke: memo_hotpath on a tiny workload"
+# A fast schema check, not a measurement: run the trajectory benchmark on
+# one small workload and validate that the JSON it writes carries every
+# key the recorded BENCH_memo.json trajectory depends on.
+SMOKE_OUT="target/bench_memo_smoke.json"
+cargo run --release -q -p fastsim-bench --bin memo_hotpath -- \
+    --insts 20000 --filter compress --out "$SMOKE_OUT"
+for key in '"schema": "fastsim-memo-hotpath/v1"' \
+    '"insts_per_workload"' '"debug_build"' '"workloads"' \
+    '"configs_per_sec"' '"encode_ns_per_config"' '"hit_rate"' \
+    '"ff_speedup"' '"slow_ms"' '"cold_ms"' '"warm_ms"' '"summary"' \
+    '"configs_per_sec_geomean"' '"encode_ns_per_config_geomean"' \
+    '"hit_rate_mean"' '"ff_speedup_geomean"'; do
+    grep -qF "$key" "$SMOKE_OUT" || {
+        echo "bench smoke: missing $key in $SMOKE_OUT" >&2
+        exit 1
+    }
+done
+echo "==> bench smoke passed ($SMOKE_OUT)"
+
 echo "==> tier-1 gate passed"

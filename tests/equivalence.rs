@@ -6,9 +6,9 @@
 //! SimpleScalar-like baseline simulator.
 
 use fastsim::baseline::BaselineSim;
-use fastsim::core::{Mode, Simulator};
+use fastsim::core::{Mode, Policy, Simulator};
 use fastsim::emu::FuncEmulator;
-use fastsim::workloads::all;
+use fastsim::workloads::{all, by_name};
 use std::rc::Rc;
 
 const TARGET_INSTS: u64 = 30_000;
@@ -85,6 +85,54 @@ fn fastsim_replays_the_vast_majority_of_instructions() {
             s.replayed_insts,
             s.detailed_insts
         );
+    }
+}
+
+#[test]
+fn every_replacement_policy_is_exact_and_bit_identical() {
+    // Two properties per bounded policy, on workloads small enough to be
+    // fast but big enough to overflow an 8 KiB cache and exercise the
+    // flush / GC / generational paths through the arena-backed index:
+    //
+    // 1. *exact*: cycle and retirement counts equal detailed simulation;
+    // 2. *bit-identical*: running the same configuration twice yields
+    //    byte-for-byte equal `SimStats` AND `MemoStats` — the arena, the
+    //    fingerprint table and the compaction passes are deterministic.
+    let policies = [
+        Policy::FlushOnFull { limit: 8 << 10 },
+        Policy::CopyingGc { limit: 8 << 10 },
+        Policy::GenerationalGc { limit: 8 << 10 },
+    ];
+    for name in ["compress", "gcc", "mgrid"] {
+        let w = by_name(name).expect("workload exists");
+        let program = w.program_for_insts(60_000);
+        let mut slow = Simulator::new(&program, Mode::Slow).expect(name);
+        slow.run_to_completion().expect(name);
+        for policy in policies {
+            let run = || {
+                let mut sim = Simulator::new(&program, Mode::Fast { policy }).expect(name);
+                sim.run_to_completion().expect(name);
+                let memo = *sim.memo_stats().expect("fast mode has memo stats");
+                (*sim.stats(), memo)
+            };
+            let (s1, m1) = run();
+            let (s2, m2) = run();
+            assert_eq!(s1, s2, "{name}/{policy:?}: SimStats must be bit-identical");
+            assert_eq!(m1, m2, "{name}/{policy:?}: MemoStats must be bit-identical");
+            assert_eq!(s1.cycles, slow.stats().cycles, "{name}/{policy:?}");
+            assert_eq!(s1.retired_insts, slow.stats().retired_insts, "{name}/{policy:?}");
+            assert_eq!(s1.retired_loads, slow.stats().retired_loads, "{name}/{policy:?}");
+            assert_eq!(s1.retired_stores, slow.stats().retired_stores, "{name}/{policy:?}");
+            assert_eq!(
+                s1.retired_branches,
+                slow.stats().retired_branches,
+                "{name}/{policy:?}"
+            );
+            assert!(
+                m1.flushes + m1.collections > 0,
+                "{name}/{policy:?}: the 8 KiB limit must actually engage"
+            );
+        }
     }
 }
 

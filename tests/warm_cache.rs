@@ -147,6 +147,44 @@ fn warm_snapshot_strictly_reduces_detailed_simulation() {
 }
 
 #[test]
+fn warm_restart_is_bit_identical_under_every_policy() {
+    // The warm-start path through freeze/thaw must stay deterministic for
+    // every bounded policy: two runs thawed from the same snapshot agree
+    // byte-for-byte on SimStats and MemoStats (arena layout, fingerprint
+    // table and GC compaction included), and both match the cold cycles.
+    let policies = [
+        Policy::FlushOnFull { limit: 8 << 10 },
+        Policy::CopyingGc { limit: 8 << 10 },
+        Policy::GenerationalGc { limit: 8 << 10 },
+    ];
+    let w = by_name("li").unwrap();
+    let program = w.program_for_insts(50_000);
+    for policy in policies {
+        let mut cold = Simulator::new(&program, Mode::Fast { policy }).unwrap();
+        cold.run_to_completion().unwrap();
+        let cold_cycles = cold.stats().cycles;
+        let snapshot = cold.take_warm_cache().unwrap().freeze();
+        let run = || {
+            let mut warm = Simulator::with_warm_snapshot(
+                &program,
+                &snapshot,
+                UArchConfig::table1(),
+                CacheConfig::table1(),
+            )
+            .unwrap();
+            warm.run_to_completion().unwrap();
+            let memo = *warm.memo_stats().unwrap();
+            (*warm.stats(), memo)
+        };
+        let (s1, m1) = run();
+        let (s2, m2) = run();
+        assert_eq!(s1, s2, "{policy:?}: SimStats must be bit-identical");
+        assert_eq!(m1, m2, "{policy:?}: MemoStats must be bit-identical");
+        assert_eq!(s1.cycles, cold_cycles, "{policy:?}: warm replay stays exact");
+    }
+}
+
+#[test]
 fn one_snapshot_seeds_many_identical_runs() {
     // A frozen snapshot is immutable: seeding several simulators from the
     // same snapshot (as the batch driver does, concurrently) leaves its
