@@ -74,18 +74,20 @@ fn main() {
             report.gc_survival_rate() * 100.0,
         );
         println!(
-            "{:<18} {:>10} {:>10} {:>8} {:>10} {:>10}",
-            "job", "cycles", "insts", "hit%", "cfgs+", "dedup"
+            "{:<18} {:>10} {:>10} {:>8} {:>10} {:>10} {:>9} {:>9}",
+            "job", "cycles", "insts", "hit%", "cfgs+", "dedup", "segments", "bailouts"
         );
         for j in &report.jobs {
             println!(
-                "{:<18} {:>10} {:>10} {:>7.1}% {:>10} {:>10}",
+                "{:<18} {:>10} {:>10} {:>7.1}% {:>10} {:>10} {:>9} {:>9}",
                 j.name,
                 j.stats.cycles,
                 j.stats.retired_insts,
                 j.hit_rate() * 100.0,
                 j.merge.configs_added,
                 j.merge.configs_deduped,
+                j.memo.replay_segments_entered,
+                j.memo.replay_bailouts,
             );
         }
         let merged = report.merged();

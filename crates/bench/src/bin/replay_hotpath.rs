@@ -1,0 +1,435 @@
+//! `replay_hotpath` — node-by-node vs. trace-compiled replay throughput.
+//!
+//! PR 2 made configuration *lookup* cheap; this benchmark measures the
+//! other half of warm-run cost: *replaying* the memoized action chains.
+//! It compares the two replay execution strategies on every workload:
+//!
+//! * **node** — node-at-a-time chain walking (trace compilation disabled
+//!   via `hotness = u32::MAX`): per action, a `kind` fetch, an
+//!   `ActionKind` match and a successor lookup;
+//! * **trace** — trace-compiled segments (`hotness = 0`): hot chains
+//!   flattened into linear op arrays, advance runs pre-aggregated,
+//!   outcome dispatches inlined on their hot edge.
+//!
+//! Two measurements per workload:
+//!
+//! * `nav_*` — the replay *navigation* microbench: both strategies walk
+//!   the exact chains recorded from the workload (hot-edge path),
+//!   performing the engine's per-action cache work (accessed marking,
+//!   anchor reads, successor resolution / op scanning) with the
+//!   environment factored out. This isolates what trace compilation
+//!   accelerates; `nav_speedup` is the headline replay-throughput ratio.
+//! * `warm_*` — end-to-end warm runs (emulator + cache simulator
+//!   included), with `SimStats` asserted bit-identical between the two
+//!   strategies on every workload.
+//!
+//! Writes `BENCH_replay.json`. Usage:
+//! `replay_hotpath [--insts N] [--filter SUBSTR] [--out PATH]`.
+
+use fastsim_core::{CacheConfig, Mode, SimStats, Simulator, UArchConfig, WarmCacheSnapshot};
+use fastsim_isa::Program;
+use fastsim_memo::{
+    ActionKind, PActionCache, Touched, TraceOp, TraceSegment, DEFAULT_HOTNESS_THRESHOLD,
+};
+use fastsim_workloads::Workload;
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Timing samples per measurement (median reported).
+const SAMPLES: usize = 7;
+/// Logical actions walked per navigation sample.
+const NAV_ACTIONS: u64 = 2_000_000;
+
+struct Args {
+    insts: u64,
+    filter: Option<String>,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args { insts: 200_000, filter: None, out: "BENCH_replay.json".into() };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--insts" => {
+                parsed.insts = args
+                    .next()
+                    .and_then(|v| v.replace('_', "").parse().ok())
+                    .unwrap_or_else(|| panic!("--insts needs a number"));
+            }
+            "--filter" => parsed.filter = args.next(),
+            "--out" => parsed.out = args.next().expect("--out needs a path"),
+            other => panic!("unknown argument `{other}` (expected --insts/--filter/--out)"),
+        }
+    }
+    parsed
+}
+
+struct Row {
+    name: String,
+    nav_node_aps: f64,
+    nav_trace_aps: f64,
+    nav_speedup: f64,
+    warm_node_ms: f64,
+    warm_trace_ms: f64,
+    warm_speedup: f64,
+    replayed_actions: u64,
+    segments_entered: u64,
+    segments_compiled: u64,
+    bailouts: u64,
+    trace_ops: u64,
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    xs[xs.len() / 2]
+}
+
+fn geomean(xs: impl Iterator<Item = f64>, n: usize) -> f64 {
+    (xs.map(|x| x.max(1e-12).ln()).sum::<f64>() / n.max(1) as f64).exp()
+}
+
+/// First configuration head whose chain compiles to a trace segment.
+fn primary_head(pc: &mut PActionCache) -> (u32, Arc<TraceSegment>) {
+    for id in 0..pc.node_count() as u32 {
+        if pc.is_config_head(id) {
+            if let Some(seg) = pc.trace_enter(id) {
+                return (id, seg);
+            }
+        }
+    }
+    panic!("no compilable chain in the recorded cache");
+}
+
+/// Node-at-a-time navigation: the engine's per-action cache work (config
+/// check, kind fetch, match, successor resolution with accessed marking),
+/// hot-edge path, environment factored out. Returns actions/sec.
+fn nav_node(pc: &mut PActionCache, start: u32) -> f64 {
+    let samples: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let mut cur = start;
+            let mut actions = 0u64;
+            let mut cycles = 0u64;
+            let mut anchor: Vec<u8> = Vec::new();
+            let began = Instant::now();
+            while actions < NAV_ACTIONS {
+                // Crossing bookkeeping: node-at-a-time replay copies the
+                // configuration bytes into the fallback anchor at every
+                // crossing.
+                if pc.is_config_head(cur) {
+                    let cfg = pc.config_at(cur).expect("config head");
+                    anchor.clear();
+                    anchor.extend_from_slice(cfg);
+                }
+                actions += 1;
+                match pc.kind(cur) {
+                    ActionKind::Advance { cycles: c, .. } => {
+                        cycles += u64::from(c);
+                        cur = pc.advance(cur).unwrap_or(start);
+                    }
+                    ActionKind::IssueStore { .. }
+                    | ActionKind::CancelLoad { .. }
+                    | ActionKind::Rollback { .. } => {
+                        cur = pc.advance(cur).unwrap_or(start);
+                    }
+                    ActionKind::FetchRecord
+                    | ActionKind::IssueLoad { .. }
+                    | ActionKind::PollLoad { .. } => {
+                        let edges = pc.outcome_edges(cur);
+                        cur = match edges.first() {
+                            Some(&(key, _)) => pc.branch_to(cur, key).expect("hot edge"),
+                            None => start,
+                        };
+                    }
+                    ActionKind::Finish => cur = start,
+                }
+            }
+            black_box((cycles, &anchor));
+            actions as f64 / began.elapsed().as_secs_f64()
+        })
+        .collect();
+    median(samples)
+}
+
+/// Trace-compiled navigation: the segment executor's cache work (linear
+/// op scan, bulk-aggregated marking, inline hot dispatch), environment
+/// factored out. Returns actions/sec.
+fn nav_trace(pc: &mut PActionCache, seg0: &Arc<TraceSegment>) -> f64 {
+    let samples: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let mut seg = Arc::clone(seg0);
+            let mut ip = 0usize;
+            let mut actions = 0u64;
+            let mut cycles = 0u64;
+            let mut anchor: Vec<u8> = Vec::new();
+            // The anchor-bytes copy is deferred to segment exit, exactly
+            // as the engine's segment executor defers it.
+            let mut last_anchor = 0u32;
+            let began = Instant::now();
+            while actions < NAV_ACTIONS {
+                match &seg.ops[ip] {
+                    TraceOp::Bulk { cycles: c, count, touched, anchored, .. } => {
+                        match *touched {
+                            Touched::Span(first) => {
+                                if *anchored {
+                                    last_anchor = first;
+                                }
+                                pc.mark_accessed_span(first, *count)
+                            }
+                            Touched::List(start, len) => {
+                                if *anchored {
+                                    last_anchor = seg.touched[start as usize];
+                                }
+                                for &t in seg.touched_slice((start, len)) {
+                                    pc.mark_accessed(t);
+                                }
+                            }
+                        }
+                        cycles += u64::from(*c);
+                        actions += u64::from(*count);
+                        ip += 1;
+                    }
+                    TraceOp::IssueStore { node, anchored, .. }
+                    | TraceOp::CancelLoad { node, anchored, .. }
+                    | TraceOp::Rollback { node, anchored, .. } => {
+                        if *anchored {
+                            last_anchor = *node;
+                        }
+                        pc.mark_accessed(*node);
+                        actions += 1;
+                        ip += 1;
+                    }
+                    TraceOp::Fetch { node, edges, anchored }
+                    | TraceOp::IssueLoad { node, edges, anchored, .. }
+                    | TraceOp::PollLoad { node, edges, anchored, .. } => {
+                        if *anchored {
+                            last_anchor = *node;
+                        }
+                        pc.mark_accessed(*node);
+                        actions += 1;
+                        black_box(&edges[0]);
+                        ip += 1;
+                    }
+                    TraceOp::Finish { node, anchored } => {
+                        if *anchored {
+                            last_anchor = *node;
+                        }
+                        pc.mark_accessed(*node);
+                        actions += 1;
+                        let cfg = pc.config_at(last_anchor).expect("anchor");
+                        anchor.clear();
+                        anchor.extend_from_slice(cfg);
+                        seg = Arc::clone(seg0);
+                        ip = 0;
+                    }
+                    TraceOp::Cut { node } => {
+                        let node = *node;
+                        let cfg = pc.config_at(last_anchor).expect("anchor");
+                        anchor.clear();
+                        anchor.extend_from_slice(cfg);
+                        seg = if pc.is_config_head(node) {
+                            pc.trace_enter(node).unwrap_or_else(|| Arc::clone(seg0))
+                        } else {
+                            Arc::clone(seg0)
+                        };
+                        ip = 0;
+                    }
+                    TraceOp::Jump { op, .. } => ip = *op as usize,
+                }
+            }
+            black_box((cycles, &anchor));
+            actions as f64 / began.elapsed().as_secs_f64()
+        })
+        .collect();
+    median(samples)
+}
+
+/// One warm run at the given hotness threshold. Only the simulation loop
+/// is timed — simulator construction (the arena thaw) is identical in
+/// both modes and would just add noise.
+fn warm_run(program: &Program, snap: &WarmCacheSnapshot, hotness: u32) -> (f64, Simulator) {
+    let mut sim = Simulator::with_warm_snapshot(
+        program,
+        snap,
+        UArchConfig::table1(),
+        CacheConfig::table1(),
+    )
+    .expect("warm builds");
+    sim.set_trace_hotness(hotness);
+    let began = Instant::now();
+    sim.run_to_completion().expect("warm completes");
+    (began.elapsed().as_secs_f64(), sim)
+}
+
+fn run_workload(w: &Workload, insts: u64) -> Row {
+    let program = w.program_for_insts(insts);
+
+    // Record the chains once, trace-free, and freeze them.
+    let mut cold = Simulator::new(&program, Mode::fast()).expect("fast builds");
+    cold.set_trace_hotness(u32::MAX);
+    cold.run_to_completion().expect("cold completes");
+    let snap = cold.take_warm_cache().expect("fast mode").freeze();
+
+    // Navigation microbench over the recorded chains.
+    let mut node_pc = PActionCache::from_snapshot(snap.cache());
+    node_pc.set_hotness_threshold(u32::MAX);
+    let mut trace_pc = PActionCache::from_snapshot(snap.cache());
+    trace_pc.set_hotness_threshold(0);
+    let (start, seg0) = primary_head(&mut trace_pc);
+    if std::env::var_os("REPLAY_HOTPATH_DEBUG").is_some() {
+        let mut hist = std::collections::BTreeMap::new();
+        for op in &seg0.ops {
+            let k = match op {
+                TraceOp::Bulk { count, .. } => {
+                    *hist.entry("bulk_actions").or_insert(0u64) += u64::from(*count);
+                    "bulk"
+                }
+                TraceOp::IssueStore { .. } => "store",
+                TraceOp::CancelLoad { .. } => "cancel",
+                TraceOp::Rollback { .. } => "rollback",
+                TraceOp::Fetch { .. } => "fetch",
+                TraceOp::IssueLoad { .. } => "load",
+                TraceOp::PollLoad { .. } => "poll",
+                TraceOp::Finish { .. } => "finish",
+                TraceOp::Cut { .. } => "cut",
+                TraceOp::Jump { .. } => "jump",
+            };
+            *hist.entry(k).or_insert(0) += 1;
+        }
+        eprintln!(
+            "[debug] {}: seg0 ops={} logical={} hist={:?} op_size={}B",
+            w.name,
+            seg0.ops.len(),
+            seg0.logical_actions(),
+            hist,
+            std::mem::size_of::<TraceOp>(),
+        );
+    }
+    let nav_node_aps = nav_node(&mut node_pc, start);
+    let nav_trace_aps = nav_trace(&mut trace_pc, &seg0);
+
+    // End-to-end warm runs, both strategies, SimStats asserted identical.
+    let mut node_stats: Option<SimStats> = None;
+    let mut trace_stats: Option<SimStats> = None;
+    let mut node_times = Vec::new();
+    let mut trace_times = Vec::new();
+    let mut memo = None;
+    for _ in 0..SAMPLES {
+        let (t, sim) = warm_run(&program, &snap, u32::MAX);
+        node_times.push(t * 1e3);
+        node_stats = Some(*sim.stats());
+        let (t, sim) = warm_run(&program, &snap, DEFAULT_HOTNESS_THRESHOLD);
+        trace_times.push(t * 1e3);
+        trace_stats = Some(*sim.stats());
+        memo = Some(*sim.memo_stats().expect("fast mode"));
+    }
+    let (node_stats, trace_stats) = (node_stats.unwrap(), trace_stats.unwrap());
+    assert_eq!(
+        trace_stats, node_stats,
+        "{}: trace-compiled warm run must be bit-identical",
+        w.name
+    );
+    let memo = memo.unwrap();
+    let warm_node_ms = median(node_times);
+    let warm_trace_ms = median(trace_times);
+
+    Row {
+        name: w.name.to_string(),
+        nav_node_aps,
+        nav_trace_aps,
+        nav_speedup: nav_trace_aps / nav_node_aps.max(1e-12),
+        warm_node_ms,
+        warm_trace_ms,
+        warm_speedup: warm_node_ms / warm_trace_ms.max(1e-12),
+        replayed_actions: node_stats.replayed_actions,
+        segments_entered: memo.replay_segments_entered,
+        segments_compiled: memo.trace_segments_compiled,
+        bailouts: memo.replay_bailouts,
+        trace_ops: memo.replay_trace_ops,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let workloads: Vec<Workload> = fastsim_workloads::all()
+        .into_iter()
+        .filter(|w| args.filter.as_deref().is_none_or(|f| w.name.contains(f)))
+        .collect();
+    assert!(!workloads.is_empty(), "filter matched no workloads");
+
+    println!();
+    println!("=== replay_hotpath: node-by-node vs trace-compiled replay ===");
+    println!("target insts/workload: {}{}", args.insts, if cfg!(debug_assertions) {
+        "  [WARNING: debug build — times are not meaningful]"
+    } else {
+        ""
+    });
+    println!();
+    println!(
+        "{:<14} {:>13} {:>13} {:>8} {:>10} {:>10} {:>8} {:>9} {:>9}",
+        "workload", "nav node/s", "nav trace/s", "nav x", "node ms", "trace ms", "warm x",
+        "segments", "compiled"
+    );
+
+    let rows: Vec<Row> = workloads
+        .iter()
+        .map(|w| {
+            let r = run_workload(w, args.insts);
+            println!(
+                "{:<14} {:>13.0} {:>13.0} {:>8.2} {:>10.1} {:>10.1} {:>8.2} {:>9} {:>9}",
+                r.name, r.nav_node_aps, r.nav_trace_aps, r.nav_speedup, r.warm_node_ms,
+                r.warm_trace_ms, r.warm_speedup, r.segments_entered, r.segments_compiled
+            );
+            r
+        })
+        .collect();
+
+    let n = rows.len();
+    let nav_node_g = geomean(rows.iter().map(|r| r.nav_node_aps), n);
+    let nav_trace_g = geomean(rows.iter().map(|r| r.nav_trace_aps), n);
+    let nav_speedup_g = geomean(rows.iter().map(|r| r.nav_speedup), n);
+    let warm_speedup_g = geomean(rows.iter().map(|r| r.warm_speedup), n);
+    println!();
+    println!(
+        "geomean replay nav {:.0} -> {:.0} actions/s ({:.2}x)   geomean warm end-to-end {:.2}x",
+        nav_node_g, nav_trace_g, nav_speedup_g, warm_speedup_g
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"schema\": \"fastsim-replay-hotpath/v1\",");
+    let _ = writeln!(json, "  \"insts_per_workload\": {},", args.insts);
+    let _ = writeln!(json, "  \"debug_build\": {},", cfg!(debug_assertions));
+    json.push_str("  \"workloads\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"nav_node_actions_per_sec\": {:.1}, \"nav_trace_actions_per_sec\": {:.1}, \"nav_speedup\": {:.3}, \"warm_node_ms\": {:.2}, \"warm_trace_ms\": {:.2}, \"warm_speedup\": {:.3}, \"replayed_actions\": {}, \"segments_entered\": {}, \"segments_compiled\": {}, \"bailouts\": {}, \"trace_ops\": {}, \"stats_identical\": true}}{}",
+            r.name,
+            r.nav_node_aps,
+            r.nav_trace_aps,
+            r.nav_speedup,
+            r.warm_node_ms,
+            r.warm_trace_ms,
+            r.warm_speedup,
+            r.replayed_actions,
+            r.segments_entered,
+            r.segments_compiled,
+            r.bailouts,
+            r.trace_ops,
+            if i + 1 == rows.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"summary\": {\n");
+    let _ = writeln!(json, "    \"workloads\": {},", n);
+    let _ = writeln!(json, "    \"nav_node_actions_per_sec_geomean\": {:.1},", nav_node_g);
+    let _ = writeln!(json, "    \"nav_trace_actions_per_sec_geomean\": {:.1},", nav_trace_g);
+    let _ = writeln!(json, "    \"replay_throughput_speedup_geomean\": {:.3},", nav_speedup_g);
+    let _ = writeln!(json, "    \"warm_speedup_geomean\": {:.3}", warm_speedup_g);
+    json.push_str("  }\n}\n");
+    std::fs::write(&args.out, json).expect("write trajectory file");
+    println!("wrote {}", args.out);
+}

@@ -53,7 +53,9 @@ use crate::error::{BuildError, SimError};
 use crate::stats::SimStats;
 use fastsim_isa::Program;
 use fastsim_mem::{CacheConfig, CacheStats};
-use fastsim_memo::{CacheSnapshot, MemoStats, MergeOutcome, PActionCache, Policy};
+use fastsim_memo::{
+    CacheSnapshot, MemoStats, MergeOutcome, PActionCache, Policy, DEFAULT_HOTNESS_THRESHOLD,
+};
 use fastsim_uarch::UArchConfig;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -75,6 +77,10 @@ pub struct BatchJob {
     /// share one master cache whose policy is fixed by the first job seen
     /// for that group.
     pub policy: Policy,
+    /// Trace-compilation hotness threshold for this job's private working
+    /// cache (`u32::MAX` disables trace-compiled replay; traces are never
+    /// carried into the shared master).
+    pub trace_hotness: u32,
 }
 
 impl BatchJob {
@@ -87,6 +93,7 @@ impl BatchJob {
             uarch: UArchConfig::table1(),
             cache: CacheConfig::table1(),
             policy: Policy::Unbounded,
+            trace_hotness: DEFAULT_HOTNESS_THRESHOLD,
         }
     }
 
@@ -375,6 +382,7 @@ fn run_job(
         Simulator::with_warm_snapshot(&job.program, snapshot, job.uarch, job.cache).map_err(
             |error| BatchError::Build { job: index, name: job.name.clone(), error },
         )?;
+    sim.set_trace_hotness(job.trace_hotness);
     sim.run_to_completion().map_err(|error| BatchError::Sim {
         job: index,
         name: job.name.clone(),

@@ -8,7 +8,7 @@ use fastsim_isa::{DecodedProgram, Program};
 use fastsim_mem::{CacheConfig, CacheSim, CacheStats, PollResult};
 use fastsim_memo::{
     ActionKind, CacheSnapshot, ConfigLookup, MemoStats, NodeId, OutcomeKey, PActionCache, Policy,
-    RetireCounts,
+    RetireCounts, Touched, TraceOp, TraceSegment,
 };
 use fastsim_uarch::{
     decode_config, encode_config_into, CycleSummary, LoadPoll, Pipeline, PipelineEnv,
@@ -549,6 +549,44 @@ enum EngineMode {
     Finished,
 }
 
+/// Why trace-segment execution returned to the replay loop.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum SegExit {
+    /// Segment over (chain cut or a carried cold edge): continue
+    /// node-at-a-time replay at this not-yet-executed node.
+    Continue(NodeId),
+    /// A dispatch observed an outcome the segment does not carry: resolve
+    /// `key` against `node`'s live edges (replay a branch recorded after
+    /// compilation, or fall back to detailed simulation).
+    Branch { node: NodeId, key: OutcomeKey },
+    /// The segment replayed a `Finish`: the program is complete.
+    Finished,
+    /// The instruction budget was reached; resume replay at this node.
+    Budget(NodeId),
+}
+
+/// How a segment dispatch op resolved an observed outcome against its
+/// compiled edges.
+enum Dispatch {
+    /// The hot (first compiled) edge: execution continues inline.
+    Hot,
+    /// Another compiled edge: exit the segment to its target.
+    Cold(NodeId),
+    /// Not compiled into the segment: consult the live node.
+    Uncarried,
+}
+
+#[inline]
+fn dispatch(edges: &[(OutcomeKey, NodeId)], key: OutcomeKey) -> Dispatch {
+    if edges[0].0 == key {
+        return Dispatch::Hot;
+    }
+    match edges[1..].iter().find(|(k, _)| *k == key) {
+        Some(&(_, n)) => Dispatch::Cold(n),
+        None => Dispatch::Uncarried,
+    }
+}
+
 /// The complete FastSim simulator (Figure 2): speculative
 /// direct-execution, µ-architecture simulation, non-blocking cache
 /// simulation and (in [`Mode::Fast`]) memoized fast-forwarding.
@@ -775,6 +813,19 @@ impl Simulator {
         self.shared.pcache.as_ref().map(|p| p.stats())
     }
 
+    /// Sets the p-action cache's trace-compilation hotness threshold: a
+    /// configuration's chain is flattened into a linear replay segment
+    /// once replay has entered it more than `threshold` times. `0`
+    /// compiles every chain on first replay; `u32::MAX` disables trace
+    /// compilation. Purely a performance knob — simulation results and
+    /// all pre-existing statistics are bit-identical at any setting. No
+    /// effect in [`Mode::Slow`].
+    pub fn set_trace_hotness(&mut self, threshold: u32) {
+        if let Some(pc) = &mut self.shared.pcache {
+            pc.set_hotness_threshold(threshold);
+        }
+    }
+
     /// Branch-predictor statistics.
     pub fn predictor(&self) -> &fastsim_emu::BranchPredictor {
         self.shared.emu.predictor()
@@ -904,16 +955,68 @@ impl Simulator {
     /// Fast-forwards along the action chain from `cursor` until the
     /// program finishes (true), the budget is reached, or an unseen
     /// outcome falls back to detailed simulation (false).
-    fn replay_until(&mut self, mut cursor: NodeId, budget_end: u64) -> Result<bool, SimError> {
+    ///
+    /// The p-action cache is moved out of `shared` for the duration of the
+    /// call instead of unwrapping the `Option` on every replayed action:
+    /// replay never records, and nothing reached through `shared` during
+    /// replay touches the cache.
+    fn replay_until(&mut self, cursor: NodeId, budget_end: u64) -> Result<bool, SimError> {
+        let mut pc = self.shared.pcache.take().expect("replay requires a p-action cache");
+        let result = self.replay_loop(&mut pc, cursor, budget_end);
+        self.shared.pcache = Some(pc);
+        result
+    }
+
+    fn replay_loop(
+        &mut self,
+        pc: &mut PActionCache,
+        mut cursor: NodeId,
+        budget_end: u64,
+    ) -> Result<bool, SimError> {
         loop {
-            // Crossing a configuration: new fallback anchor.
-            if let Some(cfg) = self
-                .shared
-                .pcache
-                .as_ref()
-                .expect("replay requires a p-action cache")
-                .config_at(cursor)
-            {
+            // Crossing a configuration: trace-compiled fast path, or (for
+            // chains not hot yet) a new fallback anchor.
+            if pc.is_config_head(cursor) {
+                if let Some(seg) = pc.trace_enter(cursor) {
+                    match self.run_segment(pc, &seg, budget_end)? {
+                        SegExit::Continue(n) => {
+                            // The segment ended (chain cut or a carried cold
+                            // edge): resume node-at-a-time where it left off,
+                            // marking the target like a followed link would.
+                            pc.note_trace_bailout();
+                            pc.mark_accessed(n);
+                            cursor = n;
+                            continue;
+                        }
+                        SegExit::Branch { node, key } => {
+                            // Outcome not carried by the segment: resolve it
+                            // against the node's live edges — recorded-after-
+                            // compilation branches replay, truly unseen
+                            // outcomes fall back, exactly as node-at-a-time.
+                            pc.note_trace_bailout();
+                            match pc.branch_to(node, key) {
+                                Some(n) => {
+                                    cursor = n;
+                                    continue;
+                                }
+                                None => {
+                                    return self.fallback(pc, node, Some(key)).map(|()| false)
+                                }
+                            }
+                        }
+                        SegExit::Finished => {
+                            self.close_chain();
+                            self.mode = EngineMode::Finished;
+                            return Ok(true);
+                        }
+                        SegExit::Budget(n) => {
+                            pc.mark_accessed(n);
+                            self.mode = EngineMode::Replay { cursor: n };
+                            return Ok(false);
+                        }
+                    }
+                }
+                let cfg = pc.config_at(cursor).expect("config head carries bytes");
                 self.anchor.clear();
                 self.anchor.extend_from_slice(cfg);
                 self.shared.resume.cycles = 0;
@@ -921,7 +1024,7 @@ impl Simulator {
                 self.shared.resume.responses.clear();
                 self.shared.stats.config_visits += 1;
             }
-            let kind = self.shared.pcache.as_ref().expect("replay cache").kind(cursor);
+            let kind = pc.kind(cursor);
             self.shared.stats.dynamic_actions += 1;
             self.shared.stats.replayed_actions += 1;
             self.chain_len += 1;
@@ -935,9 +1038,9 @@ impl Simulator {
                     if retired.insts > 0 {
                         self.last_progress = self.shared.stats.cycles;
                     }
-                    match self.shared.pcache.as_mut().expect("replay cache").advance(cursor) {
+                    match pc.advance(cursor) {
                         Some(n) => cursor = n,
-                        None => return self.fallback(cursor, None).map(|()| false),
+                        None => return self.fallback(pc, cursor, None).map(|()| false),
                     }
                     if self.shared.stats.retired_insts >= budget_end {
                         self.mode = EngineMode::Replay { cursor };
@@ -951,18 +1054,18 @@ impl Simulator {
                     }
                     self.shared.resume.responses.push_back(Buffered::Feed(feed));
                     let key = outcome_of_feed(&feed);
-                    cursor = match self.branch(cursor, key) {
+                    cursor = match pc.branch_to(cursor, key) {
                         Some(n) => n,
-                        None => return self.fallback(cursor, Some(key)).map(|()| false),
+                        None => return self.fallback(pc, cursor, Some(key)).map(|()| false),
                     };
                 }
                 ActionKind::IssueLoad { lq_index } => {
                     let interval = self.shared.do_issue_load(lq_index as usize);
                     self.shared.resume.responses.push_back(Buffered::Interval(interval));
                     let key = OutcomeKey::Interval(interval);
-                    cursor = match self.branch(cursor, key) {
+                    cursor = match pc.branch_to(cursor, key) {
                         Some(n) => n,
-                        None => return self.fallback(cursor, Some(key)).map(|()| false),
+                        None => return self.fallback(pc, cursor, Some(key)).map(|()| false),
                     };
                 }
                 ActionKind::PollLoad { lq_index } => {
@@ -972,33 +1075,33 @@ impl Simulator {
                         LoadPoll::Ready => OutcomeKey::PollReady,
                         LoadPoll::Wait(w) => OutcomeKey::PollWait(w),
                     };
-                    cursor = match self.branch(cursor, key) {
+                    cursor = match pc.branch_to(cursor, key) {
                         Some(n) => n,
-                        None => return self.fallback(cursor, Some(key)).map(|()| false),
+                        None => return self.fallback(pc, cursor, Some(key)).map(|()| false),
                     };
                 }
                 ActionKind::IssueStore { sq_index } => {
                     self.shared.do_issue_store(sq_index as usize);
                     self.shared.resume.responses.push_back(Buffered::Store);
-                    match self.shared.pcache.as_mut().expect("replay cache").advance(cursor) {
+                    match pc.advance(cursor) {
                         Some(n) => cursor = n,
-                        None => return self.fallback(cursor, None).map(|()| false),
+                        None => return self.fallback(pc, cursor, None).map(|()| false),
                     }
                 }
                 ActionKind::CancelLoad { lq_index } => {
                     self.shared.do_cancel_load(lq_index as usize);
                     self.shared.resume.responses.push_back(Buffered::Cancel);
-                    match self.shared.pcache.as_mut().expect("replay cache").advance(cursor) {
+                    match pc.advance(cursor) {
                         Some(n) => cursor = n,
-                        None => return self.fallback(cursor, None).map(|()| false),
+                        None => return self.fallback(pc, cursor, None).map(|()| false),
                     }
                 }
                 ActionKind::Rollback { ctrl_index } => {
                     let redirect = self.shared.do_rollback(ctrl_index as usize);
                     self.shared.resume.responses.push_back(Buffered::Rollback(redirect));
-                    match self.shared.pcache.as_mut().expect("replay cache").advance(cursor) {
+                    match pc.advance(cursor) {
                         Some(n) => cursor = n,
-                        None => return self.fallback(cursor, None).map(|()| false),
+                        None => return self.fallback(pc, cursor, None).map(|()| false),
                     }
                 }
                 ActionKind::Finish => {
@@ -1010,8 +1113,177 @@ impl Simulator {
         }
     }
 
-    fn branch(&mut self, cursor: NodeId, key: OutcomeKey) -> Option<NodeId> {
-        self.shared.pcache.as_mut().expect("replay cache").branch_to(cursor, key)
+    /// Executes one compiled trace segment: a linear op scan with no
+    /// per-action node lookups. Every statistic, resume-state update and
+    /// `accessed` mark is performed exactly as the node-at-a-time loop
+    /// would for the same logical actions — segment execution is
+    /// observably bit-identical to walking the chain.
+    fn run_segment(
+        &mut self,
+        pc: &mut PActionCache,
+        seg: &TraceSegment,
+        budget_end: u64,
+    ) -> Result<SegExit, SimError> {
+        let mut ip = 0usize;
+        let mut ops_run = 0u64;
+        // The anchor *bytes* copy is deferred to segment exit: only the
+        // last crossing's configuration can ever be read (by `fallback`
+        // after a bail-out, or by recording after a budget pause), so a
+        // segment pays one copy per execution instead of one per crossing
+        // — a hot loop replaying inside one segment pays none at all.
+        // Everything else a crossing does (resume reset, visit count) is
+        // still performed per anchored op, before the op's own effects,
+        // in chain order.
+        let mut last_anchor: Option<NodeId> = None;
+        macro_rules! crossing {
+            ($anchored:expr, $node:expr) => {
+                if $anchored {
+                    last_anchor = Some($node);
+                    self.shared.resume.cycles = 0;
+                    self.shared.resume.pops = RetireCounts::default();
+                    self.shared.resume.responses.clear();
+                    self.shared.stats.config_visits += 1;
+                }
+            };
+        }
+        let result = loop {
+            ops_run += 1;
+            match &seg.ops[ip] {
+                TraceOp::Bulk { cycles, retired, count, touched, anchored } => {
+                    crossing!(*anchored, match *touched {
+                        Touched::Span(first) => first,
+                        Touched::List(start, _) => seg.touched[start as usize],
+                    });
+                    match *touched {
+                        Touched::Span(first) => pc.mark_accessed_span(first, *count),
+                        Touched::List(start, len) => {
+                            for &t in seg.touched_slice((start, len)) {
+                                pc.mark_accessed(t);
+                            }
+                        }
+                    }
+                    self.shared.stats.dynamic_actions += u64::from(*count);
+                    self.shared.stats.replayed_actions += u64::from(*count);
+                    self.chain_len += u64::from(*count);
+                    self.shared.stats.cycles += u64::from(*cycles);
+                    self.shared.stats.replayed_cycles += u64::from(*cycles);
+                    self.shared.apply_retire(*retired, true);
+                    self.shared.resume.cycles += *cycles;
+                    self.shared.resume.pops.add(*retired);
+                    if retired.insts > 0 {
+                        self.last_progress = self.shared.stats.cycles;
+                    }
+                    ip += 1;
+                    if self.shared.stats.retired_insts >= budget_end {
+                        break Ok(SegExit::Budget(seg.entry_node(ip)));
+                    }
+                }
+                TraceOp::IssueStore { node, sq_index, anchored } => {
+                    crossing!(*anchored, *node);
+                    pc.mark_accessed(*node);
+                    self.shared.stats.dynamic_actions += 1;
+                    self.shared.stats.replayed_actions += 1;
+                    self.chain_len += 1;
+                    self.shared.do_issue_store(*sq_index as usize);
+                    self.shared.resume.responses.push_back(Buffered::Store);
+                    ip += 1;
+                }
+                TraceOp::CancelLoad { node, lq_index, anchored } => {
+                    crossing!(*anchored, *node);
+                    pc.mark_accessed(*node);
+                    self.shared.stats.dynamic_actions += 1;
+                    self.shared.stats.replayed_actions += 1;
+                    self.chain_len += 1;
+                    self.shared.do_cancel_load(*lq_index as usize);
+                    self.shared.resume.responses.push_back(Buffered::Cancel);
+                    ip += 1;
+                }
+                TraceOp::Rollback { node, ctrl_index, anchored } => {
+                    crossing!(*anchored, *node);
+                    pc.mark_accessed(*node);
+                    self.shared.stats.dynamic_actions += 1;
+                    self.shared.stats.replayed_actions += 1;
+                    self.chain_len += 1;
+                    let redirect = self.shared.do_rollback(*ctrl_index as usize);
+                    self.shared.resume.responses.push_back(Buffered::Rollback(redirect));
+                    ip += 1;
+                }
+                TraceOp::Fetch { node, edges, anchored } => {
+                    crossing!(*anchored, *node);
+                    pc.mark_accessed(*node);
+                    self.shared.stats.dynamic_actions += 1;
+                    self.shared.stats.replayed_actions += 1;
+                    self.chain_len += 1;
+                    let feed = self.shared.consume_record_feed();
+                    if let Some(e) = self.shared.fatal.take() {
+                        break Err(e);
+                    }
+                    self.shared.resume.responses.push_back(Buffered::Feed(feed));
+                    let key = outcome_of_feed(&feed);
+                    match dispatch(edges, key) {
+                        Dispatch::Hot => ip += 1,
+                        Dispatch::Cold(n) => break Ok(SegExit::Continue(n)),
+                        Dispatch::Uncarried => {
+                            break Ok(SegExit::Branch { node: *node, key })
+                        }
+                    }
+                }
+                TraceOp::IssueLoad { node, lq_index, edges, anchored } => {
+                    crossing!(*anchored, *node);
+                    pc.mark_accessed(*node);
+                    self.shared.stats.dynamic_actions += 1;
+                    self.shared.stats.replayed_actions += 1;
+                    self.chain_len += 1;
+                    let interval = self.shared.do_issue_load(*lq_index as usize);
+                    self.shared.resume.responses.push_back(Buffered::Interval(interval));
+                    let key = OutcomeKey::Interval(interval);
+                    match dispatch(edges, key) {
+                        Dispatch::Hot => ip += 1,
+                        Dispatch::Cold(n) => break Ok(SegExit::Continue(n)),
+                        Dispatch::Uncarried => {
+                            break Ok(SegExit::Branch { node: *node, key })
+                        }
+                    }
+                }
+                TraceOp::PollLoad { node, lq_index, edges, anchored } => {
+                    crossing!(*anchored, *node);
+                    pc.mark_accessed(*node);
+                    self.shared.stats.dynamic_actions += 1;
+                    self.shared.stats.replayed_actions += 1;
+                    self.chain_len += 1;
+                    let poll = self.shared.do_poll_load(*lq_index as usize);
+                    self.shared.resume.responses.push_back(Buffered::Poll(poll));
+                    let key = match poll {
+                        LoadPoll::Ready => OutcomeKey::PollReady,
+                        LoadPoll::Wait(w) => OutcomeKey::PollWait(w),
+                    };
+                    match dispatch(edges, key) {
+                        Dispatch::Hot => ip += 1,
+                        Dispatch::Cold(n) => break Ok(SegExit::Continue(n)),
+                        Dispatch::Uncarried => {
+                            break Ok(SegExit::Branch { node: *node, key })
+                        }
+                    }
+                }
+                TraceOp::Finish { node, anchored } => {
+                    crossing!(*anchored, *node);
+                    pc.mark_accessed(*node);
+                    self.shared.stats.dynamic_actions += 1;
+                    self.shared.stats.replayed_actions += 1;
+                    self.chain_len += 1;
+                    break Ok(SegExit::Finished);
+                }
+                TraceOp::Cut { node } => break Ok(SegExit::Continue(*node)),
+                TraceOp::Jump { op, .. } => ip = *op as usize,
+            }
+        };
+        if let Some(a) = last_anchor {
+            let cfg = pc.config_at(a).expect("anchor op sits on a config head");
+            self.anchor.clear();
+            self.anchor.extend_from_slice(cfg);
+        }
+        pc.note_trace_ops(ops_run);
+        result
     }
 
     fn close_chain(&mut self) {
@@ -1025,9 +1297,13 @@ impl Simulator {
     /// resume detailed simulation from the anchor configuration, re-running
     /// its cycles with the buffered responses, and record the new branch of
     /// the action chain from the divergence point.
-    fn fallback(&mut self, cursor: NodeId, key: Option<OutcomeKey>) -> Result<(), SimError> {
+    fn fallback(
+        &mut self,
+        pc: &mut PActionCache,
+        cursor: NodeId,
+        key: Option<OutcomeKey>,
+    ) -> Result<(), SimError> {
         self.close_chain();
-        let pc = self.shared.pcache.as_mut().expect("replay cache");
         pc.resume_recording_at(cursor, key);
         let state = decode_config(&self.anchor, &self.prog)
             .map_err(|e| SimError::ConfigCorrupt(e.to_string()))?;

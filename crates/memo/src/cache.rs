@@ -3,7 +3,9 @@
 use crate::action::{ActionKind, NodeId, OutcomeKey};
 use crate::index::{ConfigIndex, ConfigRef};
 use crate::policy::Policy;
+use crate::trace::{TraceSegment, DEFAULT_HOTNESS_THRESHOLD};
 use fastsim_hash::hash64;
+use std::sync::Arc;
 
 /// Per-outcome-branch modeled overhead in bytes (key + link).
 pub(crate) const BRANCH_BYTES: usize = 12;
@@ -28,8 +30,6 @@ pub(crate) struct Node {
     /// encoded configuration bytes live in the cache's
     /// [`ConfigIndex`] arena (offset + length + fingerprint).
     pub(crate) config: Option<ConfigRef>,
-    /// Accessed since the last collection (GC liveness, paper §4.3).
-    pub(crate) accessed: bool,
     /// Survived at least one minor collection (generational GC).
     pub(crate) tenured: bool,
 }
@@ -82,6 +82,17 @@ pub struct MemoStats {
     /// Configuration lookups that missed (detailed simulation recorded a
     /// new chain).
     pub config_misses: u64,
+    /// Hot chains compiled into linear trace segments.
+    pub trace_segments_compiled: u64,
+    /// Replay entries that executed a compiled trace segment instead of
+    /// walking the chain node-at-a-time.
+    pub replay_segments_entered: u64,
+    /// Compact trace ops executed during segment replay (compare with
+    /// `SimStats::replayed_actions` for the aggregation factor).
+    pub replay_trace_ops: u64,
+    /// Segment executions that exited early back to node-at-a-time replay
+    /// (a cold or unseen outcome, or a chain cut).
+    pub replay_bailouts: u64,
 }
 
 impl MemoStats {
@@ -127,6 +138,13 @@ impl MemoStats {
 #[derive(Clone, Debug)]
 pub struct PActionCache {
     pub(crate) nodes: Vec<Node>,
+    /// Accessed-since-last-collection bits (GC liveness, paper §4.3),
+    /// parallel to `nodes`. Kept out of `Node` deliberately: replay marks
+    /// a node per action, and a dense side array means those writes touch
+    /// one byte per node instead of dirtying the fat `Node` cache lines —
+    /// and lets trace segments mark whole contiguous runs with a slice
+    /// fill (see [`mark_accessed_span`](PActionCache::mark_accessed_span)).
+    pub(crate) accessed: Vec<bool>,
     pub(crate) index: ConfigIndex,
     pub(crate) policy: Policy,
     attach: Attach,
@@ -148,6 +166,25 @@ pub struct PActionCache {
     /// built from scratch. Reset to `0` by flushes and collections, which
     /// invalidate the id correspondence with the snapshot.
     pub(crate) frozen_base: usize,
+    /// Compiled linear replay segments, parallel to `nodes` (`Some` only
+    /// at configuration heads whose chains ran hot; see [`crate::trace`]).
+    /// A dense slot per node instead of a hash map: replay crosses a
+    /// configuration head every interaction cycle, and the lookup must be
+    /// one indexed load, not a probe. Shared by `Arc` so the engine can
+    /// execute a segment while marking nodes accessed through `&mut self`.
+    pub(crate) traces: Vec<Option<Arc<TraceSegment>>>,
+    /// Replay-entry counts feeding the trace compiler's hotness decision,
+    /// parallel to `nodes` (meaningful only at configuration heads).
+    pub(crate) hotness: Vec<u32>,
+    /// Entries before a chain is compiled (see
+    /// [`set_hotness_threshold`](PActionCache::set_hotness_threshold)).
+    pub(crate) hotness_threshold: u32,
+    /// Trace-compiler scratch: per-node op-start indices, valid when the
+    /// stamp matches `compile_epoch`. Reused across compiles so each
+    /// compile pays neither hash probes nor a per-compile clear.
+    pub(crate) compile_stamp: Vec<u32>,
+    pub(crate) compile_op: Vec<u32>,
+    pub(crate) compile_epoch: u32,
 }
 
 impl PActionCache {
@@ -155,6 +192,7 @@ impl PActionCache {
     pub fn new(policy: Policy) -> PActionCache {
         PActionCache {
             nodes: Vec::new(),
+            accessed: Vec::new(),
             index: ConfigIndex::new(),
             policy,
             attach: Attach::None,
@@ -162,6 +200,12 @@ impl PActionCache {
             pending_bytes: Vec::new(),
             stats: MemoStats::default(),
             frozen_base: 0,
+            traces: Vec::new(),
+            hotness: Vec::new(),
+            hotness_threshold: DEFAULT_HOTNESS_THRESHOLD,
+            compile_stamp: Vec::new(),
+            compile_op: Vec::new(),
+            compile_epoch: 0,
         }
     }
 
@@ -207,7 +251,7 @@ impl PActionCache {
             self.stats.config_hits += 1;
             self.link_attach(head);
             self.attach = Attach::None;
-            self.nodes[head as usize].accessed = true;
+            self.accessed[head as usize] = true;
             return ConfigLookup::Hit(head);
         }
         self.stats.config_misses += 1;
@@ -229,7 +273,10 @@ impl PActionCache {
         } else {
             Successors::Single(None)
         };
-        self.nodes.push(Node { kind, next, config: None, accessed: true, tenured: false });
+        self.nodes.push(Node { kind, next, config: None, tenured: false });
+        self.accessed.push(true);
+        self.traces.push(None);
+        self.hotness.push(0);
         self.add_bytes(kind.modeled_bytes());
         self.stats.static_actions += 1;
         self.link_attach(id);
@@ -298,12 +345,14 @@ impl PActionCache {
     // --- Replay navigation ------------------------------------------------
 
     /// The action stored at `id`.
+    #[inline]
     pub fn kind(&self, id: NodeId) -> ActionKind {
         self.nodes[id as usize].kind
     }
 
     /// If `id` is a configuration's first action, the encoded
     /// configuration bytes.
+    #[inline]
     pub fn config_at(&self, id: NodeId) -> Option<&[u8]> {
         self.nodes[id as usize].config.map(|r| self.index.bytes_at(r))
     }
@@ -311,6 +360,7 @@ impl PActionCache {
     /// Follows the single successor of an outcome-less action, marking the
     /// target accessed. `None` means the chain ends here (recording was
     /// interrupted or a collection dropped the tail).
+    #[inline]
     pub fn advance(&mut self, id: NodeId) -> Option<NodeId> {
         let next = match &self.nodes[id as usize].next {
             Successors::Single(n) => *n,
@@ -319,13 +369,14 @@ impl PActionCache {
             }
         };
         if let Some(n) = next {
-            self.nodes[n as usize].accessed = true;
+            self.accessed[n as usize] = true;
         }
         next
     }
 
     /// Follows the successor recorded for `key`, marking the target
     /// accessed. `None` terminates fast-forwarding (unseen outcome).
+    #[inline]
     pub fn branch_to(&mut self, id: NodeId, key: OutcomeKey) -> Option<NodeId> {
         let next = match &self.nodes[id as usize].next {
             Successors::Multi(branches) => {
@@ -334,7 +385,7 @@ impl PActionCache {
             Successors::Single(_) => unreachable!("branch_to on single-successor node"),
         };
         if let Some(n) = next {
-            self.nodes[n as usize].accessed = true;
+            self.accessed[n as usize] = true;
         }
         next
     }
@@ -370,6 +421,7 @@ impl PActionCache {
     /// Discards the entire cache (the flush-on-full policy's action).
     pub fn flush(&mut self) {
         self.nodes.clear();
+        self.accessed.clear();
         self.index.clear();
         self.attach = Attach::None;
         // A pending configuration (registered but head not yet recorded)
@@ -378,6 +430,7 @@ impl PActionCache {
         self.stats.bytes = 0;
         self.stats.flushes += 1;
         self.frozen_base = 0;
+        self.invalidate_traces();
     }
 
     /// Runs a collection. `minor` keeps accessed and tenured nodes
@@ -392,7 +445,7 @@ impl PActionCache {
         let mut forwarding: Vec<Option<NodeId>> = vec![None; self.nodes.len()];
         let mut new_nodes: Vec<Node> = Vec::new();
         for (i, node) in self.nodes.iter().enumerate() {
-            if node.accessed || (minor && node.tenured) {
+            if self.accessed[i] || (minor && node.tenured) {
                 forwarding[i] = Some(new_nodes.len() as NodeId);
                 new_nodes.push(node.clone());
             }
@@ -417,7 +470,6 @@ impl PActionCache {
             if let Successors::Multi(b) = &node.next {
                 bytes += b.len() * BRANCH_BYTES;
             }
-            node.accessed = false;
             node.tenured = true;
         }
         // Compact the byte arena alongside the nodes: surviving
@@ -445,9 +497,14 @@ impl PActionCache {
             }
             Attach::None => Attach::None,
         };
+        // Survivors start the next GC epoch unmarked.
+        self.accessed = vec![false; new_nodes.len()];
         self.nodes = new_nodes;
         self.index = new_index;
         self.frozen_base = 0;
+        // Compiled segments hold pre-collection node ids: drop them (they
+        // re-compile once their chains run hot again).
+        self.invalidate_traces();
         self.stats.bytes = bytes;
         self.stats.collections += 1;
         self.stats.gc_scanned_bytes += scanned as u64;

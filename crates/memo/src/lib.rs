@@ -28,8 +28,10 @@ mod cache;
 mod index;
 mod policy;
 mod snapshot;
+mod trace;
 
 pub use action::{ActionKind, NodeId, OutcomeKey, RetireCounts};
 pub use cache::{ConfigLookup, MemoStats, PActionCache};
 pub use policy::Policy;
 pub use snapshot::{CacheSnapshot, MergeOutcome};
+pub use trace::{Touched, TraceOp, TraceSegment, DEFAULT_HOTNESS_THRESHOLD};

@@ -40,6 +40,9 @@ use std::collections::{HashMap, VecDeque};
 #[derive(Clone, Debug)]
 pub struct CacheSnapshot {
     pub(crate) nodes: Vec<Node>,
+    /// Accessed bits at freeze time, parallel to `nodes` (GC liveness
+    /// carries across a freeze/thaw round trip).
+    pub(crate) accessed: Vec<bool>,
     pub(crate) index: ConfigIndex,
     pub(crate) policy: Policy,
     pub(crate) stats: MemoStats,
@@ -141,6 +144,7 @@ impl PActionCache {
     pub fn freeze(&self) -> CacheSnapshot {
         CacheSnapshot {
             nodes: self.nodes.clone(),
+            accessed: self.accessed.clone(),
             index: self.index.clone(),
             policy: self.policy,
             stats: self.stats,
@@ -156,9 +160,12 @@ impl PActionCache {
     pub fn from_snapshot(snapshot: &CacheSnapshot) -> PActionCache {
         let mut pc = PActionCache::new(snapshot.policy);
         pc.nodes = snapshot.nodes.clone();
+        pc.accessed = snapshot.accessed.clone();
         pc.index = snapshot.index.clone();
         pc.stats = snapshot.stats;
         pc.frozen_base = snapshot.nodes.len();
+        // Snapshots carry no compiled traces; size the empty side tables.
+        pc.invalidate_traces();
         pc
     }
 
@@ -293,18 +300,19 @@ impl PActionCache {
                 out.configs_added += 1;
                 cref
             });
-            self.nodes.push(Node {
-                kind: src.kind,
-                next,
-                config,
-                accessed: src.accessed,
-                tenured: src.tenured,
-            });
+            self.nodes.push(Node { kind: src.kind, next, config, tenured: src.tenured });
+            self.accessed.push(delta.accessed[t as usize]);
             self.add_bytes(bytes);
             self.stats.static_actions += 1;
             out.actions_added += 1;
             out.bytes_added += bytes;
         }
+        // The merge grafted branches and filled links under any compiled
+        // trace segments; drop them (and the hotness counts) so the next
+        // hot run re-compiles against the merged graph. Note snapshots
+        // never carry traces in the first place — `freeze` captures plain
+        // replayable state only, and a thawed copy compiles its own.
+        self.invalidate_traces();
         out
     }
 }

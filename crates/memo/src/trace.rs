@@ -1,0 +1,843 @@
+//! Trace compilation: flattening hot p-action chains into linear replay
+//! segments (the paper's §4 record-then-specialize idea, applied to the
+//! replay path itself — compare Embra's translation caches).
+//!
+//! Node-at-a-time replay pays, per action, a `kind` fetch from the node
+//! arena, an `ActionKind` match, and an `advance`/`branch_to` successor
+//! resolution (a second random arena access, plus an outcome-edge scan).
+//! Once a configuration's chain is *hot* — entered
+//! [`hotness_threshold`](PActionCache::hotness_threshold) times — the
+//! chain is compiled into a [`TraceSegment`]: one contiguous `Vec` of
+//! compact [`TraceOp`]s executed by a linear scan.
+//!
+//! Compilation rules, chosen so that segment execution is **bit-identical**
+//! to node-at-a-time replay (including every `SimStats`/`MemoStats`
+//! counter that existed before traces):
+//!
+//! * Maximal runs of consecutive outcome-less `Advance` actions are
+//!   pre-aggregated into one [`TraceOp::Bulk`]: cycles summed,
+//!   [`RetireCounts`] merged, and the *logical* action count carried so
+//!   `replayed_actions`/`dynamic_actions` still count actions, not ops.
+//! * Side-effecting outcome-less actions (`IssueStore`, `CancelLoad`,
+//!   `Rollback`) become individual ops with their queue indices
+//!   pre-resolved into the op — they cannot be merged across `Advance`s
+//!   because stores/cancels observe the *current* cycle count and queue
+//!   heads, and retirement pops move those heads.
+//! * Each outcome-bearing action (`FetchRecord`/`IssueLoad`/`PollLoad`)
+//!   becomes an explicit dispatch op carrying its outcome→target edges as
+//!   known at compile time, hot edge (the first recorded one) first: the
+//!   hot outcome continues inline to the next op; another carried edge
+//!   exits the segment to node-at-a-time replay at its target; an
+//!   uncarried outcome exits through the node's *live* edge table (so
+//!   edges recorded after compilation are still honoured) and from there
+//!   to detailed simulation, exactly like node-at-a-time replay.
+//! * A configuration boundary inside the chain sets the `anchored` flag
+//!   on the crossed node's own op (a configuration head *is* the first
+//!   action of its chain, so the crossing and the action share a node):
+//!   execution performs the crossing bookkeeping (fallback anchor,
+//!   resume reset, `config_visits`) that node-at-a-time replay performs
+//!   when the cursor carries configuration bytes, then the action —
+//!   without spending a separate dispatched op on it.
+//! * A chain cut — a successor or outcome edge missing at compile time —
+//!   ends the segment with [`TraceOp::Cut`] *before* the unreachable
+//!   node: the cut node is re-executed node-at-a-time against live links,
+//!   so links filled after compilation (by resumed recording or a merge)
+//!   behave exactly as without traces.
+//! * A cycle in the chain (hot loops) becomes a [`TraceOp::Jump`] back to
+//!   the op where the revisited node's ops begin: a hot loop replays
+//!   entirely inside one segment with zero per-iteration lookups.
+//!
+//! Every op records the [`NodeId`]s it covers so execution can set the
+//! same `accessed` bits node-at-a-time replay would — GC liveness, and
+//! therefore every downstream simulation result, is unchanged.
+//!
+//! Segments never dangle: they are invalidated (together with the hotness
+//! counters) by [`flush`](PActionCache::flush),
+//! [`collect`](PActionCache::collect) (node ids relocate) and
+//! [`merge_from`](PActionCache::merge_from), and are not carried by
+//! [`freeze`](PActionCache::freeze) — a thawed working copy re-compiles
+//! its own traces once chains get hot again. Plain appends (new recording)
+//! keep existing segments valid by construction: filled links and new
+//! edges are only ever *added*, and cuts/uncarried outcomes read the live
+//! graph.
+
+use crate::action::{ActionKind, NodeId, OutcomeKey, RetireCounts};
+use crate::cache::{PActionCache, Successors};
+use std::sync::Arc;
+
+/// Default hotness threshold: a configuration's chain is trace-compiled
+/// after this many replay entries. `0` compiles on first entry;
+/// `u32::MAX` disables compilation.
+pub const DEFAULT_HOTNESS_THRESHOLD: u32 = 32;
+
+/// Hard cap on compiled ops per segment (bounds compile time and memory
+/// for pathological chains; the segment ends with a [`TraceOp::Cut`] and
+/// replay continues node-at-a-time).
+const MAX_TRACE_OPS: usize = 1024;
+
+/// How a [`TraceOp::Bulk`] records the node ids it covers for `accessed`
+/// marking.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Touched {
+    /// The run covers `count` *consecutively numbered* nodes starting
+    /// here — the common case for straight-line recordings, marked with a
+    /// single slice fill
+    /// ([`mark_accessed_span`](PActionCache::mark_accessed_span)).
+    Span(NodeId),
+    /// Arbitrary ids: a `(start, len)` range into
+    /// [`TraceSegment::touched`], marked one by one.
+    List(u32, u32),
+}
+
+/// One compact op of a compiled [`TraceSegment`].
+///
+/// Action ops carry an `anchored` flag instead of the segment spending a
+/// separate op on configuration crossings: a configuration head *is* the
+/// first action of its chain, so execution performs the crossing
+/// bookkeeping and the action in one dispatch.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceOp {
+    /// A maximal run of consecutive `Advance` actions, pre-aggregated:
+    /// `cycles` summed, `retired` merged, `count` logical actions,
+    /// `touched` the covered node ids for `accessed` marking.
+    Bulk {
+        /// Total simulated cycles of the run.
+        cycles: u32,
+        /// Merged retirement counts of the run.
+        retired: RetireCounts,
+        /// Logical `Advance` actions aggregated (for action counters).
+        count: u32,
+        /// The covered node ids.
+        touched: Touched,
+        /// The run's first node is a configuration head: perform the
+        /// crossing bookkeeping before the run's effects.
+        anchored: bool,
+    },
+    /// `IssueStore` with the sQ index pre-resolved into the op.
+    IssueStore {
+        /// The covered node.
+        node: NodeId,
+        /// Head-relative sQ position.
+        sq_index: u32,
+        /// The node is a configuration head (crossing before action).
+        anchored: bool,
+    },
+    /// `CancelLoad` with the lQ index pre-resolved into the op.
+    CancelLoad {
+        /// The covered node.
+        node: NodeId,
+        /// Head-relative lQ position.
+        lq_index: u32,
+        /// The node is a configuration head (crossing before action).
+        anchored: bool,
+    },
+    /// `Rollback` with the cQ index pre-resolved into the op.
+    Rollback {
+        /// The covered node.
+        node: NodeId,
+        /// Head-relative cQ position.
+        ctrl_index: u32,
+        /// The node is a configuration head (crossing before action).
+        anchored: bool,
+    },
+    /// `FetchRecord` dispatch point. `edges` are the outcome→target edges
+    /// known at compile time, hot edge first; the hot outcome continues
+    /// inline to the next op.
+    Fetch {
+        /// The dispatching node (for live-edge fallback on uncarried
+        /// outcomes).
+        node: NodeId,
+        /// Outcome edges at compile time, `edges[0]` inlined.
+        edges: Box<[(OutcomeKey, NodeId)]>,
+        /// The node is a configuration head (crossing before action).
+        anchored: bool,
+    },
+    /// `IssueLoad` dispatch point (see [`TraceOp::Fetch`]).
+    IssueLoad {
+        /// The dispatching node.
+        node: NodeId,
+        /// Head-relative lQ position, pre-resolved.
+        lq_index: u32,
+        /// Outcome edges at compile time, `edges[0]` inlined.
+        edges: Box<[(OutcomeKey, NodeId)]>,
+        /// The node is a configuration head (crossing before action).
+        anchored: bool,
+    },
+    /// `PollLoad` dispatch point (see [`TraceOp::Fetch`]).
+    PollLoad {
+        /// The dispatching node.
+        node: NodeId,
+        /// Head-relative lQ position, pre-resolved.
+        lq_index: u32,
+        /// Outcome edges at compile time, `edges[0]` inlined.
+        edges: Box<[(OutcomeKey, NodeId)]>,
+        /// The node is a configuration head (crossing before action).
+        anchored: bool,
+    },
+    /// A `Finish` action: the program completes here.
+    Finish {
+        /// The covered node.
+        node: NodeId,
+        /// The node is a configuration head (crossing before action).
+        anchored: bool,
+    },
+    /// Segment end without executing `node`: continue node-at-a-time
+    /// replay at `node` (its links are read live there).
+    Cut {
+        /// The first node *not* covered by the segment.
+        node: NodeId,
+    },
+    /// Loop back to op `op` (whose first covered node is `node`): the
+    /// chain revisits a node already compiled into this segment.
+    Jump {
+        /// Target op index within the same segment.
+        op: u32,
+        /// The revisited node (for budget-exit bookkeeping).
+        node: NodeId,
+    },
+}
+
+/// A compiled linear replay segment for one configuration head. See the
+/// [module docs](self) for the format and its equivalence guarantees.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceSegment {
+    /// The compact ops, executed by a linear scan (plus `Jump`s).
+    pub ops: Vec<TraceOp>,
+    /// Node ids covered by [`TraceOp::Bulk`] ops, referenced by range.
+    pub touched: Vec<NodeId>,
+}
+
+impl TraceSegment {
+    /// The nodes covered by a [`TraceOp::Bulk`]'s `touched` range.
+    #[inline]
+    pub fn touched_slice(&self, range: (u32, u32)) -> &[NodeId] {
+        &self.touched[range.0 as usize..(range.0 + range.1) as usize]
+    }
+
+    /// The first chain node the op at `ip` covers (or, for `Cut`/`Jump`,
+    /// resumes at) — the correct replay cursor for a pause before `ip`.
+    pub fn entry_node(&self, ip: usize) -> NodeId {
+        match &self.ops[ip] {
+            TraceOp::Bulk { touched: Touched::Span(first), .. } => *first,
+            TraceOp::Bulk { touched: Touched::List(start, _), .. } => {
+                self.touched[*start as usize]
+            }
+            TraceOp::IssueStore { node, .. }
+            | TraceOp::CancelLoad { node, .. }
+            | TraceOp::Rollback { node, .. }
+            | TraceOp::Fetch { node, .. }
+            | TraceOp::IssueLoad { node, .. }
+            | TraceOp::PollLoad { node, .. }
+            | TraceOp::Finish { node, .. }
+            | TraceOp::Cut { node }
+            | TraceOp::Jump { node, .. } => *node,
+        }
+    }
+
+    /// Number of logical actions the segment covers (bulk counts
+    /// included), for statistics and tests.
+    pub fn logical_actions(&self) -> u64 {
+        self.ops
+            .iter()
+            .map(|op| match op {
+                TraceOp::Bulk { count, .. } => *count as u64,
+                TraceOp::Cut { .. } | TraceOp::Jump { .. } => 0,
+                _ => 1,
+            })
+            .sum()
+    }
+}
+
+/// A pending [`TraceOp::Bulk`] accumulation during compilation.
+struct BulkAcc {
+    cycles: u32,
+    retired: RetireCounts,
+    count: u32,
+    start: u32,
+    /// First and last node of the run, and whether every node so far was
+    /// the numeric successor of the previous one (straight-line
+    /// recordings are): a contiguous run compiles to [`Touched::Span`]
+    /// and stores no per-node list at all.
+    first: NodeId,
+    prev: NodeId,
+    contiguous: bool,
+    /// The run's first node is a configuration head.
+    anchored: bool,
+}
+
+fn flush_bulk(ops: &mut Vec<TraceOp>, touched: &mut Vec<NodeId>, bulk: &mut Option<BulkAcc>) {
+    if let Some(b) = bulk.take() {
+        let t = if b.contiguous {
+            touched.truncate(b.start as usize);
+            Touched::Span(b.first)
+        } else {
+            Touched::List(b.start, touched.len() as u32 - b.start)
+        };
+        ops.push(TraceOp::Bulk {
+            cycles: b.cycles,
+            retired: b.retired,
+            count: b.count,
+            touched: t,
+            anchored: b.anchored,
+        });
+    }
+}
+
+impl PActionCache {
+    /// The trace-compilation hotness threshold (see
+    /// [`set_hotness_threshold`](PActionCache::set_hotness_threshold)).
+    pub fn hotness_threshold(&self) -> u32 {
+        self.hotness_threshold
+    }
+
+    /// Sets the hotness threshold: a configuration's chain is compiled
+    /// into a [`TraceSegment`] once replay has entered it more than
+    /// `threshold` times. `0` compiles every chain on first entry;
+    /// `u32::MAX` disables trace compilation entirely. Changing the
+    /// threshold never invalidates already-compiled segments.
+    pub fn set_hotness_threshold(&mut self, threshold: u32) {
+        self.hotness_threshold = threshold;
+    }
+
+    /// Number of currently compiled trace segments.
+    pub fn trace_count(&self) -> usize {
+        self.traces.iter().filter(|t| t.is_some()).count()
+    }
+
+    /// Whether `id` is a configuration's first action (a trace-entry
+    /// candidate and a replay crossing point).
+    #[inline]
+    pub fn is_config_head(&self, id: NodeId) -> bool {
+        self.nodes[id as usize].config.is_some()
+    }
+
+    /// Marks `id` accessed (GC liveness), exactly as following a link to
+    /// it during node-at-a-time replay would.
+    #[inline]
+    pub fn mark_accessed(&mut self, id: NodeId) {
+        self.accessed[id as usize] = true;
+    }
+
+    /// Marks `len` consecutively-numbered nodes starting at `start`
+    /// accessed — a slice fill over the dense accessed array, the fast
+    /// path for [`Touched::Span`] bulk runs.
+    #[inline]
+    pub fn mark_accessed_span(&mut self, start: NodeId, len: u32) {
+        let s = start as usize;
+        self.accessed[s..s + len as usize].fill(true);
+    }
+
+    /// Replay is entering the chain of configuration head `head`: returns
+    /// the compiled segment if one exists, bumping the hotness counter and
+    /// compiling when it crosses the threshold. `None` means replay should
+    /// proceed node-at-a-time (chain not hot yet, compilation disabled, or
+    /// the chain is too degenerate to compile).
+    pub fn trace_enter(&mut self, head: NodeId) -> Option<Arc<TraceSegment>> {
+        if let Some(seg) = &self.traces[head as usize] {
+            self.stats.replay_segments_entered += 1;
+            return Some(Arc::clone(seg));
+        }
+        if self.hotness_threshold == u32::MAX {
+            return None; // disabled: skip even the counter bump
+        }
+        let visits = &mut self.hotness[head as usize];
+        *visits = visits.saturating_add(1);
+        if *visits <= self.hotness_threshold {
+            return None;
+        }
+        let seg = Arc::new(self.compile_trace(head)?);
+        self.stats.trace_segments_compiled += 1;
+        self.stats.replay_segments_entered += 1;
+        self.traces[head as usize] = Some(Arc::clone(&seg));
+        Some(seg)
+    }
+
+    /// Counts a segment execution that bailed out to node-at-a-time
+    /// replay (cold or unseen outcome, or a chain cut).
+    #[inline]
+    pub fn note_trace_bailout(&mut self) {
+        self.stats.replay_bailouts += 1;
+    }
+
+    /// Adds to the compact-trace-op execution counter.
+    #[inline]
+    pub fn note_trace_ops(&mut self, ops: u64) {
+        self.stats.replay_trace_ops += ops;
+    }
+
+    /// Drops every compiled segment and hotness counter, re-sizing the
+    /// dense side tables to the current arena. Called by `flush`,
+    /// `collect` (node ids relocate) and `merge_from` — always *after* the
+    /// node arena reached its new shape.
+    pub(crate) fn invalidate_traces(&mut self) {
+        self.traces.clear();
+        self.traces.resize(self.nodes.len(), None);
+        self.hotness.clear();
+        self.hotness.resize(self.nodes.len(), 0);
+    }
+
+    /// The outcome edges recorded at an outcome-bearing node, in recording
+    /// order (the first is the trace compiler's hot edge). Empty for
+    /// outcome-less nodes.
+    pub fn outcome_edges(&self, id: NodeId) -> &[(OutcomeKey, NodeId)] {
+        match &self.nodes[id as usize].next {
+            Successors::Multi(edges) => edges,
+            Successors::Single(_) => &[],
+        }
+    }
+
+    /// Compiles the chain starting at configuration head `head` into a
+    /// linear segment. Returns `None` for degenerate chains that would
+    /// compile to zero action ops (nothing to gain, and an action-less
+    /// segment could not make progress).
+    pub(crate) fn compile_trace(&mut self, head: NodeId) -> Option<TraceSegment> {
+        let mut ops: Vec<TraceOp> = Vec::new();
+        let mut touched: Vec<NodeId> = Vec::new();
+        // First op index of every node that starts an op (jump targets),
+        // kept as an epoch-stamped dense scratch reused across compiles:
+        // a stamp equal to the current epoch marks a valid entry, so no
+        // per-compile clearing (and no per-node hash probes) is needed.
+        let mut stamp = std::mem::take(&mut self.compile_stamp);
+        let mut op_at = std::mem::take(&mut self.compile_op);
+        self.compile_epoch = self.compile_epoch.wrapping_add(1);
+        if self.compile_epoch == 0 {
+            stamp.iter_mut().for_each(|s| *s = 0);
+            self.compile_epoch = 1;
+        }
+        let epoch = self.compile_epoch;
+        if stamp.len() < self.nodes.len() {
+            stamp.resize(self.nodes.len(), 0);
+            op_at.resize(self.nodes.len(), 0);
+        }
+        let mut bulk: Option<BulkAcc> = None;
+        let mut actions = 0u64;
+        let mut n = head;
+        loop {
+            // Revisit: the chain loops; jump back into the segment.
+            if stamp[n as usize] == epoch {
+                flush_bulk(&mut ops, &mut touched, &mut bulk);
+                ops.push(TraceOp::Jump { op: op_at[n as usize], node: n });
+                break;
+            }
+            if ops.len() >= MAX_TRACE_OPS {
+                flush_bulk(&mut ops, &mut touched, &mut bulk);
+                ops.push(TraceOp::Cut { node: n });
+                break;
+            }
+            let node = &self.nodes[n as usize];
+            // Configuration heads get the crossing bookkeeping fused into
+            // their own op (including the segment's own head). A node that
+            // instead *cuts* the segment never emits its op, so the live
+            // re-execution performs the crossing itself, exactly once.
+            let anchored = node.config.is_some();
+            if anchored {
+                flush_bulk(&mut ops, &mut touched, &mut bulk);
+            }
+            macro_rules! cut_at {
+                () => {{
+                    flush_bulk(&mut ops, &mut touched, &mut bulk);
+                    ops.push(TraceOp::Cut { node: n });
+                    break;
+                }};
+            }
+            // Marks `n`'s op as starting at the current end of `ops` (the
+            // pending bulk, if any, was flushed by every caller first).
+            macro_rules! mark_op_start {
+                () => {{
+                    stamp[n as usize] = epoch;
+                    op_at[n as usize] = ops.len() as u32;
+                }};
+            }
+            let single_next = |next: &Successors| match next {
+                Successors::Single(s) => *s,
+                Successors::Multi(_) => unreachable!("single successor on branching node"),
+            };
+            match node.kind {
+                ActionKind::Advance { cycles, retired } => {
+                    let Some(next) = single_next(&node.next) else { cut_at!() };
+                    match &mut bulk {
+                        // Extend the pending run if the cycle sum fits.
+                        Some(b) if b.cycles.checked_add(cycles).is_some() => {
+                            b.cycles += cycles;
+                            b.retired.add(retired);
+                            b.count += 1;
+                            b.contiguous &= n == b.prev.wrapping_add(1);
+                            b.prev = n;
+                        }
+                        _ => {
+                            flush_bulk(&mut ops, &mut touched, &mut bulk);
+                            // The bulk op will land at the current end of
+                            // `ops` (every other push flushes first).
+                            mark_op_start!();
+                            bulk = Some(BulkAcc {
+                                cycles,
+                                retired,
+                                count: 1,
+                                start: touched.len() as u32,
+                                first: n,
+                                prev: n,
+                                contiguous: true,
+                                anchored,
+                            });
+                        }
+                    }
+                    touched.push(n);
+                    actions += 1;
+                    n = next;
+                }
+                ActionKind::IssueStore { sq_index } => {
+                    let Some(next) = single_next(&node.next) else { cut_at!() };
+                    flush_bulk(&mut ops, &mut touched, &mut bulk);
+                    mark_op_start!();
+                    ops.push(TraceOp::IssueStore { node: n, sq_index, anchored });
+                    actions += 1;
+                    n = next;
+                }
+                ActionKind::CancelLoad { lq_index } => {
+                    let Some(next) = single_next(&node.next) else { cut_at!() };
+                    flush_bulk(&mut ops, &mut touched, &mut bulk);
+                    mark_op_start!();
+                    ops.push(TraceOp::CancelLoad { node: n, lq_index, anchored });
+                    actions += 1;
+                    n = next;
+                }
+                ActionKind::Rollback { ctrl_index } => {
+                    let Some(next) = single_next(&node.next) else { cut_at!() };
+                    flush_bulk(&mut ops, &mut touched, &mut bulk);
+                    mark_op_start!();
+                    ops.push(TraceOp::Rollback { node: n, ctrl_index, anchored });
+                    actions += 1;
+                    n = next;
+                }
+                ActionKind::FetchRecord
+                | ActionKind::IssueLoad { .. }
+                | ActionKind::PollLoad { .. } => {
+                    let edges = match &node.next {
+                        Successors::Multi(edges) => edges,
+                        Successors::Single(_) => unreachable!("dispatch node without edges"),
+                    };
+                    if edges.is_empty() {
+                        cut_at!()
+                    }
+                    flush_bulk(&mut ops, &mut touched, &mut bulk);
+                    mark_op_start!();
+                    let boxed: Box<[(OutcomeKey, NodeId)]> =
+                        edges.clone().into_boxed_slice();
+                    let hot = edges[0].1;
+                    ops.push(match node.kind {
+                        ActionKind::FetchRecord => {
+                            TraceOp::Fetch { node: n, edges: boxed, anchored }
+                        }
+                        ActionKind::IssueLoad { lq_index } => {
+                            TraceOp::IssueLoad { node: n, lq_index, edges: boxed, anchored }
+                        }
+                        ActionKind::PollLoad { lq_index } => {
+                            TraceOp::PollLoad { node: n, lq_index, edges: boxed, anchored }
+                        }
+                        _ => unreachable!(),
+                    });
+                    actions += 1;
+                    n = hot;
+                }
+                ActionKind::Finish => {
+                    flush_bulk(&mut ops, &mut touched, &mut bulk);
+                    ops.push(TraceOp::Finish { node: n, anchored });
+                    actions += 1;
+                    break;
+                }
+            }
+        }
+        self.compile_stamp = stamp;
+        self.compile_op = op_at;
+        (actions > 0).then_some(TraceSegment { ops, touched })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::ConfigLookup;
+    use crate::policy::Policy;
+
+    fn advance(n: u32) -> ActionKind {
+        ActionKind::Advance { cycles: n, retired: RetireCounts::default() }
+    }
+
+    fn retire(insts: u32) -> RetireCounts {
+        RetireCounts { insts, ..RetireCounts::default() }
+    }
+
+    /// Consecutive `Advance` actions aggregate into one `Bulk` op with
+    /// summed cycles and merged retires — and the logical count survives.
+    #[test]
+    fn consecutive_advances_aggregate() {
+        let mut pc = PActionCache::new(Policy::Unbounded);
+        assert_eq!(pc.register_config(b"A"), ConfigLookup::Miss);
+        let head = pc.record_action(ActionKind::Advance { cycles: 3, retired: retire(2) });
+        pc.record_action(ActionKind::Advance { cycles: 4, retired: retire(1) });
+        pc.record_action(ActionKind::IssueStore { sq_index: 5 });
+        pc.record_action(ActionKind::Finish);
+        let seg = pc.compile_trace(head).expect("compilable");
+        assert_eq!(seg.ops.len(), 3, "{:?}", seg.ops);
+        match &seg.ops[0] {
+            TraceOp::Bulk { cycles, retired, count, touched, anchored } => {
+                assert_eq!(*cycles, 7);
+                assert_eq!(retired.insts, 3);
+                assert_eq!(*count, 2);
+                // Straight-line recording: consecutive ids, marked by span.
+                assert_eq!(*touched, Touched::Span(head));
+                assert!(seg.touched.is_empty(), "span runs store no list");
+                // The head's crossing is fused into its own bulk op.
+                assert!(*anchored);
+            }
+            other => panic!("expected Bulk, got {other:?}"),
+        }
+        assert!(matches!(seg.ops[1], TraceOp::IssueStore { sq_index: 5, anchored: false, .. }));
+        assert!(matches!(seg.ops[2], TraceOp::Finish { .. }));
+        assert_eq!(seg.logical_actions(), 4);
+    }
+
+    /// A dispatch compiles its edges hot-first and the compiler follows
+    /// the hot edge inline.
+    #[test]
+    fn dispatch_carries_edges_and_follows_hot_path() {
+        let mut pc = PActionCache::new(Policy::Unbounded);
+        assert_eq!(pc.register_config(b"A"), ConfigLookup::Miss);
+        let head = pc.record_action(advance(1));
+        let load = pc.record_action(ActionKind::IssueLoad { lq_index: 2 });
+        pc.set_outcome(load, OutcomeKey::Interval(6));
+        pc.record_action(advance(2));
+        pc.record_action(ActionKind::Finish);
+        // A second, colder outcome.
+        pc.resume_recording_at(load, Some(OutcomeKey::Interval(9)));
+        pc.record_action(advance(9));
+        pc.record_action(ActionKind::Finish);
+        let seg = pc.compile_trace(head).expect("compilable");
+        match &seg.ops[1] {
+            TraceOp::IssueLoad { lq_index, edges, .. } => {
+                assert_eq!(*lq_index, 2);
+                assert_eq!(edges.len(), 2);
+                assert_eq!(edges[0].0, OutcomeKey::Interval(6), "hot edge first");
+            }
+            other => panic!("expected IssueLoad dispatch, got {other:?}"),
+        }
+        // Hot path continues to advance(2) then Finish.
+        assert!(matches!(seg.ops[2], TraceOp::Bulk { cycles: 2, .. }));
+        assert!(matches!(seg.ops[3], TraceOp::Finish { .. }));
+    }
+
+    /// A looping chain compiles to a `Jump` back into the segment, not an
+    /// unrolled or truncated walk.
+    #[test]
+    fn loops_compile_to_jump() {
+        let mut pc = PActionCache::new(Policy::Unbounded);
+        assert_eq!(pc.register_config(b"A"), ConfigLookup::Miss);
+        let head = pc.record_action(advance(1));
+        let fetch = pc.record_action(ActionKind::FetchRecord);
+        pc.set_outcome(fetch, OutcomeKey::Branch { taken: true, mispredicted: false });
+        // The loop body hits config A again: chain links back to head.
+        assert_eq!(pc.register_config(b"A"), ConfigLookup::Hit(head));
+        let seg = pc.compile_trace(head).expect("compilable");
+        assert!(
+            matches!(seg.ops[0], TraceOp::Bulk { touched: Touched::Span(n), anchored: true, .. } if n == head)
+        );
+        match seg.ops.last().expect("non-empty") {
+            TraceOp::Jump { op, node } => {
+                assert_eq!(*op, 0, "jump lands on the head's anchored op");
+                assert_eq!(*node, head);
+            }
+            other => panic!("expected Jump, got {other:?}"),
+        }
+    }
+
+    /// A missing successor cuts the segment *before* the dangling node,
+    /// and a crossing op pushed for that node is rolled back.
+    #[test]
+    fn missing_links_cut_before_the_node() {
+        let mut pc = PActionCache::new(Policy::Unbounded);
+        assert_eq!(pc.register_config(b"A"), ConfigLookup::Miss);
+        let head = pc.record_action(advance(1));
+        assert_eq!(pc.register_config(b"B"), ConfigLookup::Miss);
+        let b_head = pc.record_action(advance(2));
+        // B's chain ends abruptly: advance(2) has no successor.
+        let seg = pc.compile_trace(head).expect("compilable");
+        // head's advance compiles; B's head is cut without emitting any op
+        // (node-at-a-time replay will perform B's crossing itself).
+        assert_eq!(
+            seg.ops,
+            vec![
+                TraceOp::Bulk {
+                    cycles: 1,
+                    retired: RetireCounts::default(),
+                    count: 1,
+                    touched: Touched::Span(head),
+                    anchored: true,
+                },
+                TraceOp::Cut { node: b_head },
+            ]
+        );
+        // B's own chain is a bare advance with no successor: nothing to
+        // compile.
+        assert!(pc.compile_trace(b_head).is_none());
+    }
+
+    /// A bulk run whose node ids are *not* consecutive (here: a link
+    /// grafted by a merge points past the master's old arena end)
+    /// compiles to an explicit id list instead of a span.
+    #[test]
+    fn noncontiguous_bulk_runs_compile_to_lists() {
+        let mut master = PActionCache::new(Policy::Unbounded);
+        assert_eq!(master.register_config(b"B"), ConfigLookup::Miss);
+        master.record_action(advance(2));
+        master.record_action(ActionKind::Finish);
+        // A's chain dangles: recording was interrupted after one advance.
+        assert_eq!(master.register_config(b"A"), ConfigLookup::Miss);
+        let a0 = master.record_action(advance(1));
+        let snap = master.freeze();
+
+        // Worker 1 grows the master with an unrelated configuration, so
+        // worker 2's graft target lands past `a0 + 1`.
+        let mut w1 = PActionCache::from_snapshot(&snap);
+        assert_eq!(w1.register_config(b"C"), ConfigLookup::Miss);
+        w1.record_action(advance(3));
+        w1.record_action(ActionKind::Finish);
+
+        // Worker 2 replays A, runs off the chain end, and records on.
+        let mut w2 = PActionCache::from_snapshot(&snap);
+        let head = match w2.register_config(b"A") {
+            ConfigLookup::Hit(id) => id,
+            ConfigLookup::Miss => panic!("A is frozen"),
+        };
+        assert_eq!(w2.advance(head), None);
+        w2.resume_recording_at(head, None);
+        w2.record_action(advance(4));
+        w2.record_action(ActionKind::Finish);
+
+        master.merge_from(&w1.freeze());
+        master.merge_from(&w2.freeze());
+
+        let seg = master.compile_trace(a0).expect("compilable");
+        match &seg.ops[0] {
+            TraceOp::Bulk { count: 2, touched: touched @ Touched::List(_, 2), .. } => {
+                let Touched::List(start, len) = *touched else { unreachable!() };
+                let nodes = seg.touched_slice((start, len));
+                assert_eq!(nodes[0], a0);
+                assert!(nodes[1] != a0 + 1, "graft target is out of line");
+            }
+            other => panic!("expected a listed Bulk, got {other:?}"),
+        }
+    }
+
+    /// An outcome-bearing node with no recorded edges ends the segment.
+    #[test]
+    fn edgeless_dispatch_cuts() {
+        let mut pc = PActionCache::new(Policy::Unbounded);
+        assert_eq!(pc.register_config(b"A"), ConfigLookup::Miss);
+        let head = pc.record_action(advance(1));
+        let load = pc.record_action(ActionKind::IssueLoad { lq_index: 0 });
+        let seg = pc.compile_trace(head).expect("compilable");
+        assert_eq!(*seg.ops.last().unwrap(), TraceOp::Cut { node: load });
+    }
+
+    /// trace_enter compiles at the threshold, caches the segment, and the
+    /// sentinel thresholds behave as documented.
+    #[test]
+    fn hotness_thresholds() {
+        let mut pc = PActionCache::new(Policy::Unbounded);
+        assert_eq!(pc.register_config(b"A"), ConfigLookup::Miss);
+        let head = pc.record_action(advance(1));
+        pc.record_action(ActionKind::Finish);
+
+        pc.set_hotness_threshold(2);
+        assert!(pc.trace_enter(head).is_none(), "visit 1 below threshold");
+        assert!(pc.trace_enter(head).is_none(), "visit 2 at threshold");
+        let seg = pc.trace_enter(head).expect("visit 3 compiles");
+        assert_eq!(pc.trace_count(), 1);
+        assert_eq!(pc.stats().trace_segments_compiled, 1);
+        assert_eq!(pc.stats().replay_segments_entered, 1);
+        // Subsequent entries reuse the compiled segment.
+        let again = pc.trace_enter(head).expect("cached");
+        assert!(Arc::ptr_eq(&seg, &again));
+        assert_eq!(pc.stats().trace_segments_compiled, 1);
+        assert_eq!(pc.stats().replay_segments_entered, 2);
+
+        // Threshold 0: a fresh cache compiles on first entry.
+        let mut eager = PActionCache::new(Policy::Unbounded);
+        assert_eq!(eager.register_config(b"A"), ConfigLookup::Miss);
+        let h = eager.record_action(advance(1));
+        eager.record_action(ActionKind::Finish);
+        eager.set_hotness_threshold(0);
+        assert!(eager.trace_enter(h).is_some());
+
+        // u32::MAX: never compiles.
+        let mut never = PActionCache::new(Policy::Unbounded);
+        assert_eq!(never.register_config(b"A"), ConfigLookup::Miss);
+        let h = never.record_action(advance(1));
+        never.record_action(ActionKind::Finish);
+        never.set_hotness_threshold(u32::MAX);
+        for _ in 0..64 {
+            assert!(never.trace_enter(h).is_none());
+        }
+        assert_eq!(never.stats().trace_segments_compiled, 0);
+    }
+
+    /// Flush, collection and merge all invalidate compiled segments (node
+    /// ids relocate or the graph changes shape under them).
+    #[test]
+    fn invalidation_on_flush_collect_merge() {
+        let mut pc = PActionCache::new(Policy::Unbounded);
+        assert_eq!(pc.register_config(b"A"), ConfigLookup::Miss);
+        let head = pc.record_action(advance(1));
+        pc.record_action(ActionKind::Finish);
+        pc.set_hotness_threshold(0);
+        assert!(pc.trace_enter(head).is_some());
+        assert_eq!(pc.trace_count(), 1);
+
+        pc.collect(false);
+        assert_eq!(pc.trace_count(), 0, "collection relocates node ids");
+
+        let head = match pc.register_config(b"A") {
+            ConfigLookup::Hit(id) => id,
+            ConfigLookup::Miss => panic!("A survives the collection"),
+        };
+        assert!(pc.trace_enter(head).is_some());
+        pc.flush();
+        assert_eq!(pc.trace_count(), 0, "flush drops everything");
+
+        // Rebuild, compile, then merge a delta: traces drop again.
+        assert_eq!(pc.register_config(b"A"), ConfigLookup::Miss);
+        let head = pc.record_action(advance(1));
+        pc.record_action(ActionKind::Finish);
+        assert!(pc.trace_enter(head).is_some());
+        let snap = pc.freeze();
+        let mut worker = PActionCache::from_snapshot(&snap);
+        assert_eq!(worker.trace_count(), 0, "snapshots do not carry traces");
+        assert_eq!(worker.register_config(b"B"), ConfigLookup::Miss);
+        worker.record_action(advance(2));
+        worker.record_action(ActionKind::Finish);
+        let delta = worker.freeze();
+        pc.merge_from(&delta);
+        assert_eq!(pc.trace_count(), 0, "merge invalidates traces");
+    }
+
+    /// The op cap bounds segment size on pathologically long chains.
+    #[test]
+    fn op_cap_cuts_long_chains() {
+        let mut pc = PActionCache::new(Policy::Unbounded);
+        assert_eq!(pc.register_config(b"A"), ConfigLookup::Miss);
+        let head = pc.record_action(advance(1));
+        // Alternate stores and advances so nothing aggregates away and no
+        // node repeats: every pair costs two ops.
+        for i in 0..2 * MAX_TRACE_OPS as u32 {
+            pc.record_action(ActionKind::IssueStore { sq_index: i });
+            pc.record_action(advance(1));
+        }
+        pc.record_action(ActionKind::Finish);
+        let seg = pc.compile_trace(head).expect("compilable");
+        // The cap is checked per node; a node may emit a flushed bulk op
+        // plus its own op before the check fires again, and the cut
+        // itself costs one more.
+        assert!(seg.ops.len() <= MAX_TRACE_OPS + 3, "{}", seg.ops.len());
+        assert!(matches!(seg.ops.last(), Some(TraceOp::Cut { .. })));
+    }
+}

@@ -34,4 +34,25 @@ for key in '"schema": "fastsim-memo-hotpath/v1"' \
 done
 echo "==> bench smoke passed ($SMOKE_OUT)"
 
+echo "==> bench smoke: replay_hotpath on a tiny workload"
+# Same idea for the trace-compiled replay benchmark: tiny run, then
+# validate the keys BENCH_replay.json consumers rely on (including the
+# bit-identity flag the bench asserts before writing).
+REPLAY_OUT="target/bench_replay_smoke.json"
+cargo run --release -q -p fastsim-bench --bin replay_hotpath -- \
+    --insts 20000 --filter compress --out "$REPLAY_OUT"
+for key in '"schema": "fastsim-replay-hotpath/v1"' \
+    '"insts_per_workload"' '"debug_build"' '"workloads"' \
+    '"nav_node_actions_per_sec"' '"nav_trace_actions_per_sec"' \
+    '"nav_speedup"' '"warm_node_ms"' '"warm_trace_ms"' '"warm_speedup"' \
+    '"segments_entered"' '"segments_compiled"' '"bailouts"' \
+    '"trace_ops"' '"stats_identical": true' '"summary"' \
+    '"replay_throughput_speedup_geomean"' '"warm_speedup_geomean"'; do
+    grep -qF "$key" "$REPLAY_OUT" || {
+        echo "bench smoke: missing $key in $REPLAY_OUT" >&2
+        exit 1
+    }
+done
+echo "==> bench smoke passed ($REPLAY_OUT)"
+
 echo "==> tier-1 gate passed"

@@ -1,0 +1,190 @@
+//! Trace-compiled replay equivalence: flattening hot p-action chains into
+//! linear segments is purely a host-performance transformation — every
+//! simulation result, statistic and cache state must be bit-identical to
+//! node-at-a-time replay at any hotness threshold, under every
+//! replacement policy, and across a freeze/thaw/merge round trip.
+
+use fastsim::core::{
+    CacheConfig, CacheStats, MemoStats, Mode, Policy, SimStats, Simulator, UArchConfig,
+};
+use fastsim::memo::{PActionCache, DEFAULT_HOTNESS_THRESHOLD};
+use fastsim::workloads::by_name;
+
+/// The results of one run that must not depend on the hotness threshold.
+#[derive(Debug)]
+struct Outcome {
+    stats: SimStats,
+    output: Vec<u32>,
+    memo: MemoStats,
+    cache: CacheStats,
+}
+
+fn run(name: &str, insts: u64, policy: Policy, hotness: u32) -> Outcome {
+    let w = by_name(name).expect("workload exists");
+    let program = w.program_for_insts(insts);
+    let mut sim = Simulator::new(&program, Mode::Fast { policy }).expect("simulator builds");
+    sim.set_trace_hotness(hotness);
+    sim.run_to_completion().expect("run completes");
+    Outcome {
+        stats: *sim.stats(),
+        output: sim.output().to_vec(),
+        memo: *sim.memo_stats().expect("fast mode"),
+        cache: *sim.cache_stats(),
+    }
+}
+
+/// Every field of `MemoStats` that predates trace compilation must be
+/// unaffected by it (the trace counters themselves are allowed — indeed
+/// expected — to differ).
+fn assert_pre_trace_memo_equal(a: &MemoStats, b: &MemoStats, ctx: &str) {
+    assert_eq!(a.static_configs, b.static_configs, "{ctx}: static_configs");
+    assert_eq!(a.static_actions, b.static_actions, "{ctx}: static_actions");
+    assert_eq!(a.bytes, b.bytes, "{ctx}: modeled bytes");
+    assert_eq!(a.peak_bytes, b.peak_bytes, "{ctx}: peak bytes");
+    assert_eq!(a.flushes, b.flushes, "{ctx}: flushes");
+    assert_eq!(a.collections, b.collections, "{ctx}: collections");
+    assert_eq!(a.gc_survived_bytes, b.gc_survived_bytes, "{ctx}: gc survived");
+    assert_eq!(a.gc_scanned_bytes, b.gc_scanned_bytes, "{ctx}: gc scanned");
+    assert_eq!(a.config_hits, b.config_hits, "{ctx}: config hits");
+    assert_eq!(a.config_misses, b.config_misses, "{ctx}: config misses");
+}
+
+/// The tentpole equivalence sweep: hotness ∈ {never, always, default, odd}
+/// × all four replacement policies. `u32::MAX` (never compile) is the
+/// node-at-a-time baseline the others must match bit-for-bit.
+#[test]
+fn hotness_sweep_is_bit_identical_across_policies() {
+    let limit = 16 << 10;
+    for name in ["129.compress", "099.go"] {
+        for policy in [
+            Policy::Unbounded,
+            Policy::FlushOnFull { limit },
+            Policy::CopyingGc { limit },
+            Policy::GenerationalGc { limit },
+        ] {
+            let base = run(name, 60_000, policy, u32::MAX);
+            assert_eq!(
+                base.memo.replay_segments_entered, 0,
+                "{name}: u32::MAX must never enter a segment"
+            );
+            for hotness in [0, DEFAULT_HOTNESS_THRESHOLD, 3] {
+                let ctx = format!("{name} under {policy:?}, hotness {hotness}");
+                let traced = run(name, 60_000, policy, hotness);
+                assert_eq!(traced.stats, base.stats, "{ctx}: SimStats");
+                assert_eq!(traced.output, base.output, "{ctx}: program output");
+                assert_eq!(traced.cache, base.cache, "{ctx}: cache-hierarchy stats");
+                assert_pre_trace_memo_equal(&traced.memo, &base.memo, &ctx);
+                if hotness == 0 {
+                    assert!(
+                        traced.memo.replay_segments_entered > 0,
+                        "{ctx}: eager compilation must execute segments"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Warm-started replay — where traces matter most — is bit-identical on
+/// every workload of the bench sweep, and actually executes segments.
+#[test]
+fn warm_replay_identical_on_every_workload() {
+    for w in fastsim::workloads::all() {
+        let program = w.program_for_insts(40_000);
+        let mut cold = Simulator::new(&program, Mode::fast()).expect("cold builds");
+        // Record trace-free so the snapshot's cumulative counters start at
+        // zero and the baseline/traced split below is exact.
+        cold.set_trace_hotness(u32::MAX);
+        cold.run_to_completion().expect("cold completes");
+        let snap = cold.take_warm_cache().expect("fast mode").freeze();
+
+        let mut outcomes = Vec::new();
+        for hotness in [u32::MAX, 0] {
+            let mut warm = Simulator::with_warm_snapshot(
+                &program,
+                &snap,
+                UArchConfig::table1(),
+                CacheConfig::table1(),
+            )
+            .expect("warm builds");
+            warm.set_trace_hotness(hotness);
+            warm.run_to_completion().expect("warm completes");
+            let memo = *warm.memo_stats().expect("fast mode");
+            outcomes.push((*warm.stats(), warm.output().to_vec(), memo));
+        }
+        let (node, trace) = (&outcomes[0], &outcomes[1]);
+        assert_eq!(trace.0, node.0, "{}: warm SimStats", w.name);
+        assert_eq!(trace.1, node.1, "{}: warm output", w.name);
+        assert_pre_trace_memo_equal(&trace.2, &node.2, w.name);
+        assert_eq!(node.2.replay_segments_entered, 0, "{}: baseline", w.name);
+        assert!(
+            trace.2.replay_segments_entered > 0,
+            "{}: warm replay must execute segments",
+            w.name
+        );
+        assert!(trace.2.replay_trace_ops > 0, "{}: op counter must move", w.name);
+    }
+}
+
+/// A freeze/thaw/`merge_from` round trip produces the same worker results
+/// and the same merged master regardless of the hotness threshold, and
+/// snapshots never carry compiled traces.
+#[test]
+fn freeze_thaw_merge_round_trip_identical() {
+    let w = by_name("129.compress").expect("workload exists");
+    let program = w.program_for_insts(50_000);
+    let mut first = Simulator::new(&program, Mode::fast()).expect("builds");
+    first.run_to_completion().expect("completes");
+    let snap = first.take_warm_cache().expect("fast mode").freeze();
+
+    let mut merged_shapes = Vec::new();
+    let mut worker_stats = Vec::new();
+    for hotness in [u32::MAX, 0, DEFAULT_HOTNESS_THRESHOLD] {
+        let mut worker = Simulator::with_warm_snapshot(
+            &program,
+            &snap,
+            UArchConfig::table1(),
+            CacheConfig::table1(),
+        )
+        .expect("worker builds");
+        worker.set_trace_hotness(hotness);
+        worker.run_to_completion().expect("worker completes");
+        worker_stats.push(*worker.stats());
+        let delta = worker.take_warm_cache().expect("fast mode").freeze();
+
+        let mut master = PActionCache::from_snapshot(snap.cache());
+        assert_eq!(master.trace_count(), 0, "thawed masters start trace-free");
+        let outcome = master.merge_from(delta.cache());
+        assert_eq!(master.trace_count(), 0, "merge leaves no stale traces");
+        merged_shapes.push((master.config_count(), master.node_count(), outcome));
+    }
+    assert!(
+        worker_stats.iter().all(|s| *s == worker_stats[0]),
+        "worker SimStats must not depend on hotness: {worker_stats:#?}"
+    );
+    assert!(
+        merged_shapes.iter().all(|m| *m == merged_shapes[0]),
+        "merged master must not depend on hotness: {merged_shapes:#?}"
+    );
+}
+
+/// Mid-run budget pauses inside a compiled segment resume exactly where
+/// node-at-a-time replay would: chopping a run into tiny slices changes
+/// nothing.
+#[test]
+fn budget_pauses_inside_segments_are_transparent() {
+    let w = by_name("129.compress").expect("workload exists");
+    let program = w.program_for_insts(40_000);
+
+    let mut whole = Simulator::new(&program, Mode::fast()).expect("builds");
+    whole.set_trace_hotness(0);
+    whole.run_to_completion().expect("completes");
+
+    let mut sliced = Simulator::new(&program, Mode::fast()).expect("builds");
+    sliced.set_trace_hotness(0);
+    while !sliced.finished() {
+        sliced.run(500).expect("slice runs");
+    }
+    assert_eq!(sliced.stats(), whole.stats(), "sliced vs whole SimStats");
+    assert_eq!(sliced.output(), whole.output(), "sliced vs whole output");
+}
