@@ -77,7 +77,7 @@ impl InOrderSim {
     pub fn with_configs(
         program: &Program,
         config: UArchConfig,
-        cache: CacheConfig,
+        cache: impl Into<fastsim_mem::HierarchyConfig>,
     ) -> Result<InOrderSim, fastsim_isa::DecodeError> {
         let prog = Rc::new(program.predecode()?);
         let mut mem = Memory::new();

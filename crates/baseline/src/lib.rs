@@ -134,11 +134,11 @@ impl BaselineSim {
     /// # Panics
     ///
     /// Panics if a configuration is invalid (see [`UArchConfig::validate`]
-    /// and [`CacheConfig::validate`]).
+    /// and [`fastsim_mem::HierarchyConfig::validate`]).
     pub fn with_configs(
         program: &Program,
         config: UArchConfig,
-        cache: CacheConfig,
+        cache: impl Into<fastsim_mem::HierarchyConfig>,
     ) -> Result<BaselineSim, fastsim_isa::DecodeError> {
         if let Err(e) = config.validate() {
             panic!("invalid config: {e}");
@@ -171,9 +171,14 @@ impl BaselineSim {
         &self.stats
     }
 
-    /// Cache statistics.
+    /// Aggregate cache statistics.
     pub fn cache_stats(&self) -> &CacheStats {
         self.cache.stats()
+    }
+
+    /// Per-level cache statistics, nearest level first.
+    pub fn cache_level_stats(&self) -> &[fastsim_mem::LevelStats] {
+        self.cache.level_stats()
     }
 
     /// Values the program wrote with `out`.

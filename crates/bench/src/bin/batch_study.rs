@@ -5,10 +5,12 @@
 //!
 //! ```text
 //! cargo run --release -p fastsim-bench --bin batch_study -- \
-//!     --insts 500000 --workers 4 --rounds 2 --replicas 2 [--filter compress]
+//!     --insts 500000 --workers 4 --rounds 2 --replicas 2 \
+//!     [--filter compress] [--hierarchy three-level]
 //! ```
 
 use fastsim_core::batch::{BatchDriver, BatchJob};
+use fastsim_core::{HierarchyConfig, LevelStats};
 use fastsim_workloads::Manifest;
 
 struct Args {
@@ -17,11 +19,18 @@ struct Args {
     rounds: usize,
     replicas: usize,
     filter: Option<String>,
+    hierarchy: Option<String>,
 }
 
 fn parse_args() -> Args {
-    let mut out =
-        Args { insts: 200_000, workers: 4, rounds: 2, replicas: 1, filter: None };
+    let mut out = Args {
+        insts: 200_000,
+        workers: 4,
+        rounds: 2,
+        replicas: 1,
+        filter: None,
+        hierarchy: None,
+    };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut num = |what: &str| -> u64 {
@@ -35,12 +44,23 @@ fn parse_args() -> Args {
             "--rounds" => out.rounds = num("--rounds") as usize,
             "--replicas" => out.replicas = num("--replicas") as usize,
             "--filter" => out.filter = args.next(),
+            "--hierarchy" => out.hierarchy = args.next(),
             other => panic!(
-                "unknown argument `{other}` (expected --insts/--workers/--rounds/--replicas/--filter)"
+                "unknown argument `{other}` (expected --insts/--workers/--rounds/--replicas/--filter/--hierarchy)"
             ),
         }
     }
     out
+}
+
+/// Resolves a preset name or exits with the known names.
+fn resolve_preset(name: &str) -> HierarchyConfig {
+    HierarchyConfig::preset(name).unwrap_or_else(|| {
+        panic!(
+            "unknown hierarchy preset `{name}` (known: {})",
+            HierarchyConfig::preset_names().join(", ")
+        )
+    })
 }
 
 fn main() {
@@ -49,15 +69,31 @@ fn main() {
     if let Some(f) = &args.filter {
         manifest = manifest.filtered(f);
     }
+    if let Some(p) = &args.hierarchy {
+        resolve_preset(p); // fail fast on a typo, before building jobs
+        manifest = manifest.with_hierarchy(p);
+    }
     assert!(!manifest.is_empty(), "filter matched no jobs");
     let jobs: Vec<BatchJob> = manifest
         .into_jobs()
         .into_iter()
-        .map(|j| BatchJob::new(j.name, j.program))
+        .map(|j| {
+            let mut job = BatchJob::new(j.name, j.program);
+            if let Some(p) = j.hierarchy.as_deref() {
+                job.hierarchy = resolve_preset(p);
+            }
+            job
+        })
         .collect();
 
     println!();
-    println!("=== batch_study: {} jobs, {} workers, {} rounds ===", jobs.len(), args.workers, args.rounds);
+    println!(
+        "=== batch_study: {} jobs, {} workers, {} rounds, hierarchy {} ===",
+        jobs.len(),
+        args.workers,
+        args.rounds,
+        args.hierarchy.as_deref().unwrap_or("table1 (default)")
+    );
     if cfg!(debug_assertions) {
         println!("[WARNING: debug build — times are not meaningful]");
     }
@@ -88,6 +124,34 @@ fn main() {
                 j.merge.configs_deduped,
                 j.memo.replay_segments_entered,
                 j.memo.replay_bailouts,
+            );
+        }
+        // Per-level cache behaviour, summed over the fleet (every job in a
+        // round runs the same hierarchy depth).
+        let depth = report.jobs.iter().map(|j| j.level_stats.len()).max().unwrap_or(0);
+        let mut agg = vec![LevelStats::default(); depth];
+        for j in &report.jobs {
+            for (a, l) in agg.iter_mut().zip(&j.level_stats) {
+                a.hits += l.hits;
+                a.misses += l.misses;
+                a.mshr_stall_cycles += l.mshr_stall_cycles;
+                a.writebacks += l.writebacks;
+            }
+        }
+        println!(
+            "{:<6} {:>12} {:>12} {:>7} {:>12} {:>11}",
+            "level", "hits", "misses", "hit%", "mshr stalls", "writebacks"
+        );
+        for (i, l) in agg.iter().enumerate() {
+            let total = (l.hits + l.misses).max(1);
+            println!(
+                "L{:<5} {:>12} {:>12} {:>6.1}% {:>12} {:>11}",
+                i,
+                l.hits,
+                l.misses,
+                l.hits as f64 / total as f64 * 100.0,
+                l.mshr_stall_cycles,
+                l.writebacks
             );
         }
         let merged = report.merged();

@@ -1,0 +1,61 @@
+//! Hierarchy-depth study: does memoization survive a deeper memory
+//! hierarchy? The paper's evaluation fixes the two-level Table 1 caches;
+//! this study re-runs the SlowSim/FastSim comparison under each named
+//! hierarchy preset and reports, per workload: cycles, the memoization
+//! speedup (Slow/Fast host time), the configuration-lookup hit rate, and
+//! the fraction of instructions still simulated in detail.
+//!
+//! The interesting outcome is the *ratio* columns staying put across
+//! depths: the p-action cache only ever sees load intervals and poll
+//! results (§4.1), so a third cache level changes the simulated timing
+//! but not the memoizability of the pipeline's behaviour.
+//!
+//! ```text
+//! cargo run --release -p fastsim-bench --bin hierarchy_study -- \
+//!     --insts 500000 [--filter compress]
+//! ```
+
+use fastsim_bench::{banner, run_sim_hier, RunSpec};
+use fastsim_core::{HierarchyConfig, Mode};
+
+fn main() {
+    let spec = RunSpec::from_args();
+    banner("Hierarchy study: memoization across cache-hierarchy depths", &spec);
+    for preset in HierarchyConfig::preset_names() {
+        let hier = HierarchyConfig::preset(preset).expect("named preset");
+        println!("--- {preset}: {} level(s) ---", hier.depth());
+        println!(
+            "{:<14} {:>12} {:>11} {:>10} {:>10} {:>10}",
+            "Benchmark", "cycles", "Slow/Fast", "hit rate", "detailed%", "KIPS fast"
+        );
+        let mut ratios = Vec::new();
+        for w in spec.workloads() {
+            let program = w.program_for_insts(spec.insts);
+            let slow = run_sim_hier(&program, Mode::Slow, &hier);
+            let fast = run_sim_hier(&program, Mode::fast(), &hier);
+            assert_eq!(
+                slow.result.stats.cycles, fast.result.stats.cycles,
+                "{preset}/{}: memoization must not change the cycle count",
+                w.name
+            );
+            let stats = &fast.result.stats;
+            let memo = fast.result.memo.expect("fast mode");
+            let lookups = (memo.config_hits + memo.config_misses).max(1);
+            let ratio = slow.time.as_secs_f64() / fast.time.as_secs_f64().max(1e-9);
+            ratios.push(ratio);
+            println!(
+                "{:<14} {:>12} {:>10.1}x {:>9.1}% {:>9.3}% {:>10.0}",
+                w.name,
+                stats.cycles,
+                ratio,
+                memo.config_hits as f64 / lookups as f64 * 100.0,
+                stats.detailed_insts as f64 / stats.retired_insts.max(1) as f64 * 100.0,
+                stats.retired_insts as f64 / fast.time.as_secs_f64().max(1e-9) / 1e3,
+            );
+        }
+        let n = ratios.len().max(1) as f64;
+        let geomean = (ratios.iter().map(|r| r.max(1e-12).ln()).sum::<f64>() / n).exp();
+        println!("geomean memoization speedup under {preset}: {geomean:.1}x");
+        println!();
+    }
+}

@@ -24,12 +24,15 @@
 //!   strategies on every workload.
 //!
 //! Writes `BENCH_replay.json`. Usage:
-//! `replay_hotpath [--insts N] [--filter SUBSTR] [--out PATH]`.
+//! `replay_hotpath [--insts N] [--filter SUBSTR] [--out PATH]
+//! [--hierarchy PRESET]`.
 
-use fastsim_core::{CacheConfig, Mode, SimStats, Simulator, UArchConfig, WarmCacheSnapshot};
+use fastsim_core::{
+    HierarchyConfig, LevelStats, Mode, SimStats, Simulator, UArchConfig, WarmCacheSnapshot,
+};
 use fastsim_isa::Program;
 use fastsim_memo::{
-    ActionKind, PActionCache, Touched, TraceOp, TraceSegment, DEFAULT_HOTNESS_THRESHOLD,
+    ActionKind, PActionCache, TouchedKind, TraceOp, TraceSegment, DEFAULT_HOTNESS_THRESHOLD,
 };
 use fastsim_workloads::Workload;
 use std::fmt::Write as _;
@@ -46,10 +49,16 @@ struct Args {
     insts: u64,
     filter: Option<String>,
     out: String,
+    hierarchy: String,
 }
 
 fn parse_args() -> Args {
-    let mut parsed = Args { insts: 200_000, filter: None, out: "BENCH_replay.json".into() };
+    let mut parsed = Args {
+        insts: 200_000,
+        filter: None,
+        out: "BENCH_replay.json".into(),
+        hierarchy: "table1".into(),
+    };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -61,7 +70,10 @@ fn parse_args() -> Args {
             }
             "--filter" => parsed.filter = args.next(),
             "--out" => parsed.out = args.next().expect("--out needs a path"),
-            other => panic!("unknown argument `{other}` (expected --insts/--filter/--out)"),
+            "--hierarchy" => parsed.hierarchy = args.next().expect("--hierarchy needs a preset"),
+            other => panic!(
+                "unknown argument `{other}` (expected --insts/--filter/--out/--hierarchy)"
+            ),
         }
     }
     parsed
@@ -80,6 +92,7 @@ struct Row {
     segments_compiled: u64,
     bailouts: u64,
     trace_ops: u64,
+    level_stats: Vec<LevelStats>,
 }
 
 fn median(mut xs: Vec<f64>) -> f64 {
@@ -171,14 +184,14 @@ fn nav_trace(pc: &mut PActionCache, seg0: &Arc<TraceSegment>) -> f64 {
             while actions < NAV_ACTIONS {
                 match &seg.ops[ip] {
                     TraceOp::Bulk { cycles: c, count, touched, anchored, .. } => {
-                        match *touched {
-                            Touched::Span(first) => {
+                        match touched.kind() {
+                            TouchedKind::Span(first) => {
                                 if *anchored {
                                     last_anchor = first;
                                 }
                                 pc.mark_accessed_span(first, *count)
                             }
-                            Touched::List(start, len) => {
+                            TouchedKind::List(start, len) => {
                                 if *anchored {
                                     last_anchor = seg.touched[start as usize];
                                 }
@@ -209,7 +222,7 @@ fn nav_trace(pc: &mut PActionCache, seg0: &Arc<TraceSegment>) -> f64 {
                         }
                         pc.mark_accessed(*node);
                         actions += 1;
-                        black_box(&edges[0]);
+                        black_box(&seg.edges_slice(*edges)[0]);
                         ip += 1;
                     }
                     TraceOp::Finish { node, anchored } => {
@@ -249,25 +262,28 @@ fn nav_trace(pc: &mut PActionCache, seg0: &Arc<TraceSegment>) -> f64 {
 /// One warm run at the given hotness threshold. Only the simulation loop
 /// is timed — simulator construction (the arena thaw) is identical in
 /// both modes and would just add noise.
-fn warm_run(program: &Program, snap: &WarmCacheSnapshot, hotness: u32) -> (f64, Simulator) {
-    let mut sim = Simulator::with_warm_snapshot(
-        program,
-        snap,
-        UArchConfig::table1(),
-        CacheConfig::table1(),
-    )
-    .expect("warm builds");
+fn warm_run(
+    program: &Program,
+    snap: &WarmCacheSnapshot,
+    hier: &HierarchyConfig,
+    hotness: u32,
+) -> (f64, Simulator) {
+    let mut sim =
+        Simulator::with_warm_snapshot(program, snap, UArchConfig::table1(), hier.clone())
+            .expect("warm builds");
     sim.set_trace_hotness(hotness);
     let began = Instant::now();
     sim.run_to_completion().expect("warm completes");
     (began.elapsed().as_secs_f64(), sim)
 }
 
-fn run_workload(w: &Workload, insts: u64) -> Row {
+fn run_workload(w: &Workload, insts: u64, hier: &HierarchyConfig) -> Row {
     let program = w.program_for_insts(insts);
 
     // Record the chains once, trace-free, and freeze them.
-    let mut cold = Simulator::new(&program, Mode::fast()).expect("fast builds");
+    let mut cold =
+        Simulator::with_configs(&program, Mode::fast(), UArchConfig::table1(), hier.clone())
+            .expect("fast builds");
     cold.set_trace_hotness(u32::MAX);
     cold.run_to_completion().expect("cold completes");
     let snap = cold.take_warm_cache().expect("fast mode").freeze();
@@ -316,19 +332,28 @@ fn run_workload(w: &Workload, insts: u64) -> Row {
     let mut node_times = Vec::new();
     let mut trace_times = Vec::new();
     let mut memo = None;
+    let mut node_levels: Vec<LevelStats> = Vec::new();
+    let mut trace_levels: Vec<LevelStats> = Vec::new();
     for _ in 0..SAMPLES {
-        let (t, sim) = warm_run(&program, &snap, u32::MAX);
+        let (t, sim) = warm_run(&program, &snap, hier, u32::MAX);
         node_times.push(t * 1e3);
         node_stats = Some(*sim.stats());
-        let (t, sim) = warm_run(&program, &snap, DEFAULT_HOTNESS_THRESHOLD);
+        node_levels = sim.cache_level_stats().to_vec();
+        let (t, sim) = warm_run(&program, &snap, hier, DEFAULT_HOTNESS_THRESHOLD);
         trace_times.push(t * 1e3);
         trace_stats = Some(*sim.stats());
+        trace_levels = sim.cache_level_stats().to_vec();
         memo = Some(*sim.memo_stats().expect("fast mode"));
     }
     let (node_stats, trace_stats) = (node_stats.unwrap(), trace_stats.unwrap());
     assert_eq!(
         trace_stats, node_stats,
         "{}: trace-compiled warm run must be bit-identical",
+        w.name
+    );
+    assert_eq!(
+        trace_levels, node_levels,
+        "{}: per-level cache stats must be bit-identical across replay strategies",
         w.name
     );
     let memo = memo.unwrap();
@@ -348,11 +373,19 @@ fn run_workload(w: &Workload, insts: u64) -> Row {
         segments_compiled: memo.trace_segments_compiled,
         bailouts: memo.replay_bailouts,
         trace_ops: memo.replay_trace_ops,
+        level_stats: trace_levels,
     }
 }
 
 fn main() {
     let args = parse_args();
+    let hier = HierarchyConfig::preset(&args.hierarchy).unwrap_or_else(|| {
+        panic!(
+            "unknown hierarchy preset `{}` (known: {})",
+            args.hierarchy,
+            HierarchyConfig::preset_names().join(", ")
+        )
+    });
     let workloads: Vec<Workload> = fastsim_workloads::all()
         .into_iter()
         .filter(|w| args.filter.as_deref().is_none_or(|f| w.name.contains(f)))
@@ -361,6 +394,12 @@ fn main() {
 
     println!();
     println!("=== replay_hotpath: node-by-node vs trace-compiled replay ===");
+    println!(
+        "hierarchy: {} ({} levels), trace op size: {} B",
+        args.hierarchy,
+        hier.depth(),
+        std::mem::size_of::<TraceOp>()
+    );
     println!("target insts/workload: {}{}", args.insts, if cfg!(debug_assertions) {
         "  [WARNING: debug build — times are not meaningful]"
     } else {
@@ -376,12 +415,28 @@ fn main() {
     let rows: Vec<Row> = workloads
         .iter()
         .map(|w| {
-            let r = run_workload(w, args.insts);
+            let r = run_workload(w, args.insts, &hier);
             println!(
                 "{:<14} {:>13.0} {:>13.0} {:>8.2} {:>10.1} {:>10.1} {:>8.2} {:>9} {:>9}",
                 r.name, r.nav_node_aps, r.nav_trace_aps, r.nav_speedup, r.warm_node_ms,
                 r.warm_trace_ms, r.warm_speedup, r.segments_entered, r.segments_compiled
             );
+            let levels: Vec<String> = r
+                .level_stats
+                .iter()
+                .enumerate()
+                .map(|(i, l)| {
+                    let total = (l.hits + l.misses).max(1);
+                    format!(
+                        "L{i} {:.1}% hit ({} miss, {} stall, {} wb)",
+                        l.hits as f64 / total as f64 * 100.0,
+                        l.misses,
+                        l.mshr_stall_cycles,
+                        l.writebacks
+                    )
+                })
+                .collect();
+            println!("{:<14} {}", "", levels.join(" | "));
             r
         })
         .collect();
@@ -402,11 +457,24 @@ fn main() {
     let _ = writeln!(json, "  \"schema\": \"fastsim-replay-hotpath/v1\",");
     let _ = writeln!(json, "  \"insts_per_workload\": {},", args.insts);
     let _ = writeln!(json, "  \"debug_build\": {},", cfg!(debug_assertions));
+    let _ = writeln!(json, "  \"hierarchy\": \"{}\",", args.hierarchy);
+    let _ = writeln!(json, "  \"trace_op_bytes\": {},", std::mem::size_of::<TraceOp>());
     json.push_str("  \"workloads\": [\n");
     for (i, r) in rows.iter().enumerate() {
+        let cache_levels: Vec<String> = r
+            .level_stats
+            .iter()
+            .enumerate()
+            .map(|(lvl, l)| {
+                format!(
+                    "{{\"level\": {lvl}, \"hits\": {}, \"misses\": {}, \"mshr_stall_cycles\": {}, \"writebacks\": {}}}",
+                    l.hits, l.misses, l.mshr_stall_cycles, l.writebacks
+                )
+            })
+            .collect();
         let _ = writeln!(
             json,
-            "    {{\"name\": \"{}\", \"nav_node_actions_per_sec\": {:.1}, \"nav_trace_actions_per_sec\": {:.1}, \"nav_speedup\": {:.3}, \"warm_node_ms\": {:.2}, \"warm_trace_ms\": {:.2}, \"warm_speedup\": {:.3}, \"replayed_actions\": {}, \"segments_entered\": {}, \"segments_compiled\": {}, \"bailouts\": {}, \"trace_ops\": {}, \"stats_identical\": true}}{}",
+            "    {{\"name\": \"{}\", \"nav_node_actions_per_sec\": {:.1}, \"nav_trace_actions_per_sec\": {:.1}, \"nav_speedup\": {:.3}, \"warm_node_ms\": {:.2}, \"warm_trace_ms\": {:.2}, \"warm_speedup\": {:.3}, \"replayed_actions\": {}, \"segments_entered\": {}, \"segments_compiled\": {}, \"bailouts\": {}, \"trace_ops\": {}, \"cache_levels\": [{}], \"stats_identical\": true}}{}",
             r.name,
             r.nav_node_aps,
             r.nav_trace_aps,
@@ -419,6 +487,7 @@ fn main() {
             r.segments_compiled,
             r.bailouts,
             r.trace_ops,
+            cache_levels.join(", "),
             if i + 1 == rows.len() { "" } else { "," }
         );
     }

@@ -24,7 +24,7 @@
 //! crates.io dependencies, so benchmarking works fully offline.
 
 use fastsim_baseline::BaselineSim;
-use fastsim_core::{Mode, Policy, SimStats, Simulator};
+use fastsim_core::{HierarchyConfig, Mode, Policy, SimStats, Simulator, UArchConfig};
 use fastsim_emu::FuncEmulator;
 use fastsim_isa::Program;
 use fastsim_memo::MemoStats;
@@ -103,6 +103,17 @@ pub struct SimRun {
 /// Runs a [`Simulator`] in the given mode to completion.
 pub fn run_sim(program: &Program, mode: Mode) -> Timed<SimRun> {
     let mut sim = Simulator::new(program, mode).expect("simulator builds");
+    let start = Instant::now();
+    sim.run_to_completion().expect("simulation completes");
+    let time = start.elapsed();
+    Timed { result: SimRun { stats: *sim.stats(), memo: sim.memo_stats().copied() }, time }
+}
+
+/// Runs a [`Simulator`] to completion under an explicit memory hierarchy
+/// (Table 1 µ-architecture parameters otherwise).
+pub fn run_sim_hier(program: &Program, mode: Mode, hier: &HierarchyConfig) -> Timed<SimRun> {
+    let mut sim = Simulator::with_configs(program, mode, UArchConfig::table1(), hier.clone())
+        .expect("simulator builds");
     let start = Instant::now();
     sim.run_to_completion().expect("simulation completes");
     let time = start.elapsed();

@@ -52,7 +52,7 @@ use crate::engine::{fingerprint, Simulator, WarmCacheSnapshot};
 use crate::error::{BuildError, SimError};
 use crate::stats::SimStats;
 use fastsim_isa::Program;
-use fastsim_mem::{CacheConfig, CacheStats};
+use fastsim_mem::{CacheConfig, CacheStats, HierarchyConfig, LevelStats};
 use fastsim_memo::{
     CacheSnapshot, MemoStats, MergeOutcome, PActionCache, Policy, DEFAULT_HOTNESS_THRESHOLD,
 };
@@ -71,8 +71,9 @@ pub struct BatchJob {
     pub program: Program,
     /// µ-architecture parameters.
     pub uarch: UArchConfig,
-    /// Cache-hierarchy parameters.
-    pub cache: CacheConfig,
+    /// Memory-hierarchy parameters (any depth; a flat [`CacheConfig`]
+    /// lowers via `.into()`).
+    pub hierarchy: HierarchyConfig,
     /// p-action cache replacement policy. Jobs with the same fingerprint
     /// share one master cache whose policy is fixed by the first job seen
     /// for that group.
@@ -91,7 +92,7 @@ impl BatchJob {
             name: name.into(),
             program,
             uarch: UArchConfig::table1(),
-            cache: CacheConfig::table1(),
+            hierarchy: CacheConfig::table1().into(),
             policy: Policy::Unbounded,
             trace_hotness: DEFAULT_HOTNESS_THRESHOLD,
         }
@@ -99,7 +100,7 @@ impl BatchJob {
 
     /// The job's warm-cache fingerprint (its sharing group).
     pub fn fingerprint(&self) -> u64 {
-        fingerprint(&self.program, &self.uarch, &self.cache)
+        fingerprint(&self.program, &self.uarch, &self.hierarchy)
     }
 }
 
@@ -154,8 +155,10 @@ pub struct JobReport {
     /// The job's final memoization counters (cumulative: they continue
     /// from the snapshot the job thawed).
     pub memo: MemoStats,
-    /// Cache-hierarchy statistics — deterministic.
+    /// Aggregate cache-hierarchy statistics — deterministic.
     pub cache_stats: CacheStats,
+    /// Per-level cache statistics, nearest level first — deterministic.
+    pub level_stats: Vec<LevelStats>,
     /// Configuration-lookup hits this job performed (round-local delta
     /// against the inherited snapshot) — deterministic.
     pub memo_hits: u64,
@@ -378,10 +381,8 @@ fn run_job(
     snapshot: &WarmCacheSnapshot,
 ) -> Result<JobOutcome, BatchError> {
     let start = Instant::now();
-    let mut sim =
-        Simulator::with_warm_snapshot(&job.program, snapshot, job.uarch, job.cache).map_err(
-            |error| BatchError::Build { job: index, name: job.name.clone(), error },
-        )?;
+    let mut sim = Simulator::with_warm_snapshot(&job.program, snapshot, job.uarch, job.hierarchy.clone())
+        .map_err(|error| BatchError::Build { job: index, name: job.name.clone(), error })?;
     sim.set_trace_hotness(job.trace_hotness);
     sim.run_to_completion().map_err(|error| BatchError::Sim {
         job: index,
@@ -390,6 +391,7 @@ fn run_job(
     })?;
     let stats = *sim.stats();
     let cache_stats = *sim.cache_stats();
+    let level_stats = sim.cache_level_stats().to_vec();
     let memo = *sim.memo_stats().expect("batch jobs always run FastSim");
     let warm = sim.take_warm_cache().expect("FastSim run yields a warm cache");
     let delta = warm.into_pcache().freeze();
@@ -401,6 +403,7 @@ fn run_job(
             stats,
             memo,
             cache_stats,
+            level_stats,
             memo_hits: memo.config_hits - inherited.config_hits,
             memo_misses: memo.config_misses - inherited.config_misses,
             merge: MergeOutcome::default(),

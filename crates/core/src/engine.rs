@@ -5,10 +5,10 @@ use crate::error::{BuildError, SimError};
 use crate::stats::SimStats;
 use fastsim_emu::{BranchPredictor, CtrlKind, RunOutcome, SpecEmulator, SpecError};
 use fastsim_isa::{DecodedProgram, Program};
-use fastsim_mem::{CacheConfig, CacheSim, CacheStats, PollResult};
+use fastsim_mem::{CacheConfig, CacheSim, CacheStats, HierarchyConfig, LevelStats, PollResult};
 use fastsim_memo::{
     ActionKind, CacheSnapshot, ConfigLookup, MemoStats, NodeId, OutcomeKey, PActionCache, Policy,
-    RetireCounts, Touched, TraceOp, TraceSegment,
+    RetireCounts, TouchedKind, TraceOp, TraceSegment,
 };
 use fastsim_uarch::{
     decode_config, encode_config_into, CycleSummary, LoadPoll, Pipeline, PipelineEnv,
@@ -150,7 +150,11 @@ impl WarmCacheSnapshot {
 }
 
 /// FNV-1a fingerprint of everything the recorded actions depend on.
-pub(crate) fn fingerprint(program: &Program, uarch: &UArchConfig, cache: &CacheConfig) -> u64 {
+///
+/// Hashes the full hierarchy — level count and every per-level parameter —
+/// so warm caches recorded under different hierarchies can never be
+/// confused, whatever their depth.
+pub(crate) fn fingerprint(program: &Program, uarch: &UArchConfig, cache: &HierarchyConfig) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     let mut eat = |v: u64| {
         h ^= v;
@@ -188,19 +192,20 @@ pub(crate) fn fingerprint(program: &Program, uarch: &UArchConfig, cache: &CacheC
         uarch.lat_fp_mul,
         uarch.lat_fp_div,
         uarch.lat_fp_sqrt,
-        cache.l1_bytes,
-        cache.l1_assoc,
-        cache.l1_line,
-        cache.l1_hit_latency,
-        cache.l1_miss_latency,
-        cache.l1_mshrs,
-        cache.l2_bytes,
-        cache.l2_assoc,
-        cache.l2_line,
-        cache.l2_mshrs,
-        cache.memory_latency,
-        cache.bus_bytes,
     ] {
+        eat(v as u64);
+    }
+    eat(cache.levels.len() as u64);
+    for lvl in &cache.levels {
+        for v in [lvl.bytes, lvl.assoc, lvl.line, lvl.hit_latency, lvl.miss_latency, lvl.mshrs] {
+            eat(v as u64);
+        }
+        eat(match lvl.write_policy {
+            fastsim_mem::WritePolicy::WriteThrough => 0,
+            fastsim_mem::WritePolicy::WriteBack => 1,
+        });
+    }
+    for v in [cache.memory_latency, cache.bus_bytes] {
         eat(v as u64);
     }
     eat(match uarch.issue_model {
@@ -651,7 +656,8 @@ impl Simulator {
     }
 
     /// Creates a simulator with explicit µ-architecture and cache
-    /// parameters.
+    /// parameters. The cache accepts either the flat two-level
+    /// [`CacheConfig`] or a full N-level [`HierarchyConfig`].
     ///
     /// # Errors
     ///
@@ -661,7 +667,7 @@ impl Simulator {
         program: &Program,
         mode: Mode,
         uarch: UArchConfig,
-        cache: CacheConfig,
+        cache: impl Into<HierarchyConfig>,
     ) -> Result<Simulator, BuildError> {
         Simulator::with_predictor(program, mode, uarch, cache, BranchPredictor::new())
     }
@@ -678,9 +684,10 @@ impl Simulator {
         program: &Program,
         mode: Mode,
         uarch: UArchConfig,
-        cache: CacheConfig,
+        cache: impl Into<HierarchyConfig>,
         predictor: BranchPredictor,
     ) -> Result<Simulator, BuildError> {
+        let cache: HierarchyConfig = cache.into();
         uarch.validate().map_err(BuildError::UArchConfig)?;
         cache.validate().map_err(BuildError::CacheConfig)?;
         let prog = Rc::new(program.predecode()?);
@@ -688,6 +695,7 @@ impl Simulator {
             Mode::Fast { policy } => Some(PActionCache::new(policy)),
             Mode::Slow => None,
         };
+        let fingerprint_of_run = fingerprint(program, &uarch, &cache);
         let mut sim = Simulator {
             pipeline: Pipeline::new(uarch, prog.clone()),
             shared: Shared {
@@ -710,7 +718,7 @@ impl Simulator {
             scratch: Vec::new(),
             chain_len: 0,
             last_progress: 0,
-            fingerprint_of_run: fingerprint(program, &uarch, &cache),
+            fingerprint_of_run,
             observer: None,
         };
         // Direct execution leads: run the first stretch so the pipeline's
@@ -731,8 +739,9 @@ impl Simulator {
         program: &Program,
         warm: WarmCache,
         uarch: UArchConfig,
-        cache: CacheConfig,
+        cache: impl Into<HierarchyConfig>,
     ) -> Result<Simulator, BuildError> {
+        let cache: HierarchyConfig = cache.into();
         if warm.fingerprint != fingerprint(program, &uarch, &cache) {
             return Err(BuildError::WarmCacheMismatch);
         }
@@ -761,8 +770,9 @@ impl Simulator {
         program: &Program,
         warm: &WarmCacheSnapshot,
         uarch: UArchConfig,
-        cache: CacheConfig,
+        cache: impl Into<HierarchyConfig>,
     ) -> Result<Simulator, BuildError> {
+        let cache: HierarchyConfig = cache.into();
         if warm.fingerprint != fingerprint(program, &uarch, &cache) {
             return Err(BuildError::WarmCacheMismatch);
         }
@@ -803,9 +813,14 @@ impl Simulator {
         &self.shared.stats
     }
 
-    /// Cache-hierarchy statistics.
+    /// Aggregate cache-hierarchy statistics.
     pub fn cache_stats(&self) -> &CacheStats {
         self.shared.cache.stats()
+    }
+
+    /// Per-level cache statistics, nearest level first.
+    pub fn cache_level_stats(&self) -> &[LevelStats] {
+        self.shared.cache.level_stats()
     }
 
     /// Memoization statistics ([`Mode::Fast`] only).
@@ -1150,26 +1165,27 @@ impl Simulator {
             ops_run += 1;
             match &seg.ops[ip] {
                 TraceOp::Bulk { cycles, retired, count, touched, anchored } => {
-                    crossing!(*anchored, match *touched {
-                        Touched::Span(first) => first,
-                        Touched::List(start, _) => seg.touched[start as usize],
+                    crossing!(*anchored, match touched.kind() {
+                        TouchedKind::Span(first) => first,
+                        TouchedKind::List(start, _) => seg.touched[start as usize],
                     });
-                    match *touched {
-                        Touched::Span(first) => pc.mark_accessed_span(first, *count),
-                        Touched::List(start, len) => {
+                    match touched.kind() {
+                        TouchedKind::Span(first) => pc.mark_accessed_span(first, *count),
+                        TouchedKind::List(start, len) => {
                             for &t in seg.touched_slice((start, len)) {
                                 pc.mark_accessed(t);
                             }
                         }
                     }
+                    let retired = seg.retires[*retired as usize];
                     self.shared.stats.dynamic_actions += u64::from(*count);
                     self.shared.stats.replayed_actions += u64::from(*count);
                     self.chain_len += u64::from(*count);
                     self.shared.stats.cycles += u64::from(*cycles);
                     self.shared.stats.replayed_cycles += u64::from(*cycles);
-                    self.shared.apply_retire(*retired, true);
+                    self.shared.apply_retire(retired, true);
                     self.shared.resume.cycles += *cycles;
-                    self.shared.resume.pops.add(*retired);
+                    self.shared.resume.pops.add(retired);
                     if retired.insts > 0 {
                         self.last_progress = self.shared.stats.cycles;
                     }
@@ -1220,7 +1236,7 @@ impl Simulator {
                     }
                     self.shared.resume.responses.push_back(Buffered::Feed(feed));
                     let key = outcome_of_feed(&feed);
-                    match dispatch(edges, key) {
+                    match dispatch(seg.edges_slice(*edges), key) {
                         Dispatch::Hot => ip += 1,
                         Dispatch::Cold(n) => break Ok(SegExit::Continue(n)),
                         Dispatch::Uncarried => {
@@ -1237,7 +1253,7 @@ impl Simulator {
                     let interval = self.shared.do_issue_load(*lq_index as usize);
                     self.shared.resume.responses.push_back(Buffered::Interval(interval));
                     let key = OutcomeKey::Interval(interval);
-                    match dispatch(edges, key) {
+                    match dispatch(seg.edges_slice(*edges), key) {
                         Dispatch::Hot => ip += 1,
                         Dispatch::Cold(n) => break Ok(SegExit::Continue(n)),
                         Dispatch::Uncarried => {
@@ -1257,7 +1273,7 @@ impl Simulator {
                         LoadPoll::Ready => OutcomeKey::PollReady,
                         LoadPoll::Wait(w) => OutcomeKey::PollWait(w),
                     };
-                    match dispatch(edges, key) {
+                    match dispatch(seg.edges_slice(*edges), key) {
                         Dispatch::Hot => ip += 1,
                         Dispatch::Cold(n) => break Ok(SegExit::Continue(n)),
                         Dispatch::Uncarried => {

@@ -1,6 +1,6 @@
 //! The non-blocking cache hierarchy timing simulator.
 
-use crate::config::CacheConfig;
+use crate::config::{HierarchyConfig, WritePolicy, MAX_LEVELS};
 use std::collections::HashMap;
 
 /// Identifier for an outstanding load, assigned by the caller.
@@ -19,25 +19,43 @@ pub enum PollResult {
     Wait(u32),
 }
 
-/// Counters collected by the cache simulator.
+/// Aggregate counters collected by the cache simulator.
+///
+/// The `l1_*`/`l2_*` fields mirror the paper's two-level reporting and map
+/// to levels 0 and 1 of the hierarchy (deeper levels appear only in
+/// [`CacheSim::level_stats`]); `writebacks` and `mshr_stall_cycles` sum
+/// over every level.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct CacheStats {
     /// Loads issued.
     pub loads: u64,
     /// Stores issued.
     pub stores: u64,
-    /// L1 load hits.
+    /// Level 0 (L1) load hits.
     pub l1_hits: u64,
-    /// L1 load misses.
+    /// Level 0 (L1) load misses.
     pub l1_misses: u64,
-    /// L2 load hits (after an L1 miss).
+    /// Level 1 (L2) load hits (after an L1 miss).
     pub l2_hits: u64,
-    /// L2 load misses.
+    /// Level 1 (L2) load misses.
     pub l2_misses: u64,
-    /// Dirty L2 lines written back to memory.
+    /// Dirty lines written back (all levels).
     pub writebacks: u64,
-    /// Cycles a request spent queued for a free MSHR.
+    /// Cycles requests spent queued for a free MSHR (all levels).
     pub mshr_stall_cycles: u64,
+}
+
+/// Counters for one level of the hierarchy.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct LevelStats {
+    /// Load lookups that hit at this level.
+    pub hits: u64,
+    /// Load lookups that missed at this level.
+    pub misses: u64,
+    /// Cycles requests spent queued for one of this level's MSHRs.
+    pub mshr_stall_cycles: u64,
+    /// Dirty lines written back out of this level.
+    pub writebacks: u64,
 }
 
 /// One cache line's bookkeeping.
@@ -50,19 +68,19 @@ struct Line {
     lru: u32,
 }
 
-/// One set-associative cache level (tags only; this is a timing model).
+/// One set-associative tag array (tags only; this is a timing model).
 #[derive(Clone, Debug)]
-struct Level {
+struct Tags {
     lines: Vec<Line>,
     sets: u32,
     assoc: u32,
     line_shift: u32,
 }
 
-impl Level {
-    fn new(bytes: u32, assoc: u32, line: u32) -> Level {
+impl Tags {
+    fn new(bytes: u32, assoc: u32, line: u32) -> Tags {
         let sets = bytes / (line * assoc);
-        Level {
+        Tags {
             lines: vec![Line::default(); (sets * assoc) as usize],
             sets,
             assoc,
@@ -114,14 +132,17 @@ impl Level {
     }
 
     /// Fills the line for `addr`, evicting the LRU way.
-    /// Returns `true` if a dirty line was evicted (needs write-back).
-    fn fill(&mut self, addr: u32, dirty: bool) -> bool {
+    /// Returns the victim's address if a dirty line was evicted (it needs
+    /// a write-back).
+    fn fill(&mut self, addr: u32, dirty: bool) -> Option<u32> {
         let (set, tag) = (self.set_of(addr), self.tag_of(addr));
+        let sets = self.sets;
+        let line_shift = self.line_shift;
         let ways = self.set_slice(set);
         // If already present (e.g. racing fills to the same line), refresh.
         if let Some(w) = ways.iter().position(|l| l.valid && l.tag == tag) {
             ways[w].dirty |= dirty;
-            return false;
+            return None;
         }
         let victim = ways
             .iter()
@@ -129,26 +150,37 @@ impl Level {
             .max_by_key(|(_, l)| if l.valid { l.lru } else { u32::MAX })
             .map(|(i, _)| i)
             .expect("associativity is non-zero");
-        let evict_dirty = ways[victim].valid && ways[victim].dirty;
+        let evicted = (ways[victim].valid && ways[victim].dirty)
+            .then(|| (ways[victim].tag * sets + set) << line_shift);
         ways[victim] = Line { tag, valid: true, dirty, lru: 0 };
         for (i, l) in ways.iter_mut().enumerate() {
             if i != victim && l.valid {
                 l.lru = l.lru.saturating_add(1);
             }
         }
-        evict_dirty
+        evicted
     }
+}
+
+/// One level's runtime state.
+#[derive(Clone, Debug)]
+struct LevelState {
+    tags: Tags,
+    /// Cycle at which each of this level's MSHRs becomes free.
+    mshr_free: Vec<u64>,
 }
 
 /// Phase of an outstanding load.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 enum Phase {
-    /// L1 hit; data ready at the stored cycle.
-    L1Hit { ready: u64 },
-    /// L1 missed; the L2 lookup resolves at the stored cycle.
-    L2Lookup { at: u64, mshr: usize },
-    /// L2 missed; memory delivers at the stored cycle.
-    MemWait { ready: u64, mshr: usize },
+    /// A hit has been resolved (MSHRs released); data ready at the cycle.
+    ReadyAt { ready: u64 },
+    /// Missed at every level above `level`; that level's lookup resolves
+    /// at the stored cycle. MSHRs are held at levels `0..level`.
+    Lookup { level: u8, at: u64 },
+    /// Missed at every level; memory delivers at the stored cycle. MSHRs
+    /// are held at every level.
+    MemWait { ready: u64 },
 }
 
 /// An outstanding (in-flight) load.
@@ -156,9 +188,12 @@ enum Phase {
 struct InFlight {
     addr: u32,
     phase: Phase,
+    /// The MSHR index this load holds at each level it has missed in
+    /// (meaningful for levels below the current phase's frontier).
+    mshrs: [u16; MAX_LEVELS],
 }
 
-/// Timing simulator for the two-level non-blocking data cache of Table 1.
+/// Timing simulator for an N-level non-blocking data cache hierarchy.
 ///
 /// See the [crate-level documentation](crate) for the protocol. Calls must
 /// use non-decreasing `now` cycles; this is asserted in debug builds.
@@ -179,57 +214,66 @@ struct InFlight {
 /// }
 /// // A second access to the same line now hits in L1.
 /// let again = c.issue_load(1, 0x8004, 4, now);
-/// assert_eq!(again, c.config().l1_hit_latency);
+/// assert_eq!(again, c.hierarchy().levels[0].hit_latency);
 /// ```
 #[derive(Clone, Debug)]
 pub struct CacheSim {
-    config: CacheConfig,
-    l1: Level,
-    l2: Level,
-    /// Cycle at which each L1 MSHR becomes free.
-    l1_mshr_free: Vec<u64>,
-    /// Cycle at which each L2 MSHR becomes free.
-    l2_mshr_free: Vec<u64>,
+    hierarchy: HierarchyConfig,
+    levels: Vec<LevelState>,
     /// Cycle at which the split-transaction bus is next free.
     bus_free: u64,
     in_flight: HashMap<LoadId, InFlight>,
     stats: CacheStats,
+    level_stats: Vec<LevelStats>,
     #[cfg(debug_assertions)]
     last_now: u64,
 }
 
 impl CacheSim {
-    /// Creates a cache simulator.
+    /// Creates a cache simulator for the given hierarchy (a
+    /// [`crate::CacheConfig`] lowers to a two-level hierarchy).
     ///
     /// # Panics
     ///
-    /// Panics if `config` fails [`CacheConfig::validate`].
-    pub fn new(config: CacheConfig) -> CacheSim {
-        if let Err(e) = config.validate() {
+    /// Panics if the configuration fails [`HierarchyConfig::validate`].
+    pub fn new(config: impl Into<HierarchyConfig>) -> CacheSim {
+        let hierarchy = config.into();
+        if let Err(e) = hierarchy.validate() {
             panic!("invalid cache config: {e}");
         }
+        let levels = hierarchy
+            .levels
+            .iter()
+            .map(|l| LevelState {
+                tags: Tags::new(l.bytes, l.assoc, l.line),
+                mshr_free: vec![0; l.mshrs as usize],
+            })
+            .collect();
         CacheSim {
-            l1: Level::new(config.l1_bytes, config.l1_assoc, config.l1_line),
-            l2: Level::new(config.l2_bytes, config.l2_assoc, config.l2_line),
-            l1_mshr_free: vec![0; config.l1_mshrs as usize],
-            l2_mshr_free: vec![0; config.l2_mshrs as usize],
+            levels,
             bus_free: 0,
             in_flight: HashMap::new(),
             stats: CacheStats::default(),
-            config,
+            level_stats: vec![LevelStats::default(); hierarchy.levels.len()],
+            hierarchy,
             #[cfg(debug_assertions)]
             last_now: 0,
         }
     }
 
-    /// The configuration this simulator was built with.
-    pub fn config(&self) -> &CacheConfig {
-        &self.config
+    /// The hierarchy this simulator was built with.
+    pub fn hierarchy(&self) -> &HierarchyConfig {
+        &self.hierarchy
     }
 
-    /// Counters collected so far.
+    /// Aggregate counters collected so far.
     pub fn stats(&self) -> &CacheStats {
         &self.stats
+    }
+
+    /// Per-level counters, nearest level first.
+    pub fn level_stats(&self) -> &[LevelStats] {
+        &self.level_stats
     }
 
     /// Number of loads currently in flight.
@@ -246,15 +290,66 @@ impl CacheSim {
     #[cfg(not(debug_assertions))]
     fn check_time(&mut self, _now: u64) {}
 
-    /// Allocates the MSHR that frees earliest; returns (index, stall).
-    fn alloc_mshr(free: &mut [u64], now: u64) -> (usize, u64) {
-        let (idx, &earliest) = free
+    fn record_hit(&mut self, level: usize) {
+        self.level_stats[level].hits += 1;
+        match level {
+            0 => self.stats.l1_hits += 1,
+            1 => self.stats.l2_hits += 1,
+            _ => {}
+        }
+    }
+
+    fn record_miss(&mut self, level: usize) {
+        self.level_stats[level].misses += 1;
+        match level {
+            0 => self.stats.l1_misses += 1,
+            1 => self.stats.l2_misses += 1,
+            _ => {}
+        }
+    }
+
+    /// Allocates the level's MSHR that frees earliest; returns
+    /// (index, stall), charging the stall to the level and the aggregate.
+    fn alloc_mshr(&mut self, level: usize, now: u64) -> (usize, u64) {
+        let (idx, &earliest) = self.levels[level]
+            .mshr_free
             .iter()
             .enumerate()
             .min_by_key(|(_, &t)| t)
             .expect("MSHR count is non-zero");
         let stall = earliest.saturating_sub(now);
+        self.level_stats[level].mshr_stall_cycles += stall;
+        self.stats.mshr_stall_cycles += stall;
         (idx, stall)
+    }
+
+    /// Fills `addr` into level `k`, handling a dirty eviction: the victim
+    /// is written back to the next level (marking it dirty there), or over
+    /// the bus to memory if `k` is the last level.
+    fn fill_level(&mut self, k: usize, addr: u32, dirty: bool, now: u64) {
+        if let Some(victim) = self.levels[k].tags.fill(addr, dirty) {
+            self.level_stats[k].writebacks += 1;
+            self.stats.writebacks += 1;
+            if k + 1 == self.levels.len() {
+                self.bus_free = self.bus_free.max(now) + self.hierarchy.line_transfer_cycles();
+            } else {
+                self.fill_level(k + 1, victim, true, now);
+            }
+        }
+    }
+
+    /// Starts the memory fetch for a load that missed at the last level:
+    /// arbitrates for the bus, extends every held MSHR to the delivery
+    /// cycle, and returns that cycle.
+    fn start_memory_fetch(&mut self, entry: &InFlight, stall: u64, now: u64) -> u64 {
+        let transfer = self.hierarchy.line_transfer_cycles();
+        let bus_start = self.bus_free.max(now + stall);
+        self.bus_free = bus_start + transfer;
+        let ready = bus_start + self.hierarchy.memory_latency as u64 + transfer;
+        for (k, lvl) in self.levels.iter_mut().enumerate() {
+            lvl.mshr_free[entry.mshrs[k] as usize] = ready;
+        }
+        ready
     }
 
     /// Issues a load of `width` bytes at `addr` starting at cycle `now`.
@@ -271,28 +366,42 @@ impl CacheSim {
         let _ = width; // timing model: width does not change latency
         self.stats.loads += 1;
         assert!(!self.in_flight.contains_key(&id), "load id {id} already in flight");
-        if self.l1.access(addr) {
-            self.stats.l1_hits += 1;
-            let ready = now + self.config.l1_hit_latency as u64;
-            self.in_flight.insert(id, InFlight { addr, phase: Phase::L1Hit { ready } });
-            return self.config.l1_hit_latency;
+        let hit_latency = self.hierarchy.levels[0].hit_latency;
+        if self.levels[0].tags.access(addr) {
+            self.record_hit(0);
+            let ready = now + hit_latency as u64;
+            let entry = InFlight { addr, phase: Phase::ReadyAt { ready }, mshrs: [0; MAX_LEVELS] };
+            self.in_flight.insert(id, entry);
+            return hit_latency;
         }
-        self.stats.l1_misses += 1;
-        let (mshr, stall) = Self::alloc_mshr(&mut self.l1_mshr_free, now);
-        self.stats.mshr_stall_cycles += stall;
-        let at = now + stall + self.config.l1_miss_latency as u64;
-        // Hold the MSHR at least until the L2 lookup resolves; extended if
-        // the lookup misses.
-        self.l1_mshr_free[mshr] = at;
-        self.in_flight.insert(id, InFlight { addr, phase: Phase::L2Lookup { at, mshr } });
-        (at - now) as u32
+        self.record_miss(0);
+        let (mshr, stall) = self.alloc_mshr(0, now);
+        let mut entry =
+            InFlight { addr, phase: Phase::ReadyAt { ready: 0 }, mshrs: [0; MAX_LEVELS] };
+        entry.mshrs[0] = mshr as u16;
+        let interval = if self.levels.len() == 1 {
+            // Single-level hierarchy: the miss goes straight to memory.
+            let ready = self.start_memory_fetch(&entry, stall, now);
+            entry.phase = Phase::MemWait { ready };
+            ready - now
+        } else {
+            // Hold the MSHR at least until the next lookup resolves;
+            // extended if that lookup misses.
+            let at = now + stall + self.hierarchy.levels[0].miss_latency as u64;
+            self.levels[0].mshr_free[mshr] = at;
+            entry.phase = Phase::Lookup { level: 1, at };
+            at - now
+        };
+        self.in_flight.insert(id, entry);
+        interval as u32
     }
 
     /// Polls an outstanding load at cycle `now`.
     ///
     /// Either reports the data ready (completing the load) or returns a
-    /// further interval to wait — mirroring the paper's interface, where an
-    /// L2 miss is only discovered on the poll after the L1-miss delay.
+    /// further interval to wait — mirroring the paper's interface, where a
+    /// miss at level k+1 is only discovered on the poll after the level-k
+    /// miss delay.
     ///
     /// # Panics
     ///
@@ -303,52 +412,72 @@ impl CacheSim {
             panic!("poll of unknown load id {id}");
         });
         match entry.phase {
-            Phase::L1Hit { ready } | Phase::MemWait { ready, .. }
-                if now < ready =>
-            {
+            Phase::ReadyAt { ready } | Phase::MemWait { ready } if now < ready => {
                 PollResult::Wait((ready - now) as u32)
             }
-            Phase::L1Hit { .. } => {
+            Phase::ReadyAt { .. } => {
                 self.in_flight.remove(&id);
                 PollResult::Ready
             }
-            Phase::L2Lookup { at, mshr } => {
+            Phase::Lookup { level, at } => {
                 if now < at {
                     return PollResult::Wait((at - now) as u32);
                 }
-                if self.l2.access(entry.addr) {
-                    // L2 hit: fill L1 and finish.
-                    self.stats.l2_hits += 1;
-                    self.l1.fill(entry.addr, false);
-                    self.l1_mshr_free[mshr] = now;
-                    self.in_flight.remove(&id);
-                    PollResult::Ready
+                let k = level as usize;
+                if self.levels[k].tags.access(entry.addr) {
+                    // Hit at level k: fill every nearer level and release
+                    // the MSHRs held on the way down.
+                    self.record_hit(k);
+                    for j in (0..k).rev() {
+                        self.fill_level(j, entry.addr, false, now);
+                    }
+                    for j in 0..k {
+                        self.levels[j].mshr_free[entry.mshrs[j] as usize] = now;
+                    }
+                    let ready = at + self.hierarchy.levels[k].hit_latency as u64;
+                    if now >= ready {
+                        self.in_flight.remove(&id);
+                        PollResult::Ready
+                    } else {
+                        let phase = Phase::ReadyAt { ready };
+                        self.in_flight.insert(id, InFlight { phase, ..entry });
+                        PollResult::Wait((ready - now) as u32)
+                    }
                 } else {
-                    // L2 miss: go to memory over the bus.
-                    self.stats.l2_misses += 1;
-                    let (l2_mshr, stall) = Self::alloc_mshr(&mut self.l2_mshr_free, now);
-                    self.stats.mshr_stall_cycles += stall;
-                    let transfer = self.config.line_transfer_cycles();
-                    let bus_start = self.bus_free.max(now + stall);
-                    self.bus_free = bus_start + transfer;
-                    let ready = bus_start + self.config.memory_latency as u64 + transfer;
-                    self.l2_mshr_free[l2_mshr] = ready;
-                    self.l1_mshr_free[mshr] = ready;
-                    self.in_flight.insert(
-                        id,
-                        InFlight { addr: entry.addr, phase: Phase::MemWait { ready, mshr } },
-                    );
-                    PollResult::Wait((ready - now) as u32)
+                    // Miss at level k: allocate this level's MSHR and
+                    // descend — to the next lookup, or to memory from the
+                    // last level.
+                    self.record_miss(k);
+                    let (mshr, stall) = self.alloc_mshr(k, now);
+                    let mut entry = entry;
+                    entry.mshrs[k] = mshr as u16;
+                    if k + 1 == self.levels.len() {
+                        let ready = self.start_memory_fetch(&entry, stall, now);
+                        entry.phase = Phase::MemWait { ready };
+                        self.in_flight.insert(id, entry);
+                        PollResult::Wait((ready - now) as u32)
+                    } else {
+                        let at = now + stall + self.hierarchy.levels[k].miss_latency as u64;
+                        for j in 0..=k {
+                            self.levels[j].mshr_free[entry.mshrs[j] as usize] = at;
+                        }
+                        entry.phase = Phase::Lookup { level: level + 1, at };
+                        self.in_flight.insert(id, entry);
+                        PollResult::Wait((at - now) as u32)
+                    }
                 }
             }
-            Phase::MemWait { mshr, .. } => {
-                // Memory returned: fill both levels.
-                if self.l2.fill(entry.addr, false) {
-                    self.stats.writebacks += 1;
-                    self.bus_free = self.bus_free.max(now) + self.config.line_transfer_cycles();
+            Phase::MemWait { .. } => {
+                // Memory returned: fill every level, outermost first. The
+                // last level's MSHR stays reserved until the scheduled
+                // delivery; the nearer ones are released now.
+                let last = self.levels.len() - 1;
+                for j in (0..=last).rev() {
+                    self.fill_level(j, entry.addr, false, now);
                 }
-                self.l1.fill(entry.addr, false);
-                self.l1_mshr_free[mshr] = now;
+                for j in 0..last {
+                    self.levels[j].mshr_free[entry.mshrs[j] as usize] = now;
+                }
                 self.in_flight.remove(&id);
                 PollResult::Ready
             }
@@ -367,40 +496,49 @@ impl CacheSim {
 
     /// Issues a store of `width` bytes at `addr` at cycle `now`.
     ///
-    /// The L1 is write-through/no-write-allocate and the L2 write-back/
-    /// write-allocate (Table 1). Stores complete asynchronously; they
-    /// influence subsequent load timing through bus and MSHR occupancy.
+    /// The store walks the hierarchy from level 0: each write-through
+    /// level forwards the word to the next level over one bus slot and
+    /// updates its line in place; the first write-back level absorbs the
+    /// store — marking the line dirty on a hit, write-allocating it from
+    /// memory on a miss. Stores complete asynchronously; they influence
+    /// subsequent load timing through bus and MSHR occupancy.
     pub fn issue_store(&mut self, addr: u32, width: u32, now: u64) {
         self.check_time(now);
         let _ = width;
         self.stats.stores += 1;
-        // Write-through: the word always travels to L2 over one bus slot.
-        self.bus_free = self.bus_free.max(now) + 1;
-        // L1: update in place on hit (no allocate on miss).
-        if self.l1.access(addr) {
-            // Write-through keeps L1 clean.
-        }
-        if self.l2.access(addr) {
-            self.l2.mark_dirty(addr);
-        } else {
-            // Write-allocate: fetch the line into L2.
-            let (mshr, stall) = Self::alloc_mshr(&mut self.l2_mshr_free, now);
-            self.stats.mshr_stall_cycles += stall;
-            let transfer = self.config.line_transfer_cycles();
-            let bus_start = self.bus_free.max(now + stall);
-            self.bus_free = bus_start + transfer;
-            self.l2_mshr_free[mshr] = bus_start + self.config.memory_latency as u64 + transfer;
-            if self.l2.fill(addr, true) {
-                self.stats.writebacks += 1;
-                self.bus_free += self.config.line_transfer_cycles();
+        for k in 0..self.levels.len() {
+            match self.hierarchy.levels[k].write_policy {
+                WritePolicy::WriteThrough => {
+                    // The word travels onward over one bus slot; a present
+                    // line is updated in place and stays clean.
+                    self.bus_free = self.bus_free.max(now) + 1;
+                    self.levels[k].tags.access(addr);
+                }
+                WritePolicy::WriteBack => {
+                    if self.levels[k].tags.access(addr) {
+                        self.levels[k].tags.mark_dirty(addr);
+                    } else {
+                        // Write-allocate: fetch the line from memory.
+                        let (mshr, stall) = self.alloc_mshr(k, now);
+                        let transfer = self.hierarchy.line_transfer_cycles();
+                        let bus_start = self.bus_free.max(now + stall);
+                        self.bus_free = bus_start + transfer;
+                        self.levels[k].mshr_free[mshr] =
+                            bus_start + self.hierarchy.memory_latency as u64 + transfer;
+                        self.fill_level(k, addr, true, now);
+                    }
+                    return;
+                }
             }
         }
+        // Every level was write-through: the word has gone to memory.
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::{CacheConfig, CacheLevelConfig};
 
     fn sim() -> CacheSim {
         CacheSim::new(CacheConfig::table1())
@@ -421,7 +559,7 @@ mod tests {
     fn cold_miss_goes_to_memory() {
         let mut c = sim();
         let lat = complete_load(&mut c, 0, 0x1_0000, 0);
-        let cfg = *c.config();
+        let cfg = CacheConfig::table1();
         // L1 miss (6) + memory (40) + line transfer (8).
         let expected =
             cfg.l1_miss_latency as u64 + cfg.memory_latency as u64 + cfg.line_transfer_cycles();
@@ -435,14 +573,14 @@ mod tests {
         let mut c = sim();
         complete_load(&mut c, 0, 0x1_0000, 0);
         let lat = complete_load(&mut c, 1, 0x1_0004, 1000);
-        assert_eq!(lat, c.config().l1_hit_latency as u64);
+        assert_eq!(lat, CacheConfig::table1().l1_hit_latency as u64);
         assert_eq!(c.stats().l1_hits, 1);
     }
 
     #[test]
     fn l2_hit_after_l1_eviction() {
         let mut c = sim();
-        let cfg = *c.config();
+        let cfg = CacheConfig::table1();
         // Fill one L1 set three times over: set stride = l1_bytes / assoc.
         let stride = cfg.l1_bytes / cfg.l1_assoc;
         let mut now = 0;
@@ -458,7 +596,7 @@ mod tests {
     #[test]
     fn mshr_saturation_delays_issue() {
         let mut c = sim();
-        let cfg = *c.config();
+        let cfg = CacheConfig::table1();
         // Issue 8 misses to distinct lines at cycle 0 — all MSHRs busy.
         for i in 0..cfg.l1_mshrs {
             let addr = 0x20_0000 + i * cfg.l2_line * 4;
@@ -474,7 +612,7 @@ mod tests {
     #[test]
     fn bus_contention_serializes_memory_fetches() {
         let mut c = sim();
-        let cfg = *c.config();
+        let cfg = CacheConfig::table1();
         // Two simultaneous L2 misses share the bus: second is slower.
         let i1 = c.issue_load(0, 0x30_0000, 4, 0) as u64;
         let i2 = c.issue_load(1, 0x38_0000, 4, 0) as u64;
@@ -504,7 +642,7 @@ mod tests {
     #[test]
     fn dirty_eviction_counts_writeback() {
         let mut c = sim();
-        let cfg = *c.config();
+        let cfg = CacheConfig::table1();
         let stride = cfg.l2_bytes / cfg.l2_assoc;
         // Dirty a line, then force two more fills into the same L2 set.
         c.issue_store(0x60_0000, 4, 0);
@@ -544,11 +682,137 @@ mod tests {
         complete_load(&mut c, 2, 0x3000, 10);
         assert_eq!(c.outstanding(), 2);
     }
+
+    #[test]
+    fn per_level_stats_mirror_the_aggregate_on_two_levels() {
+        let mut c = sim();
+        let mut now = 0;
+        for i in 0..20u32 {
+            now += complete_load(&mut c, i as u64, i * 0x1_0040, now) + 5;
+            c.issue_store(i * 0x2_0080, 4, now);
+            now += 3;
+        }
+        let (s, ls) = (*c.stats(), c.level_stats().to_vec());
+        assert_eq!(ls.len(), 2);
+        assert_eq!(ls[0].hits, s.l1_hits);
+        assert_eq!(ls[0].misses, s.l1_misses);
+        assert_eq!(ls[1].hits, s.l2_hits);
+        assert_eq!(ls[1].misses, s.l2_misses);
+        assert_eq!(ls[0].writebacks + ls[1].writebacks, s.writebacks);
+        assert_eq!(
+            ls[0].mshr_stall_cycles + ls[1].mshr_stall_cycles,
+            s.mshr_stall_cycles
+        );
+        assert_eq!(ls[0].writebacks, 0, "a write-through L1 never holds dirty lines");
+    }
+
+    /// A deliberately tiny three-level hierarchy whose eviction patterns
+    /// are easy to construct by hand.
+    fn small_three_level() -> HierarchyConfig {
+        let lvl = |bytes, hit, miss, policy| CacheLevelConfig {
+            bytes,
+            assoc: 1,
+            line: 32,
+            hit_latency: hit,
+            miss_latency: miss,
+            mshrs: 2,
+            write_policy: policy,
+        };
+        HierarchyConfig {
+            levels: vec![
+                lvl(64, 1, 2, WritePolicy::WriteThrough),
+                lvl(128, 3, 4, WritePolicy::WriteBack),
+                lvl(256, 5, 0, WritePolicy::WriteBack),
+            ],
+            memory_latency: 10,
+            bus_bytes: 8,
+        }
+    }
+
+    #[test]
+    fn three_level_cold_miss_walks_every_level() {
+        let mut c = CacheSim::new(small_three_level());
+        // miss L1 (2) + miss L2 (4) + memory (10) + transfer (32/8 = 4).
+        assert_eq!(complete_load(&mut c, 0, 0, 0), 2 + 4 + 10 + 4);
+        assert_eq!(c.level_stats()[0].misses, 1);
+        assert_eq!(c.level_stats()[1].misses, 1);
+        assert_eq!(c.level_stats()[2].misses, 1);
+        // Same line again: L1 hit.
+        assert_eq!(complete_load(&mut c, 1, 4, 100), 1);
+    }
+
+    #[test]
+    fn deep_hit_latency_delays_completion() {
+        let mut c = CacheSim::new(small_three_level());
+        complete_load(&mut c, 0, 0, 0); // fills all levels with line 0
+        // Evict line 0 from L1 (2 sets, direct-mapped: 64 B stride) and
+        // from L2 (4 sets: 128 B stride), leaving it only in L3.
+        complete_load(&mut c, 1, 64, 100);
+        complete_load(&mut c, 2, 128, 200);
+        let before = c.level_stats()[2].hits;
+        // L1 miss (2) + L2 miss (4) + L3 hit latency (5).
+        assert_eq!(complete_load(&mut c, 3, 0, 300), 2 + 4 + 5);
+        assert_eq!(c.level_stats()[2].hits, before + 1);
+    }
+
+    #[test]
+    fn mid_level_hit_uses_its_hit_latency() {
+        let mut c = CacheSim::new(small_three_level());
+        complete_load(&mut c, 0, 0, 0);
+        // Evict line 0 from L1 only; it stays resident in L2.
+        complete_load(&mut c, 1, 64, 100);
+        // L1 miss (2) + L2 hit latency (3).
+        assert_eq!(complete_load(&mut c, 2, 0, 200), 2 + 3);
+        assert_eq!(c.level_stats()[1].hits, 1);
+    }
+
+    #[test]
+    fn single_level_write_back_hierarchy() {
+        let h = HierarchyConfig::tiny_l1();
+        let stride = h.levels[0].bytes / h.levels[0].assoc;
+        let mut c = CacheSim::new(h.clone());
+        // Cold load: straight to memory — no deeper lookup phase.
+        assert_eq!(
+            complete_load(&mut c, 0, 0, 0),
+            h.memory_latency as u64 + h.line_transfer_cycles()
+        );
+        assert_eq!(c.level_stats().len(), 1);
+        // Stores write-allocate and dirty the level-0 lines; overflowing
+        // the set forces a dirty eviction out of the only level.
+        let mut now = 100;
+        for i in 0..3u32 {
+            c.issue_store(0x8000 + i * stride, 4, now);
+            now += 50;
+        }
+        assert!(c.level_stats()[0].writebacks >= 1, "dirty eviction at level 0");
+        assert_eq!(c.stats().writebacks, c.level_stats()[0].writebacks);
+    }
+
+    #[test]
+    fn mid_level_dirty_eviction_cascades_to_next_level() {
+        let mut c = CacheSim::new(small_three_level());
+        // Dirty line 0 in L2 (write-back level): store misses L2 and
+        // write-allocates it dirty.
+        c.issue_store(0, 4, 0);
+        assert_eq!(c.level_stats()[1].writebacks, 0);
+        // Force two more L2 fills into set 0 (128 B stride, direct
+        // mapped): the second evicts dirty line 0, writing it back into
+        // L3 rather than over the bus.
+        complete_load(&mut c, 0, 128, 100);
+        assert_eq!(c.level_stats()[1].writebacks, 1);
+        assert_eq!(c.level_stats()[2].writebacks, 0);
+        // The victim now lives dirty in L3 set 0; the next fill into that
+        // set (addr 256) evicts it over the bus — a level-2 writeback.
+        complete_load(&mut c, 1, 256, 200);
+        assert_eq!(c.level_stats()[2].writebacks, 1);
+        assert_eq!(c.stats().writebacks, 2);
+    }
 }
 
 #[cfg(test)]
 mod randomized_tests {
     use super::*;
+    use crate::config::CacheConfig;
     use fastsim_prng::{for_each_case, Rng};
 
     /// One step of a random access pattern.
@@ -572,47 +836,75 @@ mod randomized_tests {
             .collect()
     }
 
+    fn presets() -> Vec<HierarchyConfig> {
+        vec![
+            HierarchyConfig::table1(),
+            HierarchyConfig::three_level(),
+            HierarchyConfig::tiny_l1(),
+        ]
+    }
+
     /// Every load completes in a bounded number of polls, counters stay
-    /// consistent, and intervals are always non-zero while waiting.
+    /// consistent, and intervals are always non-zero while waiting — at
+    /// every hierarchy depth.
     #[test]
     fn random_loads_always_complete() {
         for_each_case(0xcac4e, 64, |seed, rng| {
             let accesses = random_accesses(rng);
-            let mut c = CacheSim::new(CacheConfig::table1());
-            let mut now: u64 = 0;
-            let mut id: LoadId = 0;
-            for acc in &accesses {
-                match *acc {
-                    Access::Load { addr, gap } => {
-                        let interval = c.issue_load(id, addr & !3, 4, now);
-                        assert!(interval > 0, "seed {seed:#x}");
-                        let mut t = now + interval as u64;
-                        let mut polls = 0;
-                        loop {
-                            match c.poll_load(id, t) {
-                                PollResult::Ready => break,
-                                PollResult::Wait(w) => {
-                                    assert!(w > 0, "seed {seed:#x}");
-                                    t += w as u64;
+            for h in presets() {
+                let depth = h.depth();
+                let mut c = CacheSim::new(h);
+                let mut now: u64 = 0;
+                let mut id: LoadId = 0;
+                for acc in &accesses {
+                    match *acc {
+                        Access::Load { addr, gap } => {
+                            let interval = c.issue_load(id, addr & !3, 4, now);
+                            assert!(interval > 0, "seed {seed:#x}");
+                            let mut t = now + interval as u64;
+                            let mut polls = 0;
+                            loop {
+                                match c.poll_load(id, t) {
+                                    PollResult::Ready => break,
+                                    PollResult::Wait(w) => {
+                                        assert!(w > 0, "seed {seed:#x}");
+                                        t += w as u64;
+                                    }
                                 }
+                                polls += 1;
+                                assert!(
+                                    polls < 8 * depth,
+                                    "load must complete quickly (seed {seed:#x})"
+                                );
                             }
-                            polls += 1;
-                            assert!(polls < 16, "load must complete quickly (seed {seed:#x})");
+                            now = t + gap as u64;
+                            id += 1;
                         }
-                        now = t + gap as u64;
-                        id += 1;
-                    }
-                    Access::Store { addr, gap } => {
-                        c.issue_store(addr & !3, 4, now);
-                        now += gap as u64;
+                        Access::Store { addr, gap } => {
+                            c.issue_store(addr & !3, 4, now);
+                            now += gap as u64;
+                        }
                     }
                 }
+                let s = *c.stats();
+                let ls = c.level_stats();
+                assert_eq!(s.loads, id, "seed {seed:#x}");
+                assert_eq!(ls[0].hits + ls[0].misses, s.loads, "seed {seed:#x}");
+                for k in 1..depth {
+                    assert_eq!(
+                        ls[k].hits + ls[k].misses,
+                        ls[k - 1].misses,
+                        "seed {seed:#x}: level {k} lookups equal level {} misses",
+                        k - 1
+                    );
+                }
+                assert_eq!(
+                    ls.iter().map(|l| l.writebacks).sum::<u64>(),
+                    s.writebacks,
+                    "seed {seed:#x}"
+                );
+                assert_eq!(c.outstanding(), 0, "seed {seed:#x}");
             }
-            let s = *c.stats();
-            assert_eq!(s.loads, id, "seed {seed:#x}");
-            assert_eq!(s.l1_hits + s.l1_misses, s.loads, "seed {seed:#x}");
-            assert_eq!(s.l2_hits + s.l2_misses, s.l1_misses, "seed {seed:#x}");
-            assert_eq!(c.outstanding(), 0, "seed {seed:#x}");
         });
     }
 
@@ -623,8 +915,8 @@ mod randomized_tests {
         for_each_case(0xd37e2, 64, |seed, rng| {
             let addrs: Vec<u32> =
                 (0..rng.range_usize(1..40)).map(|_| rng.range_u32(0..0x10_0000)).collect();
-            let run = |addrs: &[u32]| -> Vec<u32> {
-                let mut c = CacheSim::new(CacheConfig::table1());
+            let run = |addrs: &[u32], h: HierarchyConfig| -> Vec<u32> {
+                let mut c = CacheSim::new(h);
                 let mut out = Vec::new();
                 let mut now = 0u64;
                 for (i, &a) in addrs.iter().enumerate() {
@@ -644,7 +936,15 @@ mod randomized_tests {
                 }
                 out
             };
-            assert_eq!(run(&addrs), run(&addrs), "seed {seed:#x}");
+            for h in presets() {
+                assert_eq!(run(&addrs, h.clone()), run(&addrs, h), "seed {seed:#x}");
+            }
+            let lowered = run(&addrs, CacheConfig::table1().into());
+            assert_eq!(
+                lowered,
+                run(&addrs, HierarchyConfig::table1()),
+                "seed {seed:#x}: lowering is the table1 hierarchy"
+            );
         });
     }
 }

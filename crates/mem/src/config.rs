@@ -1,6 +1,276 @@
 //! Cache hierarchy configuration.
+//!
+//! Two layers of configuration coexist:
+//!
+//! * [`HierarchyConfig`] — the general model: an ordered list of
+//!   [`CacheLevelConfig`]s (level 0 is closest to the processor) plus bus
+//!   and DRAM parameters. This is what [`crate::CacheSim`] actually runs.
+//! * [`CacheConfig`] — the paper's flat two-level parameter block, kept as
+//!   a compatibility constructor. It lowers to an equivalent two-level
+//!   [`HierarchyConfig`] via `From`, and the lowering is bit-exact: every
+//!   statistic the two-level simulator produced before the N-level rewrite
+//!   is reproduced unchanged.
 
-/// Configuration of the simulated memory hierarchy.
+/// Maximum number of cache levels a [`HierarchyConfig`] may describe.
+///
+/// In-flight load state carries a fixed-size array of per-level MSHR
+/// indices so it stays `Copy`; eight levels is far beyond any realistic
+/// hierarchy.
+pub const MAX_LEVELS: usize = 8;
+
+/// What a store does when it reaches a cache level.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum WritePolicy {
+    /// The word is forwarded to the next level (one bus cycle) and the
+    /// line, if present, is updated in place but stays clean.
+    WriteThrough,
+    /// The line is marked dirty on a hit; on a miss the level
+    /// write-allocates the line from memory.
+    WriteBack,
+}
+
+/// Parameters of one cache level in a [`HierarchyConfig`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CacheLevelConfig {
+    /// Total capacity in bytes.
+    pub bytes: u32,
+    /// Associativity (ways).
+    pub assoc: u32,
+    /// Line size in bytes.
+    pub line: u32,
+    /// For level 0: cycles from issue to data ready on a hit. For deeper
+    /// levels: extra cycles after the lookup resolves before data is
+    /// ready (0 means the hit completes at lookup-resolution time, which
+    /// is how the paper's two-level model behaves — the L1 miss latency
+    /// already covers the L2 lookup).
+    pub hit_latency: u32,
+    /// Cycles from a miss at this level until the *next* level's lookup
+    /// resolves (the paper's "usually a 6 cycle delay" for L1). Unused at
+    /// the last level, whose misses go to memory over the bus.
+    pub miss_latency: u32,
+    /// Number of miss-status holding registers.
+    pub mshrs: u32,
+    /// Store handling at this level.
+    pub write_policy: WritePolicy,
+}
+
+/// Configuration of an N-level non-blocking memory hierarchy.
+///
+/// `levels[0]` is the cache closest to the processor; the last level
+/// fronts DRAM over a split-transaction bus of `bus_bytes` per cycle.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct HierarchyConfig {
+    /// The cache levels, nearest first. Must contain 1..=[`MAX_LEVELS`].
+    pub levels: Vec<CacheLevelConfig>,
+    /// DRAM access latency in cycles (before bus transfer).
+    pub memory_latency: u32,
+    /// Bus width in bytes (per bus cycle).
+    pub bus_bytes: u32,
+}
+
+impl HierarchyConfig {
+    /// The paper's Table 1 hierarchy (two levels); identical to lowering
+    /// [`CacheConfig::table1`].
+    pub fn table1() -> HierarchyConfig {
+        CacheConfig::table1().into()
+    }
+
+    /// A three-level hierarchy: the Table 1 L1, a smaller write-back L2,
+    /// and a large L3 with a non-zero hit latency (so deep-level hits
+    /// exercise the post-lookup wait state) over a wider bus.
+    pub fn three_level() -> HierarchyConfig {
+        HierarchyConfig {
+            levels: vec![
+                CacheLevelConfig {
+                    bytes: 16 * 1024,
+                    assoc: 2,
+                    line: 32,
+                    hit_latency: 2,
+                    miss_latency: 6,
+                    mshrs: 8,
+                    write_policy: WritePolicy::WriteThrough,
+                },
+                CacheLevelConfig {
+                    bytes: 128 * 1024,
+                    assoc: 4,
+                    line: 64,
+                    hit_latency: 0,
+                    miss_latency: 12,
+                    mshrs: 8,
+                    write_policy: WritePolicy::WriteBack,
+                },
+                CacheLevelConfig {
+                    bytes: 4 * 1024 * 1024,
+                    assoc: 8,
+                    line: 128,
+                    hit_latency: 4,
+                    miss_latency: 0, // last level: misses go to memory
+                    mshrs: 16,
+                    write_policy: WritePolicy::WriteBack,
+                },
+            ],
+            memory_latency: 60,
+            bus_bytes: 16,
+        }
+    }
+
+    /// A single tiny write-back L1 straight onto the bus — the minimal
+    /// depth-1 hierarchy (exercises write-allocate and dirty evictions at
+    /// level 0, which the two-level model never does).
+    pub fn tiny_l1() -> HierarchyConfig {
+        HierarchyConfig {
+            levels: vec![CacheLevelConfig {
+                bytes: 4 * 1024,
+                assoc: 2,
+                line: 32,
+                hit_latency: 1,
+                miss_latency: 0, // last level: misses go to memory
+                mshrs: 4,
+                write_policy: WritePolicy::WriteBack,
+            }],
+            memory_latency: 40,
+            bus_bytes: 8,
+        }
+    }
+
+    /// Resolves a named preset (`"table1"`, `"three-level"`, `"tiny-l1"`).
+    pub fn preset(name: &str) -> Option<HierarchyConfig> {
+        match name {
+            "table1" => Some(HierarchyConfig::table1()),
+            "three-level" => Some(HierarchyConfig::three_level()),
+            "tiny-l1" => Some(HierarchyConfig::tiny_l1()),
+            _ => None,
+        }
+    }
+
+    /// The names accepted by [`HierarchyConfig::preset`].
+    pub fn preset_names() -> &'static [&'static str] {
+        &["table1", "three-level", "tiny-l1"]
+    }
+
+    /// Number of cache levels.
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Bus cycles needed to transfer one last-level line from memory.
+    pub fn line_transfer_cycles(&self) -> u64 {
+        let line = self.levels.last().map_or(0, |l| l.line);
+        (line as u64).div_ceil(self.bus_bytes as u64)
+    }
+
+    /// Validates structural parameters with per-level error paths.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid parameter, prefixed
+    /// with the offending level where applicable.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.levels.is_empty() {
+            return Err("hierarchy must have at least one cache level".into());
+        }
+        if self.levels.len() > MAX_LEVELS {
+            return Err(format!(
+                "hierarchy has {} levels; at most {MAX_LEVELS} are supported",
+                self.levels.len()
+            ));
+        }
+        let pow2 = |name: String, v: u32| -> Result<(), String> {
+            if v == 0 || !v.is_power_of_two() {
+                Err(format!("{name} must be a non-zero power of two, got {v}"))
+            } else {
+                Ok(())
+            }
+        };
+        let last = self.levels.len() - 1;
+        for (i, lvl) in self.levels.iter().enumerate() {
+            pow2(format!("level {i}: bytes"), lvl.bytes)?;
+            pow2(format!("level {i}: line"), lvl.line)?;
+            if lvl.assoc == 0 {
+                return Err(format!("level {i}: associativity must be non-zero"));
+            }
+            if lvl.mshrs == 0 {
+                return Err(format!("level {i}: MSHR count must be non-zero"));
+            }
+            if lvl.mshrs > u16::MAX as u32 {
+                return Err(format!("level {i}: MSHR count {} exceeds {}", lvl.mshrs, u16::MAX));
+            }
+            if !lvl.bytes.is_multiple_of(lvl.line * lvl.assoc) {
+                return Err(format!("level {i}: capacity must be divisible by line × assoc"));
+            }
+            if i == 0 && lvl.hit_latency == 0 {
+                return Err("level 0: hit latency must be non-zero".into());
+            }
+            if i < last && lvl.miss_latency == 0 {
+                return Err(format!(
+                    "level {i}: miss latency must be non-zero (it covers the level {} lookup)",
+                    i + 1
+                ));
+            }
+        }
+        pow2("bus_bytes".into(), self.bus_bytes)?;
+        if self.memory_latency == 0 {
+            return Err("memory latency must be non-zero".into());
+        }
+        let last_line = self.levels[last].line;
+        if self.bus_bytes > last_line || !last_line.is_multiple_of(self.bus_bytes) {
+            return Err(format!(
+                "bus width {} must divide the last-level line size {last_line}",
+                self.bus_bytes
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for HierarchyConfig {
+    fn default() -> HierarchyConfig {
+        HierarchyConfig::table1()
+    }
+}
+
+impl From<CacheConfig> for HierarchyConfig {
+    /// Lowers the flat two-level parameter block to the general form.
+    ///
+    /// The L2's `hit_latency` is 0 because in the two-level model an L2
+    /// hit completes exactly when the lookup resolves (`l1_miss_latency`
+    /// covers the whole L1-miss-to-L2-data path); its `miss_latency` is
+    /// unused (last level).
+    fn from(c: CacheConfig) -> HierarchyConfig {
+        HierarchyConfig {
+            levels: vec![
+                CacheLevelConfig {
+                    bytes: c.l1_bytes,
+                    assoc: c.l1_assoc,
+                    line: c.l1_line,
+                    hit_latency: c.l1_hit_latency,
+                    miss_latency: c.l1_miss_latency,
+                    mshrs: c.l1_mshrs,
+                    write_policy: WritePolicy::WriteThrough,
+                },
+                CacheLevelConfig {
+                    bytes: c.l2_bytes,
+                    assoc: c.l2_assoc,
+                    line: c.l2_line,
+                    hit_latency: 0,
+                    miss_latency: 0,
+                    mshrs: c.l2_mshrs,
+                    write_policy: WritePolicy::WriteBack,
+                },
+            ],
+            memory_latency: c.memory_latency,
+            bus_bytes: c.bus_bytes,
+        }
+    }
+}
+
+impl From<&CacheConfig> for HierarchyConfig {
+    fn from(c: &CacheConfig) -> HierarchyConfig {
+        (*c).into()
+    }
+}
+
+/// Configuration of the paper's two-level memory hierarchy.
 ///
 /// The defaults reproduce the paper's Table 1:
 ///
@@ -13,6 +283,10 @@
 /// in the L1 cache (usually a 6 cycle delay), then misses in the L2 cache
 /// resulting in an additional delay depending on the current state of the
 /// cache").
+///
+/// This is a compatibility surface: the simulator itself runs on
+/// [`HierarchyConfig`], and every API that takes a cache configuration
+/// accepts either type (`impl Into<HierarchyConfig>`).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct CacheConfig {
     /// Total L1 capacity in bytes.
@@ -67,7 +341,8 @@ impl CacheConfig {
     }
 
     /// Validates structural parameters (power-of-two sizes, non-zero
-    /// capacities, line sizes that divide the capacity).
+    /// capacities and latencies, line sizes that divide the capacity, a
+    /// bus that divides the L2 line).
     ///
     /// # Errors
     ///
@@ -96,6 +371,21 @@ impl CacheConfig {
         }
         if !self.l2_bytes.is_multiple_of(self.l2_line * self.l2_assoc) {
             return Err("L2 capacity must be divisible by line × assoc".into());
+        }
+        if self.l1_hit_latency == 0 {
+            return Err("l1_hit_latency must be non-zero".into());
+        }
+        if self.l1_miss_latency == 0 {
+            return Err("l1_miss_latency must be non-zero (it covers the L2 lookup)".into());
+        }
+        if self.memory_latency == 0 {
+            return Err("memory_latency must be non-zero".into());
+        }
+        if self.bus_bytes > self.l2_line || !self.l2_line.is_multiple_of(self.bus_bytes) {
+            return Err(format!(
+                "bus width {} must divide the L2 line size {}",
+                self.bus_bytes, self.l2_line
+            ));
         }
         Ok(())
     }
@@ -131,6 +421,8 @@ mod tests {
     #[test]
     fn line_transfer() {
         assert_eq!(CacheConfig::table1().line_transfer_cycles(), 8); // 64B / 8B
+        assert_eq!(HierarchyConfig::table1().line_transfer_cycles(), 8);
+        assert_eq!(HierarchyConfig::three_level().line_transfer_cycles(), 8); // 128B / 16B
     }
 
     #[test]
@@ -144,5 +436,78 @@ mod tests {
         let mut c = CacheConfig::table1();
         c.l1_assoc = 3; // 16384 % (32*3) != 0
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn zero_latencies_rejected() {
+        let mut c = CacheConfig::table1();
+        c.memory_latency = 0;
+        assert_eq!(c.validate(), Err("memory_latency must be non-zero".into()));
+        let mut c = CacheConfig::table1();
+        c.l1_hit_latency = 0;
+        assert_eq!(c.validate(), Err("l1_hit_latency must be non-zero".into()));
+        let mut c = CacheConfig::table1();
+        c.l1_miss_latency = 0;
+        assert!(c.validate().unwrap_err().contains("l1_miss_latency"));
+    }
+
+    #[test]
+    fn wide_bus_rejected() {
+        let mut c = CacheConfig::table1();
+        c.bus_bytes = 128; // wider than the 64 B L2 line
+        assert_eq!(
+            c.validate(),
+            Err("bus width 128 must divide the L2 line size 64".into())
+        );
+    }
+
+    #[test]
+    fn presets_are_valid() {
+        for name in HierarchyConfig::preset_names() {
+            let h = HierarchyConfig::preset(name).expect("known preset");
+            assert_eq!(h.validate(), Ok(()), "{name}");
+        }
+        assert!(HierarchyConfig::preset("no-such").is_none());
+        assert_eq!(HierarchyConfig::three_level().depth(), 3);
+        assert_eq!(HierarchyConfig::tiny_l1().depth(), 1);
+    }
+
+    #[test]
+    fn lowering_matches_table1() {
+        let h: HierarchyConfig = CacheConfig::table1().into();
+        assert_eq!(h.depth(), 2);
+        let (l1, l2) = (&h.levels[0], &h.levels[1]);
+        assert_eq!((l1.bytes, l1.assoc, l1.line), (16 * 1024, 2, 32));
+        assert_eq!((l1.hit_latency, l1.miss_latency, l1.mshrs), (2, 6, 8));
+        assert_eq!(l1.write_policy, WritePolicy::WriteThrough);
+        assert_eq!((l2.bytes, l2.assoc, l2.line, l2.mshrs), (1024 * 1024, 2, 64, 8));
+        assert_eq!(l2.hit_latency, 0, "L2 hits complete at lookup resolution");
+        assert_eq!(l2.write_policy, WritePolicy::WriteBack);
+        assert_eq!((h.memory_latency, h.bus_bytes), (40, 8));
+        assert_eq!(h.validate(), Ok(()));
+        assert_eq!(h, HierarchyConfig::table1());
+    }
+
+    #[test]
+    fn hierarchy_validate_reports_the_level() {
+        let mut h = HierarchyConfig::three_level();
+        h.levels[1].mshrs = 0;
+        assert_eq!(h.validate(), Err("level 1: MSHR count must be non-zero".into()));
+        let mut h = HierarchyConfig::three_level();
+        h.levels[1].miss_latency = 0;
+        assert!(h.validate().unwrap_err().starts_with("level 1: miss latency"));
+        let mut h = HierarchyConfig::three_level();
+        h.memory_latency = 0;
+        assert_eq!(h.validate(), Err("memory latency must be non-zero".into()));
+        let mut h = HierarchyConfig::three_level();
+        h.bus_bytes = 256; // wider than the 128 B L3 line
+        assert!(h.validate().unwrap_err().contains("must divide the last-level line"));
+        let mut h = HierarchyConfig::table1();
+        h.levels.clear();
+        assert!(h.validate().is_err());
+        let mut h = HierarchyConfig::table1();
+        let lvl = h.levels[0];
+        h.levels = vec![lvl; MAX_LEVELS + 1];
+        assert!(h.validate().unwrap_err().contains("at most"));
     }
 }

@@ -5,8 +5,12 @@
 //! * [`Memory`] — sparse, paged target memory used by the functional
 //!   engine (and by the baseline simulator).
 //! * [`CacheSim`] — the timing-only, aggressive **non-blocking cache
-//!   simulator** of the paper: write-through L1 and write-back L2, each
-//!   with a limited number of MSHRs, behind a split-transaction bus.
+//!   simulator**: an N-level hierarchy described by a
+//!   [`HierarchyConfig`] (per-level capacity, associativity, latencies,
+//!   MSHRs and write policy) behind a split-transaction bus. The paper's
+//!   Table 1 model — write-through L1, write-back L2 — is the two-level
+//!   special case, still available as [`CacheConfig::table1`], which
+//!   lowers to an equivalent hierarchy bit-for-bit.
 //!
 //! The cache simulator follows the paper's narrow interface exactly
 //! (§4.1): the µ-architecture issues a load and receives "the shortest
@@ -15,7 +19,9 @@
 //! ready or receives a further interval (e.g. an L1 miss is first reported
 //! as a 6-cycle delay, and only at the following poll is an L2 miss
 //! discovered and an additional memory-access delay returned). No program
-//! data flows through this interface — only time.
+//! data flows through this interface — only time. Because only intervals
+//! cross the interface, hierarchy depth is invisible to the callers: a
+//! deeper hierarchy just yields more poll/wait round trips.
 //!
 //! The cache simulator is deliberately **not memoized**: its internal state
 //! (tag arrays, MSHR and bus occupancy) stays private, and its influence on
@@ -26,6 +32,6 @@ mod cache;
 mod config;
 mod memory;
 
-pub use cache::{CacheSim, CacheStats, LoadId, PollResult};
-pub use config::CacheConfig;
+pub use cache::{CacheSim, CacheStats, LevelStats, LoadId, PollResult};
+pub use config::{CacheConfig, CacheLevelConfig, HierarchyConfig, WritePolicy, MAX_LEVELS};
 pub use memory::{Memory, PAGE_BYTES};

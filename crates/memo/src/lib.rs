@@ -34,4 +34,6 @@ pub use action::{ActionKind, NodeId, OutcomeKey, RetireCounts};
 pub use cache::{ConfigLookup, MemoStats, PActionCache};
 pub use policy::Policy;
 pub use snapshot::{CacheSnapshot, MergeOutcome};
-pub use trace::{Touched, TraceOp, TraceSegment, DEFAULT_HOTNESS_THRESHOLD};
+pub use trace::{
+    EdgeRange, Touched, TouchedKind, TraceOp, TraceSegment, DEFAULT_HOTNESS_THRESHOLD,
+};

@@ -76,17 +76,66 @@ pub const DEFAULT_HOTNESS_THRESHOLD: u32 = 32;
 const MAX_TRACE_OPS: usize = 1024;
 
 /// How a [`TraceOp::Bulk`] records the node ids it covers for `accessed`
-/// marking.
+/// marking — an 8-byte packed encoding of the two cases exposed by
+/// [`TouchedKind`]. A span (`b == u32::MAX`) covers `count` consecutively
+/// numbered nodes starting at `a`; otherwise `(a, b)` is a `(start, len)`
+/// range into [`TraceSegment::touched`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Touched {
-    /// The run covers `count` *consecutively numbered* nodes starting
-    /// here — the common case for straight-line recordings, marked with a
-    /// single slice fill
-    /// ([`mark_accessed_span`](PActionCache::mark_accessed_span)).
-    Span(NodeId),
+pub struct Touched {
+    a: u32,
+    b: u32,
+}
+
+/// Sentinel `b` value marking a [`Touched`] as a span. A list range can
+/// never carry this length: segments are capped at [`MAX_TRACE_OPS`] ops.
+const TOUCHED_SPAN: u32 = u32::MAX;
+
+impl Touched {
+    /// The run covers consecutively numbered nodes starting at `first` —
+    /// the common case for straight-line recordings, marked with a single
+    /// slice fill ([`mark_accessed_span`](PActionCache::mark_accessed_span)).
+    #[inline]
+    pub fn span(first: NodeId) -> Touched {
+        Touched { a: first, b: TOUCHED_SPAN }
+    }
+
     /// Arbitrary ids: a `(start, len)` range into
     /// [`TraceSegment::touched`], marked one by one.
+    #[inline]
+    pub fn list(start: u32, len: u32) -> Touched {
+        debug_assert!(len != TOUCHED_SPAN, "list length collides with the span sentinel");
+        Touched { a: start, b: len }
+    }
+
+    /// Unpacks the encoding.
+    #[inline]
+    pub fn kind(self) -> TouchedKind {
+        if self.b == TOUCHED_SPAN {
+            TouchedKind::Span(self.a)
+        } else {
+            TouchedKind::List(self.a, self.b)
+        }
+    }
+}
+
+/// The unpacked view of a [`Touched`] encoding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TouchedKind {
+    /// Consecutively numbered nodes starting here.
+    Span(NodeId),
+    /// A `(start, len)` range into [`TraceSegment::touched`].
     List(u32, u32),
+}
+
+/// A `(start, len)` range into [`TraceSegment::edges`]: the outcome→target
+/// edges of one dispatch op, hot edge first. 8 bytes in the op instead of
+/// a 16-byte `Box<[..]>` (plus its heap block and indirection).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EdgeRange {
+    /// First edge index.
+    pub start: u32,
+    /// Edge count.
+    pub len: u32,
 }
 
 /// One compact op of a compiled [`TraceSegment`].
@@ -95,6 +144,12 @@ pub enum Touched {
 /// separate op on configuration crossings: a configuration head *is* the
 /// first action of its chain, so execution performs the crossing
 /// bookkeeping and the action in one dispatch.
+///
+/// Ops are kept at 24 bytes or less (checked at compile time below) so a
+/// segment scan touches as few cache lines as possible: wide payloads —
+/// the 20-byte [`RetireCounts`] and the variable-length edge lists — live
+/// in [`TraceSegment`] side tables and are referenced by 4- and 8-byte
+/// indices.
 #[derive(Clone, Debug, PartialEq)]
 pub enum TraceOp {
     /// A maximal run of consecutive `Advance` actions, pre-aggregated:
@@ -103,8 +158,9 @@ pub enum TraceOp {
     Bulk {
         /// Total simulated cycles of the run.
         cycles: u32,
-        /// Merged retirement counts of the run.
-        retired: RetireCounts,
+        /// Merged retirement counts of the run: an index into
+        /// [`TraceSegment::retires`].
+        retired: u32,
         /// Logical `Advance` actions aggregated (for action counters).
         count: u32,
         /// The covered node ids.
@@ -147,8 +203,9 @@ pub enum TraceOp {
         /// The dispatching node (for live-edge fallback on uncarried
         /// outcomes).
         node: NodeId,
-        /// Outcome edges at compile time, `edges[0]` inlined.
-        edges: Box<[(OutcomeKey, NodeId)]>,
+        /// Outcome edges at compile time, the first inlined (a range into
+        /// [`TraceSegment::edges`]).
+        edges: EdgeRange,
         /// The node is a configuration head (crossing before action).
         anchored: bool,
     },
@@ -158,8 +215,8 @@ pub enum TraceOp {
         node: NodeId,
         /// Head-relative lQ position, pre-resolved.
         lq_index: u32,
-        /// Outcome edges at compile time, `edges[0]` inlined.
-        edges: Box<[(OutcomeKey, NodeId)]>,
+        /// Outcome edges at compile time, the first inlined.
+        edges: EdgeRange,
         /// The node is a configuration head (crossing before action).
         anchored: bool,
     },
@@ -169,8 +226,8 @@ pub enum TraceOp {
         node: NodeId,
         /// Head-relative lQ position, pre-resolved.
         lq_index: u32,
-        /// Outcome edges at compile time, `edges[0]` inlined.
-        edges: Box<[(OutcomeKey, NodeId)]>,
+        /// Outcome edges at compile time, the first inlined.
+        edges: EdgeRange,
         /// The node is a configuration head (crossing before action).
         anchored: bool,
     },
@@ -197,6 +254,11 @@ pub enum TraceOp {
     },
 }
 
+// Segment scans are the warm-replay hot loop: keep every op within 24
+// bytes (wide payloads are side-tabled). A change that grows the enum
+// past this fails the build here, not in a benchmark regression.
+const _: () = assert!(std::mem::size_of::<TraceOp>() <= 24);
+
 /// A compiled linear replay segment for one configuration head. See the
 /// [module docs](self) for the format and its equivalence guarantees.
 #[derive(Clone, Debug, PartialEq)]
@@ -205,6 +267,11 @@ pub struct TraceSegment {
     pub ops: Vec<TraceOp>,
     /// Node ids covered by [`TraceOp::Bulk`] ops, referenced by range.
     pub touched: Vec<NodeId>,
+    /// Merged retirement counts of [`TraceOp::Bulk`] ops, referenced by
+    /// index (the 20-byte payload would otherwise dominate the op size).
+    pub retires: Vec<RetireCounts>,
+    /// Outcome edges of dispatch ops, referenced by [`EdgeRange`].
+    pub edges: Vec<(OutcomeKey, NodeId)>,
 }
 
 impl TraceSegment {
@@ -214,14 +281,20 @@ impl TraceSegment {
         &self.touched[range.0 as usize..(range.0 + range.1) as usize]
     }
 
+    /// The outcome edges of a dispatch op, hot edge first.
+    #[inline]
+    pub fn edges_slice(&self, range: EdgeRange) -> &[(OutcomeKey, NodeId)] {
+        &self.edges[range.start as usize..(range.start + range.len) as usize]
+    }
+
     /// The first chain node the op at `ip` covers (or, for `Cut`/`Jump`,
     /// resumes at) — the correct replay cursor for a pause before `ip`.
     pub fn entry_node(&self, ip: usize) -> NodeId {
         match &self.ops[ip] {
-            TraceOp::Bulk { touched: Touched::Span(first), .. } => *first,
-            TraceOp::Bulk { touched: Touched::List(start, _), .. } => {
-                self.touched[*start as usize]
-            }
+            TraceOp::Bulk { touched, .. } => match touched.kind() {
+                TouchedKind::Span(first) => first,
+                TouchedKind::List(start, _) => self.touched[start as usize],
+            },
             TraceOp::IssueStore { node, .. }
             | TraceOp::CancelLoad { node, .. }
             | TraceOp::Rollback { node, .. }
@@ -265,17 +338,24 @@ struct BulkAcc {
     anchored: bool,
 }
 
-fn flush_bulk(ops: &mut Vec<TraceOp>, touched: &mut Vec<NodeId>, bulk: &mut Option<BulkAcc>) {
+fn flush_bulk(
+    ops: &mut Vec<TraceOp>,
+    touched: &mut Vec<NodeId>,
+    retires: &mut Vec<RetireCounts>,
+    bulk: &mut Option<BulkAcc>,
+) {
     if let Some(b) = bulk.take() {
         let t = if b.contiguous {
             touched.truncate(b.start as usize);
-            Touched::Span(b.first)
+            Touched::span(b.first)
         } else {
-            Touched::List(b.start, touched.len() as u32 - b.start)
+            Touched::list(b.start, touched.len() as u32 - b.start)
         };
+        let retired = retires.len() as u32;
+        retires.push(b.retired);
         ops.push(TraceOp::Bulk {
             cycles: b.cycles,
-            retired: b.retired,
+            retired,
             count: b.count,
             touched: t,
             anchored: b.anchored,
@@ -393,6 +473,8 @@ impl PActionCache {
     pub(crate) fn compile_trace(&mut self, head: NodeId) -> Option<TraceSegment> {
         let mut ops: Vec<TraceOp> = Vec::new();
         let mut touched: Vec<NodeId> = Vec::new();
+        let mut retires: Vec<RetireCounts> = Vec::new();
+        let mut edge_table: Vec<(OutcomeKey, NodeId)> = Vec::new();
         // First op index of every node that starts an op (jump targets),
         // kept as an epoch-stamped dense scratch reused across compiles:
         // a stamp equal to the current epoch marks a valid entry, so no
@@ -415,12 +497,12 @@ impl PActionCache {
         loop {
             // Revisit: the chain loops; jump back into the segment.
             if stamp[n as usize] == epoch {
-                flush_bulk(&mut ops, &mut touched, &mut bulk);
+                flush_bulk(&mut ops, &mut touched, &mut retires, &mut bulk);
                 ops.push(TraceOp::Jump { op: op_at[n as usize], node: n });
                 break;
             }
             if ops.len() >= MAX_TRACE_OPS {
-                flush_bulk(&mut ops, &mut touched, &mut bulk);
+                flush_bulk(&mut ops, &mut touched, &mut retires, &mut bulk);
                 ops.push(TraceOp::Cut { node: n });
                 break;
             }
@@ -431,11 +513,11 @@ impl PActionCache {
             // re-execution performs the crossing itself, exactly once.
             let anchored = node.config.is_some();
             if anchored {
-                flush_bulk(&mut ops, &mut touched, &mut bulk);
+                flush_bulk(&mut ops, &mut touched, &mut retires, &mut bulk);
             }
             macro_rules! cut_at {
                 () => {{
-                    flush_bulk(&mut ops, &mut touched, &mut bulk);
+                    flush_bulk(&mut ops, &mut touched, &mut retires, &mut bulk);
                     ops.push(TraceOp::Cut { node: n });
                     break;
                 }};
@@ -465,7 +547,7 @@ impl PActionCache {
                             b.prev = n;
                         }
                         _ => {
-                            flush_bulk(&mut ops, &mut touched, &mut bulk);
+                            flush_bulk(&mut ops, &mut touched, &mut retires, &mut bulk);
                             // The bulk op will land at the current end of
                             // `ops` (every other push flushes first).
                             mark_op_start!();
@@ -487,7 +569,7 @@ impl PActionCache {
                 }
                 ActionKind::IssueStore { sq_index } => {
                     let Some(next) = single_next(&node.next) else { cut_at!() };
-                    flush_bulk(&mut ops, &mut touched, &mut bulk);
+                    flush_bulk(&mut ops, &mut touched, &mut retires, &mut bulk);
                     mark_op_start!();
                     ops.push(TraceOp::IssueStore { node: n, sq_index, anchored });
                     actions += 1;
@@ -495,7 +577,7 @@ impl PActionCache {
                 }
                 ActionKind::CancelLoad { lq_index } => {
                     let Some(next) = single_next(&node.next) else { cut_at!() };
-                    flush_bulk(&mut ops, &mut touched, &mut bulk);
+                    flush_bulk(&mut ops, &mut touched, &mut retires, &mut bulk);
                     mark_op_start!();
                     ops.push(TraceOp::CancelLoad { node: n, lq_index, anchored });
                     actions += 1;
@@ -503,7 +585,7 @@ impl PActionCache {
                 }
                 ActionKind::Rollback { ctrl_index } => {
                     let Some(next) = single_next(&node.next) else { cut_at!() };
-                    flush_bulk(&mut ops, &mut touched, &mut bulk);
+                    flush_bulk(&mut ops, &mut touched, &mut retires, &mut bulk);
                     mark_op_start!();
                     ops.push(TraceOp::Rollback { node: n, ctrl_index, anchored });
                     actions += 1;
@@ -519,20 +601,23 @@ impl PActionCache {
                     if edges.is_empty() {
                         cut_at!()
                     }
-                    flush_bulk(&mut ops, &mut touched, &mut bulk);
+                    flush_bulk(&mut ops, &mut touched, &mut retires, &mut bulk);
                     mark_op_start!();
-                    let boxed: Box<[(OutcomeKey, NodeId)]> =
-                        edges.clone().into_boxed_slice();
+                    let range = EdgeRange {
+                        start: edge_table.len() as u32,
+                        len: edges.len() as u32,
+                    };
+                    edge_table.extend_from_slice(edges);
                     let hot = edges[0].1;
                     ops.push(match node.kind {
                         ActionKind::FetchRecord => {
-                            TraceOp::Fetch { node: n, edges: boxed, anchored }
+                            TraceOp::Fetch { node: n, edges: range, anchored }
                         }
                         ActionKind::IssueLoad { lq_index } => {
-                            TraceOp::IssueLoad { node: n, lq_index, edges: boxed, anchored }
+                            TraceOp::IssueLoad { node: n, lq_index, edges: range, anchored }
                         }
                         ActionKind::PollLoad { lq_index } => {
-                            TraceOp::PollLoad { node: n, lq_index, edges: boxed, anchored }
+                            TraceOp::PollLoad { node: n, lq_index, edges: range, anchored }
                         }
                         _ => unreachable!(),
                     });
@@ -540,7 +625,7 @@ impl PActionCache {
                     n = hot;
                 }
                 ActionKind::Finish => {
-                    flush_bulk(&mut ops, &mut touched, &mut bulk);
+                    flush_bulk(&mut ops, &mut touched, &mut retires, &mut bulk);
                     ops.push(TraceOp::Finish { node: n, anchored });
                     actions += 1;
                     break;
@@ -549,7 +634,7 @@ impl PActionCache {
         }
         self.compile_stamp = stamp;
         self.compile_op = op_at;
-        (actions > 0).then_some(TraceSegment { ops, touched })
+        (actions > 0).then_some(TraceSegment { ops, touched, retires, edges: edge_table })
     }
 }
 
@@ -582,10 +667,10 @@ mod tests {
         match &seg.ops[0] {
             TraceOp::Bulk { cycles, retired, count, touched, anchored } => {
                 assert_eq!(*cycles, 7);
-                assert_eq!(retired.insts, 3);
+                assert_eq!(seg.retires[*retired as usize].insts, 3);
                 assert_eq!(*count, 2);
                 // Straight-line recording: consecutive ids, marked by span.
-                assert_eq!(*touched, Touched::Span(head));
+                assert_eq!(touched.kind(), TouchedKind::Span(head));
                 assert!(seg.touched.is_empty(), "span runs store no list");
                 // The head's crossing is fused into its own bulk op.
                 assert!(*anchored);
@@ -616,6 +701,7 @@ mod tests {
         match &seg.ops[1] {
             TraceOp::IssueLoad { lq_index, edges, .. } => {
                 assert_eq!(*lq_index, 2);
+                let edges = seg.edges_slice(*edges);
                 assert_eq!(edges.len(), 2);
                 assert_eq!(edges[0].0, OutcomeKey::Interval(6), "hot edge first");
             }
@@ -639,7 +725,7 @@ mod tests {
         assert_eq!(pc.register_config(b"A"), ConfigLookup::Hit(head));
         let seg = pc.compile_trace(head).expect("compilable");
         assert!(
-            matches!(seg.ops[0], TraceOp::Bulk { touched: Touched::Span(n), anchored: true, .. } if n == head)
+            matches!(seg.ops[0], TraceOp::Bulk { touched, anchored: true, .. } if touched.kind() == TouchedKind::Span(head))
         );
         match seg.ops.last().expect("non-empty") {
             TraceOp::Jump { op, node } => {
@@ -668,14 +754,15 @@ mod tests {
             vec![
                 TraceOp::Bulk {
                     cycles: 1,
-                    retired: RetireCounts::default(),
+                    retired: 0,
                     count: 1,
-                    touched: Touched::Span(head),
+                    touched: Touched::span(head),
                     anchored: true,
                 },
                 TraceOp::Cut { node: b_head },
             ]
         );
+        assert_eq!(seg.retires, vec![RetireCounts::default()]);
         // B's own chain is a bare advance with no successor: nothing to
         // compile.
         assert!(pc.compile_trace(b_head).is_none());
@@ -718,8 +805,11 @@ mod tests {
 
         let seg = master.compile_trace(a0).expect("compilable");
         match &seg.ops[0] {
-            TraceOp::Bulk { count: 2, touched: touched @ Touched::List(_, 2), .. } => {
-                let Touched::List(start, len) = *touched else { unreachable!() };
+            TraceOp::Bulk { count: 2, touched, .. } => {
+                let TouchedKind::List(start, len) = touched.kind() else {
+                    panic!("expected a listed Bulk, got {touched:?}")
+                };
+                assert_eq!(len, 2);
                 let nodes = seg.touched_slice((start, len));
                 assert_eq!(nodes[0], a0);
                 assert!(nodes[1] != a0 + 1, "graft target is out of line");
@@ -818,6 +908,15 @@ mod tests {
         let delta = worker.freeze();
         pc.merge_from(&delta);
         assert_eq!(pc.trace_count(), 0, "merge invalidates traces");
+    }
+
+    /// The side-tabled representation keeps ops within 24 bytes — the
+    /// compile-time assert enforces it, this test documents the number.
+    #[test]
+    fn trace_ops_stay_compact() {
+        assert!(std::mem::size_of::<TraceOp>() <= 24, "{}", std::mem::size_of::<TraceOp>());
+        assert_eq!(std::mem::size_of::<Touched>(), 8);
+        assert_eq!(std::mem::size_of::<EdgeRange>(), 8);
     }
 
     /// The op cap bounds segment size on pathologically long chains.

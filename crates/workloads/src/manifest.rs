@@ -23,6 +23,11 @@ pub struct ManifestJob {
     pub program: Program,
     /// Whether the source kernel is floating-point.
     pub fp: bool,
+    /// Memory-hierarchy preset name (e.g. `"three-level"`), or `None` for
+    /// the driver's default. Carried as a name, not a config — this crate
+    /// stays simulator-free; consumers resolve it against their hierarchy
+    /// presets.
+    pub hierarchy: Option<String>,
 }
 
 /// An ordered set of batch jobs. See the [module docs](self).
@@ -56,10 +61,27 @@ impl Manifest {
     }
 
     /// Jobs for the named kernels (full names or bare suffixes, as in
-    /// [`by_name`]), in the given order. `None` if any name is unknown.
+    /// [`by_name`]), in the given order. A name may carry a hierarchy
+    /// preset as `kernel@preset` (e.g. `"compress@three-level"`), recorded
+    /// on the job's `hierarchy` field. `None` if any kernel name is
+    /// unknown (preset names are not validated here — this crate knows no
+    /// simulator types; consumers resolve and reject them).
     pub fn select(names: &[&str], target_insts: u64) -> Option<Manifest> {
-        let workloads: Option<Vec<Workload>> = names.iter().map(|n| by_name(n)).collect();
-        Some(Manifest::from_workloads(workloads?, target_insts))
+        let mut jobs = Vec::with_capacity(names.len());
+        for full in names {
+            let (name, hierarchy) = match full.split_once('@') {
+                Some((n, h)) => (n, Some(h.to_string())),
+                None => (*full, None),
+            };
+            let w = by_name(name)?;
+            jobs.push(ManifestJob {
+                name: w.name.to_string(),
+                program: w.program_for_insts(target_insts),
+                fp: w.fp,
+                hierarchy,
+            });
+        }
+        Some(Manifest { jobs })
     }
 
     fn from_workloads(workloads: Vec<Workload>, target_insts: u64) -> Manifest {
@@ -70,9 +92,19 @@ impl Manifest {
                     name: w.name.to_string(),
                     program: w.program_for_insts(target_insts),
                     fp: w.fp,
+                    hierarchy: None,
                 })
                 .collect(),
         }
+    }
+
+    /// Sets the hierarchy preset name on every job (see
+    /// [`ManifestJob::hierarchy`]).
+    pub fn with_hierarchy(mut self, preset: &str) -> Manifest {
+        for job in &mut self.jobs {
+            job.hierarchy = Some(preset.to_string());
+        }
+        self
     }
 
     /// Keeps only jobs whose name contains `filter`.
@@ -92,6 +124,7 @@ impl Manifest {
                     name: if copies > 1 { format!("{}#{k}", job.name) } else { job.name.clone() },
                     program: job.program.clone(),
                     fp: job.fp,
+                    hierarchy: job.hierarchy.clone(),
                 });
             }
         }
@@ -164,6 +197,21 @@ mod tests {
             assert_eq!(x.name, y.name);
             assert_eq!(x.program, y.program);
         }
+    }
+
+    #[test]
+    fn select_parses_hierarchy_suffixes() {
+        let m = Manifest::select(&["compress@three-level", "mgrid"], 1000).unwrap();
+        assert_eq!(m.jobs()[0].hierarchy.as_deref(), Some("three-level"));
+        assert_eq!(m.jobs()[1].hierarchy, None);
+        // Unknown kernel still rejected, preset suffix or not.
+        assert!(Manifest::select(&["no-such@tiny-l1"], 1000).is_none());
+    }
+
+    #[test]
+    fn with_hierarchy_applies_and_replicates() {
+        let m = Manifest::mixed(1000).with_hierarchy("tiny-l1").replicated(2);
+        assert!(m.jobs().iter().all(|j| j.hierarchy.as_deref() == Some("tiny-l1")));
     }
 
     #[test]

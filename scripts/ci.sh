@@ -43,6 +43,8 @@ cargo run --release -q -p fastsim-bench --bin replay_hotpath -- \
     --insts 20000 --filter compress --out "$REPLAY_OUT"
 for key in '"schema": "fastsim-replay-hotpath/v1"' \
     '"insts_per_workload"' '"debug_build"' '"workloads"' \
+    '"hierarchy"' '"trace_op_bytes"' '"cache_levels"' \
+    '"mshr_stall_cycles"' '"writebacks"' \
     '"nav_node_actions_per_sec"' '"nav_trace_actions_per_sec"' \
     '"nav_speedup"' '"warm_node_ms"' '"warm_trace_ms"' '"warm_speedup"' \
     '"segments_entered"' '"segments_compiled"' '"bailouts"' \
@@ -54,5 +56,23 @@ for key in '"schema": "fastsim-replay-hotpath/v1"' \
     }
 done
 echo "==> bench smoke passed ($REPLAY_OUT)"
+
+echo "==> hierarchy smoke: bench bins under a non-default preset"
+# The full preset × policy equivalence sweeps already run under
+# `cargo test` (tests/hierarchy.rs, tests/trace_compile.rs,
+# tests/batch_determinism.rs); this step exercises the *bench* plumbing:
+# replay_hotpath under the three-level preset must still assert fast/slow
+# bit-identity and report one stats block per level.
+HIER_OUT="target/bench_replay_hier_smoke.json"
+cargo run --release -q -p fastsim-bench --bin replay_hotpath -- \
+    --insts 20000 --filter compress --hierarchy three-level --out "$HIER_OUT"
+for key in '"hierarchy": "three-level"' '"stats_identical": true' \
+    '"level": 2' '"cache_levels"'; do
+    grep -qF "$key" "$HIER_OUT" || {
+        echo "hierarchy smoke: missing $key in $HIER_OUT" >&2
+        exit 1
+    }
+done
+echo "==> hierarchy smoke passed ($HIER_OUT)"
 
 echo "==> tier-1 gate passed"

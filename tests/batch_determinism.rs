@@ -4,16 +4,32 @@
 //! for: the merged warm cache makes every round after the first cheaper.
 
 use fastsim::core::batch::{BatchDriver, BatchJob, BatchReport};
+use fastsim::core::HierarchyConfig;
 use fastsim::workloads::Manifest;
 
 /// The reference job list: integer and floating-point kernels, with
 /// replicas so jobs share warm-cache groups within a round.
 fn jobs() -> Vec<BatchJob> {
-    Manifest::mixed(60_000)
-        .replicated(2)
+    jobs_with_hierarchy(None)
+}
+
+/// Same list, optionally under a named hierarchy preset (resolved the way
+/// the bench bins resolve manifest `hierarchy` fields).
+fn jobs_with_hierarchy(preset: Option<&str>) -> Vec<BatchJob> {
+    let mut manifest = Manifest::mixed(60_000).replicated(2);
+    if let Some(p) = preset {
+        manifest = manifest.with_hierarchy(p);
+    }
+    manifest
         .into_jobs()
         .into_iter()
-        .map(|j| BatchJob::new(j.name, j.program))
+        .map(|j| {
+            let mut job = BatchJob::new(j.name, j.program);
+            if let Some(p) = j.hierarchy.as_deref() {
+                job.hierarchy = HierarchyConfig::preset(p).expect("named preset");
+            }
+            job
+        })
         .collect()
 }
 
@@ -51,6 +67,46 @@ fn worker_count_never_changes_per_job_statistics() {
                 assert_eq!(a.merge, b.merge, "{workers} workers, round {round}: {}", a.name);
             }
         }
+    }
+}
+
+#[test]
+fn determinism_holds_for_every_hierarchy_preset() {
+    // Worker count must not leak into results at any hierarchy depth, and
+    // every report must carry per-level statistics matching that depth.
+    for preset in HierarchyConfig::preset_names() {
+        let depth = HierarchyConfig::preset(preset).expect("named preset").depth();
+        let jobs = jobs_with_hierarchy(Some(preset));
+        let mut reference_driver = BatchDriver::new(1);
+        let mut parallel_driver = BatchDriver::new(4);
+        for round in 0..2 {
+            let r = reference_driver.run_round(&jobs).expect("reference round");
+            let p = parallel_driver.run_round(&jobs).expect("parallel round");
+            for (a, b) in r.jobs.iter().zip(&p.jobs) {
+                let ctx = format!("{preset}, round {round}: {}", a.name);
+                assert_eq!(a.level_stats.len(), depth, "{ctx}: level count");
+                assert_eq!(a.stats, b.stats, "{ctx}: SimStats");
+                assert_eq!(a.cache_stats, b.cache_stats, "{ctx}: cache stats");
+                assert_eq!(a.level_stats, b.level_stats, "{ctx}: per-level stats");
+                assert_eq!(a.memo, b.memo, "{ctx}: memo stats");
+                assert_eq!(a.merge, b.merge, "{ctx}: merge outcome");
+            }
+        }
+    }
+}
+
+#[test]
+fn hierarchies_never_share_warm_caches() {
+    // Jobs simulated under different hierarchies must land in different
+    // fingerprint groups — a warm CacheSnapshot recorded against one
+    // memory model would poison replay under another.
+    let two = jobs_with_hierarchy(None);
+    let three = jobs_with_hierarchy(Some("three-level"));
+    let one = jobs_with_hierarchy(Some("tiny-l1"));
+    for ((a, b), c) in two.iter().zip(&three).zip(&one) {
+        assert_ne!(a.fingerprint(), b.fingerprint(), "{}", a.name);
+        assert_ne!(a.fingerprint(), c.fingerprint(), "{}", a.name);
+        assert_ne!(b.fingerprint(), c.fingerprint(), "{}", a.name);
     }
 }
 

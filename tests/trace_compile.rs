@@ -5,7 +5,8 @@
 //! replacement policy, and across a freeze/thaw/merge round trip.
 
 use fastsim::core::{
-    CacheConfig, CacheStats, MemoStats, Mode, Policy, SimStats, Simulator, UArchConfig,
+    CacheConfig, CacheStats, HierarchyConfig, MemoStats, Mode, Policy, SimStats, Simulator,
+    UArchConfig,
 };
 use fastsim::memo::{PActionCache, DEFAULT_HOTNESS_THRESHOLD};
 use fastsim::workloads::by_name;
@@ -20,9 +21,25 @@ struct Outcome {
 }
 
 fn run(name: &str, insts: u64, policy: Policy, hotness: u32) -> Outcome {
+    run_hier(name, insts, policy, hotness, &HierarchyConfig::table1())
+}
+
+fn run_hier(
+    name: &str,
+    insts: u64,
+    policy: Policy,
+    hotness: u32,
+    hier: &HierarchyConfig,
+) -> Outcome {
     let w = by_name(name).expect("workload exists");
     let program = w.program_for_insts(insts);
-    let mut sim = Simulator::new(&program, Mode::Fast { policy }).expect("simulator builds");
+    let mut sim = Simulator::with_configs(
+        &program,
+        Mode::Fast { policy },
+        UArchConfig::table1(),
+        hier.clone(),
+    )
+    .expect("simulator builds");
     sim.set_trace_hotness(hotness);
     sim.run_to_completion().expect("run completes");
     Outcome {
@@ -81,6 +98,93 @@ fn hotness_sweep_is_bit_identical_across_policies() {
                     );
                 }
             }
+        }
+    }
+}
+
+/// The same equivalence holds at every hierarchy depth: each named
+/// preset (two-level table1, three-level, single-level tiny-l1) × each
+/// GC-ful replacement policy, trace-compiled replay against the
+/// node-at-a-time baseline.
+#[test]
+fn preset_sweep_is_bit_identical_across_policies() {
+    let limit = 16 << 10;
+    for preset in HierarchyConfig::preset_names() {
+        let hier = HierarchyConfig::preset(preset).expect("named preset");
+        for policy in
+            [Policy::Unbounded, Policy::CopyingGc { limit }, Policy::GenerationalGc { limit }]
+        {
+            let base = run_hier("129.compress", 40_000, policy, u32::MAX, &hier);
+            for hotness in [0, DEFAULT_HOTNESS_THRESHOLD] {
+                let ctx = format!("{preset} under {policy:?}, hotness {hotness}");
+                let traced = run_hier("129.compress", 40_000, policy, hotness, &hier);
+                assert_eq!(traced.stats, base.stats, "{ctx}: SimStats");
+                assert_eq!(traced.output, base.output, "{ctx}: program output");
+                assert_eq!(traced.cache, base.cache, "{ctx}: cache-hierarchy stats");
+                assert_pre_trace_memo_equal(&traced.memo, &base.memo, &ctx);
+            }
+        }
+    }
+}
+
+/// Warm replay stays bit-identical to the cold run at every hierarchy
+/// depth, on an integer and a floating-point kernel.
+#[test]
+fn warm_replay_identical_at_every_depth() {
+    for preset in HierarchyConfig::preset_names() {
+        let hier = HierarchyConfig::preset(preset).expect("named preset");
+        for name in ["compress", "tomcatv"] {
+            let w = by_name(name).expect("workload exists");
+            let program = w.program_for_insts(40_000);
+            let mut cold = Simulator::with_configs(
+                &program,
+                Mode::fast(),
+                UArchConfig::table1(),
+                hier.clone(),
+            )
+            .expect("cold builds");
+            cold.set_trace_hotness(u32::MAX);
+            cold.run_to_completion().expect("cold completes");
+            let cold_stats = *cold.stats();
+            let cold_output = cold.output().to_vec();
+            let snap = cold.take_warm_cache().expect("fast mode").freeze();
+
+            let mut warm_outcomes = Vec::new();
+            for hotness in [u32::MAX, 0] {
+                let ctx = format!("{preset}/{name}, hotness {hotness}");
+                let mut warm = Simulator::with_warm_snapshot(
+                    &program,
+                    &snap,
+                    UArchConfig::table1(),
+                    hier.clone(),
+                )
+                .expect("warm builds");
+                warm.set_trace_hotness(hotness);
+                warm.run_to_completion().expect("warm completes");
+                // Results must match the cold run (warmth moves work from
+                // detailed simulation to replay, never the outcome).
+                assert_eq!(warm.stats().cycles, cold_stats.cycles, "{ctx}: cycles");
+                assert_eq!(
+                    warm.stats().retired_insts,
+                    cold_stats.retired_insts,
+                    "{ctx}: insts"
+                );
+                assert_eq!(warm.output(), cold_output, "{ctx}: warm output");
+                if hotness == 0 {
+                    let memo = warm.memo_stats().expect("fast mode");
+                    assert!(
+                        memo.replay_segments_entered > 0,
+                        "{ctx}: warm replay must execute segments"
+                    );
+                }
+                warm_outcomes.push((*warm.stats(), *warm.cache_stats()));
+            }
+            // Between replay strategies the *entire* statistics block must
+            // be bit-identical — trace compilation is purely host-side.
+            assert_eq!(
+                warm_outcomes[0], warm_outcomes[1],
+                "{preset}/{name}: node vs trace warm runs"
+            );
         }
     }
 }
