@@ -1,0 +1,173 @@
+//! `serve_study` — warm-start latency trajectory under the job server.
+//!
+//! Starts an in-process `fastsim-serve` server on a private Unix socket,
+//! then fires N concurrent clients at it with staggered arrivals. Every
+//! client submits the *same* kernel set, so each one benefits from the
+//! deltas merged (and snapshots re-frozen) by the clients before it: the
+//! study prints, per client, the end-to-end latency and the memoization
+//! hit rate its jobs observed — the "late clients start warmer"
+//! trajectory — and cross-checks that every client got bit-identical
+//! simulated results.
+//!
+//! ```text
+//! cargo run --release -p fastsim-bench --bin serve_study --
+//!     [--clients N] [--workers N] [--kernels A,B] [--insts N]
+//!     [--replicas N] [--refreeze-every N] [--stagger-ms N]
+//! ```
+//!
+//! Output is a Markdown table (see `EXPERIMENTS.md`) plus the server's
+//! final metrics dump.
+
+use fastsim_serve::client::Client;
+use fastsim_serve::json::Json;
+use fastsim_serve::server::{Listener, ServeConfig, Server};
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+struct ClientRow {
+    latency: Duration,
+    memo_hits: u64,
+    memo_misses: u64,
+    detailed: u64,
+    replayed: u64,
+    /// name → (cycles, retired) per job, for the bit-identical check.
+    results: BTreeMap<String, (u64, u64)>,
+}
+
+fn main() {
+    let mut clients: usize = 6;
+    let mut workers: usize = 2;
+    let mut kernels = "compress,vortex".to_string();
+    let mut insts: u64 = 50_000;
+    let mut replicas: u64 = 2;
+    let mut refreeze_every: usize = 2;
+    let mut stagger = Duration::from_millis(100);
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--clients" => clients = value("--clients").parse().expect("--clients"),
+            "--workers" => workers = value("--workers").parse().expect("--workers"),
+            "--kernels" => kernels = value("--kernels"),
+            "--insts" => insts = value("--insts").parse().expect("--insts"),
+            "--replicas" => replicas = value("--replicas").parse().expect("--replicas"),
+            "--refreeze-every" => {
+                refreeze_every = value("--refreeze-every").parse().expect("--refreeze-every")
+            }
+            "--stagger-ms" => {
+                stagger = Duration::from_millis(value("--stagger-ms").parse().expect("--stagger-ms"))
+            }
+            other => {
+                eprintln!("unknown flag `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let socket = std::env::temp_dir().join(format!("fastsim_serve_study_{}.sock", std::process::id()));
+    let cfg = ServeConfig { workers, refreeze_every, ..ServeConfig::default() };
+    let handle = Server::start(
+        cfg,
+        vec![Listener::unix(&socket).expect("bind study socket")],
+    );
+
+    println!(
+        "# serve_study: {clients} clients x ({kernels}) x{replicas}, {insts} insts, \
+         {workers} workers, refreeze every {refreeze_every} merges, {}ms stagger",
+        stagger.as_millis()
+    );
+
+    // Fire the clients concurrently, staggered by arrival index.
+    let rows: Vec<ClientRow> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|i| {
+                let socket = socket.clone();
+                let kernels = kernels.clone();
+                scope.spawn(move || {
+                    std::thread::sleep(stagger * i as u32);
+                    run_client(&socket, i, &kernels, insts, replicas)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+    });
+
+    // Bit-identical check: every client must report the same
+    // (cycles, retired) per job name, whatever warmth it started from.
+    let reference = &rows[0].results;
+    let identical = rows.iter().all(|r| &r.results == reference);
+
+    println!("\n| client | latency (ms) | memo hit rate | detailed insts | replayed insts |");
+    println!("|-------:|-------------:|--------------:|---------------:|---------------:|");
+    for (i, row) in rows.iter().enumerate() {
+        let lookups = row.memo_hits + row.memo_misses;
+        let rate = if lookups == 0 { 0.0 } else { row.memo_hits as f64 / lookups as f64 };
+        println!(
+            "| {i} | {:.1} | {:.3} | {} | {} |",
+            row.latency.as_secs_f64() * 1e3,
+            rate,
+            row.detailed,
+            row.replayed,
+        );
+    }
+    println!(
+        "\nbit-identical results across clients: {}",
+        if identical { "yes" } else { "NO — BUG" }
+    );
+
+    // Shut the server down and show its final registry.
+    let mut c = Client::connect_unix(&socket).expect("connect for shutdown");
+    c.shutdown().expect("shutdown");
+    println!("\nfinal metrics: {}", handle.wait());
+    if !identical {
+        std::process::exit(1);
+    }
+}
+
+/// One client: submit-and-wait, then reduce its job reports to a row.
+fn run_client(
+    socket: &std::path::Path,
+    index: usize,
+    kernels: &str,
+    insts: u64,
+    replicas: u64,
+) -> ClientRow {
+    let mut client = Client::connect_unix(socket).expect("connect client");
+    let submit = Json::obj([
+        ("op", Json::from("submit")),
+        ("kernels", Json::Arr(kernels.split(',').map(Json::from).collect())),
+        ("insts", Json::from(insts)),
+        ("replicas", Json::from(replicas)),
+        ("client", Json::Str(format!("client-{index}"))),
+        ("wait", Json::Bool(true)),
+    ]);
+    let start = Instant::now();
+    let resp = client.expect_ok(&submit).expect("submit");
+    let latency = start.elapsed();
+
+    let mut row = ClientRow {
+        latency,
+        memo_hits: 0,
+        memo_misses: 0,
+        detailed: 0,
+        replayed: 0,
+        results: BTreeMap::new(),
+    };
+    for job in resp.get("jobs").and_then(Json::as_arr).expect("jobs array") {
+        let name = job.get("name").and_then(Json::as_str).expect("job name").to_string();
+        let result = job.get("result").expect("all study jobs succeed");
+        let field = |k: &str| result.get(k).and_then(Json::as_u64).unwrap_or(0);
+        row.memo_hits += field("memo_hits");
+        row.memo_misses += field("memo_misses");
+        row.detailed += field("detailed_insts");
+        row.replayed += field("replayed_insts");
+        row.results.insert(name, (field("cycles"), field("retired_insts")));
+    }
+    row
+}

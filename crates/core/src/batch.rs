@@ -143,6 +143,38 @@ impl std::fmt::Display for BatchError {
 
 impl std::error::Error for BatchError {}
 
+/// Why a *single* job run ([`run_single`]) failed. This is the
+/// job-granular error the serving front end consumes; [`BatchError`] wraps
+/// the same conditions with the job's index and name for whole-round
+/// reporting.
+#[derive(Debug)]
+pub enum JobFailure {
+    /// The simulator could not be built.
+    Build(BuildError),
+    /// The simulation failed (diverging or wild program, wedged pipeline).
+    Sim(SimError),
+    /// The job exceeded its deadline and was abandoned between budget
+    /// chunks (the partial simulation is discarded; nothing is merged).
+    Timeout {
+        /// How long the job had run when the deadline check abandoned it.
+        elapsed: Duration,
+    },
+}
+
+impl std::fmt::Display for JobFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobFailure::Build(e) => write!(f, "failed to build: {e}"),
+            JobFailure::Sim(e) => write!(f, "failed to simulate: {e}"),
+            JobFailure::Timeout { elapsed } => {
+                write!(f, "timed out after {:.1}s", elapsed.as_secs_f64())
+            }
+        }
+    }
+}
+
+impl std::error::Error for JobFailure {}
+
 /// Per-job results of one batch round.
 #[derive(Clone, Debug)]
 pub struct JobReport {
@@ -250,23 +282,104 @@ impl BatchReport {
     }
 }
 
-/// What a worker hands back for one finished job (before the merge phase
-/// fills in [`JobReport::merge`]).
-struct JobOutcome {
-    report: JobReport,
-    delta: CacheSnapshot,
+/// What one finished job hands back: its report (with
+/// [`JobReport::merge`] still defaulted — the caller fills it in when the
+/// delta is actually merged) and the frozen memoization delta to fold into
+/// the group's master cache.
+pub struct SingleOutcome {
+    /// The job's report; `merge` is [`MergeOutcome::default`] until the
+    /// caller merges `delta`.
+    pub report: JobReport,
+    /// The job's frozen p-action-cache delta, a descendant of the snapshot
+    /// the job ran from (feed to [`BatchDriver::merge_delta`]).
+    pub delta: CacheSnapshot,
+}
+
+/// Runs one job from a frozen warm snapshot and freezes its delta.
+///
+/// This is the job-granular core of the batch driver, exposed for serving
+/// front ends that schedule jobs one at a time instead of in rounds. The
+/// outcome depends only on `(job, snapshot)` — never on what else is
+/// running — which is what makes served results bit-identical to an
+/// offline [`BatchDriver::run_round`] of the same jobs: warmth moves work
+/// between the detailed and replay paths but cannot change simulated
+/// results (cycles, retirement, cache traffic).
+///
+/// With a `deadline`, the simulation runs in instruction-budget chunks and
+/// is abandoned with [`JobFailure::Timeout`] once the deadline passes
+/// between chunks (chunked runs are bit-identical to straight runs; the
+/// engine's pause/resume is transparent). Nothing is merged on failure.
+///
+/// # Errors
+///
+/// Returns [`JobFailure`] if the simulator cannot be built, the simulation
+/// fails, or the deadline expires.
+pub fn run_single(
+    job: &BatchJob,
+    snapshot: &WarmCacheSnapshot,
+    deadline: Option<Instant>,
+) -> Result<SingleOutcome, JobFailure> {
+    /// Instructions simulated between deadline checks (small enough that a
+    /// timeout is honoured promptly, large enough to stay off the hot path).
+    const DEADLINE_CHUNK_INSTS: u64 = 50_000;
+
+    let start = Instant::now();
+    let mut sim =
+        Simulator::with_warm_snapshot(&job.program, snapshot, job.uarch, job.hierarchy.clone())
+            .map_err(JobFailure::Build)?;
+    sim.set_trace_hotness(job.trace_hotness);
+    match deadline {
+        None => sim.run_to_completion().map_err(JobFailure::Sim)?,
+        Some(d) => loop {
+            if Instant::now() >= d {
+                return Err(JobFailure::Timeout { elapsed: start.elapsed() });
+            }
+            let progress = sim.run(DEADLINE_CHUNK_INSTS).map_err(JobFailure::Sim)?;
+            if progress.finished {
+                break;
+            }
+        },
+    }
+    let stats = *sim.stats();
+    let cache_stats = *sim.cache_stats();
+    let level_stats = sim.cache_level_stats().to_vec();
+    let memo = *sim.memo_stats().expect("batch jobs always run FastSim");
+    let warm = sim.take_warm_cache().expect("FastSim run yields a warm cache");
+    let delta = warm.into_pcache().freeze();
+    let inherited = snapshot.stats();
+    Ok(SingleOutcome {
+        report: JobReport {
+            name: job.name.clone(),
+            fingerprint: snapshot.fingerprint(),
+            stats,
+            memo,
+            cache_stats,
+            level_stats,
+            memo_hits: memo.config_hits - inherited.config_hits,
+            memo_misses: memo.config_misses - inherited.config_misses,
+            merge: MergeOutcome::default(),
+            wall: start.elapsed(),
+        },
+        delta,
+    })
 }
 
 /// The parallel batch-simulation driver. See the [module docs](self).
 ///
 /// The driver owns one master p-action cache per job group (fingerprint)
-/// and carries them across rounds, so repeated [`run_round`]
-/// (BatchDriver::run_round) calls on overlapping job lists keep getting
-/// warmer.
+/// and carries them across rounds, so repeated
+/// [`run_round`](BatchDriver::run_round) calls on overlapping job lists
+/// keep getting warmer.
 #[derive(Debug)]
 pub struct BatchDriver {
     workers: usize,
     masters: HashMap<u64, PActionCache>,
+    /// Cache of the latest freeze per group, re-frozen lazily only when the
+    /// master's replayable content changed since
+    /// ([`PActionCache::freeze_if_newer`]): repeated
+    /// [`current_snapshot`](BatchDriver::current_snapshot) calls across
+    /// quiet periods are O(1) instead of cloning the arena.
+    frozen: HashMap<u64, WarmCacheSnapshot>,
 }
 
 impl BatchDriver {
@@ -275,7 +388,7 @@ impl BatchDriver {
     /// by construction it produces the same per-job statistics as any
     /// other worker count.
     pub fn new(workers: usize) -> BatchDriver {
-        BatchDriver { workers: workers.max(1), masters: HashMap::new() }
+        BatchDriver { workers: workers.max(1), masters: HashMap::new(), frozen: HashMap::new() }
     }
 
     /// The worker-thread count.
@@ -293,11 +406,71 @@ impl BatchDriver {
     }
 
     /// The current frozen warm cache of the job group `fingerprint`, if
-    /// any round has populated it.
+    /// any round has populated it. Always freezes a fresh copy; prefer
+    /// [`current_snapshot`](BatchDriver::current_snapshot), which reuses
+    /// the last freeze across quiet periods.
     pub fn warm_snapshot(&self, fingerprint: u64) -> Option<WarmCacheSnapshot> {
         self.masters
             .get(&fingerprint)
             .map(|pc| WarmCacheSnapshot::from_parts(Arc::new(pc.freeze()), fingerprint))
+    }
+
+    /// Ensures the job's group master exists (created with the job's
+    /// policy on first sight, like [`run_round`](BatchDriver::run_round))
+    /// and returns the group fingerprint.
+    ///
+    /// This is the admission hook for job-at-a-time front ends (the
+    /// serving layer): `ensure_group` +
+    /// [`current_snapshot`](BatchDriver::current_snapshot) +
+    /// [`run_single`] + [`merge_delta`](BatchDriver::merge_delta) is the
+    /// single-job decomposition of one `run_round` slot.
+    pub fn ensure_group(&mut self, job: &BatchJob) -> u64 {
+        let fp = job.fingerprint();
+        self.masters.entry(fp).or_insert_with(|| PActionCache::new(job.policy));
+        fp
+    }
+
+    /// The group's current frozen snapshot, **re-freezing only if the
+    /// master changed** since the last freeze (a merge landed, or the
+    /// group is new). Returns `None` for an unknown group (no
+    /// [`ensure_group`](BatchDriver::ensure_group) or
+    /// [`run_round`](BatchDriver::run_round) created it yet).
+    ///
+    /// This is the *re-freeze* hook: a serving front end calls it on its
+    /// own cadence (say every N merged deltas) and hands the returned
+    /// snapshot to every job it schedules until the next re-freeze, so
+    /// late jobs start warmer than early ones while each job still runs
+    /// from one immutable snapshot.
+    pub fn current_snapshot(&mut self, fingerprint: u64) -> Option<WarmCacheSnapshot> {
+        let master = self.masters.get(&fingerprint)?;
+        if let Some(prev) = self.frozen.get(&fingerprint) {
+            match master.freeze_if_newer(prev.cache()) {
+                None => return Some(prev.clone()),
+                Some(fresh) => {
+                    let ws = WarmCacheSnapshot::from_parts(Arc::new(fresh), fingerprint);
+                    self.frozen.insert(fingerprint, ws.clone());
+                    return Some(ws);
+                }
+            }
+        }
+        let ws = WarmCacheSnapshot::from_parts(Arc::new(master.freeze()), fingerprint);
+        self.frozen.insert(fingerprint, ws.clone());
+        Some(ws)
+    }
+
+    /// Drains one job's frozen delta into its group's master cache
+    /// (first-writer-wins, idempotent — see
+    /// [`PActionCache::merge_from`]). Returns `None` for an unknown group.
+    ///
+    /// The merged material becomes visible to new jobs only at the next
+    /// [`current_snapshot`](BatchDriver::current_snapshot) re-freeze;
+    /// jobs already running keep their immutable snapshots.
+    pub fn merge_delta(
+        &mut self,
+        fingerprint: u64,
+        delta: &CacheSnapshot,
+    ) -> Option<MergeOutcome> {
+        self.masters.get_mut(&fingerprint).map(|m| m.merge_from(delta))
     }
 
     /// Runs one round: every job once, across the worker pool, each
@@ -313,20 +486,21 @@ impl BatchDriver {
         let round_start = Instant::now();
 
         // Freeze one snapshot per job group. Groups are created on first
-        // sight with the job's policy.
+        // sight with the job's policy; the freeze is reused from the last
+        // round when nothing merged since (`current_snapshot`).
         let fps: Vec<u64> = jobs.iter().map(|j| j.fingerprint()).collect();
         let mut snapshots: HashMap<u64, WarmCacheSnapshot> = HashMap::new();
         for (job, &fp) in jobs.iter().zip(&fps) {
-            self.masters.entry(fp).or_insert_with(|| PActionCache::new(job.policy));
-            snapshots.entry(fp).or_insert_with(|| {
-                WarmCacheSnapshot::from_parts(Arc::new(self.masters[&fp].freeze()), fp)
-            });
+            self.ensure_group(job);
+            snapshots
+                .entry(fp)
+                .or_insert_with(|| self.current_snapshot(fp).expect("group created above"));
         }
 
         // Run the jobs: a shared queue of job indices, one slot per job
         // for the outcome. Claiming order is racy; results are not.
         let next = AtomicUsize::new(0);
-        let outcomes: Mutex<Vec<Option<Result<JobOutcome, BatchError>>>> =
+        let outcomes: Mutex<Vec<Option<Result<SingleOutcome, BatchError>>>> =
             Mutex::new((0..jobs.len()).map(|_| None).collect());
         let pool = self.workers.min(jobs.len()).max(1);
         if pool == 1 {
@@ -373,43 +547,17 @@ fn claim(next: &AtomicUsize, len: usize) -> Option<usize> {
     (i < len).then_some(i)
 }
 
-/// Runs one job from its group's round-start snapshot and freezes its
-/// delta. Depends only on (job, snapshot): scheduling-independent.
+/// Runs one job from its group's round-start snapshot ([`run_single`]),
+/// wrapping failures with the job's round index and name.
 fn run_job(
     index: usize,
     job: &BatchJob,
     snapshot: &WarmCacheSnapshot,
-) -> Result<JobOutcome, BatchError> {
-    let start = Instant::now();
-    let mut sim = Simulator::with_warm_snapshot(&job.program, snapshot, job.uarch, job.hierarchy.clone())
-        .map_err(|error| BatchError::Build { job: index, name: job.name.clone(), error })?;
-    sim.set_trace_hotness(job.trace_hotness);
-    sim.run_to_completion().map_err(|error| BatchError::Sim {
-        job: index,
-        name: job.name.clone(),
-        error,
-    })?;
-    let stats = *sim.stats();
-    let cache_stats = *sim.cache_stats();
-    let level_stats = sim.cache_level_stats().to_vec();
-    let memo = *sim.memo_stats().expect("batch jobs always run FastSim");
-    let warm = sim.take_warm_cache().expect("FastSim run yields a warm cache");
-    let delta = warm.into_pcache().freeze();
-    let inherited = snapshot.stats();
-    Ok(JobOutcome {
-        report: JobReport {
-            name: job.name.clone(),
-            fingerprint: snapshot.fingerprint(),
-            stats,
-            memo,
-            cache_stats,
-            level_stats,
-            memo_hits: memo.config_hits - inherited.config_hits,
-            memo_misses: memo.config_misses - inherited.config_misses,
-            merge: MergeOutcome::default(),
-            wall: start.elapsed(),
-        },
-        delta,
+) -> Result<SingleOutcome, BatchError> {
+    run_single(job, snapshot, None).map_err(|failure| match failure {
+        JobFailure::Build(error) => BatchError::Build { job: index, name: job.name.clone(), error },
+        JobFailure::Sim(error) => BatchError::Sim { job: index, name: job.name.clone(), error },
+        JobFailure::Timeout { .. } => unreachable!("run_round sets no deadline"),
     })
 }
 

@@ -24,12 +24,17 @@
 //! paper's central claim, asserted by this crate's property tests and the
 //! repository's integration tests.
 
+#![deny(missing_docs)]
+
 pub mod batch;
 mod engine;
 mod error;
 mod stats;
 
-pub use batch::{BatchDriver, BatchError, BatchJob, BatchReport, JobReport};
+pub use batch::{
+    run_single, BatchDriver, BatchError, BatchJob, BatchReport, JobFailure, JobReport,
+    SingleOutcome,
+};
 pub use engine::{CycleObserver, Mode, Progress, Simulator, WarmCache, WarmCacheSnapshot};
 pub use fastsim_uarch::{CycleSummary, FetchPc, IqEntry, IqState, PipelineState};
 pub use error::{BuildError, SimError};

@@ -185,6 +185,15 @@ pub struct PActionCache {
     pub(crate) compile_stamp: Vec<u32>,
     pub(crate) compile_op: Vec<u32>,
     pub(crate) compile_epoch: u32,
+    /// Monotonic counter of *replayable-content* mutations: bumped whenever
+    /// nodes, links or configuration keys change (recording, flushes,
+    /// collections, merges) — but **not** by replay-side accessed-bit
+    /// marking, which only feeds GC liveness. [`freeze`](PActionCache::freeze)
+    /// stamps the snapshot with the current version, so a long-lived master
+    /// can answer "has anything merged since my last freeze?" in O(1)
+    /// ([`dirty_since`](PActionCache::dirty_since)) and skip redundant
+    /// re-freezes (see [`freeze_if_newer`](PActionCache::freeze_if_newer)).
+    pub(crate) version: u64,
 }
 
 impl PActionCache {
@@ -206,7 +215,24 @@ impl PActionCache {
             compile_stamp: Vec::new(),
             compile_op: Vec::new(),
             compile_epoch: 0,
+            version: 0,
         }
+    }
+
+    /// The cache's replayable-content version (see the field docs on
+    /// [`PActionCache`]): two calls return different values iff nodes,
+    /// links or configuration keys changed in between. Accessed-bit
+    /// (GC-liveness) updates do not count.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Whether this cache's replayable content changed since `snapshot`
+    /// was frozen *from this cache's lineage*. Only meaningful for
+    /// snapshots produced by this cache (or its clones): version counters
+    /// of unrelated caches are not comparable.
+    pub fn dirty_since(&self, snapshot: &crate::CacheSnapshot) -> bool {
+        self.version != snapshot.version()
     }
 
     /// The replacement policy.
@@ -267,6 +293,7 @@ impl PActionCache {
     /// the node id — needed to bind an outcome with
     /// [`set_outcome`](PActionCache::set_outcome).
     pub fn record_action(&mut self, kind: ActionKind) -> NodeId {
+        self.version += 1;
         let id = self.nodes.len() as NodeId;
         let next = if kind.has_outcome() {
             Successors::Multi(Vec::new())
@@ -325,6 +352,9 @@ impl PActionCache {
     }
 
     fn link_attach(&mut self, to: NodeId) {
+        if self.attach != Attach::None {
+            self.version += 1;
+        }
         match std::mem::replace(&mut self.attach, Attach::None) {
             Attach::None => {}
             Attach::Next(p) => match &mut self.nodes[p as usize].next {
@@ -420,6 +450,7 @@ impl PActionCache {
 
     /// Discards the entire cache (the flush-on-full policy's action).
     pub fn flush(&mut self) {
+        self.version += 1;
         self.nodes.clear();
         self.accessed.clear();
         self.index.clear();
@@ -438,6 +469,7 @@ impl PActionCache {
     /// survive (full copying collection). Links into collected space are
     /// cut; replay falls back to detailed simulation when it reaches one.
     pub fn collect(&mut self, minor: bool) {
+        self.version += 1;
         let scanned = self.stats.bytes;
         // Node ids are contiguous arena indices, so the forwarding table
         // is a dense vector — a HashMap here would hash every node id for

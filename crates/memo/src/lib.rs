@@ -23,6 +23,8 @@
 //! The engine (`fastsim-core`) records actions while running the detailed
 //! simulator and navigates the graph while fast-forwarding.
 
+#![deny(missing_docs)]
+
 mod action;
 mod cache;
 mod index;

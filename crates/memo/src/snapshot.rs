@@ -51,6 +51,9 @@ pub struct CacheSnapshot {
     /// id-for-id, with the snapshot it was thawed from. Used by
     /// [`PActionCache::merge_from`] to graft deltas precisely.
     pub(crate) base_len: usize,
+    /// The source cache's replayable-content version at freeze time (see
+    /// [`PActionCache::version`]).
+    pub(crate) version: u64,
 }
 
 // One snapshot is replayed from by many threads at once.
@@ -86,6 +89,13 @@ impl CacheSnapshot {
     /// collection broke the correspondence).
     pub fn base_len(&self) -> usize {
         self.base_len
+    }
+
+    /// The source cache's replayable-content version at freeze time. Only
+    /// comparable against the same cache lineage (see
+    /// [`PActionCache::dirty_since`]).
+    pub fn version(&self) -> u64 {
+        self.version
     }
 }
 
@@ -149,6 +159,24 @@ impl PActionCache {
             policy: self.policy,
             stats: self.stats,
             base_len: self.frozen_base,
+            version: self.version,
+        }
+    }
+
+    /// Re-freezes only if the replayable content changed since `prev` was
+    /// frozen off this cache: returns `None` (keep using `prev`) when the
+    /// version still matches, or a fresh [`CacheSnapshot`] otherwise.
+    ///
+    /// This is the cheap periodic **re-freeze** primitive for a long-lived
+    /// master cache that absorbs worker deltas: freezing clones the whole
+    /// arena, so a server that re-freezes on a schedule can skip the copy
+    /// entirely across quiet periods. `prev` must come from this cache's
+    /// lineage (the version counter is per-lineage, not global).
+    pub fn freeze_if_newer(&self, prev: &CacheSnapshot) -> Option<CacheSnapshot> {
+        if self.version == prev.version {
+            None
+        } else {
+            Some(self.freeze())
         }
     }
 
@@ -163,6 +191,7 @@ impl PActionCache {
         pc.accessed = snapshot.accessed.clone();
         pc.index = snapshot.index.clone();
         pc.stats = snapshot.stats;
+        pc.version = snapshot.version;
         pc.frozen_base = snapshot.nodes.len();
         // Snapshots carry no compiled traces; size the empty side tables.
         pc.invalidate_traces();
@@ -241,12 +270,14 @@ impl PActionCache {
 
         // Pass 3 — graft the delta's additions to inherited nodes: filled
         // single-successor links and new outcome branches.
+        let mut links_filled = false;
         for i in 0..base_len {
             match (&delta.nodes[i].next, &mut self.nodes[i].next) {
                 (Successors::Single(Some(t)), Successors::Single(slot)) if slot.is_none() => {
                     let mapped =
                         resolve(*t, base_len, &mut forwarding, &mut queue, &mut next_new);
                     *slot = Some(mapped);
+                    links_filled = true;
                 }
                 (Successors::Multi(theirs), Successors::Multi(ours)) => {
                     for (key, t) in theirs {
@@ -313,6 +344,11 @@ impl PActionCache {
         // never carry traces in the first place — `freeze` captures plain
         // replayable state only, and a thawed copy compiles its own.
         self.invalidate_traces();
+        // A filled single-successor link changes replayable content without
+        // moving any `MergeOutcome` counter, so it must bump the version too.
+        if !out.is_noop() || links_filled {
+            self.version += 1;
+        }
         out
     }
 }
@@ -514,6 +550,29 @@ mod tests {
         // about content, not traffic.
         assert_eq!(after.config_hits, before.config_hits);
         assert_eq!(after.config_misses, before.config_misses);
+    }
+
+    #[test]
+    fn freeze_if_newer_skips_quiet_periods() {
+        let mut master = PActionCache::new(Policy::Unbounded);
+        record(&mut master, b"A", 1);
+        let snap = master.freeze();
+        assert!(!master.dirty_since(&snap));
+        assert!(master.freeze_if_newer(&snap).is_none(), "nothing changed: keep `snap`");
+
+        // A worker learns B; merging its delta dirties the master...
+        let mut w = PActionCache::from_snapshot(&snap);
+        record(&mut w, b"B", 2);
+        let delta = w.freeze();
+        assert!(!master.merge_from(&delta).is_noop());
+        assert!(master.dirty_since(&snap));
+        let snap2 = master.freeze_if_newer(&snap).expect("merge must dirty the master");
+        assert_eq!(snap2.config_count(), 2);
+
+        // ...but re-merging the same delta is a no-op and stays clean.
+        assert!(master.merge_from(&delta).is_noop());
+        assert!(!master.dirty_since(&snap2));
+        assert!(master.freeze_if_newer(&snap2).is_none());
     }
 
     #[test]

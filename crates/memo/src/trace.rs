@@ -260,7 +260,7 @@ pub enum TraceOp {
 const _: () = assert!(std::mem::size_of::<TraceOp>() <= 24);
 
 /// A compiled linear replay segment for one configuration head. See the
-/// [module docs](self) for the format and its equivalence guarantees.
+/// module docs above for the format and its equivalence guarantees.
 #[derive(Clone, Debug, PartialEq)]
 pub struct TraceSegment {
     /// The compact ops, executed by a linear scan (plus `Jump`s).
@@ -329,7 +329,7 @@ struct BulkAcc {
     start: u32,
     /// First and last node of the run, and whether every node so far was
     /// the numeric successor of the previous one (straight-line
-    /// recordings are): a contiguous run compiles to [`Touched::Span`]
+    /// recordings are): a contiguous run compiles to [`TouchedKind::Span`]
     /// and stores no per-node list at all.
     first: NodeId,
     prev: NodeId,
@@ -400,7 +400,7 @@ impl PActionCache {
 
     /// Marks `len` consecutively-numbered nodes starting at `start`
     /// accessed — a slice fill over the dense accessed array, the fast
-    /// path for [`Touched::Span`] bulk runs.
+    /// path for [`TouchedKind::Span`] bulk runs.
     #[inline]
     pub fn mark_accessed_span(&mut self, start: NodeId, len: u32) {
         let s = start as usize;

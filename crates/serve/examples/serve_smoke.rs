@@ -1,0 +1,149 @@
+//! `serve_smoke` — a minimal protocol client.
+//!
+//! Submits a kernel set with `wait: true`, prints one deterministic
+//! result row per job, and optionally drains/shuts the server down.
+//! Lines starting with `#` carry warmth-dependent or timing data; the
+//! remaining rows are *bit-identical across clients and cache warmth*, so
+//! `scripts/ci.sh` diffs them (`grep -v '^#'`) between a cold and a warm
+//! client to check the central serving invariant offline.
+//!
+//! ```text
+//! serve_smoke (--unix PATH | --tcp ADDR) [--client NAME] [--kernels A,B]
+//!             [--insts N] [--replicas N] [--priority N] [--chaos N]
+//!             [--drain] [--shutdown] [--metrics]
+//! ```
+
+use fastsim_serve::client::Client;
+use fastsim_serve::json::Json;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut tcp: Option<String> = None;
+    let mut unix: Option<String> = None;
+    let mut client_name = "smoke".to_string();
+    let mut kernels = "compress,vortex".to_string();
+    let mut insts: u64 = 20_000;
+    let mut replicas: u64 = 1;
+    let mut priority: u64 = 2;
+    let mut chaos: u64 = 0;
+    let mut drain = false;
+    let mut shutdown = false;
+    let mut metrics = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--tcp" => tcp = Some(value("--tcp")),
+            "--unix" => unix = Some(value("--unix")),
+            "--client" => client_name = value("--client"),
+            "--kernels" => kernels = value("--kernels"),
+            "--insts" => insts = value("--insts").parse().expect("--insts"),
+            "--replicas" => replicas = value("--replicas").parse().expect("--replicas"),
+            "--priority" => priority = value("--priority").parse().expect("--priority"),
+            "--chaos" => chaos = value("--chaos").parse().expect("--chaos"),
+            "--drain" => drain = true,
+            "--shutdown" => shutdown = true,
+            "--metrics" => metrics = true,
+            other => {
+                eprintln!("unknown flag `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let mut client = match (&unix, &tcp) {
+        (Some(path), _) => Client::connect_unix(path).expect("connect unix"),
+        (None, Some(addr)) => Client::connect_tcp(addr).expect("connect tcp"),
+        (None, None) => {
+            eprintln!("pass --unix PATH or --tcp ADDR");
+            return ExitCode::from(2);
+        }
+    };
+
+    let kernel_list: Vec<Json> = kernels.split(',').map(Json::from).collect();
+    let submit = Json::obj([
+        ("op", Json::from("submit")),
+        ("kernels", Json::Arr(kernel_list)),
+        ("insts", Json::from(insts)),
+        ("replicas", Json::from(replicas)),
+        ("priority", Json::from(priority)),
+        ("client", Json::from(client_name.as_str())),
+        ("chaos_panics", Json::from(chaos)),
+        ("wait", Json::Bool(true)),
+    ]);
+    let resp = match client.expect_ok(&submit) {
+        Ok(resp) => resp,
+        Err(e) => {
+            eprintln!("submit failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let jobs = resp.get("jobs").and_then(Json::as_arr).unwrap_or(&[]);
+    let mut failed = false;
+    for job in jobs {
+        let name = job.get("name").and_then(Json::as_str).unwrap_or("?");
+        let status = job.get("status").and_then(Json::as_str).unwrap_or("?");
+        match job.get("result") {
+            Some(result) if status == "done" => {
+                let field = |k: &str| result.get(k).and_then(Json::as_u64).unwrap_or(0);
+                // Deterministic row: simulation results only.
+                println!(
+                    "{name} cycles={} retired={} loads={} stores={} l1_misses={} writebacks={}",
+                    field("cycles"),
+                    field("retired_insts"),
+                    field("loads"),
+                    field("stores"),
+                    field("l1_misses"),
+                    field("writebacks"),
+                );
+                // Warmth/timing commentary: varies run to run by design.
+                println!(
+                    "# {name} status={status} attempts={} memo_hits={} memo_misses={} hit_rate={} wall_ms={}",
+                    job.get("attempts").and_then(Json::as_u64).unwrap_or(0),
+                    field("memo_hits"),
+                    field("memo_misses"),
+                    result.get("hit_rate").and_then(Json::as_f64).unwrap_or(0.0),
+                    field("wall_ms"),
+                );
+            }
+            _ => {
+                failed = true;
+                println!(
+                    "# {name} status={status} error={}",
+                    job.get("error").and_then(Json::as_str).unwrap_or("?")
+                );
+            }
+        }
+    }
+
+    if metrics {
+        match client.metrics() {
+            Ok(m) => println!("# metrics {m}"),
+            Err(e) => eprintln!("metrics failed: {e}"),
+        }
+    }
+    if drain {
+        if let Err(e) = client.drain() {
+            eprintln!("drain failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if shutdown {
+        if let Err(e) = client.shutdown() {
+            eprintln!("shutdown failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,131 @@
+//! `fastsim_served` — the standalone serving daemon.
+//!
+//! Binds the requested listeners, serves until a client sends
+//! `{"op": "shutdown"}`, then writes the final metrics dump (to stdout,
+//! and to `--metrics-file` if given).
+//!
+//! ```text
+//! fastsim_served [--tcp ADDR] [--unix PATH] [--workers N]
+//!                [--queue-cap N] [--refreeze-every N] [--timeout-ms N]
+//!                [--max-attempts N] [--backoff-ms N]
+//!                [--addr-file PATH] [--metrics-file PATH]
+//! ```
+//!
+//! At least one of `--tcp` / `--unix` is required. `--tcp 127.0.0.1:0`
+//! picks a free port; `--addr-file` writes the bound TCP address (or the
+//! Unix socket path) to a file so scripts can find it.
+
+use fastsim_serve::server::{Listener, ServeConfig, Server};
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn main() -> ExitCode {
+    let mut cfg = ServeConfig::default();
+    let mut tcp: Option<String> = None;
+    let mut unix: Option<String> = None;
+    let mut addr_file: Option<String> = None;
+    let mut metrics_file: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--tcp" => tcp = Some(value("--tcp")),
+            "--unix" => unix = Some(value("--unix")),
+            "--workers" => cfg.workers = parse(&value("--workers"), "--workers"),
+            "--queue-cap" => cfg.queue_capacity = parse(&value("--queue-cap"), "--queue-cap"),
+            "--refreeze-every" => {
+                cfg.refreeze_every = parse(&value("--refreeze-every"), "--refreeze-every")
+            }
+            "--timeout-ms" => {
+                let ms: u64 = parse(&value("--timeout-ms"), "--timeout-ms");
+                cfg.default_timeout = (ms > 0).then(|| Duration::from_millis(ms));
+            }
+            "--max-attempts" => cfg.max_attempts = parse(&value("--max-attempts"), "--max-attempts"),
+            "--backoff-ms" => {
+                cfg.backoff_base = Duration::from_millis(parse(&value("--backoff-ms"), "--backoff-ms"))
+            }
+            "--addr-file" => addr_file = Some(value("--addr-file")),
+            "--metrics-file" => metrics_file = Some(value("--metrics-file")),
+            "--help" | "-h" => {
+                println!(
+                    "usage: fastsim_served [--tcp ADDR] [--unix PATH] [--workers N] \
+                     [--queue-cap N] [--refreeze-every N] [--timeout-ms N] [--max-attempts N] \
+                     [--backoff-ms N] [--addr-file PATH] [--metrics-file PATH]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown flag `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let mut listeners = Vec::new();
+    if let Some(addr) = &tcp {
+        match Listener::tcp(addr) {
+            Ok(l) => listeners.push(l),
+            Err(e) => {
+                eprintln!("cannot bind tcp {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    #[cfg(unix)]
+    if let Some(path) = &unix {
+        match Listener::unix(path) {
+            Ok(l) => listeners.push(l),
+            Err(e) => {
+                eprintln!("cannot bind unix socket {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    #[cfg(not(unix))]
+    if unix.is_some() {
+        eprintln!("--unix is not supported on this platform");
+        return ExitCode::from(2);
+    }
+    if listeners.is_empty() {
+        eprintln!("nothing to listen on: pass --tcp ADDR and/or --unix PATH (try --help)");
+        return ExitCode::from(2);
+    }
+
+    let handle = Server::start(cfg, listeners);
+    let endpoint = handle
+        .tcp_addr()
+        .map(|a| a.to_string())
+        .or_else(|| handle.unix_path().map(|p| p.display().to_string()))
+        .unwrap_or_default();
+    eprintln!("fastsim_served listening on {endpoint}");
+    if let Some(path) = &addr_file {
+        if let Err(e) = std::fs::write(path, &endpoint) {
+            eprintln!("cannot write --addr-file {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    // Serve until a client shuts us down, then report.
+    let final_metrics = handle.wait();
+    println!("{final_metrics}");
+    if let Some(path) = &metrics_file {
+        if let Err(e) = std::fs::write(path, format!("{final_metrics}\n")) {
+            eprintln!("cannot write --metrics-file {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn parse<T: std::str::FromStr>(text: &str, flag: &str) -> T {
+    text.parse().unwrap_or_else(|_| {
+        eprintln!("{flag}: cannot parse `{text}`");
+        std::process::exit(2);
+    })
+}

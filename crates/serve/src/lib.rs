@@ -1,0 +1,57 @@
+//! # fastsim-serve
+//!
+//! The serving front end: a long-lived job server exposing the batch
+//! driver ([`fastsim_core::BatchDriver`]) over a line-delimited JSON
+//! protocol on TCP and/or Unix sockets, so many clients share one
+//! continuously warming set of p-action caches instead of each paying the
+//! cold-start cost of detailed simulation.
+//!
+//! The serving loop is deliberately runtime-free — std sockets, threads,
+//! and condvars; no async runtime — matching the workspace's
+//! zero-external-dependencies policy. The moving parts:
+//!
+//! * [`protocol`] — the wire protocol (requests, responses, defaults).
+//! * [`queue`] — the bounded priority queue with per-client fairness.
+//! * [`server`] — listeners, connection handling, the worker pool, the
+//!   re-freeze cadence, retry/quarantine, drain/shutdown.
+//! * [`metrics`] — the counters/histogram registry dumped as JSON.
+//! * [`client`] — a small synchronous client for the protocol.
+//! * [`json`] — the hand-rolled JSON layer everything above speaks.
+//!
+//! The server's central correctness property mirrors the batch driver's:
+//! **served results are bit-identical to an offline run** of the same
+//! jobs. Warmth (which snapshot a job happened to thaw) moves work between
+//! the detailed and replay paths but cannot change simulated results —
+//! cycles, retirement, cache traffic. The repository's `tests/serve.rs`
+//! asserts this end to end, and `docs/serving.md` is the operator-facing
+//! reference.
+//!
+//! ```no_run
+//! use fastsim_serve::client::Client;
+//! use fastsim_serve::json::Json;
+//! use fastsim_serve::server::{Listener, ServeConfig, Server};
+//!
+//! let listener = Listener::tcp("127.0.0.1:0").unwrap();
+//! let handle = Server::start(ServeConfig::default(), vec![listener]);
+//! let addr = handle.tcp_addr().unwrap();
+//!
+//! let mut client = Client::connect_tcp(&addr.to_string()).unwrap();
+//! let resp = client
+//!     .expect_ok(&Json::parse(
+//!         r#"{"op": "submit", "kernels": ["compress"], "insts": 20000, "wait": true}"#,
+//!     ).unwrap())
+//!     .unwrap();
+//! println!("{resp}");
+//! client.shutdown().unwrap();
+//! println!("final metrics: {}", handle.wait());
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod client;
+pub mod json;
+pub mod metrics;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+mod state;

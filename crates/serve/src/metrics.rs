@@ -1,0 +1,250 @@
+//! The serving metrics registry.
+//!
+//! One [`Metrics`] instance per server, shared by workers and connection
+//! handlers behind its own lock (so a `metrics` request never contends
+//! with the scheduler state). Everything is cumulative since server start;
+//! [`Metrics::dump`] renders the whole registry as one JSON object tagged
+//! with [`SCHEMA`], the shape `docs/serving.md` documents and `scripts/
+//! ci.sh` validates.
+//!
+//! Latency is tracked in a power-of-two-bucketed histogram
+//! ([`Histogram`]): cheap to update on the worker path, and good enough
+//! for the p50/p99 trend lines the runbook cares about (quantiles are
+//! reported as the upper edge of their bucket, i.e. within 2× of exact).
+
+use crate::json::Json;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Schema tag of [`Metrics::dump`] output.
+pub const SCHEMA: &str = "fastsim-serve-metrics/v1";
+
+/// Power-of-two-bucketed latency histogram over milliseconds.
+///
+/// Bucket 0 holds `< 1 ms`; bucket *i* ≥ 1 holds `[2^(i−1), 2^i) ms`; the
+/// last bucket absorbs everything ≥ ~17 minutes.
+#[derive(Debug, Default)]
+pub struct Histogram {
+    buckets: [u64; 21],
+    count: u64,
+    max_ms: u64,
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn record(&mut self, latency: Duration) {
+        let ms = latency.as_millis() as u64;
+        let idx = if ms == 0 {
+            0
+        } else {
+            ((u64::BITS - ms.leading_zeros()) as usize).min(self.buckets.len() - 1)
+        };
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.max_ms = self.max_ms.max(ms);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) in milliseconds, as the upper edge
+    /// of the bucket holding it. `None` when empty.
+    pub fn quantile_ms(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                // Upper bucket edge, capped at the observed maximum so the
+                // tail bucket doesn't report ~17 minutes for a 2 s job.
+                let edge = if i == 0 { 1 } else { 1u64 << i };
+                return Some(edge.min(self.max_ms.max(1)));
+            }
+        }
+        Some(self.max_ms)
+    }
+}
+
+/// Counter snapshot of everything the registry tracks (see the field
+/// names, which match the dump's JSON keys).
+#[derive(Debug, Default)]
+struct Counters {
+    submitted: u64,
+    rejected: u64,
+    completed: u64,
+    failed: u64,
+    timeouts: u64,
+    panics: u64,
+    retries: u64,
+    quarantined: u64,
+    refreezes: u64,
+    queue_depth_peak: u64,
+    latency: Histogram,
+    /// Warm-cache hit rate of each re-freeze window, in re-freeze order:
+    /// `(group fingerprint, window hit rate)`. The across-refreezes trend
+    /// is the tentpole's "late clients start warmer" evidence.
+    refreeze_hit_rates: Vec<(u64, f64)>,
+}
+
+/// The registry. All methods take `&self`; an internal lock serializes
+/// updates.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    inner: Mutex<Counters>,
+}
+
+impl Metrics {
+    /// A zeroed registry.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Jobs admitted into the queue (after expansion to kernel × replica).
+    pub fn submitted(&self, jobs: u64, queue_depth: u64) {
+        let mut c = self.inner.lock().unwrap();
+        c.submitted += jobs;
+        c.queue_depth_peak = c.queue_depth_peak.max(queue_depth);
+    }
+
+    /// Jobs refused by admission control (queue at capacity).
+    pub fn rejected(&self, jobs: u64) {
+        self.inner.lock().unwrap().rejected += jobs;
+    }
+
+    /// A job settled successfully; `latency` is submit-to-done wall time.
+    pub fn completed(&self, latency: Duration) {
+        let mut c = self.inner.lock().unwrap();
+        c.completed += 1;
+        c.latency.record(latency);
+    }
+
+    /// A job settled with a build/simulation failure.
+    pub fn failed(&self) {
+        self.inner.lock().unwrap().failed += 1;
+    }
+
+    /// A job was abandoned at its deadline.
+    pub fn timeout(&self) {
+        let mut c = self.inner.lock().unwrap();
+        c.failed += 1;
+        c.timeouts += 1;
+    }
+
+    /// A worker caught a panic from a job attempt.
+    pub fn panicked(&self) {
+        self.inner.lock().unwrap().panics += 1;
+    }
+
+    /// A panicked job was parked for a retry.
+    pub fn retried(&self) {
+        self.inner.lock().unwrap().retries += 1;
+    }
+
+    /// A job exhausted its attempts and was quarantined.
+    pub fn quarantined(&self) {
+        self.inner.lock().unwrap().quarantined += 1;
+    }
+
+    /// A group's master cache was re-frozen; `window_hit_rate` is the
+    /// memoization hit rate of the jobs merged since the previous freeze.
+    pub fn refrozen(&self, group: u64, window_hit_rate: f64) {
+        let mut c = self.inner.lock().unwrap();
+        c.refreezes += 1;
+        c.refreeze_hit_rates.push((group, window_hit_rate));
+    }
+
+    /// Renders the registry as the [`SCHEMA`] JSON object. The queue
+    /// gauges are passed in by the caller (they live with the scheduler
+    /// state, not here).
+    pub fn dump(&self, queue_depth: u64, parked: u64, in_flight: u64) -> Json {
+        let c = self.inner.lock().unwrap();
+        let trend = c
+            .refreeze_hit_rates
+            .iter()
+            .map(|&(group, rate)| {
+                Json::obj([
+                    ("group", Json::Str(format!("{group:016x}"))),
+                    ("hit_rate", Json::Num((rate * 1e4).round() / 1e4)),
+                ])
+            })
+            .collect();
+        Json::obj([
+            ("schema", Json::from(SCHEMA)),
+            ("submitted", Json::from(c.submitted)),
+            ("rejected", Json::from(c.rejected)),
+            ("completed", Json::from(c.completed)),
+            ("failed", Json::from(c.failed)),
+            ("timeouts", Json::from(c.timeouts)),
+            ("panics", Json::from(c.panics)),
+            ("retries", Json::from(c.retries)),
+            ("quarantined", Json::from(c.quarantined)),
+            ("refreezes", Json::from(c.refreezes)),
+            ("queue_depth", Json::from(queue_depth)),
+            ("queue_depth_peak", Json::from(c.queue_depth_peak)),
+            ("parked", Json::from(parked)),
+            ("in_flight", Json::from(in_flight)),
+            (
+                "latency_ms",
+                Json::obj([
+                    ("count", Json::from(c.latency.count())),
+                    ("p50", opt_num(c.latency.quantile_ms(0.50))),
+                    ("p99", opt_num(c.latency.quantile_ms(0.99))),
+                    ("max", Json::from(c.latency.max_ms)),
+                ]),
+            ),
+            ("refreeze_hit_rate_trend", Json::Arr(trend)),
+        ])
+    }
+}
+
+fn opt_num(v: Option<u64>) -> Json {
+    v.map(Json::from).unwrap_or(Json::Null)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let mut h = Histogram::default();
+        for _ in 0..98 {
+            h.record(Duration::from_millis(3)); // bucket [2, 4)
+        }
+        h.record(Duration::from_millis(100)); // bucket [64, 128)
+        h.record(Duration::from_millis(100));
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.quantile_ms(0.50), Some(4));
+        assert_eq!(h.quantile_ms(0.99), Some(100), "tail capped at observed max");
+        assert_eq!(Histogram::default().quantile_ms(0.5), None);
+    }
+
+    #[test]
+    fn dump_has_the_documented_shape() {
+        let m = Metrics::new();
+        m.submitted(3, 3);
+        m.completed(Duration::from_millis(12));
+        m.panicked();
+        m.retried();
+        m.refrozen(0xabcd, 0.75);
+        let d = m.dump(2, 0, 1);
+        assert_eq!(d.get("schema").unwrap().as_str(), Some(SCHEMA));
+        assert_eq!(d.get("submitted").unwrap().as_u64(), Some(3));
+        assert_eq!(d.get("completed").unwrap().as_u64(), Some(1));
+        assert_eq!(d.get("queue_depth").unwrap().as_u64(), Some(2));
+        assert_eq!(d.get("in_flight").unwrap().as_u64(), Some(1));
+        let lat = d.get("latency_ms").unwrap();
+        assert_eq!(lat.get("count").unwrap().as_u64(), Some(1));
+        assert!(lat.get("p50").unwrap().as_u64().unwrap() >= 12);
+        let trend = d.get("refreeze_hit_rate_trend").unwrap().as_arr().unwrap();
+        assert_eq!(trend.len(), 1);
+        assert_eq!(trend[0].get("hit_rate").unwrap().as_f64(), Some(0.75));
+        // The dump is valid JSON end to end.
+        assert_eq!(Json::parse(&d.to_string()).unwrap(), d);
+    }
+}

@@ -1,0 +1,250 @@
+//! Bounded priority work queue with per-client fairness.
+//!
+//! The queue has [`PRIORITY_BANDS`] priority bands; within a band, jobs
+//! sit in per-client FIFO *lanes* and
+//! workers take lanes round-robin, so one client flooding a band cannot
+//! starve another — interleaving is one-from-each-client however lopsided
+//! the backlog is. Bands are strict: a lower band is drained only when all
+//! higher bands are empty.
+//!
+//! Admission control is by total occupancy (queued + parked) against a
+//! fixed capacity; [`JobQueue::push`] fails when full and the server turns
+//! that into a backpressure rejection. *Parking* — used for retry backoff
+//! after a worker panic — bypasses the capacity check, because a parked
+//! job was already admitted; it re-enters its lane when its `not_before`
+//! time passes.
+
+use crate::protocol::PRIORITY_BANDS;
+use std::collections::VecDeque;
+use std::time::Instant;
+
+/// A job waiting its turn: the server-assigned id plus the routing facts
+/// (client lane, priority band) the queue schedules by.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueueEntry {
+    /// Server-assigned job id.
+    pub id: u64,
+    /// Client identity (fairness lane key).
+    pub client: String,
+    /// Priority band, 0 (most urgent) .. `PRIORITY_BANDS` − 1.
+    pub band: usize,
+}
+
+/// One client's FIFO within a band.
+#[derive(Debug)]
+struct Lane {
+    client: String,
+    jobs: VecDeque<QueueEntry>,
+}
+
+/// One priority band: client lanes plus a round-robin cursor.
+#[derive(Debug, Default)]
+struct Band {
+    lanes: Vec<Lane>,
+    cursor: usize,
+}
+
+impl Band {
+    fn push(&mut self, entry: QueueEntry) {
+        match self.lanes.iter_mut().find(|l| l.client == entry.client) {
+            Some(lane) => lane.jobs.push_back(entry),
+            None => {
+                let client = entry.client.clone();
+                self.lanes.push(Lane { client, jobs: VecDeque::from([entry]) });
+            }
+        }
+    }
+
+    fn pop(&mut self) -> Option<QueueEntry> {
+        if self.lanes.is_empty() {
+            return None;
+        }
+        self.cursor %= self.lanes.len();
+        // All lanes are non-empty (empty ones are removed on pop), so the
+        // lane under the cursor always yields.
+        let entry = self.lanes[self.cursor].jobs.pop_front().expect("lanes are never empty");
+        if self.lanes[self.cursor].jobs.is_empty() {
+            // Removing shifts the next lane into `cursor`; don't advance.
+            self.lanes.remove(self.cursor);
+        } else {
+            self.cursor += 1;
+        }
+        Some(entry)
+    }
+}
+
+/// A job parked for retry backoff: re-enters its band's lane once
+/// `not_before` passes.
+#[derive(Debug)]
+struct Parked {
+    not_before: Instant,
+    entry: QueueEntry,
+}
+
+/// The bounded priority work queue. See the [module docs](self).
+#[derive(Debug)]
+pub struct JobQueue {
+    capacity: usize,
+    bands: Vec<Band>,
+    parked: Vec<Parked>,
+    queued: usize,
+}
+
+impl JobQueue {
+    /// An empty queue admitting at most `capacity` jobs (clamped to ≥ 1),
+    /// parked included.
+    pub fn new(capacity: usize) -> JobQueue {
+        JobQueue {
+            capacity: capacity.max(1),
+            bands: (0..PRIORITY_BANDS).map(|_| Band::default()).collect(),
+            parked: Vec::new(),
+            queued: 0,
+        }
+    }
+
+    /// Jobs currently queued in bands (excluding parked).
+    pub fn len(&self) -> usize {
+        self.queued
+    }
+
+    /// Jobs currently parked for retry backoff.
+    pub fn parked_len(&self) -> usize {
+        self.parked.len()
+    }
+
+    /// Whether nothing is queued *or* parked.
+    pub fn is_empty(&self) -> bool {
+        self.queued == 0 && self.parked.is_empty()
+    }
+
+    /// Whether admission control would reject a new job right now.
+    pub fn is_full(&self) -> bool {
+        self.queued + self.parked.len() >= self.capacity
+    }
+
+    /// Admission slots still free (a submission expanding to more jobs
+    /// than this is rejected whole — no partial admissions).
+    pub fn available(&self) -> usize {
+        self.capacity.saturating_sub(self.queued + self.parked.len())
+    }
+
+    /// Admits a job, or returns it back when the queue is at capacity (the
+    /// caller rejects the submission — backpressure).
+    ///
+    /// # Errors
+    ///
+    /// The rejected entry, unchanged.
+    pub fn push(&mut self, entry: QueueEntry) -> Result<(), QueueEntry> {
+        if self.is_full() {
+            return Err(entry);
+        }
+        let band = entry.band.min(PRIORITY_BANDS - 1);
+        self.bands[band].push(entry);
+        self.queued += 1;
+        Ok(())
+    }
+
+    /// Parks an already-admitted job until `not_before` (no capacity
+    /// check; the job keeps its admission slot while parked).
+    pub fn park(&mut self, entry: QueueEntry, not_before: Instant) {
+        self.parked.push(Parked { not_before, entry });
+    }
+
+    /// Takes the next runnable job: first re-files parked jobs whose
+    /// backoff expired (relative to `now`), then drains bands in priority
+    /// order, round-robin across client lanes within a band. `None` when
+    /// nothing is runnable — possibly because everything is still parked;
+    /// see [`next_wakeup`](JobQueue::next_wakeup).
+    pub fn pop_ready(&mut self, now: Instant) -> Option<QueueEntry> {
+        let mut i = 0;
+        while i < self.parked.len() {
+            if self.parked[i].not_before <= now {
+                let p = self.parked.swap_remove(i);
+                let band = p.entry.band.min(PRIORITY_BANDS - 1);
+                self.bands[band].push(p.entry);
+                self.queued += 1;
+            } else {
+                i += 1;
+            }
+        }
+        for band in &mut self.bands {
+            if let Some(entry) = band.pop() {
+                self.queued -= 1;
+                return Some(entry);
+            }
+        }
+        None
+    }
+
+    /// When the earliest parked job becomes runnable (`None` when nothing
+    /// is parked). Idle workers sleep at most until then.
+    pub fn next_wakeup(&self) -> Option<Instant> {
+        self.parked.iter().map(|p| p.not_before).min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn entry(id: u64, client: &str, band: usize) -> QueueEntry {
+        QueueEntry { id, client: client.to_string(), band }
+    }
+
+    #[test]
+    fn bands_are_strict_priority() {
+        let mut q = JobQueue::new(16);
+        q.push(entry(1, "a", 3)).unwrap();
+        q.push(entry(2, "a", 0)).unwrap();
+        q.push(entry(3, "a", 2)).unwrap();
+        let now = Instant::now();
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop_ready(now)).map(|e| e.id).collect();
+        assert_eq!(order, vec![2, 3, 1]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn lanes_round_robin_across_clients() {
+        // Client `a` floods the band; client `b` submits two. Fairness:
+        // `b` is served every other pop, not after `a`'s whole backlog.
+        let mut q = JobQueue::new(16);
+        for id in 1..=4 {
+            q.push(entry(id, "a", 1)).unwrap();
+        }
+        q.push(entry(10, "b", 1)).unwrap();
+        q.push(entry(11, "b", 1)).unwrap();
+        let now = Instant::now();
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop_ready(now)).map(|e| e.id).collect();
+        assert_eq!(order, vec![1, 10, 2, 11, 3, 4]);
+    }
+
+    #[test]
+    fn capacity_counts_parked_jobs() {
+        let mut q = JobQueue::new(2);
+        q.push(entry(1, "a", 0)).unwrap();
+        q.push(entry(2, "a", 0)).unwrap();
+        assert!(q.is_full());
+        assert_eq!(q.push(entry(3, "a", 0)).unwrap_err().id, 3);
+        // Parking the popped job keeps its admission slot occupied.
+        let now = Instant::now();
+        let e = q.pop_ready(now).unwrap();
+        q.park(e, now + Duration::from_secs(60));
+        assert!(q.is_full(), "parked jobs still hold capacity");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.parked_len(), 1);
+    }
+
+    #[test]
+    fn parked_jobs_wait_out_their_backoff() {
+        let mut q = JobQueue::new(4);
+        let now = Instant::now();
+        q.park(entry(1, "a", 1), now + Duration::from_millis(50));
+        assert_eq!(q.pop_ready(now), None);
+        assert_eq!(q.next_wakeup(), Some(now + Duration::from_millis(50)));
+        // Once due, the job re-enters its band.
+        let later = now + Duration::from_millis(51);
+        assert_eq!(q.pop_ready(later).unwrap().id, 1);
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,597 @@
+//! The server: listeners, connection handling, and the persistent worker
+//! pool.
+//!
+//! One [`Server::start`] call binds a [`Listener`] (TCP and/or a Unix
+//! socket), spawns [`ServeConfig::workers`] persistent worker threads
+//! sharing one [`fastsim_core::BatchDriver`] worth of master p-action
+//! caches, and returns a [`ServerHandle`]. Each accepted connection gets
+//! its own thread speaking the line-delimited JSON protocol
+//! ([`crate::protocol`]).
+//!
+//! ## Job lifecycle
+//!
+//! A `submit` expands to kernel × replica jobs, all admitted atomically
+//! (the whole submission is rejected if the queue cannot hold it —
+//! backpressure). A worker pops a job, clones its group's current frozen
+//! snapshot, and runs it **outside** the scheduler lock inside
+//! `catch_unwind`; deadlines use the engine's transparent chunked
+//! execution ([`fastsim_core::run_single`]). On success the delta is
+//! merged into the group's master and, every
+//! [`ServeConfig::refreeze_every`] merges, the master is re-frozen so
+//! later jobs start warmer. On panic the job is parked with exponential
+//! backoff and retried, up to [`ServeConfig::max_attempts`] attempts, then
+//! quarantined — failed attempts merge nothing, so they cannot poison the
+//! shared caches.
+//!
+//! `drain` stops admissions and waits until every admitted job settles;
+//! `shutdown` drains, stops the workers and listener, and the handle's
+//! [`ServerHandle::wait`] returns the final metrics dump.
+
+use crate::json::Json;
+use crate::protocol::{err_response, ok_response, Request, SubmitSpec};
+use crate::state::{Core, JobRecord, JobStatus, ServerState};
+use fastsim_core::{run_single, BatchJob, HierarchyConfig, JobFailure, JobReport};
+use fastsim_workloads::Manifest;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpListener;
+#[cfg(unix)]
+use std::os::unix::net::UnixListener;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::{Arc, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server tuning knobs. `Default` is sized for tests and smoke runs;
+/// `fastsim_served` exposes each as a flag.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Persistent worker threads (clamped to ≥ 1).
+    pub workers: usize,
+    /// Admission-control bound on queued + parked jobs.
+    pub queue_capacity: usize,
+    /// Re-freeze a group's master snapshot after this many merged deltas
+    /// (clamped to ≥ 1). Smaller: later jobs start warmer, more freeze
+    /// work. Larger: cheaper, staler snapshots.
+    pub refreeze_every: usize,
+    /// Default per-job deadline for submissions without `timeout_ms`
+    /// (`None`: run to completion).
+    pub default_timeout: Option<Duration>,
+    /// Attempts (1 + retries) before a panicking job is quarantined.
+    pub max_attempts: u32,
+    /// Backoff before retry k is `backoff_base · 2^(k−1)`.
+    pub backoff_base: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            workers: 2,
+            queue_capacity: 256,
+            refreeze_every: 4,
+            default_timeout: Some(Duration::from_secs(120)),
+            max_attempts: 3,
+            backoff_base: Duration::from_millis(20),
+        }
+    }
+}
+
+/// What the server listens on.
+pub enum Listener {
+    /// A TCP listener (line-delimited JSON per connection).
+    Tcp(TcpListener),
+    /// A Unix-domain socket listener (same protocol).
+    #[cfg(unix)]
+    Unix(UnixListener, PathBuf),
+}
+
+impl Listener {
+    /// Binds a TCP listener; `addr` like `"127.0.0.1:0"` (port 0 picks a
+    /// free port — read it back from [`ServerHandle::tcp_addr`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn tcp(addr: &str) -> std::io::Result<Listener> {
+        Ok(Listener::Tcp(TcpListener::bind(addr)?))
+    }
+
+    /// Binds a Unix-socket listener at `path`, removing a stale socket
+    /// file first. The file is removed again when the server handle is
+    /// waited out.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    #[cfg(unix)]
+    pub fn unix(path: impl Into<PathBuf>) -> std::io::Result<Listener> {
+        let path = path.into();
+        let _ = std::fs::remove_file(&path);
+        Ok(Listener::Unix(UnixListener::bind(&path)?, path))
+    }
+}
+
+/// A running server. Dropping the handle does **not** stop the server;
+/// send a `shutdown` request (e.g. [`crate::client::Client::shutdown`])
+/// and then [`wait`](ServerHandle::wait) it out.
+pub struct ServerHandle {
+    state: Arc<ServerState>,
+    threads: Vec<JoinHandle<()>>,
+    tcp_addr: Option<std::net::SocketAddr>,
+    unix_path: Option<PathBuf>,
+}
+
+impl ServerHandle {
+    /// The bound TCP address, when listening on TCP.
+    pub fn tcp_addr(&self) -> Option<std::net::SocketAddr> {
+        self.tcp_addr
+    }
+
+    /// The Unix socket path, when listening on a Unix socket.
+    pub fn unix_path(&self) -> Option<&std::path::Path> {
+        self.unix_path.as_deref()
+    }
+
+    /// Blocks until the server stops (a client sent `shutdown`), joins the
+    /// listener and worker threads, removes the Unix socket file, and
+    /// returns the final metrics dump ([`crate::metrics::SCHEMA`]).
+    pub fn wait(self) -> Json {
+        for t in self.threads {
+            let _ = t.join();
+        }
+        if let Some(path) = &self.unix_path {
+            let _ = std::fs::remove_file(path);
+        }
+        let core = self.state.core.lock().unwrap();
+        self.state.metrics.dump(
+            core.queue.len() as u64,
+            core.queue.parked_len() as u64,
+            core.in_flight as u64,
+        )
+    }
+}
+
+/// The server entry point. See the [module docs](self).
+pub struct Server;
+
+impl Server {
+    /// Starts a server on the given listeners (at least one) and returns
+    /// its handle immediately.
+    pub fn start(cfg: ServeConfig, listeners: Vec<Listener>) -> ServerHandle {
+        assert!(!listeners.is_empty(), "a server needs at least one listener");
+        let state = Arc::new(ServerState::new(cfg));
+        let mut threads = Vec::new();
+        for w in 0..state.cfg.workers.max(1) {
+            let state = Arc::clone(&state);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{w}"))
+                    .spawn(move || worker_loop(&state))
+                    .expect("spawn worker"),
+            );
+        }
+        let mut tcp_addr = None;
+        let mut unix_path = None;
+        for listener in listeners {
+            let state = Arc::clone(&state);
+            match listener {
+                Listener::Tcp(l) => {
+                    tcp_addr = l.local_addr().ok();
+                    threads.push(
+                        std::thread::Builder::new()
+                            .name("serve-accept-tcp".into())
+                            .spawn(move || accept_loop_tcp(&state, &l))
+                            .expect("spawn acceptor"),
+                    );
+                }
+                #[cfg(unix)]
+                Listener::Unix(l, path) => {
+                    unix_path = Some(path);
+                    threads.push(
+                        std::thread::Builder::new()
+                            .name("serve-accept-unix".into())
+                            .spawn(move || accept_loop_unix(&state, &l))
+                            .expect("spawn acceptor"),
+                    );
+                }
+            }
+        }
+        ServerHandle { state, threads, tcp_addr, unix_path }
+    }
+}
+
+/// How often idle loops (workers with nothing runnable, acceptors with no
+/// pending connection) re-check for work and the stop flag.
+const IDLE_POLL: Duration = Duration::from_millis(25);
+
+fn accept_loop_tcp(state: &Arc<ServerState>, listener: &TcpListener) {
+    listener.set_nonblocking(true).expect("nonblocking listener");
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                stream.set_nonblocking(false).expect("blocking conn");
+                let state = Arc::clone(state);
+                std::thread::Builder::new()
+                    .name("serve-conn".into())
+                    .spawn(move ||
+
+                        handle_connection(&state, BufReader::new(stream.try_clone().expect("clone stream")), stream))
+                    .expect("spawn conn");
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if state.core.lock().unwrap().stop {
+                    return;
+                }
+                std::thread::sleep(IDLE_POLL);
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+#[cfg(unix)]
+fn accept_loop_unix(state: &Arc<ServerState>, listener: &UnixListener) {
+    listener.set_nonblocking(true).expect("nonblocking listener");
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                stream.set_nonblocking(false).expect("blocking conn");
+                let state = Arc::clone(state);
+                std::thread::Builder::new()
+                    .name("serve-conn".into())
+                    .spawn(move ||
+
+                        handle_connection(&state, BufReader::new(stream.try_clone().expect("clone stream")), stream))
+                    .expect("spawn conn");
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if state.core.lock().unwrap().stop {
+                    return;
+                }
+                std::thread::sleep(IDLE_POLL);
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// One connection: read request lines, write response lines, until EOF or
+/// a `shutdown`.
+fn handle_connection<R: BufRead, W: Write>(state: &Arc<ServerState>, mut reader: R, mut writer: W) {
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => return, // client hung up
+            Ok(_) => {}
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, close) = match Request::parse(line.trim()) {
+            Err(msg) => (err_response(msg), false),
+            Ok(Request::Ping) => (ok_response([("pong", Json::Bool(true))]), false),
+            Ok(Request::Metrics) => {
+                let core = state.core.lock().unwrap();
+                (ok_response([("metrics", dump_metrics(state, &core))]), false)
+            }
+            Ok(Request::Poll { job }) => (handle_poll(state, job), false),
+            Ok(Request::Submit(spec)) => (handle_submit(state, &spec), false),
+            Ok(Request::Drain) => (handle_drain(state), false),
+            Ok(Request::Shutdown) => (handle_shutdown(state), true),
+        };
+        if writer.write_all(format!("{response}\n").as_bytes()).is_err() || writer.flush().is_err()
+        {
+            return;
+        }
+        if close {
+            return;
+        }
+    }
+}
+
+fn dump_metrics(state: &ServerState, core: &Core) -> Json {
+    state.metrics.dump(
+        core.queue.len() as u64,
+        core.queue.parked_len() as u64,
+        core.in_flight as u64,
+    )
+}
+
+fn handle_poll(state: &Arc<ServerState>, job: u64) -> Json {
+    let core = state.core.lock().unwrap();
+    match core.jobs.get(&job) {
+        None => err_response(format!("unknown job {job}")),
+        Some(record) => ok_response([("job", job_json(record))]),
+    }
+}
+
+/// A job's wire representation. Settled jobs carry their result or error;
+/// the result fields are the *deterministic* simulation outputs (identical
+/// to an offline run of the same job, whatever the cache warmth) plus the
+/// warmth-dependent memoization counters, which are explicitly
+/// serving-state-dependent (see `docs/serving.md`).
+fn job_json(record: &JobRecord) -> Json {
+    let mut pairs = vec![
+        ("id".to_string(), Json::from(record.id)),
+        ("name".to_string(), Json::from(record.name.as_str())),
+        ("client".to_string(), Json::from(record.client.as_str())),
+        ("status".to_string(), Json::from(record.status.as_str())),
+        ("attempts".to_string(), Json::from(u64::from(record.attempts))),
+    ];
+    if let Some(report) = &record.result {
+        pairs.push(("result".to_string(), report_json(report)));
+    }
+    if let Some(error) = &record.error {
+        pairs.push(("error".to_string(), Json::from(error.as_str())));
+    }
+    Json::Obj(pairs)
+}
+
+fn report_json(report: &JobReport) -> Json {
+    Json::obj([
+        ("cycles", Json::from(report.stats.cycles)),
+        ("retired_insts", Json::from(report.stats.retired_insts)),
+        ("detailed_insts", Json::from(report.stats.detailed_insts)),
+        ("replayed_insts", Json::from(report.stats.replayed_insts)),
+        ("loads", Json::from(report.cache_stats.loads)),
+        ("stores", Json::from(report.cache_stats.stores)),
+        ("l1_misses", Json::from(report.cache_stats.l1_misses)),
+        ("writebacks", Json::from(report.cache_stats.writebacks)),
+        (
+            "levels",
+            Json::Arr(
+                report
+                    .level_stats
+                    .iter()
+                    .map(|l| {
+                        Json::obj([
+                            ("hits", Json::from(l.hits)),
+                            ("misses", Json::from(l.misses)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("memo_hits", Json::from(report.memo_hits)),
+        ("memo_misses", Json::from(report.memo_misses)),
+        ("hit_rate", Json::Num((report.hit_rate() * 1e4).round() / 1e4)),
+        ("wall_ms", Json::from(report.wall.as_millis() as u64)),
+    ])
+}
+
+/// Expands a submission into concrete [`BatchJob`]s (kernel selection,
+/// hierarchy-preset resolution, replication). Pure: no server state.
+fn expand_submit(spec: &SubmitSpec) -> Result<Vec<BatchJob>, String> {
+    let names: Vec<&str> = spec.kernels.iter().map(String::as_str).collect();
+    let manifest = Manifest::select(&names, spec.insts).ok_or_else(|| {
+        format!("unknown kernel in {:?} (see fastsim-workloads for the suite)", spec.kernels)
+    })?;
+    let manifest = manifest.replicated(spec.replicas);
+    let mut jobs = Vec::with_capacity(manifest.len());
+    for mj in manifest.into_jobs() {
+        let preset = mj.hierarchy.as_deref().or(spec.hierarchy.as_deref());
+        let mut job = BatchJob::new(mj.name, mj.program);
+        if let Some(p) = preset {
+            job.hierarchy = HierarchyConfig::preset(p).ok_or_else(|| {
+                format!(
+                    "unknown hierarchy preset `{p}` (known: {})",
+                    HierarchyConfig::preset_names().join(", ")
+                )
+            })?;
+        }
+        jobs.push(job);
+    }
+    Ok(jobs)
+}
+
+fn handle_submit(state: &Arc<ServerState>, spec: &SubmitSpec) -> Json {
+    let jobs = match expand_submit(spec) {
+        Ok(jobs) => jobs,
+        Err(msg) => return err_response(msg),
+    };
+    let timeout = spec
+        .timeout_ms
+        .map(Duration::from_millis)
+        .or(state.cfg.default_timeout);
+
+    let mut core = state.core.lock().unwrap();
+    if core.draining || core.stop {
+        return err_response("server is draining; not accepting jobs");
+    }
+    // All-or-nothing admission: a half-admitted submission would make
+    // `wait` block on jobs that were never queued.
+    if core.queue.available() < jobs.len() {
+        state.metrics.rejected(jobs.len() as u64);
+        return err_response(format!(
+            "queue full: {} jobs requested, {} slots free (capacity {})",
+            jobs.len(),
+            core.queue.available(),
+            state.cfg.queue_capacity
+        ));
+    }
+    let mut ids = Vec::with_capacity(jobs.len());
+    for job in jobs {
+        let id = state
+            .admit(&mut core, job, &spec.client, spec.priority, timeout, spec.chaos_panics)
+            .expect("capacity checked above");
+        ids.push(id);
+    }
+    state
+        .metrics
+        .submitted(ids.len() as u64, (core.queue.len() + core.queue.parked_len()) as u64);
+    state.work.notify_all();
+
+    if !spec.wait {
+        return ok_response([(
+            "jobs",
+            Json::Arr(ids.iter().map(|&id| Json::from(id)).collect()),
+        )]);
+    }
+    // Wait until every admitted job settles, then answer with the full
+    // records (in submission order).
+    while !ids.iter().all(|id| core.jobs[id].status.settled()) {
+        core = state.done.wait(core).unwrap();
+    }
+    ok_response([(
+        "jobs",
+        Json::Arr(ids.iter().map(|id| job_json(&core.jobs[id])).collect()),
+    )])
+}
+
+fn handle_drain(state: &Arc<ServerState>) -> Json {
+    let core = state.core.lock().unwrap();
+    let core = drain(state, core);
+    ok_response([("drained", Json::Bool(true)), ("metrics", dump_metrics(state, &core))])
+}
+
+fn handle_shutdown(state: &Arc<ServerState>) -> Json {
+    let core = state.core.lock().unwrap();
+    let mut core = drain(state, core);
+    core.stop = true;
+    state.work.notify_all();
+    ok_response([("stopped", Json::Bool(true)), ("metrics", dump_metrics(state, &core))])
+}
+
+/// Stops admissions and blocks until every admitted job has settled
+/// (in-flight jobs finish, parked jobs retry and settle).
+fn drain<'a>(state: &'a ServerState, mut core: MutexGuard<'a, Core>) -> MutexGuard<'a, Core> {
+    core.draining = true;
+    while !core.drained() {
+        core = state.done.wait_timeout(core, IDLE_POLL).unwrap().0;
+    }
+    core
+}
+
+/// A persistent worker: pop a runnable job, run it outside the lock under
+/// `catch_unwind`, then settle/park it. Exits when `stop` is set (which
+/// [`handle_shutdown`] only does after a drain, so exiting never strands a
+/// job).
+fn worker_loop(state: &Arc<ServerState>) {
+    loop {
+        // Claim a runnable job.
+        let mut core = state.core.lock().unwrap();
+        let (id, job, snapshot, deadline, chaos) = loop {
+            if core.stop {
+                return;
+            }
+            if let Some(entry) = core.queue.pop_ready(Instant::now()) {
+                let record = core.jobs.get_mut(&entry.id).expect("queued jobs have records");
+                record.status = JobStatus::Running;
+                record.attempts += 1;
+                let chaos = record.attempts <= record.chaos_panics;
+                let job = record.job.take().expect("queued jobs carry their BatchJob");
+                let deadline = record.timeout.map(|t| Instant::now() + t);
+                let fingerprint = record.fingerprint;
+                let snapshot = core.groups[&fingerprint].snapshot.clone();
+                core.in_flight += 1;
+                break (entry.id, job, snapshot, deadline, chaos);
+            }
+            // Nothing runnable: sleep until the earliest parked job is due
+            // (capped so a stop/park is noticed promptly).
+            let wait = core
+                .queue
+                .next_wakeup()
+                .map(|t| t.saturating_duration_since(Instant::now()).min(IDLE_POLL))
+                .unwrap_or(IDLE_POLL);
+            core = state.work.wait_timeout(core, wait.max(Duration::from_millis(1))).unwrap().0;
+        };
+        drop(core);
+
+        // Run outside the lock. Panics (including injected chaos) are
+        // caught; the shared caches only ever see *successful* outcomes.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            assert!(!chaos, "chaos injection: attempt panicked on request");
+            run_single(&job, &snapshot, deadline)
+        }));
+
+        let mut core = state.core.lock().unwrap();
+        core.in_flight -= 1;
+        match outcome {
+            Ok(Ok(single)) => {
+                let record = core.jobs.get_mut(&id).expect("running jobs have records");
+                record.status = JobStatus::Done;
+                let latency = record.submitted.elapsed();
+                let fingerprint = record.fingerprint;
+                let mut report = single.report;
+                let hits = report.memo_hits;
+                let lookups = report.memo_hits + report.memo_misses;
+                report.merge = core
+                    .driver
+                    .merge_delta(fingerprint, &single.delta)
+                    .expect("group exists while its jobs live");
+                core.jobs.get_mut(&id).unwrap().result = Some(report);
+                state.metrics.completed(latency);
+
+                // Re-freeze cadence: after `refreeze_every` merges, freeze
+                // the accumulated master so later jobs start warmer, and
+                // record the window's hit rate on the metrics trend.
+                let group = core.groups.get_mut(&fingerprint).expect("group exists");
+                group.deltas_since_freeze += 1;
+                group.hits_window += hits;
+                group.lookups_window += lookups;
+                if group.deltas_since_freeze >= state.cfg.refreeze_every.max(1) {
+                    let rate = group.window_hit_rate();
+                    group.deltas_since_freeze = 0;
+                    group.hits_window = 0;
+                    group.lookups_window = 0;
+                    let fresh = core
+                        .driver
+                        .current_snapshot(fingerprint)
+                        .expect("group exists");
+                    core.groups.get_mut(&fingerprint).unwrap().snapshot = fresh;
+                    state.metrics.refrozen(fingerprint, rate);
+                }
+            }
+            Ok(Err(failure)) => {
+                // Deterministic failures (bad config, sim error, deadline)
+                // are not retried: the retry budget is for panics.
+                match failure {
+                    JobFailure::Timeout { .. } => state.metrics.timeout(),
+                    _ => state.metrics.failed(),
+                }
+                let record = core.jobs.get_mut(&id).expect("running jobs have records");
+                record.status = JobStatus::Failed;
+                record.error = Some(failure.to_string());
+            }
+            Err(payload) => {
+                state.metrics.panicked();
+                let msg = panic_message(payload.as_ref());
+                let record = core.jobs.get_mut(&id).expect("running jobs have records");
+                if record.attempts >= state.cfg.max_attempts.max(1) {
+                    record.status = JobStatus::Quarantined;
+                    record.error = Some(format!(
+                        "quarantined after {} panicking attempts (last: {msg})",
+                        record.attempts
+                    ));
+                    state.metrics.quarantined();
+                } else {
+                    // Park for exponential backoff, then retry.
+                    record.status = JobStatus::Queued;
+                    record.job = Some(job);
+                    let backoff = state.cfg.backoff_base * 2u32.pow(record.attempts - 1);
+                    let entry = crate::queue::QueueEntry {
+                        id,
+                        client: record.client.clone(),
+                        band: record.band,
+                    };
+                    core.queue.park(entry, Instant::now() + backoff);
+                    state.metrics.retried();
+                }
+            }
+        }
+        state.done.notify_all();
+        state.work.notify_all();
+    }
+}
+
+/// Best-effort panic payload rendering.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}

@@ -1,0 +1,227 @@
+//! Internal scheduler state: the job table, per-group snapshot control,
+//! and the mutex/condvar pair workers and connection handlers rendezvous
+//! on. Not part of the public API — the server module owns the only
+//! instance.
+
+use crate::metrics::Metrics;
+use crate::queue::{JobQueue, QueueEntry};
+use crate::server::ServeConfig;
+use fastsim_core::{BatchDriver, BatchJob, JobReport, WarmCacheSnapshot};
+use std::collections::HashMap;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Where a job is in its lifecycle.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Waiting in the queue (or parked for retry backoff).
+    Queued,
+    /// A worker is running it.
+    Running,
+    /// Finished; `result` holds the report.
+    Done,
+    /// Settled with a build/simulation/timeout failure; `error` says why.
+    Failed,
+    /// Panicked [`ServeConfig::max_attempts`] times and was isolated;
+    /// `error` holds the last panic message. The shared caches never saw
+    /// any of its attempts.
+    Quarantined,
+}
+
+impl JobStatus {
+    /// Whether the job will never run again.
+    pub fn settled(&self) -> bool {
+        matches!(self, JobStatus::Done | JobStatus::Failed | JobStatus::Quarantined)
+    }
+
+    /// The wire name of the status.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Done => "done",
+            JobStatus::Failed => "failed",
+            JobStatus::Quarantined => "quarantined",
+        }
+    }
+}
+
+/// One admitted job: the simulation work plus its serving bookkeeping.
+pub struct JobRecord {
+    /// Server-assigned id.
+    pub id: u64,
+    /// The job's display name (outlives `job`, which a worker takes while
+    /// running).
+    pub name: String,
+    /// Client that submitted it.
+    pub client: String,
+    /// Priority band.
+    pub band: usize,
+    /// The simulation job (None once taken by a worker; restored if the
+    /// attempt is retried).
+    pub job: Option<BatchJob>,
+    /// Warm-cache sharing group.
+    pub fingerprint: u64,
+    /// Attempts started so far.
+    pub attempts: u32,
+    /// Fault injection: attempts `< chaos_panics` panic in the worker.
+    pub chaos_panics: u32,
+    /// Per-job timeout (None: run to completion).
+    pub timeout: Option<Duration>,
+    /// When the job was admitted (latency baseline).
+    pub submitted: Instant,
+    /// Lifecycle state.
+    pub status: JobStatus,
+    /// The report, once `Done`.
+    pub result: Option<JobReport>,
+    /// The failure/panic message, once `Failed` or `Quarantined`.
+    pub error: Option<String>,
+}
+
+/// Per-group snapshot control: the snapshot handed to every job of the
+/// group until the next re-freeze, plus the merge/lookups window that
+/// decides and describes re-freezes.
+pub struct GroupCtl {
+    /// The current frozen snapshot jobs thaw from.
+    pub snapshot: WarmCacheSnapshot,
+    /// Deltas merged since the snapshot was frozen.
+    pub deltas_since_freeze: usize,
+    /// Config-lookup hits by jobs merged since the last freeze.
+    pub hits_window: u64,
+    /// Config lookups by jobs merged since the last freeze.
+    pub lookups_window: u64,
+}
+
+impl GroupCtl {
+    /// The window's memoization hit rate (0 when no lookups).
+    pub fn window_hit_rate(&self) -> f64 {
+        if self.lookups_window == 0 {
+            0.0
+        } else {
+            self.hits_window as f64 / self.lookups_window as f64
+        }
+    }
+}
+
+/// Everything behind the scheduler lock.
+pub struct Core {
+    /// The work queue.
+    pub queue: JobQueue,
+    /// All jobs ever admitted, by id.
+    pub jobs: HashMap<u64, JobRecord>,
+    /// The batch driver owning the master p-action caches.
+    pub driver: BatchDriver,
+    /// Per-group snapshot control, by fingerprint.
+    pub groups: HashMap<u64, GroupCtl>,
+    /// Next job id to assign.
+    pub next_id: u64,
+    /// Jobs currently running on workers.
+    pub in_flight: usize,
+    /// Admissions stopped (drain or shutdown requested).
+    pub draining: bool,
+    /// Workers must exit once no job is runnable.
+    pub stop: bool,
+}
+
+impl Core {
+    /// Whether every admitted job has settled (nothing queued, parked, or
+    /// running).
+    pub fn drained(&self) -> bool {
+        self.queue.is_empty() && self.in_flight == 0
+    }
+}
+
+/// The server's shared state: the core behind its lock, the condvars, the
+/// metrics registry, and the immutable config.
+pub struct ServerState {
+    /// Scheduler state.
+    pub core: Mutex<Core>,
+    /// Signaled when work may be runnable (push, unpark, stop).
+    pub work: Condvar,
+    /// Signaled when a job settles (wait/drain watchers).
+    pub done: Condvar,
+    /// The metrics registry (own lock; see [`Metrics`]).
+    pub metrics: Metrics,
+    /// Server configuration.
+    pub cfg: ServeConfig,
+}
+
+impl ServerState {
+    /// Fresh state for a server with the given config.
+    pub fn new(cfg: ServeConfig) -> ServerState {
+        ServerState {
+            core: Mutex::new(Core {
+                queue: JobQueue::new(cfg.queue_capacity),
+                jobs: HashMap::new(),
+                driver: BatchDriver::new(1),
+                groups: HashMap::new(),
+                next_id: 1,
+                in_flight: 0,
+                draining: false,
+                stop: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+            metrics: Metrics::new(),
+            cfg,
+        }
+    }
+
+    /// Admits one expanded job under the scheduler lock: assigns an id,
+    /// ensures its group (creating the [`GroupCtl`] with the group's
+    /// current snapshot on first sight), and queues it. Fails with the
+    /// admission-control error when the queue is full.
+    ///
+    /// # Errors
+    ///
+    /// A backpressure message for the client.
+    pub fn admit(
+        &self,
+        core: &mut Core,
+        job: BatchJob,
+        client: &str,
+        band: usize,
+        timeout: Option<Duration>,
+        chaos_panics: u32,
+    ) -> Result<u64, String> {
+        if core.queue.is_full() {
+            return Err(format!(
+                "queue full ({} jobs admitted, capacity {})",
+                core.queue.len() + core.queue.parked_len(),
+                self.cfg.queue_capacity
+            ));
+        }
+        let fingerprint = core.driver.ensure_group(&job);
+        if !core.groups.contains_key(&fingerprint) {
+            let snapshot =
+                core.driver.current_snapshot(fingerprint).expect("group ensured above");
+            core.groups.insert(
+                fingerprint,
+                GroupCtl { snapshot, deltas_since_freeze: 0, hits_window: 0, lookups_window: 0 },
+            );
+        }
+        let id = core.next_id;
+        core.next_id += 1;
+        let entry = QueueEntry { id, client: client.to_string(), band };
+        core.queue.push(entry).expect("is_full checked above");
+        core.jobs.insert(
+            id,
+            JobRecord {
+                id,
+                name: job.name.clone(),
+                client: client.to_string(),
+                band,
+                job: Some(job),
+                fingerprint,
+                attempts: 0,
+                chaos_panics,
+                timeout,
+                submitted: Instant::now(),
+                status: JobStatus::Queued,
+                result: None,
+                error: None,
+            },
+        );
+        Ok(id)
+    }
+}

@@ -1,0 +1,38 @@
+#!/usr/bin/env sh
+# Checks every relative markdown link in the repo documentation set
+# (docs/ chapters + the root markdown files) and fails on dangling
+# targets. External (http/https) links are skipped — the gate must run
+# fully offline; same-file anchors (#...) are skipped too.
+set -eu
+cd "$(dirname "$0")/.."
+
+mkdir -p target
+failures="target/.link_failures"
+rm -f "$failures"
+
+for file in README.md DESIGN.md EXPERIMENTS.md docs/*.md; do
+    [ -f "$file" ] || continue
+    dir=$(dirname "$file")
+    # Inline links: ](target). One target per line; anchors stripped.
+    grep -o '](\([^)]*\))' "$file" | sed 's/^](//; s/)$//' \
+        | while IFS= read -r target; do
+            case "$target" in
+                http://*|https://*|mailto:*|\#*|'') continue ;;
+            esac
+            path=${target%%#*}
+            [ -n "$path" ] || continue
+            if [ ! -e "$dir/$path" ]; then
+                echo "dangling link in $file: $target" >&2
+                echo "$file $target" >> "$failures"
+            fi
+        done
+done
+
+if [ -s "$failures" ]; then
+    n=$(wc -l < "$failures")
+    rm -f "$failures"
+    echo "link check failed: $n dangling link(s)" >&2
+    exit 1
+fi
+rm -f "$failures"
+echo "link check passed"

@@ -14,6 +14,13 @@ cargo test --workspace -q
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo doc (rustdoc -D warnings on the missing_docs-gated crates)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
+    -p fastsim-core -p fastsim-memo -p fastsim-serve
+
+echo "==> docs link check"
+scripts/check_links.sh
+
 echo "==> bench smoke: memo_hotpath on a tiny workload"
 # A fast schema check, not a measurement: run the trajectory benchmark on
 # one small workload and validate that the JSON it writes carries every
@@ -74,5 +81,46 @@ for key in '"hierarchy": "three-level"' '"stats_identical": true' \
     }
 done
 echo "==> hierarchy smoke passed ($HIER_OUT)"
+
+echo "==> serve smoke: cold + warm client against a live server"
+# Start the server on a private Unix socket, run the example client
+# twice (different client names), and check the serving contract:
+# the deterministic result rows (non-# lines) must be identical between
+# the cold and the warm client, and the final metrics dump must carry
+# the documented schema.
+SERVE_SOCK="target/ci_serve.sock"
+SERVE_METRICS="target/ci_serve_metrics.json"
+rm -f "$SERVE_SOCK" "$SERVE_METRICS"
+target/release/fastsim_served --unix "$SERVE_SOCK" --workers 2 \
+    --refreeze-every 2 --metrics-file "$SERVE_METRICS" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+    [ -S "$SERVE_SOCK" ] && break
+    sleep 0.1
+done
+[ -S "$SERVE_SOCK" ] || { echo "serve smoke: server never bound" >&2; exit 1; }
+cargo run --release -q -p fastsim-serve --example serve_smoke -- \
+    --unix "$SERVE_SOCK" --client cold --insts 20000 --replicas 2 \
+    > target/ci_serve_cold.txt
+cargo run --release -q -p fastsim-serve --example serve_smoke -- \
+    --unix "$SERVE_SOCK" --client warm --insts 20000 --replicas 2 \
+    --shutdown > target/ci_serve_warm.txt
+wait "$SERVE_PID"
+grep -v '^#' target/ci_serve_cold.txt > target/ci_serve_cold.rows
+grep -v '^#' target/ci_serve_warm.txt > target/ci_serve_warm.rows
+if ! diff target/ci_serve_cold.rows target/ci_serve_warm.rows; then
+    echo "serve smoke: cold and warm clients disagree on results" >&2
+    exit 1
+fi
+for key in '"schema": "fastsim-serve-metrics/v1"' '"submitted": 8' \
+    '"completed": 8' '"rejected": 0' '"failed": 0' '"quarantined": 0' \
+    '"refreezes"' '"queue_depth": 0' '"in_flight": 0' \
+    '"latency_ms"' '"p50"' '"p99"' '"refreeze_hit_rate_trend"'; do
+    grep -qF "$key" "$SERVE_METRICS" || {
+        echo "serve smoke: missing $key in $SERVE_METRICS" >&2
+        exit 1
+    }
+done
+echo "==> serve smoke passed ($SERVE_METRICS)"
 
 echo "==> tier-1 gate passed"

@@ -13,6 +13,8 @@
 //! * [`memo`] — the p-action cache (memoization).
 //! * [`core`] — the [`Simulator`](core::Simulator) engine (FastSim /
 //!   SlowSim).
+//! * [`serve`] — the job server sharing warm p-action caches across
+//!   clients.
 //! * [`baseline`] — the SimpleScalar-like conventional simulator.
 //! * [`workloads`] — the SPEC95-analog kernel suite.
 //!
@@ -37,5 +39,6 @@ pub use fastsim_emu as emu;
 pub use fastsim_isa as isa;
 pub use fastsim_mem as mem;
 pub use fastsim_memo as memo;
+pub use fastsim_serve as serve;
 pub use fastsim_uarch as uarch;
 pub use fastsim_workloads as workloads;

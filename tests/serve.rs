@@ -1,0 +1,302 @@
+//! End-to-end tests of the serving front end, against in-process servers
+//! on private Unix sockets.
+//!
+//! The three properties `docs/serving.md` promises operators:
+//!
+//! 1. **Served results are bit-identical to an offline batch run** of the
+//!    same jobs — and a second client starts warmer than the first
+//!    (the re-freeze cadence works).
+//! 2. **Panicking jobs are retried with backoff and quarantined** after
+//!    `max_attempts`, without poisoning the shared warm caches.
+//! 3. **Graceful drain** settles every admitted job, and the metrics dump
+//!    has the documented schema.
+
+#![cfg(unix)]
+
+use fastsim::core::batch::{BatchDriver, BatchJob};
+use fastsim::serve::client::Client;
+use fastsim::serve::json::Json;
+use fastsim::serve::metrics::SCHEMA;
+use fastsim::serve::server::{Listener, ServeConfig, Server, ServerHandle};
+use fastsim::workloads::Manifest;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::time::Duration;
+
+const KERNELS: [&str; 2] = ["compress", "vortex"];
+const INSTS: u64 = 30_000;
+const REPLICAS: usize = 2;
+
+fn start_server(tag: &str, cfg: ServeConfig) -> (ServerHandle, PathBuf) {
+    let socket = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(format!("serve_{tag}.sock"));
+    let handle = Server::start(cfg, vec![Listener::unix(&socket).expect("bind test socket")]);
+    (handle, socket)
+}
+
+fn submit(client: &mut Client, name: &str, extra: &[(&'static str, Json)]) -> Json {
+    let mut pairs = vec![
+        ("op", Json::from("submit")),
+        ("kernels", Json::Arr(KERNELS.iter().map(|&k| Json::from(k)).collect())),
+        ("insts", Json::from(INSTS)),
+        ("replicas", Json::from(REPLICAS)),
+        ("client", Json::from(name)),
+        ("wait", Json::Bool(true)),
+    ];
+    pairs.extend(extra.iter().cloned());
+    client.expect_ok(&Json::obj(pairs)).expect("submit")
+}
+
+/// `name -> deterministic result fields` for every job in a wait-response.
+fn served_results(resp: &Json) -> BTreeMap<String, Vec<u64>> {
+    let mut map = BTreeMap::new();
+    for job in resp.get("jobs").and_then(Json::as_arr).expect("jobs array") {
+        assert_eq!(job.get("status").and_then(Json::as_str), Some("done"), "job settled done");
+        let result = job.get("result").expect("done jobs carry results");
+        let f = |k: &str| result.get(k).and_then(Json::as_u64).unwrap_or_else(|| panic!("field {k}"));
+        map.insert(
+            job.get("name").and_then(Json::as_str).expect("name").to_string(),
+            vec![
+                f("cycles"),
+                f("retired_insts"),
+                f("loads"),
+                f("stores"),
+                f("l1_misses"),
+                f("writebacks"),
+            ],
+        );
+    }
+    map
+}
+
+fn aggregate_hit_rate(resp: &Json) -> f64 {
+    let (mut hits, mut lookups) = (0, 0);
+    for job in resp.get("jobs").and_then(Json::as_arr).expect("jobs array") {
+        let result = job.get("result").expect("result");
+        hits += result.get("memo_hits").and_then(Json::as_u64).unwrap();
+        lookups += result.get("memo_hits").and_then(Json::as_u64).unwrap()
+            + result.get("memo_misses").and_then(Json::as_u64).unwrap();
+    }
+    hits as f64 / lookups.max(1) as f64
+}
+
+#[test]
+fn served_results_match_offline_batch_and_second_client_starts_warmer() {
+    let (handle, socket) =
+        start_server("identity", ServeConfig { workers: 2, refreeze_every: 2, ..ServeConfig::default() });
+    let mut client = Client::connect_unix(&socket).expect("connect");
+
+    let first = submit(&mut client, "first", &[]);
+    let second = submit(&mut client, "second", &[]);
+
+    // The re-freeze cadence (every 2 merges, 4 jobs per submit) means the
+    // second client thaws snapshots already containing the first client's
+    // work: its jobs replay rather than re-simulate.
+    let (r1, r2) = (aggregate_hit_rate(&first), aggregate_hit_rate(&second));
+    assert!(
+        r2 > r1,
+        "second client must start warmer (first hit rate {r1:.3}, second {r2:.3})"
+    );
+
+    // Bit-identical to an offline batch run of the same manifest: warmth
+    // may differ, simulated results may not.
+    let jobs: Vec<BatchJob> = Manifest::select(&KERNELS, INSTS)
+        .expect("known kernels")
+        .replicated(REPLICAS)
+        .into_jobs()
+        .into_iter()
+        .map(|j| BatchJob::new(j.name, j.program))
+        .collect();
+    let offline = BatchDriver::new(2).run_round(&jobs).expect("offline round");
+    let offline_map: BTreeMap<String, Vec<u64>> = offline
+        .jobs
+        .iter()
+        .map(|j| {
+            (
+                j.name.clone(),
+                vec![
+                    j.stats.cycles,
+                    j.stats.retired_insts,
+                    j.cache_stats.loads,
+                    j.cache_stats.stores,
+                    j.cache_stats.l1_misses,
+                    j.cache_stats.writebacks,
+                ],
+            )
+        })
+        .collect();
+    assert_eq!(served_results(&first), offline_map, "cold served == offline");
+    assert_eq!(served_results(&second), offline_map, "warm served == offline");
+
+    client.shutdown().expect("shutdown");
+    let final_metrics = handle.wait();
+    assert_eq!(final_metrics.get("completed").and_then(Json::as_u64), Some(8));
+    assert!(final_metrics.get("refreezes").and_then(Json::as_u64).unwrap() >= 2);
+}
+
+#[test]
+fn panicking_jobs_retry_then_quarantine_without_poisoning_the_caches() {
+    let cfg = ServeConfig {
+        workers: 1,
+        max_attempts: 3,
+        backoff_base: Duration::from_millis(5),
+        ..ServeConfig::default()
+    };
+    let (handle, socket) = start_server("chaos", cfg);
+    let mut client = Client::connect_unix(&socket).expect("connect");
+
+    let one_job = |client: &mut Client, chaos: u64| -> Json {
+        let resp = client
+            .expect_ok(&Json::obj([
+                ("op", Json::from("submit")),
+                ("kernels", Json::Arr(vec![Json::from("compress")])),
+                ("insts", Json::from(INSTS)),
+                ("client", Json::from("chaos")),
+                ("chaos_panics", Json::from(chaos)),
+                ("wait", Json::Bool(true)),
+            ]))
+            .expect("submit");
+        resp.get("jobs").and_then(Json::as_arr).expect("jobs")[0].clone()
+    };
+
+    // One injected panic: first attempt dies, the retry succeeds.
+    let retried = one_job(&mut client, 1);
+    assert_eq!(retried.get("status").and_then(Json::as_str), Some("done"));
+    assert_eq!(retried.get("attempts").and_then(Json::as_u64), Some(2));
+
+    // Unbounded panics: all attempts die, the job is quarantined.
+    let doomed = one_job(&mut client, 1_000);
+    assert_eq!(doomed.get("status").and_then(Json::as_str), Some("quarantined"));
+    assert_eq!(doomed.get("attempts").and_then(Json::as_u64), Some(3));
+    assert!(doomed
+        .get("error")
+        .and_then(Json::as_str)
+        .expect("quarantine message")
+        .contains("quarantined after 3"));
+
+    // The shared caches never saw the failed attempts: a normal job still
+    // produces exactly the results of the successful run above.
+    let clean = one_job(&mut client, 0);
+    assert_eq!(clean.get("status").and_then(Json::as_str), Some("done"));
+    assert_eq!(
+        clean.get("result").unwrap().get("cycles").and_then(Json::as_u64),
+        retried.get("result").unwrap().get("cycles").and_then(Json::as_u64),
+        "post-quarantine results unchanged — shared snapshot unpoisoned"
+    );
+
+    client.shutdown().expect("shutdown");
+    let m = handle.wait();
+    assert_eq!(m.get("panics").and_then(Json::as_u64), Some(4), "1 + 3 injected panics caught");
+    assert_eq!(m.get("retries").and_then(Json::as_u64), Some(3), "1 + 2 retries before settling");
+    assert_eq!(m.get("quarantined").and_then(Json::as_u64), Some(1));
+    assert_eq!(m.get("completed").and_then(Json::as_u64), Some(2));
+}
+
+#[test]
+fn graceful_drain_settles_every_job_and_metrics_match_the_schema() {
+    let (handle, socket) =
+        start_server("drain", ServeConfig { workers: 1, ..ServeConfig::default() });
+    let mut client = Client::connect_unix(&socket).expect("connect");
+
+    // Fire-and-forget submission, then drain: the drain response must not
+    // arrive until every admitted job has settled.
+    let resp = client
+        .expect_ok(&Json::obj([
+            ("op", Json::from("submit")),
+            ("kernels", Json::Arr(KERNELS.iter().map(|&k| Json::from(k)).collect())),
+            ("insts", Json::from(INSTS)),
+            ("replicas", Json::from(REPLICAS)),
+            ("client", Json::from("drainer")),
+            ("wait", Json::Bool(false)),
+        ]))
+        .expect("submit");
+    let ids: Vec<u64> = resp
+        .get("jobs")
+        .and_then(Json::as_arr)
+        .expect("job ids")
+        .iter()
+        .map(|j| j.as_u64().expect("id"))
+        .collect();
+    assert_eq!(ids.len(), KERNELS.len() * REPLICAS);
+
+    let drained = client.drain().expect("drain");
+    assert_eq!(drained.get("drained").and_then(Json::as_bool), Some(true));
+
+    // Every job settled Done — none stranded in queue or flight.
+    for id in &ids {
+        let polled = client
+            .expect_ok(&Json::obj([("op", Json::from("poll")), ("job", Json::from(*id))]))
+            .expect("poll");
+        assert_eq!(
+            polled.get("job").unwrap().get("status").and_then(Json::as_str),
+            Some("done"),
+            "job {id} settled by drain"
+        );
+    }
+
+    // Draining servers refuse new work.
+    let refused = client.request(&Json::obj([
+        ("op", Json::from("submit")),
+        ("kernels", Json::Arr(vec![Json::from("compress")])),
+        ("insts", Json::from(INSTS)),
+    ]));
+    assert_eq!(refused.expect("transport ok").get("ok").and_then(Json::as_bool), Some(false));
+
+    // The metrics dump carries the documented schema and settled gauges.
+    let m = client.metrics().expect("metrics");
+    assert_eq!(m.get("schema").and_then(Json::as_str), Some(SCHEMA));
+    for key in [
+        "submitted",
+        "rejected",
+        "completed",
+        "failed",
+        "timeouts",
+        "panics",
+        "retries",
+        "quarantined",
+        "refreezes",
+        "queue_depth",
+        "queue_depth_peak",
+        "parked",
+        "in_flight",
+        "latency_ms",
+        "refreeze_hit_rate_trend",
+    ] {
+        assert!(m.get(key).is_some(), "metrics dump missing `{key}`");
+    }
+    assert_eq!(m.get("queue_depth").and_then(Json::as_u64), Some(0));
+    assert_eq!(m.get("in_flight").and_then(Json::as_u64), Some(0));
+    assert_eq!(m.get("completed").and_then(Json::as_u64), Some(ids.len() as u64));
+    let latency = m.get("latency_ms").unwrap();
+    assert_eq!(latency.get("count").and_then(Json::as_u64), Some(ids.len() as u64));
+
+    client.shutdown().expect("shutdown");
+    handle.wait();
+}
+
+#[test]
+fn deadlines_abandon_runaway_jobs() {
+    let (handle, socket) =
+        start_server("deadline", ServeConfig { workers: 1, ..ServeConfig::default() });
+    let mut client = Client::connect_unix(&socket).expect("connect");
+
+    // A job far too large for a 1 ms deadline: abandoned between budget
+    // chunks, settled Failed, never merged.
+    let resp = client
+        .expect_ok(&Json::obj([
+            ("op", Json::from("submit")),
+            ("kernels", Json::Arr(vec![Json::from("compress")])),
+            ("insts", Json::from(50_000_000u64)),
+            ("timeout_ms", Json::from(1u64)),
+            ("client", Json::from("hasty")),
+            ("wait", Json::Bool(true)),
+        ]))
+        .expect("submit");
+    let job = &resp.get("jobs").and_then(Json::as_arr).expect("jobs")[0];
+    assert_eq!(job.get("status").and_then(Json::as_str), Some("failed"));
+    assert!(job.get("error").and_then(Json::as_str).expect("error").contains("timed out"));
+
+    client.shutdown().expect("shutdown");
+    let m = handle.wait();
+    assert_eq!(m.get("timeouts").and_then(Json::as_u64), Some(1));
+    assert_eq!(m.get("completed").and_then(Json::as_u64), Some(0));
+}
