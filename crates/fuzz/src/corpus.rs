@@ -1,0 +1,80 @@
+//! Reading and writing the `fuzz/corpus/` regression set.
+//!
+//! Each corpus entry is one `.kernel` file in the `fastsim-kernel/v1`
+//! text format ([`crate::kernel::KernelSpec::to_text`]). The checked-in
+//! set under the repository's `fuzz/corpus/` directory is replayed
+//! through the full differential oracle by `tests/fuzz_corpus.rs` and by
+//! the CI fuzz smoke.
+
+use crate::kernel::KernelSpec;
+use std::path::{Path, PathBuf};
+
+/// File extension of corpus entries.
+pub const EXTENSION: &str = "kernel";
+
+/// Writes `spec` to `path` in the replayable text format.
+///
+/// # Errors
+///
+/// Propagates the I/O failure.
+pub fn save(spec: &KernelSpec, path: &Path) -> std::io::Result<()> {
+    std::fs::write(path, spec.to_text())
+}
+
+/// Loads one corpus entry.
+///
+/// # Errors
+///
+/// Describes the I/O or parse failure, naming the file.
+pub fn load(path: &Path) -> Result<KernelSpec, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    KernelSpec::from_text(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Loads every `.kernel` file in `dir`, sorted by file name so replay
+/// order is stable across platforms.
+///
+/// # Errors
+///
+/// Describes the first I/O or parse failure.
+pub fn load_dir(dir: &Path) -> Result<Vec<(PathBuf, KernelSpec)>, String> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("{}: {e}", dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == EXTENSION))
+        .collect();
+    paths.sort();
+    let mut out = Vec::with_capacity(paths.len());
+    for path in paths {
+        let spec = load(&path)?;
+        out.push((path, spec));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::KernelOp;
+
+    #[test]
+    fn save_load_round_trips() {
+        let dir = std::env::temp_dir().join("fastsim_fuzz_corpus_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = KernelSpec {
+            seed: 0xfeed,
+            iters: 4,
+            ops: vec![
+                KernelOp::Store { rs: 2, off: 128 },
+                KernelOp::Loop { count: 3, body: vec![KernelOp::Out { rs: 1 }] },
+            ],
+        };
+        let path = dir.join("roundtrip.kernel");
+        save(&spec, &path).unwrap();
+        assert_eq!(load(&path).unwrap(), spec);
+        let all = load_dir(&dir).unwrap();
+        assert!(all.iter().any(|(p, s)| p == &path && s == &spec));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,624 @@
+//! Seeded generation of random synthetic kernels and their lowering to
+//! assembled [`Program`]s.
+//!
+//! A [`KernelSpec`] is the *shrinkable* intermediate representation: a
+//! seed (provenance), an outer-loop trip count, and a list of
+//! [`KernelOp`]s — the structured body the differential oracle runs and
+//! the shrinker edits. Every spec lowers deterministically to a
+//! terminating program: branches only skip forward, inner loops are
+//! counted, and calls reach two fixed leaf subroutines. Specs serialize
+//! to a line-oriented text format (`fastsim-kernel/v1`) so failing cases
+//! can be checked into `fuzz/corpus/` and replayed byte-for-byte.
+
+use fastsim_isa::{Asm, Program, Reg};
+use fastsim_prng::Rng;
+use std::fmt::Write as _;
+
+/// Base address of the kernel's data region.
+pub const DATA_BASE: u32 = 0x0010_0000;
+
+/// Words in the data region. Strided cursors wrap inside this window, so
+/// every generated access stays in bounds.
+pub const DATA_WORDS: u32 = 1024;
+
+/// One operation in a generated kernel body.
+///
+/// Register selectors (`rd`/`rs1`/`rs2`/…) are free `u8`s mapped onto the
+/// scratch registers `r1..r9`; r10/r11 (link/outer counter) and r23..r26
+/// (inner counter, address temp, stride cursor, data base) are reserved
+/// by the lowering.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum KernelOp {
+    /// Register-register ALU op; `sel` picks among 8 opcodes.
+    Alu {
+        /// Opcode selector.
+        sel: u8,
+        /// Destination selector.
+        rd: u8,
+        /// First source selector.
+        rs1: u8,
+        /// Second source selector.
+        rs2: u8,
+    },
+    /// Register-immediate ALU op; `sel` picks among 5 opcodes.
+    AluImm {
+        /// Opcode selector.
+        sel: u8,
+        /// Destination selector.
+        rd: u8,
+        /// Source selector.
+        rs1: u8,
+        /// Immediate (masked per opcode during lowering).
+        imm: i16,
+    },
+    /// Long-latency integer divide.
+    Div {
+        /// Destination selector.
+        rd: u8,
+        /// Dividend selector.
+        rs1: u8,
+        /// Divisor selector.
+        rs2: u8,
+    },
+    /// Word load at a fixed offset from the data base.
+    Load {
+        /// Destination selector.
+        rd: u8,
+        /// Byte offset (masked word-aligned into the data region).
+        off: u16,
+    },
+    /// Word store at a fixed offset from the data base.
+    Store {
+        /// Source selector.
+        rs: u8,
+        /// Byte offset (masked word-aligned into the data region).
+        off: u16,
+    },
+    /// Word load through the strided cursor, then advance the cursor.
+    StridedLoad {
+        /// Destination selector.
+        rd: u8,
+        /// Stride selector (lowered to 4..=256 bytes).
+        stride: u8,
+    },
+    /// Word store through the strided cursor, then advance the cursor.
+    StridedStore {
+        /// Source selector.
+        rs: u8,
+        /// Stride selector (lowered to 4..=256 bytes).
+        stride: u8,
+    },
+    /// Floating-point register op; `sel` picks among 5 opcodes.
+    Fp {
+        /// Opcode selector.
+        sel: u8,
+        /// Destination FP register (mod 8).
+        fd: u8,
+        /// First source FP register (mod 8).
+        fs1: u8,
+        /// Second source FP register (mod 8).
+        fs2: u8,
+    },
+    /// FP load at a fixed offset from the data base.
+    FLoad {
+        /// Destination FP register (mod 8).
+        fd: u8,
+        /// Byte offset (masked 8-byte-aligned into the data region).
+        off: u16,
+    },
+    /// FP store at a fixed offset from the data base.
+    FStore {
+        /// Source FP register (mod 8).
+        fs: u8,
+        /// Byte offset (masked 8-byte-aligned into the data region).
+        off: u16,
+    },
+    /// Data-dependent forward branch skipping `1 + skip % 2` filler adds.
+    Branch {
+        /// Condition selector (beq/bne/blt/bge).
+        cond: u8,
+        /// First compared selector.
+        rs1: u8,
+        /// Second compared selector.
+        rs2: u8,
+        /// Filler-length selector.
+        skip: u8,
+    },
+    /// Call one of the two leaf subroutines (return via the BTB).
+    Call {
+        /// `true` calls `leaf_a`, `false` calls `leaf_b`.
+        which: bool,
+    },
+    /// Append a register to the program's output stream.
+    Out {
+        /// Source selector.
+        rs: u8,
+    },
+    /// A counted inner loop around `body` (never nested further).
+    Loop {
+        /// Trip count (clamped to ≥ 1 during lowering).
+        count: u8,
+        /// Loop body (contains no further [`KernelOp::Loop`]).
+        body: Vec<KernelOp>,
+    },
+}
+
+/// A generated kernel: provenance seed, outer trip count, and body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KernelSpec {
+    /// The per-case seed that generated this spec (0 for handcrafted
+    /// reproducers).
+    pub seed: u64,
+    /// Outer-loop trip count (clamped to ≥ 1 during lowering).
+    pub iters: u32,
+    /// The loop body.
+    pub ops: Vec<KernelOp>,
+}
+
+/// Instruction-mix profile biasing generation toward one op family.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Profile {
+    Uniform,
+    AluHeavy,
+    MemHeavy,
+    Branchy,
+    FpHeavy,
+}
+
+impl Profile {
+    fn pick(rng: &mut Rng) -> Profile {
+        *rng.pick(&[
+            Profile::Uniform,
+            Profile::AluHeavy,
+            Profile::MemHeavy,
+            Profile::Branchy,
+            Profile::FpHeavy,
+        ])
+    }
+
+    /// Kind indices (see [`op_of_kind`]) the profile is biased toward.
+    fn kinds(self) -> &'static [u32] {
+        match self {
+            Profile::Uniform => &[],
+            Profile::AluHeavy => &[0, 1, 2],
+            Profile::MemHeavy => &[3, 4, 5, 6],
+            Profile::Branchy => &[10, 11],
+            Profile::FpHeavy => &[7, 8, 9],
+        }
+    }
+}
+
+/// Scratch registers available to generated code (r10/r11 and r23..r26
+/// reserved).
+fn reg(sel: u8) -> Reg {
+    Reg::new(1 + sel % 9)
+}
+
+/// Lowered byte stride for a strided access: 4..=256, word-aligned.
+fn stride_bytes(stride: u8) -> i32 {
+    (i32::from(stride) % 64 + 1) * 4
+}
+
+impl KernelSpec {
+    /// Generates a random kernel from a per-case RNG, recording `seed` as
+    /// its provenance. Picks an instruction-mix profile, an outer trip
+    /// count, and 1..14 body ops (inner loops add up to 5 more each).
+    pub fn generate(seed: u64, rng: &mut Rng) -> KernelSpec {
+        let profile = Profile::pick(rng);
+        let iters = rng.range_u32(2..20);
+        let len = rng.range_usize(1..14);
+        let ops = (0..len).map(|_| gen_op(rng, profile, true)).collect();
+        KernelSpec { seed, iters, ops }
+    }
+
+    /// Static instruction count of the lowered body (what "a ≤ N
+    /// instruction reproducer" measures — the prologue/epilogue scaffolding
+    /// is constant and excluded).
+    pub fn body_insts(&self) -> u32 {
+        self.ops.iter().map(op_insts).sum()
+    }
+
+    /// Lowers the spec to an assembled program: data region, register
+    /// init, the counted outer loop around the body, an output epilogue,
+    /// and the two leaf subroutines.
+    pub fn build(&self) -> Program {
+        let mut a = Asm::new();
+        a.data_words(
+            DATA_BASE,
+            &(0..DATA_WORDS).map(|i| i.wrapping_mul(2_654_435_761)).collect::<Vec<_>>(),
+        );
+        a.li(Reg::R26, DATA_BASE);
+        a.li(Reg::R25, 0);
+        for i in 0..9u8 {
+            a.addi(reg(i), Reg::R0, i32::from(i) * 3 + 1);
+        }
+        a.li(Reg::R11, self.iters.max(1));
+        a.label("loop");
+        let mut uniq = 0usize;
+        for op in &self.ops {
+            emit(&mut a, op, &mut uniq);
+        }
+        a.subi(Reg::R11, Reg::R11, 1);
+        a.bne(Reg::R11, Reg::R0, "loop");
+        for i in 0..9u8 {
+            a.out(reg(i));
+        }
+        a.halt();
+        // Leaf subroutines (indirect returns exercise the BTB).
+        a.label("leaf_a");
+        a.addi(Reg::R1, Reg::R1, 5);
+        a.xor(Reg::R2, Reg::R2, Reg::R1);
+        a.ret();
+        a.label("leaf_b");
+        a.mul(Reg::R3, Reg::R3, Reg::R3);
+        a.andi(Reg::R3, Reg::R3, 0xff);
+        a.ret();
+        a.assemble().expect("generated kernel assembles")
+    }
+
+    /// Serializes the spec to the replayable `fastsim-kernel/v1` text
+    /// format ([`KernelSpec::from_text`] round-trips it exactly).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "fastsim-kernel/v1");
+        let _ = writeln!(out, "seed {:#x}", self.seed);
+        let _ = writeln!(out, "iters {}", self.iters);
+        for op in &self.ops {
+            write_op(&mut out, op, 0);
+        }
+        out
+    }
+
+    /// Parses the `fastsim-kernel/v1` text format. Blank lines and
+    /// `#`-comments are ignored; loops must not nest.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first malformed line.
+    pub fn from_text(text: &str) -> Result<KernelSpec, String> {
+        let mut lines = text
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'));
+        if lines.next() != Some("fastsim-kernel/v1") {
+            return Err("missing `fastsim-kernel/v1` header".to_string());
+        }
+        let seed_line = lines.next().ok_or("missing `seed` line")?;
+        let seed = match seed_line.split_whitespace().collect::<Vec<_>>()[..] {
+            ["seed", v] => {
+                let digits = v.strip_prefix("0x").unwrap_or(v);
+                u64::from_str_radix(digits, 16).map_err(|e| format!("bad seed `{v}`: {e}"))?
+            }
+            _ => return Err(format!("expected `seed <hex>`, got `{seed_line}`")),
+        };
+        let iters_line = lines.next().ok_or("missing `iters` line")?;
+        let iters = match iters_line.split_whitespace().collect::<Vec<_>>()[..] {
+            ["iters", v] => v.parse::<u32>().map_err(|e| format!("bad iters `{v}`: {e}"))?,
+            _ => return Err(format!("expected `iters <n>`, got `{iters_line}`")),
+        };
+        if iters > 100_000 {
+            return Err(format!("iters {iters} exceeds the sanity cap"));
+        }
+
+        let mut ops = Vec::new();
+        let mut open_loop: Option<(u8, Vec<KernelOp>)> = None;
+        for line in lines {
+            let tokens: Vec<&str> = line.split_whitespace().collect();
+            match tokens[..] {
+                ["loop", count] => {
+                    if open_loop.is_some() {
+                        return Err("nested `loop` blocks are not allowed".to_string());
+                    }
+                    let count =
+                        count.parse::<u8>().map_err(|e| format!("bad loop count `{count}`: {e}"))?;
+                    open_loop = Some((count, Vec::new()));
+                }
+                ["end"] => match open_loop.take() {
+                    Some((count, body)) => ops.push(KernelOp::Loop { count, body }),
+                    None => return Err("`end` without an open `loop`".to_string()),
+                },
+                _ => {
+                    let op = parse_op(&tokens).map_err(|e| format!("bad op `{line}`: {e}"))?;
+                    match &mut open_loop {
+                        Some((_, body)) => body.push(op),
+                        None => ops.push(op),
+                    }
+                }
+            }
+            if ops.len() > 4096 {
+                return Err("kernel body exceeds the 4096-op sanity cap".to_string());
+            }
+        }
+        if open_loop.is_some() {
+            return Err("unterminated `loop` block".to_string());
+        }
+        Ok(KernelSpec { seed, iters, ops })
+    }
+}
+
+/// Static instruction count one op lowers to.
+fn op_insts(op: &KernelOp) -> u32 {
+    match op {
+        KernelOp::Alu { .. }
+        | KernelOp::AluImm { .. }
+        | KernelOp::Div { .. }
+        | KernelOp::Load { .. }
+        | KernelOp::Store { .. }
+        | KernelOp::Fp { .. }
+        | KernelOp::FLoad { .. }
+        | KernelOp::FStore { .. }
+        | KernelOp::Call { .. }
+        | KernelOp::Out { .. } => 1,
+        KernelOp::StridedLoad { .. } | KernelOp::StridedStore { .. } => 4,
+        KernelOp::Branch { skip, .. } => 2 + u32::from(skip % 2),
+        KernelOp::Loop { body, .. } => 3 + body.iter().map(op_insts).sum::<u32>(),
+    }
+}
+
+fn gen_op(rng: &mut Rng, profile: Profile, allow_loop: bool) -> KernelOp {
+    let biased = profile.kinds();
+    let kind = if !biased.is_empty() && rng.next_bool() {
+        *rng.pick(biased)
+    } else {
+        rng.range_u32(0..if allow_loop { 14 } else { 13 })
+    };
+    op_of_kind(kind, rng, profile)
+}
+
+/// Builds the op for one kind index (13 = inner loop, top level only).
+fn op_of_kind(kind: u32, rng: &mut Rng, profile: Profile) -> KernelOp {
+    match kind {
+        0 => KernelOp::Alu {
+            sel: rng.next_u8(),
+            rd: rng.next_u8(),
+            rs1: rng.next_u8(),
+            rs2: rng.next_u8(),
+        },
+        1 => KernelOp::AluImm {
+            sel: rng.next_u8(),
+            rd: rng.next_u8(),
+            rs1: rng.next_u8(),
+            imm: rng.next_i16(),
+        },
+        2 => KernelOp::Div { rd: rng.next_u8(), rs1: rng.next_u8(), rs2: rng.next_u8() },
+        3 => KernelOp::Load { rd: rng.next_u8(), off: rng.next_u32() as u16 },
+        4 => KernelOp::Store { rs: rng.next_u8(), off: rng.next_u32() as u16 },
+        5 => KernelOp::StridedLoad { rd: rng.next_u8(), stride: rng.next_u8() },
+        6 => KernelOp::StridedStore { rs: rng.next_u8(), stride: rng.next_u8() },
+        7 => KernelOp::Fp {
+            sel: rng.next_u8(),
+            fd: rng.next_u8(),
+            fs1: rng.next_u8(),
+            fs2: rng.next_u8(),
+        },
+        8 => KernelOp::FLoad { fd: rng.next_u8(), off: rng.next_u32() as u16 },
+        9 => KernelOp::FStore { fs: rng.next_u8(), off: rng.next_u32() as u16 },
+        10 => KernelOp::Branch {
+            cond: rng.next_u8(),
+            rs1: rng.next_u8(),
+            rs2: rng.next_u8(),
+            skip: rng.next_u8(),
+        },
+        11 => KernelOp::Call { which: rng.next_bool() },
+        12 => KernelOp::Out { rs: rng.next_u8() },
+        _ => KernelOp::Loop {
+            count: rng.range_u32(2..7) as u8,
+            body: (0..rng.range_usize(1..6)).map(|_| gen_op(rng, profile, false)).collect(),
+        },
+    }
+}
+
+fn emit(a: &mut Asm, op: &KernelOp, uniq: &mut usize) {
+    *uniq += 1;
+    let id = *uniq;
+    match op {
+        KernelOp::Alu { sel, rd, rs1, rs2 } => {
+            let (rd, rs1, rs2) = (reg(*rd), reg(*rs1), reg(*rs2));
+            match sel % 8 {
+                0 => a.add(rd, rs1, rs2),
+                1 => a.sub(rd, rs1, rs2),
+                2 => a.xor(rd, rs1, rs2),
+                3 => a.and(rd, rs1, rs2),
+                4 => a.or(rd, rs1, rs2),
+                5 => a.mul(rd, rs1, rs2),
+                6 => a.slt(rd, rs1, rs2),
+                _ => a.sltu(rd, rs1, rs2),
+            };
+        }
+        KernelOp::AluImm { sel, rd, rs1, imm } => {
+            let (rd, rs1) = (reg(*rd), reg(*rs1));
+            let imm = i32::from(*imm);
+            match sel % 5 {
+                0 => a.addi(rd, rs1, imm),
+                1 => a.xori(rd, rs1, imm & 0xffff),
+                2 => a.slli(rd, rs1, imm & 31),
+                3 => a.srai(rd, rs1, imm & 31),
+                _ => a.slti(rd, rs1, imm),
+            };
+        }
+        KernelOp::Div { rd, rs1, rs2 } => {
+            a.div(reg(*rd), reg(*rs1), reg(*rs2));
+        }
+        KernelOp::Load { rd, off } => {
+            a.lw(reg(*rd), Reg::R26, i32::from(off & 0xffc));
+        }
+        KernelOp::Store { rs, off } => {
+            a.sw(reg(*rs), Reg::R26, i32::from(off & 0xffc));
+        }
+        KernelOp::StridedLoad { rd, stride } => {
+            a.add(Reg::R24, Reg::R26, Reg::R25);
+            a.lw(reg(*rd), Reg::R24, 0);
+            a.addi(Reg::R25, Reg::R25, stride_bytes(*stride));
+            a.andi(Reg::R25, Reg::R25, 0xffc);
+        }
+        KernelOp::StridedStore { rs, stride } => {
+            a.add(Reg::R24, Reg::R26, Reg::R25);
+            a.sw(reg(*rs), Reg::R24, 0);
+            a.addi(Reg::R25, Reg::R25, stride_bytes(*stride));
+            a.andi(Reg::R25, Reg::R25, 0xffc);
+        }
+        KernelOp::Fp { sel, fd, fs1, fs2 } => {
+            let (fd, fs1, fs2) = (fd % 8, fs1 % 8, fs2 % 8);
+            match sel % 5 {
+                0 => a.fadd(fd, fs1, fs2),
+                1 => a.fsub(fd, fs1, fs2),
+                2 => a.fmul(fd, fs1, fs2),
+                3 => a.fabs(fd, fs1),
+                _ => a.fmov(fd, fs1),
+            };
+        }
+        KernelOp::FLoad { fd, off } => {
+            a.fld(fd % 8, Reg::R26, i32::from(off & 0xff8));
+        }
+        KernelOp::FStore { fs, off } => {
+            a.fst(fs % 8, Reg::R26, i32::from(off & 0xff8));
+        }
+        KernelOp::Branch { cond, rs1, rs2, skip } => {
+            let label = format!("skip_{id}");
+            let (rs1, rs2) = (reg(*rs1), reg(*rs2));
+            match cond % 4 {
+                0 => a.beq(rs1, rs2, &label),
+                1 => a.bne(rs1, rs2, &label),
+                2 => a.blt(rs1, rs2, &label),
+                _ => a.bge(rs1, rs2, &label),
+            };
+            for i in 0..=(skip % 2) {
+                a.addi(reg(i), reg(i), 1);
+            }
+            a.label(&label);
+        }
+        KernelOp::Call { which } => {
+            a.call(if *which { "leaf_a" } else { "leaf_b" });
+        }
+        KernelOp::Out { rs } => {
+            a.out(reg(*rs));
+        }
+        KernelOp::Loop { count, body } => {
+            let label = format!("inner_{id}");
+            a.li(Reg::R23, u32::from(*count).max(1));
+            a.label(&label);
+            for op in body {
+                emit(a, op, uniq);
+            }
+            a.subi(Reg::R23, Reg::R23, 1);
+            a.bne(Reg::R23, Reg::R0, &label);
+        }
+    }
+}
+
+fn write_op(out: &mut String, op: &KernelOp, depth: usize) {
+    let pad = "  ".repeat(depth);
+    let _ = match op {
+        KernelOp::Alu { sel, rd, rs1, rs2 } => writeln!(out, "{pad}alu {sel} {rd} {rs1} {rs2}"),
+        KernelOp::AluImm { sel, rd, rs1, imm } => {
+            writeln!(out, "{pad}aluimm {sel} {rd} {rs1} {imm}")
+        }
+        KernelOp::Div { rd, rs1, rs2 } => writeln!(out, "{pad}div {rd} {rs1} {rs2}"),
+        KernelOp::Load { rd, off } => writeln!(out, "{pad}load {rd} {off}"),
+        KernelOp::Store { rs, off } => writeln!(out, "{pad}store {rs} {off}"),
+        KernelOp::StridedLoad { rd, stride } => writeln!(out, "{pad}sload {rd} {stride}"),
+        KernelOp::StridedStore { rs, stride } => writeln!(out, "{pad}sstore {rs} {stride}"),
+        KernelOp::Fp { sel, fd, fs1, fs2 } => writeln!(out, "{pad}fp {sel} {fd} {fs1} {fs2}"),
+        KernelOp::FLoad { fd, off } => writeln!(out, "{pad}fload {fd} {off}"),
+        KernelOp::FStore { fs, off } => writeln!(out, "{pad}fstore {fs} {off}"),
+        KernelOp::Branch { cond, rs1, rs2, skip } => {
+            writeln!(out, "{pad}branch {cond} {rs1} {rs2} {skip}")
+        }
+        KernelOp::Call { which } => {
+            writeln!(out, "{pad}call {}", if *which { "a" } else { "b" })
+        }
+        KernelOp::Out { rs } => writeln!(out, "{pad}out {rs}"),
+        KernelOp::Loop { count, body } => {
+            let _ = writeln!(out, "{pad}loop {count}");
+            for op in body {
+                write_op(out, op, depth + 1);
+            }
+            writeln!(out, "{pad}end")
+        }
+    };
+}
+
+fn parse_op(tokens: &[&str]) -> Result<KernelOp, String> {
+    fn n<T: std::str::FromStr>(t: &str) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        t.parse::<T>().map_err(|e| format!("`{t}`: {e}"))
+    }
+    Ok(match *tokens {
+        ["alu", sel, rd, rs1, rs2] => {
+            KernelOp::Alu { sel: n(sel)?, rd: n(rd)?, rs1: n(rs1)?, rs2: n(rs2)? }
+        }
+        ["aluimm", sel, rd, rs1, imm] => {
+            KernelOp::AluImm { sel: n(sel)?, rd: n(rd)?, rs1: n(rs1)?, imm: n(imm)? }
+        }
+        ["div", rd, rs1, rs2] => KernelOp::Div { rd: n(rd)?, rs1: n(rs1)?, rs2: n(rs2)? },
+        ["load", rd, off] => KernelOp::Load { rd: n(rd)?, off: n(off)? },
+        ["store", rs, off] => KernelOp::Store { rs: n(rs)?, off: n(off)? },
+        ["sload", rd, stride] => KernelOp::StridedLoad { rd: n(rd)?, stride: n(stride)? },
+        ["sstore", rs, stride] => KernelOp::StridedStore { rs: n(rs)?, stride: n(stride)? },
+        ["fp", sel, fd, fs1, fs2] => {
+            KernelOp::Fp { sel: n(sel)?, fd: n(fd)?, fs1: n(fs1)?, fs2: n(fs2)? }
+        }
+        ["fload", fd, off] => KernelOp::FLoad { fd: n(fd)?, off: n(off)? },
+        ["fstore", fs, off] => KernelOp::FStore { fs: n(fs)?, off: n(off)? },
+        ["branch", cond, rs1, rs2, skip] => {
+            KernelOp::Branch { cond: n(cond)?, rs1: n(rs1)?, rs2: n(rs2)?, skip: n(skip)? }
+        }
+        ["call", "a"] => KernelOp::Call { which: true },
+        ["call", "b"] => KernelOp::Call { which: false },
+        ["out", rs] => KernelOp::Out { rs: n(rs)? },
+        _ => return Err("unknown op".to_string()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastsim_prng::for_each_case;
+
+    #[test]
+    fn generated_specs_round_trip_through_text() {
+        for_each_case(0x5e11a11e, 32, |seed, rng| {
+            let spec = KernelSpec::generate(seed, rng);
+            let text = spec.to_text();
+            let back = KernelSpec::from_text(&text).expect("serialized spec parses");
+            assert_eq!(back, spec, "seed {seed:#x}");
+        });
+    }
+
+    #[test]
+    fn generated_specs_assemble_and_count_insts() {
+        for_each_case(0xa55e77b1, 16, |seed, rng| {
+            let spec = KernelSpec::generate(seed, rng);
+            let _ = spec.build();
+            assert!(spec.body_insts() >= 1, "seed {seed:#x}");
+        });
+    }
+
+    #[test]
+    fn text_parser_rejects_malformed_input() {
+        for bad in [
+            "",
+            "fastsim-kernel/v2\nseed 0x1\niters 1",
+            "fastsim-kernel/v1\nseed xyz\niters 1",
+            "fastsim-kernel/v1\nseed 0x1\niters -3",
+            "fastsim-kernel/v1\nseed 0x1\niters 1\nfrobnicate 1",
+            "fastsim-kernel/v1\nseed 0x1\niters 1\nloop 2\nloop 2\nend\nend",
+            "fastsim-kernel/v1\nseed 0x1\niters 1\nloop 2\nout 1",
+            "fastsim-kernel/v1\nseed 0x1\niters 1\nend",
+            "fastsim-kernel/v1\nseed 0x1\niters 200000",
+        ] {
+            assert!(KernelSpec::from_text(bad).is_err(), "must reject: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let text = "# a reproducer\nfastsim-kernel/v1\n\nseed 0x2a\niters 3\n# body\nstore 1 64\n";
+        let spec = KernelSpec::from_text(text).unwrap();
+        assert_eq!(spec.seed, 0x2a);
+        assert_eq!(spec.iters, 3);
+        assert_eq!(spec.ops, vec![KernelOp::Store { rs: 1, off: 64 }]);
+    }
+}

@@ -1,0 +1,202 @@
+//! Deterministic greedy shrinking of failing kernels.
+//!
+//! Given a failing [`KernelSpec`] and an oracle predicate ("does this
+//! candidate still fail?"), [`shrink`] applies size-reducing edits to a
+//! fixpoint: fewer outer iterations, delta-debugging-style removal of op
+//! ranges (largest chunks first), and inner-loop flattening/trip-count
+//! reduction. Every edit is deterministic, so a shrink run replays
+//! identically from the same spec — no randomness, no wall-clock.
+
+use crate::kernel::{KernelOp, KernelSpec};
+
+/// What a shrink run did.
+#[derive(Clone, Debug)]
+pub struct ShrinkOutcome {
+    /// The minimized spec (still failing).
+    pub spec: KernelSpec,
+    /// Oracle invocations spent.
+    pub oracle_calls: u64,
+    /// Static body instructions before shrinking.
+    pub from_insts: u32,
+    /// Static body instructions after shrinking.
+    pub to_insts: u32,
+}
+
+/// Shrinks `spec` to a smaller spec for which `still_fails` stays true,
+/// spending at most `budget` oracle invocations.
+///
+/// `spec` itself is assumed to fail; the result is `spec` unchanged when
+/// no edit preserves the failure.
+pub fn shrink(
+    spec: &KernelSpec,
+    mut still_fails: impl FnMut(&KernelSpec) -> bool,
+    budget: u64,
+) -> ShrinkOutcome {
+    let mut cur = spec.clone();
+    let mut calls = 0u64;
+
+    'passes: loop {
+        let mut improved = false;
+
+        // Pass 1: fewer outer iterations (1, then successive halvings).
+        loop {
+            let mut reduced = false;
+            for cand_iters in [1, cur.iters / 2] {
+                if cand_iters == 0 || cand_iters >= cur.iters {
+                    continue;
+                }
+                let mut cand = cur.clone();
+                cand.iters = cand_iters;
+                calls += 1;
+                if still_fails(&cand) {
+                    cur = cand;
+                    improved = true;
+                    reduced = true;
+                    break;
+                }
+                if calls >= budget {
+                    break 'passes;
+                }
+            }
+            if !reduced {
+                break;
+            }
+        }
+
+        // Pass 2: remove op ranges, largest chunks first (ddmin-style).
+        let mut chunk = cur.ops.len().max(1);
+        loop {
+            let mut start = 0;
+            while start < cur.ops.len() {
+                let end = (start + chunk).min(cur.ops.len());
+                let mut cand = cur.clone();
+                cand.ops.drain(start..end);
+                calls += 1;
+                if still_fails(&cand) {
+                    cur = cand;
+                    improved = true;
+                    // Retry the same position: the next range slid into it.
+                } else {
+                    start += 1;
+                }
+                if calls >= budget {
+                    break 'passes;
+                }
+            }
+            if chunk == 1 {
+                break;
+            }
+            chunk /= 2;
+        }
+
+        // Pass 3: simplify inner loops — flatten a loop into its body, or
+        // failing that cut its trip count to 1.
+        let mut i = 0;
+        while i < cur.ops.len() {
+            if let KernelOp::Loop { count, body } = cur.ops[i].clone() {
+                let mut flat = cur.clone();
+                flat.ops.splice(i..=i, body);
+                calls += 1;
+                if still_fails(&flat) {
+                    cur = flat;
+                    improved = true;
+                    continue; // re-examine index i (ops shifted in)
+                }
+                if calls >= budget {
+                    break 'passes;
+                }
+                if count > 1 {
+                    let mut one = cur.clone();
+                    if let KernelOp::Loop { count, .. } = &mut one.ops[i] {
+                        *count = 1;
+                    }
+                    calls += 1;
+                    if still_fails(&one) {
+                        cur = one;
+                        improved = true;
+                    }
+                    if calls >= budget {
+                        break 'passes;
+                    }
+                }
+            }
+            i += 1;
+        }
+
+        if !improved {
+            break;
+        }
+    }
+
+    ShrinkOutcome {
+        from_insts: spec.body_insts(),
+        to_insts: cur.body_insts(),
+        spec: cur,
+        oracle_calls: calls,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::KernelOp;
+
+    fn spec(iters: u32, ops: Vec<KernelOp>) -> KernelSpec {
+        KernelSpec { seed: 0, iters, ops }
+    }
+
+    /// A synthetic oracle: "fails" iff the body contains a Store op.
+    fn has_store(s: &KernelSpec) -> bool {
+        fn op_has(op: &KernelOp) -> bool {
+            match op {
+                KernelOp::Store { .. } | KernelOp::StridedStore { .. } => true,
+                KernelOp::Loop { body, .. } => body.iter().any(op_has),
+                _ => false,
+            }
+        }
+        s.ops.iter().any(op_has)
+    }
+
+    #[test]
+    fn shrinks_to_the_single_triggering_op() {
+        let noisy = spec(
+            17,
+            vec![
+                KernelOp::Alu { sel: 0, rd: 1, rs1: 2, rs2: 3 },
+                KernelOp::Div { rd: 1, rs1: 2, rs2: 3 },
+                KernelOp::Loop {
+                    count: 4,
+                    body: vec![
+                        KernelOp::Out { rs: 1 },
+                        KernelOp::Store { rs: 2, off: 64 },
+                        KernelOp::Call { which: true },
+                    ],
+                },
+                KernelOp::Branch { cond: 0, rs1: 1, rs2: 2, skip: 0 },
+                KernelOp::FLoad { fd: 1, off: 8 },
+            ],
+        );
+        assert!(has_store(&noisy));
+        let out = shrink(&noisy, has_store, 10_000);
+        assert!(has_store(&out.spec));
+        assert_eq!(out.spec.iters, 1);
+        assert_eq!(out.spec.ops, vec![KernelOp::Store { rs: 2, off: 64 }]);
+        assert_eq!(out.to_insts, 1);
+        assert!(out.oracle_calls > 0);
+    }
+
+    #[test]
+    fn budget_bounds_oracle_calls() {
+        let s = spec(9, vec![KernelOp::Store { rs: 1, off: 0 }; 64]);
+        let out = shrink(&s, has_store, 5);
+        assert!(out.oracle_calls <= 5 + 1, "budget respected (±1 for the in-flight call)");
+        assert!(has_store(&out.spec));
+    }
+
+    #[test]
+    fn unshrinkable_failures_return_the_original() {
+        let s = spec(1, vec![KernelOp::Store { rs: 1, off: 0 }]);
+        let out = shrink(&s, has_store, 1000);
+        assert_eq!(out.spec, s);
+    }
+}

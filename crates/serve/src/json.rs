@@ -403,9 +403,13 @@ impl Parser<'_> {
             }
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
-        text.parse::<f64>()
-            .map(Json::Num)
-            .map_err(|_| format!("bad number `{text}` at byte {start}"))
+        // Reject non-finite results (`1e309` overflows to infinity): JSON
+        // has no Infinity/NaN, and letting one in would make the value
+        // unserializable.
+        match text.parse::<f64>() {
+            Ok(n) if n.is_finite() => Ok(Json::Num(n)),
+            _ => Err(format!("bad number `{text}` at byte {start}")),
+        }
     }
 }
 

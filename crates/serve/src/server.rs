@@ -29,7 +29,7 @@
 
 use crate::json::Json;
 use crate::protocol::{err_response, ok_response, Request, SubmitSpec};
-use crate::state::{Core, JobRecord, JobStatus, ServerState};
+use crate::state::{Core, JobRecord, JobStatus, ResponsePlan, ServerState};
 use fastsim_core::{run_single, BatchJob, HierarchyConfig, JobFailure, JobReport};
 use fastsim_workloads::Manifest;
 use std::io::{BufRead, BufReader, Write};
@@ -61,6 +61,8 @@ pub struct ServeConfig {
     pub max_attempts: u32,
     /// Backoff before retry k is `backoff_base · 2^(k−1)`.
     pub backoff_base: Duration,
+    /// Server-side fault injection (`None`: no chaos — production mode).
+    pub chaos: Option<ChaosConfig>,
 }
 
 impl Default for ServeConfig {
@@ -72,7 +74,39 @@ impl Default for ServeConfig {
             default_timeout: Some(Duration::from_secs(120)),
             max_attempts: 3,
             backoff_base: Duration::from_millis(20),
+            chaos: None,
         }
+    }
+}
+
+/// Seeded server-side fault injection for chaos testing.
+///
+/// Every fault decision is a roll of one deterministic [`fastsim_prng`]
+/// stream (thread interleaving still varies which *request* gets which
+/// roll, but fault density is reproducible). Rates are per-mille (‰):
+/// `150` means 15 % of rolls fire. Faults only ever affect transport and
+/// worker attempts — never admitted state or the shared caches — so every
+/// invariant the serving runbook promises must survive any chaos rate.
+#[derive(Clone, Copy, Debug)]
+pub struct ChaosConfig {
+    /// Seed of the fault-decision stream.
+    pub seed: u64,
+    /// Per-mille chance a response line is silently dropped (connection
+    /// closed without answering).
+    pub drop_per_mille: u32,
+    /// Per-mille chance a response line is truncated mid-line (partial
+    /// bytes, no trailing newline, then the connection closes).
+    pub truncate_per_mille: u32,
+    /// Per-mille chance a worker attempt panics mid-job (on top of any
+    /// per-job `chaos_panics` the client requested).
+    pub panic_per_mille: u32,
+}
+
+impl ChaosConfig {
+    /// A moderate default storm: 15 % drops, 10 % truncations, 10 %
+    /// worker panics.
+    pub fn moderate(seed: u64) -> ChaosConfig {
+        ChaosConfig { seed, drop_per_mille: 150, truncate_per_mille: 100, panic_per_mille: 100 }
     }
 }
 
@@ -132,6 +166,14 @@ impl ServerHandle {
         self.unix_path.as_deref()
     }
 
+    /// Stops fault injection (a no-op on a server without
+    /// [`ServeConfig::chaos`]). Quiescing is how a chaos harness switches
+    /// from "survive the storm" to "verify clean behavior": the chaos
+    /// counters and the final metrics dump keep the storm's evidence.
+    pub fn quiesce_chaos(&self) {
+        self.state.set_chaos_enabled(false);
+    }
+
     /// Blocks until the server stops (a client sent `shutdown`), joins the
     /// listener and worker threads, removes the Unix socket file, and
     /// returns the final metrics dump ([`crate::metrics::SCHEMA`]).
@@ -143,11 +185,7 @@ impl ServerHandle {
             let _ = std::fs::remove_file(path);
         }
         let core = self.state.core.lock().unwrap();
-        self.state.metrics.dump(
-            core.queue.len() as u64,
-            core.queue.parked_len() as u64,
-            core.in_flight as u64,
-        )
+        dump_metrics(&self.state, &core)
     }
 }
 
@@ -280,22 +318,38 @@ fn handle_connection<R: BufRead, W: Write>(state: &Arc<ServerState>, mut reader:
             Ok(Request::Drain) => (handle_drain(state), false),
             Ok(Request::Shutdown) => (handle_shutdown(state), true),
         };
-        if writer.write_all(format!("{response}\n").as_bytes()).is_err() || writer.flush().is_err()
-        {
+        let framed = format!("{response}\n");
+        // Transport chaos: a closing response (`shutdown`) is always
+        // delivered — the server is stopping, so a retry could never
+        // reconnect to learn the outcome.
+        let plan = if close { ResponsePlan::Deliver } else { state.chaos_response_plan() };
+        let bytes: &[u8] = match plan {
+            ResponsePlan::Deliver => framed.as_bytes(),
+            ResponsePlan::Drop => return,
+            ResponsePlan::Truncate => &framed.as_bytes()[..framed.len() / 2],
+        };
+        if writer.write_all(bytes).is_err() || writer.flush().is_err() {
             return;
         }
-        if close {
+        if plan == ResponsePlan::Truncate || close {
             return;
         }
     }
 }
 
 fn dump_metrics(state: &ServerState, core: &Core) -> Json {
-    state.metrics.dump(
+    let dump = state.metrics.dump(
         core.queue.len() as u64,
         core.queue.parked_len() as u64,
         core.in_flight as u64,
-    )
+    );
+    match (dump, state.chaos_json()) {
+        (Json::Obj(mut pairs), Some(chaos)) => {
+            pairs.push(("chaos".to_string(), chaos));
+            Json::Obj(pairs)
+        }
+        (dump, _) => dump,
+    }
 }
 
 fn handle_poll(state: &Arc<ServerState>, job: u64) -> Json {
@@ -479,7 +533,8 @@ fn worker_loop(state: &Arc<ServerState>) {
                 let record = core.jobs.get_mut(&entry.id).expect("queued jobs have records");
                 record.status = JobStatus::Running;
                 record.attempts += 1;
-                let chaos = record.attempts <= record.chaos_panics;
+                let chaos =
+                    record.attempts <= record.chaos_panics || state.chaos_roll_panic();
                 let job = record.job.take().expect("queued jobs carry their BatchJob");
                 let deadline = record.timeout.map(|t| Instant::now() + t);
                 let fingerprint = record.fingerprint;

@@ -3,10 +3,12 @@
 //! on. Not part of the public API — the server module owns the only
 //! instance.
 
+use crate::json::Json;
 use crate::metrics::Metrics;
 use crate::queue::{JobQueue, QueueEntry};
 use crate::server::ServeConfig;
 use fastsim_core::{BatchDriver, BatchJob, JobReport, WarmCacheSnapshot};
+use fastsim_prng::Rng;
 use std::collections::HashMap;
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -131,6 +133,33 @@ impl Core {
     }
 }
 
+/// The seeded fault-injection state (leaf lock: taken only for a roll or
+/// a counter read, never while waiting on anything else).
+pub struct ChaosState {
+    /// The deterministic fault-decision stream.
+    pub rng: Rng,
+    /// Rolls fire only while enabled; `quiesce` flips this off so
+    /// post-chaos verification runs clean.
+    pub enabled: bool,
+    /// Responses dropped so far.
+    pub drops: u64,
+    /// Responses truncated so far.
+    pub truncations: u64,
+    /// Worker panics injected so far.
+    pub panics: u64,
+}
+
+/// What the connection handler should do with a response line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ResponsePlan {
+    /// Write the full line (the only plan without chaos).
+    Deliver,
+    /// Close the connection without writing anything.
+    Drop,
+    /// Write a prefix of the line (no trailing newline), then close.
+    Truncate,
+}
+
 /// The server's shared state: the core behind its lock, the condvars, the
 /// metrics registry, and the immutable config.
 pub struct ServerState {
@@ -144,11 +173,22 @@ pub struct ServerState {
     pub metrics: Metrics,
     /// Server configuration.
     pub cfg: ServeConfig,
+    /// Fault injection, when the config asked for chaos.
+    pub chaos: Option<Mutex<ChaosState>>,
 }
 
 impl ServerState {
     /// Fresh state for a server with the given config.
     pub fn new(cfg: ServeConfig) -> ServerState {
+        let chaos = cfg.chaos.map(|c| {
+            Mutex::new(ChaosState {
+                rng: Rng::new(c.seed),
+                enabled: true,
+                drops: 0,
+                truncations: 0,
+                panics: 0,
+            })
+        });
         ServerState {
             core: Mutex::new(Core {
                 queue: JobQueue::new(cfg.queue_capacity),
@@ -164,7 +204,65 @@ impl ServerState {
             done: Condvar::new(),
             metrics: Metrics::new(),
             cfg,
+            chaos,
         }
+    }
+
+    /// Rolls the transport fault dice for one response line.
+    pub fn chaos_response_plan(&self) -> ResponsePlan {
+        let (Some(chaos), Some(cfg)) = (&self.chaos, &self.cfg.chaos) else {
+            return ResponsePlan::Deliver;
+        };
+        let mut c = chaos.lock().unwrap();
+        if !c.enabled {
+            return ResponsePlan::Deliver;
+        }
+        let roll = c.rng.range_u64(0..1000) as u32;
+        if roll < cfg.drop_per_mille {
+            c.drops += 1;
+            ResponsePlan::Drop
+        } else if roll < cfg.drop_per_mille + cfg.truncate_per_mille {
+            c.truncations += 1;
+            ResponsePlan::Truncate
+        } else {
+            ResponsePlan::Deliver
+        }
+    }
+
+    /// Rolls the worker-panic dice for one job attempt.
+    pub fn chaos_roll_panic(&self) -> bool {
+        let (Some(chaos), Some(cfg)) = (&self.chaos, &self.cfg.chaos) else {
+            return false;
+        };
+        let mut c = chaos.lock().unwrap();
+        if !c.enabled || c.rng.range_u64(0..1000) as u32 >= cfg.panic_per_mille {
+            return false;
+        }
+        c.panics += 1;
+        true
+    }
+
+    /// Turns fault injection on or off (counters and the rng stream keep
+    /// their state). No-op on a server without chaos.
+    pub fn set_chaos_enabled(&self, enabled: bool) {
+        if let Some(chaos) = &self.chaos {
+            chaos.lock().unwrap().enabled = enabled;
+        }
+    }
+
+    /// The chaos counters as a JSON object, when chaos is configured —
+    /// appended to metrics dumps so a storm can prove faults actually
+    /// fired.
+    pub fn chaos_json(&self) -> Option<Json> {
+        self.chaos.as_ref().map(|chaos| {
+            let c = chaos.lock().unwrap();
+            Json::obj([
+                ("enabled", Json::Bool(c.enabled)),
+                ("drops", Json::from(c.drops)),
+                ("truncations", Json::from(c.truncations)),
+                ("panics_injected", Json::from(c.panics)),
+            ])
+        })
     }
 
     /// Admits one expanded job under the scheduler lock: assigns an id,

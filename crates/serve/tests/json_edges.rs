@@ -1,0 +1,124 @@
+//! Edge-case tests for the hand-rolled JSON module: truncated documents,
+//! malformed escapes, oversized numbers, and partial/garbled frames
+//! against a live server (the line-reassembly path the protocol depends
+//! on).
+
+use fastsim_serve::json::Json;
+
+#[test]
+fn every_truncated_prefix_is_rejected_without_panicking() {
+    let full = r#"{"op": "submit", "kernels": ["compress", "vortex"], "insts": 20000, "wait": true, "nested": {"a": [1, 2.5, -3e2, null, "A😀 end"]}}"#;
+    assert!(Json::parse(full).is_ok(), "the full document parses");
+    for cut in (0..full.len()).filter(|&c| full.is_char_boundary(c)) {
+        let prefix = &full[..cut];
+        assert!(
+            Json::parse(prefix).is_err(),
+            "truncated prefix of {cut} bytes must be rejected: {prefix:?}"
+        );
+    }
+}
+
+#[test]
+fn malformed_escapes_are_rejected() {
+    let bad = [
+        r#""\x""#,           // unknown escape
+        r#""\""#,            // escape at end of input
+        r#""\u12""#,         // short \u escape
+        r#""\u12zz""#,       // non-hex \u digits
+        r#""\ud800""#,       // lone high surrogate
+        r#""\ud800A""#, // high surrogate followed by a non-surrogate
+        r#""\ud800\ud800""#, // high surrogate followed by another high
+        r#""\udc00""#,       // lone low surrogate
+        "\"abc",             // unterminated string
+        "\"a\u{1}b\"",       // raw control byte inside a string
+    ];
+    for text in bad {
+        assert!(Json::parse(text).is_err(), "must reject {text:?}");
+    }
+    // The well-formed neighbors of those cases still parse.
+    assert_eq!(Json::parse(r#""😀""#).unwrap(), Json::Str("😀".to_string()));
+    assert_eq!(Json::parse(r#""A""#).unwrap(), Json::Str("A".to_string()));
+}
+
+#[test]
+fn oversized_numbers_are_rejected_not_infinity() {
+    // f64 overflow must be a parse error, not an Infinity that later
+    // serializes as null.
+    for text in ["1e309", "-1e309", "1e999", "123e99999"] {
+        assert!(Json::parse(text).is_err(), "must reject {text:?}");
+    }
+    // The largest representable magnitudes still parse.
+    assert!(Json::parse("1e308").unwrap().as_f64().unwrap().is_finite());
+    assert!(Json::parse("-1.7976931348623157e308").unwrap().as_f64().unwrap().is_finite());
+
+    // Integers beyond 2^53 parse (as an approximate f64) but refuse to
+    // pose as exact u64 counters.
+    let huge = Json::parse("123456789012345678901234567890").unwrap();
+    assert!(huge.as_f64().is_some());
+    assert_eq!(huge.as_u64(), None, "beyond-2^53 integers are not exact");
+    assert_eq!(Json::parse("9007199254740992").unwrap().as_u64(), Some(1 << 53));
+    assert_eq!(Json::parse("-1").unwrap().as_u64(), None);
+    assert_eq!(Json::parse("1.5").unwrap().as_u64(), None);
+
+    // A non-finite value constructed in code still serializes as null
+    // (and therefore never round-trips back to a number).
+    assert_eq!(Json::Num(f64::INFINITY).to_string(), "null");
+    assert_eq!(Json::Num(f64::NAN).to_string(), "null");
+}
+
+/// Partial frames interleaved across two connections: the server must
+/// reassemble each connection's line independently, and a garbage line
+/// must produce an error response without poisoning the connection.
+#[cfg(unix)]
+#[test]
+fn interleaved_partial_frames_against_a_live_server() {
+    use fastsim_serve::server::{Listener, ServeConfig, Server};
+    use std::io::{BufRead, BufReader, Write};
+    use std::os::unix::net::UnixStream;
+
+    let socket = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("json_edges.sock");
+    let listener = Listener::unix(&socket).expect("bind test socket");
+    let handle = Server::start(ServeConfig::default(), vec![listener]);
+
+    let request = |stream: &mut UnixStream, reader: &mut BufReader<UnixStream>, line: &str| {
+        stream.write_all(format!("{line}\n").as_bytes()).unwrap();
+        stream.flush().unwrap();
+        let mut response = String::new();
+        reader.read_line(&mut response).unwrap();
+        Json::parse(response.trim()).expect("server answers valid JSON")
+    };
+    let connect = || {
+        let stream = UnixStream::connect(&socket).expect("connect");
+        let reader = BufReader::new(stream.try_clone().unwrap());
+        (stream, reader)
+    };
+
+    let (mut a, mut a_reader) = connect();
+    let (mut b, mut b_reader) = connect();
+
+    // Half a ping on A, then a complete request on B: B must answer while
+    // A's partial line sits buffered.
+    a.write_all(b"{\"op\": \"pi").unwrap();
+    a.flush().unwrap();
+    let b_resp = request(&mut b, &mut b_reader, "{\"op\": \"ping\"}");
+    assert_eq!(b_resp.get("ok").and_then(Json::as_bool), Some(true));
+
+    // Finish A's line: the reassembled request must succeed.
+    a.write_all(b"ng\"}\n").unwrap();
+    a.flush().unwrap();
+    let mut response = String::new();
+    a_reader.read_line(&mut response).unwrap();
+    let a_resp = Json::parse(response.trim()).unwrap();
+    assert_eq!(a_resp.get("ok").and_then(Json::as_bool), Some(true));
+
+    // Garbage, then a valid request, on the same connection: the error
+    // response must not poison the line stream.
+    let garbage = request(&mut a, &mut a_reader, "{\"op\": \"sub");
+    assert_eq!(garbage.get("ok").and_then(Json::as_bool), Some(false));
+    let recovered = request(&mut a, &mut a_reader, "{\"op\": \"ping\"}");
+    assert_eq!(recovered.get("ok").and_then(Json::as_bool), Some(true));
+
+    let stopped = request(&mut b, &mut b_reader, "{\"op\": \"shutdown\"}");
+    assert_eq!(stopped.get("ok").and_then(Json::as_bool), Some(true));
+    handle.wait();
+}

@@ -16,7 +16,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> cargo doc (rustdoc -D warnings on the missing_docs-gated crates)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
-    -p fastsim-core -p fastsim-memo -p fastsim-serve
+    -p fastsim-core -p fastsim-memo -p fastsim-serve -p fastsim-fuzz
 
 echo "==> docs link check"
 scripts/check_links.sh
@@ -122,5 +122,45 @@ for key in '"schema": "fastsim-serve-metrics/v1"' '"submitted": 8' \
     }
 done
 echo "==> serve smoke passed ($SERVE_METRICS)"
+
+echo "==> fuzz smoke: 500 generated kernels through the differential oracle"
+# Fixed seed, fully offline: replay the checked-in fuzz/corpus/ golden
+# seeds, then generate 500 random kernels and require bit-identical
+# fast==slow statistics across all hierarchy presets × GC policies ×
+# hotness thresholds, plus the freeze/thaw/merge lifecycle. Failures
+# would be shrunk to replayable reproducers under target/fuzz_failures/.
+FUZZ_OUT="target/fuzz_smoke.json"
+cargo run --release -q -p fastsim-fuzz --bin fuzz_smoke -- \
+    --seed 0xf00dfeed --kernels 500 --corpus fuzz/corpus --out "$FUZZ_OUT"
+for key in '"schema": "fastsim-fuzz-smoke/v1"' '"kernels": 500' \
+    '"presets": ["table1", "three-level", "tiny-l1"]' \
+    '"corpus_replayed": 16' '"failures": 0' '"runs"' '"retired_insts"'; do
+    grep -qF "$key" "$FUZZ_OUT" || {
+        echo "fuzz smoke: missing $key in $FUZZ_OUT" >&2
+        exit 1
+    }
+done
+echo "==> fuzz smoke passed ($FUZZ_OUT)"
+
+echo "==> chaos smoke: seeded fault storm against a live server"
+# Server-side fault injection (response drops, truncations, worker
+# panics) under a seeded client storm (malformed/partial frames,
+# deadline storms). Gates: every admitted job settles, the metrics dump
+# stays schema-valid, faults actually fired, and post-chaos results are
+# bit-identical to an offline batch run.
+CHAOS_OUT="target/chaos_smoke.json"
+cargo run --release -q -p fastsim-fuzz --bin chaos_smoke -- \
+    --seed 0xc4a050de --socket target/ci_chaos.sock --out "$CHAOS_OUT" \
+    2> target/chaos_smoke.log
+for key in '"schema": "fastsim-chaos-smoke/v1"' '"all_settled": true' \
+    '"metrics_schema_ok": true' '"post_chaos_identical": true' \
+    '"ok": true' '"malformed_rejected"' '"partial_frames_ok"' \
+    '"faults_injected"' '"transport_retries"'; do
+    grep -qF "$key" "$CHAOS_OUT" || {
+        echo "chaos smoke: missing $key in $CHAOS_OUT" >&2
+        exit 1
+    }
+done
+echo "==> chaos smoke passed ($CHAOS_OUT)"
 
 echo "==> tier-1 gate passed"

@@ -1,227 +1,44 @@
 //! Randomized equivalence testing on generated programs, driven by the
-//! vendored deterministic PRNG (`fastsim-prng`) so the suite runs fully
-//! offline with no crates.io dependencies.
+//! `fastsim-fuzz` kernel generator and its differential oracle so the
+//! suite runs fully offline with no crates.io dependencies.
 //!
-//! Random (but structurally terminating) programs exercise arbitrary
+//! Random (but structurally terminating) kernels exercise arbitrary
 //! interleavings of ALU work, long-latency divides, FP arithmetic, memory
-//! traffic, data-dependent forward branches, calls/returns and loop
-//! back-edges. For every generated program we require:
+//! strides, data-dependent forward branches, calls/returns and loop
+//! nests. For every generated kernel, [`fastsim_fuzz::check`] requires
+//! across **all three hierarchy presets** (`table1`, `three-level`,
+//! `tiny-l1`):
 //!
 //! * FastSim (memoized) and SlowSim (memoization off) report *identical*
-//!   cycle counts, retirement counts and cache statistics;
-//! * a tightly limited, flushing p-action cache also changes nothing;
+//!   cycle counts, retirement counts, cache and per-level statistics —
+//!   under every GC policy and at both hotness thresholds;
+//! * two identical fast runs are bit-identical (`SimStats` and
+//!   `MemoStats`) — run-to-run determinism;
+//! * the freeze/thaw/merge batch lifecycle reproduces the same stats;
 //! * program output matches the plain functional emulator.
 //!
-//! Every case prints its seed on failure; `Rng::new(seed)` replays it.
+//! Every case prints its seed on failure; the same seed replays it, and
+//! `fuzz_smoke` can shrink it to a minimal reproducer.
 
-use fastsim::core::{Mode, Policy, Simulator};
-use fastsim::emu::FuncEmulator;
-use fastsim::isa::{Asm, Program, Reg};
-use fastsim_prng::{for_each_case, Rng};
-use std::rc::Rc;
-
-const DATA: u32 = 0x0010_0000;
-
-/// One operation in a generated loop body.
-#[derive(Clone, Debug)]
-enum BodyOp {
-    Alu { sel: u8, rd: u8, rs1: u8, rs2: u8 },
-    AluImm { sel: u8, rd: u8, rs1: u8, imm: i16 },
-    Div { rd: u8, rs1: u8, rs2: u8 },
-    Load { rd: u8, off: u16 },
-    Store { rs: u8, off: u16 },
-    Fp { sel: u8, fd: u8, fs1: u8, fs2: u8 },
-    FLoad { fd: u8, off: u16 },
-    FStore { fs: u8, off: u16 },
-    /// Conditional forward branch skipping `skip + 1` filler adds.
-    Branch { cond: u8, rs1: u8, rs2: u8, skip: u8 },
-    Call { which: bool },
-    Out { rs: u8 },
-}
-
-/// Scratch registers available to generated code (r10/r11/r26 reserved).
-fn reg(sel: u8) -> Reg {
-    Reg::new(1 + sel % 9)
-}
-
-fn emit(a: &mut Asm, op: &BodyOp, uniq: usize) {
-    match *op {
-        BodyOp::Alu { sel, rd, rs1, rs2 } => {
-            let (rd, rs1, rs2) = (reg(rd), reg(rs1), reg(rs2));
-            match sel % 8 {
-                0 => a.add(rd, rs1, rs2),
-                1 => a.sub(rd, rs1, rs2),
-                2 => a.xor(rd, rs1, rs2),
-                3 => a.and(rd, rs1, rs2),
-                4 => a.or(rd, rs1, rs2),
-                5 => a.mul(rd, rs1, rs2),
-                6 => a.slt(rd, rs1, rs2),
-                _ => a.sltu(rd, rs1, rs2),
-            };
-        }
-        BodyOp::AluImm { sel, rd, rs1, imm } => {
-            let (rd, rs1) = (reg(rd), reg(rs1));
-            match sel % 5 {
-                0 => a.addi(rd, rs1, imm as i32),
-                1 => a.xori(rd, rs1, (imm as i32) & 0xffff),
-                2 => a.slli(rd, rs1, (imm as i32) & 31),
-                3 => a.srai(rd, rs1, (imm as i32) & 31),
-                _ => a.slti(rd, rs1, imm as i32),
-            };
-        }
-        BodyOp::Div { rd, rs1, rs2 } => {
-            a.div(reg(rd), reg(rs1), reg(rs2));
-        }
-        BodyOp::Load { rd, off } => {
-            a.lw(reg(rd), Reg::R26, (off & 0x3fc) as i32);
-        }
-        BodyOp::Store { rs, off } => {
-            a.sw(reg(rs), Reg::R26, (off & 0x3fc) as i32);
-        }
-        BodyOp::Fp { sel, fd, fs1, fs2 } => {
-            let (fd, fs1, fs2) = (fd % 8, fs1 % 8, fs2 % 8);
-            match sel % 5 {
-                0 => a.fadd(fd, fs1, fs2),
-                1 => a.fsub(fd, fs1, fs2),
-                2 => a.fmul(fd, fs1, fs2),
-                3 => a.fabs(fd, fs1),
-                _ => a.fmov(fd, fs1),
-            };
-        }
-        BodyOp::FLoad { fd, off } => {
-            a.fld(fd % 8, Reg::R26, (off & 0x3f8) as i32);
-        }
-        BodyOp::FStore { fs, off } => {
-            a.fst(fs % 8, Reg::R26, (off & 0x3f8) as i32);
-        }
-        BodyOp::Branch { cond, rs1, rs2, skip } => {
-            let label = format!("skip_{uniq}");
-            let (rs1, rs2) = (reg(rs1), reg(rs2));
-            match cond % 4 {
-                0 => a.beq(rs1, rs2, &label),
-                1 => a.bne(rs1, rs2, &label),
-                2 => a.blt(rs1, rs2, &label),
-                _ => a.bge(rs1, rs2, &label),
-            };
-            for i in 0..=(skip % 2) {
-                a.addi(reg(i), reg(i), 1);
-            }
-            a.label(&label);
-        }
-        BodyOp::Call { which } => {
-            a.call(if which { "leaf_a" } else { "leaf_b" });
-        }
-        BodyOp::Out { rs } => {
-            a.out(reg(rs));
-        }
-    }
-}
-
-fn build_program(iters: u32, body: &[BodyOp]) -> Program {
-    let mut a = Asm::new();
-    a.data_words(DATA, &(0..256u32).map(|i| i.wrapping_mul(2654435761)).collect::<Vec<_>>());
-    a.li(Reg::R26, DATA);
-    for i in 0..9u8 {
-        a.addi(reg(i), Reg::R0, i as i32 * 3 + 1);
-    }
-    a.li(Reg::R11, iters);
-    a.label("loop");
-    for (i, op) in body.iter().enumerate() {
-        emit(&mut a, op, i);
-    }
-    a.subi(Reg::R11, Reg::R11, 1);
-    a.bne(Reg::R11, Reg::R0, "loop");
-    for i in 0..9u8 {
-        a.out(reg(i));
-    }
-    a.halt();
-    // Leaf subroutines (indirect returns exercise the BTB).
-    a.label("leaf_a");
-    a.addi(Reg::R1, Reg::R1, 5);
-    a.xor(Reg::R2, Reg::R2, Reg::R1);
-    a.ret();
-    a.label("leaf_b");
-    a.mul(Reg::R3, Reg::R3, Reg::R3);
-    a.andi(Reg::R3, Reg::R3, 0xff);
-    a.ret();
-    a.assemble().expect("generated program assembles")
-}
-
-fn random_body_op(rng: &mut Rng) -> BodyOp {
-    match rng.range_u32(0..11) {
-        0 => BodyOp::Alu {
-            sel: rng.next_u8(),
-            rd: rng.next_u8(),
-            rs1: rng.next_u8(),
-            rs2: rng.next_u8(),
-        },
-        1 => BodyOp::AluImm {
-            sel: rng.next_u8(),
-            rd: rng.next_u8(),
-            rs1: rng.next_u8(),
-            imm: rng.next_i16(),
-        },
-        2 => BodyOp::Div { rd: rng.next_u8(), rs1: rng.next_u8(), rs2: rng.next_u8() },
-        3 => BodyOp::Load { rd: rng.next_u8(), off: rng.next_u32() as u16 },
-        4 => BodyOp::Store { rs: rng.next_u8(), off: rng.next_u32() as u16 },
-        5 => BodyOp::Fp {
-            sel: rng.next_u8(),
-            fd: rng.next_u8(),
-            fs1: rng.next_u8(),
-            fs2: rng.next_u8(),
-        },
-        6 => BodyOp::FLoad { fd: rng.next_u8(), off: rng.next_u32() as u16 },
-        7 => BodyOp::FStore { fs: rng.next_u8(), off: rng.next_u32() as u16 },
-        8 => BodyOp::Branch {
-            cond: rng.next_u8(),
-            rs1: rng.next_u8(),
-            rs2: rng.next_u8(),
-            skip: rng.next_u8(),
-        },
-        9 => BodyOp::Call { which: rng.next_bool() },
-        _ => BodyOp::Out { rs: rng.next_u8() },
-    }
-}
+use fastsim_fuzz::{check, KernelSpec, OracleConfig};
+use fastsim_prng::for_each_case;
 
 #[test]
-fn random_fastsim_is_exact() {
-    for_each_case(0xfa575104, 48, |seed, rng| {
-        let iters = rng.range_u32(3..40);
-        let body: Vec<BodyOp> =
-            (0..rng.range_usize(1..24)).map(|_| random_body_op(rng)).collect();
-        let program = build_program(iters, &body);
-
-        let prog = Rc::new(program.predecode().unwrap());
-        let mut func = FuncEmulator::new(prog, &program);
-        func.run(10_000_000);
-        assert!(func.halted(), "seed {seed:#x}");
-
-        let mut fast = Simulator::new(&program, Mode::fast()).unwrap();
-        let mut slow = Simulator::new(&program, Mode::Slow).unwrap();
-        let mut tiny = Simulator::new(
-            &program,
-            Mode::Fast { policy: Policy::FlushOnFull { limit: 1 << 10 } },
-        )
-        .unwrap();
-        fast.run_to_completion().unwrap();
-        slow.run_to_completion().unwrap();
-        tiny.run_to_completion().unwrap();
-
-        assert_eq!(fast.stats().cycles, slow.stats().cycles, "seed {seed:#x}");
-        assert_eq!(fast.stats().retired_insts, slow.stats().retired_insts, "seed {seed:#x}");
-        assert_eq!(fast.stats().retired_loads, slow.stats().retired_loads, "seed {seed:#x}");
-        assert_eq!(fast.stats().retired_stores, slow.stats().retired_stores, "seed {seed:#x}");
-        assert_eq!(
-            fast.stats().retired_branches,
-            slow.stats().retired_branches,
-            "seed {seed:#x}"
-        );
-        assert_eq!(fast.cache_stats(), slow.cache_stats(), "seed {seed:#x}");
-        assert_eq!(fast.output(), slow.output(), "seed {seed:#x}");
-        assert_eq!(fast.output(), func.output(), "seed {seed:#x}");
-        assert_eq!(fast.stats().retired_insts, func.insts(), "seed {seed:#x}");
-
-        assert_eq!(tiny.stats().cycles, slow.stats().cycles, "seed {seed:#x}");
-        assert_eq!(tiny.output(), slow.output(), "seed {seed:#x}");
+fn random_fastsim_is_exact_across_presets() {
+    let cfg = OracleConfig::thorough();
+    let mut runs = 0u64;
+    for_each_case(0xfa575104, 24, |seed, rng| {
+        let spec = KernelSpec::generate(seed, rng);
+        match check(&spec, &cfg) {
+            Ok(summary) => runs += summary.runs,
+            Err(failure) => panic!(
+                "seed {seed:#x}: {failure}\nreplayable kernel:\n{}",
+                spec.to_text()
+            ),
+        }
     });
+    // 24 kernels × (1 slow + 8 fast + 2 determinism reruns) × 3 presets,
+    // plus the first-preset batch lifecycle — the sweep really covered
+    // the whole matrix.
+    assert!(runs >= 24 * 3 * 9, "expected a full matrix sweep, got {runs} runs");
 }

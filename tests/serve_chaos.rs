@@ -1,0 +1,81 @@
+//! Serve-path chaos integration test: seeded server-side fault injection
+//! (response drops, mid-line truncations, worker panics) under a seeded
+//! client storm (malformed frames, partial frames, deadline storms),
+//! then the settled-state invariants and the no-cache-poisoning gate.
+
+#![cfg(unix)]
+
+use fastsim_fuzz::chaos::{
+    drain_and_verify, post_chaos_identity, run_storm, RetryClient, StormConfig,
+};
+use fastsim_serve::json::Json;
+use fastsim_serve::server::{ChaosConfig, Listener, ServeConfig, Server};
+use std::path::Path;
+use std::time::Duration;
+
+#[test]
+fn chaos_storm_settles_and_never_poisons_the_caches() {
+    let seed = 0x5eed_c4a0_5000_0001;
+    let socket = Path::new(env!("CARGO_TARGET_TMPDIR")).join("serve_chaos.sock");
+    let cfg = ServeConfig {
+        workers: 2,
+        refreeze_every: 2,
+        backoff_base: Duration::from_millis(5),
+        chaos: Some(ChaosConfig::moderate(seed)),
+        ..ServeConfig::default()
+    };
+    let handle = Server::start(cfg, vec![Listener::unix(&socket).expect("bind test socket")]);
+
+    // Storm the server while its fault injection is live. Smaller than
+    // the CI smoke — this runs in the debug test suite.
+    let storm = run_storm(
+        &socket,
+        seed ^ 0xdead,
+        &StormConfig {
+            submissions: 12,
+            malformed: 4,
+            partial_frames: 3,
+            deadline_storm: 2,
+            insts: 5_000,
+        },
+    );
+    assert!(storm.admitted > 0, "the storm admitted nothing");
+    assert_eq!(storm.malformed_rejected, 4, "every malformed line draws an error response");
+    assert_eq!(storm.partial_frames_ok, 3, "partial frames reassemble");
+
+    // Invariants with chaos still live: everything settles, the metrics
+    // dump stays schema-valid, totals balance.
+    let metrics = drain_and_verify(&socket).expect("settled-state invariants hold");
+    let chaos = metrics.get("chaos").expect("chaos counters in the dump");
+    let fired: u64 = ["drops", "truncations", "panics_injected"]
+        .iter()
+        .filter_map(|k| chaos.get(k).and_then(Json::as_u64))
+        .sum();
+    assert!(fired > 0, "no faults fired — the chaos config was not live: {chaos}");
+
+    // Quiesce, then demand bit-identity with an offline batch run.
+    handle.quiesce_chaos();
+    post_chaos_identity(&socket, 5_000).expect("post-chaos results bit-identical to offline");
+
+    // Shut down; the final dump still carries the storm's evidence.
+    let mut client = RetryClient::new(&socket);
+    let stopped = client.request(&Json::obj([("op", Json::from("shutdown"))]));
+    assert_eq!(stopped.get("ok").and_then(Json::as_bool), Some(true));
+    let final_dump = handle.wait();
+    assert_eq!(
+        final_dump.get("schema").and_then(Json::as_str),
+        Some(fastsim_serve::metrics::SCHEMA)
+    );
+    let final_chaos = final_dump.get("chaos").expect("chaos counters survive shutdown");
+    assert_eq!(
+        final_chaos.get("enabled").and_then(Json::as_bool),
+        Some(false),
+        "chaos stays quiesced"
+    );
+    let submitted = final_dump.get("submitted").and_then(Json::as_u64).unwrap();
+    let settled = ["completed", "failed", "quarantined"]
+        .iter()
+        .filter_map(|k| final_dump.get(k).and_then(Json::as_u64))
+        .sum::<u64>();
+    assert_eq!(submitted, settled, "all admitted jobs settled exactly once");
+}
