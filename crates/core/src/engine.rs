@@ -832,12 +832,26 @@ impl Simulator {
     /// configuration's chain is flattened into a linear replay segment
     /// once replay has entered it more than `threshold` times. `0`
     /// compiles every chain on first replay; `u32::MAX` disables trace
-    /// compilation. Purely a performance knob — simulation results and
-    /// all pre-existing statistics are bit-identical at any setting. No
-    /// effect in [`Mode::Slow`].
+    /// compilation entirely, including execution of segments revived
+    /// from a warm snapshot. Purely a performance knob — simulation
+    /// results and all pre-existing statistics are bit-identical at any
+    /// setting. No effect in [`Mode::Slow`].
     pub fn set_trace_hotness(&mut self, threshold: u32) {
         if let Some(pc) = &mut self.shared.pcache {
             pc.set_hotness_threshold(threshold);
+        }
+    }
+
+    /// Enables or disables superblock segment chaining: with chaining on
+    /// (the default), a compiled segment that exits through a carried
+    /// cold edge or cut whose target also has a compiled segment jumps
+    /// directly segment-to-segment instead of bouncing through
+    /// node-at-a-time replay. Purely a performance knob — simulation
+    /// results and all architectural statistics are bit-identical with
+    /// chaining on or off. No effect in [`Mode::Slow`].
+    pub fn set_trace_chaining(&mut self, enabled: bool) {
+        if let Some(pc) = &mut self.shared.pcache {
+            pc.set_chaining(enabled);
         }
     }
 
@@ -993,7 +1007,7 @@ impl Simulator {
             // chains not hot yet) a new fallback anchor.
             if pc.is_config_head(cursor) {
                 if let Some(seg) = pc.trace_enter(cursor) {
-                    match self.run_segment(pc, &seg, budget_end)? {
+                    match self.run_segment(pc, seg, budget_end)? {
                         SegExit::Continue(n) => {
                             // The segment ended (chain cut or a carried cold
                             // edge): resume node-at-a-time where it left off,
@@ -1128,15 +1142,22 @@ impl Simulator {
         }
     }
 
-    /// Executes one compiled trace segment: a linear op scan with no
+    /// Executes compiled trace segments: a linear op scan with no
     /// per-action node lookups. Every statistic, resume-state update and
     /// `accessed` mark is performed exactly as the node-at-a-time loop
     /// would for the same logical actions — segment execution is
     /// observably bit-identical to walking the chain.
+    ///
+    /// A carried cold edge or a cut does not necessarily end execution:
+    /// when the exit target has (or, for hot mid-chain targets, earns) a
+    /// compiled segment of its own, execution *chains* — swaps in the
+    /// target's segment and keeps scanning — so hot loops and call/return
+    /// ladders run segment-to-segment without bouncing through the
+    /// node-at-a-time loop (see `PActionCache::chain_enter`).
     fn run_segment(
         &mut self,
         pc: &mut PActionCache,
-        seg: &TraceSegment,
+        mut seg: Arc<TraceSegment>,
         budget_end: u64,
     ) -> Result<SegExit, SimError> {
         let mut ip = 0usize;
@@ -1161,30 +1182,49 @@ impl Simulator {
                 }
             };
         }
+        // A cold-edge or cut exit whose target chains into another
+        // compiled segment swaps `seg` and restarts the scan there; the
+        // deferred anchor (`last_anchor`) deliberately survives the swap —
+        // the *last* crossing's configuration is still the only one a
+        // later fallback or pause can read, exactly as node-at-a-time.
+        macro_rules! chain_or_exit {
+            ($n:expr) => {
+                match pc.chain_enter($n) {
+                    Some(next) => {
+                        seg = next;
+                        ip = 0;
+                    }
+                    None => break Ok(SegExit::Continue($n)),
+                }
+            };
+        }
         let result = loop {
             ops_run += 1;
-            match &seg.ops[ip] {
+            // `TraceOp` is `Copy`: reading the op out lets the arms swap
+            // `seg` (chaining) without holding a borrow into it.
+            let op = seg.ops[ip];
+            match op {
                 TraceOp::Bulk { cycles, retired, count, touched, anchored } => {
-                    crossing!(*anchored, match touched.kind() {
+                    crossing!(anchored, match touched.kind() {
                         TouchedKind::Span(first) => first,
                         TouchedKind::List(start, _) => seg.touched[start as usize],
                     });
                     match touched.kind() {
-                        TouchedKind::Span(first) => pc.mark_accessed_span(first, *count),
+                        TouchedKind::Span(first) => pc.mark_accessed_span(first, count),
                         TouchedKind::List(start, len) => {
                             for &t in seg.touched_slice((start, len)) {
                                 pc.mark_accessed(t);
                             }
                         }
                     }
-                    let retired = seg.retires[*retired as usize];
-                    self.shared.stats.dynamic_actions += u64::from(*count);
-                    self.shared.stats.replayed_actions += u64::from(*count);
-                    self.chain_len += u64::from(*count);
-                    self.shared.stats.cycles += u64::from(*cycles);
-                    self.shared.stats.replayed_cycles += u64::from(*cycles);
+                    let retired = seg.retires[retired as usize];
+                    self.shared.stats.dynamic_actions += u64::from(count);
+                    self.shared.stats.replayed_actions += u64::from(count);
+                    self.chain_len += u64::from(count);
+                    self.shared.stats.cycles += u64::from(cycles);
+                    self.shared.stats.replayed_cycles += u64::from(cycles);
                     self.shared.apply_retire(retired, true);
-                    self.shared.resume.cycles += *cycles;
+                    self.shared.resume.cycles += cycles;
                     self.shared.resume.pops.add(retired);
                     if retired.insts > 0 {
                         self.last_progress = self.shared.stats.cycles;
@@ -1195,38 +1235,38 @@ impl Simulator {
                     }
                 }
                 TraceOp::IssueStore { node, sq_index, anchored } => {
-                    crossing!(*anchored, *node);
-                    pc.mark_accessed(*node);
+                    crossing!(anchored, node);
+                    pc.mark_accessed(node);
                     self.shared.stats.dynamic_actions += 1;
                     self.shared.stats.replayed_actions += 1;
                     self.chain_len += 1;
-                    self.shared.do_issue_store(*sq_index as usize);
+                    self.shared.do_issue_store(sq_index as usize);
                     self.shared.resume.responses.push_back(Buffered::Store);
                     ip += 1;
                 }
                 TraceOp::CancelLoad { node, lq_index, anchored } => {
-                    crossing!(*anchored, *node);
-                    pc.mark_accessed(*node);
+                    crossing!(anchored, node);
+                    pc.mark_accessed(node);
                     self.shared.stats.dynamic_actions += 1;
                     self.shared.stats.replayed_actions += 1;
                     self.chain_len += 1;
-                    self.shared.do_cancel_load(*lq_index as usize);
+                    self.shared.do_cancel_load(lq_index as usize);
                     self.shared.resume.responses.push_back(Buffered::Cancel);
                     ip += 1;
                 }
                 TraceOp::Rollback { node, ctrl_index, anchored } => {
-                    crossing!(*anchored, *node);
-                    pc.mark_accessed(*node);
+                    crossing!(anchored, node);
+                    pc.mark_accessed(node);
                     self.shared.stats.dynamic_actions += 1;
                     self.shared.stats.replayed_actions += 1;
                     self.chain_len += 1;
-                    let redirect = self.shared.do_rollback(*ctrl_index as usize);
+                    let redirect = self.shared.do_rollback(ctrl_index as usize);
                     self.shared.resume.responses.push_back(Buffered::Rollback(redirect));
                     ip += 1;
                 }
                 TraceOp::Fetch { node, edges, anchored } => {
-                    crossing!(*anchored, *node);
-                    pc.mark_accessed(*node);
+                    crossing!(anchored, node);
+                    pc.mark_accessed(node);
                     self.shared.stats.dynamic_actions += 1;
                     self.shared.stats.replayed_actions += 1;
                     self.chain_len += 1;
@@ -1236,61 +1276,55 @@ impl Simulator {
                     }
                     self.shared.resume.responses.push_back(Buffered::Feed(feed));
                     let key = outcome_of_feed(&feed);
-                    match dispatch(seg.edges_slice(*edges), key) {
+                    match dispatch(seg.edges_slice(edges), key) {
                         Dispatch::Hot => ip += 1,
-                        Dispatch::Cold(n) => break Ok(SegExit::Continue(n)),
-                        Dispatch::Uncarried => {
-                            break Ok(SegExit::Branch { node: *node, key })
-                        }
+                        Dispatch::Cold(n) => chain_or_exit!(n),
+                        Dispatch::Uncarried => break Ok(SegExit::Branch { node, key }),
                     }
                 }
                 TraceOp::IssueLoad { node, lq_index, edges, anchored } => {
-                    crossing!(*anchored, *node);
-                    pc.mark_accessed(*node);
+                    crossing!(anchored, node);
+                    pc.mark_accessed(node);
                     self.shared.stats.dynamic_actions += 1;
                     self.shared.stats.replayed_actions += 1;
                     self.chain_len += 1;
-                    let interval = self.shared.do_issue_load(*lq_index as usize);
+                    let interval = self.shared.do_issue_load(lq_index as usize);
                     self.shared.resume.responses.push_back(Buffered::Interval(interval));
                     let key = OutcomeKey::Interval(interval);
-                    match dispatch(seg.edges_slice(*edges), key) {
+                    match dispatch(seg.edges_slice(edges), key) {
                         Dispatch::Hot => ip += 1,
-                        Dispatch::Cold(n) => break Ok(SegExit::Continue(n)),
-                        Dispatch::Uncarried => {
-                            break Ok(SegExit::Branch { node: *node, key })
-                        }
+                        Dispatch::Cold(n) => chain_or_exit!(n),
+                        Dispatch::Uncarried => break Ok(SegExit::Branch { node, key }),
                     }
                 }
                 TraceOp::PollLoad { node, lq_index, edges, anchored } => {
-                    crossing!(*anchored, *node);
-                    pc.mark_accessed(*node);
+                    crossing!(anchored, node);
+                    pc.mark_accessed(node);
                     self.shared.stats.dynamic_actions += 1;
                     self.shared.stats.replayed_actions += 1;
                     self.chain_len += 1;
-                    let poll = self.shared.do_poll_load(*lq_index as usize);
+                    let poll = self.shared.do_poll_load(lq_index as usize);
                     self.shared.resume.responses.push_back(Buffered::Poll(poll));
                     let key = match poll {
                         LoadPoll::Ready => OutcomeKey::PollReady,
                         LoadPoll::Wait(w) => OutcomeKey::PollWait(w),
                     };
-                    match dispatch(seg.edges_slice(*edges), key) {
+                    match dispatch(seg.edges_slice(edges), key) {
                         Dispatch::Hot => ip += 1,
-                        Dispatch::Cold(n) => break Ok(SegExit::Continue(n)),
-                        Dispatch::Uncarried => {
-                            break Ok(SegExit::Branch { node: *node, key })
-                        }
+                        Dispatch::Cold(n) => chain_or_exit!(n),
+                        Dispatch::Uncarried => break Ok(SegExit::Branch { node, key }),
                     }
                 }
                 TraceOp::Finish { node, anchored } => {
-                    crossing!(*anchored, *node);
-                    pc.mark_accessed(*node);
+                    crossing!(anchored, node);
+                    pc.mark_accessed(node);
                     self.shared.stats.dynamic_actions += 1;
                     self.shared.stats.replayed_actions += 1;
                     self.chain_len += 1;
                     break Ok(SegExit::Finished);
                 }
-                TraceOp::Cut { node } => break Ok(SegExit::Continue(*node)),
-                TraceOp::Jump { op, .. } => ip = *op as usize,
+                TraceOp::Cut { node } => chain_or_exit!(node),
+                TraceOp::Jump { op, .. } => ip = op as usize,
             }
         };
         if let Some(a) = last_anchor {

@@ -2,7 +2,7 @@
 //!
 //! Replays the checked-in corpus (if given), then generates and checks a
 //! fixed-seed batch of random kernels against the full oracle matrix
-//! (all hierarchy presets × GC policies × hotness thresholds, plus the
+//! (all hierarchy presets × GC policies × replay strategies, plus the
 //! freeze/thaw/merge lifecycle), and writes a schema-tagged JSON summary
 //! for `scripts/ci.sh` to gate on.
 //!
@@ -142,8 +142,19 @@ fn main() -> ExitCode {
         ("presets", Json::Arr(cfg.presets.iter().map(|p| Json::from(p.as_str())).collect())),
         ("policies", Json::from(cfg.policies.len())),
         (
-            "hotness",
-            Json::Arr(cfg.hotness.iter().map(|&h| Json::from(u64::from(h))).collect()),
+            "replay",
+            Json::Arr(
+                cfg.replay
+                    .iter()
+                    .map(|r| {
+                        Json::from(format!(
+                            "hotness={},chain={}",
+                            r.hotness,
+                            if r.chaining { "on" } else { "off" }
+                        ))
+                    })
+                    .collect(),
+            ),
         ),
         ("runs", Json::from(runs)),
         ("retired_insts", Json::from(report.retired_insts)),

@@ -10,7 +10,8 @@
 //!    synthetic kernels (instruction mixes, branch topologies, memory
 //!    strides, loop nests); [`oracle`] runs each through the detailed
 //!    baseline and the memoized fast path across hierarchy presets, GC
-//!    policies, trace-hotness thresholds and freeze/thaw/merge cycles,
+//!    policies, replay strategies (node-at-a-time vs trace-compiled,
+//!    segment chaining off vs on) and freeze/thaw/merge cycles,
 //!    demanding bit-identical statistics; [`shrink()`] minimizes failures;
 //!    [`corpus`] persists replayable seed files into `fuzz/corpus/`.
 //! 2. **Serve-path chaos** — [`chaos`] drives a seeded fault storm
@@ -32,7 +33,9 @@ pub mod oracle;
 pub mod shrink;
 
 pub use kernel::{KernelOp, KernelSpec};
-pub use oracle::{check, CheckSummary, Failure, FaultInjection, FreezeThaw, OracleConfig};
+pub use oracle::{
+    check, CheckSummary, Failure, FaultInjection, FreezeThaw, OracleConfig, ReplayVariant,
+};
 pub use shrink::{shrink, ShrinkOutcome};
 
 use fastsim_prng::for_each_case;

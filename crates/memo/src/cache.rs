@@ -93,6 +93,18 @@ pub struct MemoStats {
     /// Segment executions that exited early back to node-at-a-time replay
     /// (a cold or unseen outcome, or a chain cut).
     pub replay_bailouts: u64,
+    /// Segment exits that continued directly into another compiled segment
+    /// through a chain link instead of bailing out to node-at-a-time
+    /// replay (superblock chaining).
+    pub chained_exits: u64,
+    /// Chained transitions that went through an already-patched chain link
+    /// — the segment→segment fast path. First-time transitions patch the
+    /// link and count only in
+    /// [`chained_exits`](MemoStats::chained_exits).
+    pub chain_follows: u64,
+    /// Compiled segments revived from a snapshot at thaw (after
+    /// fingerprint revalidation) instead of being recompiled from scratch.
+    pub segments_thawed: u64,
 }
 
 impl MemoStats {
@@ -179,6 +191,29 @@ pub struct PActionCache {
     /// Entries before a chain is compiled (see
     /// [`set_hotness_threshold`](PActionCache::set_hotness_threshold)).
     pub(crate) hotness_threshold: u32,
+    /// Chain-link stamps, parallel to `nodes`: a stamp equal to
+    /// `chain_epoch` marks a patched segment→segment link at this node —
+    /// a segment exiting through a carried cold edge (or a cut) whose
+    /// target carries this stamp continues directly in the target's
+    /// compiled segment without touching the node arena. Bumping the
+    /// epoch severs every link at once; links follow the same
+    /// flush/collect/merge discipline as the segments themselves. Not
+    /// counted in modeled cache bytes (side table, like `traces`).
+    pub(crate) chain_stamp: Vec<u32>,
+    /// The epoch `chain_stamp` entries are valid against (never `0`, so a
+    /// zeroed stamp is always unpatched).
+    pub(crate) chain_epoch: u32,
+    /// Whether segment exits may chain directly into other compiled
+    /// segments (see [`set_chaining`](PActionCache::set_chaining)).
+    pub(crate) chaining: bool,
+    /// Adaptive hotness: global replay-entry clock, paired with
+    /// `last_seen`. A head re-entered within [`crate::trace`]'s recency
+    /// window weighs more per entry, so tight replay loops promote after
+    /// a handful of entries while one-off heads never pay compile cost.
+    pub(crate) entry_clock: u32,
+    /// Per-node `entry_clock` value (plus one; `0` = never entered) at the
+    /// node's previous hotness-counted entry, parallel to `nodes`.
+    pub(crate) last_seen: Vec<u32>,
     /// Trace-compiler scratch: per-node op-start indices, valid when the
     /// stamp matches `compile_epoch`. Reused across compiles so each
     /// compile pays neither hash probes nor a per-compile clear.
@@ -212,6 +247,11 @@ impl PActionCache {
             traces: Vec::new(),
             hotness: Vec::new(),
             hotness_threshold: DEFAULT_HOTNESS_THRESHOLD,
+            chain_stamp: Vec::new(),
+            chain_epoch: 1,
+            chaining: true,
+            entry_clock: 0,
+            last_seen: Vec::new(),
             compile_stamp: Vec::new(),
             compile_op: Vec::new(),
             compile_epoch: 0,
@@ -304,6 +344,8 @@ impl PActionCache {
         self.accessed.push(true);
         self.traces.push(None);
         self.hotness.push(0);
+        self.chain_stamp.push(0);
+        self.last_seen.push(0);
         self.add_bytes(kind.modeled_bytes());
         self.stats.static_actions += 1;
         self.link_attach(id);

@@ -51,15 +51,51 @@
 //! same `accessed` bits node-at-a-time replay would — GC liveness, and
 //! therefore every downstream simulation result, is unchanged.
 //!
+//! # Superblock chaining
+//!
+//! A segment exit through a carried cold edge or a cut does not have to
+//! bounce through node-at-a-time replay:
+//! [`chain_enter`](PActionCache::chain_enter) patches a direct
+//! segment→segment link (an epoch-stamped entry in a dense side table)
+//! to the exit target's compiled segment, so hot loops and call/return
+//! ladders run segment-to-segment without touching the node arena.
+//! Targets without a segment are compiled on the spot — the
+//! next-executing-tail heuristic from dynamic binary translation:
+//! control only reaches a chain target out of an already-hot segment, so
+//! the target inherits that hotness instead of re-proving it one bailout
+//! at a time. Segments may therefore start at *any* node, not only
+//! configuration heads: a mid-chain exit target compiles its own
+//! (unanchored-entry) superblock. Chaining is purely a performance
+//! feature: the executed per-action work is identical, so simulation
+//! results and every architectural statistic are bit-identical with
+//! chaining on or off.
+//!
+//! *Initial* promotion out of node-at-a-time replay
+//! ([`trace_enter`](PActionCache::trace_enter)) is adaptive rather than
+//! a bare entry count: each entry weighs [`HOT_REENTRY_WEIGHT`] when the
+//! node was last entered within [`RECENT_WINDOW`] global entries (a
+//! tight replay loop) and `1` otherwise, so genuinely hot heads compile
+//! after a handful of entries while heads seen once in a blue moon
+//! accumulate slowly toward the same threshold.
+//!
+//! # Lifecycle
+//!
 //! Segments never dangle: they are invalidated (together with the hotness
-//! counters) by [`flush`](PActionCache::flush),
-//! [`collect`](PActionCache::collect) (node ids relocate) and
-//! [`merge_from`](PActionCache::merge_from), and are not carried by
-//! [`freeze`](PActionCache::freeze) — a thawed working copy re-compiles
-//! its own traces once chains get hot again. Plain appends (new recording)
-//! keep existing segments valid by construction: filled links and new
-//! edges are only ever *added*, and cuts/uncarried outcomes read the live
-//! graph.
+//! counters and chain links) by [`flush`](PActionCache::flush) and
+//! [`collect`](PActionCache::collect) — node ids relocate there. Plain
+//! appends (new recording) keep existing segments valid by construction:
+//! filled links and new edges are only ever *added*, and cuts/uncarried
+//! outcomes read the live graph. The same append-only argument lets
+//! segments survive [`merge_from`](PActionCache::merge_from) (the master
+//! only ever appends) and ride along in [`freeze`](PActionCache::freeze)
+//! snapshots: a thawed working copy revives the snapshot's segments after
+//! revalidating each against the thawed arena (recomputing
+//! [`TraceSegment::fp`] and prefix-checking dispatch edges), and a merge
+//! imports the delta's segments that live entirely inside the shared base
+//! prefix, so refrozen masters and served warm caches stop recompiling
+//! from scratch every merge cycle. Chain links are severed (one epoch
+//! bump) on every flush/collect/merge and re-patch on the next
+//! segment-to-segment transition; a freeze carries them as per-node bits.
 
 use crate::action::{ActionKind, NodeId, OutcomeKey, RetireCounts};
 use crate::cache::{PActionCache, Successors};
@@ -74,6 +110,15 @@ pub const DEFAULT_HOTNESS_THRESHOLD: u32 = 32;
 /// for pathological chains; the segment ends with a [`TraceOp::Cut`] and
 /// replay continues node-at-a-time).
 const MAX_TRACE_OPS: usize = 1024;
+
+/// Adaptive-hotness recency window, in global hotness-counted entries: an
+/// entry whose node was last entered at most this many entries ago weighs
+/// [`HOT_REENTRY_WEIGHT`] instead of `1`.
+pub const RECENT_WINDOW: u32 = 64;
+
+/// Hotness weight of an entry within [`RECENT_WINDOW`] of the node's
+/// previous entry.
+pub const HOT_REENTRY_WEIGHT: u32 = 4;
 
 /// How a [`TraceOp::Bulk`] records the node ids it covers for `accessed`
 /// marking — an 8-byte packed encoding of the two cases exposed by
@@ -150,7 +195,7 @@ pub struct EdgeRange {
 /// the 20-byte [`RetireCounts`] and the variable-length edge lists — live
 /// in [`TraceSegment`] side tables and are referenced by 4- and 8-byte
 /// indices.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum TraceOp {
     /// A maximal run of consecutive `Advance` actions, pre-aggregated:
     /// `cycles` summed, `retired` merged, `count` logical actions,
@@ -272,6 +317,17 @@ pub struct TraceSegment {
     pub retires: Vec<RetireCounts>,
     /// Outcome edges of dispatch ops, referenced by [`EdgeRange`].
     pub edges: Vec<(OutcomeKey, NodeId)>,
+    /// Fingerprint of the covered `(node id, action)` stream, computed at
+    /// compile time. Recomputable from the ops and any arena, so snapshot
+    /// thaw and merge import revalidate a segment by re-hashing it over
+    /// the candidate arena — a mismatch (relocated ids, a different
+    /// lineage) drops the segment instead of ever replaying it wrong.
+    pub fp: u64,
+    /// Highest node id the segment references anywhere (covered nodes,
+    /// dispatch edge targets, cut/jump nodes): the segment is meaningful
+    /// only for arenas longer than this, and a merge may import it only
+    /// when every referenced id lies inside the shared base prefix.
+    pub max_node: NodeId,
 }
 
 impl TraceSegment {
@@ -336,6 +392,57 @@ struct BulkAcc {
     contiguous: bool,
     /// The run's first node is a configuration head.
     anchored: bool,
+}
+
+/// Seed of a segment fingerprint (FNV-1a offset basis).
+const FP_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Folds one 64-bit lane into a segment fingerprint (FNV-1a).
+#[inline]
+fn fp_eat(h: &mut u64, v: u64) {
+    *h ^= v;
+    *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+}
+
+/// Folds a covered node's identity and action into a segment fingerprint.
+/// Hashing the full action payload (not just the discriminant) means a
+/// revalidation pass detects any arena whose covered nodes would replay
+/// differently from the arena the segment was compiled against.
+fn fp_eat_node(h: &mut u64, n: NodeId, kind: &ActionKind) {
+    fp_eat(h, u64::from(n));
+    match *kind {
+        ActionKind::Advance { cycles, retired } => {
+            fp_eat(h, 1);
+            fp_eat(h, u64::from(cycles));
+            fp_eat(h, u64::from(retired.insts));
+            fp_eat(h, u64::from(retired.loads));
+            fp_eat(h, u64::from(retired.stores));
+            fp_eat(h, u64::from(retired.ctrls));
+            fp_eat(h, u64::from(retired.branches));
+        }
+        ActionKind::FetchRecord => fp_eat(h, 2),
+        ActionKind::IssueLoad { lq_index } => {
+            fp_eat(h, 3);
+            fp_eat(h, u64::from(lq_index));
+        }
+        ActionKind::PollLoad { lq_index } => {
+            fp_eat(h, 4);
+            fp_eat(h, u64::from(lq_index));
+        }
+        ActionKind::IssueStore { sq_index } => {
+            fp_eat(h, 5);
+            fp_eat(h, u64::from(sq_index));
+        }
+        ActionKind::CancelLoad { lq_index } => {
+            fp_eat(h, 6);
+            fp_eat(h, u64::from(lq_index));
+        }
+        ActionKind::Rollback { ctrl_index } => {
+            fp_eat(h, 7);
+            fp_eat(h, u64::from(ctrl_index));
+        }
+        ActionKind::Finish => fp_eat(h, 8),
+    }
 }
 
 fn flush_bulk(
@@ -408,20 +515,23 @@ impl PActionCache {
     }
 
     /// Replay is entering the chain of configuration head `head`: returns
-    /// the compiled segment if one exists, bumping the hotness counter and
-    /// compiling when it crosses the threshold. `None` means replay should
-    /// proceed node-at-a-time (chain not hot yet, compilation disabled, or
-    /// the chain is too degenerate to compile).
+    /// the compiled segment if one exists, bumping the (adaptive) hotness
+    /// counter and compiling when it crosses the threshold. `None` means
+    /// replay should proceed node-at-a-time (chain not hot yet,
+    /// compilation disabled, or the chain is too degenerate to compile).
     pub fn trace_enter(&mut self, head: NodeId) -> Option<Arc<TraceSegment>> {
+        if self.hotness_threshold == u32::MAX {
+            // Disabled: node-at-a-time even when a thawed snapshot carried
+            // compiled segments — the node-replay baseline stays pure.
+            return None;
+        }
         if let Some(seg) = &self.traces[head as usize] {
             self.stats.replay_segments_entered += 1;
             return Some(Arc::clone(seg));
         }
-        if self.hotness_threshold == u32::MAX {
-            return None; // disabled: skip even the counter bump
-        }
+        let weight = self.entry_weight(head as usize);
         let visits = &mut self.hotness[head as usize];
-        *visits = visits.saturating_add(1);
+        *visits = visits.saturating_add(weight);
         if *visits <= self.hotness_threshold {
             return None;
         }
@@ -430,6 +540,77 @@ impl PActionCache {
         self.stats.replay_segments_entered += 1;
         self.traces[head as usize] = Some(Arc::clone(&seg));
         Some(seg)
+    }
+
+    /// A segment exited through a carried cold edge or a cut at `n`:
+    /// returns the segment to continue in directly (patching the chain
+    /// link), or `None` to bail out to node-at-a-time replay.
+    ///
+    /// Targets without a compiled segment are compiled *immediately* —
+    /// the next-executing-tail heuristic from dynamic binary translation:
+    /// control only reaches a chain target out of an already-hot segment,
+    /// so the target inherits its predecessor's hotness instead of
+    /// re-proving it one bailout at a time. (The per-head adaptive
+    /// threshold still gates the *initial* promotion out of
+    /// node-at-a-time replay; without it no segment would exist to chain
+    /// from.) Compile cost stays bounded by the number of distinct exit
+    /// targets, while every avoided bailout saves a full bounce through
+    /// the node arena. Mid-chain targets compile unanchored superblocks
+    /// starting at their own node, so hot exit ladders run
+    /// segment-to-segment end to end.
+    pub fn chain_enter(&mut self, n: NodeId) -> Option<Arc<TraceSegment>> {
+        if !self.chaining || self.hotness_threshold == u32::MAX {
+            return None;
+        }
+        let i = n as usize;
+        let patched = self.chain_stamp[i] == self.chain_epoch;
+        if let Some(seg) = &self.traces[i] {
+            let seg = Arc::clone(seg);
+            if patched {
+                self.stats.chain_follows += 1;
+            } else {
+                self.chain_stamp[i] = self.chain_epoch;
+            }
+            self.stats.chained_exits += 1;
+            self.stats.replay_segments_entered += 1;
+            return Some(seg);
+        }
+        let seg = Arc::new(self.compile_trace(n)?);
+        self.stats.trace_segments_compiled += 1;
+        self.stats.chained_exits += 1;
+        self.stats.replay_segments_entered += 1;
+        self.chain_stamp[i] = self.chain_epoch;
+        self.traces[i] = Some(Arc::clone(&seg));
+        Some(seg)
+    }
+
+    /// Whether segment exits chain directly into other compiled segments
+    /// (see [`set_chaining`](PActionCache::set_chaining)).
+    pub fn chaining(&self) -> bool {
+        self.chaining
+    }
+
+    /// Enables or disables superblock chaining (on by default). Purely a
+    /// performance knob: simulation results and every architectural
+    /// statistic are bit-identical either way; only the trace counters in
+    /// [`crate::MemoStats`] differ.
+    pub fn set_chaining(&mut self, enabled: bool) {
+        self.chaining = enabled;
+    }
+
+    /// Adaptive hotness weight for a hotness-counted entry at node index
+    /// `i`: ticks the global entry clock and weighs the entry by how
+    /// recently the node was last entered (see the module docs).
+    fn entry_weight(&mut self, i: usize) -> u32 {
+        let clock = self.entry_clock;
+        self.entry_clock = clock.wrapping_add(1);
+        // `last_seen` stores clock+1 so 0 always means "never entered".
+        let prev = std::mem::replace(&mut self.last_seen[i], clock.wrapping_add(1));
+        if prev != 0 && clock.wrapping_sub(prev - 1) <= RECENT_WINDOW {
+            HOT_REENTRY_WEIGHT
+        } else {
+            1
+        }
     }
 
     /// Counts a segment execution that bailed out to node-at-a-time
@@ -445,15 +626,94 @@ impl PActionCache {
         self.stats.replay_trace_ops += ops;
     }
 
-    /// Drops every compiled segment and hotness counter, re-sizing the
-    /// dense side tables to the current arena. Called by `flush`,
-    /// `collect` (node ids relocate) and `merge_from` — always *after* the
+    /// Drops every compiled segment, hotness counter and chain link,
+    /// re-sizing the dense side tables to the current arena. Called by
+    /// `flush` and `collect` (node ids relocate) — always *after* the
     /// node arena reached its new shape.
     pub(crate) fn invalidate_traces(&mut self) {
         self.traces.clear();
         self.traces.resize(self.nodes.len(), None);
         self.hotness.clear();
         self.hotness.resize(self.nodes.len(), 0);
+        self.last_seen.clear();
+        self.last_seen.resize(self.nodes.len(), 0);
+        self.chain_stamp.clear();
+        self.chain_stamp.resize(self.nodes.len(), 0);
+        self.bump_chain_epoch();
+    }
+
+    /// Grows the trace side tables after a merge appended nodes,
+    /// *preserving* the master's compiled segments and hotness counters —
+    /// merged growth is append-only, which keeps existing segments valid
+    /// by construction (see the module docs) — while severing every chain
+    /// link (one epoch bump) so links re-patch against the merged graph.
+    pub(crate) fn grow_trace_tables_after_merge(&mut self) {
+        self.traces.resize(self.nodes.len(), None);
+        self.hotness.resize(self.nodes.len(), 0);
+        self.last_seen.resize(self.nodes.len(), 0);
+        self.chain_stamp.resize(self.nodes.len(), 0);
+        self.bump_chain_epoch();
+    }
+
+    /// Severs every chain link by moving to a fresh epoch. On the (rare)
+    /// wrap, stale stamps could collide with a reused epoch value, so the
+    /// stamp table is cleared once.
+    fn bump_chain_epoch(&mut self) {
+        self.chain_epoch = self.chain_epoch.wrapping_add(1);
+        if self.chain_epoch == 0 {
+            self.chain_stamp.iter_mut().for_each(|s| *s = 0);
+            self.chain_epoch = 1;
+        }
+    }
+
+    /// Revalidates `seg` against this cache's *current* arena: every
+    /// referenced node must exist, the covered `(node, action)` stream
+    /// must re-hash to the segment's stored fingerprint, and each
+    /// dispatch op's compiled edges must be a prefix of the live node's
+    /// edges (recording and merges only ever append edges, and the
+    /// hot-first compile order is the recording order). Used by snapshot
+    /// thaw and merge import; `false` means the segment may not replay
+    /// bit-identically to node-at-a-time over this arena and must be
+    /// dropped.
+    pub(crate) fn segment_valid(&self, seg: &TraceSegment) -> bool {
+        if (seg.max_node as usize) >= self.nodes.len() {
+            return false;
+        }
+        let mut h: u64 = FP_SEED;
+        for op in &seg.ops {
+            match *op {
+                TraceOp::Bulk { count, touched, .. } => match touched.kind() {
+                    TouchedKind::Span(first) => {
+                        for n in first..first + count {
+                            fp_eat_node(&mut h, n, &self.nodes[n as usize].kind);
+                        }
+                    }
+                    TouchedKind::List(start, len) => {
+                        for &n in seg.touched_slice((start, len)) {
+                            fp_eat_node(&mut h, n, &self.nodes[n as usize].kind);
+                        }
+                    }
+                },
+                TraceOp::IssueStore { node, .. }
+                | TraceOp::CancelLoad { node, .. }
+                | TraceOp::Rollback { node, .. }
+                | TraceOp::Finish { node, .. } => {
+                    fp_eat_node(&mut h, node, &self.nodes[node as usize].kind);
+                }
+                TraceOp::Fetch { node, edges, .. }
+                | TraceOp::IssueLoad { node, edges, .. }
+                | TraceOp::PollLoad { node, edges, .. } => {
+                    fp_eat_node(&mut h, node, &self.nodes[node as usize].kind);
+                    let live = self.outcome_edges(node);
+                    let compiled = seg.edges_slice(edges);
+                    if live.len() < compiled.len() || &live[..compiled.len()] != compiled {
+                        return false;
+                    }
+                }
+                TraceOp::Cut { .. } | TraceOp::Jump { .. } => {}
+            }
+        }
+        h == seg.fp
     }
 
     /// The outcome edges recorded at an outcome-bearing node, in recording
@@ -493,6 +753,11 @@ impl PActionCache {
         }
         let mut bulk: Option<BulkAcc> = None;
         let mut actions = 0u64;
+        // The revalidation fingerprint (covered nodes in visit order —
+        // the same order `segment_valid` recovers from the ops) and the
+        // highest node id referenced anywhere.
+        let mut fp: u64 = FP_SEED;
+        let mut max_node: NodeId = head;
         let mut n = head;
         loop {
             // Revisit: the chain loops; jump back into the segment.
@@ -503,6 +768,7 @@ impl PActionCache {
             }
             if ops.len() >= MAX_TRACE_OPS {
                 flush_bulk(&mut ops, &mut touched, &mut retires, &mut bulk);
+                max_node = max_node.max(n);
                 ops.push(TraceOp::Cut { node: n });
                 break;
             }
@@ -518,6 +784,7 @@ impl PActionCache {
             macro_rules! cut_at {
                 () => {{
                     flush_bulk(&mut ops, &mut touched, &mut retires, &mut bulk);
+                    max_node = max_node.max(n);
                     ops.push(TraceOp::Cut { node: n });
                     break;
                 }};
@@ -537,6 +804,8 @@ impl PActionCache {
             match node.kind {
                 ActionKind::Advance { cycles, retired } => {
                     let Some(next) = single_next(&node.next) else { cut_at!() };
+                    fp_eat_node(&mut fp, n, &node.kind);
+                    max_node = max_node.max(n);
                     match &mut bulk {
                         // Extend the pending run if the cycle sum fits.
                         Some(b) if b.cycles.checked_add(cycles).is_some() => {
@@ -569,6 +838,8 @@ impl PActionCache {
                 }
                 ActionKind::IssueStore { sq_index } => {
                     let Some(next) = single_next(&node.next) else { cut_at!() };
+                    fp_eat_node(&mut fp, n, &node.kind);
+                    max_node = max_node.max(n);
                     flush_bulk(&mut ops, &mut touched, &mut retires, &mut bulk);
                     mark_op_start!();
                     ops.push(TraceOp::IssueStore { node: n, sq_index, anchored });
@@ -577,6 +848,8 @@ impl PActionCache {
                 }
                 ActionKind::CancelLoad { lq_index } => {
                     let Some(next) = single_next(&node.next) else { cut_at!() };
+                    fp_eat_node(&mut fp, n, &node.kind);
+                    max_node = max_node.max(n);
                     flush_bulk(&mut ops, &mut touched, &mut retires, &mut bulk);
                     mark_op_start!();
                     ops.push(TraceOp::CancelLoad { node: n, lq_index, anchored });
@@ -585,6 +858,8 @@ impl PActionCache {
                 }
                 ActionKind::Rollback { ctrl_index } => {
                     let Some(next) = single_next(&node.next) else { cut_at!() };
+                    fp_eat_node(&mut fp, n, &node.kind);
+                    max_node = max_node.max(n);
                     flush_bulk(&mut ops, &mut touched, &mut retires, &mut bulk);
                     mark_op_start!();
                     ops.push(TraceOp::Rollback { node: n, ctrl_index, anchored });
@@ -600,6 +875,11 @@ impl PActionCache {
                     };
                     if edges.is_empty() {
                         cut_at!()
+                    }
+                    fp_eat_node(&mut fp, n, &node.kind);
+                    max_node = max_node.max(n);
+                    for &(_, target) in edges.iter() {
+                        max_node = max_node.max(target);
                     }
                     flush_bulk(&mut ops, &mut touched, &mut retires, &mut bulk);
                     mark_op_start!();
@@ -625,6 +905,8 @@ impl PActionCache {
                     n = hot;
                 }
                 ActionKind::Finish => {
+                    fp_eat_node(&mut fp, n, &node.kind);
+                    max_node = max_node.max(n);
                     flush_bulk(&mut ops, &mut touched, &mut retires, &mut bulk);
                     ops.push(TraceOp::Finish { node: n, anchored });
                     actions += 1;
@@ -634,7 +916,8 @@ impl PActionCache {
         }
         self.compile_stamp = stamp;
         self.compile_op = op_at;
-        (actions > 0).then_some(TraceSegment { ops, touched, retires, edges: edge_table })
+        (actions > 0)
+            .then_some(TraceSegment { ops, touched, retires, edges: edge_table, fp, max_node })
     }
 }
 
@@ -829,8 +1112,9 @@ mod tests {
         assert_eq!(*seg.ops.last().unwrap(), TraceOp::Cut { node: load });
     }
 
-    /// trace_enter compiles at the threshold, caches the segment, and the
-    /// sentinel thresholds behave as documented.
+    /// trace_enter promotes adaptively — rapid re-entries weigh
+    /// [`HOT_REENTRY_WEIGHT`], sparse ones weigh 1 — caches the compiled
+    /// segment, and the sentinel thresholds behave as documented.
     #[test]
     fn hotness_thresholds() {
         let mut pc = PActionCache::new(Policy::Unbounded);
@@ -839,9 +1123,10 @@ mod tests {
         pc.record_action(ActionKind::Finish);
 
         pc.set_hotness_threshold(2);
-        assert!(pc.trace_enter(head).is_none(), "visit 1 below threshold");
-        assert!(pc.trace_enter(head).is_none(), "visit 2 at threshold");
-        let seg = pc.trace_enter(head).expect("visit 3 compiles");
+        assert!(pc.trace_enter(head).is_none(), "visit 1 weighs 1: below threshold");
+        // A rapid re-entry weighs HOT_REENTRY_WEIGHT and crosses the
+        // threshold immediately: 1 + 4 > 2.
+        let seg = pc.trace_enter(head).expect("rapid visit 2 compiles");
         assert_eq!(pc.trace_count(), 1);
         assert_eq!(pc.stats().trace_segments_compiled, 1);
         assert_eq!(pc.stats().replay_segments_entered, 1);
@@ -850,6 +1135,30 @@ mod tests {
         assert!(Arc::ptr_eq(&seg, &again));
         assert_eq!(pc.stats().trace_segments_compiled, 1);
         assert_eq!(pc.stats().replay_segments_entered, 2);
+
+        // Sparse entries (past the recency window) weigh 1 each: the same
+        // threshold takes three visits instead of two.
+        let mut sparse = PActionCache::new(Policy::Unbounded);
+        assert_eq!(sparse.register_config(b"B"), ConfigLookup::Miss);
+        let b = sparse.record_action(advance(1));
+        sparse.record_action(ActionKind::Finish);
+        let mut fillers = Vec::new();
+        for i in 0..RECENT_WINDOW + 1 {
+            let key = format!("F{i}");
+            assert_eq!(sparse.register_config(key.as_bytes()), ConfigLookup::Miss);
+            fillers.push(sparse.record_action(advance(1)));
+            sparse.record_action(ActionKind::Finish);
+        }
+        sparse.set_hotness_threshold(2);
+        assert!(sparse.trace_enter(b).is_none(), "sparse visit 1");
+        for &f in &fillers {
+            let _ = sparse.trace_enter(f); // tick the global entry clock
+        }
+        assert!(sparse.trace_enter(b).is_none(), "sparse visit 2 still weighs 1");
+        for &f in &fillers {
+            let _ = sparse.trace_enter(f);
+        }
+        let _ = sparse.trace_enter(b).expect("sparse visit 3 crosses threshold 2");
 
         // Threshold 0: a fresh cache compiles on first entry.
         let mut eager = PActionCache::new(Policy::Unbounded);
@@ -871,8 +1180,9 @@ mod tests {
         assert_eq!(never.stats().trace_segments_compiled, 0);
     }
 
-    /// Flush, collection and merge all invalidate compiled segments (node
-    /// ids relocate or the graph changes shape under them).
+    /// Flush and collection invalidate compiled segments (node ids
+    /// relocate); merges and freeze/thaw *preserve* them (append-only
+    /// growth keeps them valid, and snapshots carry them).
     #[test]
     fn invalidation_on_flush_collect_merge() {
         let mut pc = PActionCache::new(Policy::Unbounded);
@@ -894,20 +1204,115 @@ mod tests {
         pc.flush();
         assert_eq!(pc.trace_count(), 0, "flush drops everything");
 
-        // Rebuild, compile, then merge a delta: traces drop again.
+        // Rebuild, compile, then freeze/thaw and merge a delta: segments
+        // now ride along instead of being dropped.
         assert_eq!(pc.register_config(b"A"), ConfigLookup::Miss);
         let head = pc.record_action(advance(1));
         pc.record_action(ActionKind::Finish);
         assert!(pc.trace_enter(head).is_some());
         let snap = pc.freeze();
         let mut worker = PActionCache::from_snapshot(&snap);
-        assert_eq!(worker.trace_count(), 0, "snapshots do not carry traces");
+        assert_eq!(worker.trace_count(), 1, "thaw revives frozen segments");
+        assert_eq!(worker.stats().segments_thawed, 1);
+        let compiled_before = worker.stats().trace_segments_compiled;
+        assert!(worker.trace_enter(head).is_some(), "revived segment is entered directly");
+        assert_eq!(
+            worker.stats().trace_segments_compiled,
+            compiled_before,
+            "no recompile after thaw"
+        );
         assert_eq!(worker.register_config(b"B"), ConfigLookup::Miss);
         worker.record_action(advance(2));
         worker.record_action(ActionKind::Finish);
         let delta = worker.freeze();
         pc.merge_from(&delta);
-        assert_eq!(pc.trace_count(), 0, "merge invalidates traces");
+        assert_eq!(pc.trace_count(), 1, "master segments survive the merge");
+        assert!(pc.traces[head as usize].is_some(), "the surviving segment is A's");
+    }
+
+    /// chain_enter: a compiled target is entered directly (first follow
+    /// patches the link, later follows take the fast path), a mid-chain
+    /// target earns its own superblock, a config head without a segment
+    /// defers to trace_enter, and the knob/threshold disable it.
+    #[test]
+    fn chain_enter_patches_and_compiles_mid_chain() {
+        let mut pc = PActionCache::new(Policy::Unbounded);
+        assert_eq!(pc.register_config(b"A"), ConfigLookup::Miss);
+        let head = pc.record_action(advance(1));
+        let load = pc.record_action(ActionKind::IssueLoad { lq_index: 0 });
+        pc.set_outcome(load, OutcomeKey::Interval(6));
+        // Hot path: mid-chain continuation after the load.
+        let mid = pc.record_action(advance(2));
+        pc.record_action(ActionKind::Finish);
+        pc.set_hotness_threshold(0);
+
+        // A config head with a compiled segment chains directly.
+        let seg = pc.trace_enter(head).expect("head compiles at threshold 0");
+        let chained = pc.chain_enter(head).expect("chain into compiled head");
+        assert!(Arc::ptr_eq(&seg, &chained));
+        assert_eq!(pc.stats().chained_exits, 1);
+        assert_eq!(pc.stats().chain_follows, 0, "first follow patches the link");
+        let again = pc.chain_enter(head).expect("patched link");
+        assert!(Arc::ptr_eq(&seg, &again));
+        assert_eq!(pc.stats().chain_follows, 1, "second follow is the fast path");
+
+        // A mid-chain target compiles its own (unanchored) superblock.
+        let mid_seg = pc.chain_enter(mid).expect("mid-chain target compiles at threshold 0");
+        assert!(matches!(
+            mid_seg.ops[0],
+            TraceOp::Bulk { cycles: 2, anchored: false, .. }
+        ));
+        assert_eq!(pc.trace_count(), 2);
+
+        // Chain targets compile eagerly (next-executing-tail): even far
+        // below the threshold, an exit into an uncompiled head compiles
+        // it — control only gets here out of an already-hot segment. The
+        // hotness counter is left alone; it only gates initial promotion.
+        assert_eq!(pc.register_config(b"B"), ConfigLookup::Miss);
+        let b = pc.record_action(advance(3));
+        pc.record_action(ActionKind::Finish);
+        pc.set_hotness_threshold(1000);
+        assert!(pc.chain_enter(b).is_some(), "chain target compiles eagerly");
+        assert_eq!(pc.hotness[b as usize], 0, "chain_enter left the counter alone");
+        assert_eq!(pc.trace_count(), 3);
+
+        // The knob and the disabled threshold both stop chaining.
+        pc.set_chaining(false);
+        assert!(pc.chain_enter(head).is_none());
+        pc.set_chaining(true);
+        pc.set_hotness_threshold(u32::MAX);
+        assert!(pc.chain_enter(head).is_none());
+    }
+
+    /// segment_valid accepts a segment against the arena it was compiled
+    /// from and rejects arenas whose covered nodes differ.
+    #[test]
+    fn segment_revalidation() {
+        let mut pc = PActionCache::new(Policy::Unbounded);
+        assert_eq!(pc.register_config(b"A"), ConfigLookup::Miss);
+        let head = pc.record_action(advance(1));
+        let load = pc.record_action(ActionKind::IssueLoad { lq_index: 2 });
+        pc.set_outcome(load, OutcomeKey::Interval(6));
+        pc.record_action(advance(2));
+        pc.record_action(ActionKind::Finish);
+        let seg = pc.compile_trace(head).expect("compilable");
+        assert!(pc.segment_valid(&seg), "fresh compile matches its own arena");
+
+        // A different cache whose node ids line up but whose actions
+        // differ re-hashes to a different fingerprint.
+        let mut other = PActionCache::new(Policy::Unbounded);
+        assert_eq!(other.register_config(b"A"), ConfigLookup::Miss);
+        other.record_action(advance(7));
+        other.record_action(ActionKind::IssueStore { sq_index: 0 });
+        other.record_action(advance(2));
+        other.record_action(ActionKind::Finish);
+        assert!(!other.segment_valid(&seg), "diverged arena is rejected");
+
+        // A too-short arena is rejected on bounds alone.
+        let mut short = PActionCache::new(Policy::Unbounded);
+        assert_eq!(short.register_config(b"A"), ConfigLookup::Miss);
+        short.record_action(advance(1));
+        assert!(!short.segment_valid(&seg));
     }
 
     /// The side-tabled representation keeps ops within 24 bytes — the

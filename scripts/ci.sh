@@ -47,14 +47,15 @@ echo "==> bench smoke: replay_hotpath on a tiny workload"
 # bit-identity flag the bench asserts before writing).
 REPLAY_OUT="target/bench_replay_smoke.json"
 cargo run --release -q -p fastsim-bench --bin replay_hotpath -- \
-    --insts 20000 --filter compress --out "$REPLAY_OUT"
-for key in '"schema": "fastsim-replay-hotpath/v1"' \
+    --insts 200000 --filter compress --out "$REPLAY_OUT"
+for key in '"schema": "fastsim-replay-hotpath/v2"' \
     '"insts_per_workload"' '"debug_build"' '"workloads"' \
     '"hierarchy"' '"trace_op_bytes"' '"cache_levels"' \
     '"mshr_stall_cycles"' '"writebacks"' \
     '"nav_node_actions_per_sec"' '"nav_trace_actions_per_sec"' \
     '"nav_speedup"' '"warm_node_ms"' '"warm_trace_ms"' '"warm_speedup"' \
     '"segments_entered"' '"segments_compiled"' '"bailouts"' \
+    '"chain_follows"' '"chained_exits"' '"segments_thawed"' \
     '"trace_ops"' '"stats_identical": true' '"summary"' \
     '"replay_throughput_speedup_geomean"' '"warm_speedup_geomean"'; do
     grep -qF "$key" "$REPLAY_OUT" || {
@@ -62,7 +63,27 @@ for key in '"schema": "fastsim-replay-hotpath/v1"' \
         exit 1
     }
 done
-echo "==> bench smoke passed ($REPLAY_OUT)"
+# Release-build smoke must actually *win* end-to-end: thawed-segment
+# replay slower than node-at-a-time navigation is a regression. Timer
+# noise on a sub-second smoke can dip a single run below 1.0, so allow
+# up to three attempts — a real regression fails all of them.
+REPLAY_GATE_OK=0
+for attempt in 1 2 3; do
+    GEOMEAN=$(sed -n 's/.*"warm_speedup_geomean": \([0-9.]*\).*/\1/p' "$REPLAY_OUT")
+    [ -n "$GEOMEAN" ] || { echo "bench smoke: cannot parse warm_speedup_geomean" >&2; exit 1; }
+    if awk -v g="$GEOMEAN" 'BEGIN { exit !(g >= 1.0) }'; then
+        REPLAY_GATE_OK=1
+        break
+    fi
+    echo "bench smoke: attempt $attempt warm_speedup_geomean $GEOMEAN < 1.0, retrying"
+    cargo run --release -q -p fastsim-bench --bin replay_hotpath -- \
+        --insts 200000 --filter compress --out "$REPLAY_OUT"
+done
+if [ "$REPLAY_GATE_OK" -ne 1 ]; then
+    echo "bench smoke: warm_speedup_geomean stayed < 1.0 across 3 attempts" >&2
+    exit 1
+fi
+echo "==> bench smoke passed ($REPLAY_OUT, warm_speedup_geomean $GEOMEAN)"
 
 echo "==> hierarchy smoke: bench bins under a non-default preset"
 # The full preset × policy equivalence sweeps already run under
@@ -127,14 +148,15 @@ echo "==> fuzz smoke: 500 generated kernels through the differential oracle"
 # Fixed seed, fully offline: replay the checked-in fuzz/corpus/ golden
 # seeds, then generate 500 random kernels and require bit-identical
 # fast==slow statistics across all hierarchy presets × GC policies ×
-# hotness thresholds, plus the freeze/thaw/merge lifecycle. Failures
+# replay strategies (node-at-a-time vs trace-compiled, chaining off vs
+# on), plus the freeze/thaw/merge lifecycle. Failures
 # would be shrunk to replayable reproducers under target/fuzz_failures/.
 FUZZ_OUT="target/fuzz_smoke.json"
 cargo run --release -q -p fastsim-fuzz --bin fuzz_smoke -- \
     --seed 0xf00dfeed --kernels 500 --corpus fuzz/corpus --out "$FUZZ_OUT"
 for key in '"schema": "fastsim-fuzz-smoke/v1"' '"kernels": 500' \
     '"presets": ["table1", "three-level", "tiny-l1"]' \
-    '"corpus_replayed": 16' '"failures": 0' '"runs"' '"retired_insts"'; do
+    '"corpus_replayed": 20' '"failures": 0' '"runs"' '"retired_insts"'; do
     grep -qF "$key" "$FUZZ_OUT" || {
         echo "fuzz smoke: missing $key in $FUZZ_OUT" >&2
         exit 1

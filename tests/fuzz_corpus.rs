@@ -4,7 +4,8 @@
 //! plus minimized reproducers from past (injected) bugs — in the
 //! replayable `fastsim-kernel/v1` format. Every entry must keep passing
 //! the full differential oracle matrix: all hierarchy presets × GC
-//! policies × hotness thresholds, the determinism rerun, and the batch
+//! policies × replay strategies (node-at-a-time vs trace-compiled,
+//! segment chaining off vs on), the determinism rerun, and the batch
 //! freeze/thaw/merge lifecycle.
 
 use fastsim_fuzz::{check, corpus, OracleConfig};
@@ -15,8 +16,8 @@ fn corpus_replays_clean_through_the_full_matrix() {
     let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("fuzz/corpus");
     let entries = corpus::load_dir(&dir).expect("fuzz/corpus loads");
     assert!(
-        entries.len() >= 16,
-        "expected the 16 checked-in golden seeds, found {}",
+        entries.len() >= 20,
+        "expected the 20 checked-in golden seeds, found {}",
         entries.len()
     );
 

@@ -11,7 +11,8 @@
 //!
 //! * FastSim (memoized) and SlowSim (memoization off) report *identical*
 //!   cycle counts, retirement counts, cache and per-level statistics —
-//!   under every GC policy and at both hotness thresholds;
+//!   under every GC policy and replay strategy (node-at-a-time,
+//!   trace-compiled, chained);
 //! * two identical fast runs are bit-identical (`SimStats` and
 //!   `MemoStats`) — run-to-run determinism;
 //! * the freeze/thaw/merge batch lifecycle reproduces the same stats;

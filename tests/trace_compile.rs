@@ -1,14 +1,15 @@
 //! Trace-compiled replay equivalence: flattening hot p-action chains into
 //! linear segments is purely a host-performance transformation — every
 //! simulation result, statistic and cache state must be bit-identical to
-//! node-at-a-time replay at any hotness threshold, under every
-//! replacement policy, and across a freeze/thaw/merge round trip.
+//! node-at-a-time replay at any hotness threshold, with segment chaining
+//! on or off, under every replacement policy, across a freeze/thaw/merge
+//! round trip, and whether segments were thawed or freshly recompiled.
 
 use fastsim::core::{
     CacheConfig, CacheStats, HierarchyConfig, MemoStats, Mode, Policy, SimStats, Simulator,
     UArchConfig,
 };
-use fastsim::memo::{PActionCache, DEFAULT_HOTNESS_THRESHOLD};
+use fastsim::memo::{MergeOutcome, PActionCache, DEFAULT_HOTNESS_THRESHOLD};
 use fastsim::workloads::by_name;
 
 /// The results of one run that must not depend on the hotness threshold.
@@ -231,8 +232,10 @@ fn warm_replay_identical_on_every_workload() {
 }
 
 /// A freeze/thaw/`merge_from` round trip produces the same worker results
-/// and the same merged master regardless of the hotness threshold, and
-/// snapshots never carry compiled traces.
+/// and the same merged arena regardless of the hotness threshold.
+/// Snapshots carry compiled traces, and thawed masters revive them —
+/// only `segments_imported` may vary with hotness (hotter workers ship
+/// more compiled segments), never the replayable content.
 #[test]
 fn freeze_thaw_merge_round_trip_identical() {
     let w = by_name("129.compress").expect("workload exists");
@@ -240,6 +243,7 @@ fn freeze_thaw_merge_round_trip_identical() {
     let mut first = Simulator::new(&program, Mode::fast()).expect("builds");
     first.run_to_completion().expect("completes");
     let snap = first.take_warm_cache().expect("fast mode").freeze();
+    assert!(snap.cache().trace_count() > 0, "warm recording compiles segments");
 
     let mut merged_shapes = Vec::new();
     let mut worker_stats = Vec::new();
@@ -257,10 +261,21 @@ fn freeze_thaw_merge_round_trip_identical() {
         let delta = worker.take_warm_cache().expect("fast mode").freeze();
 
         let mut master = PActionCache::from_snapshot(snap.cache());
-        assert_eq!(master.trace_count(), 0, "thawed masters start trace-free");
+        assert_eq!(
+            master.trace_count(),
+            snap.cache().trace_count(),
+            "thawed masters revive every snapshot segment"
+        );
         let outcome = master.merge_from(delta.cache());
-        assert_eq!(master.trace_count(), 0, "merge leaves no stale traces");
-        merged_shapes.push((master.config_count(), master.node_count(), outcome));
+        assert!(
+            master.trace_count() >= snap.cache().trace_count(),
+            "merging never drops revived traces"
+        );
+        // Replayable content must not depend on hotness; the count of
+        // imported segments legitimately does (a `u32::MAX` worker
+        // compiles nothing to ship), so it is excluded.
+        let content = MergeOutcome { segments_imported: 0, ..outcome };
+        merged_shapes.push((master.config_count(), master.node_count(), content));
     }
     assert!(
         worker_stats.iter().all(|s| *s == worker_stats[0]),
@@ -269,6 +284,115 @@ fn freeze_thaw_merge_round_trip_identical() {
     assert!(
         merged_shapes.iter().all(|m| *m == merged_shapes[0]),
         "merged master must not depend on hotness: {merged_shapes:#?}"
+    );
+}
+
+/// Segments revived from a snapshot replay bit-identically to segments
+/// recompiled from scratch, under every replacement policy (the GC-ful
+/// policies exercise the invalidation discipline mid-run).
+#[test]
+fn thawed_segments_replay_identical_to_fresh_recompile() {
+    let limit = 16 << 10;
+    let w = by_name("129.compress").expect("workload exists");
+    let program = w.program_for_insts(50_000);
+
+    for policy in [
+        Policy::Unbounded,
+        Policy::FlushOnFull { limit },
+        Policy::CopyingGc { limit },
+        Policy::GenerationalGc { limit },
+    ] {
+        // Two recordings of the same run under this policy: one
+        // segment-free, one with every chain compiled. Their arenas are
+        // bit-identical (the tentpole guarantee); only the carried warmth
+        // differs. The warm runs adopt the snapshot's policy.
+        let mut snaps = Vec::new();
+        for hotness in [u32::MAX, 0] {
+            let mut cold = Simulator::with_configs(
+                &program,
+                Mode::Fast { policy },
+                UArchConfig::table1(),
+                HierarchyConfig::table1(),
+            )
+            .expect("builds");
+            cold.set_trace_hotness(hotness);
+            cold.run_to_completion().expect("completes");
+            snaps.push(cold.take_warm_cache().expect("fast mode").freeze());
+        }
+        let (bare, warm) = (&snaps[0], &snaps[1]);
+        let ctx = format!("{policy:?}");
+        assert_eq!(bare.cache().trace_count(), 0, "{ctx}: u32::MAX snapshot is segment-free");
+
+        let mut outcomes = Vec::new();
+        for snap in [bare, warm] {
+            let mut sim = Simulator::with_warm_snapshot(
+                &program,
+                snap,
+                UArchConfig::table1(),
+                HierarchyConfig::table1(),
+            )
+            .expect("warm builds");
+            sim.set_trace_hotness(0);
+            sim.run_to_completion().expect("warm completes");
+            let memo = *sim.memo_stats().expect("fast mode");
+            outcomes.push((*sim.stats(), sim.output().to_vec(), *sim.cache_stats(), memo));
+        }
+        let (fresh, thawed) = (&outcomes[0], &outcomes[1]);
+        assert_eq!(thawed.0, fresh.0, "{ctx}: SimStats");
+        assert_eq!(thawed.1, fresh.1, "{ctx}: program output");
+        assert_eq!(thawed.2, fresh.2, "{ctx}: cache-hierarchy stats");
+        assert_pre_trace_memo_equal(&thawed.3, &fresh.3, &ctx);
+        assert_eq!(fresh.3.segments_thawed, 0, "{ctx}: bare snapshot thaws none");
+        // A GC-ful recording may flush right before the end and freeze an
+        // empty trace table; when segments did survive, the thaw must
+        // revive and execute them.
+        if warm.cache().trace_count() > 0 {
+            assert!(thawed.3.segments_thawed > 0, "{ctx}: warm snapshot revives segments");
+            assert!(
+                thawed.3.replay_segments_entered > 0,
+                "{ctx}: thawed segments must actually execute"
+            );
+        } else {
+            assert!(
+                !matches!(policy, Policy::Unbounded),
+                "unbounded recording must carry segments"
+            );
+        }
+    }
+}
+
+/// Chain-link side tables are host bookkeeping: modeled cache bytes (the
+/// paper's figure of merit) must be identical with chaining on, chaining
+/// off, and node-at-a-time replay — as must every architectural stat.
+#[test]
+fn modeled_bytes_unchanged_by_chaining() {
+    let w = by_name("099.go").expect("workload exists");
+    let program = w.program_for_insts(60_000);
+    // (hotness, chaining)
+    let variants = [(u32::MAX, true), (0, false), (0, true)];
+    let mut outcomes = Vec::new();
+    for (hotness, chaining) in variants {
+        let mut sim = Simulator::new(&program, Mode::fast()).expect("builds");
+        sim.set_trace_hotness(hotness);
+        sim.set_trace_chaining(chaining);
+        sim.run_to_completion().expect("completes");
+        let memo = *sim.memo_stats().expect("fast mode");
+        outcomes.push((*sim.stats(), sim.output().to_vec(), memo));
+    }
+    let (node, unchained, chained) = (&outcomes[0], &outcomes[1], &outcomes[2]);
+    for (variant, ctx) in [(unchained, "chaining off"), (chained, "chaining on")] {
+        assert_eq!(variant.0, node.0, "{ctx}: SimStats");
+        assert_eq!(variant.1, node.1, "{ctx}: program output");
+        assert_eq!(variant.2.bytes, node.2.bytes, "{ctx}: modeled bytes");
+        assert_eq!(variant.2.peak_bytes, node.2.peak_bytes, "{ctx}: peak bytes");
+        assert_pre_trace_memo_equal(&variant.2, &node.2, ctx);
+    }
+    assert_eq!(unchained.2.chained_exits, 0, "chaining off never chains");
+    assert_eq!(unchained.2.chain_follows, 0, "chaining off never follows links");
+    assert!(chained.2.chained_exits > 0, "chaining on must chain on a hot loop");
+    assert!(
+        chained.2.chain_follows <= chained.2.chained_exits,
+        "fast-path follows are a subset of chained transitions"
     );
 }
 
