@@ -124,7 +124,20 @@ fn main() {
     // Shut the server down and show its final registry.
     let mut c = Client::connect_unix(&socket).expect("connect for shutdown");
     c.shutdown().expect("shutdown");
-    println!("\nfinal metrics: {}", handle.wait());
+    let final_metrics = handle.wait();
+    if let Some(ev) = final_metrics.get("event_loop") {
+        let n = |k: &str| ev.get(k).and_then(Json::as_u64).unwrap_or(0);
+        println!(
+            "\nevent loop: {} wakeups, {} ready events, {} conns accepted, \
+             {} EAGAIN reads, {} partial writes",
+            n("loop_wakeups"),
+            n("ready_events"),
+            n("accepted"),
+            n("eagain_reads"),
+            n("partial_writes"),
+        );
+    }
+    println!("\nfinal metrics: {final_metrics}");
     if !identical {
         std::process::exit(1);
     }

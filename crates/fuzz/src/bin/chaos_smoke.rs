@@ -3,7 +3,8 @@
 //! Starts an in-process `fastsim-serve` server on a private Unix socket
 //! with seeded server-side fault injection (response drops, mid-line
 //! truncations, worker panics), drives the seeded client storm from
-//! [`fastsim_fuzz::chaos`] (malformed and partial frames, deadline
+//! [`fastsim_fuzz::chaos`] (malformed and partial frames, slow-loris
+//! dribbles, half-open sockets, mid-response disconnects, deadline
 //! storms, per-job panic requests), then verifies the runbook
 //! invariants: every admitted job settles, the metrics dump stays
 //! schema-valid, and — after chaos is quiesced — served results are
@@ -96,11 +97,15 @@ mod imp {
         let storm = run_storm(&socket, seed ^ 0x5707_1111, &StormConfig::default());
         eprintln!(
             "storm: {} admitted, {} deadline-stormed, {} malformed rejected, \
-             {} partial frames ok, {} transport retries",
+             {} partial frames ok, {} slow-loris ok, {} half-open ok, \
+             {} mid-response disconnects, {} transport retries",
             storm.admitted,
             storm.deadline_admitted,
             storm.malformed_rejected,
             storm.partial_frames_ok,
+            storm.slow_loris_ok,
+            storm.half_open_ok,
+            storm.mid_response_disconnects,
             storm.transport_retries
         );
 
@@ -146,6 +151,9 @@ mod imp {
             && storm.admitted > 0
             && storm.malformed_rejected > 0
             && storm.partial_frames_ok > 0
+            && storm.slow_loris_ok > 0
+            && storm.half_open_ok > 0
+            && storm.mid_response_disconnects > 0
             && faults_injected > 0;
         let summary = Json::obj([
             ("schema", Json::from("fastsim-chaos-smoke/v1")),
@@ -155,6 +163,9 @@ mod imp {
             ("rejected_submissions", Json::from(storm.rejected_submissions)),
             ("malformed_rejected", Json::from(storm.malformed_rejected)),
             ("partial_frames_ok", Json::from(storm.partial_frames_ok)),
+            ("slow_loris_ok", Json::from(storm.slow_loris_ok)),
+            ("half_open_ok", Json::from(storm.half_open_ok)),
+            ("mid_response_disconnects", Json::from(storm.mid_response_disconnects)),
             ("transport_retries", Json::from(storm.transport_retries)),
             ("faults_injected", Json::from(faults_injected)),
             ("chaos", chaos_counters),

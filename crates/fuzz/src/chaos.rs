@@ -6,7 +6,8 @@
 //! ([`fastsim_serve::server::ChaosConfig`]): seeded response drops,
 //! mid-line truncations, and worker panics. This module drives a chaotic
 //! *client-side* load against such a server — malformed frames, partial
-//! frames, deadline storms, priority mixes — and then asserts the
+//! frames, slow-loris byte dribbles, half-open sockets, mid-response
+//! disconnects, deadline storms, priority mixes — and then asserts the
 //! serving invariants the runbook promises: every admitted job settles,
 //! the metrics dump stays schema-valid, and post-chaos results are
 //! bit-identical to an offline batch run (no cache poisoning).
@@ -88,6 +89,42 @@ impl RetryClient {
         }
         panic!("no response for chunked {line:?} after {RETRY_CAP} attempts");
     }
+
+    /// Slow-loris delivery: the request dribbles in one byte per flush,
+    /// with a pause after each. A readiness-driven server buffers the
+    /// partial line without burning a thread (or a poll loop) on it; the
+    /// request must still be answered once the newline lands.
+    pub fn request_slow_loris(&mut self, line: &str) -> Json {
+        let framed_len = line.len() + 1;
+        let splits: Vec<usize> = (1..framed_len).collect();
+        for _ in 0..RETRY_CAP {
+            match one_shot(&self.path, line, &splits) {
+                Ok(v) => return v,
+                Err(_) => {
+                    self.retries += 1;
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            }
+        }
+        panic!("no response for slow-loris {line:?} after {RETRY_CAP} attempts");
+    }
+
+    /// Half-open delivery: the client sends the request, closes its
+    /// *writing* half, and only then reads. The server sees EOF right
+    /// after the request but must still deliver the response before
+    /// closing its side.
+    pub fn request_half_open(&mut self, line: &str) -> Json {
+        for _ in 0..RETRY_CAP {
+            match half_open_shot(&self.path, line) {
+                Ok(v) => return v,
+                Err(_) => {
+                    self.retries += 1;
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            }
+        }
+        panic!("no response for half-open {line:?} after {RETRY_CAP} attempts");
+    }
 }
 
 /// One connection, one request line (split at `splits` byte offsets with
@@ -122,6 +159,42 @@ fn one_shot(path: &Path, line: &str, splits: &[usize]) -> std::io::Result<Json> 
     })
 }
 
+/// One half-open attempt: write the request, `shutdown(Write)`, then read
+/// the response off the surviving read half.
+fn half_open_shot(path: &Path, line: &str) -> std::io::Result<Json> {
+    let mut stream = UnixStream::connect(path)?;
+    stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+    stream.write_all(format!("{line}\n").as_bytes())?;
+    stream.flush()?;
+    stream.shutdown(std::net::Shutdown::Write)?;
+    let mut reader = BufReader::new(stream);
+    let mut response = String::new();
+    let n = reader.read_line(&mut response)?;
+    if n == 0 || !response.ends_with('\n') {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "response dropped or truncated",
+        ));
+    }
+    Json::parse(response.trim()).map_err(|e| {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, format!("bad response json: {e}"))
+    })
+}
+
+/// Submits a waiting job, then disconnects *before the deferred response
+/// can arrive*. The server must discard the orphaned completion (the
+/// connection is gone when the job settles) and still settle the job —
+/// no crash, no stranded worker, no leaked waiter.
+fn mid_response_disconnect(path: &Path, body: &Json) -> std::io::Result<()> {
+    let mut stream = UnixStream::connect(path)?;
+    stream.write_all(format!("{body}\n").as_bytes())?;
+    stream.flush()?;
+    // Give the loop a beat to parse the request and register the waiter,
+    // then vanish.
+    std::thread::sleep(Duration::from_millis(2));
+    Ok(())
+}
+
 /// Storm shape knobs.
 #[derive(Clone, Debug)]
 pub struct StormConfig {
@@ -135,6 +208,16 @@ pub struct StormConfig {
     /// Submissions with a 1 ms deadline on an oversized job (must settle
     /// `failed` via the timeout path).
     pub deadline_storm: u32,
+    /// Requests dribbled in one byte per flush (slow-loris clients; the
+    /// event loop must buffer them without dedicating a thread).
+    pub slow_loris: u32,
+    /// Requests whose client closes its writing half before reading the
+    /// response (half-open sockets; the response must still arrive).
+    pub half_open: u32,
+    /// Waiting submissions whose client disconnects before the deferred
+    /// response arrives (the orphaned completion must be discarded and
+    /// the job must still settle).
+    pub mid_response: u32,
     /// Instructions per normal storm job.
     pub insts: u64,
 }
@@ -146,6 +229,9 @@ impl Default for StormConfig {
             malformed: 6,
             partial_frames: 4,
             deadline_storm: 4,
+            slow_loris: 3,
+            half_open: 3,
+            mid_response: 3,
             insts: 8_000,
         }
     }
@@ -165,6 +251,13 @@ pub struct StormOutcome {
     pub partial_frames_ok: u64,
     /// Deadline-stormed jobs the server acknowledged admitting.
     pub deadline_admitted: u64,
+    /// Slow-loris requests answered successfully.
+    pub slow_loris_ok: u64,
+    /// Half-open requests answered successfully.
+    pub half_open_ok: u64,
+    /// Mid-response disconnects performed (their jobs run orphaned; the
+    /// settled-state invariants verify nothing stranded).
+    pub mid_response_disconnects: u64,
     /// Transport-level retries (dropped/truncated responses survived).
     pub transport_retries: u64,
 }
@@ -224,6 +317,32 @@ pub fn run_storm(socket: &Path, seed: u64, cfg: &StormConfig) -> StormOutcome {
             if resp.get("ok").and_then(Json::as_bool) == Some(true) {
                 outcome.deadline_admitted +=
                     resp.get("jobs").and_then(Json::as_arr).map_or(0, |jobs| jobs.len() as u64);
+            }
+        }
+        if i < cfg.slow_loris {
+            let resp =
+                client.request_slow_loris(&Json::obj([("op", Json::from("ping"))]).to_string());
+            if resp.get("ok").and_then(Json::as_bool) == Some(true) {
+                outcome.slow_loris_ok += 1;
+            }
+        }
+        if i < cfg.half_open {
+            let resp =
+                client.request_half_open(&Json::obj([("op", Json::from("metrics"))]).to_string());
+            if resp.get("ok").and_then(Json::as_bool) == Some(true) {
+                outcome.half_open_ok += 1;
+            }
+        }
+        if i < cfg.mid_response {
+            let body = Json::obj([
+                ("op", Json::from("submit")),
+                ("kernels", Json::Arr(vec![Json::from(*rng.pick(&STORM_KERNELS))])),
+                ("insts", Json::from(cfg.insts)),
+                ("client", Json::from("vanisher")),
+                ("wait", Json::Bool(true)),
+            ]);
+            if mid_response_disconnect(socket, &body).is_ok() {
+                outcome.mid_response_disconnects += 1;
             }
         }
     }

@@ -7,7 +7,7 @@
 //! ```text
 //! fastsim_served [--tcp ADDR] [--unix PATH] [--workers N]
 //!                [--queue-cap N] [--refreeze-every N] [--timeout-ms N]
-//!                [--max-attempts N] [--backoff-ms N]
+//!                [--max-attempts N] [--backoff-ms N] [--max-conns N]
 //!                [--addr-file PATH] [--metrics-file PATH]
 //!                [--chaos-seed HEX] [--chaos-drop PERMILLE]
 //!                [--chaos-truncate PERMILLE] [--chaos-panic PERMILLE]
@@ -53,6 +53,7 @@ fn main() -> ExitCode {
                 cfg.default_timeout = (ms > 0).then(|| Duration::from_millis(ms));
             }
             "--max-attempts" => cfg.max_attempts = parse(&value("--max-attempts"), "--max-attempts"),
+            "--max-conns" => cfg.max_conns = parse(&value("--max-conns"), "--max-conns"),
             "--backoff-ms" => {
                 cfg.backoff_base = Duration::from_millis(parse(&value("--backoff-ms"), "--backoff-ms"))
             }
@@ -82,7 +83,7 @@ fn main() -> ExitCode {
                 println!(
                     "usage: fastsim_served [--tcp ADDR] [--unix PATH] [--workers N] \
                      [--queue-cap N] [--refreeze-every N] [--timeout-ms N] [--max-attempts N] \
-                     [--backoff-ms N] [--addr-file PATH] [--metrics-file PATH] \
+                     [--backoff-ms N] [--max-conns N] [--addr-file PATH] [--metrics-file PATH] \
                      [--chaos-seed HEX] [--chaos-drop PERMILLE] [--chaos-truncate PERMILLE] \
                      [--chaos-panic PERMILLE]"
                 );

@@ -8,12 +8,17 @@
 //!
 //! The serving loop is deliberately runtime-free — std sockets, threads,
 //! and condvars; no async runtime — matching the workspace's
-//! zero-external-dependencies policy. The moving parts:
+//! zero-external-dependencies policy. One I/O thread owns every client
+//! socket through an epoll instance (raw syscall declarations in a
+//! private `sys` module — still no external crates), so connection count
+//! is decoupled from thread count. The moving parts:
 //!
 //! * [`protocol`] — the wire protocol (requests, responses, defaults).
 //! * [`queue`] — the bounded priority queue with per-client fairness.
-//! * [`server`] — listeners, connection handling, the worker pool, the
+//! * [`server`] — listeners, the epoll event loop, the worker pool, the
 //!   re-freeze cadence, retry/quarantine, drain/shutdown.
+//! * [`conn`] — the per-connection buffering state machine (partial
+//!   frames, pipelining, write-backpressure), socket-free and unit-tested.
 //! * [`metrics`] — the counters/histogram registry dumped as JSON.
 //! * [`client`] — a small synchronous client for the protocol.
 //! * [`json`] — the hand-rolled JSON layer everything above speaks.
@@ -49,9 +54,11 @@
 #![deny(missing_docs)]
 
 pub mod client;
+pub mod conn;
 pub mod json;
 pub mod metrics;
 pub mod protocol;
 pub mod queue;
 pub mod server;
 mod state;
+mod sys;

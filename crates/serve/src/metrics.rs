@@ -13,6 +13,7 @@
 //! reported as the upper edge of their bucket, i.e. within 2× of exact).
 
 use crate::json::Json;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
 
@@ -91,11 +92,31 @@ struct Counters {
     refreeze_hit_rates: Vec<(u64, f64)>,
 }
 
+/// Event-loop counters, updated lock-free from the I/O thread (it is on
+/// every readiness path, so it never takes the registry mutex).
+#[derive(Debug, Default)]
+struct LoopCounters {
+    /// `epoll_wait` returns.
+    wakeups: AtomicU64,
+    /// Readiness events delivered across all wakeups.
+    ready_events: AtomicU64,
+    /// Connections accepted since start.
+    accepted: AtomicU64,
+    /// Reads that drained a socket dry (`EAGAIN`/`EWOULDBLOCK`).
+    eagain_reads: AtomicU64,
+    /// Writes the kernel only partially accepted (backpressure events —
+    /// the remainder queued and re-armed on `EPOLLOUT`).
+    partial_writes: AtomicU64,
+    /// Connections open right now (gauge).
+    open_connections: AtomicU64,
+}
+
 /// The registry. All methods take `&self`; an internal lock serializes
-/// updates.
+/// updates (event-loop counters are atomics outside the lock).
 #[derive(Debug, Default)]
 pub struct Metrics {
     inner: Mutex<Counters>,
+    event_loop: LoopCounters,
 }
 
 impl Metrics {
@@ -158,6 +179,38 @@ impl Metrics {
         c.refreeze_hit_rates.push((group, window_hit_rate));
     }
 
+    /// One `epoll_wait` return delivering `ready` events.
+    pub fn loop_wakeup(&self, ready: u64) {
+        self.event_loop.wakeups.fetch_add(1, Ordering::Relaxed);
+        self.event_loop.ready_events.fetch_add(ready, Ordering::Relaxed);
+    }
+
+    /// One connection accepted (also bumps the open-connections gauge).
+    pub fn conn_accepted(&self) {
+        self.event_loop.accepted.fetch_add(1, Ordering::Relaxed);
+        self.event_loop.open_connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One connection closed (drops the open-connections gauge).
+    pub fn conn_closed(&self) {
+        self.event_loop.open_connections.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// A read drained its socket (`EAGAIN`).
+    pub fn eagain_read(&self) {
+        self.event_loop.eagain_reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A write was only partially accepted; the remainder queued.
+    pub fn partial_write(&self) {
+        self.event_loop.partial_writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Connections open right now.
+    pub fn open_connections(&self) -> u64 {
+        self.event_loop.open_connections.load(Ordering::Relaxed)
+    }
+
     /// Renders the registry as the [`SCHEMA`] JSON object. The queue
     /// gauges are passed in by the caller (they live with the scheduler
     /// state, not here).
@@ -198,6 +251,32 @@ impl Metrics {
                 ]),
             ),
             ("refreeze_hit_rate_trend", Json::Arr(trend)),
+            (
+                "event_loop",
+                Json::obj([
+                    (
+                        "loop_wakeups",
+                        Json::from(self.event_loop.wakeups.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "ready_events",
+                        Json::from(self.event_loop.ready_events.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "accepted",
+                        Json::from(self.event_loop.accepted.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "eagain_reads",
+                        Json::from(self.event_loop.eagain_reads.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "partial_writes",
+                        Json::from(self.event_loop.partial_writes.load(Ordering::Relaxed)),
+                    ),
+                    ("open_connections", Json::from(self.open_connections())),
+                ]),
+            ),
         ])
     }
 }
@@ -244,6 +323,21 @@ mod tests {
         let trend = d.get("refreeze_hit_rate_trend").unwrap().as_arr().unwrap();
         assert_eq!(trend.len(), 1);
         assert_eq!(trend[0].get("hit_rate").unwrap().as_f64(), Some(0.75));
+        // Event-loop counters ride along in their own object.
+        m.loop_wakeup(3);
+        m.conn_accepted();
+        m.conn_accepted();
+        m.conn_closed();
+        m.eagain_read();
+        m.partial_write();
+        let d = m.dump(2, 0, 1);
+        let ev = d.get("event_loop").unwrap();
+        assert_eq!(ev.get("loop_wakeups").unwrap().as_u64(), Some(1));
+        assert_eq!(ev.get("ready_events").unwrap().as_u64(), Some(3));
+        assert_eq!(ev.get("accepted").unwrap().as_u64(), Some(2));
+        assert_eq!(ev.get("open_connections").unwrap().as_u64(), Some(1));
+        assert_eq!(ev.get("eagain_reads").unwrap().as_u64(), Some(1));
+        assert_eq!(ev.get("partial_writes").unwrap().as_u64(), Some(1));
         // The dump is valid JSON end to end.
         assert_eq!(Json::parse(&d.to_string()).unwrap(), d);
     }

@@ -1,12 +1,32 @@
-//! The server: listeners, connection handling, and the persistent worker
+//! The server: the readiness-driven I/O loop and the persistent worker
 //! pool.
 //!
 //! One [`Server::start`] call binds a [`Listener`] (TCP and/or a Unix
 //! socket), spawns [`ServeConfig::workers`] persistent worker threads
 //! sharing one [`fastsim_core::BatchDriver`] worth of master p-action
-//! caches, and returns a [`ServerHandle`]. Each accepted connection gets
-//! its own thread speaking the line-delimited JSON protocol
-//! ([`crate::protocol`]).
+//! caches, plus **one I/O thread** that owns every client socket through
+//! an epoll instance (`crate::sys`), and returns a [`ServerHandle`].
+//! Connection count is decoupled from thread count: tens of thousands of
+//! idle connections cost the loop nothing but a table entry, where the
+//! previous thread-per-connection design spent an OS thread (and an
+//! `IDLE_POLL` sleep loop) per client.
+//!
+//! ## The event loop
+//!
+//! All sockets are nonblocking. The loop sleeps in `epoll_wait` with no
+//! timeout; every wakeup source is a registered fd:
+//!
+//! * the listeners — accept until `EAGAIN`, register each connection;
+//! * the client sockets — read until `EAGAIN`, assemble request lines
+//!   (`crate::conn`), handle each; queue and flush responses, re-arming
+//!   `EPOLLOUT` while backpressure holds bytes back;
+//! * the wake pipe — workers push finished deferred responses
+//!   (`crate::state::Completion`) and wake the loop to deliver them.
+//!
+//! Requests that used to block a connection thread (`submit` with
+//! `wait`, `drain`, `shutdown`) now register a `crate::state::Waiter`;
+//! the connection stays registered, later pipelined requests park behind
+//! the deferred response so responses stay FIFO per connection.
 //!
 //! ## Job lifecycle
 //!
@@ -21,24 +41,35 @@
 //! later jobs start warmer. On panic the job is parked with exponential
 //! backoff and retried, up to [`ServeConfig::max_attempts`] attempts, then
 //! quarantined — failed attempts merge nothing, so they cannot poison the
-//! shared caches.
+//! shared caches. Idle workers sleep on a condvar signaled at every
+//! enqueue (no polling): job pickup latency is bounded by scheduling, not
+//! by a poll interval.
 //!
-//! `drain` stops admissions and waits until every admitted job settles;
-//! `shutdown` drains, stops the workers and listener, and the handle's
+//! `drain` stops admissions and answers once every admitted job settles;
+//! `shutdown` drains, stops the workers and the loop, and the handle's
 //! [`ServerHandle::wait`] returns the final metrics dump.
 
+use crate::conn::{ConnBuf, Ingest};
 use crate::json::Json;
 use crate::protocol::{err_response, ok_response, Request, SubmitSpec};
-use crate::state::{Core, JobRecord, JobStatus, ResponsePlan, ServerState};
+use crate::state::{
+    Completion, Core, JobRecord, JobStatus, ResponsePlan, ServerState, WaitKind, Waiter,
+};
+use crate::sys::{
+    set_nonblocking, wake_pipe, Epoll, EpollEvent, WakeReader, EPOLLERR, EPOLLHUP, EPOLLIN,
+    EPOLLOUT, EPOLLRDHUP,
+};
 use fastsim_core::{run_single, BatchJob, HierarchyConfig, JobFailure, JobReport};
 use fastsim_workloads::Manifest;
-use std::io::{BufRead, BufReader, Write};
-use std::net::TcpListener;
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
 #[cfg(unix)]
-use std::os::unix::net::UnixListener;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::os::unix::io::{AsRawFd, RawFd};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::{Arc, MutexGuard};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -61,6 +92,9 @@ pub struct ServeConfig {
     pub max_attempts: u32,
     /// Backoff before retry k is `backoff_base · 2^(k−1)`.
     pub backoff_base: Duration,
+    /// Open-connection cap: accepts beyond this are immediately closed
+    /// (never left in the backlog, which would busy-wake the loop).
+    pub max_conns: usize,
     /// Server-side fault injection (`None`: no chaos — production mode).
     pub chaos: Option<ChaosConfig>,
 }
@@ -74,6 +108,7 @@ impl Default for ServeConfig {
             default_timeout: Some(Duration::from_secs(120)),
             max_attempts: 3,
             backoff_base: Duration::from_millis(20),
+            max_conns: 16_384,
             chaos: None,
         }
     }
@@ -174,9 +209,14 @@ impl ServerHandle {
         self.state.set_chaos_enabled(false);
     }
 
+    /// Connections open right now (the event loop's gauge).
+    pub fn open_connections(&self) -> u64 {
+        self.state.metrics.open_connections()
+    }
+
     /// Blocks until the server stops (a client sent `shutdown`), joins the
-    /// listener and worker threads, removes the Unix socket file, and
-    /// returns the final metrics dump ([`crate::metrics::SCHEMA`]).
+    /// I/O and worker threads, removes the Unix socket file, and returns
+    /// the final metrics dump ([`crate::metrics::SCHEMA`]).
     pub fn wait(self) -> Json {
         for t in self.threads {
             let _ = t.join();
@@ -197,7 +237,8 @@ impl Server {
     /// its handle immediately.
     pub fn start(cfg: ServeConfig, listeners: Vec<Listener>) -> ServerHandle {
         assert!(!listeners.is_empty(), "a server needs at least one listener");
-        let state = Arc::new(ServerState::new(cfg));
+        let (wake_reader, waker) = wake_pipe().expect("wake pipe");
+        let state = Arc::new(ServerState::new(cfg, waker));
         let mut threads = Vec::new();
         for w in 0..state.cfg.workers.max(1) {
             let state = Arc::clone(&state);
@@ -210,130 +251,447 @@ impl Server {
         }
         let mut tcp_addr = None;
         let mut unix_path = None;
+        let mut tcp = None;
+        let mut unix = None;
         for listener in listeners {
-            let state = Arc::clone(&state);
             match listener {
                 Listener::Tcp(l) => {
                     tcp_addr = l.local_addr().ok();
-                    threads.push(
-                        std::thread::Builder::new()
-                            .name("serve-accept-tcp".into())
-                            .spawn(move || accept_loop_tcp(&state, &l))
-                            .expect("spawn acceptor"),
-                    );
+                    tcp = Some(l);
                 }
                 #[cfg(unix)]
                 Listener::Unix(l, path) => {
                     unix_path = Some(path);
-                    threads.push(
-                        std::thread::Builder::new()
-                            .name("serve-accept-unix".into())
-                            .spawn(move || accept_loop_unix(&state, &l))
-                            .expect("spawn acceptor"),
-                    );
+                    unix = Some(l);
                 }
             }
+        }
+        {
+            let state = Arc::clone(&state);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("serve-io".into())
+                    .spawn(move || EventLoop::new(state, wake_reader, tcp, unix).run())
+                    .expect("spawn event loop"),
+            );
         }
         ServerHandle { state, threads, tcp_addr, unix_path }
     }
 }
 
-/// How often idle loops (workers with nothing runnable, acceptors with no
-/// pending connection) re-check for work and the stop flag.
-const IDLE_POLL: Duration = Duration::from_millis(25);
+/// Epoll token of the wake pipe's read end.
+const TOKEN_WAKE: u64 = 0;
+/// Epoll token of the TCP listener.
+const TOKEN_TCP: u64 = 1;
+/// Epoll token of the Unix listener.
+const TOKEN_UNIX: u64 = 2;
+/// First token handed to an accepted connection.
+const TOKEN_CONN0: u64 = 8;
 
-fn accept_loop_tcp(state: &Arc<ServerState>, listener: &TcpListener) {
-    listener.set_nonblocking(true).expect("nonblocking listener");
-    loop {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                stream.set_nonblocking(false).expect("blocking conn");
-                let state = Arc::clone(state);
-                std::thread::Builder::new()
-                    .name("serve-conn".into())
-                    .spawn(move ||
+/// How long a stopping server keeps trying to flush final responses to
+/// slow readers before closing them anyway.
+const SHUTDOWN_LINGER: Duration = Duration::from_secs(5);
 
-                        handle_connection(&state, BufReader::new(stream.try_clone().expect("clone stream")), stream))
-                    .expect("spawn conn");
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                if state.core.lock().unwrap().stop {
-                    return;
-                }
-                std::thread::sleep(IDLE_POLL);
-            }
-            Err(_) => return,
+/// A client socket of either family, nonblocking.
+enum ConnStream {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl ConnStream {
+    fn fd(&self) -> RawFd {
+        match self {
+            ConnStream::Tcp(s) => s.as_raw_fd(),
+            #[cfg(unix)]
+            ConnStream::Unix(s) => s.as_raw_fd(),
         }
     }
 }
 
-#[cfg(unix)]
-fn accept_loop_unix(state: &Arc<ServerState>, listener: &UnixListener) {
-    listener.set_nonblocking(true).expect("nonblocking listener");
-    loop {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                stream.set_nonblocking(false).expect("blocking conn");
-                let state = Arc::clone(state);
-                std::thread::Builder::new()
-                    .name("serve-conn".into())
-                    .spawn(move ||
-
-                        handle_connection(&state, BufReader::new(stream.try_clone().expect("clone stream")), stream))
-                    .expect("spawn conn");
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                if state.core.lock().unwrap().stop {
-                    return;
-                }
-                std::thread::sleep(IDLE_POLL);
-            }
-            Err(_) => return,
+impl Read for ConnStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            ConnStream::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            ConnStream::Unix(s) => s.read(buf),
         }
     }
 }
 
-/// One connection: read request lines, write response lines, until EOF or
-/// a `shutdown`.
-fn handle_connection<R: BufRead, W: Write>(state: &Arc<ServerState>, mut reader: R, mut writer: W) {
-    let mut line = String::new();
-    loop {
-        line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) | Err(_) => return, // client hung up
-            Ok(_) => {}
+impl Write for ConnStream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            ConnStream::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            ConnStream::Unix(s) => s.write(buf),
         }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            ConnStream::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            ConnStream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// One registered connection: its socket, buffers, and readiness
+/// bookkeeping.
+struct Conn {
+    stream: ConnStream,
+    buf: ConnBuf,
+    /// Interest set currently registered with epoll.
+    interest: u32,
+    /// Peer closed its writing half (half-open): no more requests will
+    /// arrive, but queued/deferred responses still get delivered.
+    eof: bool,
+}
+
+/// What handling one request line produces.
+enum Outcome {
+    /// Answer now.
+    Reply(Json),
+    /// Answer now and close the connection after the flush (shutdown).
+    ReplyClose(Json),
+    /// A waiter was registered; the response arrives as a
+    /// [`Completion`] later. The connection blocks (FIFO responses).
+    Deferred,
+}
+
+/// The I/O thread: owns every socket, the epoll set, and the connection
+/// table. See the [module docs](self).
+struct EventLoop {
+    state: Arc<ServerState>,
+    epoll: Epoll,
+    wake: WakeReader,
+    tcp: Option<TcpListener>,
+    unix: Option<UnixListener>,
+    conns: HashMap<u64, Conn>,
+    next_token: u64,
+    /// Shutdown has begun: listeners are gone, remaining output is
+    /// flushing, the loop exits when the table empties (or the linger
+    /// deadline passes).
+    shutdown_at: Option<Instant>,
+}
+
+impl EventLoop {
+    fn new(
+        state: Arc<ServerState>,
+        wake: WakeReader,
+        tcp: Option<TcpListener>,
+        unix: Option<UnixListener>,
+    ) -> EventLoop {
+        let epoll = Epoll::new().expect("epoll_create1");
+        epoll.add(wake.fd(), EPOLLIN, TOKEN_WAKE).expect("register wake pipe");
+        if let Some(l) = &tcp {
+            l.set_nonblocking(true).expect("nonblocking tcp listener");
+            epoll.add(l.as_raw_fd(), EPOLLIN, TOKEN_TCP).expect("register tcp listener");
+        }
+        if let Some(l) = &unix {
+            l.set_nonblocking(true).expect("nonblocking unix listener");
+            epoll.add(l.as_raw_fd(), EPOLLIN, TOKEN_UNIX).expect("register unix listener");
+        }
+        EventLoop {
+            state,
+            epoll,
+            wake,
+            tcp,
+            unix,
+            conns: HashMap::new(),
+            next_token: TOKEN_CONN0,
+            shutdown_at: None,
+        }
+    }
+
+    fn run(mut self) {
+        let mut events = [EpollEvent { events: 0, token: 0 }; 256];
+        loop {
+            // While stopping, poll with a timeout so a stalled peer
+            // cannot hold the process open past the linger window.
+            let timeout = if self.shutdown_at.is_some() { 100 } else { -1 };
+            let ready: Vec<(u64, u32)> = match self.epoll.wait(&mut events, timeout) {
+                Ok(evs) => evs.iter().map(|e| (e.token, e.events)).collect(),
+                Err(_) => return,
+            };
+            self.state.metrics.loop_wakeup(ready.len() as u64);
+            for (token, bits) in ready {
+                match token {
+                    TOKEN_WAKE => self.wake.drain(),
+                    TOKEN_TCP | TOKEN_UNIX => self.accept_ready(token),
+                    _ => self.conn_event(token, bits),
+                }
+            }
+            self.deliver_completions();
+            if let Some(started) = self.shutdown_at {
+                let all_flushed = self.conns.values().all(|c| !c.buf.wants_write());
+                if all_flushed || started.elapsed() > SHUTDOWN_LINGER {
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Accepts until the listener runs dry. Over-cap connections are
+    /// accepted and immediately closed — leaving them in the backlog
+    /// would re-arm the (level-triggered) listener forever.
+    fn accept_ready(&mut self, token: u64) {
+        loop {
+            let stream = match token {
+                TOKEN_TCP => match self.tcp.as_ref().map(|l| l.accept()) {
+                    Some(Ok((s, _))) => ConnStream::Tcp(s),
+                    Some(Err(e)) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                    _ => return,
+                },
+                _ => match self.unix.as_ref().map(|l| l.accept()) {
+                    Some(Ok((s, _))) => ConnStream::Unix(s),
+                    Some(Err(e)) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                    _ => return,
+                },
+            };
+            if self.conns.len() >= self.state.cfg.max_conns {
+                continue; // drop(stream) closes it
+            }
+            if set_nonblocking(stream.fd()).is_err() {
+                continue;
+            }
+            let token = self.next_token;
+            self.next_token += 1;
+            let interest = EPOLLIN | EPOLLRDHUP;
+            if self.epoll.add(stream.fd(), interest, token).is_err() {
+                continue;
+            }
+            self.conns.insert(token, Conn { stream, buf: ConnBuf::new(), interest, eof: false });
+            self.state.metrics.conn_accepted();
+        }
+    }
+
+    /// One readiness report for a connection: read everything available,
+    /// handle the completed lines, flush what can be flushed, and re-arm.
+    fn conn_event(&mut self, token: u64, bits: u32) {
+        if bits & EPOLLERR != 0 {
+            self.close_conn(token);
+            return;
+        }
+        if bits & (EPOLLIN | EPOLLRDHUP | EPOLLHUP) != 0 {
+            self.read_ready(token);
+        }
+        if bits & EPOLLOUT != 0 {
+            self.flush(token);
+        }
+        self.maintain(token);
+    }
+
+    /// Reads until `EAGAIN`/EOF, assembling and handling request lines.
+    fn read_ready(&mut self, token: u64) {
+        let mut tmp = [0u8; 16 * 1024];
+        loop {
+            let Some(conn) = self.conns.get_mut(&token) else { return };
+            if conn.buf.read_paused() {
+                return; // output backlog too deep; maintain() re-arms later
+            }
+            let (lines, oversized) = match conn.stream.read(&mut tmp) {
+                Ok(0) => {
+                    conn.eof = true;
+                    return;
+                }
+                Ok(n) => match conn.buf.ingest(&tmp[..n]) {
+                    Ingest::Lines(lines) => (lines, false),
+                    Ingest::Oversized(lines) => (lines, true),
+                },
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    self.state.metrics.eagain_read();
+                    return;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close_conn(token);
+                    return;
+                }
+            };
+            for line in lines {
+                self.process_line(token, line);
+            }
+            if oversized {
+                // Answer the violation, then hang up once it flushes.
+                if let Some(conn) = self.conns.get_mut(&token) {
+                    let msg = err_response(format!(
+                        "request line exceeds {} bytes",
+                        crate::conn::MAX_LINE
+                    ));
+                    conn.buf.queue(format!("{msg}\n").as_bytes());
+                    conn.buf.close_after_flush();
+                }
+                self.flush(token);
+                return;
+            }
+        }
+    }
+
+    /// Handles one complete request line (or parks it behind an
+    /// outstanding deferred response, keeping responses FIFO).
+    fn process_line(&mut self, token: u64, line: String) {
         if line.trim().is_empty() {
-            continue;
+            return;
         }
-        let (response, close) = match Request::parse(line.trim()) {
-            Err(msg) => (err_response(msg), false),
-            Ok(Request::Ping) => (ok_response([("pong", Json::Bool(true))]), false),
-            Ok(Request::Metrics) => {
-                let core = state.core.lock().unwrap();
-                (ok_response([("metrics", dump_metrics(state, &core))]), false)
+        {
+            let Some(conn) = self.conns.get_mut(&token) else { return };
+            if conn.buf.blocked() {
+                conn.buf.defer_line(line);
+                return;
             }
-            Ok(Request::Poll { job }) => (handle_poll(state, job), false),
-            Ok(Request::Submit(spec)) => (handle_submit(state, &spec), false),
-            Ok(Request::Drain) => (handle_drain(state), false),
-            Ok(Request::Shutdown) => (handle_shutdown(state), true),
-        };
+        }
+        match handle_request(&self.state, token, &line) {
+            Outcome::Reply(response) => self.queue_response(token, &response, false),
+            Outcome::ReplyClose(response) => self.queue_response(token, &response, true),
+            Outcome::Deferred => {
+                if let Some(conn) = self.conns.get_mut(&token) {
+                    conn.buf.set_blocked(true);
+                }
+            }
+        }
+    }
+
+    /// Queues one response line on a connection, applying transport chaos
+    /// (a closing response — `shutdown` — is always delivered: the server
+    /// is stopping, so a retry could never reconnect to learn the
+    /// outcome), then flushes what the socket will take.
+    fn queue_response(&mut self, token: u64, response: &Json, close: bool) {
+        let plan = if close { ResponsePlan::Deliver } else { self.state.chaos_response_plan() };
+        let Some(conn) = self.conns.get_mut(&token) else { return };
         let framed = format!("{response}\n");
-        // Transport chaos: a closing response (`shutdown`) is always
-        // delivered — the server is stopping, so a retry could never
-        // reconnect to learn the outcome.
-        let plan = if close { ResponsePlan::Deliver } else { state.chaos_response_plan() };
-        let bytes: &[u8] = match plan {
-            ResponsePlan::Deliver => framed.as_bytes(),
-            ResponsePlan::Drop => return,
-            ResponsePlan::Truncate => &framed.as_bytes()[..framed.len() / 2],
+        match plan {
+            ResponsePlan::Deliver => conn.buf.queue(framed.as_bytes()),
+            ResponsePlan::Drop => {
+                self.close_conn(token);
+                return;
+            }
+            ResponsePlan::Truncate => {
+                conn.buf.queue(&framed.as_bytes()[..framed.len() / 2]);
+                conn.buf.close_after_flush();
+            }
+        }
+        if close {
+            conn.buf.close_after_flush();
+        }
+        self.flush(token);
+    }
+
+    /// Hands finished deferred responses from the workers to their
+    /// connections, unblocking each and replaying any parked pipeline.
+    fn deliver_completions(&mut self) {
+        let (completions, stop) = {
+            let mut core = self.state.core.lock().unwrap();
+            (std::mem::take(&mut core.completions), core.stop)
         };
-        if writer.write_all(bytes).is_err() || writer.flush().is_err() {
+        for Completion { conn: token, response, close } in completions {
+            let Some(conn) = self.conns.get_mut(&token) else { continue };
+            conn.buf.set_blocked(false);
+            self.queue_response(token, &response, close);
+            // Requests pipelined behind the deferred one now get served,
+            // until one of them defers again.
+            loop {
+                let next = match self.conns.get_mut(&token) {
+                    Some(conn) if !conn.buf.blocked() => conn.buf.next_deferred(),
+                    _ => None,
+                };
+                match next {
+                    Some(line) => self.process_line(token, line),
+                    None => break,
+                }
+            }
+            self.maintain(token);
+        }
+        if stop && self.shutdown_at.is_none() {
+            self.begin_shutdown();
+        }
+    }
+
+    /// Stops accepting, marks every connection to close once its output
+    /// flushes, and starts the linger clock.
+    fn begin_shutdown(&mut self) {
+        if let Some(l) = self.tcp.take() {
+            self.epoll.delete(l.as_raw_fd());
+        }
+        if let Some(l) = self.unix.take() {
+            self.epoll.delete(l.as_raw_fd());
+        }
+        let idle: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| !c.buf.wants_write())
+            .map(|(&t, _)| t)
+            .collect();
+        for token in idle {
+            self.close_conn(token);
+        }
+        self.shutdown_at = Some(Instant::now());
+    }
+
+    /// Writes queued output; on backpressure the remainder stays and
+    /// `EPOLLOUT` gets (re-)armed by `maintain`.
+    fn flush(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else { return };
+        let Conn { stream, buf, .. } = conn;
+        match buf.flush_into(stream) {
+            Ok(true) => {}
+            Ok(false) => self.state.metrics.partial_write(),
+            Err(_) => self.close_conn(token),
+        }
+    }
+
+    /// Recomputes the connection's interest set and closes it when its
+    /// lifecycle says so.
+    fn maintain(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else { return };
+        let finished = conn.buf.done()
+            || (conn.eof
+                && !conn.buf.blocked()
+                && !conn.buf.has_deferred()
+                && !conn.buf.wants_write());
+        if finished {
+            self.close_conn(token);
             return;
         }
-        if plan == ResponsePlan::Truncate || close {
-            return;
+        let mut desired = 0;
+        if !conn.eof && !conn.buf.read_paused() {
+            desired |= EPOLLIN | EPOLLRDHUP;
         }
+        if conn.buf.wants_write() {
+            desired |= EPOLLOUT;
+        }
+        if desired != conn.interest {
+            if self.epoll.modify(conn.stream.fd(), desired, token).is_ok() {
+                conn.interest = desired;
+            } else {
+                self.close_conn(token);
+            }
+        }
+    }
+
+    fn close_conn(&mut self, token: u64) {
+        if let Some(conn) = self.conns.remove(&token) {
+            self.epoll.delete(conn.stream.fd());
+            self.state.metrics.conn_closed();
+        }
+    }
+}
+
+/// Parses and executes one request line; quick ops answer inline, the
+/// formerly-blocking ops register waiters.
+fn handle_request(state: &Arc<ServerState>, token: u64, line: &str) -> Outcome {
+    match Request::parse(line.trim()) {
+        Err(msg) => Outcome::Reply(err_response(msg)),
+        Ok(Request::Ping) => Outcome::Reply(ok_response([("pong", Json::Bool(true))])),
+        Ok(Request::Metrics) => {
+            let core = state.core.lock().unwrap();
+            Outcome::Reply(ok_response([("metrics", dump_metrics(state, &core))]))
+        }
+        Ok(Request::Poll { job }) => Outcome::Reply(handle_poll(state, job)),
+        Ok(Request::Submit(spec)) => handle_submit(state, token, &spec),
+        Ok(Request::Drain) => handle_drain(state, token),
+        Ok(Request::Shutdown) => handle_shutdown(state, token),
     }
 }
 
@@ -439,10 +797,10 @@ fn expand_submit(spec: &SubmitSpec) -> Result<Vec<BatchJob>, String> {
     Ok(jobs)
 }
 
-fn handle_submit(state: &Arc<ServerState>, spec: &SubmitSpec) -> Json {
+fn handle_submit(state: &Arc<ServerState>, token: u64, spec: &SubmitSpec) -> Outcome {
     let jobs = match expand_submit(spec) {
         Ok(jobs) => jobs,
-        Err(msg) => return err_response(msg),
+        Err(msg) => return Outcome::Reply(err_response(msg)),
     };
     let timeout = spec
         .timeout_ms
@@ -451,18 +809,18 @@ fn handle_submit(state: &Arc<ServerState>, spec: &SubmitSpec) -> Json {
 
     let mut core = state.core.lock().unwrap();
     if core.draining || core.stop {
-        return err_response("server is draining; not accepting jobs");
+        return Outcome::Reply(err_response("server is draining; not accepting jobs"));
     }
     // All-or-nothing admission: a half-admitted submission would make
     // `wait` block on jobs that were never queued.
     if core.queue.available() < jobs.len() {
         state.metrics.rejected(jobs.len() as u64);
-        return err_response(format!(
+        return Outcome::Reply(err_response(format!(
             "queue full: {} jobs requested, {} slots free (capacity {})",
             jobs.len(),
             core.queue.available(),
             state.cfg.queue_capacity
-        ));
+        )));
     }
     let mut ids = Vec::with_capacity(jobs.len());
     for job in jobs {
@@ -477,50 +835,101 @@ fn handle_submit(state: &Arc<ServerState>, spec: &SubmitSpec) -> Json {
     state.work.notify_all();
 
     if !spec.wait {
-        return ok_response([(
+        return Outcome::Reply(ok_response([(
             "jobs",
             Json::Arr(ids.iter().map(|&id| Json::from(id)).collect()),
-        )]);
+        )]));
     }
-    // Wait until every admitted job settles, then answer with the full
-    // records (in submission order).
-    while !ids.iter().all(|id| core.jobs[id].status.settled()) {
-        core = state.done.wait(core).unwrap();
-    }
-    ok_response([(
-        "jobs",
-        Json::Arr(ids.iter().map(|id| job_json(&core.jobs[id])).collect()),
-    )])
+    // The response arrives as a Completion once every job settles; the
+    // connection blocks (FIFO responses) but the I/O thread does not.
+    core.waiters.push(Waiter { conn: token, kind: WaitKind::Jobs(ids) });
+    Outcome::Deferred
 }
 
-fn handle_drain(state: &Arc<ServerState>) -> Json {
-    let core = state.core.lock().unwrap();
-    let core = drain(state, core);
-    ok_response([("drained", Json::Bool(true)), ("metrics", dump_metrics(state, &core))])
-}
-
-fn handle_shutdown(state: &Arc<ServerState>) -> Json {
-    let core = state.core.lock().unwrap();
-    let mut core = drain(state, core);
-    core.stop = true;
-    state.work.notify_all();
-    ok_response([("stopped", Json::Bool(true)), ("metrics", dump_metrics(state, &core))])
-}
-
-/// Stops admissions and blocks until every admitted job has settled
-/// (in-flight jobs finish, parked jobs retry and settle).
-fn drain<'a>(state: &'a ServerState, mut core: MutexGuard<'a, Core>) -> MutexGuard<'a, Core> {
+fn handle_drain(state: &Arc<ServerState>, token: u64) -> Outcome {
+    let mut core = state.core.lock().unwrap();
     core.draining = true;
-    while !core.drained() {
-        core = state.done.wait_timeout(core, IDLE_POLL).unwrap().0;
+    if core.drained() {
+        return Outcome::Reply(ok_response([
+            ("drained", Json::Bool(true)),
+            ("metrics", dump_metrics(state, &core)),
+        ]));
     }
-    core
+    core.waiters.push(Waiter { conn: token, kind: WaitKind::Drain });
+    Outcome::Deferred
+}
+
+fn handle_shutdown(state: &Arc<ServerState>, token: u64) -> Outcome {
+    let mut core = state.core.lock().unwrap();
+    core.draining = true;
+    if core.drained() {
+        core.stop = true;
+        state.work.notify_all();
+        return Outcome::ReplyClose(ok_response([
+            ("stopped", Json::Bool(true)),
+            ("metrics", dump_metrics(state, &core)),
+        ]));
+    }
+    core.waiters.push(Waiter { conn: token, kind: WaitKind::Shutdown });
+    Outcome::Deferred
+}
+
+/// Settles every waiter whose condition now holds, pushing the finished
+/// responses onto [`Core::completions`]. Returns whether any settled (the
+/// caller wakes the I/O loop). A settling `shutdown` waiter also stops
+/// the workers.
+fn settle_waiters(state: &ServerState, core: &mut Core) -> bool {
+    let mut settled_any = false;
+    let mut i = 0;
+    while i < core.waiters.len() {
+        let ready = match &core.waiters[i].kind {
+            WaitKind::Jobs(ids) => ids.iter().all(|id| core.jobs[id].status.settled()),
+            WaitKind::Drain | WaitKind::Shutdown => core.drained(),
+        };
+        if !ready {
+            i += 1;
+            continue;
+        }
+        let waiter = core.waiters.swap_remove(i);
+        let (response, close) = match &waiter.kind {
+            WaitKind::Jobs(ids) => (
+                ok_response([(
+                    "jobs",
+                    Json::Arr(ids.iter().map(|id| job_json(&core.jobs[id])).collect()),
+                )]),
+                false,
+            ),
+            WaitKind::Drain => (
+                ok_response([
+                    ("drained", Json::Bool(true)),
+                    ("metrics", dump_metrics(state, core)),
+                ]),
+                false,
+            ),
+            WaitKind::Shutdown => {
+                core.stop = true;
+                state.work.notify_all();
+                (
+                    ok_response([
+                        ("stopped", Json::Bool(true)),
+                        ("metrics", dump_metrics(state, core)),
+                    ]),
+                    true,
+                )
+            }
+        };
+        core.completions.push(Completion { conn: waiter.conn, response, close });
+        settled_any = true;
+    }
+    settled_any
 }
 
 /// A persistent worker: pop a runnable job, run it outside the lock under
-/// `catch_unwind`, then settle/park it. Exits when `stop` is set (which
-/// [`handle_shutdown`] only does after a drain, so exiting never strands a
-/// job).
+/// `catch_unwind`, then settle/park it and settle any waiters that were
+/// waiting on it. Exits when `stop` is set (which only happens after a
+/// drain, so exiting never strands a job). Idle workers sleep on the
+/// `work` condvar — signaled on submit, park, and stop — with a timed
+/// wait only when a parked job's backoff deadline is pending.
 fn worker_loop(state: &Arc<ServerState>) {
     loop {
         // Claim a runnable job.
@@ -542,14 +951,19 @@ fn worker_loop(state: &Arc<ServerState>) {
                 core.in_flight += 1;
                 break (entry.id, job, snapshot, deadline, chaos);
             }
-            // Nothing runnable: sleep until the earliest parked job is due
-            // (capped so a stop/park is noticed promptly).
-            let wait = core
-                .queue
-                .next_wakeup()
-                .map(|t| t.saturating_duration_since(Instant::now()).min(IDLE_POLL))
-                .unwrap_or(IDLE_POLL);
-            core = state.work.wait_timeout(core, wait.max(Duration::from_millis(1))).unwrap().0;
+            // Nothing runnable: sleep until the earliest parked job is
+            // due, or indefinitely when nothing is parked — enqueues and
+            // stop signal the condvar, so there is no poll interval.
+            match core.queue.next_wakeup() {
+                Some(due) => {
+                    let now = Instant::now();
+                    if due <= now {
+                        continue;
+                    }
+                    core = state.work.wait_timeout(core, due - now).unwrap().0;
+                }
+                None => core = state.work.wait(core).unwrap(),
+            }
         };
         drop(core);
 
@@ -635,7 +1049,11 @@ fn worker_loop(state: &Arc<ServerState>) {
                 }
             }
         }
-        state.done.notify_all();
+        // Whatever settled may have satisfied waiters; finished responses
+        // ride the wake pipe back to the I/O loop.
+        if settle_waiters(state, &mut core) {
+            state.waker.wake();
+        }
         state.work.notify_all();
     }
 }

@@ -1,12 +1,13 @@
 //! Internal scheduler state: the job table, per-group snapshot control,
-//! and the mutex/condvar pair workers and connection handlers rendezvous
-//! on. Not part of the public API — the server module owns the only
-//! instance.
+//! the waiter/completion rendezvous between workers and the I/O loop,
+//! and the work condvar workers sleep on. Not part of the public API —
+//! the server module owns the only instance.
 
 use crate::json::Json;
 use crate::metrics::Metrics;
 use crate::queue::{JobQueue, QueueEntry};
 use crate::server::ServeConfig;
+use crate::sys::Waker;
 use fastsim_core::{BatchDriver, BatchJob, JobReport, WarmCacheSnapshot};
 use fastsim_prng::Rng;
 use std::collections::HashMap;
@@ -105,6 +106,41 @@ impl GroupCtl {
     }
 }
 
+/// What a deferred response is waiting for. The event loop cannot block
+/// a thread per waiting request the way the thread-per-connection server
+/// did, so blocking ops register a waiter instead; workers settle waiters
+/// as jobs finish and hand the finished responses back to the I/O loop
+/// as [`Completion`]s over the wake pipe.
+pub enum WaitKind {
+    /// A `submit` with `wait: true`: respond once every listed job has
+    /// settled, with the full job records in submission order.
+    Jobs(Vec<u64>),
+    /// A `drain`: respond once every admitted job has settled.
+    Drain,
+    /// A `shutdown`: like drain, then stop workers and the loop; the
+    /// response closes the connection.
+    Shutdown,
+}
+
+/// A registered deferred response: which connection gets it and what it
+/// waits for.
+pub struct Waiter {
+    /// Event-loop connection token.
+    pub conn: u64,
+    /// Settlement condition.
+    pub kind: WaitKind,
+}
+
+/// A finished response on its way from a worker to the I/O loop.
+pub struct Completion {
+    /// Event-loop connection token the response belongs to.
+    pub conn: u64,
+    /// The response line (unframed).
+    pub response: Json,
+    /// Close the connection after delivering (shutdown responses).
+    pub close: bool,
+}
+
 /// Everything behind the scheduler lock.
 pub struct Core {
     /// The work queue.
@@ -123,6 +159,10 @@ pub struct Core {
     pub draining: bool,
     /// Workers must exit once no job is runnable.
     pub stop: bool,
+    /// Deferred responses waiting for jobs to settle.
+    pub waiters: Vec<Waiter>,
+    /// Settled responses awaiting pickup by the I/O loop.
+    pub completions: Vec<Completion>,
 }
 
 impl Core {
@@ -167,8 +207,9 @@ pub struct ServerState {
     pub core: Mutex<Core>,
     /// Signaled when work may be runnable (push, unpark, stop).
     pub work: Condvar,
-    /// Signaled when a job settles (wait/drain watchers).
-    pub done: Condvar,
+    /// Wakes the I/O loop when [`Core::completions`] gained entries (or
+    /// `stop` was set).
+    pub waker: Waker,
     /// The metrics registry (own lock; see [`Metrics`]).
     pub metrics: Metrics,
     /// Server configuration.
@@ -178,8 +219,9 @@ pub struct ServerState {
 }
 
 impl ServerState {
-    /// Fresh state for a server with the given config.
-    pub fn new(cfg: ServeConfig) -> ServerState {
+    /// Fresh state for a server with the given config; `waker` is the
+    /// write end of the I/O loop's wake pipe.
+    pub fn new(cfg: ServeConfig, waker: Waker) -> ServerState {
         let chaos = cfg.chaos.map(|c| {
             Mutex::new(ChaosState {
                 rng: Rng::new(c.seed),
@@ -199,9 +241,11 @@ impl ServerState {
                 in_flight: 0,
                 draining: false,
                 stop: false,
+                waiters: Vec::new(),
+                completions: Vec::new(),
             }),
             work: Condvar::new(),
-            done: Condvar::new(),
+            waker,
             metrics: Metrics::new(),
             cfg,
             chaos,

@@ -1,0 +1,305 @@
+//! Minimal Linux readiness syscalls for the event loop.
+//!
+//! The workspace is zero-external-dependency, so instead of a `libc` or
+//! `mio` crate this module declares the four syscall wrappers the event
+//! loop needs — `epoll_create1`, `epoll_ctl`, `epoll_wait`, `fcntl` —
+//! plus `pipe2`/`read`/`write`/`close` for the worker→loop wake pipe,
+//! directly against the C library the Rust standard library already
+//! links. Everything is wrapped in safe RAII types here; no other module
+//! touches a raw fd.
+//!
+//! Linux-only by design (see `docs/serving.md`): the serving tier targets
+//! one deployment platform, and a portability shim (`poll(2)`, kqueue)
+//! would triple the surface for no tested configuration.
+
+use std::io;
+use std::os::unix::io::RawFd;
+
+// x86-64 Linux declares `struct epoll_event` packed; other ABIs align it
+// naturally. Getting this wrong corrupts the returned token, so it is
+// asserted in the tests below.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    /// Readiness bit set ([`EPOLLIN`], [`EPOLLOUT`], ...).
+    pub events: u32,
+    /// Caller-chosen token identifying the registered fd.
+    pub token: u64,
+}
+
+/// The fd is readable (or a peer connected, for a listener).
+pub const EPOLLIN: u32 = 0x001;
+/// The fd accepts writes without blocking.
+pub const EPOLLOUT: u32 = 0x004;
+/// Error condition (always reported, never needs registering).
+pub const EPOLLERR: u32 = 0x008;
+/// Hang-up (always reported, never needs registering).
+pub const EPOLLHUP: u32 = 0x010;
+/// Peer closed its writing half (registered so half-open connections
+/// surface without a read).
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+const EPOLL_CLOEXEC: i32 = 0x80000;
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CTL_MOD: i32 = 3;
+
+const F_GETFL: i32 = 3;
+const F_SETFL: i32 = 4;
+const O_NONBLOCK: i32 = 0x800;
+const O_CLOEXEC: i32 = 0x80000;
+
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+    fn fcntl(fd: i32, cmd: i32, ...) -> i32;
+    fn pipe2(fds: *mut i32, flags: i32) -> i32;
+    fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+    fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+    fn close(fd: i32) -> i32;
+}
+
+/// Marks an fd nonblocking via `fcntl(F_GETFL/F_SETFL)`.
+///
+/// # Errors
+///
+/// The `fcntl` errno.
+pub fn set_nonblocking(fd: RawFd) -> io::Result<()> {
+    // SAFETY: F_GETFL/F_SETFL on a caller-owned open fd; no memory is
+    // passed to the kernel.
+    unsafe {
+        let flags = fcntl(fd, F_GETFL);
+        if flags < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        if fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0 {
+            return Err(io::Error::last_os_error());
+        }
+    }
+    Ok(())
+}
+
+/// An epoll instance (RAII: closed on drop).
+pub struct Epoll {
+    fd: RawFd,
+}
+
+impl Epoll {
+    /// A fresh epoll instance.
+    ///
+    /// # Errors
+    ///
+    /// The `epoll_create1` errno.
+    pub fn new() -> io::Result<Epoll> {
+        // SAFETY: no pointers; returns a new fd or -1.
+        let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Epoll { fd })
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+        let mut ev = EpollEvent { events: interest, token };
+        // SAFETY: `ev` outlives the call; the kernel copies it before
+        // returning. DEL ignores the event pointer.
+        if unsafe { epoll_ctl(self.fd, op, fd, &mut ev) } < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Registers `fd` with the given interest set and token.
+    ///
+    /// # Errors
+    ///
+    /// The `epoll_ctl` errno.
+    pub fn add(&self, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, interest, token)
+    }
+
+    /// Changes an already-registered fd's interest set.
+    ///
+    /// # Errors
+    ///
+    /// The `epoll_ctl` errno.
+    pub fn modify(&self, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, interest, token)
+    }
+
+    /// Deregisters an fd (harmless if the fd is already closed — closing
+    /// an fd removes it from every epoll set).
+    pub fn delete(&self, fd: RawFd) {
+        let _ = self.ctl(EPOLL_CTL_DEL, fd, 0, 0);
+    }
+
+    /// Blocks until at least one registered fd is ready — or for
+    /// `timeout_ms` milliseconds (`-1`: forever; every wakeup source is a
+    /// registered fd, the wake pipe included) — and fills `events`. An
+    /// empty slice means the timeout elapsed. Retries on `EINTR`.
+    ///
+    /// # Errors
+    ///
+    /// Any `epoll_wait` errno other than `EINTR`.
+    pub fn wait<'a>(
+        &self,
+        events: &'a mut [EpollEvent],
+        timeout_ms: i32,
+    ) -> io::Result<&'a [EpollEvent]> {
+        loop {
+            // SAFETY: the kernel writes at most `events.len()` entries
+            // into the caller-owned buffer.
+            let n = unsafe {
+                epoll_wait(self.fd, events.as_mut_ptr(), events.len() as i32, timeout_ms)
+            };
+            if n >= 0 {
+                return Ok(&events[..n as usize]);
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() != io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        }
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        // SAFETY: fd is owned by this instance and closed exactly once.
+        unsafe { close(self.fd) };
+    }
+}
+
+/// The read end of the worker→loop wake pipe: registered in the epoll
+/// set, drained on every wakeup.
+pub struct WakeReader {
+    fd: RawFd,
+}
+
+impl WakeReader {
+    /// The fd to register with [`Epoll::add`].
+    pub fn fd(&self) -> RawFd {
+        self.fd
+    }
+
+    /// Discards every pending wake byte (the pipe is nonblocking; a dry
+    /// read ends the drain).
+    pub fn drain(&self) {
+        let mut buf = [0u8; 64];
+        // SAFETY: reads into a caller-owned buffer from an owned fd.
+        while unsafe { read(self.fd, buf.as_mut_ptr(), buf.len()) } > 0 {}
+    }
+}
+
+impl Drop for WakeReader {
+    fn drop(&mut self) {
+        // SAFETY: fd owned, closed once.
+        unsafe { close(self.fd) };
+    }
+}
+
+/// The write end of the wake pipe, shared by every worker thread.
+pub struct Waker {
+    fd: RawFd,
+}
+
+impl Waker {
+    /// Makes the next [`Epoll::wait`] return. A full pipe is success:
+    /// the loop already has a wakeup pending, so the byte would be
+    /// redundant anyway.
+    pub fn wake(&self) {
+        let byte = [1u8];
+        // SAFETY: writes one byte from a stack buffer to an owned fd.
+        unsafe { write(self.fd, byte.as_ptr(), 1) };
+    }
+}
+
+impl Drop for Waker {
+    fn drop(&mut self) {
+        // SAFETY: fd owned, closed once.
+        unsafe { close(self.fd) };
+    }
+}
+
+/// A nonblocking self-pipe: `(read end for the loop, write end for the
+/// workers)`.
+///
+/// # Errors
+///
+/// The `pipe2` errno.
+pub fn wake_pipe() -> io::Result<(WakeReader, Waker)> {
+    let mut fds = [0i32; 2];
+    // SAFETY: the kernel fills the 2-entry array.
+    if unsafe { pipe2(fds.as_mut_ptr(), O_NONBLOCK | O_CLOEXEC) } < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok((WakeReader { fd: fds[0] }, Waker { fd: fds[1] }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write as _};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::unix::io::AsRawFd;
+
+    #[test]
+    fn epoll_event_layout_matches_the_kernel_abi() {
+        // Packed 12 bytes on x86-64, aligned elsewhere — a mismatch here
+        // garbles tokens for every event after the first.
+        if cfg!(target_arch = "x86_64") {
+            assert_eq!(std::mem::size_of::<EpollEvent>(), 12);
+        }
+        assert_eq!(std::mem::size_of::<u32>() % std::mem::align_of::<EpollEvent>(), 0);
+    }
+
+    #[test]
+    fn wake_pipe_wakes_and_drains() {
+        let (reader, waker) = wake_pipe().expect("pipe");
+        let epoll = Epoll::new().expect("epoll");
+        epoll.add(reader.fd(), EPOLLIN, 7).expect("add");
+        waker.wake();
+        waker.wake();
+        let mut events = [EpollEvent { events: 0, token: 0 }; 8];
+        let ready = epoll.wait(&mut events, -1).expect("wait");
+        assert_eq!(ready.len(), 1);
+        assert_eq!({ ready[0].token }, 7);
+        assert_ne!({ ready[0].events } & EPOLLIN, 0);
+        reader.drain(); // dry after both bytes — nonblocking read loop ends
+    }
+
+    #[test]
+    fn readiness_tracks_socket_state() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let epoll = Epoll::new().expect("epoll");
+        epoll.add(listener.as_raw_fd(), EPOLLIN, 1).expect("add listener");
+
+        let mut client = TcpStream::connect(addr).expect("connect");
+        let mut events = [EpollEvent { events: 0, token: 0 }; 8];
+        let ready = epoll.wait(&mut events, -1).expect("wait accept");
+        assert!(ready.iter().any(|e| { e.token } == 1), "listener readable on connect");
+
+        let (mut served, _) = listener.accept().expect("accept");
+        set_nonblocking(served.as_raw_fd()).expect("nonblocking");
+        epoll
+            .add(served.as_raw_fd(), EPOLLIN | EPOLLRDHUP, 2)
+            .expect("add conn");
+        client.write_all(b"hi").expect("send");
+        let ready = epoll.wait(&mut events, -1).expect("wait read");
+        assert!(ready.iter().any(|e| { e.token } == 2 && { e.events } & EPOLLIN != 0));
+        let mut buf = [0u8; 8];
+        assert_eq!(served.read(&mut buf).expect("read"), 2);
+
+        // Peer close surfaces as RDHUP/HUP without needing a read.
+        drop(client);
+        let ready = epoll.wait(&mut events, -1).expect("wait hup");
+        assert!(ready
+            .iter()
+            .any(|e| { e.token } == 2 && { e.events } & (EPOLLRDHUP | EPOLLHUP | EPOLLIN) != 0));
+
+        epoll.delete(served.as_raw_fd());
+    }
+}

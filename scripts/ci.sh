@@ -144,6 +144,29 @@ for key in '"schema": "fastsim-serve-metrics/v1"' '"submitted": 8' \
 done
 echo "==> serve smoke passed ($SERVE_METRICS)"
 
+echo "==> serve scale smoke: 1024 idle connections around an active core"
+# Connection-scaling gate for the event-loop server: park 1024 idle
+# connections on the I/O thread, drive a fixed active client through
+# them, and require (a) the fastsim-serve-scale/v1 schema and (b) the
+# bench's own pass criterion — active-client p99 at the top tier no
+# worse than the small-tier baseline (within its noise tolerance). The
+# bench exits nonzero itself when idle connections slow the active
+# client, so a regression fails this step even before the grep.
+SCALE_OUT="target/bench_serve_scale_smoke.json"
+cargo run --release -q -p fastsim-bench --bin serve_scale -- \
+    --tiers 64,1024 --rounds 20 --out "$SCALE_OUT"
+for key in '"schema": "fastsim-serve-scale/v1"' '"debug_build": false' \
+    '"tiers"' '"connections_idle": 1024' '"connections_held"' \
+    '"jobs_per_sec"' '"p50_us"' '"p99_us"' '"loop_wakeups"' \
+    '"ready_events"' '"summary"' '"max_connections_held"' \
+    '"p99_ratio_max_over_baseline"' '"idle_scaling_ok": true'; do
+    grep -qF "$key" "$SCALE_OUT" || {
+        echo "serve scale smoke: missing $key in $SCALE_OUT" >&2
+        exit 1
+    }
+done
+echo "==> serve scale smoke passed ($SCALE_OUT)"
+
 echo "==> fuzz smoke: 500 generated kernels through the differential oracle"
 # Fixed seed, fully offline: replay the checked-in fuzz/corpus/ golden
 # seeds, then generate 500 random kernels and require bit-identical
@@ -177,6 +200,7 @@ cargo run --release -q -p fastsim-fuzz --bin chaos_smoke -- \
 for key in '"schema": "fastsim-chaos-smoke/v1"' '"all_settled": true' \
     '"metrics_schema_ok": true' '"post_chaos_identical": true' \
     '"ok": true' '"malformed_rejected"' '"partial_frames_ok"' \
+    '"slow_loris_ok"' '"half_open_ok"' '"mid_response_disconnects"' \
     '"faults_injected"' '"transport_retries"'; do
     grep -qF "$key" "$CHAOS_OUT" || {
         echo "chaos smoke: missing $key in $CHAOS_OUT" >&2

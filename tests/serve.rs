@@ -274,6 +274,86 @@ fn graceful_drain_settles_every_job_and_metrics_match_the_schema() {
 }
 
 #[test]
+fn a_thousand_idle_connections_are_free_and_active_results_stay_identical() {
+    let (handle, socket) =
+        start_server("scale", ServeConfig { workers: 2, ..ServeConfig::default() });
+
+    // Park 1000 idle connections on the event loop. Under the old
+    // thread-per-connection model this was 1000 OS threads; now it is
+    // 1000 table entries on one I/O thread.
+    const IDLE: usize = 1000;
+    let idle: Vec<std::os::unix::net::UnixStream> = (0..IDLE)
+        .map(|i| {
+            std::os::unix::net::UnixStream::connect(&socket)
+                .unwrap_or_else(|e| panic!("idle connect {i}: {e}"))
+        })
+        .collect();
+
+    // The accept side is asynchronous; wait for the gauge to catch up.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while handle.open_connections() < IDLE as u64 {
+        assert!(std::time::Instant::now() < deadline, "event loop never accepted the idle herd");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // Active work through one more connection behaves exactly as on an
+    // empty server: same deterministic results as an offline batch run.
+    let mut client = Client::connect_unix(&socket).expect("connect active");
+    let served = submit(&mut client, "active", &[]);
+    let jobs: Vec<BatchJob> = Manifest::select(&KERNELS, INSTS)
+        .expect("known kernels")
+        .replicated(REPLICAS)
+        .into_jobs()
+        .into_iter()
+        .map(|j| BatchJob::new(j.name, j.program))
+        .collect();
+    let offline = BatchDriver::new(2).run_round(&jobs).expect("offline round");
+    let offline_map: BTreeMap<String, Vec<u64>> = offline
+        .jobs
+        .iter()
+        .map(|j| {
+            (
+                j.name.clone(),
+                vec![
+                    j.stats.cycles,
+                    j.stats.retired_insts,
+                    j.cache_stats.loads,
+                    j.cache_stats.stores,
+                    j.cache_stats.l1_misses,
+                    j.cache_stats.writebacks,
+                ],
+            )
+        })
+        .collect();
+    assert_eq!(served_results(&served), offline_map, "served under load == offline");
+
+    // The gauge counts the herd plus the active client, and the loop's
+    // accept counter saw every one of them.
+    let m = client.metrics().expect("metrics");
+    let ev = m.get("event_loop").expect("event_loop block in metrics dump");
+    assert!(
+        ev.get("open_connections").and_then(Json::as_u64).unwrap() >= (IDLE + 1) as u64,
+        "open-connections gauge tracks the idle herd"
+    );
+    assert!(ev.get("accepted").and_then(Json::as_u64).unwrap() >= (IDLE + 1) as u64);
+
+    // Idle connections are parked, not abandoned: a late request on one
+    // still gets served.
+    use std::io::{BufRead as _, BufReader, Write as _};
+    let mut late = idle.into_iter().next().expect("one idle conn");
+    late.write_all(b"{\"op\": \"ping\"}\n").expect("late write");
+    let mut line = String::new();
+    BufReader::new(&mut late)
+        .read_line(&mut line)
+        .expect("late read");
+    let pong = Json::parse(line.trim()).expect("late response parses");
+    assert_eq!(pong.get("pong").and_then(Json::as_bool), Some(true));
+
+    client.shutdown().expect("shutdown");
+    handle.wait();
+}
+
+#[test]
 fn deadlines_abandon_runaway_jobs() {
     let (handle, socket) =
         start_server("deadline", ServeConfig { workers: 1, ..ServeConfig::default() });

@@ -1,7 +1,8 @@
 //! Serve-path chaos integration test: seeded server-side fault injection
 //! (response drops, mid-line truncations, worker panics) under a seeded
-//! client storm (malformed frames, partial frames, deadline storms),
-//! then the settled-state invariants and the no-cache-poisoning gate.
+//! client storm (malformed frames, partial frames, slow-loris dribbles,
+//! half-open sockets, mid-response disconnects, deadline storms), then
+//! the settled-state invariants and the no-cache-poisoning gate.
 
 #![cfg(unix)]
 
@@ -36,12 +37,18 @@ fn chaos_storm_settles_and_never_poisons_the_caches() {
             malformed: 4,
             partial_frames: 3,
             deadline_storm: 2,
+            slow_loris: 2,
+            half_open: 2,
+            mid_response: 2,
             insts: 5_000,
         },
     );
     assert!(storm.admitted > 0, "the storm admitted nothing");
     assert_eq!(storm.malformed_rejected, 4, "every malformed line draws an error response");
     assert_eq!(storm.partial_frames_ok, 3, "partial frames reassemble");
+    assert_eq!(storm.slow_loris_ok, 2, "slow-loris requests get served once the newline lands");
+    assert_eq!(storm.half_open_ok, 2, "half-open clients still receive their responses");
+    assert_eq!(storm.mid_response_disconnects, 2, "mid-response disconnects delivered");
 
     // Invariants with chaos still live: everything settles, the metrics
     // dump stays schema-valid, totals balance.
