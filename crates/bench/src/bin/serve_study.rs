@@ -13,7 +13,14 @@
 //! cargo run --release -p fastsim-bench --bin serve_study --
 //!     [--clients N] [--workers N] [--kernels A,B] [--insts N]
 //!     [--replicas N] [--refreeze-every N] [--stagger-ms N]
+//!     [--snapshot-dir PATH]
 //! ```
+//!
+//! With `--snapshot-dir` the server runs on a durable snapshot store
+//! (adopting whatever a previous study run persisted — re-run the study
+//! on the same directory to watch client 0 start warm), and the final
+//! report includes the `snapshot` metrics block (loads, saves, bytes,
+//! rejects, newest generation).
 //!
 //! Output is a Markdown table (see `EXPERIMENTS.md`) plus the server's
 //! final metrics dump.
@@ -42,6 +49,7 @@ fn main() {
     let mut replicas: u64 = 2;
     let mut refreeze_every: usize = 2;
     let mut stagger = Duration::from_millis(100);
+    let mut snapshot_dir: Option<std::path::PathBuf> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -63,6 +71,7 @@ fn main() {
             "--stagger-ms" => {
                 stagger = Duration::from_millis(value("--stagger-ms").parse().expect("--stagger-ms"))
             }
+            "--snapshot-dir" => snapshot_dir = Some(value("--snapshot-dir").into()),
             other => {
                 eprintln!("unknown flag `{other}`");
                 std::process::exit(2);
@@ -71,7 +80,12 @@ fn main() {
     }
 
     let socket = std::env::temp_dir().join(format!("fastsim_serve_study_{}.sock", std::process::id()));
-    let cfg = ServeConfig { workers, refreeze_every, ..ServeConfig::default() };
+    let cfg = ServeConfig {
+        workers,
+        refreeze_every,
+        snapshot_dir: snapshot_dir.clone(),
+        ..ServeConfig::default()
+    };
     let handle = Server::start(
         cfg,
         vec![Listener::unix(&socket).expect("bind study socket")],
@@ -135,6 +149,19 @@ fn main() {
             n("accepted"),
             n("eagain_reads"),
             n("partial_writes"),
+        );
+    }
+    if let Some(snap) = final_metrics.get("snapshot") {
+        let n = |k: &str| snap.get(k).and_then(Json::as_u64).unwrap_or(0);
+        println!(
+            "\nsnapshot store: {} adopted ({} bytes), {} persisted ({} bytes), \
+             {} rejected, newest generation {}",
+            n("loads"),
+            n("bytes_loaded"),
+            n("saves"),
+            n("bytes_saved"),
+            n("rejected"),
+            n("generation"),
         );
     }
     println!("\nfinal metrics: {final_metrics}");

@@ -48,6 +48,8 @@
 //! assert!(round2.memo_hit_rate() > round1.memo_hit_rate());
 //! ```
 
+pub mod store;
+
 use crate::engine::{fingerprint, Simulator, WarmCacheSnapshot};
 use crate::error::{BuildError, SimError};
 use crate::stats::SimStats;
@@ -456,6 +458,47 @@ impl BatchDriver {
         let ws = WarmCacheSnapshot::from_parts(Arc::new(master.freeze()), fingerprint);
         self.frozen.insert(fingerprint, ws.clone());
         Some(ws)
+    }
+
+    /// Adopts a loaded (or shipped) snapshot as the master of its group,
+    /// **if the group does not exist yet** — the boot-warming primitive: a
+    /// restarted process calls this for every snapshot the
+    /// [`SnapshotStore`](store::SnapshotStore) holds, and its first job
+    /// per group starts at the persisted hit rate instead of cold.
+    ///
+    /// Returns `false` (and changes nothing) when the group already has a
+    /// master — use [`import_snapshot`](BatchDriver::import_snapshot) to
+    /// fold warmth into a live group.
+    pub fn adopt_snapshot(&mut self, snapshot: &WarmCacheSnapshot) -> bool {
+        let fp = snapshot.fingerprint();
+        if self.masters.contains_key(&fp) {
+            return false;
+        }
+        self.masters.insert(fp, PActionCache::from_snapshot(snapshot.cache()));
+        // The thawed master's version equals the snapshot's, so the next
+        // `current_snapshot` reuses this Arc instead of re-freezing.
+        self.frozen.insert(fp, snapshot.clone());
+        true
+    }
+
+    /// Folds a **foreign** snapshot — shipped from a peer process, so not
+    /// a descendant of this driver's master — into its group.
+    ///
+    /// An absent group adopts the snapshot wholesale (returns `None`); a
+    /// live group merges it key-by-key with first-writer-wins
+    /// ([`PActionCache::merge_foreign`]) and returns what was copied. The
+    /// merged warmth becomes visible at the next
+    /// [`current_snapshot`](BatchDriver::current_snapshot) re-freeze.
+    pub fn import_snapshot(&mut self, snapshot: &WarmCacheSnapshot) -> Option<MergeOutcome> {
+        let fp = snapshot.fingerprint();
+        match self.masters.get_mut(&fp) {
+            None => {
+                let adopted = self.adopt_snapshot(snapshot);
+                debug_assert!(adopted);
+                None
+            }
+            Some(master) => Some(master.merge_foreign(snapshot.cache())),
+        }
     }
 
     /// Drains one job's frozen delta into its group's master cache

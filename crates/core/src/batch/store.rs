@@ -1,0 +1,537 @@
+//! The durable snapshot store: a fingerprint-keyed on-disk library of
+//! encoded [`WarmCacheSnapshot`]s.
+//!
+//! Layout — one directory per warm-cache fingerprint, one file per saved
+//! generation:
+//!
+//! ```text
+//! <dir>/<fingerprint:016x>/gen-<generation:08>.snap
+//! ```
+//!
+//! Writes are crash-safe by construction: the encoded bytes go to a
+//! hidden temporary in the same directory, then a single [`fs::rename`]
+//! publishes the generation. A reader (or a concurrent prune) therefore
+//! never observes a half-written snapshot file — the worst a crash leaves
+//! behind is an orphaned `.tmp-*` file, which every scan ignores and
+//! [`SnapshotStore::sweep_tmp`] clears.
+//!
+//! Generations only grow: each save becomes `max(existing) + 1`. Loading
+//! walks generations newest-first and falls back past any file that fails
+//! to decode (collecting the typed rejection), so one corrupt newest
+//! generation degrades to the previous one instead of a cold start.
+//! Pruning keeps the newest `keep` generations per fingerprint and — by
+//! construction, not just policy — **never deletes a generation newer
+//! than the plan it was computed from**, so a save landing mid-prune is
+//! safe.
+
+use crate::engine::WarmCacheSnapshot;
+use fastsim_memo::SnapshotDecodeError;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// File extension of encoded snapshots.
+pub const SNAPSHOT_EXTENSION: &str = "snap";
+
+/// A fingerprint-keyed on-disk library of encoded warm-cache snapshots.
+/// See the [module docs](self).
+#[derive(Clone, Debug)]
+pub struct SnapshotStore {
+    dir: PathBuf,
+}
+
+/// Receipt for one [`SnapshotStore::save`].
+#[derive(Clone, Debug)]
+pub struct SavedSnapshot {
+    /// The generation number the save published.
+    pub generation: u64,
+    /// Encoded size in bytes.
+    pub bytes: usize,
+    /// Where the snapshot landed.
+    pub path: PathBuf,
+}
+
+/// One successfully loaded snapshot.
+#[derive(Clone, Debug)]
+pub struct LoadedSnapshot {
+    /// The decoded snapshot, ready to adopt into a
+    /// [`BatchDriver`](crate::batch::BatchDriver) (see
+    /// [`BatchDriver::adopt_snapshot`](crate::batch::BatchDriver::adopt_snapshot)).
+    pub snapshot: WarmCacheSnapshot,
+    /// The generation it came from.
+    pub generation: u64,
+    /// Encoded size in bytes.
+    pub bytes: usize,
+    /// The file it came from.
+    pub path: PathBuf,
+}
+
+/// Why a snapshot file was skipped during a load.
+#[derive(Debug)]
+pub enum RejectCause {
+    /// The file could not be read.
+    Io(io::Error),
+    /// The bytes failed strict decoding — see [`SnapshotDecodeError`].
+    Decode(SnapshotDecodeError),
+}
+
+impl fmt::Display for RejectCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RejectCause::Io(e) => write!(f, "unreadable: {e}"),
+            RejectCause::Decode(e) => write!(f, "rejected: {e}"),
+        }
+    }
+}
+
+/// One snapshot file rejected (and skipped) during a load.
+#[derive(Debug)]
+pub struct RejectedSnapshot {
+    /// The offending file.
+    pub path: PathBuf,
+    /// Why it was rejected.
+    pub cause: RejectCause,
+}
+
+impl fmt::Display for RejectedSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.path.display(), self.cause)
+    }
+}
+
+/// Everything a [`SnapshotStore::load_all`] boot scan found.
+#[derive(Debug, Default)]
+pub struct LoadReport {
+    /// The newest decodable snapshot of every fingerprint, ascending by
+    /// fingerprint.
+    pub loaded: Vec<LoadedSnapshot>,
+    /// Every file that had to be skipped, with its typed cause.
+    pub rejected: Vec<RejectedSnapshot>,
+}
+
+/// What a [`SnapshotStore::prune`] removed and kept.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PruneReport {
+    /// Snapshot files deleted.
+    pub removed: usize,
+    /// Snapshot files kept (across all fingerprints).
+    pub kept: usize,
+}
+
+impl SnapshotStore {
+    /// Opens (creating if needed) a snapshot store rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error creating the root directory.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<SnapshotStore> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(SnapshotStore { dir })
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn group_dir(&self, fingerprint: u64) -> PathBuf {
+        self.dir.join(format!("{fingerprint:016x}"))
+    }
+
+    fn generation_path(&self, fingerprint: u64, generation: u64) -> PathBuf {
+        self.group_dir(fingerprint).join(format!("gen-{generation:08}.{SNAPSHOT_EXTENSION}"))
+    }
+
+    /// All stored generations of `fingerprint`, ascending. Temporaries and
+    /// foreign files are ignored.
+    pub fn generations(&self, fingerprint: u64) -> io::Result<Vec<u64>> {
+        let dir = self.group_dir(fingerprint);
+        let entries = match fs::read_dir(&dir) {
+            Ok(e) => e,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e),
+        };
+        let mut gens = Vec::new();
+        for entry in entries {
+            let name = entry?.file_name();
+            if let Some(g) = parse_generation(&name.to_string_lossy()) {
+                gens.push(g);
+            }
+        }
+        gens.sort_unstable();
+        Ok(gens)
+    }
+
+    /// The newest stored generation of `fingerprint`, if any.
+    pub fn latest_generation(&self, fingerprint: u64) -> io::Result<Option<u64>> {
+        Ok(self.generations(fingerprint)?.last().copied())
+    }
+
+    /// Persists `snapshot` as a new generation of its fingerprint.
+    ///
+    /// The write is atomic: encode → temporary file in the group directory
+    /// → `fsync`-free `rename`. A crash mid-save leaves at most an ignored
+    /// `.tmp-*` file; it never damages an existing generation.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error along the way (the temporary is cleaned up
+    /// best-effort on failure).
+    pub fn save(&self, snapshot: &WarmCacheSnapshot) -> io::Result<SavedSnapshot> {
+        let fingerprint = snapshot.fingerprint();
+        let dir = self.group_dir(fingerprint);
+        fs::create_dir_all(&dir)?;
+        let generation = self.latest_generation(fingerprint)?.map_or(1, |g| g + 1);
+        let bytes = snapshot.encode();
+        let tmp = dir.join(format!(".tmp-gen-{generation:08}-{}", std::process::id()));
+        fs::write(&tmp, &bytes)?;
+        let path = self.generation_path(fingerprint, generation);
+        if let Err(e) = fs::rename(&tmp, &path) {
+            let _ = fs::remove_file(&tmp);
+            return Err(e);
+        }
+        Ok(SavedSnapshot { generation, bytes: bytes.len(), path })
+    }
+
+    /// Loads the newest decodable snapshot of `fingerprint`, walking
+    /// generations newest-first past any rejected file. Every decode
+    /// verifies the snapshot's header fingerprint against `fingerprint` —
+    /// a file smuggled into the wrong group directory is rejected, never
+    /// adopted.
+    ///
+    /// # Errors
+    ///
+    /// Only directory-scan I/O errors; per-file read and decode failures
+    /// are *collected*, not returned, so one bad file cannot mask an older
+    /// good one.
+    pub fn load_latest(
+        &self,
+        fingerprint: u64,
+    ) -> io::Result<(Option<LoadedSnapshot>, Vec<RejectedSnapshot>)> {
+        let mut rejected = Vec::new();
+        for generation in self.generations(fingerprint)?.into_iter().rev() {
+            let path = self.generation_path(fingerprint, generation);
+            let bytes = match fs::read(&path) {
+                Ok(b) => b,
+                Err(e) => {
+                    rejected.push(RejectedSnapshot { path, cause: RejectCause::Io(e) });
+                    continue;
+                }
+            };
+            match WarmCacheSnapshot::decode(&bytes, Some(fingerprint)) {
+                Ok(snapshot) => {
+                    return Ok((
+                        Some(LoadedSnapshot {
+                            snapshot,
+                            generation,
+                            bytes: bytes.len(),
+                            path,
+                        }),
+                        rejected,
+                    ));
+                }
+                Err(e) => {
+                    rejected.push(RejectedSnapshot { path, cause: RejectCause::Decode(e) });
+                }
+            }
+        }
+        Ok((None, rejected))
+    }
+
+    /// Every fingerprint with a group directory in the store, ascending.
+    pub fn fingerprints(&self) -> io::Result<Vec<u64>> {
+        let mut fps = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            if !entry.file_type()?.is_dir() {
+                continue;
+            }
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name.len() == 16 {
+                if let Ok(fp) = u64::from_str_radix(&name, 16) {
+                    fps.push(fp);
+                }
+            }
+        }
+        fps.sort_unstable();
+        Ok(fps)
+    }
+
+    /// Boot scan: loads the newest decodable snapshot of every
+    /// fingerprint in the store, collecting every rejection.
+    ///
+    /// # Errors
+    ///
+    /// Only directory-scan I/O errors (see
+    /// [`load_latest`](SnapshotStore::load_latest)).
+    pub fn load_all(&self) -> io::Result<LoadReport> {
+        let mut report = LoadReport::default();
+        for fp in self.fingerprints()? {
+            let (loaded, mut rejected) = self.load_latest(fp)?;
+            report.loaded.extend(loaded);
+            report.rejected.append(&mut rejected);
+        }
+        Ok(report)
+    }
+
+    /// Computes the deletion plan for [`prune`](SnapshotStore::prune):
+    /// every generation file *beyond the newest `keep`* of each
+    /// fingerprint, as observed right now. The newest generation of a
+    /// fingerprint is never planned (`keep` is clamped to at least 1), and
+    /// files that appear after this scan are by construction not in the
+    /// plan — which is what makes a save racing a prune safe.
+    pub(crate) fn plan_prune(&self, keep: usize) -> io::Result<(Vec<PathBuf>, usize)> {
+        let keep = keep.max(1);
+        let mut plan = Vec::new();
+        let mut kept = 0;
+        for fp in self.fingerprints()? {
+            let gens = self.generations(fp)?;
+            let cut = gens.len().saturating_sub(keep);
+            kept += gens.len() - cut;
+            for &g in &gens[..cut] {
+                plan.push(self.generation_path(fp, g));
+            }
+        }
+        Ok((plan, kept))
+    }
+
+    /// Executes a deletion plan. A file already gone (raced by another
+    /// pruner) is not an error.
+    pub(crate) fn execute_prune(&self, plan: &[PathBuf]) -> io::Result<usize> {
+        let mut removed = 0;
+        for path in plan {
+            match fs::remove_file(path) {
+                Ok(()) => removed += 1,
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(removed)
+    }
+
+    /// Deletes all but the newest `keep` generations of every fingerprint
+    /// (`keep` is clamped to at least 1: the newest generation is never
+    /// deleted, even when over budget). Temporaries are never touched.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error scanning or deleting (a concurrently-vanished file is
+    /// not an error).
+    pub fn prune(&self, keep: usize) -> io::Result<PruneReport> {
+        let (plan, kept) = self.plan_prune(keep)?;
+        let removed = self.execute_prune(&plan)?;
+        Ok(PruneReport { removed, kept })
+    }
+
+    /// Removes orphaned `.tmp-*` files left by crashed saves. Safe to run
+    /// any time: live saves use process-unique temporary names and publish
+    /// with a rename, so only genuinely dead temporaries match.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error scanning or deleting.
+    pub fn sweep_tmp(&self) -> io::Result<usize> {
+        let mut removed = 0;
+        for fp in self.fingerprints()? {
+            for entry in fs::read_dir(self.group_dir(fp))? {
+                let entry = entry?;
+                if entry.file_name().to_string_lossy().starts_with(".tmp-") {
+                    match fs::remove_file(entry.path()) {
+                        Ok(()) => removed += 1,
+                        Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                        Err(e) => return Err(e),
+                    }
+                }
+            }
+        }
+        Ok(removed)
+    }
+}
+
+/// Parses `gen-<number>.snap` file names; anything else is not a stored
+/// generation.
+fn parse_generation(name: &str) -> Option<u64> {
+    let rest = name.strip_prefix("gen-")?;
+    let digits = rest.strip_suffix(".snap")?;
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Mode, Simulator};
+    use fastsim_isa::{Asm, Reg};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("fastsim-store-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn warm_snapshot(iters: i32) -> WarmCacheSnapshot {
+        let mut a = Asm::new();
+        a.addi(Reg::R1, Reg::R0, iters);
+        a.label("l");
+        a.subi(Reg::R1, Reg::R1, 1);
+        a.bne(Reg::R1, Reg::R0, "l");
+        a.halt();
+        let program = a.assemble().unwrap();
+        let mut sim = Simulator::new(&program, Mode::fast()).unwrap();
+        sim.run_to_completion().unwrap();
+        sim.take_warm_cache().expect("fast mode").freeze()
+    }
+
+    #[test]
+    fn save_load_round_trip_preserves_the_snapshot() {
+        let dir = temp_dir("roundtrip");
+        let store = SnapshotStore::open(&dir).unwrap();
+        let snap = warm_snapshot(40);
+        let saved = store.save(&snap).unwrap();
+        assert_eq!(saved.generation, 1);
+        assert!(saved.bytes > 0);
+
+        let (loaded, rejected) = store.load_latest(snap.fingerprint()).unwrap();
+        assert!(rejected.is_empty());
+        let loaded = loaded.expect("just saved");
+        assert_eq!(loaded.generation, 1);
+        assert_eq!(loaded.snapshot.fingerprint(), snap.fingerprint());
+        assert_eq!(loaded.snapshot.config_count(), snap.config_count());
+        assert_eq!(loaded.snapshot.node_count(), snap.node_count());
+        // Byte-for-byte: re-encoding the loaded snapshot reproduces the
+        // saved file exactly.
+        assert_eq!(loaded.snapshot.encode(), snap.encode());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn generations_increment_and_load_prefers_newest() {
+        let dir = temp_dir("generations");
+        let store = SnapshotStore::open(&dir).unwrap();
+        let snap = warm_snapshot(40);
+        assert_eq!(store.save(&snap).unwrap().generation, 1);
+        assert_eq!(store.save(&snap).unwrap().generation, 2);
+        assert_eq!(store.save(&snap).unwrap().generation, 3);
+        assert_eq!(store.generations(snap.fingerprint()).unwrap(), vec![1, 2, 3]);
+        let (loaded, _) = store.load_latest(snap.fingerprint()).unwrap();
+        assert_eq!(loaded.unwrap().generation, 3);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_newest_generation_falls_back_to_previous() {
+        let dir = temp_dir("fallback");
+        let store = SnapshotStore::open(&dir).unwrap();
+        let snap = warm_snapshot(40);
+        store.save(&snap).unwrap();
+        let newest = store.save(&snap).unwrap();
+        // Damage the newest file's payload.
+        let mut bytes = fs::read(&newest.path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        fs::write(&newest.path, &bytes).unwrap();
+
+        let (loaded, rejected) = store.load_latest(snap.fingerprint()).unwrap();
+        assert_eq!(loaded.expect("older generation survives").generation, 1);
+        assert_eq!(rejected.len(), 1);
+        assert!(
+            matches!(rejected[0].cause, RejectCause::Decode(_)),
+            "typed decode rejection, got {:?}",
+            rejected[0].cause
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wrong_group_directory_is_rejected_not_adopted() {
+        let dir = temp_dir("wronggroup");
+        let store = SnapshotStore::open(&dir).unwrap();
+        let snap = warm_snapshot(40);
+        let saved = store.save(&snap).unwrap();
+        // Smuggle the file into another fingerprint's directory.
+        let alien_fp = snap.fingerprint() ^ 1;
+        let alien_dir = dir.join(format!("{alien_fp:016x}"));
+        fs::create_dir_all(&alien_dir).unwrap();
+        fs::copy(&saved.path, alien_dir.join("gen-00000001.snap")).unwrap();
+
+        let (loaded, rejected) = store.load_latest(alien_fp).unwrap();
+        assert!(loaded.is_none());
+        assert_eq!(rejected.len(), 1);
+        assert!(matches!(
+            rejected[0].cause,
+            RejectCause::Decode(SnapshotDecodeError::FingerprintMismatch { .. })
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn prune_never_deletes_the_newest_generation() {
+        let dir = temp_dir("prune");
+        let store = SnapshotStore::open(&dir).unwrap();
+        let snap = warm_snapshot(40);
+        for _ in 0..5 {
+            store.save(&snap).unwrap();
+        }
+        // keep = 0 clamps to 1: the newest generation must survive even
+        // when the budget says "keep nothing".
+        let report = store.prune(0).unwrap();
+        assert_eq!(report, PruneReport { removed: 4, kept: 1 });
+        assert_eq!(store.generations(snap.fingerprint()).unwrap(), vec![5]);
+        // Pruning again is a no-op.
+        assert_eq!(store.prune(2).unwrap(), PruneReport { removed: 0, kept: 1 });
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn save_landing_during_prune_survives() {
+        let dir = temp_dir("prunerace");
+        let store = SnapshotStore::open(&dir).unwrap();
+        let snap = warm_snapshot(40);
+        for _ in 0..4 {
+            store.save(&snap).unwrap();
+        }
+        // Interleave the race: the plan is computed, then a persist lands
+        // (publishing generation 5 via tmp+rename), then the plan executes.
+        let (plan, _) = store.plan_prune(1).unwrap();
+        let racing = store.save(&snap).unwrap();
+        assert_eq!(racing.generation, 5);
+        let removed = store.execute_prune(&plan).unwrap();
+        assert_eq!(removed, 3, "generations 1..=3 pruned");
+        // Both the plan-time newest (4) and the racing save (5) survive.
+        assert_eq!(store.generations(snap.fingerprint()).unwrap(), vec![4, 5]);
+        let (loaded, rejected) = store.load_latest(snap.fingerprint()).unwrap();
+        assert!(rejected.is_empty());
+        assert_eq!(loaded.unwrap().generation, 5);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_all_scans_every_fingerprint_and_ignores_tmp() {
+        let dir = temp_dir("loadall");
+        let store = SnapshotStore::open(&dir).unwrap();
+        let a = warm_snapshot(40);
+        let b = warm_snapshot(60); // different program → different fingerprint
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        store.save(&a).unwrap();
+        store.save(&b).unwrap();
+        // A leftover temporary from a crashed save must be ignored by
+        // scans and cleaned by sweep_tmp.
+        let orphan = dir.join(format!("{:016x}", a.fingerprint())).join(".tmp-gen-dead");
+        fs::write(&orphan, b"half-written").unwrap();
+
+        let report = store.load_all().unwrap();
+        assert_eq!(report.loaded.len(), 2);
+        assert!(report.rejected.is_empty());
+        let fps: Vec<u64> = report.loaded.iter().map(|l| l.snapshot.fingerprint()).collect();
+        assert!(fps.contains(&a.fingerprint()) && fps.contains(&b.fingerprint()));
+        assert_eq!(store.sweep_tmp().unwrap(), 1);
+        assert!(!orphan.exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

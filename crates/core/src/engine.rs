@@ -147,6 +147,35 @@ impl WarmCacheSnapshot {
     pub fn cache(&self) -> &CacheSnapshot {
         &self.snapshot
     }
+
+    /// Encodes the snapshot — fingerprint and all, compiled trace segments
+    /// and hotness included — into the durable `fastsim-snapshot/v1` byte
+    /// format ([`fastsim_memo::encode_snapshot`]).
+    pub fn encode(&self) -> Vec<u8> {
+        fastsim_memo::encode_snapshot(&self.snapshot, self.fingerprint)
+    }
+
+    /// Decodes a `fastsim-snapshot/v1` byte stream back into a shareable
+    /// snapshot.
+    ///
+    /// With `expected_fingerprint`, a snapshot recorded under any other
+    /// (program, µ-architecture, hierarchy) triple is rejected with
+    /// [`SnapshotDecodeError::FingerprintMismatch`](fastsim_memo::SnapshotDecodeError) —
+    /// a warm cache must never cross models.
+    ///
+    /// # Errors
+    ///
+    /// Any damage — wrong magic or version, truncation, checksum or bounds
+    /// failure — yields a typed [`fastsim_memo::SnapshotDecodeError`]; a
+    /// bad file is never partially applied.
+    pub fn decode(
+        bytes: &[u8],
+        expected_fingerprint: Option<u64>,
+    ) -> Result<WarmCacheSnapshot, fastsim_memo::SnapshotDecodeError> {
+        let (snapshot, fingerprint) =
+            fastsim_memo::decode_snapshot(bytes, expected_fingerprint)?;
+        Ok(WarmCacheSnapshot { snapshot: Arc::new(snapshot), fingerprint })
+    }
 }
 
 /// FNV-1a fingerprint of everything the recorded actions depend on.

@@ -31,6 +31,10 @@ mod engine;
 mod error;
 mod stats;
 
+pub use batch::store::{
+    LoadReport, LoadedSnapshot, PruneReport, RejectCause, RejectedSnapshot, SavedSnapshot,
+    SnapshotStore,
+};
 pub use batch::{
     run_single, BatchDriver, BatchError, BatchJob, BatchReport, JobFailure, JobReport,
     SingleOutcome,
@@ -43,6 +47,6 @@ pub use stats::SimStats;
 pub use fastsim_mem::{
     CacheConfig, CacheLevelConfig, CacheStats, HierarchyConfig, LevelStats, WritePolicy,
 };
-pub use fastsim_memo::{MemoStats, Policy};
+pub use fastsim_memo::{MemoStats, Policy, SnapshotDecodeError};
 pub use fastsim_emu::{BranchPredictor, PredictorKind};
 pub use fastsim_uarch::{IssueModel, UArchConfig};

@@ -7,16 +7,22 @@
 //! for `scripts/ci.sh` to gate on.
 //!
 //! ```text
-//! fuzz_smoke [--seed HEX] [--kernels N] [--corpus DIR] [--out PATH]
-//!            [--emit-corpus DIR --emit-count N]
+//! fuzz_smoke [--seed HEX] [--kernels N] [--snapshot-cases N]
+//!            [--corpus DIR] [--out PATH]
+//!            [--emit-corpus DIR --emit-count N --emit-start N]
 //! ```
+//!
+//! Besides the differential sweep, `--snapshot-cases` kernels are frozen
+//! into `fastsim-snapshot/v1` encodings and attacked with seeded
+//! corruption ([`fastsim_fuzz::snapshot`]); any accepted corruption,
+//! decoder panic, or non-canonical round-trip fails the run.
 //!
 //! On failure, each shrunk reproducer is written to `target/
 //! fuzz_failures/` in the replayable `fastsim-kernel/v1` format and the
 //! process exits nonzero. `--emit-corpus` is the maintenance mode that
 //! (re)generates golden seed files for `fuzz/corpus/`.
 
-use fastsim_fuzz::{check, corpus, run_fuzz, KernelSpec, OracleConfig};
+use fastsim_fuzz::{check, corpus, run_fuzz, run_snapshot_fuzz, KernelSpec, OracleConfig};
 use fastsim_prng::for_each_case;
 use fastsim_serve::json::Json;
 use std::path::PathBuf;
@@ -30,6 +36,8 @@ fn main() -> ExitCode {
     let mut out: Option<PathBuf> = None;
     let mut emit_corpus: Option<PathBuf> = None;
     let mut emit_count: u32 = 14;
+    let mut emit_start: u32 = 0;
+    let mut snapshot_cases: u32 = 6;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -49,14 +57,19 @@ fn main() -> ExitCode {
                 });
             }
             "--kernels" => kernels = parse(&value("--kernels"), "--kernels"),
+            "--snapshot-cases" => {
+                snapshot_cases = parse(&value("--snapshot-cases"), "--snapshot-cases")
+            }
             "--corpus" => corpus_dir = Some(PathBuf::from(value("--corpus"))),
             "--out" => out = Some(PathBuf::from(value("--out"))),
             "--emit-corpus" => emit_corpus = Some(PathBuf::from(value("--emit-corpus"))),
             "--emit-count" => emit_count = parse(&value("--emit-count"), "--emit-count"),
+            "--emit-start" => emit_start = parse(&value("--emit-start"), "--emit-start"),
             "--help" | "-h" => {
                 println!(
-                    "usage: fuzz_smoke [--seed HEX] [--kernels N] [--corpus DIR] \
-                     [--out PATH] [--emit-corpus DIR --emit-count N]"
+                    "usage: fuzz_smoke [--seed HEX] [--kernels N] [--snapshot-cases N] \
+                     [--corpus DIR] [--out PATH] \
+                     [--emit-corpus DIR --emit-count N --emit-start N]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -69,18 +82,22 @@ fn main() -> ExitCode {
 
     let cfg = OracleConfig::thorough();
 
-    // Maintenance mode: write golden seed files and exit.
+    // Maintenance mode: write golden seed files and exit. `--emit-start`
+    // skips the cases an earlier emission already wrote, so a corpus can
+    // grow in place without renaming or regenerating existing entries.
     if let Some(dir) = emit_corpus {
         if let Err(e) = std::fs::create_dir_all(&dir) {
             eprintln!("cannot create {}: {e}", dir.display());
             return ExitCode::FAILURE;
         }
         let mut i = 0u32;
-        for_each_case(seed, emit_count, |case_seed, rng| {
+        for_each_case(seed, emit_start + emit_count, |case_seed, rng| {
             let spec = KernelSpec::generate(case_seed, rng);
-            let path = dir.join(format!("gen_{i:02}_{case_seed:016x}.kernel"));
-            corpus::save(&spec, &path).expect("write corpus entry");
-            println!("wrote {} ({} body insts)", path.display(), spec.body_insts());
+            if i >= emit_start {
+                let path = dir.join(format!("gen_{i:02}_{case_seed:016x}.kernel"));
+                corpus::save(&spec, &path).expect("write corpus entry");
+                println!("wrote {} ({} body insts)", path.display(), spec.body_insts());
+            }
             i += 1;
         });
         return ExitCode::SUCCESS;
@@ -117,6 +134,14 @@ fn main() -> ExitCode {
     let report = run_fuzz(seed, kernels, &cfg);
     runs += report.runs;
 
+    // Snapshot-codec corruption sweep: real frozen snapshots, canonical
+    // round-trips, bit-identical replay, and seeded corruption that the
+    // strict decoder must reject without panicking.
+    let snap = run_snapshot_fuzz(seed ^ 0x5eed_5eed, snapshot_cases, 24);
+    for violation in &snap.failures {
+        eprintln!("SNAPSHOT FAIL: {violation}");
+    }
+
     for failure in &report.failures {
         eprintln!(
             "FAIL seed {:#x}: {} (shrunk to {} body insts in {} oracle calls)",
@@ -134,7 +159,7 @@ fn main() -> ExitCode {
         }
     }
 
-    let failures = report.failures.len() as u64 + corpus_failures;
+    let failures = report.failures.len() as u64 + corpus_failures + snap.failures.len() as u64;
     let summary = Json::obj([
         ("schema", Json::from("fastsim-fuzz-smoke/v1")),
         ("seed", Json::from(format!("{seed:#x}"))),
@@ -159,6 +184,10 @@ fn main() -> ExitCode {
         ("runs", Json::from(runs)),
         ("retired_insts", Json::from(report.retired_insts)),
         ("corpus_replayed", Json::from(corpus_replayed)),
+        ("snapshot_cases", Json::from(u64::from(snapshot_cases))),
+        ("snapshot_corruptions", Json::from(snap.corruptions)),
+        ("snapshot_rejected", Json::from(snap.rejected)),
+        ("snapshot_failures", Json::from(snap.failures.len() as u64)),
         ("failures", Json::from(failures)),
         ("elapsed_ms", Json::from(started.elapsed().as_millis() as u64)),
         ("debug_build", Json::Bool(cfg!(debug_assertions))),

@@ -2,7 +2,7 @@
 //!
 //! Deterministic chaos and fuzz harness for FastSim-RS.
 //!
-//! Two fronts, both fully offline and seeded by the vendored
+//! Three fronts, all fully offline and seeded by the vendored
 //! [`fastsim_prng`] (no crates.io dependencies, no wall-clock or OS
 //! randomness in any decision):
 //!
@@ -20,6 +20,12 @@
 //!    injection ([`fastsim_serve::server::ChaosConfig`]: response drops,
 //!    truncations, worker panics), then verifies the settled-state
 //!    invariants and the no-cache-poisoning guarantee.
+//! 3. **Snapshot-codec corruption fuzzing** — [`snapshot`] freezes real
+//!    warm caches into `fastsim-snapshot/v1` bytes, demands canonical
+//!    round-trips and bit-identical replay from decoded snapshots, then
+//!    applies seeded corruption (bit flips, truncations, section-length
+//!    lies, header patches) that the strict decoder must reject with a
+//!    typed error — never a panic, never a mis-decode.
 //!
 //! The `fuzz_smoke` and `chaos_smoke` binaries wrap both fronts for
 //! `scripts/ci.sh`, writing schema-tagged JSON summaries.
@@ -31,12 +37,14 @@ pub mod corpus;
 pub mod kernel;
 pub mod oracle;
 pub mod shrink;
+pub mod snapshot;
 
 pub use kernel::{KernelOp, KernelSpec};
 pub use oracle::{
     check, CheckSummary, Failure, FaultInjection, FreezeThaw, OracleConfig, ReplayVariant,
 };
 pub use shrink::{shrink, ShrinkOutcome};
+pub use snapshot::{run_snapshot_fuzz, SnapshotFuzzReport};
 
 use fastsim_prng::for_each_case;
 

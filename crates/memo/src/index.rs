@@ -86,6 +86,34 @@ impl ConfigIndex {
         &self.arena[r.offset as usize..(r.offset + r.len) as usize]
     }
 
+    /// The whole arena, for serialization.
+    pub(crate) fn arena(&self) -> &[u8] {
+        &self.arena
+    }
+
+    /// Every inserted key in insertion order, for serialization.
+    pub(crate) fn slot_entries(&self) -> impl Iterator<Item = (ConfigRef, NodeId)> + '_ {
+        self.slots.iter().map(|s| (s.cref, s.head))
+    }
+
+    /// Rebuilds an index from serialized parts: the arena plus the keys in
+    /// insertion order. The probe table is re-derived from the stored
+    /// fingerprints (its layout is an implementation detail, not part of
+    /// the wire format); lookup results and slot order — everything the
+    /// deterministic merge relies on — are reproduced exactly.
+    ///
+    /// Callers must have validated that every `ConfigRef` is in bounds of
+    /// `arena` and that its fingerprint matches its bytes.
+    pub(crate) fn from_parts(arena: Vec<u8>, entries: Vec<(ConfigRef, NodeId)>) -> ConfigIndex {
+        let mut ix = ConfigIndex {
+            arena,
+            slots: entries.into_iter().map(|(cref, head)| Slot { cref, head }).collect(),
+            table: Vec::new(),
+        };
+        ix.grow_if_needed(ix.slots.len());
+        ix
+    }
+
     #[inline]
     fn mask(&self) -> usize {
         debug_assert!(self.table.len().is_power_of_two());

@@ -287,7 +287,30 @@ impl PActionCache {
             delta.base_len,
             self.nodes.len()
         );
-        let base_len = delta.base_len;
+        self.merge_with_base(delta, delta.base_len)
+    }
+
+    /// Folds a **foreign** snapshot — one that does not descend from this
+    /// cache (a peer server's shipped master, a snapshot loaded from disk
+    /// into an already-warm group) — into this cache.
+    ///
+    /// No node ids are shared between the two lineages, so the merge
+    /// treats the whole snapshot as delta: every configuration subgraph is
+    /// copied (first writer wins on keys, exactly like
+    /// [`merge_from`](PActionCache::merge_from)), and nothing is grafted
+    /// onto existing nodes. Compiled trace segments are not imported —
+    /// their node ids are meaningless here — but the copied chains re-heat
+    /// and recompile through the normal hotness path. Idempotent: merging
+    /// the same snapshot twice copies nothing the second time.
+    pub fn merge_foreign(&mut self, snapshot: &CacheSnapshot) -> MergeOutcome {
+        self.merge_with_base(snapshot, 0)
+    }
+
+    /// The merge engine behind [`merge_from`](PActionCache::merge_from)
+    /// and [`merge_foreign`](PActionCache::merge_foreign): `base_len` is
+    /// how many leading delta node ids map id-for-id onto this cache
+    /// (`0` for a foreign snapshot).
+    fn merge_with_base(&mut self, delta: &CacheSnapshot, base_len: usize) -> MergeOutcome {
         let mut out = MergeOutcome::default();
         let mut forwarding: HashMap<NodeId, NodeId> = HashMap::new();
         let mut queue: VecDeque<NodeId> = VecDeque::new();
@@ -729,6 +752,65 @@ mod tests {
         // Re-merge: nothing new, stays clean.
         assert!(master.merge_from(&delta).is_noop());
         assert!(master.freeze_if_newer(&snap2).is_none());
+    }
+
+    #[test]
+    fn merge_foreign_imports_a_crossed_lineage() {
+        // Two independent caches — different lineages, overlapping keys.
+        let mut local = PActionCache::new(Policy::Unbounded);
+        record(&mut local, b"A", 1);
+        record(&mut local, b"B", 2);
+        let mut peer = PActionCache::new(Policy::Unbounded);
+        record(&mut peer, b"B", 99); // conflicting chain for B
+        record(&mut peer, b"C", 3);
+        let shipped = peer.freeze();
+
+        let out = local.merge_foreign(&shipped);
+        assert_eq!(out.configs_added, 1, "only C is new");
+        assert_eq!(out.configs_deduped, 1, "local B wins");
+        assert_eq!(out.branches_grafted, 0, "nothing grafts across lineages");
+        match local.register_config(b"B") {
+            ConfigLookup::Hit(id) => assert_eq!(local.kind(id), advance(2)),
+            ConfigLookup::Miss => panic!("B must stay cached"),
+        }
+        match local.register_config(b"C") {
+            ConfigLookup::Hit(id) => assert_eq!(local.kind(id), advance(3)),
+            ConfigLookup::Miss => panic!("C must be imported"),
+        }
+        // Idempotent, like merge_from.
+        assert!(local.merge_foreign(&shipped).is_noop());
+
+        // A non-zero base_len snapshot must not graft when merged foreign:
+        // the base prefix is a descendant of *peer*, not of `local`.
+        let mut w = PActionCache::from_snapshot(&shipped);
+        record(&mut w, b"D", 4);
+        let delta = w.freeze();
+        assert!(delta.base_len() > 0);
+        let out = local.merge_foreign(&delta);
+        assert_eq!(out.configs_added, 1, "only D is new");
+        match local.register_config(b"D") {
+            ConfigLookup::Hit(id) => assert_eq!(local.kind(id), advance(4)),
+            ConfigLookup::Miss => panic!("D must be imported"),
+        }
+    }
+
+    #[test]
+    fn merge_foreign_into_empty_equals_thaw_content() {
+        let mut src = PActionCache::new(Policy::Unbounded);
+        record(&mut src, b"A", 1);
+        record(&mut src, b"B", 2);
+        let snap = src.freeze();
+
+        let mut fresh = PActionCache::new(Policy::Unbounded);
+        let out = fresh.merge_foreign(&snap);
+        assert_eq!(out.configs_added, 2);
+        assert_eq!(out.actions_added, 4);
+        for (key, cycles) in [(&b"A"[..], 1u32), (&b"B"[..], 2)] {
+            match fresh.register_config(key) {
+                ConfigLookup::Hit(id) => assert_eq!(fresh.kind(id), advance(cycles)),
+                ConfigLookup::Miss => panic!("{key:?} must be present"),
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,97 @@
+//! Minimal standard base64 (RFC 4648, with `=` padding) for carrying
+//! binary snapshot bytes inside the line-delimited JSON protocol.
+//!
+//! Hand-rolled to keep the workspace's zero-external-dependencies policy;
+//! only the two functions the snapshot verbs need. Decoding is strict:
+//! no whitespace, no missing padding, no trailing garbage — a transport
+//! for checksummed snapshot bytes has no business guessing.
+
+const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Encodes `bytes` as standard padded base64.
+pub fn encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len().div_ceil(3) * 4);
+    for chunk in bytes.chunks(3) {
+        let b0 = chunk[0] as u32;
+        let b1 = chunk.get(1).copied().unwrap_or(0) as u32;
+        let b2 = chunk.get(2).copied().unwrap_or(0) as u32;
+        let word = (b0 << 16) | (b1 << 8) | b2;
+        out.push(ALPHABET[(word >> 18) as usize & 63] as char);
+        out.push(ALPHABET[(word >> 12) as usize & 63] as char);
+        out.push(if chunk.len() > 1 { ALPHABET[(word >> 6) as usize & 63] as char } else { '=' });
+        out.push(if chunk.len() > 2 { ALPHABET[word as usize & 63] as char } else { '=' });
+    }
+    out
+}
+
+/// Decodes standard padded base64.
+///
+/// # Errors
+///
+/// A message naming the first problem: bad length, a character outside
+/// the alphabet, or padding anywhere but the final one or two positions.
+pub fn decode(text: &str) -> Result<Vec<u8>, String> {
+    let bytes = text.as_bytes();
+    if !bytes.len().is_multiple_of(4) {
+        return Err(format!("base64 length {} is not a multiple of 4", bytes.len()));
+    }
+    let mut out = Vec::with_capacity(bytes.len() / 4 * 3);
+    for (i, quad) in bytes.chunks_exact(4).enumerate() {
+        let last = (i + 1) * 4 == bytes.len();
+        let pad = quad.iter().filter(|&&c| c == b'=').count();
+        if pad > 0 && (!last || pad > 2 || quad[..4 - pad].contains(&b'=')) {
+            return Err("base64 padding in an illegal position".to_string());
+        }
+        let mut word: u32 = 0;
+        for &c in &quad[..4 - pad] {
+            let v = ALPHABET
+                .iter()
+                .position(|&a| a == c)
+                .ok_or_else(|| format!("invalid base64 character `{}`", c as char))?;
+            word = (word << 6) | v as u32;
+        }
+        word <<= 6 * pad as u32;
+        out.push((word >> 16) as u8);
+        if pad < 2 {
+            out.push((word >> 8) as u8);
+        }
+        if pad < 1 {
+            out.push(word as u8);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_rfc_vectors() {
+        for (plain, enc) in [
+            (&b""[..], ""),
+            (b"f", "Zg=="),
+            (b"fo", "Zm8="),
+            (b"foo", "Zm9v"),
+            (b"foob", "Zm9vYg=="),
+            (b"fooba", "Zm9vYmE="),
+            (b"foobar", "Zm9vYmFy"),
+        ] {
+            assert_eq!(encode(plain), enc);
+            assert_eq!(decode(enc).unwrap(), plain);
+        }
+    }
+
+    #[test]
+    fn round_trips_every_byte_value() {
+        let all: Vec<u8> = (0..=255).collect();
+        assert_eq!(decode(&encode(&all)).unwrap(), all);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in ["Zg=", "Zg===", "=g==", "Z=g=", "Zm 9", "Zm9v\n", "Zm9!"] {
+            assert!(decode(bad).is_err(), "`{bad}` must not decode");
+        }
+    }
+}

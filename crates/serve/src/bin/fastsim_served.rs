@@ -8,6 +8,7 @@
 //! fastsim_served [--tcp ADDR] [--unix PATH] [--workers N]
 //!                [--queue-cap N] [--refreeze-every N] [--timeout-ms N]
 //!                [--max-attempts N] [--backoff-ms N] [--max-conns N]
+//!                [--snapshot-dir PATH]
 //!                [--addr-file PATH] [--metrics-file PATH]
 //!                [--chaos-seed HEX] [--chaos-drop PERMILLE]
 //!                [--chaos-truncate PERMILLE] [--chaos-panic PERMILLE]
@@ -16,6 +17,11 @@
 //! At least one of `--tcp` / `--unix` is required. `--tcp 127.0.0.1:0`
 //! picks a free port; `--addr-file` writes the bound TCP address (or the
 //! Unix socket path) to a file so scripts can find it.
+//!
+//! `--snapshot-dir` roots the durable snapshot store: at boot the server
+//! adopts the newest decodable snapshot of every warm-cache group (and
+//! logs how many it loaded and rejected), and every re-freeze persists
+//! the fresh snapshot, so a restarted daemon serves its first jobs warm.
 //!
 //! The `--chaos-*` flags enable seeded server-side fault injection
 //! ([`ChaosConfig`]); any of them implies chaos with the others at their
@@ -54,6 +60,9 @@ fn main() -> ExitCode {
             }
             "--max-attempts" => cfg.max_attempts = parse(&value("--max-attempts"), "--max-attempts"),
             "--max-conns" => cfg.max_conns = parse(&value("--max-conns"), "--max-conns"),
+            "--snapshot-dir" => {
+                cfg.snapshot_dir = Some(value("--snapshot-dir").into());
+            }
             "--backoff-ms" => {
                 cfg.backoff_base = Duration::from_millis(parse(&value("--backoff-ms"), "--backoff-ms"))
             }
@@ -83,9 +92,9 @@ fn main() -> ExitCode {
                 println!(
                     "usage: fastsim_served [--tcp ADDR] [--unix PATH] [--workers N] \
                      [--queue-cap N] [--refreeze-every N] [--timeout-ms N] [--max-attempts N] \
-                     [--backoff-ms N] [--max-conns N] [--addr-file PATH] [--metrics-file PATH] \
-                     [--chaos-seed HEX] [--chaos-drop PERMILLE] [--chaos-truncate PERMILLE] \
-                     [--chaos-panic PERMILLE]"
+                     [--backoff-ms N] [--max-conns N] [--snapshot-dir PATH] [--addr-file PATH] \
+                     [--metrics-file PATH] [--chaos-seed HEX] [--chaos-drop PERMILLE] \
+                     [--chaos-truncate PERMILLE] [--chaos-panic PERMILLE]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -126,7 +135,15 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
 
+    let snapshot_dir = cfg.snapshot_dir.clone();
     let handle = Server::start(cfg, listeners);
+    if let Some(dir) = &snapshot_dir {
+        let (loads, rejected) = handle.snapshot_stats();
+        eprintln!(
+            "fastsim_served snapshot store {}: {loads} snapshot(s) adopted, {rejected} rejected",
+            dir.display()
+        );
+    }
     let endpoint = handle
         .tcp_addr()
         .map(|a| a.to_string())

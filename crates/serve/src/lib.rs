@@ -22,6 +22,16 @@
 //! * [`metrics`] — the counters/histogram registry dumped as JSON.
 //! * [`client`] — a small synchronous client for the protocol.
 //! * [`json`] — the hand-rolled JSON layer everything above speaks.
+//! * [`b64`] — minimal base64 carrying snapshot bytes over the protocol.
+//!
+//! With [`server::ServeConfig::snapshot_dir`] set, the server also owns a
+//! durable [`fastsim_core::SnapshotStore`]: at boot it adopts the newest
+//! decodable snapshot of every group (so a restarted server serves its
+//! first jobs warm), and after every re-freeze it persists the fresh
+//! snapshot in the background. The `snapshot_export` / `snapshot_import`
+//! protocol verbs ship encoded snapshots between servers (fleet warmth
+//! without shared disks); `docs/snapshots.md` is the format and runbook
+//! reference.
 //!
 //! The server's central correctness property mirrors the batch driver's:
 //! **served results are bit-identical to an offline run** of the same
@@ -53,6 +63,7 @@
 
 #![deny(missing_docs)]
 
+pub mod b64;
 pub mod client;
 pub mod conn;
 pub mod json;

@@ -111,12 +111,32 @@ struct LoopCounters {
     open_connections: AtomicU64,
 }
 
+/// Durable-snapshot counters, updated lock-free: boot loads happen
+/// before the lock discipline is even relevant, and persists happen on
+/// the worker path after the scheduler lock is released.
+#[derive(Debug, Default)]
+struct SnapshotCounters {
+    /// Snapshots adopted from the store at boot, plus live imports.
+    loads: AtomicU64,
+    /// Snapshots persisted to the store (re-freezes and imports).
+    saves: AtomicU64,
+    /// Encoded bytes read in by loads/imports.
+    bytes_loaded: AtomicU64,
+    /// Encoded bytes written out by saves.
+    bytes_saved: AtomicU64,
+    /// Snapshot files or import payloads rejected by strict decoding.
+    rejected: AtomicU64,
+    /// Highest store generation touched (loaded or saved) so far.
+    generation: AtomicU64,
+}
+
 /// The registry. All methods take `&self`; an internal lock serializes
 /// updates (event-loop counters are atomics outside the lock).
 #[derive(Debug, Default)]
 pub struct Metrics {
     inner: Mutex<Counters>,
     event_loop: LoopCounters,
+    snapshot: SnapshotCounters,
 }
 
 impl Metrics {
@@ -209,6 +229,50 @@ impl Metrics {
     /// Connections open right now.
     pub fn open_connections(&self) -> u64 {
         self.event_loop.open_connections.load(Ordering::Relaxed)
+    }
+
+    /// One snapshot adopted — from the store at boot (`generation` is its
+    /// store generation) or from a live `snapshot_import` (pass 0).
+    pub fn snapshot_loaded(&self, bytes: u64, generation: u64) {
+        self.snapshot.loads.fetch_add(1, Ordering::Relaxed);
+        self.snapshot.bytes_loaded.fetch_add(bytes, Ordering::Relaxed);
+        self.snapshot.generation.fetch_max(generation, Ordering::Relaxed);
+    }
+
+    /// One snapshot persisted to the store at `generation`.
+    pub fn snapshot_saved(&self, bytes: u64, generation: u64) {
+        self.snapshot.saves.fetch_add(1, Ordering::Relaxed);
+        self.snapshot.bytes_saved.fetch_add(bytes, Ordering::Relaxed);
+        self.snapshot.generation.fetch_max(generation, Ordering::Relaxed);
+    }
+
+    /// `n` snapshot files (or import payloads) rejected by the strict
+    /// decoder.
+    pub fn snapshot_rejected(&self, n: u64) {
+        self.snapshot.rejected.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Snapshots adopted so far (boot loads + live imports).
+    pub fn snapshot_loads(&self) -> u64 {
+        self.snapshot.loads.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot files/payloads rejected so far.
+    pub fn snapshot_rejections(&self) -> u64 {
+        self.snapshot.rejected.load(Ordering::Relaxed)
+    }
+
+    /// The snapshot counters as one JSON object (the metrics dump's
+    /// `snapshot` member on servers with a snapshot store).
+    pub fn snapshot_json(&self) -> Json {
+        Json::obj([
+            ("loads", Json::from(self.snapshot.loads.load(Ordering::Relaxed))),
+            ("saves", Json::from(self.snapshot.saves.load(Ordering::Relaxed))),
+            ("bytes_loaded", Json::from(self.snapshot.bytes_loaded.load(Ordering::Relaxed))),
+            ("bytes_saved", Json::from(self.snapshot.bytes_saved.load(Ordering::Relaxed))),
+            ("rejected", Json::from(self.snapshot.rejected.load(Ordering::Relaxed))),
+            ("generation", Json::from(self.snapshot.generation.load(Ordering::Relaxed))),
+        ])
     }
 
     /// Renders the registry as the [`SCHEMA`] JSON object. The queue
@@ -340,5 +404,23 @@ mod tests {
         assert_eq!(ev.get("partial_writes").unwrap().as_u64(), Some(1));
         // The dump is valid JSON end to end.
         assert_eq!(Json::parse(&d.to_string()).unwrap(), d);
+    }
+
+    #[test]
+    fn snapshot_counters_track_loads_saves_and_rejects() {
+        let m = Metrics::new();
+        m.snapshot_loaded(100, 3);
+        m.snapshot_loaded(50, 1);
+        m.snapshot_saved(200, 4);
+        m.snapshot_rejected(2);
+        let s = m.snapshot_json();
+        assert_eq!(s.get("loads").unwrap().as_u64(), Some(2));
+        assert_eq!(s.get("saves").unwrap().as_u64(), Some(1));
+        assert_eq!(s.get("bytes_loaded").unwrap().as_u64(), Some(150));
+        assert_eq!(s.get("bytes_saved").unwrap().as_u64(), Some(200));
+        assert_eq!(s.get("rejected").unwrap().as_u64(), Some(2));
+        assert_eq!(s.get("generation").unwrap().as_u64(), Some(4), "generation is the max seen");
+        assert_eq!(m.snapshot_loads(), 2);
+        assert_eq!(m.snapshot_rejections(), 2);
     }
 }

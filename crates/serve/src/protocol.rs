@@ -6,7 +6,8 @@
 //! `docs/serving.md`; this module is the single parsing point, so the
 //! document and the code agree by construction.
 //!
-//! Ops: `ping`, `submit`, `poll`, `metrics`, `drain`, `shutdown`.
+//! Ops: `ping`, `submit`, `poll`, `metrics`, `drain`, `shutdown`,
+//! `snapshot_export`, `snapshot_import`.
 
 use crate::json::Json;
 
@@ -35,6 +36,19 @@ pub enum Request {
     Drain,
     /// Drain, then stop the workers and the listener.
     Shutdown,
+    /// Export one group's current frozen snapshot as base64 (or, with no
+    /// `group` member, list the exportable groups).
+    SnapshotExport {
+        /// The group fingerprint as 16 hex digits (`None`: list groups).
+        group: Option<u64>,
+    },
+    /// Import an encoded snapshot (base64 of the `fastsim-snapshot/v1`
+    /// bytes) into the matching warm-cache group, creating the group if
+    /// the server has never seen its configuration.
+    SnapshotImport {
+        /// The base64-encoded snapshot bytes.
+        data: String,
+    },
 }
 
 /// The body of a `submit` request.
@@ -90,6 +104,29 @@ impl Request {
                 Ok(Request::Poll { job })
             }
             "submit" => Ok(Request::Submit(SubmitSpec::from_json(&v)?)),
+            "snapshot_export" => {
+                let group = match v.get("group") {
+                    None | Some(Json::Null) => None,
+                    Some(Json::Str(s)) => Some(parse_group(s)?),
+                    Some(_) => {
+                        return Err(
+                            "snapshot_export: `group` must be a hex fingerprint string".to_string()
+                        )
+                    }
+                };
+                Ok(Request::SnapshotExport { group })
+            }
+            "snapshot_import" => {
+                let data = v
+                    .get("data")
+                    .and_then(Json::as_str)
+                    .filter(|s| !s.is_empty())
+                    .ok_or_else(|| {
+                        "snapshot_import: missing non-empty string member `data`".to_string()
+                    })?
+                    .to_string();
+                Ok(Request::SnapshotImport { data })
+            }
             other => Err(format!("unknown op `{other}`")),
         }
     }
@@ -159,6 +196,17 @@ impl SubmitSpec {
     }
 }
 
+/// Parses a group fingerprint given as hex digits (the format metrics
+/// dumps and `snapshot_export` listings use).
+fn parse_group(text: &str) -> Result<u64, String> {
+    let digits = text.strip_prefix("0x").unwrap_or(text);
+    if digits.is_empty() || digits.len() > 16 {
+        return Err(format!("snapshot_export: `group` `{text}` is not a hex fingerprint"));
+    }
+    u64::from_str_radix(digits, 16)
+        .map_err(|_| format!("snapshot_export: `group` `{text}` is not a hex fingerprint"))
+}
+
 /// A success response carrying the given members besides `"ok": true`.
 pub fn ok_response(members: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
     let mut pairs = vec![("ok".to_string(), Json::Bool(true))];
@@ -212,6 +260,26 @@ mod tests {
     }
 
     #[test]
+    fn parses_snapshot_ops() {
+        assert_eq!(
+            Request::parse(r#"{"op": "snapshot_export"}"#).unwrap(),
+            Request::SnapshotExport { group: None }
+        );
+        assert_eq!(
+            Request::parse(r#"{"op": "snapshot_export", "group": "00000000deadbeef"}"#).unwrap(),
+            Request::SnapshotExport { group: Some(0xdead_beef) }
+        );
+        assert_eq!(
+            Request::parse(r#"{"op": "snapshot_export", "group": "0xdeadbeef"}"#).unwrap(),
+            Request::SnapshotExport { group: Some(0xdead_beef) }
+        );
+        assert_eq!(
+            Request::parse(r#"{"op": "snapshot_import", "data": "Zm9v"}"#).unwrap(),
+            Request::SnapshotImport { data: "Zm9v".to_string() }
+        );
+    }
+
+    #[test]
     fn rejects_malformed_requests() {
         for bad in [
             "not json",
@@ -223,6 +291,11 @@ mod tests {
             r#"{"op": "submit", "kernels": ["compress"], "insts": 0}"#,
             r#"{"op": "submit", "kernels": ["compress"], "insts": 10, "timeout_ms": 0}"#,
             r#"{"op": "submit", "kernels": [3], "insts": 10}"#,
+            r#"{"op": "snapshot_export", "group": 7}"#,
+            r#"{"op": "snapshot_export", "group": "not-hex"}"#,
+            r#"{"op": "snapshot_export", "group": "00112233445566778899"}"#,
+            r#"{"op": "snapshot_import"}"#,
+            r#"{"op": "snapshot_import", "data": ""}"#,
         ] {
             assert!(Request::parse(bad).is_err(), "`{bad}` must not parse");
         }

@@ -38,7 +38,10 @@
 //! execution ([`fastsim_core::run_single`]). On success the delta is
 //! merged into the group's master and, every
 //! [`ServeConfig::refreeze_every`] merges, the master is re-frozen so
-//! later jobs start warmer. On panic the job is parked with exponential
+//! later jobs start warmer (with [`ServeConfig::snapshot_dir`] set, the
+//! fresh snapshot is also persisted to the durable store once the
+//! scheduler lock is released, so the warmth survives a restart). On
+//! panic the job is parked with exponential
 //! backoff and retried, up to [`ServeConfig::max_attempts`] attempts, then
 //! quarantined — failed attempts merge nothing, so they cannot poison the
 //! shared caches. Idle workers sleep on a condvar signaled at every
@@ -53,13 +56,15 @@ use crate::conn::{ConnBuf, Ingest};
 use crate::json::Json;
 use crate::protocol::{err_response, ok_response, Request, SubmitSpec};
 use crate::state::{
-    Completion, Core, JobRecord, JobStatus, ResponsePlan, ServerState, WaitKind, Waiter,
+    Completion, Core, GroupCtl, JobRecord, JobStatus, ResponsePlan, ServerState, WaitKind, Waiter,
 };
 use crate::sys::{
     set_nonblocking, wake_pipe, Epoll, EpollEvent, WakeReader, EPOLLERR, EPOLLHUP, EPOLLIN,
     EPOLLOUT, EPOLLRDHUP,
 };
-use fastsim_core::{run_single, BatchJob, HierarchyConfig, JobFailure, JobReport};
+use fastsim_core::{
+    run_single, BatchJob, HierarchyConfig, JobFailure, JobReport, WarmCacheSnapshot,
+};
 use fastsim_workloads::Manifest;
 use std::collections::HashMap;
 use std::io::{Read, Write};
@@ -95,6 +100,11 @@ pub struct ServeConfig {
     /// Open-connection cap: accepts beyond this are immediately closed
     /// (never left in the backlog, which would busy-wake the loop).
     pub max_conns: usize,
+    /// Root of the durable snapshot store (`None`: warmth is
+    /// process-local, exactly the pre-store behavior). When set, the
+    /// server adopts the store's snapshots at boot and persists every
+    /// re-freeze, so a restart serves its first jobs warm.
+    pub snapshot_dir: Option<PathBuf>,
     /// Server-side fault injection (`None`: no chaos — production mode).
     pub chaos: Option<ChaosConfig>,
 }
@@ -109,10 +119,15 @@ impl Default for ServeConfig {
             max_attempts: 3,
             backoff_base: Duration::from_millis(20),
             max_conns: 16_384,
+            snapshot_dir: None,
             chaos: None,
         }
     }
 }
+
+/// Store generations kept per group after each persist; older ones are
+/// pruned (the newest generation is never deleted, whatever this says).
+const SNAPSHOT_KEEP_GENERATIONS: usize = 4;
 
 /// Seeded server-side fault injection for chaos testing.
 ///
@@ -212,6 +227,14 @@ impl ServerHandle {
     /// Connections open right now (the event loop's gauge).
     pub fn open_connections(&self) -> u64 {
         self.state.metrics.open_connections()
+    }
+
+    /// Snapshot-store activity so far as `(loads, rejected)` — right
+    /// after [`Server::start`] these are the boot scan's counts, which is
+    /// what `fastsim_served` logs at startup. Both zero on a server
+    /// without [`ServeConfig::snapshot_dir`].
+    pub fn snapshot_stats(&self) -> (u64, u64) {
+        (self.state.metrics.snapshot_loads(), self.state.metrics.snapshot_rejections())
     }
 
     /// Blocks until the server stops (a client sent `shutdown`), joins the
@@ -692,6 +715,8 @@ fn handle_request(state: &Arc<ServerState>, token: u64, line: &str) -> Outcome {
         Ok(Request::Submit(spec)) => handle_submit(state, token, &spec),
         Ok(Request::Drain) => handle_drain(state, token),
         Ok(Request::Shutdown) => handle_shutdown(state, token),
+        Ok(Request::SnapshotExport { group }) => Outcome::Reply(handle_snapshot_export(state, group)),
+        Ok(Request::SnapshotImport { data }) => Outcome::Reply(handle_snapshot_import(state, &data)),
     }
 }
 
@@ -701,12 +726,121 @@ fn dump_metrics(state: &ServerState, core: &Core) -> Json {
         core.queue.parked_len() as u64,
         core.in_flight as u64,
     );
-    match (dump, state.chaos_json()) {
-        (Json::Obj(mut pairs), Some(chaos)) => {
-            pairs.push(("chaos".to_string(), chaos));
+    match dump {
+        Json::Obj(mut pairs) => {
+            if state.store.is_some() {
+                pairs.push(("snapshot".to_string(), state.metrics.snapshot_json()));
+            }
+            if let Some(chaos) = state.chaos_json() {
+                pairs.push(("chaos".to_string(), chaos));
+            }
             Json::Obj(pairs)
         }
-        (dump, _) => dump,
+        other => other,
+    }
+}
+
+/// `snapshot_export`: hands out a group's current frozen snapshot as
+/// base64 of the `fastsim-snapshot/v1` bytes (or, with no group, lists
+/// the exportable groups). The snapshot Arc is cloned under the lock and
+/// encoded after releasing it.
+fn handle_snapshot_export(state: &Arc<ServerState>, group: Option<u64>) -> Json {
+    let core = state.core.lock().unwrap();
+    let Some(fingerprint) = group else {
+        let mut groups: Vec<u64> = core.groups.keys().copied().collect();
+        groups.sort_unstable();
+        return ok_response([(
+            "groups",
+            Json::Arr(groups.iter().map(|fp| Json::Str(format!("{fp:016x}"))).collect()),
+        )]);
+    };
+    let Some(ctl) = core.groups.get(&fingerprint) else {
+        return err_response(format!("unknown group {fingerprint:016x}"));
+    };
+    let snapshot = ctl.snapshot.clone();
+    drop(core);
+    let bytes = snapshot.encode();
+    ok_response([
+        ("group", Json::Str(format!("{fingerprint:016x}"))),
+        ("bytes", Json::from(bytes.len() as u64)),
+        ("data", Json::Str(crate::b64::encode(&bytes))),
+    ])
+}
+
+/// `snapshot_import`: strict-decodes an encoded snapshot and merges it
+/// into the matching group's master (adopting it wholesale when the
+/// server has never seen the configuration). The group's frozen snapshot
+/// is refreshed immediately — the next job of the group thaws the
+/// imported warmth — and the merged result is persisted when a store is
+/// configured, so the shipped warmth survives a restart.
+fn handle_snapshot_import(state: &Arc<ServerState>, data: &str) -> Json {
+    let bytes = match crate::b64::decode(data) {
+        Ok(bytes) => bytes,
+        Err(msg) => {
+            state.metrics.snapshot_rejected(1);
+            return err_response(format!("snapshot_import: {msg}"));
+        }
+    };
+    let snapshot = match WarmCacheSnapshot::decode(&bytes, None) {
+        Ok(snapshot) => snapshot,
+        Err(e) => {
+            state.metrics.snapshot_rejected(1);
+            return err_response(format!("snapshot_import: rejected: {e}"));
+        }
+    };
+    let fingerprint = snapshot.fingerprint();
+    let mut core = state.core.lock().unwrap();
+    let merge = core.driver.import_snapshot(&snapshot);
+    let fresh =
+        core.driver.current_snapshot(fingerprint).expect("import ensured the group's master");
+    match core.groups.get_mut(&fingerprint) {
+        Some(ctl) => ctl.snapshot = fresh.clone(),
+        None => {
+            core.groups.insert(
+                fingerprint,
+                GroupCtl {
+                    snapshot: fresh.clone(),
+                    deltas_since_freeze: 0,
+                    hits_window: 0,
+                    lookups_window: 0,
+                },
+            );
+        }
+    }
+    drop(core);
+    state.metrics.snapshot_loaded(bytes.len() as u64, 0);
+    persist_snapshot(state, &fresh);
+    let mut members = vec![
+        ("group", Json::Str(format!("{fingerprint:016x}"))),
+        ("adopted", Json::Bool(merge.is_none())),
+    ];
+    if let Some(m) = merge {
+        members.push((
+            "merged",
+            Json::obj([
+                ("configs_added", Json::from(m.configs_added)),
+                ("actions_added", Json::from(m.actions_added)),
+                ("configs_deduped", Json::from(m.configs_deduped)),
+            ]),
+        ));
+    }
+    ok_response(members)
+}
+
+/// Persists one frozen snapshot to the store (a no-op without one), then
+/// prunes old generations. Callers hold **no** locks: filesystem time
+/// must never extend the scheduler's critical section.
+fn persist_snapshot(state: &ServerState, snapshot: &WarmCacheSnapshot) {
+    let Some(store) = &state.store else { return };
+    match store.save(snapshot) {
+        Ok(saved) => {
+            state.metrics.snapshot_saved(saved.bytes as u64, saved.generation);
+            let _ = store.prune(SNAPSHOT_KEEP_GENERATIONS);
+        }
+        Err(e) => eprintln!(
+            "snapshot store: persist failed for group {:016x}: {e}",
+            snapshot.fingerprint()
+        ),
     }
 }
 
@@ -976,6 +1110,7 @@ fn worker_loop(state: &Arc<ServerState>) {
 
         let mut core = state.core.lock().unwrap();
         core.in_flight -= 1;
+        let mut persist: Option<WarmCacheSnapshot> = None;
         match outcome {
             Ok(Ok(single)) => {
                 let record = core.jobs.get_mut(&id).expect("running jobs have records");
@@ -1008,8 +1143,9 @@ fn worker_loop(state: &Arc<ServerState>) {
                         .driver
                         .current_snapshot(fingerprint)
                         .expect("group exists");
-                    core.groups.get_mut(&fingerprint).unwrap().snapshot = fresh;
+                    core.groups.get_mut(&fingerprint).unwrap().snapshot = fresh.clone();
                     state.metrics.refrozen(fingerprint, rate);
+                    persist = Some(fresh);
                 }
             }
             Ok(Err(failure)) => {
@@ -1055,6 +1191,13 @@ fn worker_loop(state: &Arc<ServerState>) {
             state.waker.wake();
         }
         state.work.notify_all();
+        drop(core);
+        // Durability rides the worker thread, after the scheduler lock is
+        // gone: freezing already produced the Arc'd snapshot, so the only
+        // work left is encoding and an atomic tmp+rename publish.
+        if let Some(snapshot) = persist {
+            persist_snapshot(state, &snapshot);
+        }
     }
 }
 

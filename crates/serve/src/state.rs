@@ -8,7 +8,7 @@ use crate::metrics::Metrics;
 use crate::queue::{JobQueue, QueueEntry};
 use crate::server::ServeConfig;
 use crate::sys::Waker;
-use fastsim_core::{BatchDriver, BatchJob, JobReport, WarmCacheSnapshot};
+use fastsim_core::{BatchDriver, BatchJob, JobReport, SnapshotStore, WarmCacheSnapshot};
 use fastsim_prng::Rng;
 use std::collections::HashMap;
 use std::sync::{Condvar, Mutex};
@@ -216,11 +216,23 @@ pub struct ServerState {
     pub cfg: ServeConfig,
     /// Fault injection, when the config asked for chaos.
     pub chaos: Option<Mutex<ChaosState>>,
+    /// The durable snapshot store, when [`ServeConfig::snapshot_dir`] is
+    /// set. Saves take their own filesystem time on the worker path —
+    /// always *after* the scheduler lock is released.
+    pub store: Option<SnapshotStore>,
 }
 
 impl ServerState {
     /// Fresh state for a server with the given config; `waker` is the
     /// write end of the I/O loop's wake pipe.
+    ///
+    /// With [`ServeConfig::snapshot_dir`] set this is also the boot
+    /// load: the store's newest decodable snapshot of every group is
+    /// adopted into the driver and pre-installed as its group's frozen
+    /// snapshot, so the first job of a known configuration thaws warm
+    /// instead of starting cold. Corrupt or foreign files are skipped
+    /// with a typed cause (counted in the metrics, logged to stderr) —
+    /// the decoder rejects, it never guesses.
     pub fn new(cfg: ServeConfig, waker: Waker) -> ServerState {
         let chaos = cfg.chaos.map(|c| {
             Mutex::new(ChaosState {
@@ -231,12 +243,52 @@ impl ServerState {
                 panics: 0,
             })
         });
+        let metrics = Metrics::new();
+        let mut driver = BatchDriver::new(1);
+        let mut groups = HashMap::new();
+        let store = cfg.snapshot_dir.as_ref().and_then(|dir| match SnapshotStore::open(dir) {
+            Ok(store) => Some(store),
+            Err(e) => {
+                eprintln!(
+                    "snapshot store {}: cannot open ({e}); serving without durability",
+                    dir.display()
+                );
+                None
+            }
+        });
+        if let Some(store) = &store {
+            let _ = store.sweep_tmp();
+            match store.load_all() {
+                Ok(report) => {
+                    for rejected in &report.rejected {
+                        eprintln!("snapshot store: skipped {rejected}");
+                    }
+                    metrics.snapshot_rejected(report.rejected.len() as u64);
+                    for loaded in report.loaded {
+                        let fingerprint = loaded.snapshot.fingerprint();
+                        if driver.adopt_snapshot(&loaded.snapshot) {
+                            groups.insert(
+                                fingerprint,
+                                GroupCtl {
+                                    snapshot: loaded.snapshot,
+                                    deltas_since_freeze: 0,
+                                    hits_window: 0,
+                                    lookups_window: 0,
+                                },
+                            );
+                            metrics.snapshot_loaded(loaded.bytes as u64, loaded.generation);
+                        }
+                    }
+                }
+                Err(e) => eprintln!("snapshot store: boot scan failed: {e}"),
+            }
+        }
         ServerState {
             core: Mutex::new(Core {
                 queue: JobQueue::new(cfg.queue_capacity),
                 jobs: HashMap::new(),
-                driver: BatchDriver::new(1),
-                groups: HashMap::new(),
+                driver,
+                groups,
                 next_id: 1,
                 in_flight: 0,
                 draining: false,
@@ -246,9 +298,10 @@ impl ServerState {
             }),
             work: Condvar::new(),
             waker,
-            metrics: Metrics::new(),
+            metrics,
             cfg,
             chaos,
+            store,
         }
     }
 

@@ -111,9 +111,12 @@ echo "==> serve smoke: cold + warm client against a live server"
 # the documented schema.
 SERVE_SOCK="target/ci_serve.sock"
 SERVE_METRICS="target/ci_serve_metrics.json"
+SERVE_SNAPDIR="target/ci_serve_snapshots"
 rm -f "$SERVE_SOCK" "$SERVE_METRICS"
+rm -rf "$SERVE_SNAPDIR"
 target/release/fastsim_served --unix "$SERVE_SOCK" --workers 2 \
-    --refreeze-every 2 --metrics-file "$SERVE_METRICS" &
+    --refreeze-every 2 --metrics-file "$SERVE_METRICS" \
+    --snapshot-dir "$SERVE_SNAPDIR" &
 SERVE_PID=$!
 for _ in $(seq 1 100); do
     [ -S "$SERVE_SOCK" ] && break
@@ -136,13 +139,21 @@ fi
 for key in '"schema": "fastsim-serve-metrics/v1"' '"submitted": 8' \
     '"completed": 8' '"rejected": 0' '"failed": 0' '"quarantined": 0' \
     '"refreezes"' '"queue_depth": 0' '"in_flight": 0' \
-    '"latency_ms"' '"p50"' '"p99"' '"refreeze_hit_rate_trend"'; do
+    '"latency_ms"' '"p50"' '"p99"' '"refreeze_hit_rate_trend"' \
+    '"snapshot"' '"saves"' '"bytes_saved"'; do
     grep -qF "$key" "$SERVE_METRICS" || {
         echo "serve smoke: missing $key in $SERVE_METRICS" >&2
         exit 1
     }
 done
-echo "==> serve smoke passed ($SERVE_METRICS)"
+# --snapshot-dir must leave a real on-disk library behind: at least one
+# generation file persisted by the refreezes the two clients forced.
+SNAP_FILES=$(find "$SERVE_SNAPDIR" -name 'gen-*.snap' | wc -l)
+if [ "$SNAP_FILES" -lt 1 ]; then
+    echo "serve smoke: no snapshots persisted under $SERVE_SNAPDIR" >&2
+    exit 1
+fi
+echo "==> serve smoke passed ($SERVE_METRICS, $SNAP_FILES snapshots persisted)"
 
 echo "==> serve scale smoke: 1024 idle connections around an active core"
 # Connection-scaling gate for the event-loop server: park 1024 idle
@@ -167,19 +178,45 @@ for key in '"schema": "fastsim-serve-scale/v1"' '"debug_build": false' \
 done
 echo "==> serve scale smoke passed ($SCALE_OUT)"
 
+echo "==> snapshot smoke: durable warm-cache round trip through store and wire"
+# The durable-warmth gate: run the same tiny round cold, warm from an
+# on-disk SnapshotStore (simulated restart) and warm from encoded
+# fastsim-snapshot/v1 bytes (simulated shipping). The bench exits
+# nonzero unless all three legs are bit-identical and both warmed legs
+# hit at >= 0.9, so a codec or store regression fails before the grep.
+SNAP_OUT="target/bench_snapshot_smoke.json"
+cargo run --release -q -p fastsim-bench --bin snapshot_study -- \
+    --insts 20000 --filter compress --out "$SNAP_OUT"
+for key in '"schema": "fastsim-snapshot-study/v1"' '"debug_build": false' \
+    '"cold_hit_rate"' '"snapshots_saved"' '"snapshot_bytes_total"' \
+    '"snapshots_loaded"' '"snapshots_rejected": 0' '"warm_hit_rate"' \
+    '"encode_mb_per_s"' '"decode_mb_per_s"' '"import_hit_rate"' \
+    '"results_identical": true' '"warm_ok": true'; do
+    grep -qF "$key" "$SNAP_OUT" || {
+        echo "snapshot smoke: missing $key in $SNAP_OUT" >&2
+        exit 1
+    }
+done
+echo "==> snapshot smoke passed ($SNAP_OUT)"
+
 echo "==> fuzz smoke: 500 generated kernels through the differential oracle"
 # Fixed seed, fully offline: replay the checked-in fuzz/corpus/ golden
 # seeds, then generate 500 random kernels and require bit-identical
 # fast==slow statistics across all hierarchy presets × GC policies ×
 # replay strategies (node-at-a-time vs trace-compiled, chaining off vs
-# on), plus the freeze/thaw/merge lifecycle. Failures
+# on), plus the freeze/thaw/merge lifecycle. On top of the differential
+# sweep, frozen caches are encoded to fastsim-snapshot/v1 and attacked
+# with seeded corruption — every effective mutation must be rejected
+# with a typed error, never absorbed or panicked on. Failures
 # would be shrunk to replayable reproducers under target/fuzz_failures/.
 FUZZ_OUT="target/fuzz_smoke.json"
 cargo run --release -q -p fastsim-fuzz --bin fuzz_smoke -- \
     --seed 0xf00dfeed --kernels 500 --corpus fuzz/corpus --out "$FUZZ_OUT"
 for key in '"schema": "fastsim-fuzz-smoke/v1"' '"kernels": 500' \
     '"presets": ["table1", "three-level", "tiny-l1"]' \
-    '"corpus_replayed": 20' '"failures": 0' '"runs"' '"retired_insts"'; do
+    '"corpus_replayed": 24' '"failures": 0' '"runs"' '"retired_insts"' \
+    '"snapshot_corruptions"' '"snapshot_rejected"' \
+    '"snapshot_failures": 0'; do
     grep -qF "$key" "$FUZZ_OUT" || {
         echo "fuzz smoke: missing $key in $FUZZ_OUT" >&2
         exit 1

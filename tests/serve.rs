@@ -1,7 +1,8 @@
 //! End-to-end tests of the serving front end, against in-process servers
 //! on private Unix sockets.
 //!
-//! The three properties `docs/serving.md` promises operators:
+//! The properties `docs/serving.md` and `docs/snapshots.md` promise
+//! operators:
 //!
 //! 1. **Served results are bit-identical to an offline batch run** of the
 //!    same jobs — and a second client starts warmer than the first
@@ -10,6 +11,10 @@
 //!    `max_attempts`, without poisoning the shared warm caches.
 //! 3. **Graceful drain** settles every admitted job, and the metrics dump
 //!    has the documented schema.
+//! 4. **Warmth is durable and portable**: a killed-and-restarted server
+//!    with `--snapshot-dir` serves its first submission warm from the
+//!    store, and `snapshot_export`/`snapshot_import` ship warmth to a
+//!    cold server — in both cases bit-identical to the offline run.
 
 #![cfg(unix)]
 
@@ -68,6 +73,37 @@ fn served_results(resp: &Json) -> BTreeMap<String, Vec<u64>> {
     map
 }
 
+/// The same manifest the tests submit, run through the offline
+/// `BatchDriver` — the ground truth every served response must match
+/// bit-for-bit, whatever the warmth.
+fn offline_results() -> BTreeMap<String, Vec<u64>> {
+    let jobs: Vec<BatchJob> = Manifest::select(&KERNELS, INSTS)
+        .expect("known kernels")
+        .replicated(REPLICAS)
+        .into_jobs()
+        .into_iter()
+        .map(|j| BatchJob::new(j.name, j.program))
+        .collect();
+    let offline = BatchDriver::new(2).run_round(&jobs).expect("offline round");
+    offline
+        .jobs
+        .iter()
+        .map(|j| {
+            (
+                j.name.clone(),
+                vec![
+                    j.stats.cycles,
+                    j.stats.retired_insts,
+                    j.cache_stats.loads,
+                    j.cache_stats.stores,
+                    j.cache_stats.l1_misses,
+                    j.cache_stats.writebacks,
+                ],
+            )
+        })
+        .collect()
+}
+
 fn aggregate_hit_rate(resp: &Json) -> f64 {
     let (mut hits, mut lookups) = (0, 0);
     for job in resp.get("jobs").and_then(Json::as_arr).expect("jobs array") {
@@ -99,31 +135,7 @@ fn served_results_match_offline_batch_and_second_client_starts_warmer() {
 
     // Bit-identical to an offline batch run of the same manifest: warmth
     // may differ, simulated results may not.
-    let jobs: Vec<BatchJob> = Manifest::select(&KERNELS, INSTS)
-        .expect("known kernels")
-        .replicated(REPLICAS)
-        .into_jobs()
-        .into_iter()
-        .map(|j| BatchJob::new(j.name, j.program))
-        .collect();
-    let offline = BatchDriver::new(2).run_round(&jobs).expect("offline round");
-    let offline_map: BTreeMap<String, Vec<u64>> = offline
-        .jobs
-        .iter()
-        .map(|j| {
-            (
-                j.name.clone(),
-                vec![
-                    j.stats.cycles,
-                    j.stats.retired_insts,
-                    j.cache_stats.loads,
-                    j.cache_stats.stores,
-                    j.cache_stats.l1_misses,
-                    j.cache_stats.writebacks,
-                ],
-            )
-        })
-        .collect();
+    let offline_map = offline_results();
     assert_eq!(served_results(&first), offline_map, "cold served == offline");
     assert_eq!(served_results(&second), offline_map, "warm served == offline");
 
@@ -300,32 +312,7 @@ fn a_thousand_idle_connections_are_free_and_active_results_stay_identical() {
     // empty server: same deterministic results as an offline batch run.
     let mut client = Client::connect_unix(&socket).expect("connect active");
     let served = submit(&mut client, "active", &[]);
-    let jobs: Vec<BatchJob> = Manifest::select(&KERNELS, INSTS)
-        .expect("known kernels")
-        .replicated(REPLICAS)
-        .into_jobs()
-        .into_iter()
-        .map(|j| BatchJob::new(j.name, j.program))
-        .collect();
-    let offline = BatchDriver::new(2).run_round(&jobs).expect("offline round");
-    let offline_map: BTreeMap<String, Vec<u64>> = offline
-        .jobs
-        .iter()
-        .map(|j| {
-            (
-                j.name.clone(),
-                vec![
-                    j.stats.cycles,
-                    j.stats.retired_insts,
-                    j.cache_stats.loads,
-                    j.cache_stats.stores,
-                    j.cache_stats.l1_misses,
-                    j.cache_stats.writebacks,
-                ],
-            )
-        })
-        .collect();
-    assert_eq!(served_results(&served), offline_map, "served under load == offline");
+    assert_eq!(served_results(&served), offline_results(), "served under load == offline");
 
     // The gauge counts the herd plus the active client, and the loop's
     // accept counter saw every one of them.
@@ -351,6 +338,139 @@ fn a_thousand_idle_connections_are_free_and_active_results_stay_identical() {
 
     client.shutdown().expect("shutdown");
     handle.wait();
+}
+
+#[test]
+fn restarted_server_with_snapshot_dir_serves_first_submission_warm_and_bit_identical() {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("snapshots_restart");
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = || ServeConfig {
+        workers: 2,
+        refreeze_every: 2,
+        snapshot_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    };
+
+    // First life: warm the caches — two submissions, so the final
+    // re-freeze persists a snapshot containing every job — then die.
+    let (first_life, socket) = start_server("restart_a", cfg());
+    assert_eq!(first_life.snapshot_stats(), (0, 0), "an empty store offers nothing to adopt");
+    let mut client = Client::connect_unix(&socket).expect("connect");
+    submit(&mut client, "before-crash", &[]);
+    submit(&mut client, "before-crash-2", &[]);
+    client.shutdown().expect("shutdown");
+    let dump = first_life.wait();
+    let snap = dump.get("snapshot").expect("snapshot block in the metrics dump");
+    assert!(
+        snap.get("saves").and_then(Json::as_u64).unwrap() >= 1,
+        "re-freezes persist to the store: {snap}"
+    );
+    assert_eq!(snap.get("rejected").and_then(Json::as_u64), Some(0));
+
+    // Second life: a brand-new server — fresh process state, same store.
+    let (second_life, socket) = start_server("restart_b", cfg());
+    let (loads, rejected) = second_life.snapshot_stats();
+    assert!(loads >= 1, "the restarted server adopts the persisted snapshot at boot");
+    assert_eq!(rejected, 0, "a cleanly written store decodes in full");
+
+    // Its *first* submission replays instead of re-simulating...
+    let mut client = Client::connect_unix(&socket).expect("connect after restart");
+    let served = submit(&mut client, "after-restart", &[]);
+    let rate = aggregate_hit_rate(&served);
+    assert!(rate >= 0.9, "first post-restart submission must be warm (hit rate {rate:.3})");
+
+    // ...and warmth changes speed, never results.
+    assert_eq!(served_results(&served), offline_results(), "post-restart served == offline");
+
+    client.shutdown().expect("shutdown");
+    let dump = second_life.wait();
+    let snap = dump.get("snapshot").expect("snapshot block");
+    assert!(snap.get("loads").and_then(Json::as_u64).unwrap() >= 1);
+    assert!(snap.get("bytes_loaded").and_then(Json::as_u64).unwrap() > 0);
+    assert!(
+        snap.get("generation").and_then(Json::as_u64).unwrap() >= 1,
+        "the adopted generation is visible in the dump: {snap}"
+    );
+}
+
+#[test]
+fn snapshot_export_ships_warmth_to_a_cold_server_via_import() {
+    // A warmed donor — no store needed, export reads the live group.
+    let (donor, donor_socket) = start_server(
+        "export_donor",
+        ServeConfig { workers: 2, refreeze_every: 2, ..ServeConfig::default() },
+    );
+    let mut donor_client = Client::connect_unix(&donor_socket).expect("connect donor");
+    submit(&mut donor_client, "warmup", &[]);
+    submit(&mut donor_client, "warmup-2", &[]);
+
+    // Discover the exportable groups (one per program: the warm-cache
+    // fingerprint keys program + uarch + hierarchy), then export each.
+    let listing = donor_client
+        .expect_ok(&Json::obj([("op", Json::from("snapshot_export"))]))
+        .expect("list groups");
+    let groups: Vec<String> = listing
+        .get("groups")
+        .and_then(Json::as_arr)
+        .expect("groups array")
+        .iter()
+        .map(|g| g.as_str().expect("hex fingerprint").to_string())
+        .collect();
+    assert_eq!(groups.len(), KERNELS.len(), "one sharing group per kernel");
+
+    // A cold recipient adopts each shipped snapshot wholesale...
+    let (recipient, recipient_socket) =
+        start_server("import_recipient", ServeConfig { workers: 2, ..ServeConfig::default() });
+    let mut recipient_client = Client::connect_unix(&recipient_socket).expect("connect recipient");
+    for group in &groups {
+        let exported = donor_client
+            .expect_ok(&Json::obj([
+                ("op", Json::from("snapshot_export")),
+                ("group", Json::Str(group.clone())),
+            ]))
+            .expect("export");
+        assert_eq!(exported.get("group").and_then(Json::as_str), Some(group.as_str()));
+        assert!(exported.get("bytes").and_then(Json::as_u64).unwrap() > 0);
+        let data = exported.get("data").and_then(Json::as_str).expect("base64 payload");
+
+        let imported = recipient_client
+            .expect_ok(&Json::obj([
+                ("op", Json::from("snapshot_import")),
+                ("data", Json::Str(data.to_string())),
+            ]))
+            .expect("import");
+        assert_eq!(imported.get("group").and_then(Json::as_str), Some(group.as_str()));
+        assert_eq!(
+            imported.get("adopted").and_then(Json::as_bool),
+            Some(true),
+            "a server that has never seen the configuration adopts, not merges"
+        );
+    }
+
+    // ...and serves its very first submission warm, bit-identical to the
+    // offline ground truth.
+    let served = submit(&mut recipient_client, "shipped", &[]);
+    let rate = aggregate_hit_rate(&served);
+    assert!(rate >= 0.9, "imported warmth must cover the first submission (hit rate {rate:.3})");
+    assert_eq!(served_results(&served), offline_results(), "imported-warmth served == offline");
+
+    // Garbage is rejected with a typed error — never adopted, never fatal.
+    let rejected = recipient_client
+        .request(&Json::obj([
+            ("op", Json::from("snapshot_import")),
+            ("data", Json::Str("AAAA".into())),
+        ]))
+        .expect("transport ok");
+    assert_eq!(rejected.get("ok").and_then(Json::as_bool), Some(false));
+    assert!(
+        rejected.get("error").and_then(Json::as_str).unwrap().contains("rejected"),
+        "the decode error is surfaced to the shipping client"
+    );
+
+    donor_client.shutdown().expect("shutdown donor");
+    donor.wait();
+    recipient_client.shutdown().expect("shutdown recipient");
+    recipient.wait();
 }
 
 #[test]

@@ -1,8 +1,10 @@
-//! Serve-path chaos integration test: seeded server-side fault injection
+//! Serve-path chaos integration tests: seeded server-side fault injection
 //! (response drops, mid-line truncations, worker panics) under a seeded
 //! client storm (malformed frames, partial frames, slow-loris dribbles,
 //! half-open sockets, mid-response disconnects, deadline storms), then
-//! the settled-state invariants and the no-cache-poisoning gate.
+//! the settled-state invariants and the no-cache-poisoning gate — and the
+//! durable-store rebirth scenario: a server killed after a chaos storm
+//! restarts on the same `snapshot_dir` with an uncorrupted store.
 
 #![cfg(unix)]
 
@@ -85,4 +87,70 @@ fn chaos_storm_settles_and_never_poisons_the_caches() {
         .filter_map(|k| final_dump.get(k).and_then(Json::as_u64))
         .sum::<u64>();
     assert_eq!(submitted, settled, "all admitted jobs settled exactly once");
+}
+
+#[test]
+fn chaos_killed_server_reborn_from_snapshot_store_serves_clean() {
+    let seed = 0x5eed_c4a0_5000_0002;
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join("chaos_snapshots");
+    let _ = std::fs::remove_dir_all(&dir);
+    let socket = Path::new(env!("CARGO_TARGET_TMPDIR")).join("serve_chaos_restart.sock");
+
+    // First life: storm the server while fault injection is live and the
+    // durable store is attached. Every surviving re-freeze persists.
+    let cfg = ServeConfig {
+        workers: 2,
+        refreeze_every: 2,
+        backoff_base: Duration::from_millis(5),
+        chaos: Some(ChaosConfig::moderate(seed)),
+        snapshot_dir: Some(dir.to_path_buf()),
+        ..ServeConfig::default()
+    };
+    let handle = Server::start(cfg, vec![Listener::unix(&socket).expect("bind test socket")]);
+    let storm = run_storm(
+        &socket,
+        seed ^ 0xbeef,
+        &StormConfig {
+            submissions: 8,
+            malformed: 2,
+            partial_frames: 2,
+            deadline_storm: 1,
+            slow_loris: 1,
+            half_open: 1,
+            mid_response: 1,
+            insts: 5_000,
+        },
+    );
+    assert!(storm.admitted > 0, "the storm admitted nothing");
+    drain_and_verify(&socket).expect("settled-state invariants hold under chaos");
+    let mut client = RetryClient::new(&socket);
+    let stopped = client.request(&Json::obj([("op", Json::from("shutdown"))]));
+    assert_eq!(stopped.get("ok").and_then(Json::as_bool), Some(true));
+    let dump = handle.wait();
+    let snap = dump.get("snapshot").expect("snapshot block with a store attached");
+    assert!(
+        snap.get("saves").and_then(Json::as_u64).unwrap() >= 1,
+        "the chaos-era server persisted at least one re-freeze: {snap}"
+    );
+
+    // Rebirth on the same store, chaos off. Atomic tmp+rename writes mean
+    // a storm (worker panics included) can never leave a half-written
+    // snapshot behind: everything on disk decodes, nothing is rejected,
+    // and the reborn server serves bit-identically to an offline run.
+    let reborn_cfg = ServeConfig {
+        workers: 2,
+        refreeze_every: 2,
+        snapshot_dir: Some(dir.to_path_buf()),
+        ..ServeConfig::default()
+    };
+    let reborn = Server::start(reborn_cfg, vec![Listener::unix(&socket).expect("rebind socket")]);
+    let (loads, rejected) = reborn.snapshot_stats();
+    assert!(loads >= 1, "the reborn server adopted the chaos-era snapshots");
+    assert_eq!(rejected, 0, "no snapshot in the store was corrupt (atomic writes)");
+    post_chaos_identity(&socket, 5_000).expect("reborn results bit-identical to offline");
+
+    let mut client = RetryClient::new(&socket);
+    let stopped = client.request(&Json::obj([("op", Json::from("shutdown"))]));
+    assert_eq!(stopped.get("ok").and_then(Json::as_bool), Some(true));
+    reborn.wait();
 }

@@ -255,3 +255,126 @@ fn every_workload_survives_a_warm_restart() {
         assert_eq!(warm.stats().cycles, cycles, "{}", w.name);
     }
 }
+
+// ---------------------------------------------------------------------
+// Golden `fastsim-snapshot/v1` fixture: byte-layout pinning and the
+// rejection matrix for the durable-store wire format (docs/snapshots.md).
+// ---------------------------------------------------------------------
+
+/// Path of the committed golden encoding.
+const GOLDEN_SNAPSHOT: &str =
+    concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/compress_10k_table1.snap");
+
+/// The deterministic run the golden fixture freezes: `compress` at
+/// 10 000 instructions under the Table 1 model, unbounded policy.
+fn golden_run() -> (fastsim::isa::Program, fastsim::core::SimStats, fastsim::core::WarmCacheSnapshot)
+{
+    let w = by_name("compress").expect("workload exists");
+    let program = w.program_for_insts(10_000);
+    let (stats, snapshot) = cold_run(&program);
+    (program, stats, snapshot)
+}
+
+/// Regenerates the committed fixture. Run explicitly after an
+/// *intentional* format revision (with the version bump that implies):
+/// `cargo test --test warm_cache regenerate_golden -- --ignored`
+#[test]
+#[ignore = "maintenance: rewrites the committed golden fixture"]
+fn regenerate_golden_snapshot_fixture() {
+    let (_, _, snapshot) = golden_run();
+    std::fs::write(GOLDEN_SNAPSHOT, snapshot.encode()).expect("write fixture");
+}
+
+#[test]
+fn golden_snapshot_byte_layout_is_pinned() {
+    // Today's encoder must reproduce the committed bytes exactly: any
+    // layout drift (field order, widths, checksum, section framing) is a
+    // silent break of every snapshot already persisted by deployed
+    // stores, so it must fail here until the format version is bumped and
+    // the fixture intentionally regenerated.
+    let golden = std::fs::read(GOLDEN_SNAPSHOT).expect("golden fixture is committed");
+    let (_, _, snapshot) = golden_run();
+    assert_eq!(
+        snapshot.encode(),
+        golden,
+        "encoder no longer reproduces the committed fastsim-snapshot/v1 bytes \
+         (if intentional: bump the format version and regenerate the fixture)"
+    );
+
+    // And the committed bytes decode canonically: decode -> encode is
+    // bit-identical, with the fingerprint pinned as a store would.
+    let decoded = fastsim::core::WarmCacheSnapshot::decode(&golden, Some(snapshot.fingerprint()))
+        .expect("golden fixture decodes");
+    assert_eq!(decoded.encode(), golden, "golden decode→encode round-trips bit-identically");
+}
+
+#[test]
+fn golden_snapshot_replays_bit_identically() {
+    // A snapshot thawed from the *committed* bytes — not one freshly
+    // frozen in this process — drives a warm run to the same results as
+    // the cold run it memoized.
+    let golden = std::fs::read(GOLDEN_SNAPSHOT).expect("golden fixture is committed");
+    let (program, cold_stats, _) = golden_run();
+    let snapshot = fastsim::core::WarmCacheSnapshot::decode(&golden, None).expect("decodes");
+    let mut warm = Simulator::with_warm_snapshot(
+        &program,
+        &snapshot,
+        UArchConfig::table1(),
+        CacheConfig::table1(),
+    )
+    .unwrap();
+    warm.run_to_completion().unwrap();
+    assert_eq!(warm.stats().cycles, cold_stats.cycles);
+    assert_eq!(warm.stats().retired_insts, cold_stats.retired_insts);
+    assert!(
+        warm.stats().detailed_insts < cold_stats.detailed_insts,
+        "the fixture's warmth actually replays"
+    );
+}
+
+#[test]
+fn golden_snapshot_rejection_matrix() {
+    // Every corruption class maps to its typed error — reject, don't
+    // guess. (The fuzzer sweeps these randomly; this is the deterministic
+    // spelled-out matrix against the committed bytes.)
+    use fastsim::core::SnapshotDecodeError as E;
+    let golden = std::fs::read(GOLDEN_SNAPSHOT).expect("golden fixture is committed");
+    let decode = fastsim::core::WarmCacheSnapshot::decode;
+    let fingerprint = decode(&golden, None).expect("golden decodes").fingerprint();
+
+    // Magic.
+    let mut bad = golden.clone();
+    bad[0] ^= 0xff;
+    assert!(matches!(decode(&bad, None), Err(E::BadMagic)));
+
+    // Version (bytes 8..12, little-endian u32).
+    let mut bad = golden.clone();
+    bad[8..12].copy_from_slice(&99u32.to_le_bytes());
+    assert!(matches!(decode(&bad, None), Err(E::UnsupportedVersion { .. })));
+
+    // Fingerprint pinning: the header field disagrees with what the
+    // store expects for this group.
+    assert!(matches!(
+        decode(&golden, Some(fingerprint ^ 1)),
+        Err(E::FingerprintMismatch { .. })
+    ));
+
+    // Truncation, at the header and mid-payload.
+    assert!(matches!(decode(&golden[..16], None), Err(E::Truncated { .. })));
+    assert!(matches!(
+        decode(&golden[..golden.len() - 1], None),
+        Err(E::Truncated { .. } | E::ChecksumMismatch { .. })
+    ));
+
+    // Payload corruption: a flipped byte past the header must be caught
+    // by a section checksum.
+    let mut bad = golden.clone();
+    let mid = 32 + (bad.len() - 32) / 2;
+    bad[mid] ^= 0x01;
+    assert!(decode(&bad, None).is_err(), "flipped payload byte must be rejected");
+
+    // Trailing garbage after a complete, valid image.
+    let mut bad = golden.clone();
+    bad.push(0);
+    assert!(matches!(decode(&bad, None), Err(E::TrailingBytes { .. })));
+}
