@@ -8,21 +8,27 @@
 //!
 //! ```text
 //! fuzz_smoke [--seed HEX] [--kernels N] [--snapshot-cases N]
-//!            [--corpus DIR] [--out PATH]
+//!            [--journal-cases N] [--corpus DIR] [--out PATH]
 //!            [--emit-corpus DIR --emit-count N --emit-start N]
 //! ```
 //!
 //! Besides the differential sweep, `--snapshot-cases` kernels are frozen
 //! into `fastsim-snapshot/v1` encodings and attacked with seeded
 //! corruption ([`fastsim_fuzz::snapshot`]); any accepted corruption,
-//! decoder panic, or non-canonical round-trip fails the run.
+//! decoder panic, or non-canonical round-trip fails the run. Likewise
+//! `--journal-cases` seeded `fastsim-journal/v1` record streams are
+//! attacked ([`fastsim_fuzz::journal`]) under the prefix-or-reject
+//! oracle — a mutation that decodes into a *different* record (a wrong
+//! job on recovery) fails the run.
 //!
 //! On failure, each shrunk reproducer is written to `target/
 //! fuzz_failures/` in the replayable `fastsim-kernel/v1` format and the
 //! process exits nonzero. `--emit-corpus` is the maintenance mode that
 //! (re)generates golden seed files for `fuzz/corpus/`.
 
-use fastsim_fuzz::{check, corpus, run_fuzz, run_snapshot_fuzz, KernelSpec, OracleConfig};
+use fastsim_fuzz::{
+    check, corpus, run_fuzz, run_journal_fuzz, run_snapshot_fuzz, KernelSpec, OracleConfig,
+};
 use fastsim_prng::for_each_case;
 use fastsim_serve::json::Json;
 use std::path::PathBuf;
@@ -38,6 +44,7 @@ fn main() -> ExitCode {
     let mut emit_count: u32 = 14;
     let mut emit_start: u32 = 0;
     let mut snapshot_cases: u32 = 6;
+    let mut journal_cases: u32 = 16;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -60,6 +67,9 @@ fn main() -> ExitCode {
             "--snapshot-cases" => {
                 snapshot_cases = parse(&value("--snapshot-cases"), "--snapshot-cases")
             }
+            "--journal-cases" => {
+                journal_cases = parse(&value("--journal-cases"), "--journal-cases")
+            }
             "--corpus" => corpus_dir = Some(PathBuf::from(value("--corpus"))),
             "--out" => out = Some(PathBuf::from(value("--out"))),
             "--emit-corpus" => emit_corpus = Some(PathBuf::from(value("--emit-corpus"))),
@@ -68,7 +78,7 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 println!(
                     "usage: fuzz_smoke [--seed HEX] [--kernels N] [--snapshot-cases N] \
-                     [--corpus DIR] [--out PATH] \
+                     [--journal-cases N] [--corpus DIR] [--out PATH] \
                      [--emit-corpus DIR --emit-count N --emit-start N]"
                 );
                 return ExitCode::SUCCESS;
@@ -142,6 +152,13 @@ fn main() -> ExitCode {
         eprintln!("SNAPSHOT FAIL: {violation}");
     }
 
+    // Journal-codec corruption sweep: seeded record streams under the
+    // prefix-or-reject oracle (both tail policies, no panics).
+    let jrnl = run_journal_fuzz(seed ^ 0x1a7e_9001, journal_cases, 32);
+    for violation in &jrnl.failures {
+        eprintln!("JOURNAL FAIL: {violation}");
+    }
+
     for failure in &report.failures {
         eprintln!(
             "FAIL seed {:#x}: {} (shrunk to {} body insts in {} oracle calls)",
@@ -159,7 +176,10 @@ fn main() -> ExitCode {
         }
     }
 
-    let failures = report.failures.len() as u64 + corpus_failures + snap.failures.len() as u64;
+    let failures = report.failures.len() as u64
+        + corpus_failures
+        + snap.failures.len() as u64
+        + jrnl.failures.len() as u64;
     let summary = Json::obj([
         ("schema", Json::from("fastsim-fuzz-smoke/v1")),
         ("seed", Json::from(format!("{seed:#x}"))),
@@ -188,6 +208,11 @@ fn main() -> ExitCode {
         ("snapshot_corruptions", Json::from(snap.corruptions)),
         ("snapshot_rejected", Json::from(snap.rejected)),
         ("snapshot_failures", Json::from(snap.failures.len() as u64)),
+        ("journal_cases", Json::from(u64::from(journal_cases))),
+        ("journal_corruptions", Json::from(jrnl.corruptions)),
+        ("journal_rejected", Json::from(jrnl.rejected)),
+        ("journal_prefix_accepts", Json::from(jrnl.accepted_prefix)),
+        ("journal_failures", Json::from(jrnl.failures.len() as u64)),
         ("failures", Json::from(failures)),
         ("elapsed_ms", Json::from(started.elapsed().as_millis() as u64)),
         ("debug_build", Json::Bool(cfg!(debug_assertions))),

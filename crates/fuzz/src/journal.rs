@@ -1,0 +1,305 @@
+//! Journal-codec corruption fuzzing.
+//!
+//! The `fastsim-journal/v1` write-ahead log is what a killed server's
+//! queue survives in, so its decoder is a trust boundary with a contract
+//! one notch stricter than the snapshot codec's: on arbitrary corruption
+//! it must **reject with a typed error or return an exact prefix of the
+//! original records** — a torn tail may drop the final unacknowledged
+//! record, but no mutation may ever decode into a *different* record
+//! (which a recovering server would replay as the wrong job). And it must
+//! never panic.
+//!
+//! This module builds valid segments from seeded record streams (hostile
+//! strings included: control characters, quotes, multi-byte UTF-8), then
+//! applies seeded corruption — bit flips, torn tails (truncations),
+//! trailing garbage, record-length lies, magic/version/kind/checksum
+//! patches — and holds every outcome against that prefix-or-reject
+//! oracle under `catch_unwind`, for both [`TailPolicy`] modes.
+
+use fastsim_prng::{for_each_case, Rng};
+use fastsim_serve::journal::{
+    decode_segment, encode_record, segment_header, JournalRecord, SubmitRecord, TailPolicy,
+};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Aggregate result of a journal-corruption fuzz run.
+#[derive(Clone, Debug, Default)]
+pub struct JournalFuzzReport {
+    /// Seeded record streams encoded and attacked.
+    pub cases: u64,
+    /// Records across all valid segments.
+    pub records: u64,
+    /// Total encoded segment bytes.
+    pub encoded_bytes: u64,
+    /// Seeded corruptions applied.
+    pub corruptions: u64,
+    /// Corruptions the strict decoder rejected with a typed error.
+    pub rejected: u64,
+    /// Corruptions the strict decoder survived by decoding an exact
+    /// prefix of the original records (boundary truncations).
+    pub accepted_prefix: u64,
+    /// Mutations skipped because the rolled patch reproduced the
+    /// original bytes (nothing to check).
+    pub skipped_identical: u64,
+    /// Contract violations, each described; empty on a passing run.
+    pub failures: Vec<String>,
+}
+
+impl JournalFuzzReport {
+    /// Whether every checked contract held.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// The corruption strategies the fuzzer sweeps: byte-level damage first
+/// (bit flips, truncations, trailing garbage cover the checksum and
+/// framing guards), then the targeted patches a half-written or hostile
+/// file would get wrong — record length fields, the segment magic and
+/// version, record kind bytes, and the trailing checksum itself.
+const MUTATION_KINDS: u64 = 8;
+
+/// Fuzzes the journal codec: `cases` seeded record streams, each encoded
+/// into a valid segment, round-tripped, and then attacked with
+/// `corruptions_per_case` seeded mutations held to the prefix-or-reject
+/// oracle.
+pub fn run_journal_fuzz(seed: u64, cases: u32, corruptions_per_case: u32) -> JournalFuzzReport {
+    let mut report = JournalFuzzReport::default();
+    for_each_case(seed, cases, |case_seed, rng| {
+        report.cases += 1;
+        if let Err(why) = fuzz_one_case(case_seed, rng, corruptions_per_case, &mut report) {
+            report.failures.push(why);
+        }
+    });
+    report
+}
+
+/// Builds one valid segment, checks the clean-decode contracts, then
+/// applies the corruption sweep.
+fn fuzz_one_case(
+    case_seed: u64,
+    rng: &mut Rng,
+    corruptions: u32,
+    report: &mut JournalFuzzReport,
+) -> Result<(), String> {
+    let records = generate_records(rng);
+    let mut bytes = segment_header().to_vec();
+    for rec in &records {
+        bytes.extend_from_slice(&encode_record(rec));
+    }
+    report.records += records.len() as u64;
+    report.encoded_bytes += bytes.len() as u64;
+
+    // Contract 1: a cleanly written segment decodes in full, identically,
+    // under both tail policies (a clean file has no tail to drop).
+    for policy in [TailPolicy::Strict, TailPolicy::DropTorn] {
+        let decoded = decode_segment(&bytes, policy)
+            .map_err(|e| format!("seed {case_seed:#x}: own encoding rejected ({policy:?}): {e}"))?;
+        if decoded.records != records {
+            return Err(format!(
+                "seed {case_seed:#x}: clean decode differs ({policy:?}): \
+                 {} records in, {} out",
+                records.len(),
+                decoded.records.len()
+            ));
+        }
+        if decoded.torn_tail {
+            return Err(format!(
+                "seed {case_seed:#x}: clean segment reported a torn tail ({policy:?})"
+            ));
+        }
+    }
+
+    // Contract 2: every mutation is rejected or decodes to an exact
+    // prefix — under both policies, without panicking.
+    for c in 0..corruptions {
+        report.corruptions += 1;
+        let Some((mutated, what)) = mutate(&bytes, rng) else {
+            report.skipped_identical += 1;
+            continue;
+        };
+        let mut strict_ok = false;
+        for policy in [TailPolicy::Strict, TailPolicy::DropTorn] {
+            let outcome = catch_unwind(AssertUnwindSafe(|| decode_segment(&mutated, policy))).ok();
+            match outcome {
+                None => report.failures.push(format!(
+                    "seed {case_seed:#x} corruption {c} ({what}, {policy:?}): decoder PANICKED"
+                )),
+                Some(Ok(decoded)) => {
+                    if decoded.records.len() > records.len()
+                        || decoded.records != records[..decoded.records.len()]
+                    {
+                        report.failures.push(format!(
+                            "seed {case_seed:#x} corruption {c} ({what}, {policy:?}): \
+                             decoded records are NOT a prefix of the originals — \
+                             a recovering server would replay a wrong job"
+                        ));
+                    } else if policy == TailPolicy::Strict {
+                        strict_ok = true;
+                    }
+                }
+                Some(Err(_)) => {
+                    if policy == TailPolicy::Strict {
+                        report.rejected += 1;
+                    }
+                }
+            }
+        }
+        if strict_ok {
+            report.accepted_prefix += 1;
+        }
+    }
+    Ok(())
+}
+
+/// A seeded record stream: submits with hostile strings, then a shuffle
+/// of start/complete/abandon settles over the submitted ids.
+fn generate_records(rng: &mut Rng) -> Vec<JournalRecord> {
+    let submits = rng.range_usize(1..9);
+    let mut records = Vec::new();
+    let mut ids = Vec::new();
+    for i in 0..submits {
+        let id = (i as u64 + 1) * rng.range_u64(1..4);
+        ids.push(id);
+        records.push(JournalRecord::Submit(SubmitRecord {
+            id,
+            name: hostile_string(rng),
+            kernel: hostile_string(rng),
+            insts: rng.next_u64(),
+            client: hostile_string(rng),
+            band: rng.range_u32(0..4),
+            hierarchy: rng.next_bool().then(|| hostile_string(rng)),
+            timeout_ms: rng.next_bool().then(|| rng.next_u64()),
+            chaos_panics: rng.range_u32(0..3),
+        }));
+    }
+    for _ in 0..rng.range_usize(0..2 * submits) {
+        let id = *rng.pick(&ids);
+        records.push(match rng.range_u64(0..3) {
+            0 => JournalRecord::Start { id },
+            1 => JournalRecord::Complete { id },
+            _ => JournalRecord::Abandon { id, reason: hostile_string(rng) },
+        });
+    }
+    records
+}
+
+/// A short string salted with the characters most likely to break naive
+/// framing: quotes, backslashes, newlines, NUL, multi-byte UTF-8.
+fn hostile_string(rng: &mut Rng) -> String {
+    const ALPHABET: [&str; 12] =
+        ["a", "Z", "0", "\"", "\\", "\n", "\r", "\t", "\u{0}", "\u{1b}", "é", "😀"];
+    (0..rng.range_usize(0..12)).map(|_| *rng.pick(&ALPHABET)).collect()
+}
+
+/// Applies one seeded mutation. Returns `None` when the rolled patch
+/// happens to reproduce the input.
+fn mutate(bytes: &[u8], rng: &mut Rng) -> Option<(Vec<u8>, &'static str)> {
+    let mut out = bytes.to_vec();
+    let what = match rng.range_u64(0..MUTATION_KINDS) {
+        0 => {
+            let i = rng.range_usize(0..out.len());
+            out[i] ^= 1 << rng.range_u32(0..8);
+            "bit flip"
+        }
+        1 => {
+            out.truncate(rng.range_usize(0..out.len()));
+            "torn tail (truncation)"
+        }
+        2 => {
+            for _ in 0..rng.range_usize(1..9) {
+                out.push(rng.next_u8());
+            }
+            "trailing garbage"
+        }
+        3 => {
+            // Walk the record frames and lie about one record's length.
+            let lens = record_len_offsets(&out);
+            let off = *rng.pick(&lens);
+            let lie = match rng.range_u64(0..3) {
+                0 => 0u32,
+                1 => rng.range_u32(0..1 << 20),
+                _ => u32::MAX,
+            };
+            out[off..off + 4].copy_from_slice(&lie.to_le_bytes());
+            "record-length lie"
+        }
+        4 => {
+            let i = rng.range_usize(0..8);
+            out[i] = rng.next_u8();
+            "magic patch"
+        }
+        5 => {
+            let version = rng.range_u64(0..1000) as u32;
+            out[8..12].copy_from_slice(&version.to_le_bytes());
+            "version patch"
+        }
+        6 => {
+            // Patch a record's kind byte to an arbitrary value.
+            let kinds = record_kind_offsets(&out);
+            let off = *rng.pick(&kinds);
+            out[off] = rng.next_u8();
+            "kind patch"
+        }
+        _ => {
+            // Corrupt the trailing checksum of one record.
+            let kinds = record_kind_offsets(&out);
+            let start = *rng.pick(&kinds);
+            let len = u32::from_le_bytes(out[start + 1..start + 5].try_into().expect("4 bytes"))
+                as usize;
+            let sum = start + 5 + len;
+            let i = sum + rng.range_usize(0..8);
+            out[i] ^= 1 << rng.range_u32(0..8);
+            "checksum patch"
+        }
+    };
+    (out != bytes).then_some((out, what))
+}
+
+/// Byte offsets of every record's length field, by walking the
+/// kind/len/payload/checksum frames of a *valid* segment.
+fn record_len_offsets(bytes: &[u8]) -> Vec<usize> {
+    record_kind_offsets(bytes).into_iter().map(|off| off + 1).collect()
+}
+
+/// Byte offsets of every record's kind byte in a *valid* segment.
+fn record_kind_offsets(bytes: &[u8]) -> Vec<usize> {
+    let mut offsets = Vec::new();
+    let mut off = segment_header().len();
+    while off + 13 <= bytes.len() {
+        offsets.push(off);
+        let len = u32::from_le_bytes(bytes[off + 1..off + 5].try_into().expect("4 bytes")) as usize;
+        off += 13 + len; // kind 1 + len 4 + payload + checksum 8
+    }
+    offsets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn journal_fuzz_passes_and_every_effective_mutation_is_safe() {
+        let report = run_journal_fuzz(0x5eed_a901, 24, 32);
+        assert!(report.passed(), "violations: {:?}", report.failures);
+        assert_eq!(report.cases, 24);
+        assert!(report.records > 0);
+        assert_eq!(
+            report.rejected + report.accepted_prefix + report.skipped_identical,
+            report.corruptions,
+            "every effective corruption is rejected or decodes a prefix"
+        );
+        assert!(report.rejected > 0, "the sweep must actually exercise rejections");
+    }
+
+    #[test]
+    fn frame_walk_finds_every_record() {
+        let mut rng = Rng::new(7);
+        let records = generate_records(&mut rng);
+        let mut bytes = segment_header().to_vec();
+        for rec in &records {
+            bytes.extend_from_slice(&encode_record(rec));
+        }
+        assert_eq!(record_kind_offsets(&bytes).len(), records.len());
+    }
+}

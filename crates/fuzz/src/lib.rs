@@ -2,7 +2,7 @@
 //!
 //! Deterministic chaos and fuzz harness for FastSim-RS.
 //!
-//! Three fronts, all fully offline and seeded by the vendored
+//! Four fronts, all fully offline and seeded by the vendored
 //! [`fastsim_prng`] (no crates.io dependencies, no wall-clock or OS
 //! randomness in any decision):
 //!
@@ -26,19 +26,27 @@
 //!    applies seeded corruption (bit flips, truncations, section-length
 //!    lies, header patches) that the strict decoder must reject with a
 //!    typed error — never a panic, never a mis-decode.
+//! 4. **Journal-codec corruption fuzzing** — [`journal`] encodes seeded
+//!    `fastsim-journal/v1` record streams (hostile strings included),
+//!    then applies bit flips, torn tails, truncated segments, length
+//!    lies, and header/kind/checksum patches; every effective mutation
+//!    must be rejected with a typed error or decode to an exact prefix
+//!    of the originals — never replayed as a wrong job, never a panic.
 //!
-//! The `fuzz_smoke` and `chaos_smoke` binaries wrap both fronts for
+//! The `fuzz_smoke` and `chaos_smoke` binaries wrap these fronts for
 //! `scripts/ci.sh`, writing schema-tagged JSON summaries.
 
 #![deny(missing_docs)]
 
 pub mod chaos;
 pub mod corpus;
+pub mod journal;
 pub mod kernel;
 pub mod oracle;
 pub mod shrink;
 pub mod snapshot;
 
+pub use journal::{run_journal_fuzz, JournalFuzzReport};
 pub use kernel::{KernelOp, KernelSpec};
 pub use oracle::{
     check, CheckSummary, Failure, FaultInjection, FreezeThaw, OracleConfig, ReplayVariant,

@@ -1,0 +1,151 @@
+//! `ops_client` — a one-shot operations client for scripts.
+//!
+//! Speaks either wire form the server offers and prints the raw
+//! response, so `scripts/ci.sh` can drive submissions, polls, drains,
+//! and metrics checks without a cooperating client library:
+//!
+//! * **Line protocol** (`--unix` / `--tcp`): sends the `--op` JSON line
+//!   verbatim and prints the one-line response.
+//! * **HTTP gateway** (`--http`): sends one `--method`/`--path` request
+//!   (with an optional `--body`) and prints the status code on the first
+//!   line, then the response body.
+//!
+//! ```text
+//! ops_client (--unix PATH | --tcp ADDR) --op JSON
+//! ops_client --http ADDR --method GET|POST --path /v1/... [--body JSON]
+//! ```
+//!
+//! Exits 0 whenever the exchange completed (whatever the status or `ok`
+//! flag — scripts judge the payload), nonzero on transport failure.
+
+use fastsim_serve::client::Client;
+use fastsim_serve::json::Json;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut unix: Option<String> = None;
+    let mut tcp: Option<String> = None;
+    let mut http: Option<String> = None;
+    let mut op: Option<String> = None;
+    let mut method = "GET".to_string();
+    let mut path = "/v1/metrics".to_string();
+    let mut body: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--unix" => unix = Some(value("--unix")),
+            "--tcp" => tcp = Some(value("--tcp")),
+            "--http" => http = Some(value("--http")),
+            "--op" => op = Some(value("--op")),
+            "--method" => method = value("--method"),
+            "--path" => path = value("--path"),
+            "--body" => body = Some(value("--body")),
+            other => {
+                eprintln!("unknown flag `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if let Some(addr) = &http {
+        return http_exchange(addr, &method, &path, body.as_deref());
+    }
+
+    let Some(op) = op else {
+        eprintln!("--op JSON is required on the line protocol");
+        return ExitCode::from(2);
+    };
+    let request = match Json::parse(&op) {
+        Ok(json) => json,
+        Err(e) => {
+            eprintln!("--op is not valid JSON: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut client = match (&unix, &tcp) {
+        (Some(path), _) => Client::connect_unix(path),
+        (None, Some(addr)) => Client::connect_tcp(addr),
+        (None, None) => {
+            eprintln!("pass --unix PATH, --tcp ADDR, or --http ADDR");
+            return ExitCode::from(2);
+        }
+    }
+    .unwrap_or_else(|e| {
+        eprintln!("connect failed: {e}");
+        std::process::exit(1);
+    });
+    match client.request(&request) {
+        Ok(response) => {
+            println!("{response}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("request failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// One raw HTTP/1.1 exchange: prints the status code, then the body.
+fn http_exchange(addr: &str, method: &str, path: &str, body: Option<&str>) -> ExitCode {
+    let mut stream = match std::net::TcpStream::connect(addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("connect {addr} failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let body = body.unwrap_or("");
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    if let Err(e) = stream.write_all(request.as_bytes()) {
+        eprintln!("write failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    if reader.read_line(&mut status_line).is_err() || status_line.is_empty() {
+        eprintln!("no response");
+        return ExitCode::FAILURE;
+    }
+    let Some(status) = status_line.split_whitespace().nth(1) else {
+        eprintln!("malformed status line: {status_line:?}");
+        return ExitCode::FAILURE;
+    };
+    println!("{status}");
+    let mut len = 0usize;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header).is_err() {
+            eprintln!("header read failed");
+            return ExitCode::FAILURE;
+        }
+        let trimmed = header.trim_end();
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some((k, v)) = trimmed.split_once(':') {
+            if k.eq_ignore_ascii_case("content-length") {
+                len = v.trim().parse().unwrap_or(0);
+            }
+        }
+    }
+    let mut raw = vec![0u8; len];
+    if reader.read_exact(&mut raw).is_err() {
+        eprintln!("body read failed");
+        return ExitCode::FAILURE;
+    }
+    print!("{}", String::from_utf8_lossy(&raw));
+    ExitCode::SUCCESS
+}

@@ -5,23 +5,33 @@
 //! and to `--metrics-file` if given).
 //!
 //! ```text
-//! fastsim_served [--tcp ADDR] [--unix PATH] [--workers N]
+//! fastsim_served [--tcp ADDR] [--unix PATH] [--http ADDR] [--workers N]
 //!                [--queue-cap N] [--refreeze-every N] [--timeout-ms N]
 //!                [--max-attempts N] [--backoff-ms N] [--max-conns N]
-//!                [--snapshot-dir PATH]
-//!                [--addr-file PATH] [--metrics-file PATH]
+//!                [--snapshot-dir PATH] [--journal-dir PATH]
+//!                [--addr-file PATH] [--http-addr-file PATH]
+//!                [--metrics-file PATH]
 //!                [--chaos-seed HEX] [--chaos-drop PERMILLE]
 //!                [--chaos-truncate PERMILLE] [--chaos-panic PERMILLE]
 //! ```
 //!
-//! At least one of `--tcp` / `--unix` is required. `--tcp 127.0.0.1:0`
-//! picks a free port; `--addr-file` writes the bound TCP address (or the
-//! Unix socket path) to a file so scripts can find it.
+//! At least one of `--tcp` / `--unix` / `--http` is required.
+//! `--tcp 127.0.0.1:0` picks a free port; `--addr-file` writes the bound
+//! TCP address (or the Unix socket path) to a file so scripts can find
+//! it. `--http` binds the HTTP/1.1 gateway (`POST /v1/jobs`,
+//! `GET /v1/jobs/{id}`, `GET /v1/metrics`) on the same event loop;
+//! `--http-addr-file` writes its bound address.
 //!
 //! `--snapshot-dir` roots the durable snapshot store: at boot the server
 //! adopts the newest decodable snapshot of every warm-cache group (and
 //! logs how many it loaded and rejected), and every re-freeze persists
 //! the fresh snapshot, so a restarted daemon serves its first jobs warm.
+//!
+//! `--journal-dir` roots the `fastsim-journal/v1` write-ahead log: every
+//! accepted submission is fsynced before it is acknowledged, and a
+//! killed-and-restarted daemon replays unfinished jobs in their original
+//! band and admission order (the boot line reports how many jobs were
+//! recovered and rejected).
 //!
 //! The `--chaos-*` flags enable seeded server-side fault injection
 //! ([`ChaosConfig`]); any of them implies chaos with the others at their
@@ -35,7 +45,9 @@ fn main() -> ExitCode {
     let mut cfg = ServeConfig::default();
     let mut tcp: Option<String> = None;
     let mut unix: Option<String> = None;
+    let mut http: Option<String> = None;
     let mut addr_file: Option<String> = None;
+    let mut http_addr_file: Option<String> = None;
     let mut metrics_file: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
@@ -49,6 +61,7 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "--tcp" => tcp = Some(value("--tcp")),
             "--unix" => unix = Some(value("--unix")),
+            "--http" => http = Some(value("--http")),
             "--workers" => cfg.workers = parse(&value("--workers"), "--workers"),
             "--queue-cap" => cfg.queue_capacity = parse(&value("--queue-cap"), "--queue-cap"),
             "--refreeze-every" => {
@@ -63,10 +76,14 @@ fn main() -> ExitCode {
             "--snapshot-dir" => {
                 cfg.snapshot_dir = Some(value("--snapshot-dir").into());
             }
+            "--journal-dir" => {
+                cfg.journal_dir = Some(value("--journal-dir").into());
+            }
             "--backoff-ms" => {
                 cfg.backoff_base = Duration::from_millis(parse(&value("--backoff-ms"), "--backoff-ms"))
             }
             "--addr-file" => addr_file = Some(value("--addr-file")),
+            "--http-addr-file" => http_addr_file = Some(value("--http-addr-file")),
             "--metrics-file" => metrics_file = Some(value("--metrics-file")),
             "--chaos-seed" => {
                 let v = value("--chaos-seed");
@@ -90,9 +107,10 @@ fn main() -> ExitCode {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: fastsim_served [--tcp ADDR] [--unix PATH] [--workers N] \
+                    "usage: fastsim_served [--tcp ADDR] [--unix PATH] [--http ADDR] [--workers N] \
                      [--queue-cap N] [--refreeze-every N] [--timeout-ms N] [--max-attempts N] \
-                     [--backoff-ms N] [--max-conns N] [--snapshot-dir PATH] [--addr-file PATH] \
+                     [--backoff-ms N] [--max-conns N] [--snapshot-dir PATH] [--journal-dir PATH] \
+                     [--addr-file PATH] [--http-addr-file PATH] \
                      [--metrics-file PATH] [--chaos-seed HEX] [--chaos-drop PERMILLE] \
                      [--chaos-truncate PERMILLE] [--chaos-panic PERMILLE]"
                 );
@@ -130,17 +148,36 @@ fn main() -> ExitCode {
         eprintln!("--unix is not supported on this platform");
         return ExitCode::from(2);
     }
+    if let Some(addr) = &http {
+        match Listener::http(addr) {
+            Ok(l) => listeners.push(l),
+            Err(e) => {
+                eprintln!("cannot bind http {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     if listeners.is_empty() {
-        eprintln!("nothing to listen on: pass --tcp ADDR and/or --unix PATH (try --help)");
+        eprintln!(
+            "nothing to listen on: pass --tcp ADDR, --unix PATH, and/or --http ADDR (try --help)"
+        );
         return ExitCode::from(2);
     }
 
     let snapshot_dir = cfg.snapshot_dir.clone();
+    let journal_dir = cfg.journal_dir.clone();
     let handle = Server::start(cfg, listeners);
     if let Some(dir) = &snapshot_dir {
         let (loads, rejected) = handle.snapshot_stats();
         eprintln!(
             "fastsim_served snapshot store {}: {loads} snapshot(s) adopted, {rejected} rejected",
+            dir.display()
+        );
+    }
+    if let Some(dir) = &journal_dir {
+        let (recovered, rejected) = handle.journal_stats();
+        eprintln!(
+            "fastsim_served journal {}: {recovered} job(s) recovered, {rejected} rejected",
             dir.display()
         );
     }
@@ -150,9 +187,19 @@ fn main() -> ExitCode {
         .or_else(|| handle.unix_path().map(|p| p.display().to_string()))
         .unwrap_or_default();
     eprintln!("fastsim_served listening on {endpoint}");
+    if let Some(addr) = handle.http_addr() {
+        eprintln!("fastsim_served http gateway on {addr}");
+    }
     if let Some(path) = &addr_file {
         if let Err(e) = std::fs::write(path, &endpoint) {
             eprintln!("cannot write --addr-file {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(path) = &http_addr_file {
+        let addr = handle.http_addr().map(|a| a.to_string()).unwrap_or_default();
+        if let Err(e) = std::fs::write(path, &addr) {
+            eprintln!("cannot write --http-addr-file {path}: {e}");
             return ExitCode::FAILURE;
         }
     }

@@ -19,6 +19,12 @@
 //!   re-freeze cadence, retry/quarantine, drain/shutdown.
 //! * [`conn`] — the per-connection buffering state machine (partial
 //!   frames, pipelining, write-backpressure), socket-free and unit-tested.
+//! * [`http`] — the HTTP/1.1 gateway: a translation layer that maps
+//!   `POST /v1/jobs`, `GET /v1/jobs/{id}`, and `GET /v1/metrics` onto the
+//!   line-protocol ops, sharing the same event loop and 1 MiB caps.
+//! * [`journal`] — the `fastsim-journal/v1` write-ahead log: checksummed
+//!   submit/start/complete/abandon records with segment rotation,
+//!   compaction, and reject-don't-guess recovery.
 //! * [`metrics`] — the counters/histogram registry dumped as JSON.
 //! * [`client`] — a small synchronous client for the protocol.
 //! * [`json`] — the hand-rolled JSON layer everything above speaks.
@@ -32,6 +38,13 @@
 //! protocol verbs ship encoded snapshots between servers (fleet warmth
 //! without shared disks); `docs/snapshots.md` is the format and runbook
 //! reference.
+//!
+//! With [`server::ServeConfig::journal_dir`] set, submissions are also
+//! durable: every accepted job is appended to the [`journal`]
+//! write-ahead log and fsynced *before* the acknowledgment, and a
+//! killed-and-restarted server replays unfinished jobs in their original
+//! band and admission order, re-serving them bit-identically.
+//! `docs/operations.md` is the format spec and crash-recovery runbook.
 //!
 //! The server's central correctness property mirrors the batch driver's:
 //! **served results are bit-identical to an offline run** of the same
@@ -66,6 +79,8 @@
 pub mod b64;
 pub mod client;
 pub mod conn;
+pub mod http;
+pub mod journal;
 pub mod json;
 pub mod metrics;
 pub mod protocol;

@@ -130,6 +130,26 @@ struct SnapshotCounters {
     generation: AtomicU64,
 }
 
+/// Write-ahead-journal counters, updated lock-free: appends happen under
+/// the scheduler lock (the journal lock nests inside it), recovery
+/// happens at boot before any contention exists.
+#[derive(Debug, Default)]
+struct JournalCounters {
+    /// Records appended (and fsynced) since start.
+    appended: AtomicU64,
+    /// Unfinished jobs replayed from the journal at boot.
+    recovered: AtomicU64,
+    /// Compactions run (live submits rewritten, history deleted).
+    compactions: AtomicU64,
+    /// Segment rotations (fresh segment started at the size threshold).
+    rotations: AtomicU64,
+    /// Torn tail records dropped during recovery (crash mid-append).
+    torn_tails: AtomicU64,
+    /// Journals rejected by strict recovery, recovered jobs that could
+    /// not be rebuilt, and failed appends.
+    rejected: AtomicU64,
+}
+
 /// The registry. All methods take `&self`; an internal lock serializes
 /// updates (event-loop counters are atomics outside the lock).
 #[derive(Debug, Default)]
@@ -137,6 +157,7 @@ pub struct Metrics {
     inner: Mutex<Counters>,
     event_loop: LoopCounters,
     snapshot: SnapshotCounters,
+    journal: JournalCounters,
 }
 
 impl Metrics {
@@ -272,6 +293,60 @@ impl Metrics {
             ("bytes_saved", Json::from(self.snapshot.bytes_saved.load(Ordering::Relaxed))),
             ("rejected", Json::from(self.snapshot.rejected.load(Ordering::Relaxed))),
             ("generation", Json::from(self.snapshot.generation.load(Ordering::Relaxed))),
+        ])
+    }
+
+    /// `n` journal records appended and fsynced.
+    pub fn journal_appended(&self, n: u64) {
+        self.journal.appended.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// `n` unfinished jobs replayed from the journal at boot.
+    pub fn journal_recovered(&self, n: u64) {
+        self.journal.recovered.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// One journal compaction ran.
+    pub fn journal_compacted(&self) {
+        self.journal.compactions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One journal segment rotation happened.
+    pub fn journal_rotated(&self) {
+        self.journal.rotations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One torn tail record was dropped during journal recovery.
+    pub fn journal_torn_tail(&self) {
+        self.journal.torn_tails.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `n` journal-level rejections (strict recovery refused a journal,
+    /// a recovered job could not be rebuilt, or an append failed).
+    pub fn journal_rejected(&self, n: u64) {
+        self.journal.rejected.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Jobs replayed from the journal so far.
+    pub fn journal_recoveries(&self) -> u64 {
+        self.journal.recovered.load(Ordering::Relaxed)
+    }
+
+    /// Journal-level rejections so far.
+    pub fn journal_rejections(&self) -> u64 {
+        self.journal.rejected.load(Ordering::Relaxed)
+    }
+
+    /// The journal counters as one JSON object (the metrics dump's
+    /// `journal` member on servers started with `--journal-dir`).
+    pub fn journal_json(&self) -> Json {
+        Json::obj([
+            ("appended", Json::from(self.journal.appended.load(Ordering::Relaxed))),
+            ("recovered", Json::from(self.journal.recovered.load(Ordering::Relaxed))),
+            ("compactions", Json::from(self.journal.compactions.load(Ordering::Relaxed))),
+            ("rotations", Json::from(self.journal.rotations.load(Ordering::Relaxed))),
+            ("torn_tails", Json::from(self.journal.torn_tails.load(Ordering::Relaxed))),
+            ("rejected", Json::from(self.journal.rejected.load(Ordering::Relaxed))),
         ])
     }
 

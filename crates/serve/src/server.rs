@@ -53,6 +53,8 @@
 //! [`ServerHandle::wait`] returns the final metrics dump.
 
 use crate::conn::{ConnBuf, Ingest};
+use crate::http::{HttpItem, HttpState};
+use crate::journal::{JournalRecord, SubmitRecord};
 use crate::json::Json;
 use crate::protocol::{err_response, ok_response, Request, SubmitSpec};
 use crate::state::{
@@ -105,6 +107,12 @@ pub struct ServeConfig {
     /// server adopts the store's snapshots at boot and persists every
     /// re-freeze, so a restart serves its first jobs warm.
     pub snapshot_dir: Option<PathBuf>,
+    /// Root of the `fastsim-journal/v1` write-ahead job journal (`None`:
+    /// the queue is process-local and a crash loses it). When set, every
+    /// admission is journaled and fsynced before it is acknowledged, and
+    /// a restart replays unfinished jobs in original admission order —
+    /// see [`crate::journal`].
+    pub journal_dir: Option<PathBuf>,
     /// Server-side fault injection (`None`: no chaos — production mode).
     pub chaos: Option<ChaosConfig>,
 }
@@ -120,6 +128,7 @@ impl Default for ServeConfig {
             backoff_base: Duration::from_millis(20),
             max_conns: 16_384,
             snapshot_dir: None,
+            journal_dir: None,
             chaos: None,
         }
     }
@@ -167,6 +176,9 @@ pub enum Listener {
     /// A Unix-domain socket listener (same protocol).
     #[cfg(unix)]
     Unix(UnixListener, PathBuf),
+    /// A TCP listener speaking the HTTP/1.1 gateway (`crate::http`)
+    /// instead of the line protocol — same event loop, same ops.
+    Http(TcpListener),
 }
 
 impl Listener {
@@ -178,6 +190,17 @@ impl Listener {
     /// Propagates the bind failure.
     pub fn tcp(addr: &str) -> std::io::Result<Listener> {
         Ok(Listener::Tcp(TcpListener::bind(addr)?))
+    }
+
+    /// Binds the HTTP/1.1 gateway listener; `addr` as for
+    /// [`Listener::tcp`] (read the port back from
+    /// [`ServerHandle::http_addr`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn http(addr: &str) -> std::io::Result<Listener> {
+        Ok(Listener::Http(TcpListener::bind(addr)?))
     }
 
     /// Binds a Unix-socket listener at `path`, removing a stale socket
@@ -203,6 +226,7 @@ pub struct ServerHandle {
     threads: Vec<JoinHandle<()>>,
     tcp_addr: Option<std::net::SocketAddr>,
     unix_path: Option<PathBuf>,
+    http_addr: Option<std::net::SocketAddr>,
 }
 
 impl ServerHandle {
@@ -214,6 +238,11 @@ impl ServerHandle {
     /// The Unix socket path, when listening on a Unix socket.
     pub fn unix_path(&self) -> Option<&std::path::Path> {
         self.unix_path.as_deref()
+    }
+
+    /// The bound HTTP gateway address, when listening on HTTP.
+    pub fn http_addr(&self) -> Option<std::net::SocketAddr> {
+        self.http_addr
     }
 
     /// Stops fault injection (a no-op on a server without
@@ -235,6 +264,39 @@ impl ServerHandle {
     /// without [`ServeConfig::snapshot_dir`].
     pub fn snapshot_stats(&self) -> (u64, u64) {
         (self.state.metrics.snapshot_loads(), self.state.metrics.snapshot_rejections())
+    }
+
+    /// Journal activity so far as `(jobs recovered, rejections)` — right
+    /// after [`Server::start`] these are the boot replay's counts. Both
+    /// zero on a server without [`ServeConfig::journal_dir`].
+    pub fn journal_stats(&self) -> (u64, u64) {
+        (self.state.metrics.journal_recoveries(), self.state.metrics.journal_rejections())
+    }
+
+    /// Stops the server *without* draining — the in-process stand-in for
+    /// `kill -9` in crash-recovery tests. Admissions stop, idle workers
+    /// exit immediately (a worker mid-job finishes and settles that one
+    /// job first — thread murder is not available in safe Rust), queued
+    /// jobs stay unfinished, and no shutdown response is sent. With a
+    /// journal configured, a later server on the same directory replays
+    /// everything that never settled. Returns the final metrics dump so
+    /// the test can see how far the first life got.
+    pub fn kill(self) -> Json {
+        {
+            let mut core = self.state.core.lock().unwrap();
+            core.draining = true;
+            core.stop = true;
+        }
+        self.state.work.notify_all();
+        self.state.waker.wake();
+        for t in self.threads {
+            let _ = t.join();
+        }
+        if let Some(path) = &self.unix_path {
+            let _ = std::fs::remove_file(path);
+        }
+        let core = self.state.core.lock().unwrap();
+        dump_metrics(&self.state, &core)
     }
 
     /// Blocks until the server stops (a client sent `shutdown`), joins the
@@ -274,8 +336,10 @@ impl Server {
         }
         let mut tcp_addr = None;
         let mut unix_path = None;
+        let mut http_addr = None;
         let mut tcp = None;
         let mut unix = None;
+        let mut http = None;
         for listener in listeners {
             match listener {
                 Listener::Tcp(l) => {
@@ -287,6 +351,10 @@ impl Server {
                     unix_path = Some(path);
                     unix = Some(l);
                 }
+                Listener::Http(l) => {
+                    http_addr = l.local_addr().ok();
+                    http = Some(l);
+                }
             }
         }
         {
@@ -294,11 +362,11 @@ impl Server {
             threads.push(
                 std::thread::Builder::new()
                     .name("serve-io".into())
-                    .spawn(move || EventLoop::new(state, wake_reader, tcp, unix).run())
+                    .spawn(move || EventLoop::new(state, wake_reader, tcp, unix, http).run())
                     .expect("spawn event loop"),
             );
         }
-        ServerHandle { state, threads, tcp_addr, unix_path }
+        ServerHandle { state, threads, tcp_addr, unix_path, http_addr }
     }
 }
 
@@ -308,6 +376,8 @@ const TOKEN_WAKE: u64 = 0;
 const TOKEN_TCP: u64 = 1;
 /// Epoll token of the Unix listener.
 const TOKEN_UNIX: u64 = 2;
+/// Epoll token of the HTTP gateway listener.
+const TOKEN_HTTP: u64 = 3;
 /// First token handed to an accepted connection.
 const TOKEN_CONN0: u64 = 8;
 
@@ -370,6 +440,9 @@ struct Conn {
     /// Peer closed its writing half (half-open): no more requests will
     /// arrive, but queued/deferred responses still get delivered.
     eof: bool,
+    /// `Some` on gateway connections: the HTTP parser and per-request
+    /// close flags. `None` means the line protocol.
+    http: Option<HttpState>,
 }
 
 /// What handling one request line produces.
@@ -391,6 +464,8 @@ struct EventLoop {
     wake: WakeReader,
     tcp: Option<TcpListener>,
     unix: Option<UnixListener>,
+    /// The HTTP/1.1 gateway listener (`crate::http`), sharing this loop.
+    http: Option<TcpListener>,
     conns: HashMap<u64, Conn>,
     next_token: u64,
     /// Shutdown has begun: listeners are gone, remaining output is
@@ -405,6 +480,7 @@ impl EventLoop {
         wake: WakeReader,
         tcp: Option<TcpListener>,
         unix: Option<UnixListener>,
+        http: Option<TcpListener>,
     ) -> EventLoop {
         let epoll = Epoll::new().expect("epoll_create1");
         epoll.add(wake.fd(), EPOLLIN, TOKEN_WAKE).expect("register wake pipe");
@@ -416,12 +492,17 @@ impl EventLoop {
             l.set_nonblocking(true).expect("nonblocking unix listener");
             epoll.add(l.as_raw_fd(), EPOLLIN, TOKEN_UNIX).expect("register unix listener");
         }
+        if let Some(l) = &http {
+            l.set_nonblocking(true).expect("nonblocking http listener");
+            epoll.add(l.as_raw_fd(), EPOLLIN, TOKEN_HTTP).expect("register http listener");
+        }
         EventLoop {
             state,
             epoll,
             wake,
             tcp,
             unix,
+            http,
             conns: HashMap::new(),
             next_token: TOKEN_CONN0,
             shutdown_at: None,
@@ -442,7 +523,7 @@ impl EventLoop {
             for (token, bits) in ready {
                 match token {
                     TOKEN_WAKE => self.wake.drain(),
-                    TOKEN_TCP | TOKEN_UNIX => self.accept_ready(token),
+                    TOKEN_TCP | TOKEN_UNIX | TOKEN_HTTP => self.accept_ready(token),
                     _ => self.conn_event(token, bits),
                 }
             }
@@ -467,6 +548,11 @@ impl EventLoop {
                     Some(Err(e)) if e.kind() == std::io::ErrorKind::WouldBlock => return,
                     _ => return,
                 },
+                TOKEN_HTTP => match self.http.as_ref().map(|l| l.accept()) {
+                    Some(Ok((s, _))) => ConnStream::Tcp(s),
+                    Some(Err(e)) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                    _ => return,
+                },
                 _ => match self.unix.as_ref().map(|l| l.accept()) {
                     Some(Ok((s, _))) => ConnStream::Unix(s),
                     Some(Err(e)) if e.kind() == std::io::ErrorKind::WouldBlock => return,
@@ -479,13 +565,17 @@ impl EventLoop {
             if set_nonblocking(stream.fd()).is_err() {
                 continue;
             }
+            let http = (token == TOKEN_HTTP).then(HttpState::new);
             let token = self.next_token;
             self.next_token += 1;
             let interest = EPOLLIN | EPOLLRDHUP;
             if self.epoll.add(stream.fd(), interest, token).is_err() {
                 continue;
             }
-            self.conns.insert(token, Conn { stream, buf: ConnBuf::new(), interest, eof: false });
+            self.conns.insert(
+                token,
+                Conn { stream, buf: ConnBuf::new(), interest, eof: false, http },
+            );
             self.state.metrics.conn_accepted();
         }
     }
@@ -506,7 +596,8 @@ impl EventLoop {
         self.maintain(token);
     }
 
-    /// Reads until `EAGAIN`/EOF, assembling and handling request lines.
+    /// Reads until `EAGAIN`/EOF, assembling and handling requests (line
+    /// protocol or, on gateway connections, HTTP).
     fn read_ready(&mut self, token: u64) {
         let mut tmp = [0u8; 16 * 1024];
         loop {
@@ -514,15 +605,12 @@ impl EventLoop {
             if conn.buf.read_paused() {
                 return; // output backlog too deep; maintain() re-arms later
             }
-            let (lines, oversized) = match conn.stream.read(&mut tmp) {
+            let n = match conn.stream.read(&mut tmp) {
                 Ok(0) => {
                     conn.eof = true;
                     return;
                 }
-                Ok(n) => match conn.buf.ingest(&tmp[..n]) {
-                    Ingest::Lines(lines) => (lines, false),
-                    Ingest::Oversized(lines) => (lines, true),
-                },
+                Ok(n) => n,
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                     self.state.metrics.eagain_read();
                     return;
@@ -532,6 +620,17 @@ impl EventLoop {
                     self.close_conn(token);
                     return;
                 }
+            };
+            if let Some(http) = &mut conn.http {
+                let items = http.parser.ingest(&tmp[..n]);
+                for item in items {
+                    self.process_http_item(token, item);
+                }
+                continue;
+            }
+            let (lines, oversized) = match conn.buf.ingest(&tmp[..n]) {
+                Ingest::Lines(lines) => (lines, false),
+                Ingest::Oversized(lines) => (lines, true),
             };
             for line in lines {
                 self.process_line(token, line);
@@ -552,8 +651,37 @@ impl EventLoop {
         }
     }
 
+    /// Handles one parsed HTTP request. Translated ops flow through the
+    /// same [`EventLoop::process_line`] path as line-protocol requests
+    /// (their close flag queues for the response framer); direct answers
+    /// go out immediately — or, when the connection is blocked on an
+    /// earlier deferred op, park in the deferred-line queue as a NUL
+    /// marker so responses stay FIFO.
+    fn process_http_item(&mut self, token: u64, item: HttpItem) {
+        match item {
+            HttpItem::Op { line, close } => {
+                if let Some(conn) = self.conns.get_mut(&token) {
+                    if let Some(http) = &mut conn.http {
+                        http.close_flags.push_back(close);
+                    }
+                }
+                self.process_line(token, line);
+            }
+            HttpItem::Direct { status, body, close } => {
+                let Some(conn) = self.conns.get_mut(&token) else { return };
+                if conn.buf.blocked() {
+                    conn.buf.defer_line(crate::http::encode_direct_marker(status, &body, close));
+                    return;
+                }
+                self.queue_framed(token, crate::http::frame_response(status, &body, close), close);
+            }
+        }
+    }
+
     /// Handles one complete request line (or parks it behind an
-    /// outstanding deferred response, keeping responses FIFO).
+    /// outstanding deferred response, keeping responses FIFO). On gateway
+    /// connections the line is either a translated op or a parked direct
+    /// answer (NUL marker) replayed from the deferred queue.
     fn process_line(&mut self, token: u64, line: String) {
         if line.trim().is_empty() {
             return;
@@ -564,6 +692,10 @@ impl EventLoop {
                 conn.buf.defer_line(line);
                 return;
             }
+        }
+        if let Some((status, body, close)) = crate::http::decode_direct_marker(&line) {
+            self.queue_framed(token, crate::http::frame_response(status, &body, close), close);
+            return;
         }
         match handle_request(&self.state, token, &line) {
             Outcome::Reply(response) => self.queue_response(token, &response, false),
@@ -576,22 +708,40 @@ impl EventLoop {
         }
     }
 
-    /// Queues one response line on a connection, applying transport chaos
-    /// (a closing response — `shutdown` — is always delivered: the server
-    /// is stopping, so a retry could never reconnect to learn the
-    /// outcome), then flushes what the socket will take.
+    /// Frames one op response for the connection's protocol — a bare
+    /// line, or an HTTP response whose body *is* that line (the status
+    /// derived from `ok`/`error`, the `Connection` header from the
+    /// request's queued close flag) — and queues it.
     fn queue_response(&mut self, token: u64, response: &Json, close: bool) {
+        let (framed, close) = {
+            let Some(conn) = self.conns.get_mut(&token) else { return };
+            match &mut conn.http {
+                Some(http) => {
+                    let close = close | http.close_flags.pop_front().unwrap_or(false);
+                    let status = crate::http::status_for(response);
+                    (crate::http::frame_response(status, response, close), close)
+                }
+                None => (format!("{response}\n").into_bytes(), close),
+            }
+        };
+        self.queue_framed(token, framed, close);
+    }
+
+    /// Queues framed response bytes, applying transport chaos (a closing
+    /// response — `shutdown` — is always delivered: the server is
+    /// stopping, so a retry could never reconnect to learn the outcome),
+    /// then flushes what the socket will take.
+    fn queue_framed(&mut self, token: u64, framed: Vec<u8>, close: bool) {
         let plan = if close { ResponsePlan::Deliver } else { self.state.chaos_response_plan() };
         let Some(conn) = self.conns.get_mut(&token) else { return };
-        let framed = format!("{response}\n");
         match plan {
-            ResponsePlan::Deliver => conn.buf.queue(framed.as_bytes()),
+            ResponsePlan::Deliver => conn.buf.queue(&framed),
             ResponsePlan::Drop => {
                 self.close_conn(token);
                 return;
             }
             ResponsePlan::Truncate => {
-                conn.buf.queue(&framed.as_bytes()[..framed.len() / 2]);
+                conn.buf.queue(&framed[..framed.len() / 2]);
                 conn.buf.close_after_flush();
             }
         }
@@ -638,6 +788,9 @@ impl EventLoop {
             self.epoll.delete(l.as_raw_fd());
         }
         if let Some(l) = self.unix.take() {
+            self.epoll.delete(l.as_raw_fd());
+        }
+        if let Some(l) = self.http.take() {
             self.epoll.delete(l.as_raw_fd());
         }
         let idle: Vec<u64> = self
@@ -730,6 +883,12 @@ fn dump_metrics(state: &ServerState, core: &Core) -> Json {
         Json::Obj(mut pairs) => {
             if state.store.is_some() {
                 pairs.push(("snapshot".to_string(), state.metrics.snapshot_json()));
+            }
+            // Keyed off the *config*, not the open journal: an operator
+            // whose journal failed recovery needs to see the rejection
+            // counter, not an absent block.
+            if state.cfg.journal_dir.is_some() {
+                pairs.push(("journal".to_string(), state.metrics.journal_json()));
             }
             if let Some(chaos) = state.chaos_json() {
                 pairs.push(("chaos".to_string(), chaos));
@@ -827,6 +986,35 @@ fn handle_snapshot_import(state: &Arc<ServerState>, data: &str) -> Json {
     ok_response(members)
 }
 
+/// Appends records to the journal and fsyncs (a no-op without one),
+/// updating the journal counters. Called with the scheduler lock held —
+/// the journal lock nests strictly inside it — because the append *is*
+/// the durability point the subsequent acknowledgment relies on. An
+/// append failure degrades durability, not service: it is logged and
+/// counted, and the server keeps running.
+fn journal_append(state: &ServerState, records: &[JournalRecord]) {
+    let Some(journal) = &state.journal else { return };
+    if records.is_empty() {
+        return;
+    }
+    let mut journal = journal.lock().unwrap();
+    match journal.append_all(records) {
+        Ok(outcome) => {
+            state.metrics.journal_appended(records.len() as u64);
+            if outcome.rotated {
+                state.metrics.journal_rotated();
+            }
+            if outcome.compacted {
+                state.metrics.journal_compacted();
+            }
+        }
+        Err(e) => {
+            state.metrics.journal_rejected(1);
+            eprintln!("journal: append failed ({e}); continuing without durability for it");
+        }
+    }
+}
+
 /// Persists one frozen snapshot to the store (a no-op without one), then
 /// prunes old generations. Callers hold **no** locks: filesystem time
 /// must never extend the scheduler's critical section.
@@ -906,9 +1094,18 @@ fn report_json(report: &JobReport) -> Json {
     ])
 }
 
+/// One expanded job plus the journal seed that can rebuild it: the base
+/// kernel name (replica suffix stripped — a valid `Manifest::select`
+/// input) and the resolved hierarchy preset.
+struct ExpandedJob {
+    job: BatchJob,
+    kernel: String,
+    hierarchy: Option<String>,
+}
+
 /// Expands a submission into concrete [`BatchJob`]s (kernel selection,
 /// hierarchy-preset resolution, replication). Pure: no server state.
-fn expand_submit(spec: &SubmitSpec) -> Result<Vec<BatchJob>, String> {
+fn expand_submit(spec: &SubmitSpec) -> Result<Vec<ExpandedJob>, String> {
     let names: Vec<&str> = spec.kernels.iter().map(String::as_str).collect();
     let manifest = Manifest::select(&names, spec.insts).ok_or_else(|| {
         format!("unknown kernel in {:?} (see fastsim-workloads for the suite)", spec.kernels)
@@ -917,6 +1114,8 @@ fn expand_submit(spec: &SubmitSpec) -> Result<Vec<BatchJob>, String> {
     let mut jobs = Vec::with_capacity(manifest.len());
     for mj in manifest.into_jobs() {
         let preset = mj.hierarchy.as_deref().or(spec.hierarchy.as_deref());
+        let kernel = mj.name.split('#').next().unwrap_or(&mj.name).to_string();
+        let hierarchy = preset.map(str::to_string);
         let mut job = BatchJob::new(mj.name, mj.program);
         if let Some(p) = preset {
             job.hierarchy = HierarchyConfig::preset(p).ok_or_else(|| {
@@ -926,7 +1125,7 @@ fn expand_submit(spec: &SubmitSpec) -> Result<Vec<BatchJob>, String> {
                 )
             })?;
         }
-        jobs.push(job);
+        jobs.push(ExpandedJob { job, kernel, hierarchy });
     }
     Ok(jobs)
 }
@@ -957,12 +1156,35 @@ fn handle_submit(state: &Arc<ServerState>, token: u64, spec: &SubmitSpec) -> Out
         )));
     }
     let mut ids = Vec::with_capacity(jobs.len());
-    for job in jobs {
+    let mut journaled = Vec::with_capacity(jobs.len());
+    for expanded in jobs {
+        let name = expanded.job.name.clone();
         let id = state
-            .admit(&mut core, job, &spec.client, spec.priority, timeout, spec.chaos_panics)
+            .admit(
+                &mut core,
+                expanded.job,
+                &spec.client,
+                spec.priority,
+                timeout,
+                spec.chaos_panics,
+            )
             .expect("capacity checked above");
         ids.push(id);
+        journaled.push(JournalRecord::Submit(SubmitRecord {
+            id,
+            name,
+            kernel: expanded.kernel,
+            insts: spec.insts,
+            client: spec.client.clone(),
+            band: spec.priority as u32,
+            hierarchy: expanded.hierarchy,
+            timeout_ms: timeout.map(|t| t.as_millis() as u64),
+            chaos_panics: spec.chaos_panics,
+        }));
     }
+    // Durability point: the submits are journaled and fsynced *before*
+    // the acknowledgment below — an acked job survives a SIGKILL.
+    journal_append(state, &journaled);
     state
         .metrics
         .submitted(ids.len() as u64, (core.queue.len() + core.queue.parked_len()) as u64);
@@ -1083,6 +1305,7 @@ fn worker_loop(state: &Arc<ServerState>) {
                 let fingerprint = record.fingerprint;
                 let snapshot = core.groups[&fingerprint].snapshot.clone();
                 core.in_flight += 1;
+                journal_append(state, &[JournalRecord::Start { id: entry.id }]);
                 break (entry.id, job, snapshot, deadline, chaos);
             }
             // Nothing runnable: sleep until the earliest parked job is
@@ -1126,6 +1349,9 @@ fn worker_loop(state: &Arc<ServerState>) {
                     .expect("group exists while its jobs live");
                 core.jobs.get_mut(&id).unwrap().result = Some(report);
                 state.metrics.completed(latency);
+                // Settled before the result is observable: a kill after
+                // this line can never rerun the job.
+                journal_append(state, &[JournalRecord::Complete { id }]);
 
                 // Re-freeze cadence: after `refreeze_every` merges, freeze
                 // the accumulated master so later jobs start warmer, and
@@ -1157,7 +1383,9 @@ fn worker_loop(state: &Arc<ServerState>) {
                 }
                 let record = core.jobs.get_mut(&id).expect("running jobs have records");
                 record.status = JobStatus::Failed;
-                record.error = Some(failure.to_string());
+                let reason = failure.to_string();
+                record.error = Some(reason.clone());
+                journal_append(state, &[JournalRecord::Abandon { id, reason }]);
             }
             Err(payload) => {
                 state.metrics.panicked();
@@ -1165,11 +1393,13 @@ fn worker_loop(state: &Arc<ServerState>) {
                 let record = core.jobs.get_mut(&id).expect("running jobs have records");
                 if record.attempts >= state.cfg.max_attempts.max(1) {
                     record.status = JobStatus::Quarantined;
-                    record.error = Some(format!(
+                    let reason = format!(
                         "quarantined after {} panicking attempts (last: {msg})",
                         record.attempts
-                    ));
+                    );
+                    record.error = Some(reason.clone());
                     state.metrics.quarantined();
+                    journal_append(state, &[JournalRecord::Abandon { id, reason }]);
                 } else {
                     // Park for exponential backoff, then retry.
                     record.status = JobStatus::Queued;

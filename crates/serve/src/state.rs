@@ -4,12 +4,16 @@
 //! the server module owns the only instance.
 
 use crate::json::Json;
+use crate::journal::{Journal, JournalRecord, SubmitRecord};
 use crate::metrics::Metrics;
 use crate::queue::{JobQueue, QueueEntry};
 use crate::server::ServeConfig;
 use crate::sys::Waker;
-use fastsim_core::{BatchDriver, BatchJob, JobReport, SnapshotStore, WarmCacheSnapshot};
+use fastsim_core::{
+    BatchDriver, BatchJob, HierarchyConfig, JobReport, SnapshotStore, WarmCacheSnapshot,
+};
 use fastsim_prng::Rng;
+use fastsim_workloads::Manifest;
 use std::collections::HashMap;
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -220,6 +224,11 @@ pub struct ServerState {
     /// set. Saves take their own filesystem time on the worker path —
     /// always *after* the scheduler lock is released.
     pub store: Option<SnapshotStore>,
+    /// The job journal, when [`ServeConfig::journal_dir`] is set. Locked
+    /// only while the scheduler lock is already held (lock order:
+    /// core → journal), so append batches stay ordered exactly like the
+    /// scheduler transitions they record.
+    pub journal: Option<Mutex<Journal>>,
 }
 
 impl ServerState {
@@ -233,6 +242,14 @@ impl ServerState {
     /// instead of starting cold. Corrupt or foreign files are skipped
     /// with a typed cause (counted in the metrics, logged to stderr) —
     /// the decoder rejects, it never guesses.
+    ///
+    /// With [`ServeConfig::journal_dir`] set the journal is opened (boot
+    /// compaction included) and every unfinished journaled job is
+    /// re-admitted with its original id, band, and admission order, so a
+    /// killed server resumes exactly the queue it lost. A journaled job
+    /// whose kernel or preset can no longer be rebuilt is settled as
+    /// `Failed` with a typed reason — never silently replayed as a
+    /// different job.
     pub fn new(cfg: ServeConfig, waker: Waker) -> ServerState {
         let chaos = cfg.chaos.map(|c| {
             Mutex::new(ChaosState {
@@ -283,13 +300,117 @@ impl ServerState {
                 Err(e) => eprintln!("snapshot store: boot scan failed: {e}"),
             }
         }
+        let mut queue = JobQueue::new(cfg.queue_capacity);
+        let mut jobs = HashMap::new();
+        let mut next_id = 1u64;
+        let journal = cfg.journal_dir.as_ref().and_then(|dir| match Journal::open(dir) {
+            Ok((mut journal, recovery)) => {
+                if recovery.torn_tail {
+                    metrics.journal_torn_tail();
+                    eprintln!(
+                        "journal {}: dropped one torn tail record (incomplete final append)",
+                        dir.display()
+                    );
+                }
+                next_id = recovery.next_id;
+                let mut abandons = Vec::new();
+                let mut recovered = 0u64;
+                for rec in &recovery.pending {
+                    let id = rec.id;
+                    // Full-queue recovery can only happen when the server
+                    // was restarted with a smaller --queue-cap than the
+                    // journal was written under.
+                    let built = if queue.is_full() {
+                        Err(format!(
+                            "recovered queue exceeds capacity {}",
+                            cfg.queue_capacity
+                        ))
+                    } else {
+                        rebuild_job(rec)
+                    };
+                    let mut record = JobRecord {
+                        id,
+                        name: rec.name.clone(),
+                        client: rec.client.clone(),
+                        band: rec.band as usize,
+                        job: None,
+                        fingerprint: 0,
+                        attempts: 0,
+                        chaos_panics: rec.chaos_panics,
+                        timeout: rec.timeout_ms.map(Duration::from_millis),
+                        submitted: Instant::now(),
+                        status: JobStatus::Queued,
+                        result: None,
+                        error: None,
+                    };
+                    match built {
+                        Ok(job) => {
+                            let fingerprint = driver.ensure_group(&job);
+                            groups.entry(fingerprint).or_insert_with(|| GroupCtl {
+                                snapshot: driver
+                                    .current_snapshot(fingerprint)
+                                    .expect("group ensured above"),
+                                deltas_since_freeze: 0,
+                                hits_window: 0,
+                                lookups_window: 0,
+                            });
+                            record.job = Some(job);
+                            record.fingerprint = fingerprint;
+                            queue
+                                .push(QueueEntry {
+                                    id,
+                                    client: rec.client.clone(),
+                                    band: rec.band as usize,
+                                })
+                                .expect("is_full checked above");
+                            recovered += 1;
+                        }
+                        Err(e) => {
+                            eprintln!("journal {}: job {id} rejected at recovery: {e}", dir.display());
+                            record.status = JobStatus::Failed;
+                            record.error = Some(e.clone());
+                            abandons.push(JournalRecord::Abandon { id, reason: e });
+                        }
+                    }
+                    jobs.insert(id, record);
+                }
+                metrics.journal_recovered(recovered);
+                if recovered > 0 {
+                    metrics.submitted(recovered, (queue.len() + queue.parked_len()) as u64);
+                }
+                if !abandons.is_empty() {
+                    metrics.journal_rejected(abandons.len() as u64);
+                    match journal.append_all(&abandons) {
+                        Ok(_) => metrics.journal_appended(abandons.len() as u64),
+                        Err(e) => eprintln!(
+                            "journal {}: cannot settle rejected jobs ({e})",
+                            dir.display()
+                        ),
+                    }
+                }
+                eprintln!(
+                    "journal {}: {recovered} job(s) recovered, {} rejected",
+                    dir.display(),
+                    abandons.len()
+                );
+                Some(Mutex::new(journal))
+            }
+            Err(e) => {
+                metrics.journal_rejected(1);
+                eprintln!(
+                    "journal {}: cannot open ({e}); serving without a durable queue",
+                    dir.display()
+                );
+                None
+            }
+        });
         ServerState {
             core: Mutex::new(Core {
-                queue: JobQueue::new(cfg.queue_capacity),
-                jobs: HashMap::new(),
+                queue,
+                jobs,
                 driver,
                 groups,
-                next_id: 1,
+                next_id,
                 in_flight: 0,
                 draining: false,
                 stop: false,
@@ -302,6 +423,7 @@ impl ServerState {
             cfg,
             chaos,
             store,
+            journal,
         }
     }
 
@@ -419,4 +541,30 @@ impl ServerState {
         );
         Ok(id)
     }
+}
+
+/// Rebuilds the simulation job for one journaled submission. The journal
+/// stores the selection seed (base kernel name, instruction budget,
+/// hierarchy preset), not program bytes, so recovery re-derives the job
+/// from the workload manifest exactly as the original submit did — the
+/// replayed job is bit-identical because the manifest is deterministic.
+///
+/// # Errors
+///
+/// The reason the job can no longer be built (unknown kernel or preset —
+/// possible only when the binary changed across the restart).
+fn rebuild_job(rec: &SubmitRecord) -> Result<BatchJob, String> {
+    let manifest = Manifest::select(&[rec.kernel.as_str()], rec.insts)
+        .ok_or_else(|| format!("unknown kernel `{}`", rec.kernel))?;
+    let mj = manifest
+        .into_jobs()
+        .into_iter()
+        .next()
+        .ok_or_else(|| format!("kernel `{}` expanded to no jobs", rec.kernel))?;
+    let mut job = BatchJob::new(rec.name.clone(), mj.program);
+    if let Some(p) = rec.hierarchy.as_deref() {
+        job.hierarchy = HierarchyConfig::preset(p)
+            .ok_or_else(|| format!("unknown hierarchy preset `{p}`"))?;
+    }
+    Ok(job)
 }

@@ -66,6 +66,113 @@ fn oversized_numbers_are_rejected_not_infinity() {
     assert_eq!(Json::Num(f64::NAN).to_string(), "null");
 }
 
+#[test]
+fn control_characters_round_trip_through_the_serializer() {
+    // Every control character escapes on the way out and parses back to
+    // the identical string — `json::object` never emits raw controls
+    // (which the parser itself rejects; see `malformed_escapes_are_rejected`).
+    for byte in 0u32..0x20 {
+        let original = format!("a{}b", char::from_u32(byte).unwrap());
+        let serialized = Json::Str(original.clone()).to_string();
+        assert!(
+            serialized.bytes().all(|b| b >= 0x20),
+            "serialized form of {byte:#04x} must not contain raw controls: {serialized:?}"
+        );
+        let parsed = Json::parse(&serialized).unwrap_or_else(|e| {
+            panic!("serialized control {byte:#04x} must re-parse: {serialized:?}: {e}")
+        });
+        assert_eq!(parsed, Json::Str(original), "control {byte:#04x} round-trips");
+    }
+    // DEL and a mixed kitchen-sink string survive too.
+    for original in ["\u{7f}", "quote\"back\\slash\nnl\ttab\rcr\u{0}nul\u{1b}esc"] {
+        let round = Json::parse(&Json::Str(original.to_string()).to_string()).unwrap();
+        assert_eq!(round, Json::Str(original.to_string()));
+    }
+}
+
+/// Strings carrying control characters survive the full wire paths: a
+/// client name with embedded controls comes back byte-identical from the
+/// line protocol *and* from the HTTP gateway.
+#[cfg(unix)]
+#[test]
+fn control_characters_round_trip_through_both_protocols() {
+    use fastsim_serve::server::{Listener, ServeConfig, Server};
+    use std::io::{BufRead, BufReader, Read, Write};
+
+    let socket = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("json_ctl.sock");
+    let listeners = vec![
+        Listener::unix(&socket).expect("bind test socket"),
+        Listener::http("127.0.0.1:0").expect("bind http listener"),
+    ];
+    let handle = Server::start(ServeConfig { workers: 1, ..ServeConfig::default() }, listeners);
+    let http = handle.http_addr().expect("http bound");
+
+    let hostile = "ctl\u{0}\u{1}\t\r\n\u{1f}end";
+    let submit = Json::obj([
+        ("op", Json::from("submit")),
+        ("kernels", Json::Arr(vec![Json::from("compress")])),
+        ("insts", Json::from(5_000u64)),
+        ("client", Json::Str(hostile.to_string())),
+        ("wait", Json::Bool(true)),
+    ]);
+    let client_of = |resp: &Json| {
+        resp.get("jobs").and_then(Json::as_arr).expect("jobs")[0]
+            .get("client")
+            .and_then(Json::as_str)
+            .expect("client field")
+            .to_string()
+    };
+
+    // Line protocol: the escaped line stays one line (the controls never
+    // appear raw, so the framing survives) and echoes the name back.
+    let mut stream = std::os::unix::net::UnixStream::connect(&socket).expect("connect");
+    stream.write_all(format!("{submit}\n").as_bytes()).expect("write");
+    let mut line = String::new();
+    BufReader::new(stream.try_clone().unwrap()).read_line(&mut line).expect("read");
+    let via_line = Json::parse(line.trim()).expect("line response parses");
+    assert_eq!(via_line.get("ok").and_then(Json::as_bool), Some(true), "{via_line}");
+    assert_eq!(client_of(&via_line), hostile, "line protocol round-trips controls");
+
+    // HTTP gateway: same body over POST /v1/jobs.
+    let body = {
+        let Json::Obj(pairs) = &submit else { unreachable!() };
+        Json::Obj(pairs.iter().filter(|(k, _)| k != "op").cloned().collect()).to_string()
+    };
+    let mut stream = std::net::TcpStream::connect(http).expect("connect http");
+    stream
+        .write_all(
+            format!("POST /v1/jobs HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{}", body.len(), body)
+                .as_bytes(),
+        )
+        .expect("write http");
+    let mut reader = BufReader::new(stream);
+    let mut status = String::new();
+    reader.read_line(&mut status).expect("status line");
+    assert!(status.starts_with("HTTP/1.1 200"), "status: {status:?}");
+    let mut len = 0usize;
+    loop {
+        let mut h = String::new();
+        reader.read_line(&mut h).expect("header");
+        let t = h.trim_end();
+        if t.is_empty() {
+            break;
+        }
+        if let Some((k, v)) = t.split_once(':') {
+            if k.eq_ignore_ascii_case("content-length") {
+                len = v.trim().parse().expect("length");
+            }
+        }
+    }
+    let mut raw = vec![0u8; len];
+    reader.read_exact(&mut raw).expect("body");
+    assert!(raw.iter().all(|&b| b >= 0x20 || b == b'\n'), "no raw controls on the wire");
+    let via_http = Json::parse(std::str::from_utf8(&raw).expect("utf-8")).expect("body parses");
+    assert_eq!(via_http.get("ok").and_then(Json::as_bool), Some(true), "{via_http}");
+    assert_eq!(client_of(&via_http), hostile, "http gateway round-trips controls");
+
+    handle.kill();
+}
+
 /// Partial frames interleaved across two connections: the server must
 /// reassemble each connection's line independently, and a garbage line
 /// must produce an error response without poisoning the connection.

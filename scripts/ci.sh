@@ -155,6 +155,147 @@ if [ "$SNAP_FILES" -lt 1 ]; then
 fi
 echo "==> serve smoke passed ($SERVE_METRICS, $SNAP_FILES snapshots persisted)"
 
+echo "==> journal smoke: SIGKILL mid-queue, restart, zero loss"
+# Durability gate for the fastsim-journal/v1 write-ahead log: submit
+# three fire-and-forget jobs, SIGKILL the server before the queue can
+# settle, restart it on the same --journal-dir, and require that every
+# job either completed before the kill or is recovered and completed
+# after it — no job lost, none rejected at recovery.
+cargo build --release -q -p fastsim-serve --example ops_client
+OPS="target/release/examples/ops_client"
+JRNL_DIR="target/ci_journal"
+JRNL_SOCK="target/ci_journal.sock"
+JRNL_METRICS="target/ci_journal_metrics.json"
+rm -rf "$JRNL_DIR"
+rm -f "$JRNL_SOCK" "$JRNL_METRICS"
+target/release/fastsim_served --unix "$JRNL_SOCK" --workers 1 \
+    --journal-dir "$JRNL_DIR" 2> target/ci_journal_boot1.log &
+JRNL_PID=$!
+for _ in $(seq 1 100); do
+    [ -S "$JRNL_SOCK" ] && break
+    sleep 0.1
+done
+[ -S "$JRNL_SOCK" ] || { echo "journal smoke: server never bound" >&2; exit 1; }
+for i in 1 2 3; do
+    "$OPS" --unix "$JRNL_SOCK" --op \
+        '{"op": "submit", "kernels": ["compress"], "insts": 2000000, "client": "ci-journal"}' \
+        | grep -qF '"ok": true' || {
+        echo "journal smoke: submit $i failed" >&2
+        exit 1
+    }
+done
+kill -9 "$JRNL_PID"
+wait "$JRNL_PID" 2>/dev/null || true
+rm -f "$JRNL_SOCK"
+target/release/fastsim_served --unix "$JRNL_SOCK" --workers 1 \
+    --journal-dir "$JRNL_DIR" --metrics-file "$JRNL_METRICS" \
+    2> target/ci_journal_boot2.log &
+JRNL_PID=$!
+# Wait on the boot log, not the socket file: the listener binds before
+# recovery runs, so the recovery line lands a beat later.
+for _ in $(seq 1 100); do
+    grep -q 'listening on' target/ci_journal_boot2.log 2>/dev/null && break
+    sleep 0.1
+done
+grep -q 'listening on' target/ci_journal_boot2.log || {
+    echo "journal smoke: restart never bound" >&2
+    exit 1
+}
+RECOVERED=$(sed -n 's/.*journal .*: \([0-9][0-9]*\) job(s) recovered, 0 rejected.*/\1/p' \
+    target/ci_journal_boot2.log | head -1)
+if [ -z "$RECOVERED" ]; then
+    echo "journal smoke: no clean recovery line in boot log:" >&2
+    cat target/ci_journal_boot2.log >&2
+    exit 1
+fi
+if [ "$RECOVERED" -lt 1 ]; then
+    echo "journal smoke: nothing recovered — the kill landed after settlement" >&2
+    exit 1
+fi
+"$OPS" --unix "$JRNL_SOCK" --op '{"op": "drain"}' \
+    | grep -qF '"ok": true' || { echo "journal smoke: drain failed" >&2; exit 1; }
+DONE=0
+UNKNOWN=0
+for id in 1 2 3; do
+    POLL=$("$OPS" --unix "$JRNL_SOCK" --op "{\"op\": \"poll\", \"job\": $id}")
+    if echo "$POLL" | grep -qF '"status": "done"'; then
+        DONE=$((DONE + 1))
+    elif echo "$POLL" | grep -qF 'unknown job'; then
+        # Settled before the kill, so boot compaction dropped it — the
+        # completed first life accounts for it.
+        UNKNOWN=$((UNKNOWN + 1))
+    else
+        echo "journal smoke: job $id neither done nor settled: $POLL" >&2
+        exit 1
+    fi
+done
+if [ "$DONE" -ne "$RECOVERED" ] || [ $((DONE + UNKNOWN)) -ne 3 ]; then
+    echo "journal smoke: lost jobs (recovered $RECOVERED, done $DONE, pre-kill $UNKNOWN)" >&2
+    exit 1
+fi
+"$OPS" --unix "$JRNL_SOCK" --op '{"op": "shutdown"}' \
+    | grep -qF '"ok": true' || { echo "journal smoke: shutdown failed" >&2; exit 1; }
+wait "$JRNL_PID"
+for key in '"journal"' '"recovered": '"$RECOVERED" '"torn_tails": 0' \
+    '"rejected": 0' '"appended"'; do
+    grep -qF "$key" "$JRNL_METRICS" || {
+        echo "journal smoke: missing $key in $JRNL_METRICS" >&2
+        exit 1
+    }
+done
+echo "==> journal smoke passed ($RECOVERED recovered, $UNKNOWN settled pre-kill)"
+
+echo "==> http smoke: gateway round-trip against the line protocol"
+# The HTTP/1.1 gateway must serve the documented endpoints and agree
+# bit-for-bit with the line protocol on deterministic result fields.
+HTTP_SOCK="target/ci_http.sock"
+HTTP_ADDR_FILE="target/ci_http_addr"
+rm -f "$HTTP_SOCK" "$HTTP_ADDR_FILE"
+target/release/fastsim_served --unix "$HTTP_SOCK" --http 127.0.0.1:0 \
+    --http-addr-file "$HTTP_ADDR_FILE" --workers 2 &
+HTTP_PID=$!
+for _ in $(seq 1 100); do
+    [ -s "$HTTP_ADDR_FILE" ] && break
+    sleep 0.1
+done
+[ -s "$HTTP_ADDR_FILE" ] || { echo "http smoke: gateway never bound" >&2; exit 1; }
+HTTP_ADDR=$(cat "$HTTP_ADDR_FILE")
+"$OPS" --http "$HTTP_ADDR" --method GET --path /v1/metrics \
+    > target/ci_http_metrics.txt
+head -1 target/ci_http_metrics.txt | grep -qx 200 || {
+    echo "http smoke: GET /v1/metrics did not answer 200" >&2
+    exit 1
+}
+for key in '"schema": "fastsim-serve-metrics/v1"' '"queue_depth"' \
+    '"latency_ms"'; do
+    grep -qF "$key" target/ci_http_metrics.txt || {
+        echo "http smoke: missing $key in the /v1/metrics body" >&2
+        exit 1
+    }
+done
+"$OPS" --http "$HTTP_ADDR" --method POST --path /v1/jobs --body \
+    '{"kernels": ["compress"], "insts": 20000, "client": "ci-http", "wait": true}' \
+    > target/ci_http_submit.txt
+head -1 target/ci_http_submit.txt | grep -qx 200 || {
+    echo "http smoke: POST /v1/jobs did not answer 200" >&2
+    exit 1
+}
+"$OPS" --unix "$HTTP_SOCK" --op \
+    '{"op": "submit", "kernels": ["compress"], "insts": 20000, "client": "ci-line", "wait": true}' \
+    > target/ci_line_submit.txt
+for field in cycles retired_insts l1_misses; do
+    HVAL=$(sed -n "s/.*\"$field\": \([0-9][0-9]*\).*/\1/p" target/ci_http_submit.txt | head -1)
+    LVAL=$(sed -n "s/.*\"$field\": \([0-9][0-9]*\).*/\1/p" target/ci_line_submit.txt | head -1)
+    if [ -z "$HVAL" ] || [ "$HVAL" != "$LVAL" ]; then
+        echo "http smoke: $field differs between gateway ($HVAL) and line protocol ($LVAL)" >&2
+        exit 1
+    fi
+done
+"$OPS" --unix "$HTTP_SOCK" --op '{"op": "shutdown"}' \
+    | grep -qF '"ok": true' || { echo "http smoke: shutdown failed" >&2; exit 1; }
+wait "$HTTP_PID"
+echo "==> http smoke passed ($HTTP_ADDR, deterministic fields identical)"
+
 echo "==> serve scale smoke: 1024 idle connections around an active core"
 # Connection-scaling gate for the event-loop server: park 1024 idle
 # connections on the I/O thread, drive a fixed active client through
@@ -207,7 +348,10 @@ echo "==> fuzz smoke: 500 generated kernels through the differential oracle"
 # on), plus the freeze/thaw/merge lifecycle. On top of the differential
 # sweep, frozen caches are encoded to fastsim-snapshot/v1 and attacked
 # with seeded corruption — every effective mutation must be rejected
-# with a typed error, never absorbed or panicked on. Failures
+# with a typed error, never absorbed or panicked on — and seeded
+# fastsim-journal/v1 record streams face the same sweep under the
+# prefix-or-reject oracle (a corrupted journal may lose its torn tail,
+# never replay a wrong job). Failures
 # would be shrunk to replayable reproducers under target/fuzz_failures/.
 FUZZ_OUT="target/fuzz_smoke.json"
 cargo run --release -q -p fastsim-fuzz --bin fuzz_smoke -- \
@@ -216,7 +360,8 @@ for key in '"schema": "fastsim-fuzz-smoke/v1"' '"kernels": 500' \
     '"presets": ["table1", "three-level", "tiny-l1"]' \
     '"corpus_replayed": 24' '"failures": 0' '"runs"' '"retired_insts"' \
     '"snapshot_corruptions"' '"snapshot_rejected"' \
-    '"snapshot_failures": 0'; do
+    '"snapshot_failures": 0' '"journal_corruptions"' \
+    '"journal_rejected"' '"journal_failures": 0'; do
     grep -qF "$key" "$FUZZ_OUT" || {
         echo "fuzz smoke: missing $key in $FUZZ_OUT" >&2
         exit 1

@@ -15,6 +15,10 @@
 //!    with `--snapshot-dir` serves its first submission warm from the
 //!    store, and `snapshot_export`/`snapshot_import` ship warmth to a
 //!    cold server — in both cases bit-identical to the offline run.
+//! 5. **The HTTP gateway is the same service**: a job submitted over
+//!    `POST /v1/jobs` is bit-identical to the line protocol, framing
+//!    violations draw typed statuses and close, routing errors keep the
+//!    connection, and pipelined keep-alive requests answer in order.
 
 #![cfg(unix)]
 
@@ -471,6 +475,222 @@ fn snapshot_export_ships_warmth_to_a_cold_server_via_import() {
     donor.wait();
     recipient_client.shutdown().expect("shutdown recipient");
     recipient.wait();
+}
+
+// ---------------------------------------------------------------------------
+// HTTP gateway: the same ops over `--http`, spoken with raw sockets so the
+// tests exercise real framing rather than a cooperating client library.
+// ---------------------------------------------------------------------------
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+
+fn start_http_server(tag: &str, cfg: ServeConfig) -> (ServerHandle, PathBuf, SocketAddr) {
+    let socket = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(format!("serve_{tag}.sock"));
+    let listeners = vec![
+        Listener::unix(&socket).expect("bind test socket"),
+        Listener::http("127.0.0.1:0").expect("bind http listener"),
+    ];
+    let handle = Server::start(cfg, listeners);
+    let http = handle.http_addr().expect("http listener bound");
+    (handle, socket, http)
+}
+
+/// `(status, headers, body)` of one decoded HTTP response.
+type HttpResponse = (u16, Vec<(String, String)>, String);
+
+/// Reads one `HTTP/1.1` response. `None` on a cleanly closed connection.
+fn read_http_response<R: BufRead>(r: &mut R) -> Option<HttpResponse> {
+    let mut line = String::new();
+    if r.read_line(&mut line).ok()? == 0 {
+        return None;
+    }
+    assert!(line.starts_with("HTTP/1.1 "), "status line: {line:?}");
+    let status: u16 = line.split_whitespace().nth(1)?.parse().ok()?;
+    let mut headers = Vec::new();
+    let mut len = 0usize;
+    loop {
+        let mut h = String::new();
+        r.read_line(&mut h).ok()?;
+        let t = h.trim_end();
+        if t.is_empty() {
+            break;
+        }
+        let (k, v) = t.split_once(':').expect("header line");
+        if k.eq_ignore_ascii_case("content-length") {
+            len = v.trim().parse().expect("content-length value");
+        }
+        headers.push((k.to_ascii_lowercase(), v.trim().to_string()));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body).ok()?;
+    Some((status, headers, String::from_utf8(body).expect("utf-8 body")))
+}
+
+/// Writes one request and reads one response over a fresh buffered reader.
+fn http_exchange(stream: &mut TcpStream, request: &str) -> (u16, Json) {
+    stream.write_all(request.as_bytes()).expect("write request");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let (status, _, body) = read_http_response(&mut reader).expect("one response");
+    (status, Json::parse(&body).expect("json body"))
+}
+
+#[test]
+fn http_submitted_job_is_bit_identical_to_the_line_protocol() {
+    let (handle, socket, http) =
+        start_http_server("http_identity", ServeConfig { workers: 2, ..ServeConfig::default() });
+
+    // Submit over HTTP (wait: true — the response defers until settled,
+    // exercising the blocked/deferred path through the gateway).
+    let body = format!(
+        r#"{{"kernels": ["compress", "vortex"], "insts": {INSTS}, "replicas": {REPLICAS}, "client": "http", "wait": true}}"#
+    );
+    let mut stream = TcpStream::connect(http).expect("connect http");
+    let request = format!(
+        "POST /v1/jobs HTTP/1.1\r\nHost: x\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{}",
+        body.len(),
+        body
+    );
+    let (status, via_http) = http_exchange(&mut stream, &request);
+    assert_eq!(status, 200, "submit over http: {via_http}");
+    assert_eq!(via_http.get("ok").and_then(Json::as_bool), Some(true));
+
+    // The same submission over the line protocol, and the offline ground
+    // truth: all three must agree bit-for-bit.
+    let mut client = Client::connect_unix(&socket).expect("connect line protocol");
+    let via_line = submit(&mut client, "line", &[]);
+    let offline = offline_results();
+    assert_eq!(served_results(&via_http), offline, "http served == offline");
+    assert_eq!(served_results(&via_line), offline, "line served == offline");
+
+    // Polling a settled job over HTTP returns the same record shape.
+    let id = via_http.get("jobs").and_then(Json::as_arr).expect("jobs")[0]
+        .get("id")
+        .and_then(Json::as_u64)
+        .expect("id");
+    let (status, polled) =
+        http_exchange(&mut stream, &format!("GET /v1/jobs/{id} HTTP/1.1\r\nHost: x\r\n\r\n"));
+    assert_eq!(status, 200);
+    assert_eq!(
+        polled.get("job").unwrap().get("status").and_then(Json::as_str),
+        Some("done")
+    );
+
+    client.shutdown().expect("shutdown");
+    handle.wait();
+}
+
+#[test]
+fn malformed_and_oversized_http_requests_draw_typed_statuses_and_close() {
+    let (handle, _socket, http) =
+        start_http_server("http_malformed", ServeConfig { workers: 1, ..ServeConfig::default() });
+
+    // A garbage request line: 400, connection closed.
+    let mut stream = TcpStream::connect(http).expect("connect");
+    let (status, body) = http_exchange(&mut stream, "GARBAGE\r\n\r\n");
+    assert_eq!(status, 400, "{body}");
+    assert_eq!(body.get("ok").and_then(Json::as_bool), Some(false));
+    let mut reader = BufReader::new(&mut stream);
+    assert!(read_http_response(&mut reader).is_none(), "connection closed after violation");
+
+    // An unsupported HTTP version: 505, closed.
+    let mut stream = TcpStream::connect(http).expect("connect");
+    let (status, _) = http_exchange(&mut stream, "GET /v1/metrics HTTP/0.9\r\n\r\n");
+    assert_eq!(status, 505);
+
+    // A header section past the 1 MiB cap: 431, closed. The pad stays
+    // small enough past the cap that loopback buffers absorb the write
+    // before the server closes on us.
+    let mut stream = TcpStream::connect(http).expect("connect");
+    let mut request = b"GET /v1/metrics HTTP/1.1\r\nX-Pad: ".to_vec();
+    request.resize(request.len() + (1 << 20), b'a');
+    let _ = stream.write_all(&request);
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let (status, _, _) = read_http_response(&mut reader).expect("431 response");
+    assert_eq!(status, 431);
+
+    // A declared body past the 1 MiB cap: 413 without reading the body.
+    let mut stream = TcpStream::connect(http).expect("connect");
+    let (status, _) = http_exchange(
+        &mut stream,
+        "POST /v1/jobs HTTP/1.1\r\nHost: x\r\nContent-Length: 2000000\r\n\r\n",
+    );
+    assert_eq!(status, 413);
+
+    // Chunked bodies are declined, not misparsed.
+    let mut stream = TcpStream::connect(http).expect("connect");
+    let (status, _) = http_exchange(
+        &mut stream,
+        "POST /v1/jobs HTTP/1.1\r\nHost: x\r\nTransfer-Encoding: chunked\r\n\r\n",
+    );
+    assert_eq!(status, 501);
+
+    let final_metrics = handle.kill();
+    assert_eq!(final_metrics.get("submitted").and_then(Json::as_u64), Some(0));
+}
+
+#[test]
+fn http_routing_errors_keep_the_connection_usable() {
+    let (handle, _socket, http) =
+        start_http_server("http_routes", ServeConfig { workers: 1, ..ServeConfig::default() });
+    let mut stream = TcpStream::connect(http).expect("connect");
+
+    // Unknown route, non-numeric job id, wrong method, bad submit body:
+    // each draws its status on the *same* connection.
+    let (status, _) = http_exchange(&mut stream, "GET /nope HTTP/1.1\r\nHost: x\r\n\r\n");
+    assert_eq!(status, 404);
+    let (status, body) = http_exchange(&mut stream, "GET /v1/jobs/abc HTTP/1.1\r\nHost: x\r\n\r\n");
+    assert_eq!(status, 404);
+    assert!(body.get("error").and_then(Json::as_str).unwrap().contains("unknown job"));
+    let (status, _) = http_exchange(&mut stream, "DELETE /v1/metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+    assert_eq!(status, 405);
+    let (status, body) = http_exchange(
+        &mut stream,
+        "POST /v1/jobs HTTP/1.1\r\nHost: x\r\nContent-Length: 9\r\n\r\nnot json!",
+    );
+    assert_eq!(status, 400);
+    assert!(body.get("error").and_then(Json::as_str).unwrap().contains("body"));
+    // Polling a job that was never admitted maps the protocol error to 404.
+    let (status, _) = http_exchange(&mut stream, "GET /v1/jobs/7777 HTTP/1.1\r\nHost: x\r\n\r\n");
+    assert_eq!(status, 404);
+
+    // ...and the connection still serves real requests afterwards.
+    let (status, metrics) = http_exchange(&mut stream, "GET /v1/metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+    assert_eq!(status, 200);
+    assert_eq!(metrics.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(
+        metrics.get("metrics").unwrap().get("schema").and_then(Json::as_str),
+        Some(SCHEMA)
+    );
+
+    handle.kill();
+}
+
+#[test]
+fn pipelined_http_requests_answer_in_order_and_honor_connection_close() {
+    let (handle, _socket, http) =
+        start_http_server("http_pipeline", ServeConfig { workers: 1, ..ServeConfig::default() });
+    let mut stream = TcpStream::connect(http).expect("connect");
+
+    // Three requests in one write; the last asks to close.
+    let pipelined = "GET /v1/jobs/4242 HTTP/1.1\r\nHost: x\r\n\r\n\
+                     GET /v1/metrics HTTP/1.1\r\nHost: x\r\n\r\n\
+                     GET /v1/metrics HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n";
+    stream.write_all(pipelined.as_bytes()).expect("pipelined write");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+
+    let (status, headers, body) = read_http_response(&mut reader).expect("first response");
+    assert_eq!(status, 404, "{body}");
+    assert!(headers.iter().any(|(k, v)| k == "connection" && v == "keep-alive"));
+    let (status, headers, _) = read_http_response(&mut reader).expect("second response");
+    assert_eq!(status, 200);
+    assert!(headers.iter().any(|(k, v)| k == "connection" && v == "keep-alive"));
+    let (status, headers, _) = read_http_response(&mut reader).expect("third response");
+    assert_eq!(status, 200);
+    assert!(headers.iter().any(|(k, v)| k == "connection" && v == "close"));
+    assert!(read_http_response(&mut reader).is_none(), "server honors Connection: close");
+
+    handle.kill();
 }
 
 #[test]

@@ -13,6 +13,7 @@ use fastsim_fuzz::chaos::{
 };
 use fastsim_serve::json::Json;
 use fastsim_serve::server::{ChaosConfig, Listener, ServeConfig, Server};
+use std::collections::BTreeMap;
 use std::path::Path;
 use std::time::Duration;
 
@@ -153,4 +154,130 @@ fn chaos_killed_server_reborn_from_snapshot_store_serves_clean() {
     let stopped = client.request(&Json::obj([("op", Json::from("shutdown"))]));
     assert_eq!(stopped.get("ok").and_then(Json::as_bool), Some(true));
     reborn.wait();
+}
+
+/// Deterministic result fields of one settled job record.
+fn result_fields(job: &Json) -> Vec<u64> {
+    let result = job.get("result").expect("done jobs carry results");
+    ["cycles", "retired_insts", "loads", "stores", "l1_misses", "writebacks"]
+        .iter()
+        .map(|k| result.get(k).and_then(Json::as_u64).unwrap_or_else(|| panic!("field {k}")))
+        .collect()
+}
+
+#[test]
+fn killed_server_with_journal_replays_the_lost_queue_bit_identically() {
+    const JOBS: usize = 4;
+    const INSTS: u64 = 500_000;
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join("chaos_journal");
+    let _ = std::fs::remove_dir_all(&dir);
+    let socket = Path::new(env!("CARGO_TARGET_TMPDIR")).join("serve_chaos_journal.sock");
+    let cfg = || ServeConfig {
+        workers: 1,
+        journal_dir: Some(dir.to_path_buf()),
+        ..ServeConfig::default()
+    };
+
+    // First life: fill the queue (fire-and-forget, so the ack proves the
+    // submits hit the journal), then die without draining.
+    let handle = Server::start(cfg(), vec![Listener::unix(&socket).expect("bind test socket")]);
+    let mut client = RetryClient::new(&socket);
+    let acked = client.request(&Json::obj([
+        ("op", Json::from("submit")),
+        ("kernels", Json::Arr(vec![Json::from("compress")])),
+        ("insts", Json::from(INSTS)),
+        ("replicas", Json::from(JOBS)),
+        ("client", Json::from("journaled")),
+        ("wait", Json::Bool(false)),
+    ]));
+    assert_eq!(acked.get("ok").and_then(Json::as_bool), Some(true), "{acked}");
+    let ids: Vec<u64> = acked
+        .get("jobs")
+        .and_then(Json::as_arr)
+        .expect("job ids")
+        .iter()
+        .map(|j| j.as_u64().expect("id"))
+        .collect();
+    assert_eq!(ids.len(), JOBS);
+    drop(client);
+    let dump = handle.kill();
+    let completed_first = dump.get("completed").and_then(Json::as_u64).unwrap();
+    assert!(
+        (completed_first as usize) < JOBS,
+        "the kill must land with the queue non-empty (completed {completed_first})"
+    );
+
+    // Second life on the same journal: exactly the unfinished jobs replay
+    // (completed ones never run twice), in their original order.
+    let reborn = Server::start(cfg(), vec![Listener::unix(&socket).expect("rebind socket")]);
+    let (recovered, rejected) = reborn.journal_stats();
+    assert_eq!(rejected, 0, "a cleanly appended journal replays in full");
+    assert_eq!(recovered, JOBS as u64 - completed_first, "pending = submitted - completed");
+
+    let mut client = RetryClient::new(&socket);
+    let drained = client.request(&Json::obj([("op", Json::from("drain"))]));
+    assert_eq!(drained.get("ok").and_then(Json::as_bool), Some(true), "{drained}");
+
+    // Poll every original id: recovered ones are done in the reborn
+    // server; ones settled before the kill were compacted away.
+    let mut served = BTreeMap::new();
+    let mut unknown = 0u64;
+    for id in &ids {
+        let polled = client
+            .request(&Json::obj([("op", Json::from("poll")), ("job", Json::from(*id))]));
+        if polled.get("ok").and_then(Json::as_bool) == Some(true) {
+            let job = polled.get("job").expect("job record");
+            assert_eq!(
+                job.get("status").and_then(Json::as_str),
+                Some("done"),
+                "recovered job {id} settled done"
+            );
+            served.insert(
+                job.get("name").and_then(Json::as_str).expect("name").to_string(),
+                result_fields(job),
+            );
+        } else {
+            unknown += 1;
+        }
+    }
+    assert_eq!(unknown, completed_first, "exactly the pre-kill completions are gone");
+    assert_eq!(served.len() as u64, recovered);
+
+    // Bit-identity: the replayed jobs match an offline run of the same
+    // manifest, name for name.
+    let offline_jobs: Vec<fastsim_core::BatchJob> =
+        fastsim_workloads::Manifest::select(&["compress"], INSTS)
+            .expect("known kernel")
+            .replicated(JOBS)
+            .into_jobs()
+            .into_iter()
+            .map(|j| fastsim_core::BatchJob::new(j.name, j.program))
+            .collect();
+    let offline = fastsim_core::BatchDriver::new(1).run_round(&offline_jobs).expect("offline");
+    for j in &offline.jobs {
+        let fields = vec![
+            j.stats.cycles,
+            j.stats.retired_insts,
+            j.cache_stats.loads,
+            j.cache_stats.stores,
+            j.cache_stats.l1_misses,
+            j.cache_stats.writebacks,
+        ];
+        if let Some(served_fields) = served.get(&j.name) {
+            assert_eq!(served_fields, &fields, "replayed {} == offline", j.name);
+        }
+    }
+
+    let stopped = client.request(&Json::obj([("op", Json::from("shutdown"))]));
+    assert_eq!(stopped.get("ok").and_then(Json::as_bool), Some(true));
+    let final_dump = reborn.wait();
+    let completed_second = final_dump.get("completed").and_then(Json::as_u64).unwrap();
+    assert_eq!(
+        completed_first + completed_second,
+        JOBS as u64,
+        "every job completed exactly once across both lives"
+    );
+    let journal = final_dump.get("journal").expect("journal block in the dump");
+    assert_eq!(journal.get("recovered").and_then(Json::as_u64), Some(recovered));
+    assert_eq!(journal.get("rejected").and_then(Json::as_u64), Some(0));
 }
